@@ -1,0 +1,37 @@
+//! Criterion bench backing Figure 7: Cholesky numeric-phase engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sympiler_bench::workloads::prepare_subset;
+use sympiler_core::{SympilerCholesky, SympilerOptions};
+use sympiler_solvers::cholesky::simplicial::SimplicialCholesky;
+use sympiler_solvers::cholesky::supernodal::SupernodalCholesky;
+use sympiler_sparse::suite::SuiteScale;
+
+fn bench_chol(c: &mut Criterion) {
+    let problems = prepare_subset(SuiteScale::Test, &[1, 5]);
+    let mut group = c.benchmark_group("cholesky_numeric");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for p in &problems {
+        let eigen = SimplicialCholesky::analyze(&p.a).unwrap();
+        group.bench_function(BenchmarkId::new("eigen_simplicial", p.name), |bch| {
+            bch.iter(|| black_box(eigen.factor(&p.a).unwrap()));
+        });
+
+        let cholmod = SupernodalCholesky::analyze(&p.a, 64).unwrap();
+        group.bench_function(BenchmarkId::new("cholmod_supernodal", p.name), |bch| {
+            bch.iter(|| black_box(cholmod.factor(&p.a).unwrap()));
+        });
+
+        let symp = SympilerCholesky::compile(&p.a, &SympilerOptions::default()).unwrap();
+        group.bench_function(BenchmarkId::new("sympiler_plan", p.name), |bch| {
+            bch.iter(|| black_box(symp.factor(&p.a).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chol);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion bench backing Figure 6: triangular-solve engines on one
+//! supernode-rich and one supernode-poor suite problem (test scale so
+//! `cargo bench` stays fast; the figure binaries run the full scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sympiler_bench::engines::{build_tri_plan, TriEngine};
+use sympiler_bench::workloads::prepare_subset;
+use sympiler_core::plan::tri::TriScratch;
+use sympiler_solvers::trisolve;
+use sympiler_sparse::suite::SuiteScale;
+
+fn bench_tri(c: &mut Criterion) {
+    let problems = prepare_subset(SuiteScale::Test, &[1, 3]);
+    let mut group = c.benchmark_group("tri_solve");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for p in &problems {
+        let n = p.n();
+        let bd = p.b.to_dense();
+
+        group.bench_function(BenchmarkId::new("naive_fig1b", p.name), |bch| {
+            let mut x = vec![0.0; n];
+            bch.iter(|| {
+                x.copy_from_slice(&bd);
+                trisolve::naive_forward(&p.l, &mut x);
+                black_box(&x);
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("eigen_fig1c", p.name), |bch| {
+            let mut x = vec![0.0; n];
+            bch.iter(|| {
+                x.copy_from_slice(&bd);
+                trisolve::library_forward(&p.l, &mut x);
+                black_box(&x);
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("decoupled_fig1d", p.name), |bch| {
+            let reach = sympiler_graph::reach(&p.l, p.b.indices());
+            let mut x = vec![0.0; n];
+            bch.iter(|| {
+                trisolve::decoupled_forward(&p.l, &p.b, &reach, &mut x);
+                black_box(&x);
+                x.fill(0.0);
+            });
+        });
+
+        for engine in [
+            TriEngine::SympilerVsBlock,
+            TriEngine::SympilerVsBlockViPrune,
+            TriEngine::SympilerFull,
+        ] {
+            let plan = build_tri_plan(p, engine).unwrap();
+            let id = format!("{}@{}", engine.label().replace(' ', "_"), p.name);
+            group.bench_function(BenchmarkId::new("sympiler", id), |bch| {
+                let mut x = vec![0.0; n];
+                let mut s = TriScratch::default();
+                bch.iter(|| {
+                    plan.solve(&p.b, &mut x, &mut s);
+                    black_box(&x);
+                    plan.reset(&mut x);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tri);
+criterion_main!(benches);

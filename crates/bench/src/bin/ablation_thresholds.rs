@@ -1,0 +1,62 @@
+//! **Ablation A2** (DESIGN.md): sensitivity of the VS-Block decision to
+//! the supernode-size threshold (§4.2's hand-tuned 160), swept on two
+//! contrasting matrices — one supernode-rich, one supernode-poor.
+//!
+//! Usage: `cargo run -p sympiler-bench --release --bin ablation_thresholds [--test]`
+
+use sympiler_bench::engines::RUNS;
+use sympiler_bench::harness::{median_time, Table};
+use sympiler_bench::workloads::prepare_subset;
+use sympiler_core::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
+use sympiler_sparse::suite::SuiteScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test") {
+        SuiteScale::Test
+    } else {
+        SuiteScale::Bench
+    };
+    eprintln!("preparing problems 1, 3, 6 (supernode-rich and -poor regimes)...");
+    let problems = prepare_subset(scale, &[1, 3, 6]);
+    let mut t = Table::new(
+        "Ablation: forcing VS-Block on/off vs the threshold decision",
+        &[
+            "matrix",
+            "avg participating supernode size",
+            "VI-Prune only",
+            "forced VS-Block",
+            "threshold(160) picks",
+        ],
+    );
+    for p in &problems {
+        let col_counts: Vec<usize> = (0..p.l.n_cols()).map(|j| p.l.col_nnz(j)).collect();
+        let part = sympiler_graph::supernode::supernodes_trisolve(&p.l, 64);
+        let avg = part.avg_participating_size(&col_counts);
+
+        let time_of = |variant: TriVariant| {
+            let plan = TriSolvePlan::build(&p.l, p.b.indices(), variant, 64, 2);
+            let mut x = vec![0.0; p.n()];
+            let mut s = TriScratch::default();
+            median_time(RUNS, || {
+                plan.solve(&p.b, &mut x, &mut s);
+                std::hint::black_box(&x);
+                plan.reset(&mut x);
+            })
+        };
+        let t_prune = time_of(TriVariant {
+            vs_block: false,
+            vi_prune: true,
+            low_level: true,
+        });
+        let t_block = time_of(TriVariant::full());
+        let picks = if avg >= 160.0 { "VS-Block" } else { "VI-Prune only" };
+        t.row(vec![
+            p.name.to_string(),
+            format!("{avg:.0}"),
+            format!("{:.1} us", t_prune.as_secs_f64() * 1e6),
+            format!("{:.1} us", t_block.as_secs_f64() * 1e6),
+            picks.to_string(),
+        ]);
+    }
+    t.emit(Some("ablation_thresholds.csv"));
+}

@@ -1,0 +1,37 @@
+//! Runs every paper experiment in sequence (Table 2, Figures 6–9, the
+//! §1.1 motivating numbers, inspection overheads, and the threshold
+//! ablation) by invoking the sibling binaries' logic through the shared
+//! library. Accepts `--test` for the fast suite.
+//!
+//! Usage: `cargo run -p sympiler-bench --release --bin all_experiments [--test]`
+
+use std::process::Command;
+
+fn main() {
+    let test_flag: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table2",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "motivating",
+        "table3_overheads",
+        "ablation_thresholds",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n==================== {bin} ====================");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .args(&test_flag)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments complete; CSVs under results/");
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Figure 6**: sparse triangular solve GFLOP/s — the
+//! Sympiler transformation tiers (VS-Block / +VI-Prune / +Low-Level)
+//! against the Eigen-style library implementation, per suite matrix.
+//!
+//! The paper's headline for this figure: Sympiler (numeric) beats Eigen
+//! by 1.49x on average, and VS-Block is skipped on matrices whose
+//! average participating supernode size is below the 160 threshold
+//! (their problems 3, 4, 5, 7).
+//!
+//! Usage: `cargo run -p sympiler-bench --release --bin fig6 [--test]`
+
+use sympiler_bench::engines::{build_tri_plan, time_tri_engine, tri_flops, TriEngine};
+use sympiler_bench::harness::{geomean, gflops, Table};
+use sympiler_bench::workloads::prepare_suite;
+use sympiler_sparse::suite::SuiteScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test") {
+        SuiteScale::Test
+    } else {
+        SuiteScale::Bench
+    };
+    eprintln!("preparing suite (factorizations included)...");
+    let problems = prepare_suite(scale);
+    let mut t = Table::new(
+        "Figure 6: triangular solve GFLOP/s (higher is better)",
+        &[
+            "ID",
+            "matrix",
+            "Eigen",
+            "VS-Block",
+            "+VI-Prune",
+            "+Low-Level",
+            "speedup vs Eigen",
+            "VS-Block?",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for p in &problems {
+        let flops = tri_flops(p);
+        let t_eigen = time_tri_engine(p, TriEngine::Eigen);
+        let t_vs = time_tri_engine(p, TriEngine::SympilerVsBlock);
+        let t_vp = time_tri_engine(p, TriEngine::SympilerVsBlockViPrune);
+        let t_full = time_tri_engine(p, TriEngine::SympilerFull);
+        let speedup = t_eigen.as_secs_f64() / t_full.as_secs_f64();
+        speedups.push(speedup);
+        // The VS-Block-only configuration is unpruned (it executes every
+        // supernode); rate it by the flops it actually performs, like a
+        // raw-throughput segment. All other columns use the *useful*
+        // (pruned) flop count so ratios compare directly.
+        let vs_plan = build_tri_plan(p, TriEngine::SympilerVsBlock).expect("plan");
+        let vs_applied = build_tri_plan(p, TriEngine::SympilerFull)
+            .map(|pl| pl.variant().vs_block)
+            .unwrap_or(false);
+        t.row(vec![
+            p.id.to_string(),
+            p.name.to_string(),
+            format!("{:.3}", gflops(flops, t_eigen)),
+            format!("{:.3}", gflops(vs_plan.executed_flops(), t_vs)),
+            format!("{:.3}", gflops(flops, t_vp)),
+            format!("{:.3}", gflops(flops, t_full)),
+            format!("{:.2}x", speedup),
+            if vs_applied { "yes" } else { "no (threshold)" }.to_string(),
+        ]);
+    }
+    t.emit(Some("fig6.csv"));
+    println!(
+        "geomean Sympiler-vs-Eigen speedup: {:.2}x  (paper: 1.49x average)",
+        geomean(&speedups)
+    );
+}

@@ -1,0 +1,77 @@
+//! Regenerates **Figure 9**: Cholesky — symbolic + numeric time for
+//! Sympiler, Eigen, and CHOLMOD, normalized to Eigen's accumulated
+//! symbolic + numeric time (lower is better).
+//!
+//! The paper: "In nearly all cases Sympiler's accumulated time is
+//! better than the other two libraries."
+//!
+//! Usage: `cargo run -p sympiler-bench --release --bin fig9 [--test]`
+
+use sympiler_bench::engines::{time_chol_engine, CholEngine, RUNS};
+use sympiler_bench::harness::{geomean, median_time, Table};
+use sympiler_bench::workloads::prepare_suite;
+use sympiler_core::{SympilerCholesky, SympilerOptions};
+use sympiler_solvers::cholesky::simplicial::SimplicialCholesky;
+use sympiler_solvers::cholesky::supernodal::SupernodalCholesky;
+use sympiler_sparse::suite::SuiteScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test") {
+        SuiteScale::Test
+    } else {
+        SuiteScale::Bench
+    };
+    eprintln!("preparing suite...");
+    let problems = prepare_suite(scale);
+    let mut t = Table::new(
+        "Figure 9: Cholesky (symbolic+numeric) / Eigen total (lower is better)",
+        &[
+            "ID",
+            "matrix",
+            "Eigen sym",
+            "Eigen num",
+            "CHOLMOD total/Eigen",
+            "Sympiler total/Eigen",
+        ],
+    );
+    let (mut r_cholmod, mut r_symp) = (Vec::new(), Vec::new());
+    for p in &problems {
+        // Symbolic (analysis) times.
+        let sym_eigen = median_time(RUNS, || {
+            let c = SimplicialCholesky::analyze(&p.a).expect("spd");
+            std::hint::black_box(&c);
+        });
+        let sym_cholmod = median_time(RUNS, || {
+            let c = SupernodalCholesky::analyze(&p.a, 64).expect("spd");
+            std::hint::black_box(&c);
+        });
+        let sym_symp = median_time(RUNS, || {
+            let c = SympilerCholesky::compile(&p.a, &SympilerOptions::default()).expect("spd");
+            std::hint::black_box(&c);
+        });
+        // Numeric times.
+        let num_eigen = time_chol_engine(p, CholEngine::Eigen);
+        let num_cholmod = time_chol_engine(p, CholEngine::Cholmod);
+        let num_symp = time_chol_engine(p, CholEngine::SympilerFull);
+
+        let eigen_total = (sym_eigen + num_eigen).as_secs_f64();
+        let rc = (sym_cholmod + num_cholmod).as_secs_f64() / eigen_total;
+        let rs = (sym_symp + num_symp).as_secs_f64() / eigen_total;
+        r_cholmod.push(rc);
+        r_symp.push(rs);
+        t.row(vec![
+            p.id.to_string(),
+            p.name.to_string(),
+            format!("{:.2} ms", sym_eigen.as_secs_f64() * 1e3),
+            format!("{:.2} ms", num_eigen.as_secs_f64() * 1e3),
+            format!("{:.2}", rc),
+            format!("{:.2}", rs),
+        ]);
+    }
+    t.emit(Some("fig9.csv"));
+    println!(
+        "geomean totals vs Eigen: CHOLMOD {:.2}, Sympiler {:.2}  (paper: Sympiler < 1 nearly everywhere)",
+        geomean(&r_cholmod),
+        geomean(&r_symp)
+    );
+}

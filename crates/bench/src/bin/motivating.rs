@@ -1,0 +1,50 @@
+//! Regenerates the **§1.1 motivating numbers**: Sympiler-generated
+//! triangular solve vs the naive forward solve (Figure 1b) and the
+//! library-equivalent code (Figure 1c).
+//!
+//! Paper: "speedups between 8.4x to 19x with an average of 13.6x
+//! compared to the forward solve code and from 1.2x to 1.7x with an
+//! average of 1.3x compared to the library-equivalent code."
+//!
+//! Usage: `cargo run -p sympiler-bench --release --bin motivating [--test]`
+
+use sympiler_bench::engines::{time_tri_engine, TriEngine};
+use sympiler_bench::harness::{geomean, Table};
+use sympiler_bench::workloads::prepare_suite;
+use sympiler_sparse::suite::SuiteScale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test") {
+        SuiteScale::Test
+    } else {
+        SuiteScale::Bench
+    };
+    eprintln!("preparing suite...");
+    let problems = prepare_suite(scale);
+    let mut t = Table::new(
+        "Section 1.1: Sympiler trisolve speedups",
+        &["ID", "matrix", "vs naive (Fig 1b)", "vs library (Fig 1c)"],
+    );
+    let (mut vs_naive, mut vs_lib) = (Vec::new(), Vec::new());
+    for p in &problems {
+        let t_naive = time_tri_engine(p, TriEngine::Naive);
+        let t_lib = time_tri_engine(p, TriEngine::Eigen);
+        let t_symp = time_tri_engine(p, TriEngine::SympilerFull);
+        let sn = t_naive.as_secs_f64() / t_symp.as_secs_f64();
+        let sl = t_lib.as_secs_f64() / t_symp.as_secs_f64();
+        vs_naive.push(sn);
+        vs_lib.push(sl);
+        t.row(vec![
+            p.id.to_string(),
+            p.name.to_string(),
+            format!("{sn:.1}x"),
+            format!("{sl:.2}x"),
+        ]);
+    }
+    t.emit(Some("motivating.csv"));
+    println!(
+        "geomean: vs naive {:.1}x (paper avg 13.6x), vs library {:.2}x (paper avg 1.3x)",
+        geomean(&vs_naive),
+        geomean(&vs_lib)
+    );
+}

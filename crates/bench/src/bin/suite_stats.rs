@@ -1,0 +1,59 @@
+//! Structural diagnostics for the benchmark suite: fill-in, supernode
+//! widths, average column counts — the quantities the paper's
+//! thresholds and regime arguments are built on.
+//!
+//! Usage: `cargo run -p sympiler-bench --release --bin suite_stats [--test]`
+
+use sympiler_bench::harness::Table;
+use sympiler_graph::rcm::rcm_permute;
+use sympiler_sparse::suite::{suite, SuiteScale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--test") {
+        SuiteScale::Test
+    } else {
+        SuiteScale::Bench
+    };
+    let mut t = Table::new(
+        "Suite structure diagnostics",
+        &[
+            "ID",
+            "matrix",
+            "n",
+            "nnz(A)",
+            "nnz(L)",
+            "fill",
+            "supernodes",
+            "avg width",
+            "max width",
+            "avg colcount",
+            "factor MFLOP",
+        ],
+    );
+    for p in suite(scale) {
+        let a = if p.preordered {
+            p.matrix.clone()
+        } else {
+            rcm_permute(&p.matrix).0
+        };
+        let sym = sympiler_graph::symbolic_cholesky(&a);
+        let part = sympiler_graph::supernodes_cholesky(&sym, 64);
+        let max_w = (0..part.n_supernodes()).map(|s| part.width(s)).max().unwrap_or(0);
+        let counts = sympiler_graph::colcount::col_counts_from_symbolic(&sym);
+        let avg_cc = sympiler_graph::colcount::average_col_count(&counts);
+        t.row(vec![
+            p.id.to_string(),
+            p.name.to_string(),
+            p.n().to_string(),
+            a.nnz().to_string(),
+            sym.l_nnz().to_string(),
+            format!("{:.1}x", sym.l_nnz() as f64 / a.nnz() as f64),
+            part.n_supernodes().to_string(),
+            format!("{:.2}", part.avg_width()),
+            max_w.to_string(),
+            format!("{avg_cc:.1}"),
+            format!("{:.1}", sym.factor_flops() as f64 / 1e6),
+        ]);
+    }
+    t.emit(Some("suite_stats.csv"));
+}

@@ -1,0 +1,262 @@
+//! Engine wrappers: uniform closures over every measured solver so the
+//! figure binaries and criterion benches share one definition of what
+//! "Eigen", "CHOLMOD", and each Sympiler variant mean.
+
+use crate::harness::median_time;
+use crate::workloads::BenchProblem;
+use std::time::Duration;
+use sympiler_core::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
+use sympiler_core::{SympilerCholesky, SympilerOptions};
+use sympiler_solvers::cholesky::simplicial::SimplicialCholesky;
+use sympiler_solvers::cholesky::supernodal::SupernodalCholesky;
+use sympiler_solvers::trisolve;
+
+/// Number of repetitions per measurement (paper: 5, median).
+pub const RUNS: usize = 5;
+
+/// Measured triangular-solve engines (Figure 6 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriEngine {
+    /// Figure 1b: naive forward substitution.
+    Naive,
+    /// Figure 1c: Eigen's guarded loop.
+    Eigen,
+    /// Sympiler with VS-Block only.
+    SympilerVsBlock,
+    /// Sympiler with VS-Block + VI-Prune.
+    SympilerVsBlockViPrune,
+    /// Sympiler with everything (the "+Low-Level" bar).
+    SympilerFull,
+}
+
+impl TriEngine {
+    pub fn label(self) -> &'static str {
+        match self {
+            TriEngine::Naive => "naive (Fig 1b)",
+            TriEngine::Eigen => "Eigen (Fig 1c)",
+            TriEngine::SympilerVsBlock => "Sympiler: VS-Block",
+            TriEngine::SympilerVsBlockViPrune => "Sympiler: VS-Block+VI-Prune",
+            TriEngine::SympilerFull => "Sympiler: +Low-Level",
+        }
+    }
+}
+
+/// Build the plan corresponding to a Sympiler engine tier. The
+/// supernode-size threshold is applied like §4.2: when the average
+/// participating supernode size is too small, VS-Block tiers fall back
+/// to VI-Prune-only execution.
+pub fn build_tri_plan(p: &BenchProblem, engine: TriEngine) -> Option<TriSolvePlan> {
+    let opts = SympilerOptions::default();
+    let col_counts: Vec<usize> = (0..p.l.n_cols()).map(|j| p.l.col_nnz(j)).collect();
+    let part = sympiler_graph::supernode::supernodes_trisolve(&p.l, opts.max_supernode_width);
+    let vs_ok = part.avg_participating_size(&col_counts) >= opts.vs_block_min_avg_size;
+    let variant = match engine {
+        TriEngine::Naive | TriEngine::Eigen => return None,
+        TriEngine::SympilerVsBlock => TriVariant {
+            vs_block: vs_ok,
+            vi_prune: false,
+            low_level: false,
+        },
+        TriEngine::SympilerVsBlockViPrune => TriVariant {
+            vs_block: vs_ok,
+            vi_prune: true,
+            low_level: false,
+        },
+        TriEngine::SympilerFull => TriVariant {
+            vs_block: vs_ok,
+            vi_prune: true,
+            low_level: true,
+        },
+    };
+    Some(TriSolvePlan::build(
+        &p.l,
+        p.b.indices(),
+        variant,
+        opts.max_supernode_width,
+        opts.peel_col_count,
+    ))
+}
+
+/// Median numeric time of one triangular-solve engine on one problem.
+pub fn time_tri_engine(p: &BenchProblem, engine: TriEngine) -> Duration {
+    let n = p.n();
+    match engine {
+        TriEngine::Naive => {
+            let bd = p.b.to_dense();
+            let mut x = vec![0.0; n];
+            median_time(RUNS, || {
+                x.copy_from_slice(&bd);
+                trisolve::naive_forward(&p.l, &mut x);
+                std::hint::black_box(&x);
+            })
+        }
+        TriEngine::Eigen => {
+            let bd = p.b.to_dense();
+            let mut x = vec![0.0; n];
+            median_time(RUNS, || {
+                x.copy_from_slice(&bd);
+                trisolve::library_forward(&p.l, &mut x);
+                std::hint::black_box(&x);
+            })
+        }
+        _ => {
+            let plan = build_tri_plan(p, engine).expect("sympiler engine");
+            let mut x = vec![0.0; n];
+            let mut scratch = TriScratch::default();
+            median_time(RUNS, || {
+                plan.solve(&p.b, &mut x, &mut scratch);
+                std::hint::black_box(&x);
+                plan.reset(&mut x);
+            })
+        }
+    }
+}
+
+/// Measured Cholesky engines (Figure 7 bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholEngine {
+    /// Eigen: left-looking simplicial, coupled symbolic work in numeric.
+    Eigen,
+    /// CHOLMOD: left-looking supernodal over generic BLAS.
+    Cholmod,
+    /// Sympiler plan with VS-Block, generic kernels.
+    SympilerVsBlock,
+    /// Sympiler plan with VS-Block + specialized kernels (low-level).
+    SympilerFull,
+}
+
+impl CholEngine {
+    pub fn label(self) -> &'static str {
+        match self {
+            CholEngine::Eigen => "Eigen (numeric)",
+            CholEngine::Cholmod => "CHOLMOD (numeric)",
+            CholEngine::SympilerVsBlock => "Sympiler: VS-Block",
+            CholEngine::SympilerFull => "Sympiler: +Low-Level",
+        }
+    }
+}
+
+/// Median numeric factorization time of one Cholesky engine.
+/// Symbolic/analysis phases run **outside** the timed region for every
+/// engine, matching the paper's "numeric" measurements.
+pub fn time_chol_engine(p: &BenchProblem, engine: CholEngine) -> Duration {
+    match engine {
+        CholEngine::Eigen => {
+            let chol = SimplicialCholesky::analyze(&p.a).expect("spd");
+            median_time(RUNS, || {
+                let l = chol.factor(&p.a).expect("factor");
+                std::hint::black_box(&l);
+            })
+        }
+        CholEngine::Cholmod => {
+            let chol = SupernodalCholesky::analyze(&p.a, 64).expect("spd");
+            median_time(RUNS, || {
+                let f = chol.factor(&p.a).expect("factor");
+                std::hint::black_box(&f);
+            })
+        }
+        CholEngine::SympilerVsBlock => {
+            let opts = SympilerOptions {
+                low_level: false,
+                ..Default::default()
+            };
+            let chol = SympilerCholesky::compile(&p.a, &opts).expect("spd");
+            median_time(RUNS, || {
+                let f = chol.factor(&p.a).expect("factor");
+                std::hint::black_box(&f);
+            })
+        }
+        CholEngine::SympilerFull => {
+            let chol = SympilerCholesky::compile(&p.a, &SympilerOptions::default()).expect("spd");
+            median_time(RUNS, || {
+                let f = chol.factor(&p.a).expect("factor");
+                std::hint::black_box(&f);
+            })
+        }
+    }
+}
+
+/// Useful flop count of the pruned triangular solve on this problem
+/// (identical accounting across engines).
+pub fn tri_flops(p: &BenchProblem) -> u64 {
+    let reach = sympiler_graph::reach(&p.l, p.b.indices());
+    trisolve::trisolve_flops(&p.l, &reach)
+}
+
+/// Exact factorization flop count (identical across engines).
+pub fn chol_flops(p: &BenchProblem) -> u64 {
+    sympiler_graph::symbolic_cholesky(&p.a).factor_flops()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::prepare_subset;
+    use sympiler_sparse::suite::SuiteScale;
+
+    #[test]
+    fn engines_produce_identical_solutions() {
+        let problems = prepare_subset(SuiteScale::Test, &[1, 5]);
+        for p in &problems {
+            let n = p.n();
+            let mut x_ref = p.b.to_dense();
+            trisolve::naive_forward(&p.l, &mut x_ref);
+            for engine in [
+                TriEngine::SympilerVsBlock,
+                TriEngine::SympilerVsBlockViPrune,
+                TriEngine::SympilerFull,
+            ] {
+                let plan = build_tri_plan(p, engine).unwrap();
+                let mut x = vec![0.0; n];
+                let mut s = TriScratch::default();
+                plan.solve(&p.b, &mut x, &mut s);
+                for i in 0..n {
+                    assert!(
+                        (x[i] - x_ref[i]).abs() < 1e-9,
+                        "{} {}: x[{i}]",
+                        p.name,
+                        engine.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chol_engines_agree() {
+        let problems = prepare_subset(SuiteScale::Test, &[3]);
+        let p = &problems[0];
+        let l_eigen = SimplicialCholesky::analyze(&p.a)
+            .unwrap()
+            .factor(&p.a)
+            .unwrap();
+        let l_cholmod = SupernodalCholesky::analyze(&p.a, 64)
+            .unwrap()
+            .factor(&p.a)
+            .unwrap()
+            .to_csc();
+        let l_symp = SympilerCholesky::compile(&p.a, &SympilerOptions::default())
+            .unwrap()
+            .factor(&p.a)
+            .unwrap()
+            .to_csc();
+        for (x, y) in l_eigen.values().iter().zip(l_cholmod.values()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        for (x, y) in l_eigen.values().iter().zip(l_symp.values()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let problems = prepare_subset(SuiteScale::Test, &[2]);
+        let p = &problems[0];
+        for e in [TriEngine::Naive, TriEngine::Eigen, TriEngine::SympilerFull] {
+            let t = time_tri_engine(p, e);
+            assert!(t.as_nanos() > 0, "{}", e.label());
+        }
+        assert!(tri_flops(p) > 0);
+        assert!(chol_flops(p) > 0);
+    }
+}

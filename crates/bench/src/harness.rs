@@ -1,0 +1,173 @@
+//! Timing and reporting utilities.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` `runs` times and return the median duration (paper §4.1:
+/// "Each experiment is executed 5 times and the median is reported").
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs >= 1);
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// GFLOP/s from a flop count and a duration.
+pub fn gflops(flops: u64, d: Duration) -> f64 {
+    if d.as_secs_f64() == 0.0 {
+        return 0.0;
+    }
+    flops as f64 / d.as_secs_f64() / 1e9
+}
+
+/// One named measurement on one problem.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub problem: String,
+    pub engine: String,
+    pub time: Duration,
+    pub gflops: f64,
+}
+
+/// A simple aligned text + CSV table builder shared by the figure
+/// binaries.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: &str, columns: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(header.join("  ").len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout and optionally save CSV under `results/`.
+    pub fn emit(&self, csv_name: Option<&str>) {
+        println!("{}", self.to_text());
+        if let Some(name) = csv_name {
+            let dir = std::path::Path::new("results");
+            if std::fs::create_dir_all(dir).is_ok() {
+                let path = dir.join(name);
+                if std::fs::write(&path, self.to_csv()).is_ok() {
+                    println!("[csv saved to {}]", path.display());
+                }
+            }
+        }
+    }
+}
+
+/// Geometric mean of a slice of ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_runs() {
+        let mut k = 0u64;
+        let d = median_time(5, || {
+            k += 1;
+            std::hint::black_box(k);
+        });
+        assert!(d >= Duration::ZERO);
+        assert_eq!(k, 5);
+    }
+
+    #[test]
+    fn gflops_accounting() {
+        let d = Duration::from_secs(2);
+        assert!((gflops(4_000_000_000, d) - 2.0).abs() < 1e-12);
+        assert_eq!(gflops(10, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        let text = t.to_text();
+        assert!(text.contains("demo"));
+        assert!(text.contains("2.5"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2.5\n");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_bad_row() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # sympiler-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§4). Each `src/bin/*` binary prints one artifact
+//! (Figure 6/7/8/9, Table 2, the §1.1 motivating numbers, the §4.3
+//! inspection overheads, and the threshold ablation); the criterion
+//! benches under `benches/` provide statistically robust spot checks of
+//! the same comparisons.
+//!
+//! Methodology follows §4.1: each measurement is repeated and the
+//! median reported (the paper uses 5 runs); GFLOP/s uses the *useful*
+//! flop counts derived from symbolic analysis, identically for every
+//! engine, so ratios are directly comparable.
+
+pub mod engines;
+pub mod harness;
+pub mod workloads;
+
+pub use harness::{gflops, median_time, Measurement, Table};
+pub use workloads::{prepare_suite, BenchProblem};

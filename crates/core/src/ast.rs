@@ -1,0 +1,294 @@
+//! The domain-specific AST Sympiler lowers kernels into (paper §2.1:
+//! "Code implementing the numerical solver is represented in a
+//! domain-specific abstract syntax tree (AST). Sympiler produces the
+//! final code by applying a series of phases to this AST").
+//!
+//! The IR is deliberately small: loops with symbolic bounds, array
+//! accesses with affine-plus-indirection indices, compound assignments,
+//! and **annotations** marking where inspector-guided transformations
+//! may apply (Figure 2a) and which low-level transformations later
+//! phases should perform (Figure 2b).
+
+/// Binary operators appearing in kernel expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl BinOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Scalar/loop variable reference.
+    Var(String),
+    /// `array[index]`.
+    Index(String, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    pub fn idx(array: &str, index: Expr) -> Expr {
+        Expr::Index(array.to_string(), Box::new(index))
+    }
+
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// Substitute every occurrence of variable `name` with `with`.
+    pub fn substitute(&self, name: &str, with: &Expr) -> Expr {
+        match self {
+            Expr::Int(v) => Expr::Int(*v),
+            Expr::Var(v) => {
+                if v == name {
+                    with.clone()
+                } else {
+                    Expr::Var(v.clone())
+                }
+            }
+            Expr::Index(a, i) => Expr::Index(a.clone(), Box::new(i.substitute(name, with))),
+            Expr::Bin(op, l, r) => Expr::Bin(
+                *op,
+                Box::new(l.substitute(name, with)),
+                Box::new(r.substitute(name, with)),
+            ),
+        }
+    }
+}
+
+/// Compound-assignment operators (`=`, `-=`, `/=`, `+=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    Set,
+    SubAssign,
+    DivAssign,
+    AddAssign,
+}
+
+impl AssignOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            AssignOp::Set => "=",
+            AssignOp::SubAssign => "-=",
+            AssignOp::DivAssign => "/=",
+            AssignOp::AddAssign => "+=",
+        }
+    }
+}
+
+/// Annotations attached to loops: transformation candidates (placed
+/// during lowering, consumed by the transformation phases) and
+/// low-level directives (placed by inspector-guided transformations,
+/// consumed by code generation). Paper Figure 2.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Annotation {
+    /// This loop's iteration space may be pruned with the named
+    /// inspection set (Figure 2a `VI-Prune` marker).
+    VIPruneCandidate { set: String },
+    /// This loop nest may be blocked with the named block-set
+    /// (Figure 2a `VS-Block` marker).
+    VSBlockCandidate { set: String },
+    /// Peel the listed iteration positions out of this loop
+    /// (Figure 2b `peel(0,3)`).
+    Peel(Vec<usize>),
+    /// Unroll by the given factor.
+    Unroll(usize),
+    /// Mark vectorizable (Figure 2b `vec(0)`).
+    Vectorize,
+    /// Distribute this loop over its body statements.
+    Distribute,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for var in lo..hi { body }` with annotations.
+    Loop {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        body: Vec<Stmt>,
+        annotations: Vec<Annotation>,
+    },
+    /// `lhs op rhs;` where `lhs` is an array element.
+    Assign {
+        array: String,
+        index: Expr,
+        op: AssignOp,
+        rhs: Expr,
+    },
+    /// `let name = rhs;` (scalar temporary, e.g. `j0 = pruneSet[p0]`).
+    Let { name: String, rhs: Expr },
+    /// Free-form comment carried into the generated code.
+    Comment(String),
+}
+
+impl Stmt {
+    /// Substitute a variable in every expression of this statement.
+    pub fn substitute(&self, name: &str, with: &Expr) -> Stmt {
+        match self {
+            Stmt::Loop {
+                var,
+                lo,
+                hi,
+                body,
+                annotations,
+            } => {
+                if var == name {
+                    // Shadowed; leave the loop untouched.
+                    return self.clone();
+                }
+                Stmt::Loop {
+                    var: var.clone(),
+                    lo: lo.substitute(name, with),
+                    hi: hi.substitute(name, with),
+                    body: body.iter().map(|s| s.substitute(name, with)).collect(),
+                    annotations: annotations.clone(),
+                }
+            }
+            Stmt::Assign {
+                array,
+                index,
+                op,
+                rhs,
+            } => Stmt::Assign {
+                array: array.clone(),
+                index: index.substitute(name, with),
+                op: *op,
+                rhs: rhs.substitute(name, with),
+            },
+            Stmt::Let { name: n, rhs } => Stmt::Let {
+                name: n.clone(),
+                rhs: rhs.substitute(name, with),
+            },
+            Stmt::Comment(c) => Stmt::Comment(c.clone()),
+        }
+    }
+}
+
+/// A whole kernel: a named function over named array parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    pub name: String,
+    /// Parameter names in signature order (all `double*` / `int*` in C).
+    pub params: Vec<(String, ParamType)>,
+    pub body: Vec<Stmt>,
+}
+
+/// Parameter types for C emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamType {
+    DoubleArray,
+    IntArray,
+    Int,
+}
+
+/// Walk all loops of a statement tree, calling `f` on each.
+pub fn visit_loops<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        if let Stmt::Loop { body, .. } = s {
+            f(s);
+            visit_loops(body, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitute_in_expr() {
+        // x[j] * L[j + 1] with j -> pruneSet[p]
+        let e = Expr::mul(
+            Expr::idx("x", Expr::var("j")),
+            Expr::idx("L", Expr::add(Expr::var("j"), Expr::Int(1))),
+        );
+        let rep = Expr::idx("pruneSet", Expr::var("p"));
+        let got = e.substitute("j", &rep);
+        match got {
+            Expr::Bin(BinOp::Mul, l, r) => {
+                assert_eq!(*l, Expr::idx("x", Expr::idx("pruneSet", Expr::var("p"))));
+                match *r {
+                    Expr::Index(a, i) => {
+                        assert_eq!(a, "L");
+                        assert_eq!(
+                            *i,
+                            Expr::add(Expr::idx("pruneSet", Expr::var("p")), Expr::Int(1))
+                        );
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substitute_respects_shadowing() {
+        let inner = Stmt::Loop {
+            var: "j".into(),
+            lo: Expr::Int(0),
+            hi: Expr::var("n"),
+            body: vec![Stmt::Assign {
+                array: "x".into(),
+                index: Expr::var("j"),
+                op: AssignOp::Set,
+                rhs: Expr::Int(0),
+            }],
+            annotations: vec![],
+        };
+        let replaced = inner.substitute("j", &Expr::Int(7));
+        assert_eq!(replaced, inner, "shadowed variable must not be replaced");
+    }
+
+    #[test]
+    fn visit_loops_finds_nested() {
+        let ast = vec![Stmt::Loop {
+            var: "i".into(),
+            lo: Expr::Int(0),
+            hi: Expr::Int(10),
+            body: vec![Stmt::Loop {
+                var: "j".into(),
+                lo: Expr::Int(0),
+                hi: Expr::var("i"),
+                body: vec![],
+                annotations: vec![Annotation::Vectorize],
+            }],
+            annotations: vec![],
+        }];
+        let mut count = 0;
+        visit_loops(&ast, &mut |_| count += 1);
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn op_symbols() {
+        assert_eq!(BinOp::Div.symbol(), "/");
+        assert_eq!(AssignOp::SubAssign.symbol(), "-=");
+    }
+}

@@ -1,0 +1,336 @@
+//! The user-facing Sympiler driver: take a numerical method + a
+//! sparsity pattern, run the symbolic inspectors, apply the
+//! transformations, and hand back a specialized executable (plan) plus
+//! the generated C artifact.
+
+use crate::emit::emit_trisolve_c;
+use crate::plan::chol::{CholFactor, CholPlan, CholPlanError};
+use crate::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
+use crate::report::{timed, SymbolicReport};
+use sympiler_graph::supernode::supernodes_trisolve;
+use sympiler_sparse::{CscMatrix, SparseVec};
+
+/// Tunable thresholds and switches (paper §4.2).
+#[derive(Debug, Clone)]
+pub struct SympilerOptions {
+    /// Enable VS-Block (subject to the supernode-size threshold).
+    pub vs_block: bool,
+    /// Enable VI-Prune.
+    pub vi_prune: bool,
+    /// Enable the low-level transformations (peeling, unrolled
+    /// specialized kernels).
+    pub low_level: bool,
+    /// Cap on supernode width (0 = unlimited).
+    pub max_supernode_width: usize,
+    /// VS-Block is skipped when the average participating supernode
+    /// size (width × panel rows) is below this. "This parameter is
+    /// currently hand-tuned and is set to 160" — the paper's value is
+    /// kept as the default.
+    pub vs_block_min_avg_size: f64,
+    /// Peel reach-set iterations whose column has more than this many
+    /// off-diagonal nonzeros (Figure 1e uses 2).
+    pub peel_col_count: usize,
+}
+
+impl Default for SympilerOptions {
+    fn default() -> Self {
+        Self {
+            vs_block: true,
+            vi_prune: true,
+            low_level: true,
+            max_supernode_width: 64,
+            vs_block_min_avg_size: 160.0,
+            peel_col_count: 2,
+        }
+    }
+}
+
+/// A compiled sparse triangular solve, specialized to one `L` pattern
+/// (and values) and one RHS pattern.
+#[derive(Debug, Clone)]
+pub struct SympilerTriSolve {
+    plan: TriSolvePlan,
+    reach: Vec<usize>,
+    l_col_ptr: Vec<usize>,
+    n: usize,
+    peel_col_count: usize,
+    report: SymbolicReport,
+    scratch: TriScratch,
+}
+
+impl SympilerTriSolve {
+    /// Compile for lower-triangular `l` and RHS pattern `beta`.
+    ///
+    /// Applies the paper's transformation ordering: VS-Block first
+    /// (when the supernode-size threshold admits it), then VI-Prune,
+    /// then the enabled low-level transformations.
+    pub fn compile(l: &CscMatrix, beta: &[usize], opts: &SympilerOptions) -> Self {
+        let mut report = SymbolicReport::default();
+        // Inspection: reach-set (VI-Prune set).
+        let reach = timed(&mut report, "inspect: reach-set (DFS)", || {
+            let mut r = sympiler_graph::reach(l, beta);
+            r.sort_unstable();
+            r
+        });
+        report.set_size("reach-set", reach.len());
+        // Inspection: block-set + threshold decision.
+        let vs_block = if opts.vs_block {
+            let start = std::time::Instant::now();
+            let part = supernodes_trisolve(l, opts.max_supernode_width);
+            let col_counts: Vec<usize> = (0..l.n_cols()).map(|j| l.col_nnz(j)).collect();
+            let avg = part.avg_participating_size(&col_counts);
+            report.stage("inspect: supernodes (node equiv)", start.elapsed());
+            report.set_size("supernodes", part.n_supernodes());
+            avg >= opts.vs_block_min_avg_size
+        } else {
+            false
+        };
+        let variant = TriVariant {
+            vs_block,
+            vi_prune: opts.vi_prune,
+            low_level: opts.low_level,
+        };
+        let plan = timed(&mut report, "transform + pack (plan build)", || {
+            TriSolvePlan::build(l, beta, variant, opts.max_supernode_width, opts.peel_col_count)
+        });
+        Self {
+            plan,
+            reach,
+            l_col_ptr: l.col_ptr().to_vec(),
+            n: l.n_cols(),
+            peel_col_count: opts.peel_col_count,
+            report,
+            scratch: TriScratch::default(),
+        }
+    }
+
+    /// Solve `L x = b` into a zeroed buffer `x` (numeric-only path).
+    pub fn solve_into(&mut self, b: &SparseVec, x: &mut [f64]) {
+        // Split borrows: plan and scratch are disjoint fields.
+        let Self { plan, scratch, .. } = self;
+        plan.solve(b, x, scratch);
+    }
+
+    /// Solve and return a fresh vector.
+    pub fn solve(&mut self, b: &SparseVec) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
+        x
+    }
+
+    /// Zero the entries the previous solve touched (O(|reach|)).
+    pub fn reset(&self, x: &mut [f64]) {
+        self.plan.reset(x);
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &TriSolvePlan {
+        &self.plan
+    }
+
+    /// The reach set (ascending).
+    pub fn reach(&self) -> &[usize] {
+        &self.reach
+    }
+
+    /// Useful flops of the pruned solve.
+    pub fn flops(&self) -> u64 {
+        self.plan.flops()
+    }
+
+    /// Symbolic (compile-time) report.
+    pub fn report(&self) -> &SymbolicReport {
+        &self.report
+    }
+
+    /// Emit the specialized C source (Figure 1e artifact).
+    pub fn emit_c(&self) -> String {
+        // The emitter needs column pointers for concrete constants;
+        // rebuild a pattern-only matrix view from stored pointers is
+        // unnecessary — emit from the recorded reach + col_ptr.
+        let n = self.n;
+        let col_ptr = &self.l_col_ptr;
+        // Build a minimal pattern-only CSC for emission.
+        let nnz = *col_ptr.last().unwrap();
+        let mut row_idx = vec![0usize; nnz];
+        // Row indices are not needed for the emitted structure except
+        // to be syntactically valid; reconstruct a canonical shape:
+        // diagonal-first rows are unknown here, so emit via the stored
+        // pointers only. Use a fabricated strictly-increasing filler.
+        for j in 0..n {
+            for (k, slot) in row_idx[col_ptr[j]..col_ptr[j + 1]].iter_mut().enumerate() {
+                *slot = (j + k).min(n - 1);
+            }
+        }
+        let l = CscMatrix::from_parts_unchecked(
+            n,
+            n,
+            col_ptr.clone(),
+            row_idx,
+            vec![1.0; nnz],
+        );
+        emit_trisolve_c(&l, &self.reach, self.peel_col_count)
+    }
+}
+
+/// A compiled sparse Cholesky, specialized to one SPD pattern.
+#[derive(Debug, Clone)]
+pub struct SympilerCholesky {
+    plan: CholPlan,
+}
+
+impl SympilerCholesky {
+    /// Compile for the SPD matrix `a` in lower-triangular storage.
+    pub fn compile(a_lower: &CscMatrix, opts: &SympilerOptions) -> Result<Self, CholPlanError> {
+        let max_width = if opts.vs_block {
+            opts.max_supernode_width
+        } else {
+            1 // width-1 supernodes == non-supernodal execution
+        };
+        let plan = CholPlan::build(a_lower, max_width, opts.low_level)?;
+        Ok(Self { plan })
+    }
+
+    /// Numeric factorization (no symbolic work).
+    pub fn factor(&self, a_lower: &CscMatrix) -> Result<CholFactor, CholPlanError> {
+        self.plan.factor(a_lower)
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &CholPlan {
+        &self.plan
+    }
+
+    /// Exact factorization flops.
+    pub fn flops(&self) -> u64 {
+        self.plan.flops()
+    }
+
+    /// Symbolic (compile-time) report.
+    pub fn report(&self) -> &SymbolicReport {
+        self.plan.report()
+    }
+
+    /// Emit the transformed Cholesky kernel as C (Figure 2 pipeline:
+    /// lower, VS-Block, VI-Prune, low-level annotations, codegen) with
+    /// this matrix's block-set embedded.
+    pub fn emit_c(&self) -> String {
+        let mut kernel = crate::lower::lower_cholesky();
+        crate::transform::apply_vi_prune(&mut kernel, "pruneSet", "pruneSetSize");
+        crate::transform::apply_vs_block(&mut kernel, "dense_potrf", "dense_trsm");
+        crate::transform::low_level::annotate_unroll(&mut kernel.body, 4);
+        let mut out = String::new();
+        let part = self.plan.partition();
+        let firsts: Vec<String> = part.first_col.iter().map(|c| c.to_string()).collect();
+        out.push_str(&format!(
+            "/* Sympiler-generated supernodal Cholesky: {} supernodes */\n",
+            part.n_supernodes()
+        ));
+        out.push_str(&format!(
+            "static const int blockSet[{}] = {{{}}};\n",
+            firsts.len(),
+            firsts.join(", ")
+        ));
+        out.push_str(&format!(
+            "static const int blockSetSize = {};\n\n",
+            part.n_supernodes()
+        ));
+        out.push_str(&crate::emit::emit_kernel_c(&kernel));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::{gen, rhs};
+
+    #[test]
+    fn trisolve_compile_and_solve() {
+        let l = gen::random_lower_triangular(60, 3, 1);
+        let b = rhs::random_sparse_rhs(60, 0.05, 2);
+        let mut ts = SympilerTriSolve::compile(&l, b.indices(), &SympilerOptions::default());
+        let x = ts.solve(&b);
+        let mut expect = b.to_dense();
+        sympiler_solvers::trisolve::naive_forward(&l, &mut expect);
+        for (p, q) in x.iter().zip(&expect) {
+            assert!((p - q).abs() < 1e-11);
+        }
+        assert!(ts.report().total().as_nanos() > 0);
+        assert!(ts.flops() > 0);
+    }
+
+    #[test]
+    fn trisolve_threshold_disables_vs_block() {
+        // A very sparse random L has tiny supernodes; with the paper's
+        // 160 threshold VS-Block must be skipped.
+        let l = gen::random_lower_triangular(100, 2, 3);
+        let b = rhs::random_sparse_rhs(100, 0.04, 4);
+        let ts = SympilerTriSolve::compile(&l, b.indices(), &SympilerOptions::default());
+        assert!(!ts.plan().variant().vs_block, "threshold must reject VS-Block");
+        // Forcing the threshold to zero enables it.
+        let opts = SympilerOptions {
+            vs_block_min_avg_size: 0.0,
+            ..Default::default()
+        };
+        let ts2 = SympilerTriSolve::compile(&l, b.indices(), &opts);
+        assert!(ts2.plan().variant().vs_block);
+    }
+
+    #[test]
+    fn trisolve_emits_specialized_c() {
+        let l = gen::random_lower_triangular(30, 4, 5);
+        let b = rhs::random_sparse_rhs(30, 0.1, 6);
+        let ts = SympilerTriSolve::compile(&l, b.indices(), &SympilerOptions::default());
+        let c = ts.emit_c();
+        assert!(c.contains("reachSet"));
+        assert!(c.contains("trisolve_specialized"));
+    }
+
+    #[test]
+    fn cholesky_compile_factor_solve() {
+        let a = gen::grid2d_laplacian(7, 7, false, 1);
+        let chol = SympilerCholesky::compile(&a, &SympilerOptions::default()).unwrap();
+        let f = chol.factor(&a).unwrap();
+        let b = vec![1.0; 49];
+        let x = f.solve(&b);
+        let resid = sympiler_sparse::ops::rel_residual_sym_lower(&a, &x, &b);
+        assert!(resid < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_no_vs_block_still_correct() {
+        let a = gen::circuit_like(50, 4, 2, 2);
+        let opts = SympilerOptions {
+            vs_block: false,
+            ..Default::default()
+        };
+        let chol = SympilerCholesky::compile(&a, &opts).unwrap();
+        let f = chol.factor(&a).unwrap();
+        let l_ref = sympiler_solvers::SimplicialCholesky::analyze(&a)
+            .unwrap()
+            .factor(&a)
+            .unwrap();
+        for (p, q) in f.to_csc().values().iter().zip(l_ref.values()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_emits_c_with_blockset() {
+        let a = gen::banded_spd(25, 3, 7);
+        let chol = SympilerCholesky::compile(&a, &SympilerOptions::default()).unwrap();
+        let c = chol.emit_c();
+        assert!(c.contains("blockSet"));
+        assert!(c.contains("dense_potrf"));
+        assert!(c.contains("pruneSet"));
+    }
+
+    #[test]
+    fn default_options_match_paper() {
+        let o = SympilerOptions::default();
+        assert_eq!(o.vs_block_min_avg_size, 160.0);
+        assert_eq!(o.peel_col_count, 2);
+        assert!(o.vs_block && o.vi_prune && o.low_level);
+    }
+}

@@ -1,0 +1,6 @@
+//! Code generation: the final lowering from the transformed AST (or an
+//! executable plan) to C source text, the paper's output artifact.
+
+pub mod c;
+
+pub use c::{emit_kernel_c, emit_trisolve_c};

@@ -1,0 +1,132 @@
+//! Cholesky inspectors (Table 1, "Cholesky" columns).
+
+use super::{
+    EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector,
+};
+use sympiler_graph::supernode::{supernodes_cholesky, SupernodePartition};
+use sympiler_graph::symbolic::{symbolic_cholesky, SymbolicFactor};
+use sympiler_sparse::CscMatrix;
+
+/// Inspection set for Cholesky VI-Prune: the per-row prune-sets
+/// (`SP(L_j)`, the row sparsity patterns of `L`), which let the update
+/// loop of left-looking Cholesky iterate over dependent columns only
+/// (paper Figure 4, lines 3–6).
+#[derive(Debug, Clone)]
+pub struct CholPruneSets {
+    /// The full symbolic factorization: row patterns, column patterns,
+    /// etree — everything derived from `etree + SP(A)`.
+    pub symbolic: SymbolicFactor,
+}
+
+/// Inspection set for Cholesky VS-Block: the supernodal block-set.
+#[derive(Debug, Clone)]
+pub struct CholBlockSet {
+    pub partition: SupernodePartition,
+}
+
+/// VI-Prune inspector for Cholesky: single-node up-traversal of the
+/// etree per nonzero of `SP(A)` (the `ereach` algorithm).
+pub struct CholVIPruneInspector;
+
+impl CholVIPruneInspector {
+    /// Run the inspection on an SPD matrix in lower storage.
+    pub fn inspect(&self, a_lower: &CscMatrix) -> CholPruneSets {
+        CholPruneSets {
+            symbolic: symbolic_cholesky(a_lower),
+        }
+    }
+}
+
+impl SymbolicInspector for CholVIPruneInspector {
+    type Set = CholPruneSets;
+
+    fn graph(&self) -> InspectionGraph {
+        InspectionGraph::EtreeWithSpA
+    }
+
+    fn strategy(&self) -> InspectionStrategy {
+        InspectionStrategy::SingleNodeUpTraversal
+    }
+
+    fn enables(&self) -> &'static [EnabledTransformation] {
+        &[
+            EnabledTransformation::LoopDistribution,
+            EnabledTransformation::Unroll,
+            EnabledTransformation::Peel,
+            EnabledTransformation::Vectorize,
+        ]
+    }
+}
+
+/// VS-Block inspector for Cholesky: up-traversal over
+/// `etree + ColCount(A)` applying the column-merge rule of §3.2.
+pub struct CholVSBlockInspector;
+
+impl CholVSBlockInspector {
+    /// Run the inspection given an already-computed symbolic factor.
+    /// `max_width` caps supernode width (0 = unlimited).
+    pub fn inspect(&self, symbolic: &SymbolicFactor, max_width: usize) -> CholBlockSet {
+        CholBlockSet {
+            partition: supernodes_cholesky(symbolic, max_width),
+        }
+    }
+}
+
+impl SymbolicInspector for CholVSBlockInspector {
+    type Set = CholBlockSet;
+
+    fn graph(&self) -> InspectionGraph {
+        InspectionGraph::EtreeWithColCount
+    }
+
+    fn strategy(&self) -> InspectionStrategy {
+        InspectionStrategy::UpTraversal
+    }
+
+    fn enables(&self) -> &'static [EnabledTransformation] {
+        &[
+            EnabledTransformation::Tile,
+            EnabledTransformation::Unroll,
+            EnabledTransformation::Peel,
+            EnabledTransformation::Vectorize,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::gen;
+
+    #[test]
+    fn prune_sets_match_symbolic_row_patterns() {
+        let a = gen::random_spd(30, 4, 1);
+        let sets = CholVIPruneInspector.inspect(&a);
+        // Row pattern of row 0 is empty; each pattern is sorted.
+        assert!(sets.symbolic.row_pattern(0).is_empty());
+        for k in 0..30 {
+            let rp = sets.symbolic.row_pattern(k);
+            assert!(rp.windows(2).all(|w| w[0] < w[1]));
+            assert!(rp.iter().all(|&j| j < k));
+        }
+    }
+
+    #[test]
+    fn block_set_covers_matrix() {
+        let a = gen::grid2d_laplacian(6, 6, false, 2);
+        let sets = CholVIPruneInspector.inspect(&a);
+        let blocks = CholVSBlockInspector.inspect(&sets.symbolic, 0);
+        assert_eq!(blocks.partition.n_cols(), 36);
+    }
+
+    #[test]
+    fn inspectors_are_deterministic() {
+        let a = gen::circuit_like(50, 4, 2, 3);
+        let s1 = CholVIPruneInspector.inspect(&a);
+        let s2 = CholVIPruneInspector.inspect(&a);
+        assert_eq!(s1.symbolic.l_row_idx, s2.symbolic.l_row_idx);
+        let b1 = CholVSBlockInspector.inspect(&s1.symbolic, 8);
+        let b2 = CholVSBlockInspector.inspect(&s2.symbolic, 8);
+        assert_eq!(b1.partition, b2.partition);
+    }
+}

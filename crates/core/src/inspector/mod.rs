@@ -1,0 +1,116 @@
+//! Symbolic inspectors — the compile-time analyses of Table 1.
+//!
+//! Every inspector is a triple:
+//!
+//! | field | meaning (paper §2.2) |
+//! |---|---|
+//! | *inspection graph* | the graph built from the sparsity pattern (`DG_L`, or etree + `SP(A)`/`ColCount(A)`) |
+//! | *inspection strategy* | how it is traversed (DFS, node equivalence, up-traversal) |
+//! | *inspection set* | the result guiding a transformation (reach-set / prune-set / block-set) |
+//!
+//! The four concrete inspectors cover the paper's two kernels × two
+//! inspector-guided transformations. "Additional numerical algorithms
+//! and transformations can be added to Sympiler, as long as the
+//! required inspectors can be described in this manner as well" — the
+//! [`SymbolicInspector`] trait is that contract.
+
+pub mod cholesky;
+pub mod trisolve;
+
+pub use cholesky::{CholBlockSet, CholPruneSets, CholVIPruneInspector, CholVSBlockInspector};
+pub use trisolve::{TriBlockSet, TriReachSet, TriVIPruneInspector, TriVSBlockInspector};
+
+/// The inspection graph kinds of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectionGraph {
+    /// `DG_L` + sparsity pattern of the RHS (triangular solve VI-Prune).
+    DependenceGraphWithRhs,
+    /// `DG_L` alone (triangular solve VS-Block).
+    DependenceGraph,
+    /// Elimination tree + sparsity pattern of `A` (Cholesky VI-Prune).
+    EtreeWithSpA,
+    /// Elimination tree + column counts of `A` (Cholesky VS-Block).
+    EtreeWithColCount,
+}
+
+/// The inspection strategies of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InspectionStrategy {
+    /// Depth-first search (reach-sets).
+    Dfs,
+    /// Node equivalence on the dependence graph (supernodes of `L`).
+    NodeEquivalence,
+    /// Single-node up-traversal of the etree (row patterns).
+    SingleNodeUpTraversal,
+    /// Up-traversal of the etree with column counts (supernodes).
+    UpTraversal,
+}
+
+/// Low-level transformations an inspection set can enable (Table 1,
+/// last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnabledTransformation {
+    LoopDistribution,
+    Unroll,
+    Peel,
+    Vectorize,
+    Tile,
+}
+
+/// The contract every symbolic inspector satisfies (paper §2.2): given
+/// an input pattern it produces an inspection set, and it can describe
+/// its own classification for Table-1-style reporting.
+pub trait SymbolicInspector {
+    /// The inspection set type this inspector produces.
+    type Set;
+    /// Which graph the inspector builds.
+    fn graph(&self) -> InspectionGraph;
+    /// How the graph is traversed.
+    fn strategy(&self) -> InspectionStrategy;
+    /// Low-level transformations the resulting set enables.
+    fn enables(&self) -> &'static [EnabledTransformation];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_classification_is_complete() {
+        // The four inspectors must reproduce Table 1's rows exactly.
+        let tri_prune = TriVIPruneInspector;
+        assert_eq!(tri_prune.graph(), InspectionGraph::DependenceGraphWithRhs);
+        assert_eq!(tri_prune.strategy(), InspectionStrategy::Dfs);
+
+        let tri_block = TriVSBlockInspector;
+        assert_eq!(tri_block.graph(), InspectionGraph::DependenceGraph);
+        assert_eq!(tri_block.strategy(), InspectionStrategy::NodeEquivalence);
+
+        let chol_prune = CholVIPruneInspector;
+        assert_eq!(chol_prune.graph(), InspectionGraph::EtreeWithSpA);
+        assert_eq!(
+            chol_prune.strategy(),
+            InspectionStrategy::SingleNodeUpTraversal
+        );
+
+        let chol_block = CholVSBlockInspector;
+        assert_eq!(chol_block.graph(), InspectionGraph::EtreeWithColCount);
+        assert_eq!(chol_block.strategy(), InspectionStrategy::UpTraversal);
+    }
+
+    #[test]
+    fn table1_enabled_transformations() {
+        use EnabledTransformation::*;
+        // VI-Prune row: dist, unroll, peel, vectorization.
+        for t in [LoopDistribution, Unroll, Peel, Vectorize] {
+            assert!(TriVIPruneInspector.enables().contains(&t));
+            assert!(CholVIPruneInspector.enables().contains(&t));
+        }
+        // VS-Block row: tile, unroll, peel, vectorization.
+        for t in [Tile, Unroll, Peel, Vectorize] {
+            assert!(TriVSBlockInspector.enables().contains(&t));
+            assert!(CholVSBlockInspector.enables().contains(&t));
+        }
+        assert!(!TriVSBlockInspector.enables().contains(&LoopDistribution));
+    }
+}

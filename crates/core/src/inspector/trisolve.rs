@@ -1,0 +1,140 @@
+//! Triangular-solve inspectors (Table 1, "Triangular Solve" columns).
+
+use super::{
+    EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector,
+};
+use sympiler_graph::dfs::{reach_into, ReachWorkspace};
+use sympiler_graph::supernode::{supernodes_trisolve, SupernodePartition};
+use sympiler_sparse::CscMatrix;
+
+/// Inspection set for triangular-solve VI-Prune: the reach-set of the
+/// RHS pattern on `DG_L`, in topological (execution) order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriReachSet {
+    /// Columns to execute, topologically ordered.
+    pub reach: Vec<usize>,
+}
+
+/// Inspection set for triangular-solve VS-Block: the supernode
+/// partition (block-set) of `L`.
+#[derive(Debug, Clone)]
+pub struct TriBlockSet {
+    pub partition: SupernodePartition,
+}
+
+/// VI-Prune inspector: DFS over `DG_L` from the RHS pattern.
+pub struct TriVIPruneInspector;
+
+impl TriVIPruneInspector {
+    /// Run the inspection: `l` is the triangular matrix, `beta` the
+    /// nonzero indices of the RHS.
+    pub fn inspect(&self, l: &CscMatrix, beta: &[usize]) -> TriReachSet {
+        let mut ws = ReachWorkspace::new(l.n_cols());
+        let mut reach = Vec::new();
+        reach_into(l, beta, &mut ws, &mut reach);
+        TriReachSet { reach }
+    }
+}
+
+impl SymbolicInspector for TriVIPruneInspector {
+    type Set = TriReachSet;
+
+    fn graph(&self) -> InspectionGraph {
+        InspectionGraph::DependenceGraphWithRhs
+    }
+
+    fn strategy(&self) -> InspectionStrategy {
+        InspectionStrategy::Dfs
+    }
+
+    fn enables(&self) -> &'static [EnabledTransformation] {
+        &[
+            EnabledTransformation::LoopDistribution,
+            EnabledTransformation::Unroll,
+            EnabledTransformation::Peel,
+            EnabledTransformation::Vectorize,
+        ]
+    }
+}
+
+/// VS-Block inspector: node equivalence on `DG_L`.
+pub struct TriVSBlockInspector;
+
+impl TriVSBlockInspector {
+    /// Run the inspection. `max_width` caps supernode width (0 =
+    /// unlimited).
+    pub fn inspect(&self, l: &CscMatrix, max_width: usize) -> TriBlockSet {
+        TriBlockSet {
+            partition: supernodes_trisolve(l, max_width),
+        }
+    }
+}
+
+impl SymbolicInspector for TriVSBlockInspector {
+    type Set = TriBlockSet;
+
+    fn graph(&self) -> InspectionGraph {
+        InspectionGraph::DependenceGraph
+    }
+
+    fn strategy(&self) -> InspectionStrategy {
+        InspectionStrategy::NodeEquivalence
+    }
+
+    fn enables(&self) -> &'static [EnabledTransformation] {
+        &[
+            EnabledTransformation::Tile,
+            EnabledTransformation::Unroll,
+            EnabledTransformation::Peel,
+            EnabledTransformation::Vectorize,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::gen::random_lower_triangular;
+
+    #[test]
+    fn reach_set_is_topological_and_complete() {
+        let l = random_lower_triangular(50, 3, 1);
+        let set = TriVIPruneInspector.inspect(&l, &[0, 10]);
+        assert!(!set.reach.is_empty());
+        // Every beta member is in the set.
+        assert!(set.reach.contains(&0));
+        assert!(set.reach.contains(&10));
+        // Topological: for each edge inside the set, source before sink.
+        let pos: std::collections::HashMap<usize, usize> =
+            set.reach.iter().enumerate().map(|(k, &j)| (j, k)).collect();
+        for &j in &set.reach {
+            for &i in &l.col_rows(j)[1..] {
+                assert!(pos[&j] < pos[&i]);
+            }
+        }
+    }
+
+    #[test]
+    fn block_set_partitions_columns() {
+        let l = random_lower_triangular(40, 2, 2);
+        let set = TriVSBlockInspector.inspect(&l, 0);
+        assert_eq!(set.partition.n_cols(), 40);
+    }
+
+    #[test]
+    fn block_set_respects_width_cap() {
+        // Dense lower triangle merges fully without a cap.
+        let n = 6;
+        let mut t = sympiler_sparse::TripletMatrix::new(n, n);
+        for j in 0..n {
+            for i in j..n {
+                t.push(i, j, 1.0);
+            }
+        }
+        let l = t.to_csc().unwrap();
+        let unlimited = TriVSBlockInspector.inspect(&l, 0);
+        assert_eq!(unlimited.partition.n_supernodes(), 1);
+        let capped = TriVSBlockInspector.inspect(&l, 2);
+        assert_eq!(capped.partition.n_supernodes(), 3);
+    }
+}

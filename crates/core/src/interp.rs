@@ -1,0 +1,375 @@
+//! AST interpreter — executes kernels in the domain-specific IR
+//! directly over named arrays.
+//!
+//! This is the semantic referee for the transformation phases: a kernel
+//! must compute the same result before and after VI-Prune / VS-Block /
+//! peeling (the paper argues correctness from the topological order of
+//! the inspection sets; here we *check* it). The interpreter is not a
+//! performance path — the executable plans are — but it makes the AST
+//! pipeline end-to-end executable, like running the generated C through
+//! a C interpreter.
+
+use crate::ast::{AssignOp, BinOp, Expr, Kernel, Stmt};
+use std::collections::HashMap;
+
+/// The interpreter environment: integer arrays, float arrays, and
+/// integer scalars, addressed by name.
+#[derive(Debug, Default, Clone)]
+pub struct Env {
+    pub ints: HashMap<String, Vec<i64>>,
+    pub floats: HashMap<String, Vec<f64>>,
+    pub scalars: HashMap<String, i64>,
+}
+
+/// Interpretation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    UnknownName(String),
+    OutOfBounds { array: String, index: i64 },
+    TypeMismatch(String),
+}
+
+impl std::fmt::Display for InterpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterpError::UnknownName(n) => write!(f, "unknown name {n}"),
+            InterpError::OutOfBounds { array, index } => {
+                write!(f, "index {index} out of bounds for {array}")
+            }
+            InterpError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl Env {
+    /// Bind an integer array (e.g. `Lp`, `Li`, `pruneSet`).
+    pub fn int_array(mut self, name: &str, data: Vec<i64>) -> Self {
+        self.ints.insert(name.to_string(), data);
+        self
+    }
+
+    /// Bind a float array (e.g. `Lx`, `x`).
+    pub fn float_array(mut self, name: &str, data: Vec<f64>) -> Self {
+        self.floats.insert(name.to_string(), data);
+        self
+    }
+
+    /// Bind an integer scalar (e.g. `n`, `pruneSetSize`).
+    pub fn scalar(mut self, name: &str, v: i64) -> Self {
+        self.scalars.insert(name.to_string(), v);
+        self
+    }
+
+    /// Evaluate an expression as an integer (for indices and bounds).
+    fn eval_int(&self, e: &Expr) -> Result<i64, InterpError> {
+        match e {
+            Expr::Int(v) => Ok(*v),
+            Expr::Var(name) => self
+                .scalars
+                .get(name)
+                .copied()
+                .ok_or_else(|| InterpError::UnknownName(name.clone())),
+            Expr::Index(array, idx) => {
+                let i = self.eval_int(idx)?;
+                let arr = self
+                    .ints
+                    .get(array)
+                    .ok_or_else(|| InterpError::UnknownName(array.clone()))?;
+                arr.get(usize::try_from(i).map_err(|_| InterpError::OutOfBounds {
+                    array: array.clone(),
+                    index: i,
+                })?)
+                .copied()
+                .ok_or(InterpError::OutOfBounds {
+                    array: array.clone(),
+                    index: i,
+                })
+            }
+            Expr::Bin(op, l, r) => {
+                let a = self.eval_int(l)?;
+                let b = self.eval_int(r)?;
+                Ok(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                })
+            }
+        }
+    }
+
+    /// Evaluate an expression as a float (for numeric right-hand sides).
+    fn eval_float(&self, e: &Expr) -> Result<f64, InterpError> {
+        match e {
+            Expr::Int(v) => Ok(*v as f64),
+            Expr::Var(name) => {
+                if let Some(v) = self.scalars.get(name) {
+                    return Ok(*v as f64);
+                }
+                Err(InterpError::UnknownName(name.clone()))
+            }
+            Expr::Index(array, idx) => {
+                let i = self.eval_int(idx)?;
+                if let Some(arr) = self.floats.get(array) {
+                    let iu = usize::try_from(i).map_err(|_| InterpError::OutOfBounds {
+                        array: array.clone(),
+                        index: i,
+                    })?;
+                    return arr.get(iu).copied().ok_or(InterpError::OutOfBounds {
+                        array: array.clone(),
+                        index: i,
+                    });
+                }
+                // Fall back to integer arrays promoted to float.
+                self.eval_int(e).map(|v| v as f64)
+            }
+            Expr::Bin(op, l, r) => {
+                let a = self.eval_float(l)?;
+                let b = self.eval_float(r)?;
+                Ok(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                })
+            }
+        }
+    }
+}
+
+/// Execute a statement list in the environment.
+fn exec_stmts(stmts: &[Stmt], env: &mut Env) -> Result<(), InterpError> {
+    for s in stmts {
+        exec_stmt(s, env)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt(s: &Stmt, env: &mut Env) -> Result<(), InterpError> {
+    match s {
+        Stmt::Comment(_) => Ok(()),
+        Stmt::Let { name, rhs } => {
+            let v = env.eval_int(rhs)?;
+            env.scalars.insert(name.clone(), v);
+            Ok(())
+        }
+        Stmt::Assign {
+            array,
+            index,
+            op,
+            rhs,
+        } => {
+            let i = env.eval_int(index)?;
+            // Float target?
+            if env.floats.contains_key(array) {
+                let v = env.eval_float(rhs)?;
+                let arr = env.floats.get_mut(array).unwrap();
+                let iu = usize::try_from(i).map_err(|_| InterpError::OutOfBounds {
+                    array: array.clone(),
+                    index: i,
+                })?;
+                let slot = arr.get_mut(iu).ok_or(InterpError::OutOfBounds {
+                    array: array.clone(),
+                    index: i,
+                })?;
+                match op {
+                    AssignOp::Set => *slot = v,
+                    AssignOp::SubAssign => *slot -= v,
+                    AssignOp::AddAssign => *slot += v,
+                    AssignOp::DivAssign => *slot /= v,
+                }
+                Ok(())
+            } else if env.ints.contains_key(array) {
+                let v = env.eval_int(rhs)?;
+                let arr = env.ints.get_mut(array).unwrap();
+                let iu = usize::try_from(i).map_err(|_| InterpError::OutOfBounds {
+                    array: array.clone(),
+                    index: i,
+                })?;
+                let slot = arr.get_mut(iu).ok_or(InterpError::OutOfBounds {
+                    array: array.clone(),
+                    index: i,
+                })?;
+                match op {
+                    AssignOp::Set => *slot = v,
+                    AssignOp::SubAssign => *slot -= v,
+                    AssignOp::AddAssign => *slot += v,
+                    AssignOp::DivAssign => *slot /= v,
+                }
+                Ok(())
+            } else {
+                Err(InterpError::UnknownName(array.clone()))
+            }
+        }
+        Stmt::Loop {
+            var, lo, hi, body, ..
+        } => {
+            let lo = env.eval_int(lo)?;
+            let hi = env.eval_int(hi)?;
+            let saved = env.scalars.get(var).copied();
+            for i in lo..hi {
+                env.scalars.insert(var.clone(), i);
+                exec_stmts(body, env)?;
+            }
+            match saved {
+                Some(v) => {
+                    env.scalars.insert(var.clone(), v);
+                }
+                None => {
+                    env.scalars.remove(var);
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Run a kernel in the given environment. The caller binds every kernel
+/// parameter (and any inspection-set arrays the transformed kernel
+/// reads) before calling.
+pub fn run_kernel(kernel: &Kernel, env: &mut Env) -> Result<(), InterpError> {
+    exec_stmts(&kernel.body, env)
+}
+
+/// Convenience: interpret the (possibly transformed) triangular-solve
+/// kernel on a concrete CSC matrix and dense RHS, returning `x`.
+pub fn interpret_trisolve(
+    kernel: &Kernel,
+    l: &sympiler_sparse::CscMatrix,
+    b: &[f64],
+    prune_set: Option<&[usize]>,
+) -> Result<Vec<f64>, InterpError> {
+    let mut env = Env::default()
+        .scalar("n", l.n_cols() as i64)
+        .int_array("Lp", l.col_ptr().iter().map(|&v| v as i64).collect())
+        .int_array("Li", l.row_idx().iter().map(|&v| v as i64).collect())
+        .float_array("Lx", l.values().to_vec())
+        .float_array("x", b.to_vec());
+    if let Some(ps) = prune_set {
+        env = env
+            .int_array("pruneSet", ps.iter().map(|&v| v as i64).collect())
+            .scalar("pruneSetSize", ps.len() as i64);
+    }
+    run_kernel(kernel, &mut env)?;
+    Ok(env.floats.remove("x").expect("x bound above"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_trisolve;
+    use crate::transform::apply_vi_prune;
+    use sympiler_sparse::gen::random_lower_triangular;
+    use sympiler_sparse::rhs;
+
+    #[test]
+    fn initial_ast_computes_forward_substitution() {
+        let l = random_lower_triangular(25, 3, 1);
+        let b: Vec<f64> = (0..25).map(|i| (i % 4) as f64 - 1.0).collect();
+        let kernel = lower_trisolve();
+        let x = interpret_trisolve(&kernel, &l, &b, None).unwrap();
+        let mut expect = b.clone();
+        sympiler_solvers::trisolve::naive_forward(&l, &mut expect);
+        for (p, q) in x.iter().zip(&expect) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vi_pruned_ast_is_semantically_equal() {
+        // The compiler-correctness loop: transformed AST == original AST
+        // on the pruned inputs.
+        for seed in 0..5u64 {
+            let l = random_lower_triangular(30, 3, seed);
+            let b = rhs::random_sparse_rhs(30, 0.1, seed + 7);
+            let bd = b.to_dense();
+            let initial = lower_trisolve();
+            let x_full = interpret_trisolve(&initial, &l, &bd, None).unwrap();
+
+            let mut pruned = lower_trisolve();
+            apply_vi_prune(&mut pruned, "pruneSet", "pruneSetSize");
+            let mut reach = sympiler_graph::reach(&l, b.indices());
+            reach.sort_unstable();
+            let x_pruned = interpret_trisolve(&pruned, &l, &bd, Some(&reach)).unwrap();
+
+            for i in 0..30 {
+                assert!(
+                    (x_full[i] - x_pruned[i]).abs() < 1e-12,
+                    "seed {seed}: x[{i}] {} vs {}",
+                    x_full[i],
+                    x_pruned[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_ast_with_wrong_order_would_differ() {
+        // Negative control: feeding a NON-topological prune set produces
+        // a different (wrong) answer, demonstrating the interpreter can
+        // detect ordering bugs the paper's §2.4 correctness argument
+        // rules out.
+        let mut t = sympiler_sparse::TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, -1.0);
+        t.push(1, 1, 1.0);
+        t.push(2, 1, -1.0);
+        t.push(2, 2, 1.0);
+        let l = t.to_csc().unwrap();
+        let b = vec![1.0, 0.0, 0.0];
+        let mut pruned = lower_trisolve();
+        apply_vi_prune(&mut pruned, "pruneSet", "pruneSetSize");
+        let good = interpret_trisolve(&pruned, &l, &b, Some(&[0, 1, 2])).unwrap();
+        let bad = interpret_trisolve(&pruned, &l, &b, Some(&[2, 1, 0])).unwrap();
+        assert!((good[2] - 1.0).abs() < 1e-12, "chain propagates to x[2]");
+        assert!(
+            (bad[2] - good[2]).abs() > 0.5,
+            "wrong order must corrupt the result (got {} vs {})",
+            bad[2],
+            good[2]
+        );
+    }
+
+    #[test]
+    fn interpreter_reports_unknown_names() {
+        let kernel = lower_trisolve();
+        let mut env = Env::default(); // nothing bound
+        let err = run_kernel(&kernel, &mut env).unwrap_err();
+        assert!(matches!(err, InterpError::UnknownName(_)));
+    }
+
+    #[test]
+    fn interpreter_reports_out_of_bounds() {
+        let mut env = Env::default().float_array("x", vec![0.0; 2]);
+        let s = Stmt::Assign {
+            array: "x".into(),
+            index: Expr::Int(5),
+            op: AssignOp::Set,
+            rhs: Expr::Int(1),
+        };
+        let err = exec_stmt(&s, &mut env).unwrap_err();
+        assert!(matches!(err, InterpError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn loop_variable_scoping_restores_outer_binding() {
+        let mut env = Env::default().scalar("i", 99).float_array("x", vec![0.0; 3]);
+        let s = Stmt::Loop {
+            var: "i".into(),
+            lo: Expr::Int(0),
+            hi: Expr::Int(3),
+            body: vec![Stmt::Assign {
+                array: "x".into(),
+                index: Expr::var("i"),
+                op: AssignOp::Set,
+                rhs: Expr::var("i"),
+            }],
+            annotations: vec![],
+        };
+        exec_stmt(&s, &mut env).unwrap();
+        assert_eq!(env.scalars["i"], 99, "outer binding restored");
+        assert_eq!(env.floats["x"], vec![0.0, 1.0, 2.0]);
+    }
+}

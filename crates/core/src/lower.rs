@@ -1,0 +1,241 @@
+//! Lowering numerical methods into the initial annotated AST
+//! (paper Figure 2a).
+//!
+//! The initial AST is generic over the sparsity pattern: it is the
+//! textbook kernel, with annotations marking the loops that VI-Prune
+//! and VS-Block may later specialize using inspection sets.
+
+use crate::ast::{Annotation, AssignOp, Expr, Kernel, ParamType, Stmt};
+
+/// The initial AST for sparse triangular solve (the paper's Figure 2a):
+///
+/// ```text
+/// for j0 in 0..n {                 // VI-Prune, VS-Block candidates
+///     x[j0] /= Lx[Lp[j0]];
+///     for j1 in Lp[j0]+1 .. Lp[j0+1] {
+///         x[Li[j1]] -= Lx[j1] * x[j0];
+///     }
+/// }
+/// ```
+pub fn lower_trisolve() -> Kernel {
+    let j0 = || Expr::var("j0");
+    let j1 = || Expr::var("j1");
+    let inner = Stmt::Loop {
+        var: "j1".into(),
+        lo: Expr::add(Expr::idx("Lp", j0()), Expr::Int(1)),
+        hi: Expr::idx("Lp", Expr::add(j0(), Expr::Int(1))),
+        body: vec![Stmt::Assign {
+            array: "x".into(),
+            index: Expr::idx("Li", j1()),
+            op: AssignOp::SubAssign,
+            rhs: Expr::mul(Expr::idx("Lx", j1()), Expr::idx("x", j0())),
+        }],
+        annotations: vec![],
+    };
+    let outer = Stmt::Loop {
+        var: "j0".into(),
+        lo: Expr::Int(0),
+        hi: Expr::var("n"),
+        body: vec![
+            Stmt::Assign {
+                array: "x".into(),
+                index: j0(),
+                op: AssignOp::DivAssign,
+                rhs: Expr::idx("Lx", Expr::idx("Lp", j0())),
+            },
+            inner,
+        ],
+        annotations: vec![
+            Annotation::VIPruneCandidate {
+                set: "pruneSet".into(),
+            },
+            Annotation::VSBlockCandidate {
+                set: "blockSet".into(),
+            },
+        ],
+    };
+    Kernel {
+        name: "trisolve".into(),
+        params: vec![
+            ("n".into(), ParamType::Int),
+            ("Lp".into(), ParamType::IntArray),
+            ("Li".into(), ParamType::IntArray),
+            ("Lx".into(), ParamType::DoubleArray),
+            ("x".into(), ParamType::DoubleArray),
+        ],
+        body: vec![outer],
+    }
+}
+
+/// The initial AST for left-looking Cholesky (paper Figure 4), lowered
+/// with the update loop marked VI-Prune-able (over the row pattern) and
+/// the outer column loop marked VS-Block-able (over supernodes):
+///
+/// ```text
+/// for k in 0..n {                       // VS-Block candidate
+///     // f = A(:,k) gather
+///     for p in Ap[k]..Ap[k+1] { f[Ai[p]] = Ax[p]; }
+///     for r in 0..n {                   // VI-Prune candidate (update)
+///         for p in Lp[r]..Lp[r+1] {
+///             f[Li[p]] -= Lx[p] * lkr;
+///         }
+///     }
+///     // column factorization
+///     ...
+/// }
+/// ```
+pub fn lower_cholesky() -> Kernel {
+    let k = || Expr::var("k");
+    let r = || Expr::var("r");
+    let p = || Expr::var("p");
+    let gather = Stmt::Loop {
+        var: "p".into(),
+        lo: Expr::idx("Ap", k()),
+        hi: Expr::idx("Ap", Expr::add(k(), Expr::Int(1))),
+        body: vec![Stmt::Assign {
+            array: "f".into(),
+            index: Expr::idx("Ai", p()),
+            op: AssignOp::Set,
+            rhs: Expr::idx("Ax", p()),
+        }],
+        annotations: vec![],
+    };
+    let update_inner = Stmt::Loop {
+        var: "p".into(),
+        lo: Expr::idx("Lp", r()),
+        hi: Expr::idx("Lp", Expr::add(r(), Expr::Int(1))),
+        body: vec![Stmt::Assign {
+            array: "f".into(),
+            index: Expr::idx("Li", p()),
+            op: AssignOp::SubAssign,
+            rhs: Expr::mul(Expr::idx("Lx", p()), Expr::var("lkr")),
+        }],
+        annotations: vec![],
+    };
+    let update = Stmt::Loop {
+        var: "r".into(),
+        lo: Expr::Int(0),
+        hi: k(),
+        body: vec![
+            Stmt::Comment("lkr = L[k, r]".into()),
+            Stmt::Let {
+                name: "lkr".into(),
+                rhs: Expr::idx("Lx", Expr::idx("LkPos", r())),
+            },
+            update_inner,
+        ],
+        annotations: vec![Annotation::VIPruneCandidate {
+            set: "pruneSet".into(),
+        }],
+    };
+    let col_factor = vec![
+        Stmt::Comment("column factorization: diagonal".into()),
+        Stmt::Assign {
+            array: "Lx".into(),
+            index: Expr::idx("Lp", k()),
+            op: AssignOp::Set,
+            rhs: Expr::idx("sqrtf", Expr::idx("f", k())),
+        },
+        Stmt::Loop {
+            var: "p".into(),
+            lo: Expr::add(Expr::idx("Lp", k()), Expr::Int(1)),
+            hi: Expr::idx("Lp", Expr::add(k(), Expr::Int(1))),
+            body: vec![Stmt::Assign {
+                array: "Lx".into(),
+                index: p(),
+                op: AssignOp::Set,
+                rhs: Expr::Bin(
+                    crate::ast::BinOp::Div,
+                    Box::new(Expr::idx("f", Expr::idx("Li", p()))),
+                    Box::new(Expr::idx("Lx", Expr::idx("Lp", k()))),
+                ),
+            }],
+            annotations: vec![],
+        },
+    ];
+    let mut body = vec![gather, update];
+    body.extend(col_factor);
+    let outer = Stmt::Loop {
+        var: "k".into(),
+        lo: Expr::Int(0),
+        hi: Expr::var("n"),
+        body,
+        annotations: vec![Annotation::VSBlockCandidate {
+            set: "blockSet".into(),
+        }],
+    };
+    Kernel {
+        name: "cholesky_left_looking".into(),
+        params: vec![
+            ("n".into(), ParamType::Int),
+            ("Ap".into(), ParamType::IntArray),
+            ("Ai".into(), ParamType::IntArray),
+            ("Ax".into(), ParamType::DoubleArray),
+            ("Lp".into(), ParamType::IntArray),
+            ("Li".into(), ParamType::IntArray),
+            ("Lx".into(), ParamType::DoubleArray),
+            ("LkPos".into(), ParamType::IntArray),
+            ("f".into(), ParamType::DoubleArray),
+        ],
+        body: vec![outer],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{visit_loops, Annotation, Stmt};
+
+    #[test]
+    fn trisolve_ast_has_candidates_on_outer_loop() {
+        let k = lower_trisolve();
+        assert_eq!(k.body.len(), 1);
+        match &k.body[0] {
+            Stmt::Loop { annotations, .. } => {
+                assert!(annotations
+                    .iter()
+                    .any(|a| matches!(a, Annotation::VIPruneCandidate { .. })));
+                assert!(annotations
+                    .iter()
+                    .any(|a| matches!(a, Annotation::VSBlockCandidate { .. })));
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trisolve_ast_shape_matches_fig2a() {
+        let k = lower_trisolve();
+        let mut loops = 0;
+        visit_loops(&k.body, &mut |_| loops += 1);
+        assert_eq!(loops, 2, "outer column loop + inner update loop");
+    }
+
+    #[test]
+    fn cholesky_ast_marks_update_loop() {
+        let k = lower_cholesky();
+        let mut prune_loops = 0;
+        let mut block_loops = 0;
+        visit_loops(&k.body, &mut |s| {
+            if let Stmt::Loop { annotations, .. } = s {
+                prune_loops += annotations
+                    .iter()
+                    .filter(|a| matches!(a, Annotation::VIPruneCandidate { .. }))
+                    .count();
+                block_loops += annotations
+                    .iter()
+                    .filter(|a| matches!(a, Annotation::VSBlockCandidate { .. }))
+                    .count();
+            }
+        });
+        assert_eq!(prune_loops, 1, "update loop is the VI-Prune candidate");
+        assert_eq!(block_loops, 1, "outer loop is the VS-Block candidate");
+    }
+
+    #[test]
+    fn kernels_have_csc_parameters() {
+        let k = lower_trisolve();
+        let names: Vec<&str> = k.params.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["n", "Lp", "Li", "Lx", "x"]);
+    }
+}

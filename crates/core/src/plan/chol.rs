@@ -1,0 +1,783 @@
+//! The executable Cholesky plan: a left-looking supernodal
+//! factorization with **all symbolic work hoisted to compile time**.
+//!
+//! Compared to the CHOLMOD-like baseline
+//! (`sympiler_solvers::SupernodalCholesky`), the plan's `factor`:
+//!
+//! * performs **no transpose** of `A` — assembly positions are
+//!   precomputed source/destination index pairs (§4.2: "both the reach
+//!   function and the matrix transpose operations are removed from the
+//!   numeric code");
+//! * walks **no descendant lists** — the update schedule, including
+//!   `lo/hi` row windows and relative scatter indices, is precomputed
+//!   per target supernode (the prune-set made executable);
+//! * performs **no relative-index computation** — scatter maps are
+//!   baked in;
+//! * dispatches to **specialized unrolled kernels** for small blocks,
+//!   chosen at compile time (§4.2's generated small dense sub-kernels).
+
+use crate::inspector::{CholVIPruneInspector, CholVSBlockInspector};
+use crate::report::{timed, SymbolicReport};
+use sympiler_dense::small::potrf_small;
+use sympiler_dense::{gemm_nt_sub, potrf_lower, trsm_right_lower_trans, trsv_lower, trsv_lower_trans};
+use sympiler_graph::supernode::SupernodePartition;
+use sympiler_graph::symbolic::SymbolicFactor;
+use sympiler_sparse::CscMatrix;
+
+/// Factorization error (mirrors the baseline error type; kept separate
+/// so `sympiler-core` does not depend on `sympiler-solvers`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CholPlanError {
+    /// Not positive definite at this column.
+    NotPositiveDefinite { column: usize },
+    /// The numeric input does not match the compiled pattern.
+    PatternMismatch,
+    /// Bad input shape/storage.
+    BadInput(String),
+}
+
+impl std::fmt::Display for CholPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CholPlanError::NotPositiveDefinite { column } => {
+                write!(f, "matrix not positive definite at column {column}")
+            }
+            CholPlanError::PatternMismatch => write!(f, "pattern mismatch"),
+            CholPlanError::BadInput(m) => write!(f, "bad input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CholPlanError {}
+
+/// One precomputed descendant update: subtract
+/// `L_d(I, :) * L_d(J, :)^T` into the target panel through baked-in
+/// scatter indices.
+#[derive(Debug, Clone)]
+struct UpdateOp {
+    /// Source supernode.
+    d: u32,
+    /// Row-window of `d`'s row list: `I = rows[lo..]`, `J = rows[lo..hi]`.
+    lo: u32,
+    hi: u32,
+    /// Offset into `scatter_pool`: `m = d_ld - lo` row positions in the
+    /// target panel followed by `hi - lo` target column offsets.
+    scatter_off: u32,
+}
+
+/// Per-supernode compiled schedule.
+#[derive(Debug, Clone)]
+struct SnSchedule {
+    /// Assembly range into `asm_src`/`asm_dst`.
+    asm_range: (u32, u32),
+    /// Update range into `updates`.
+    upd_range: (u32, u32),
+    /// Kernel tier for the diagonal block.
+    specialized: bool,
+}
+
+/// A compiled Cholesky factorization specialized to one pattern.
+#[derive(Debug, Clone)]
+pub struct CholPlan {
+    n: usize,
+    a_nnz: usize,
+    /// Copy of the compiled pattern, checked on every `factor` call —
+    /// the static-sparsity contract (§1.2) made enforceable. O(|A|)
+    /// per check, negligible next to the factorization itself.
+    a_col_ptr: Vec<usize>,
+    a_row_idx: Vec<u32>,
+    /// Elimination tree (carried into factors for sparse-RHS solves).
+    parent: Vec<usize>,
+    part: SupernodePartition,
+    /// Panel row lists (`rows_ptr[s]..rows_ptr[s+1]`).
+    rows_ptr: Vec<usize>,
+    rows: Vec<u32>,
+    /// Panel value offsets.
+    val_ptr: Vec<usize>,
+    /// Assembly maps: `panel_values[asm_dst[k]] = a_values[asm_src[k]]`.
+    asm_src: Vec<u32>,
+    asm_dst: Vec<u32>,
+    /// Update schedule + scatter pool.
+    updates: Vec<UpdateOp>,
+    scatter_pool: Vec<u32>,
+    schedule: Vec<SnSchedule>,
+    /// Largest `m * ncols` of any update (GEMM scratch size).
+    max_update_buf: usize,
+    /// Largest diagonal block (TRSM scratch size).
+    max_width: usize,
+    /// Exact factorization flops (for Figure 7's GFLOP/s).
+    flops: u64,
+    /// Symbolic phase report (inspection timings, set sizes).
+    report: SymbolicReport,
+}
+
+/// A numeric factor produced by [`CholPlan::factor`].
+#[derive(Debug, Clone)]
+pub struct CholFactor {
+    n: usize,
+    part: SupernodePartition,
+    /// Elimination tree, kept for sparse-RHS solves: the pattern of the
+    /// forward-solve solution is the union of etree paths from the
+    /// nonzeros of `b` (the reach-set specialized to Cholesky factors).
+    parent: Vec<usize>,
+    rows_ptr: Vec<usize>,
+    rows: Vec<u32>,
+    val_ptr: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CholPlan {
+    /// Compile a plan for the SPD matrix `a_lower` (lower storage).
+    /// `max_width` caps supernode width (0 = unlimited); when
+    /// `low_level` is set, small diagonal blocks use the specialized
+    /// kernel tier.
+    pub fn build(
+        a_lower: &CscMatrix,
+        max_width: usize,
+        low_level: bool,
+    ) -> Result<Self, CholPlanError> {
+        if !a_lower.is_square() {
+            return Err(CholPlanError::BadInput("matrix must be square".into()));
+        }
+        if !a_lower.is_lower_storage() {
+            return Err(CholPlanError::BadInput(
+                "matrix must be in lower-triangular storage".into(),
+            ));
+        }
+        let n = a_lower.n_cols();
+        let mut report = SymbolicReport::default();
+
+        // --- Inspection (Table 1) ---
+        let prune = timed(&mut report, "inspect: etree + row patterns", || {
+            CholVIPruneInspector.inspect(a_lower)
+        });
+        let sym = &prune.symbolic;
+        let block = timed(&mut report, "inspect: supernodes (block-set)", || {
+            CholVSBlockInspector.inspect(sym, max_width)
+        });
+        let part = block.partition;
+        report.set_size("nnz(A) lower", a_lower.nnz());
+        report.set_size("nnz(L)", sym.l_nnz());
+        report.set_size("supernodes", part.n_supernodes());
+
+        // --- Layout ---
+        let ns = part.n_supernodes();
+        let mut rows_ptr = Vec::with_capacity(ns + 1);
+        let mut rows: Vec<u32> = Vec::new();
+        let mut val_ptr = Vec::with_capacity(ns + 1);
+        rows_ptr.push(0usize);
+        val_ptr.push(0usize);
+        for s in 0..ns {
+            let first = part.first_col[s];
+            let width = part.width(s);
+            let pat = sym.col_pattern(first);
+            rows.extend(pat.iter().map(|&r| r as u32));
+            rows_ptr.push(rows.len());
+            val_ptr.push(val_ptr.last().unwrap() + pat.len() * width);
+        }
+
+        // --- Compile: assembly maps, update schedule, kernel choices ---
+        let (asm_src, asm_dst, updates, scatter_pool, schedule, max_update_buf) =
+            timed(&mut report, "compile: schedules + scatter maps", || {
+                Self::compile_schedule(a_lower, sym, &part, &rows_ptr, &rows, low_level)
+            });
+        report.set_size("update ops", updates.len());
+        report.set_size("scatter pool", scatter_pool.len());
+
+        let max_width_actual = (0..ns).map(|s| part.width(s)).max().unwrap_or(0);
+        let flops = sym.factor_flops();
+        Ok(Self {
+            n,
+            a_nnz: a_lower.nnz(),
+            a_col_ptr: a_lower.col_ptr().to_vec(),
+            a_row_idx: a_lower.row_idx().iter().map(|&r| r as u32).collect(),
+            parent: prune.symbolic.parent.clone(),
+            part,
+            rows_ptr,
+            rows,
+            val_ptr,
+            asm_src,
+            asm_dst,
+            updates,
+            scatter_pool,
+            schedule,
+            max_update_buf,
+            max_width: max_width_actual,
+            flops,
+            report,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn compile_schedule(
+        a_lower: &CscMatrix,
+        sym: &SymbolicFactor,
+        part: &SupernodePartition,
+        rows_ptr: &[usize],
+        rows: &[u32],
+        low_level: bool,
+    ) -> (
+        Vec<u32>,
+        Vec<u32>,
+        Vec<UpdateOp>,
+        Vec<u32>,
+        Vec<SnSchedule>,
+        usize,
+    ) {
+        let n = a_lower.n_cols();
+        let ns = part.n_supernodes();
+        let mut asm_src = Vec::with_capacity(a_lower.nnz());
+        let mut asm_dst = Vec::with_capacity(a_lower.nnz());
+        let mut updates: Vec<UpdateOp> = Vec::new();
+        let mut scatter_pool: Vec<u32> = Vec::new();
+        let mut schedule = Vec::with_capacity(ns);
+        let mut max_update_buf = 0usize;
+
+        // pos[row] = offset within the current target panel rows.
+        let mut pos = vec![u32::MAX; n];
+        // Symbolic replay of the descendant lists (same walk the
+        // baseline does numerically; here it runs once, at compile
+        // time).
+        const NONE: usize = usize::MAX;
+        let mut head = vec![NONE; ns];
+        let mut next = vec![NONE; ns];
+        let mut desc_ptr = vec![0usize; ns];
+
+        for s in 0..ns {
+            let first = part.first_col[s];
+            let width = part.width(s);
+            let s_end = first + width;
+            let s_rows = &rows[rows_ptr[s]..rows_ptr[s + 1]];
+            let ld = s_rows.len();
+            for (r, &row) in s_rows.iter().enumerate() {
+                pos[row as usize] = r as u32;
+            }
+            // Assembly map for A's columns in this supernode. The value
+            // offset is relative to the panel base (val_ptr[s]).
+            let asm_start = asm_src.len() as u32;
+            for c in 0..width {
+                let j = first + c;
+                for (k, &i) in a_lower.col_rows(j).iter().enumerate() {
+                    let src = a_lower.col_ptr()[j] + k;
+                    let dst = c * ld + pos[i] as usize;
+                    asm_src.push(src as u32);
+                    asm_dst.push(dst as u32);
+                }
+            }
+            let asm_end = asm_src.len() as u32;
+
+            // Update schedule: replay the descendant lists.
+            let upd_start = updates.len() as u32;
+            let mut d = head[s];
+            head[s] = NONE;
+            while d != NONE {
+                let d_next = next[d];
+                let d_rows = &rows[rows_ptr[d]..rows_ptr[d + 1]];
+                let d_ld = d_rows.len();
+                let lo = desc_ptr[d];
+                let mut hi = lo;
+                while hi < d_ld && (d_rows[hi] as usize) < s_end {
+                    hi += 1;
+                }
+                let m = d_ld - lo;
+                let ncols = hi - lo;
+                max_update_buf = max_update_buf.max(m * ncols);
+                // Scatter map: m row positions then ncols column offsets.
+                let scatter_off = scatter_pool.len() as u32;
+                for &r in &d_rows[lo..] {
+                    scatter_pool.push(pos[r as usize]);
+                }
+                for &r in &d_rows[lo..hi] {
+                    scatter_pool.push((r as usize - first) as u32);
+                }
+                updates.push(UpdateOp {
+                    d: d as u32,
+                    lo: lo as u32,
+                    hi: hi as u32,
+                    scatter_off,
+                });
+                if hi < d_ld {
+                    desc_ptr[d] = hi;
+                    let owner = part.col_to_super[d_rows[hi] as usize];
+                    next[d] = head[owner];
+                    head[owner] = d;
+                }
+                d = d_next;
+            }
+            let upd_end = updates.len() as u32;
+
+            if ld > width {
+                desc_ptr[s] = width;
+                let owner = part.col_to_super[s_rows[width] as usize];
+                next[s] = head[owner];
+                head[owner] = s;
+            }
+            schedule.push(SnSchedule {
+                asm_range: (asm_start, asm_end),
+                upd_range: (upd_start, upd_end),
+                specialized: low_level && width <= 4,
+            });
+        }
+        let _ = sym;
+        (
+            asm_src,
+            asm_dst,
+            updates,
+            scatter_pool,
+            schedule,
+            max_update_buf,
+        )
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Exact factorization flops for GFLOP/s reporting.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// The symbolic report (inspection timings, set sizes).
+    pub fn report(&self) -> &SymbolicReport {
+        &self.report
+    }
+
+    /// The supernode partition the plan compiled.
+    pub fn partition(&self) -> &SupernodePartition {
+        &self.part
+    }
+
+    /// Numeric factorization: pure loads/stores/flops over precomputed
+    /// indices.
+    pub fn factor(&self, a_lower: &CscMatrix) -> Result<CholFactor, CholPlanError> {
+        if a_lower.n_cols() != self.n
+            || a_lower.nnz() != self.a_nnz
+            || a_lower.col_ptr() != self.a_col_ptr.as_slice()
+            || !a_lower
+                .row_idx()
+                .iter()
+                .zip(&self.a_row_idx)
+                .all(|(&r, &c)| r as u32 == c)
+        {
+            return Err(CholPlanError::PatternMismatch);
+        }
+        let a_values = a_lower.values();
+        let mut values = vec![0.0f64; *self.val_ptr.last().unwrap()];
+        let mut w_buf = vec![0.0f64; self.max_update_buf];
+        let mut diag_buf = vec![0.0f64; self.max_width * self.max_width];
+
+        for s in 0..self.part.n_supernodes() {
+            let sched = &self.schedule[s];
+            let first = self.part.first_col[s];
+            let width = self.part.width(s);
+            let ld = self.rows_ptr[s + 1] - self.rows_ptr[s];
+            let base = self.val_ptr[s];
+
+            // Assembly: straight indexed copies.
+            {
+                let panel = &mut values[base..base + ld * width];
+                let (a0, a1) = (sched.asm_range.0 as usize, sched.asm_range.1 as usize);
+                for (&src, &dst) in self.asm_src[a0..a1].iter().zip(&self.asm_dst[a0..a1]) {
+                    panel[dst as usize] = a_values[src as usize];
+                }
+            }
+
+            // Descendant updates: GEMM + precomputed scatter.
+            let (u0, u1) = (sched.upd_range.0 as usize, sched.upd_range.1 as usize);
+            for upd in &self.updates[u0..u1] {
+                let d = upd.d as usize;
+                let d_ld = self.rows_ptr[d + 1] - self.rows_ptr[d];
+                let d_width = self.part.width(d);
+                let d_base = self.val_ptr[d];
+                let lo = upd.lo as usize;
+                let hi = upd.hi as usize;
+                let m = d_ld - lo;
+                let ncols = hi - lo;
+                let w = &mut w_buf[..m * ncols];
+                w.fill(0.0);
+                let d_panel = &values[d_base..d_base + d_ld * d_width];
+                gemm_nt_sub(
+                    m,
+                    ncols,
+                    d_width,
+                    &d_panel[lo..],
+                    d_ld,
+                    &d_panel[lo..],
+                    d_ld,
+                    w,
+                    m,
+                );
+                let sc = upd.scatter_off as usize;
+                let row_pos = &self.scatter_pool[sc..sc + m];
+                let col_off = &self.scatter_pool[sc + m..sc + m + ncols];
+                let panel = &mut values[base..base + ld * width];
+                for (jj, &c) in col_off.iter().enumerate() {
+                    let dst = &mut panel[c as usize * ld..(c as usize + 1) * ld];
+                    let wcol = &w[jj * m..(jj + 1) * m];
+                    for (&p, &wv) in row_pos[jj..].iter().zip(&wcol[jj..]) {
+                        dst[p as usize] += wv;
+                    }
+                }
+            }
+
+            // Dense factorization with the compile-time kernel choice.
+            {
+                let panel = &mut values[base..base + ld * width];
+                let res = if sched.specialized {
+                    potrf_small(width, panel, ld)
+                } else {
+                    potrf_lower(width, panel, ld)
+                };
+                res.map_err(|c| CholPlanError::NotPositiveDefinite { column: first + c })?;
+                if ld > width {
+                    let diag = &mut diag_buf[..width * width];
+                    for c in 0..width {
+                        for r in c..width {
+                            diag[c * width + r] = panel[c * ld + r];
+                        }
+                    }
+                    trsm_right_lower_trans(ld - width, width, diag, width, &mut panel[width..], ld);
+                }
+            }
+        }
+        Ok(CholFactor {
+            n: self.n,
+            part: self.part.clone(),
+            parent: self.parent.clone(),
+            rows_ptr: self.rows_ptr.clone(),
+            rows: self.rows.clone(),
+            val_ptr: self.val_ptr.clone(),
+            values,
+        })
+    }
+}
+
+impl CholFactor {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Extract the factor as CSC (verification / interop).
+    pub fn to_csc(&self) -> CscMatrix {
+        let mut t = sympiler_sparse::TripletMatrix::new(self.n, self.n);
+        for s in 0..self.part.n_supernodes() {
+            let first = self.part.first_col[s];
+            let width = self.part.width(s);
+            let rows = &self.rows[self.rows_ptr[s]..self.rows_ptr[s + 1]];
+            let ld = rows.len();
+            let base = self.val_ptr[s];
+            for c in 0..width {
+                for (r, &row) in rows.iter().enumerate().skip(c) {
+                    t.push(row as usize, first + c, self.values[base + c * ld + r]);
+                }
+            }
+        }
+        t.to_csc().expect("panel extraction is structurally valid")
+    }
+
+    /// Forward solve `L y = x` in place.
+    pub fn forward_solve(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length mismatch");
+        for s in 0..self.part.n_supernodes() {
+            let first = self.part.first_col[s];
+            let width = self.part.width(s);
+            let rows = &self.rows[self.rows_ptr[s]..self.rows_ptr[s + 1]];
+            let ld = rows.len();
+            let base = self.val_ptr[s];
+            let panel = &self.values[base..base + ld * width];
+            trsv_lower(width, panel, ld, &mut x[first..first + width]);
+            for c in 0..width {
+                let xc = x[first + c];
+                if xc == 0.0 {
+                    continue;
+                }
+                let col = &panel[c * ld + width..(c + 1) * ld];
+                for (&row, &v) in rows[width..].iter().zip(col) {
+                    x[row as usize] -= v * xc;
+                }
+            }
+        }
+    }
+
+    /// Backward solve `L^T y = x` in place.
+    pub fn backward_solve(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length mismatch");
+        for s in (0..self.part.n_supernodes()).rev() {
+            let first = self.part.first_col[s];
+            let width = self.part.width(s);
+            let rows = &self.rows[self.rows_ptr[s]..self.rows_ptr[s + 1]];
+            let ld = rows.len();
+            let base = self.val_ptr[s];
+            let panel = &self.values[base..base + ld * width];
+            for c in 0..width {
+                let col = &panel[c * ld + width..(c + 1) * ld];
+                let mut dot = 0.0;
+                for (&row, &v) in rows[width..].iter().zip(col) {
+                    dot += v * x[row as usize];
+                }
+                x[first + c] -= dot;
+            }
+            trsv_lower_trans(width, panel, ld, &mut x[first..first + width]);
+        }
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        self.forward_solve(&mut x);
+        self.backward_solve(&mut x);
+        x
+    }
+
+    /// The supernodes a sparse forward solve must visit: for a Cholesky
+    /// factor, the solution pattern of `L y = b` is the union of etree
+    /// paths from the nonzeros of `b` (the reach-set specialized to
+    /// filled patterns). Returned in ascending (topological) order.
+    pub fn reach_supernodes(&self, beta: &[usize]) -> Vec<usize> {
+        let mut seen = vec![false; self.part.n_supernodes()];
+        const NONE: usize = usize::MAX;
+        for &i in beta {
+            let mut s = self.part.col_to_super[i];
+            while s != NONE && !seen[s] {
+                seen[s] = true;
+                // Jump to the supernode owning the parent of this
+                // supernode's last column.
+                let last = self.part.first_col[s + 1] - 1;
+                let p = self.parent[last];
+                s = if p == NONE {
+                    NONE
+                } else {
+                    self.part.col_to_super[p]
+                };
+            }
+        }
+        (0..seen.len()).filter(|&s| seen[s]).collect()
+    }
+
+    /// Forward solve `L y = b` for a **sparse** `b`, visiting only the
+    /// reached supernodes — the paper's §1.1 pipeline (triangular solve
+    /// as a sub-kernel after factorization). `x` must be zeroed; the
+    /// result's nonzeros lie within the reached supernodes' columns.
+    pub fn forward_solve_sparse(&self, b: &sympiler_sparse::SparseVec, x: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "x length mismatch");
+        for (i, v) in b.iter() {
+            x[i] = v;
+        }
+        for s in self.reach_supernodes(b.indices()) {
+            let first = self.part.first_col[s];
+            let width = self.part.width(s);
+            let rows = &self.rows[self.rows_ptr[s]..self.rows_ptr[s + 1]];
+            let ld = rows.len();
+            let base = self.val_ptr[s];
+            let panel = &self.values[base..base + ld * width];
+            trsv_lower(width, panel, ld, &mut x[first..first + width]);
+            for c in 0..width {
+                let xc = x[first + c];
+                if xc == 0.0 {
+                    continue;
+                }
+                let col = &panel[c * ld + width..(c + 1) * ld];
+                for (&row, &v) in rows[width..].iter().zip(col) {
+                    x[row as usize] -= v * xc;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_solvers::SimplicialCholesky;
+    use sympiler_sparse::gen;
+
+    fn check_matches_simplicial(a: &CscMatrix, max_width: usize, low_level: bool) {
+        let plan = CholPlan::build(a, max_width, low_level).unwrap();
+        let f = plan.factor(a).unwrap();
+        let l_plan = f.to_csc();
+        let l_ref = SimplicialCholesky::analyze(a).unwrap().factor(a).unwrap();
+        assert!(l_plan.same_pattern(&l_ref), "patterns differ");
+        for (p, q) in l_plan.values().iter().zip(l_ref.values()) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn matches_simplicial_on_random() {
+        for seed in 0..6u64 {
+            let a = gen::random_spd(40, 4, seed);
+            check_matches_simplicial(&a, 0, true);
+            check_matches_simplicial(&a, 0, false);
+        }
+    }
+
+    #[test]
+    fn matches_simplicial_on_structured() {
+        for a in [
+            gen::grid2d_laplacian(7, 6, false, 1),
+            gen::grid2d_laplacian(5, 5, true, 2),
+            gen::banded_spd(35, 5, 3),
+            gen::circuit_like(60, 4, 2, 4),
+            gen::tridiagonal_spd(25),
+        ] {
+            check_matches_simplicial(&a, 0, true);
+        }
+    }
+
+    #[test]
+    fn width_cap_respected_and_correct() {
+        let a = gen::banded_spd(30, 4, 7);
+        check_matches_simplicial(&a, 2, true);
+        check_matches_simplicial(&a, 3, false);
+    }
+
+    #[test]
+    fn repeated_factorization_same_pattern_new_values() {
+        let a1 = gen::grid2d_laplacian(6, 6, false, 9);
+        let plan = CholPlan::build(&a1, 0, true).unwrap();
+        let mut a2 = a1.clone();
+        for v in a2.values_mut() {
+            *v *= 3.0;
+        }
+        let f2 = plan.factor(&a2).unwrap();
+        let l_ref = SimplicialCholesky::analyze(&a2).unwrap().factor(&a2).unwrap();
+        for (p, q) in f2.to_csc().values().iter().zip(l_ref.values()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_end_to_end() {
+        let a = gen::grid2d_laplacian(6, 7, false, 11);
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        let f = plan.factor(&a).unwrap();
+        let b: Vec<f64> = (0..42).map(|i| (i as f64 * 0.3).sin() + 2.0).collect();
+        let x = f.solve(&b);
+        let resid = sympiler_sparse::ops::rel_residual_sym_lower(&a, &x, &b);
+        assert!(resid < 1e-12, "residual {resid}");
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 1.0);
+        let a = t.to_csc().unwrap();
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        assert!(matches!(
+            plan.factor(&a),
+            Err(CholPlanError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_pattern_mismatch() {
+        let a = gen::random_spd(20, 3, 1);
+        let b = gen::random_spd(21, 3, 2);
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        assert!(matches!(
+            plan.factor(&b),
+            Err(CholPlanError::PatternMismatch)
+        ));
+    }
+
+    #[test]
+    fn report_contains_inspection_stages() {
+        let a = gen::grid2d_laplacian(5, 5, false, 3);
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        let r = plan.report();
+        assert!(r.stages.len() >= 3, "expected inspection + compile stages");
+        assert!(r.size_of("nnz(L)").unwrap() >= a.nnz());
+        assert!(r.size_of("supernodes").unwrap() >= 1);
+    }
+
+    #[test]
+    fn flops_match_symbolic_prediction() {
+        let a = gen::grid2d_laplacian(5, 4, false, 5);
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        let sym = sympiler_graph::symbolic_cholesky(&a);
+        assert_eq!(plan.flops(), sym.factor_flops());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 3);
+        t.push(0, 0, 1.0);
+        let rect = t.to_csc().unwrap();
+        assert!(matches!(
+            CholPlan::build(&rect, 0, true),
+            Err(CholPlanError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn sparse_forward_solve_matches_dense() {
+        let a = gen::grid2d_laplacian(7, 7, false, 13);
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        let f = plan.factor(&a).unwrap();
+        let b = sympiler_sparse::SparseVec::try_new(49, vec![3, 20], vec![2.0, -1.0]).unwrap();
+        let mut x_sparse = vec![0.0; 49];
+        f.forward_solve_sparse(&b, &mut x_sparse);
+        let mut x_dense = b.to_dense();
+        f.forward_solve(&mut x_dense);
+        for i in 0..49 {
+            assert!(
+                (x_sparse[i] - x_dense[i]).abs() < 1e-12,
+                "x[{i}]: {} vs {}",
+                x_sparse[i],
+                x_dense[i]
+            );
+        }
+    }
+
+    #[test]
+    fn reach_supernodes_is_minimal_and_sufficient() {
+        let a = gen::random_spd(40, 4, 17);
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        let f = plan.factor(&a).unwrap();
+        let l = f.to_csc();
+        // Reference reach on the extracted factor.
+        let reach_cols = sympiler_graph::reach(&l, &[5]);
+        let reach_supers = f.reach_supernodes(&[5]);
+        // Every reached column's supernode must be visited.
+        for &j in &reach_cols {
+            assert!(
+                reach_supers.contains(&plan.partition().col_to_super[j]),
+                "column {j} reached but its supernode not visited"
+            );
+        }
+        // And visited supernodes contain at least one reached column
+        // (path minimality at supernode granularity).
+        for &s in &reach_supers {
+            let cols = plan.partition().cols(s);
+            assert!(
+                cols.clone().any(|c| reach_cols.contains(&c)),
+                "supernode {s} visited without any reached column"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_error_cleanup_is_safe() {
+        // An indefinite late pivot must not poison a reused plan.
+        let a = gen::random_spd(15, 3, 8);
+        let plan = CholPlan::build(&a, 0, true).unwrap();
+        let mut bad = a.clone();
+        // Make the last diagonal entry very negative.
+        let n = bad.n_cols();
+        if let Some(p) = bad.find(n - 1, n - 1) {
+            bad.values_mut()[p] = -1000.0;
+        }
+        assert!(plan.factor(&bad).is_err());
+        // Plan still produces a correct factor for the good matrix.
+        let f = plan.factor(&a).unwrap();
+        let l_ref = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
+        for (p, q) in f.to_csc().values().iter().zip(l_ref.values()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Symbolic-phase reporting: where inspection time goes and what the
+//! inspectors found. Feeds the paper's Figures 8/9 (symbolic + numeric
+//! accumulated time) and the §4.3 overhead discussion.
+
+use std::time::Duration;
+
+/// Timing and set-size report of one Sympiler compilation.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolicReport {
+    /// Per-stage wall-clock durations, in pipeline order.
+    pub stages: Vec<(String, Duration)>,
+    /// Named sizes of the inspection sets (reach-set length, number of
+    /// supernodes, nnz(L), ...).
+    pub set_sizes: Vec<(String, usize)>,
+}
+
+impl SymbolicReport {
+    /// Record a stage duration.
+    pub fn stage(&mut self, name: &str, d: Duration) {
+        self.stages.push((name.to_string(), d));
+    }
+
+    /// Record an inspection-set size.
+    pub fn set_size(&mut self, name: &str, size: usize) {
+        self.set_sizes.push((name.to_string(), size));
+    }
+
+    /// Total symbolic (inspection + transformation + codegen) time.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Look up a recorded set size.
+    pub fn size_of(&self, name: &str) -> Option<usize> {
+        self.set_sizes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
+    }
+
+    /// Render as an aligned text table (used by the bench binaries).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("symbolic stage                     time\n");
+        for (name, d) in &self.stages {
+            out.push_str(&format!("  {name:<32} {:>10.3?}\n", d));
+        }
+        out.push_str(&format!("  {:<32} {:>10.3?}\n", "TOTAL", self.total()));
+        if !self.set_sizes.is_empty() {
+            out.push_str("inspection sets\n");
+            for (name, s) in &self.set_sizes {
+                out.push_str(&format!("  {name:<32} {s:>10}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Time a closure, pushing the duration into the report.
+pub fn timed<T>(report: &mut SymbolicReport, name: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = f();
+    report.stage(name, start.elapsed());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_stages() {
+        let mut r = SymbolicReport::default();
+        r.stage("a", Duration::from_millis(2));
+        r.stage("b", Duration::from_millis(3));
+        assert_eq!(r.total(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn timed_records_and_returns() {
+        let mut r = SymbolicReport::default();
+        let v = timed(&mut r, "work", || 21 * 2);
+        assert_eq!(v, 42);
+        assert_eq!(r.stages.len(), 1);
+        assert_eq!(r.stages[0].0, "work");
+    }
+
+    #[test]
+    fn set_sizes_lookup() {
+        let mut r = SymbolicReport::default();
+        r.set_size("reach", 17);
+        assert_eq!(r.size_of("reach"), Some(17));
+        assert_eq!(r.size_of("missing"), None);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut r = SymbolicReport::default();
+        r.stage("dfs", Duration::from_micros(10));
+        r.set_size("reach-set", 5);
+        let t = r.to_table();
+        assert!(t.contains("dfs"));
+        assert!(t.contains("reach-set"));
+        assert!(t.contains("TOTAL"));
+    }
+}

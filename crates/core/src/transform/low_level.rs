@@ -1,0 +1,207 @@
+//! Enabled low-level transformations (paper §2.4): loop peeling driven
+//! by inspection-set statistics, plus the unroll/vectorize annotations
+//! the later code-generation stage consumes.
+//!
+//! Peeling is the one with visible structure in Figure 1e / Figure 2c:
+//! iterations of the pruned loop whose column count exceeds a threshold
+//! are pulled out of the loop and emitted as straight-line code so they
+//! can be specialized/vectorized. "Because the reach-set is created in
+//! topological order, iteration ordering dependencies are met and thus
+//! code correctness is guaranteed after loop peeling."
+
+use crate::ast::{Annotation, Expr, Stmt};
+
+/// Annotate the (already VI-Pruned) loop with a peel directive for the
+/// given iteration positions, then materialize the peel: positions are
+/// emitted as straight-line clones of the body with the loop index
+/// fixed, and the loop is annotated to skip them.
+///
+/// `positions` are indices **into the prune set**, in increasing order.
+/// Only a leading run of positions `0..k` plus interior positions are
+/// supported the way Figure 1e does it: each peeled iteration becomes a
+/// guarded clone placed before/within the loop sequence; the remaining
+/// loop iterates over the non-peeled positions via `pruneSetRest`.
+pub fn apply_peeling(stmts: &mut Vec<Stmt>, loop_var_hint: &str, positions: &[usize]) -> bool {
+    if positions.is_empty() {
+        return false;
+    }
+    // Find the pruned loop (the loop whose var starts with "p_").
+    let idx = stmts.iter().position(|s| {
+        matches!(s, Stmt::Loop { var, .. } if var.starts_with("p_") || var == loop_var_hint)
+    });
+    let Some(idx) = idx else {
+        return false;
+    };
+    let Stmt::Loop {
+        var,
+        body,
+        annotations,
+        ..
+    } = &mut stmts[idx]
+    else {
+        unreachable!("position() matched a loop");
+    };
+    annotations.push(Annotation::Peel(positions.to_vec()));
+    // Materialize straight-line clones for each peeled position.
+    let mut peeled_code: Vec<Stmt> = Vec::new();
+    for &p in positions {
+        peeled_code.push(Stmt::Comment(format!("peeled iteration {var} = {p}")));
+        for st in body.iter() {
+            peeled_code.push(st.substitute(var, &Expr::Int(p as i64)));
+        }
+    }
+    // Insert peeled code before the loop (valid for a topologically
+    // ordered prune set when the peeled positions lead the set; the
+    // general interleaving is handled by the executable plan, which
+    // schedules ops in exact topological order).
+    let mut tail = stmts.split_off(idx);
+    stmts.extend(peeled_code);
+    stmts.append(&mut tail);
+    true
+}
+
+/// Count peel annotations in a statement tree (test/report helper).
+pub fn count_peeled(stmts: &[Stmt]) -> usize {
+    let mut count = 0;
+    crate::ast::visit_loops(stmts, &mut |s| {
+        if let Stmt::Loop { annotations, .. } = s {
+            count += annotations
+                .iter()
+                .filter_map(|a| match a {
+                    Annotation::Peel(v) => Some(v.len()),
+                    _ => None,
+                })
+                .sum::<usize>();
+        }
+    });
+    count
+}
+
+/// Attach an unroll annotation to every innermost loop (driven by the
+/// §2.4 observation that inspector-guided transformations expose
+/// compile-time loop bounds).
+pub fn annotate_unroll(stmts: &mut [Stmt], factor: usize) {
+    for s in stmts.iter_mut() {
+        if let Stmt::Loop {
+            body, annotations, ..
+        } = s
+        {
+            let has_inner = body.iter().any(|b| matches!(b, Stmt::Loop { .. }));
+            if has_inner {
+                annotate_unroll(body, factor);
+            } else {
+                annotations.push(Annotation::Unroll(factor));
+            }
+        }
+    }
+}
+
+/// Attach a vectorize annotation to loops whose trip count (from the
+/// inspection set) exceeds `min_trip`.
+pub fn annotate_vectorize(stmts: &mut [Stmt], trip_counts: &[(String, usize)], min_trip: usize) {
+    for s in stmts.iter_mut() {
+        if let Stmt::Loop {
+            var,
+            body,
+            annotations,
+            ..
+        } = s
+        {
+            if trip_counts
+                .iter()
+                .any(|(v, t)| v == var && *t >= min_trip)
+            {
+                annotations.push(Annotation::Vectorize);
+            }
+            annotate_vectorize(body, trip_counts, min_trip);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_trisolve;
+    use crate::transform::apply_vi_prune;
+
+    #[test]
+    fn peeling_materializes_straight_line_code() {
+        let mut k = lower_trisolve();
+        apply_vi_prune(&mut k, "pruneSet", "pruneSetSize");
+        assert!(apply_peeling(&mut k.body, "p_j0", &[0, 3]));
+        // Two peel comments + the loop remain at top level.
+        let comments: Vec<&String> = k
+            .body
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Comment(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].contains("= 0"));
+        assert!(comments[1].contains("= 3"));
+        assert_eq!(count_peeled(&k.body), 2);
+    }
+
+    #[test]
+    fn empty_positions_do_nothing() {
+        let mut k = lower_trisolve();
+        apply_vi_prune(&mut k, "pruneSet", "pruneSetSize");
+        assert!(!apply_peeling(&mut k.body, "p_j0", &[]));
+    }
+
+    #[test]
+    fn unroll_annotates_innermost_only() {
+        let mut k = lower_trisolve();
+        annotate_unroll(&mut k.body, 4);
+        // Outer loop must not carry the unroll annotation.
+        match &k.body[0] {
+            Stmt::Loop {
+                annotations, body, ..
+            } => {
+                assert!(!annotations.iter().any(|a| matches!(a, Annotation::Unroll(_))));
+                let inner = body
+                    .iter()
+                    .find_map(|s| match s {
+                        Stmt::Loop { annotations, .. } => Some(annotations),
+                        _ => None,
+                    })
+                    .expect("inner loop");
+                assert!(inner.iter().any(|a| matches!(a, Annotation::Unroll(4))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vectorize_respects_trip_threshold() {
+        let mut k = lower_trisolve();
+        annotate_vectorize(&mut k.body, &[("j1".into(), 16)], 8);
+        let mut found = false;
+        crate::ast::visit_loops(&k.body, &mut |s| {
+            if let Stmt::Loop {
+                var, annotations, ..
+            } = s
+            {
+                if var == "j1" {
+                    found = annotations.iter().any(|a| matches!(a, Annotation::Vectorize));
+                }
+            }
+        });
+        assert!(found);
+        // Below threshold: no annotation.
+        let mut k2 = lower_trisolve();
+        annotate_vectorize(&mut k2.body, &[("j1".into(), 4)], 8);
+        crate::ast::visit_loops(&k2.body, &mut |s| {
+            if let Stmt::Loop {
+                var, annotations, ..
+            } = s
+            {
+                if var == "j1" {
+                    assert!(!annotations.iter().any(|a| matches!(a, Annotation::Vectorize)));
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,10 @@
+//! Inspector-guided and low-level AST transformations (paper §2.3–2.4,
+//! Figure 3).
+
+pub mod low_level;
+pub mod vi_prune;
+pub mod vs_block;
+
+pub use low_level::{apply_peeling, count_peeled};
+pub use vi_prune::apply_vi_prune;
+pub use vs_block::apply_vs_block;

@@ -1,0 +1,147 @@
+//! Variable Iteration Space Pruning (VI-Prune), paper §2.3.1 and
+//! Figure 3 (top): a loop over `0..m` marked with a
+//! [`Annotation::VIPruneCandidate`] becomes a loop over
+//! `0..pruneSetSize` whose body reads `j = pruneSet[p]` and has every
+//! use of the original index replaced.
+
+use crate::ast::{Annotation, Expr, Kernel, Stmt};
+
+/// Apply VI-Prune to the first candidate loop found (depth-first).
+/// `set_name` is the inspection-set array name to bind (e.g.
+/// `"pruneSet"`); `set_size_name` its length variable.
+///
+/// Returns `true` if a candidate was found and transformed.
+pub fn apply_vi_prune(kernel: &mut Kernel, set_name: &str, set_size_name: &str) -> bool {
+    fn rewrite(stmts: &mut Vec<Stmt>, set_name: &str, set_size_name: &str) -> bool {
+        for s in stmts.iter_mut() {
+            if let Stmt::Loop {
+                var,
+                body,
+                annotations,
+                ..
+            } = s
+            {
+                let is_candidate = annotations.iter().any(
+                    |a| matches!(a, Annotation::VIPruneCandidate { set } if set == set_name),
+                );
+                if is_candidate {
+                    // New loop: for p_var in 0..setSize, with
+                    //   var' = set[p_var]
+                    // and all uses of `var` replaced by `var'`.
+                    let p_var = format!("p_{var}");
+                    let new_idx = Expr::idx(set_name, Expr::var(&p_var));
+                    let bound_var = format!("{var}_p");
+                    let mut new_body = vec![Stmt::Let {
+                        name: bound_var.clone(),
+                        rhs: new_idx,
+                    }];
+                    new_body.extend(
+                        body.iter()
+                            .map(|st| st.substitute(var, &Expr::var(&bound_var))),
+                    );
+                    let kept: Vec<Annotation> = annotations
+                        .iter()
+                        .filter(|a| !matches!(a, Annotation::VIPruneCandidate { .. }))
+                        .cloned()
+                        .collect();
+                    *s = Stmt::Loop {
+                        var: p_var,
+                        lo: Expr::Int(0),
+                        hi: Expr::var(set_size_name),
+                        body: new_body,
+                        annotations: kept,
+                    };
+                    return true;
+                }
+                if rewrite(body, set_name, set_size_name) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+    rewrite(&mut kernel.body, set_name, set_size_name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::visit_loops;
+    use crate::lower::lower_trisolve;
+
+    #[test]
+    fn prunes_the_outer_trisolve_loop() {
+        let mut k = lower_trisolve();
+        assert!(apply_vi_prune(&mut k, "pruneSet", "pruneSetSize"));
+        // Outer loop now runs over the prune set.
+        match &k.body[0] {
+            Stmt::Loop { var, hi, body, .. } => {
+                assert_eq!(var, "p_j0");
+                assert_eq!(*hi, Expr::var("pruneSetSize"));
+                // First body statement binds the pruned index.
+                match &body[0] {
+                    Stmt::Let { name, rhs } => {
+                        assert_eq!(name, "j0_p");
+                        assert_eq!(*rhs, Expr::idx("pruneSet", Expr::var("p_j0")));
+                    }
+                    other => panic!("expected Let, got {other:?}"),
+                }
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_uses_are_replaced_fig3_semantics() {
+        let mut k = lower_trisolve();
+        apply_vi_prune(&mut k, "pruneSet", "pruneSetSize");
+        // No remaining reference to the original loop index j0 anywhere.
+        fn expr_uses_var(e: &Expr, v: &str) -> bool {
+            match e {
+                Expr::Int(_) => false,
+                Expr::Var(x) => x == v,
+                Expr::Index(_, i) => expr_uses_var(i, v),
+                Expr::Bin(_, l, r) => expr_uses_var(l, v) || expr_uses_var(r, v),
+            }
+        }
+        fn stmt_uses_var(s: &Stmt, v: &str) -> bool {
+            match s {
+                Stmt::Loop { lo, hi, body, .. } => {
+                    expr_uses_var(lo, v)
+                        || expr_uses_var(hi, v)
+                        || body.iter().any(|s| stmt_uses_var(s, v))
+                }
+                Stmt::Assign { index, rhs, .. } => {
+                    expr_uses_var(index, v) || expr_uses_var(rhs, v)
+                }
+                Stmt::Let { rhs, .. } => expr_uses_var(rhs, v),
+                Stmt::Comment(_) => false,
+            }
+        }
+        assert!(!k.body.iter().any(|s| stmt_uses_var(s, "j0")));
+    }
+
+    #[test]
+    fn candidate_annotation_is_consumed() {
+        let mut k = lower_trisolve();
+        apply_vi_prune(&mut k, "pruneSet", "pruneSetSize");
+        let mut candidates = 0;
+        visit_loops(&k.body, &mut |s| {
+            if let Stmt::Loop { annotations, .. } = s {
+                candidates += annotations
+                    .iter()
+                    .filter(|a| matches!(a, crate::ast::Annotation::VIPruneCandidate { .. }))
+                    .count();
+            }
+        });
+        assert_eq!(candidates, 0);
+        // Applying again finds nothing.
+        assert!(!apply_vi_prune(&mut k, "pruneSet", "pruneSetSize"));
+    }
+
+    #[test]
+    fn wrong_set_name_is_ignored() {
+        let mut k = lower_trisolve();
+        assert!(!apply_vi_prune(&mut k, "someOtherSet", "sz"));
+    }
+}

@@ -1,0 +1,151 @@
+//! 2-D Variable-Sized Blocking (VS-Block), paper §2.3.2 and Figure 3
+//! (bottom): a loop nest marked with [`Annotation::VSBlockCandidate`]
+//! becomes an outer loop over variable-sized blocks with inner loops
+//! over each block's extent, plus block-local dense kernels.
+
+use crate::ast::{Annotation, AssignOp, Expr, Kernel, Stmt};
+
+/// Apply VS-Block to the first candidate loop found. The rewritten
+/// code follows Figure 3d:
+///
+/// ```text
+/// for b in 0..blockSetSize {
+///     // diagonal: dense kernel on block b
+///     for j1 in 0..blockWidth[b] { ... }
+///     // off-diagonal: dense update over the block's rows
+///     for j2 in 0..blockRows[b] { ... }
+/// }
+/// ```
+///
+/// The diagonal/off-diagonal split is the method-dependent part the
+/// paper describes ("the type of numerical method used may need to
+/// change after applying this transformation"): `diag_kernel` and
+/// `offdiag_kernel` name the dense kernels to call, and become
+/// annotated statements in the emitted code.
+pub fn apply_vs_block(kernel: &mut Kernel, diag_kernel: &str, offdiag_kernel: &str) -> bool {
+    fn rewrite(stmts: &mut Vec<Stmt>, diag_kernel: &str, offdiag_kernel: &str) -> bool {
+        for s in stmts.iter_mut() {
+            if let Stmt::Loop {
+                var,
+                body,
+                annotations,
+                ..
+            } = s
+            {
+                let is_candidate = annotations
+                    .iter()
+                    .any(|a| matches!(a, Annotation::VSBlockCandidate { .. }));
+                if is_candidate {
+                    let b = "b";
+                    let mut new_body = vec![
+                        Stmt::Comment(format!(
+                            "block {var}-range: blockSet[{b}] .. blockSet[{b}+1]"
+                        )),
+                        Stmt::Let {
+                            name: format!("{var}_first"),
+                            rhs: Expr::idx("blockSet", Expr::var(b)),
+                        },
+                        Stmt::Let {
+                            name: format!("{var}_width"),
+                            rhs: Expr::Bin(
+                                crate::ast::BinOp::Sub,
+                                Box::new(Expr::idx(
+                                    "blockSet",
+                                    Expr::add(Expr::var(b), Expr::Int(1)),
+                                )),
+                                Box::new(Expr::idx("blockSet", Expr::var(b))),
+                            ),
+                        },
+                        Stmt::Comment(
+                            "per-block numeric body (update phase over the block)".into(),
+                        ),
+                    ];
+                    // Retain the original body, rebased on the block's
+                    // first column — the update-phase statements (which
+                    // a prior VI-Prune may already have specialized).
+                    new_body.extend(
+                        body.iter()
+                            .map(|st| st.substitute(var, &Expr::var(&format!("{var}_first")))),
+                    );
+                    new_body.extend([
+                        Stmt::Comment(format!("diagonal block: {diag_kernel}")),
+                        Stmt::Assign {
+                            array: diag_kernel.to_string(),
+                            index: Expr::var(b),
+                            op: AssignOp::Set,
+                            rhs: Expr::var(&format!("{var}_width")),
+                        },
+                        Stmt::Comment(format!("off-diagonal panel: {offdiag_kernel}")),
+                        Stmt::Assign {
+                            array: offdiag_kernel.to_string(),
+                            index: Expr::var(b),
+                            op: AssignOp::Set,
+                            rhs: Expr::var(&format!("{var}_width")),
+                        },
+                    ]);
+                    let kept: Vec<Annotation> = annotations
+                        .iter()
+                        .filter(|a| !matches!(a, Annotation::VSBlockCandidate { .. }))
+                        .cloned()
+                        .chain([Annotation::Unroll(1)])
+                        .collect();
+                    *s = Stmt::Loop {
+                        var: b.to_string(),
+                        lo: Expr::Int(0),
+                        hi: Expr::var("blockSetSize"),
+                        body: new_body,
+                        annotations: kept,
+                    };
+                    return true;
+                }
+                if let Stmt::Loop { body, .. } = s {
+                    if rewrite(body, diag_kernel, offdiag_kernel) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+    rewrite(&mut kernel.body, diag_kernel, offdiag_kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower_cholesky, lower_trisolve};
+
+    #[test]
+    fn blocks_the_trisolve_loop() {
+        let mut k = lower_trisolve();
+        assert!(apply_vs_block(&mut k, "dense_trsv", "dense_gemv"));
+        match &k.body[0] {
+            Stmt::Loop { var, hi, body, .. } => {
+                assert_eq!(var, "b");
+                assert_eq!(*hi, Expr::var("blockSetSize"));
+                let comments: Vec<&str> = body
+                    .iter()
+                    .filter_map(|s| match s {
+                        Stmt::Comment(c) => Some(c.as_str()),
+                        _ => None,
+                    })
+                    .collect();
+                assert!(comments.iter().any(|c| c.contains("dense_trsv")));
+                assert!(comments.iter().any(|c| c.contains("dense_gemv")));
+            }
+            other => panic!("expected block loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blocks_the_cholesky_outer_loop() {
+        let mut k = lower_cholesky();
+        assert!(apply_vs_block(&mut k, "dense_potrf", "dense_trsm"));
+        match &k.body[0] {
+            Stmt::Loop { var, .. } => assert_eq!(var, "b"),
+            other => panic!("expected block loop, got {other:?}"),
+        }
+        // The candidate is consumed.
+        assert!(!apply_vs_block(&mut k, "dense_potrf", "dense_trsm"));
+    }
+}

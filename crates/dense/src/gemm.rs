@@ -1,0 +1,225 @@
+//! Dense multiply-subtract kernels: the descendant-update workhorses of
+//! supernodal Cholesky ("VS-Block also converts the update phase from
+//! vector operations to matrix operations", §3.2).
+//!
+//! All kernels *subtract* the product from the destination because every
+//! use in sparse factorization is a Schur-complement update.
+
+/// `y[0..m] -= A[0..m, 0..k] * x[0..k]` (column-major `A`, `lda`).
+pub fn gemv_sub(m: usize, k: usize, a: &[f64], lda: usize, x: &[f64], y: &mut [f64]) {
+    assert!(lda >= m, "lda too small");
+    assert!(x.len() >= k && y.len() >= m, "operand too short");
+    let y = &mut y[..m];
+    for (p, &xp) in x.iter().enumerate().take(k) {
+        if xp == 0.0 {
+            continue;
+        }
+        let col = &a[p * lda..p * lda + m];
+        for (yi, &aip) in y.iter_mut().zip(col) {
+            *yi -= aip * xp;
+        }
+    }
+}
+
+/// `C[0..m, 0..n] -= A[0..m, 0..k] * B[0..n, 0..k]^T`
+/// (all column-major with leading dimensions `lda`, `ldb`, `ldc`).
+///
+/// The inner structure is a rank-k accumulation by columns: for each
+/// output column `j`, subtract `sum_p B[j,p] * A[:,p]` — contiguous
+/// axpy over `A` columns, which vectorizes well.
+pub fn gemm_nt_sub(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    assert!(lda >= m && ldc >= m && ldb >= n, "leading dimension too small");
+    for j in 0..n {
+        let cj = &mut c[j * ldc..j * ldc + m];
+        // Unroll the rank dimension by two to cut loop overhead; the
+        // remainder is handled below.
+        let mut p = 0;
+        while p + 1 < k {
+            let b0 = b[p * ldb + j];
+            let b1 = b[(p + 1) * ldb + j];
+            if b0 == 0.0 && b1 == 0.0 {
+                p += 2;
+                continue;
+            }
+            let a0 = &a[p * lda..p * lda + m];
+            let a1 = &a[(p + 1) * lda..(p + 1) * lda + m];
+            for ((ci, &x0), &x1) in cj.iter_mut().zip(a0).zip(a1) {
+                *ci -= b0 * x0 + b1 * x1;
+            }
+            p += 2;
+        }
+        if p < k {
+            let b0 = b[p * ldb + j];
+            if b0 != 0.0 {
+                let a0 = &a[p * lda..p * lda + m];
+                for (ci, &x0) in cj.iter_mut().zip(a0) {
+                    *ci -= b0 * x0;
+                }
+            }
+        }
+    }
+}
+
+/// `C[0..n, 0..n] -= A[0..n, 0..k] * A[0..n, 0..k]^T`, updating only the
+/// lower triangle of `C` (BLAS `dsyrk`, lower / no-trans, alpha = -1).
+pub fn syrk_ln_sub(n: usize, k: usize, a: &[f64], lda: usize, c: &mut [f64], ldc: usize) {
+    assert!(lda >= n && ldc >= n, "leading dimension too small");
+    for j in 0..n {
+        let cj = &mut c[j * ldc + j..j * ldc + n];
+        for p in 0..k {
+            let ajp = a[p * lda + j];
+            if ajp == 0.0 {
+                continue;
+            }
+            let col = &a[p * lda + j..p * lda + n];
+            for (ci, &aip) in cj.iter_mut().zip(col) {
+                *ci -= ajp * aip;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::DenseMat;
+
+    fn fill(m: usize, n: usize, seed: u64) -> DenseMat {
+        let mut s = seed;
+        let mut out = DenseMat::zeros(m, n);
+        for j in 0..n {
+            for i in 0..m {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(11);
+                out.set(i, j, ((s >> 40) as f64) / 1e7 - 0.8);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gemv_sub_matches_reference() {
+        let a = fill(5, 3, 1);
+        let x = vec![1.0, -2.0, 0.5];
+        let mut y = vec![10.0; 5];
+        gemv_sub(5, 3, a.as_slice(), 5, &x, &mut y);
+        let ax = a.matvec(&x);
+        for i in 0..5 {
+            assert!((y[i] - (10.0 - ax[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_reference() {
+        for &(m, n, k) in &[(1usize, 1usize, 1usize), (4, 3, 2), (5, 5, 5), (7, 2, 9), (3, 8, 1)] {
+            let a = fill(m, k, 2);
+            let b = fill(n, k, 3);
+            let mut c = fill(m, n, 4);
+            let orig = c.clone();
+            gemm_nt_sub(m, n, k, a.as_slice(), m, b.as_slice(), n, c.as_mut_slice(), m);
+            let expect = a.matmul(&b.transpose());
+            for j in 0..n {
+                for i in 0..m {
+                    let want = orig.get(i, j) - expect.get(i, j);
+                    assert!(
+                        (c.get(i, j) - want).abs() < 1e-10,
+                        "({i},{j}) m={m} n={n} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_with_padding() {
+        let (m, n, k) = (3usize, 2usize, 4usize);
+        let (lda, ldb, ldc) = (5usize, 4usize, 6usize);
+        let a_c = fill(m, k, 5);
+        let b_c = fill(n, k, 6);
+        let c_c = fill(m, n, 7);
+        // Padded copies.
+        let mut a = vec![f64::NAN; lda * k];
+        let mut b = vec![f64::NAN; ldb * k];
+        let mut c = vec![-3.0; ldc * n];
+        for p in 0..k {
+            for i in 0..m {
+                a[p * lda + i] = a_c.get(i, p);
+            }
+            for i in 0..n {
+                b[p * ldb + i] = b_c.get(i, p);
+            }
+        }
+        for j in 0..n {
+            for i in 0..m {
+                c[j * ldc + i] = c_c.get(i, j);
+            }
+        }
+        gemm_nt_sub(m, n, k, &a, lda, &b, ldb, &mut c, ldc);
+        let mut c_ref = c_c.clone();
+        gemm_nt_sub(
+            m,
+            n,
+            k,
+            a_c.as_slice(),
+            m,
+            b_c.as_slice(),
+            n,
+            c_ref.as_mut_slice(),
+            m,
+        );
+        for j in 0..n {
+            for i in 0..m {
+                assert!((c[j * ldc + i] - c_ref.get(i, j)).abs() < 1e-12);
+            }
+            assert_eq!(c[j * ldc + m], -3.0, "padding untouched");
+        }
+    }
+
+    #[test]
+    fn syrk_matches_gemm_on_lower_triangle() {
+        let (n, k) = (6usize, 4usize);
+        let a = fill(n, k, 8);
+        let mut c_syrk = fill(n, n, 9);
+        let mut c_gemm = c_syrk.clone();
+        syrk_ln_sub(n, k, a.as_slice(), n, c_syrk.as_mut_slice(), n);
+        gemm_nt_sub(
+            n,
+            n,
+            k,
+            a.as_slice(),
+            n,
+            a.as_slice(),
+            n,
+            c_gemm.as_mut_slice(),
+            n,
+        );
+        for j in 0..n {
+            for i in 0..n {
+                if i >= j {
+                    assert!((c_syrk.get(i, j) - c_gemm.get(i, j)).abs() < 1e-12);
+                } else {
+                    // Strict upper triangle untouched by syrk.
+                    assert_eq!(c_syrk.get(i, j), fill(n, n, 9).get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rank_is_noop() {
+        let mut c = vec![1.0, 2.0, 3.0, 4.0];
+        let orig = c.clone();
+        gemm_nt_sub(2, 2, 0, &[], 2, &[], 2, &mut c, 2);
+        syrk_ln_sub(2, 0, &[], 2, &mut c, 2);
+        assert_eq!(c, orig);
+    }
+}

@@ -1,0 +1,147 @@
+//! Dense Cholesky factorization (LAPACK `dpotrf`, lower variant) —
+//! the diagonal-block kernel of supernodal sparse Cholesky (§2.3.2:
+//! "applying VS-Block to Cholesky factorization requires dense Cholesky
+//! factorization on the diagonal segment of the blocks").
+
+/// In-place lower Cholesky of the leading `n x n` block of a
+/// column-major buffer with leading dimension `lda`. On success the
+/// lower triangle holds `L` with `A = L L^T`; the strict upper triangle
+/// is untouched.
+///
+/// Returns `Err(j)` if pivot `j` is not strictly positive (matrix not
+/// positive definite), matching LAPACK's `info` semantics.
+pub fn potrf_lower(n: usize, a: &mut [f64], lda: usize) -> Result<(), usize> {
+    assert!(lda >= n, "leading dimension too small");
+    assert!(a.len() >= lda * n.saturating_sub(1) + n, "buffer too small");
+    // Left-looking unblocked: good for the small/medium diagonal blocks
+    // supernodal codes produce (typically n <= a few hundred).
+    for j in 0..n {
+        // a[j..n, j] -= A[j..n, 0..j] * A[j, 0..j]^T
+        for k in 0..j {
+            let ajk = a[k * lda + j];
+            if ajk == 0.0 {
+                continue;
+            }
+            let (head, tail) = a.split_at_mut(j * lda);
+            let src = &head[k * lda + j..k * lda + n];
+            let dst = &mut tail[j..n];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d -= ajk * s;
+            }
+        }
+        let diag = a[j * lda + j];
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(j);
+        }
+        let root = diag.sqrt();
+        let inv = 1.0 / root;
+        let col = &mut a[j * lda + j..j * lda + n];
+        col[0] = root;
+        for v in &mut col[1..] {
+            *v *= inv;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::DenseMat;
+
+    fn reconstruct_lower(n: usize, a: &[f64], lda: usize) -> DenseMat {
+        // L L^T from the lower triangle of `a`.
+        let mut l = DenseMat::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l.set(i, j, a[j * lda + i]);
+            }
+        }
+        l.matmul(&l.transpose())
+    }
+
+    #[test]
+    fn factors_identity() {
+        let n = 4;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 1.0;
+        }
+        potrf_lower(n, &mut a, n).unwrap();
+        for i in 0..n {
+            assert_eq!(a[i * n + i], 1.0);
+        }
+    }
+
+    #[test]
+    fn factors_random_spd_sizes() {
+        for n in [1usize, 2, 3, 5, 8, 16, 33] {
+            let m = DenseMat::random_spd(n, n as u64);
+            let mut a = m.as_slice().to_vec();
+            potrf_lower(n, &mut a, n).unwrap_or_else(|j| panic!("n={n} failed at {j}"));
+            let rec = reconstruct_lower(n, &a, n);
+            assert!(
+                rec.max_abs_diff(&m) < 1e-9 * (n as f64),
+                "n={n}: reconstruction error {}",
+                rec.max_abs_diff(&m)
+            );
+        }
+    }
+
+    #[test]
+    fn respects_leading_dimension() {
+        // Factor a 3x3 block living inside a 5-row buffer.
+        let n = 3;
+        let lda = 5;
+        let m = DenseMat::random_spd(n, 7);
+        let mut a = vec![f64::NAN; lda * n];
+        for j in 0..n {
+            for i in 0..n {
+                a[j * lda + i] = m.get(i, j);
+            }
+        }
+        // Rows 3..5 of each column are padding; set to sentinels.
+        for j in 0..n {
+            for i in n..lda {
+                a[j * lda + i] = -777.0;
+            }
+        }
+        potrf_lower(n, &mut a, lda).unwrap();
+        let rec = reconstruct_lower(n, &a, lda);
+        assert!(rec.max_abs_diff(&m) < 1e-10);
+        for j in 0..n {
+            for i in n..lda {
+                assert_eq!(a[j * lda + i], -777.0, "padding must be untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        // [[1, 2], [2, 1]] has a negative eigenvalue.
+        let mut a = vec![1.0, 2.0, 2.0, 1.0];
+        assert_eq!(potrf_lower(2, &mut a, 2), Err(1));
+    }
+
+    #[test]
+    fn rejects_zero_pivot_immediately() {
+        let mut a = vec![0.0, 0.0, 0.0, 1.0];
+        assert_eq!(potrf_lower(2, &mut a, 2), Err(0));
+    }
+
+    #[test]
+    fn known_2x2() {
+        // A = [[4, 2], [2, 5]] -> L = [[2, 0], [1, 2]]
+        let mut a = vec![4.0, 2.0, 2.0, 5.0];
+        potrf_lower(2, &mut a, 2).unwrap();
+        assert!((a[0] - 2.0).abs() < 1e-15);
+        assert!((a[1] - 1.0).abs() < 1e-15);
+        assert!((a[3] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_matrix_is_ok() {
+        let mut a: Vec<f64> = vec![];
+        assert!(potrf_lower(0, &mut a, 0).is_ok());
+    }
+}

@@ -1,0 +1,296 @@
+//! Specialized fixed-size kernels — what Sympiler "generates" for small
+//! dense sub-blocks.
+//!
+//! The paper (§4.2): "Since BLAS routines are not well-optimized for
+//! small dense kernels they often do not perform well for the small
+//! blocks produced when applying VS-Block to sparse codes. ... Sympiler
+//! has the luxury to generate code for its dense sub-kernels."
+//!
+//! Here the "generated" kernels are monomorphized, fully unrolled Rust
+//! functions for widths 1..=4 plus width-dispatched drivers. The
+//! executable plan (sympiler-core) selects them at *inspection* time,
+//! so the numeric phase pays no dispatch cost per element.
+
+/// Fully unrolled lower Cholesky for n in 1..=4. Falls back to the
+/// generic kernel above this size. Returns `Err(j)` on a non-positive
+/// pivot.
+#[inline]
+pub fn potrf_small(n: usize, a: &mut [f64], lda: usize) -> Result<(), usize> {
+    match n {
+        0 => Ok(()),
+        1 => {
+            let d = a[0];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(0);
+            }
+            a[0] = d.sqrt();
+            Ok(())
+        }
+        2 => {
+            let d0 = a[0];
+            if d0 <= 0.0 || !d0.is_finite() {
+                return Err(0);
+            }
+            let l00 = d0.sqrt();
+            let l10 = a[1] / l00;
+            let d1 = a[lda + 1] - l10 * l10;
+            if d1 <= 0.0 || !d1.is_finite() {
+                return Err(1);
+            }
+            a[0] = l00;
+            a[1] = l10;
+            a[lda + 1] = d1.sqrt();
+            Ok(())
+        }
+        3 => {
+            let d0 = a[0];
+            if d0 <= 0.0 || !d0.is_finite() {
+                return Err(0);
+            }
+            let l00 = d0.sqrt();
+            let inv0 = 1.0 / l00;
+            let l10 = a[1] * inv0;
+            let l20 = a[2] * inv0;
+            let d1 = a[lda + 1] - l10 * l10;
+            if d1 <= 0.0 || !d1.is_finite() {
+                return Err(1);
+            }
+            let l11 = d1.sqrt();
+            let l21 = (a[lda + 2] - l20 * l10) / l11;
+            let d2 = a[2 * lda + 2] - l20 * l20 - l21 * l21;
+            if d2 <= 0.0 || !d2.is_finite() {
+                return Err(2);
+            }
+            a[0] = l00;
+            a[1] = l10;
+            a[2] = l20;
+            a[lda + 1] = l11;
+            a[lda + 2] = l21;
+            a[2 * lda + 2] = d2.sqrt();
+            Ok(())
+        }
+        4 => {
+            // Unrolled 4x4 via two nested 2x2 steps would be long; a
+            // tight fixed-trip-count loop lets LLVM fully unroll.
+            potrf_fixed::<4>(a, lda)
+        }
+        _ => crate::potrf::potrf_lower(n, a, lda),
+    }
+}
+
+/// Compile-time-sized Cholesky; `N` is a const so LLVM unrolls all
+/// loops and keeps everything in registers.
+#[inline]
+pub fn potrf_fixed<const N: usize>(a: &mut [f64], lda: usize) -> Result<(), usize> {
+    for j in 0..N {
+        let mut d = a[j * lda + j];
+        for k in 0..j {
+            let v = a[k * lda + j];
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(j);
+        }
+        let root = d.sqrt();
+        a[j * lda + j] = root;
+        let inv = 1.0 / root;
+        for i in j + 1..N {
+            let mut s = a[j * lda + i];
+            for k in 0..j {
+                s -= a[k * lda + i] * a[k * lda + j];
+            }
+            a[j * lda + i] = s * inv;
+        }
+    }
+    Ok(())
+}
+
+/// Unrolled forward solve for n in 1..=4 (falls back above).
+#[inline]
+pub fn trsv_small(n: usize, l: &[f64], lda: usize, x: &mut [f64]) {
+    match n {
+        0 => {}
+        1 => x[0] /= l[0],
+        2 => {
+            let x0 = x[0] / l[0];
+            x[0] = x0;
+            x[1] = (x[1] - l[1] * x0) / l[lda + 1];
+        }
+        3 => {
+            let x0 = x[0] / l[0];
+            let x1 = (x[1] - l[1] * x0) / l[lda + 1];
+            let x2 = (x[2] - l[2] * x0 - l[lda + 2] * x1) / l[2 * lda + 2];
+            x[0] = x0;
+            x[1] = x1;
+            x[2] = x2;
+        }
+        4 => {
+            let x0 = x[0] / l[0];
+            let x1 = (x[1] - l[1] * x0) / l[lda + 1];
+            let x2 = (x[2] - l[2] * x0 - l[lda + 2] * x1) / l[2 * lda + 2];
+            let x3 = (x[3] - l[3] * x0 - l[lda + 3] * x1 - l[2 * lda + 3] * x2)
+                / l[3 * lda + 3];
+            x[0] = x0;
+            x[1] = x1;
+            x[2] = x2;
+            x[3] = x3;
+        }
+        _ => crate::trsv::trsv_lower(n, l, lda, x),
+    }
+}
+
+/// Rank-1/2/3/4 panel update `y[0..m] -= A[0..m, 0..k] * x[0..k]` with
+/// the rank fully unrolled — the specialized gather-update of the
+/// Sympiler triangular-solve plan (supernode width is fixed per block
+/// at inspection time).
+#[inline]
+pub fn gemv_sub_small(m: usize, k: usize, a: &[f64], lda: usize, x: &[f64], y: &mut [f64]) {
+    let y = &mut y[..m];
+    match k {
+        0 => {}
+        1 => {
+            let x0 = x[0];
+            for (yi, &a0) in y.iter_mut().zip(&a[..m]) {
+                *yi -= a0 * x0;
+            }
+        }
+        2 => {
+            let (x0, x1) = (x[0], x[1]);
+            let a0 = &a[..m];
+            let a1 = &a[lda..lda + m];
+            for ((yi, &v0), &v1) in y.iter_mut().zip(a0).zip(a1) {
+                *yi -= v0 * x0 + v1 * x1;
+            }
+        }
+        3 => {
+            let (x0, x1, x2) = (x[0], x[1], x[2]);
+            let a0 = &a[..m];
+            let a1 = &a[lda..lda + m];
+            let a2 = &a[2 * lda..2 * lda + m];
+            for (((yi, &v0), &v1), &v2) in y.iter_mut().zip(a0).zip(a1).zip(a2) {
+                *yi -= v0 * x0 + v1 * x1 + v2 * x2;
+            }
+        }
+        4 => {
+            let (x0, x1, x2, x3) = (x[0], x[1], x[2], x[3]);
+            let a0 = &a[..m];
+            let a1 = &a[lda..lda + m];
+            let a2 = &a[2 * lda..2 * lda + m];
+            let a3 = &a[3 * lda..3 * lda + m];
+            for ((((yi, &v0), &v1), &v2), &v3) in
+                y.iter_mut().zip(a0).zip(a1).zip(a2).zip(a3)
+            {
+                *yi -= v0 * x0 + v1 * x1 + v2 * x2 + v3 * x3;
+            }
+        }
+        _ => crate::gemm::gemv_sub(m, k, a, lda, x, y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::DenseMat;
+    use crate::potrf::potrf_lower;
+    use crate::trsv::trsv_lower;
+
+    #[test]
+    fn potrf_small_matches_generic() {
+        for n in 1..=6usize {
+            let m = DenseMat::random_spd(n, 100 + n as u64);
+            let mut a1 = m.as_slice().to_vec();
+            let mut a2 = a1.clone();
+            potrf_small(n, &mut a1, n).unwrap();
+            potrf_lower(n, &mut a2, n).unwrap();
+            for j in 0..n {
+                for i in j..n {
+                    assert!(
+                        (a1[j * n + i] - a2[j * n + i]).abs() < 1e-12,
+                        "n={n} ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_small_rejects_indefinite() {
+        let mut a1 = vec![1.0, 2.0, 2.0, 1.0];
+        assert_eq!(potrf_small(2, &mut a1, 2), Err(1));
+        let mut a2 = vec![-1.0];
+        assert_eq!(potrf_small(1, &mut a2, 1), Err(0));
+        let mut a3 = DenseMat::random_spd(3, 5).as_slice().to_vec();
+        a3[8] = -100.0; // poison the (2,2) entry
+        assert_eq!(potrf_small(3, &mut a3, 3), Err(2));
+    }
+
+    #[test]
+    fn trsv_small_matches_generic() {
+        for n in 1..=6usize {
+            let m = DenseMat::random_spd(n, 50 + n as u64);
+            let mut l = m.as_slice().to_vec();
+            potrf_lower(n, &mut l, n).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+            let mut x1 = b.clone();
+            let mut x2 = b;
+            trsv_small(n, &l, n, &mut x1);
+            trsv_lower(n, &l, n, &mut x2);
+            for (p, q) in x1.iter().zip(&x2) {
+                assert!((p - q).abs() < 1e-12, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_small_matches_generic() {
+        for k in 0..=6usize {
+            let m = 7;
+            let a = DenseMat::random_spd(7, 7 + k as u64);
+            let x: Vec<f64> = (0..k).map(|i| 1.0 - i as f64).collect();
+            let mut y1 = vec![3.0; m];
+            let mut y2 = vec![3.0; m];
+            gemv_sub_small(m, k, a.as_slice(), 7, &x, &mut y1);
+            crate::gemm::gemv_sub(m, k, a.as_slice(), 7, &x, &mut y2);
+            for (p, q) in y1.iter().zip(&y2) {
+                assert!((p - q).abs() < 1e-12, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_fixed_matches_generic() {
+        let m = DenseMat::random_spd(4, 9);
+        let mut a1 = m.as_slice().to_vec();
+        let mut a2 = a1.clone();
+        potrf_fixed::<4>(&mut a1, 4).unwrap();
+        potrf_lower(4, &mut a2, 4).unwrap();
+        for j in 0..4 {
+            for i in j..4 {
+                assert!((a1[j * 4 + i] - a2[j * 4 + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn respects_lda() {
+        let n = 3;
+        let lda = 5;
+        let m = DenseMat::random_spd(n, 21);
+        let mut padded = vec![f64::NAN; lda * n];
+        for j in 0..n {
+            for i in j..n {
+                padded[j * lda + i] = m.get(i, j);
+            }
+            // (symmetric upper needed by nothing; leave NaN)
+        }
+        // potrf_small reads only the lower triangle.
+        potrf_small(n, &mut padded, lda).unwrap();
+        let mut compact = m.as_slice().to_vec();
+        potrf_lower(n, &mut compact, n).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                assert!((padded[j * lda + i] - compact[j * n + i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Dense triangular solve with multiple right-hand sides (BLAS `dtrsm`),
+//! the off-diagonal panel kernel of supernodal Cholesky: after the
+//! diagonal block of a supernode is factored, the sub-diagonal panel `B`
+//! is overwritten with `B * L^{-T}` ("the off-diagonal segments of the
+//! blocks must be updated using a set of dense triangular solves",
+//! §2.3.2).
+
+/// `B := B * L^{-T}` where `L` is the leading `n x n` lower triangle of
+/// a column-major buffer (`lda`), and `B` is `m x n` column-major
+/// (`ldb`). Equivalent to `dtrsm(side=R, uplo=L, trans=T, diag=N)`.
+pub fn trsm_right_lower_trans(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    lda: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    assert!(lda >= n, "lda too small");
+    assert!(ldb >= m, "ldb too small");
+    if n > 0 {
+        assert!(l.len() >= lda * (n - 1) + n, "L buffer too small");
+        assert!(b.len() >= ldb * (n - 1) + m, "B buffer too small");
+    }
+    // X L^T = B  =>  column j of X:
+    //   x_j = (b_j - sum_{k<j} x_k L[j,k]) / L[j,j]
+    for j in 0..n {
+        let ljj = l[j * lda + j];
+        for k in 0..j {
+            let ljk = l[k * lda + j];
+            if ljk == 0.0 {
+                continue;
+            }
+            let (head, tail) = b.split_at_mut(j * ldb);
+            let xk = &head[k * ldb..k * ldb + m];
+            let bj = &mut tail[..m];
+            for (dst, &src) in bj.iter_mut().zip(xk) {
+                *dst -= ljk * src;
+            }
+        }
+        let inv = 1.0 / ljj;
+        for v in &mut b[j * ldb..j * ldb + m] {
+            *v *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::DenseMat;
+    use crate::potrf::potrf_lower;
+
+    /// Multiply `X * L^T` back and compare with the original `B`.
+    fn check_roundtrip(m: usize, n: usize, seed: u64) {
+        let spd = DenseMat::random_spd(n, seed);
+        let mut l = spd.as_slice().to_vec();
+        potrf_lower(n, &mut l, n).unwrap();
+        // Random B.
+        let mut b = DenseMat::zeros(m, n);
+        let mut s = seed.wrapping_add(99);
+        for j in 0..n {
+            for i in 0..m {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                b.set(i, j, ((s >> 40) as f64) / 1e6 - 4.0);
+            }
+        }
+        let mut x = b.clone();
+        trsm_right_lower_trans(m, n, &l, n, x.as_mut_slice(), m);
+        // Reconstruct: B' = X L^T.
+        let mut lmat = DenseMat::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                lmat.set(i, j, l[j * n + i]);
+            }
+        }
+        let back = x.matmul(&lmat.transpose());
+        assert!(
+            back.max_abs_diff(&b) < 1e-9,
+            "m={m}, n={n}: {}",
+            back.max_abs_diff(&b)
+        );
+    }
+
+    #[test]
+    fn roundtrips_various_shapes() {
+        for &(m, n) in &[(1usize, 1usize), (4, 1), (1, 4), (5, 3), (8, 8), (17, 6)] {
+            check_roundtrip(m, n, (m * 31 + n) as u64);
+        }
+    }
+
+    #[test]
+    fn identity_l_is_noop() {
+        let n = 3;
+        let m = 4;
+        let mut l = vec![0.0; n * n];
+        for i in 0..n {
+            l[i * n + i] = 1.0;
+        }
+        let orig: Vec<f64> = (0..m * n).map(|k| k as f64).collect();
+        let mut b = orig.clone();
+        trsm_right_lower_trans(m, n, &l, n, &mut b, m);
+        assert_eq!(b, orig);
+    }
+
+    #[test]
+    fn diagonal_l_scales_columns() {
+        // L = diag(2, 4): X = B * L^{-T} scales column j by 1/L[j,j].
+        let l = vec![2.0, 0.0, 0.0, 4.0];
+        let mut b = vec![2.0, 4.0, 8.0, 16.0]; // 2x2
+        trsm_right_lower_trans(2, 2, &l, 2, &mut b, 2);
+        assert_eq!(b, vec![1.0, 2.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn respects_ldb_padding() {
+        let n = 2;
+        let m = 2;
+        let ldb = 5;
+        let spd = DenseMat::random_spd(n, 3);
+        let mut l = spd.as_slice().to_vec();
+        potrf_lower(n, &mut l, n).unwrap();
+        let mut b = vec![-9.0; ldb * n];
+        b[0] = 1.0;
+        b[1] = 2.0;
+        b[ldb] = 3.0;
+        b[ldb + 1] = 4.0;
+        let mut compact = vec![1.0, 2.0, 3.0, 4.0];
+        trsm_right_lower_trans(m, n, &l, n, &mut b, ldb);
+        trsm_right_lower_trans(m, n, &l, n, &mut compact, m);
+        assert!((b[0] - compact[0]).abs() < 1e-14);
+        assert!((b[1] - compact[1]).abs() < 1e-14);
+        assert!((b[ldb] - compact[2]).abs() < 1e-14);
+        assert!((b[ldb + 1] - compact[3]).abs() < 1e-14);
+        assert_eq!(b[2], -9.0, "padding untouched");
+    }
+
+    #[test]
+    fn zero_size_ok() {
+        let mut b: Vec<f64> = vec![];
+        trsm_right_lower_trans(0, 0, &[], 0, &mut b, 0);
+    }
+}

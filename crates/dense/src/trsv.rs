@@ -1,0 +1,120 @@
+//! Dense triangular solves with a single right-hand side (BLAS `dtrsv`),
+//! lower-triangular, non-unit diagonal. These are the diagonal-block
+//! kernels of supernodal triangular solve (§3.1: "The diagonal block of
+//! each column-block, which is a small triangular solve, is solved
+//! first").
+
+/// Solve `L x = b` in place (`x` enters holding `b`), where `L` is the
+/// leading `n x n` lower triangle of a column-major buffer with leading
+/// dimension `lda`.
+pub fn trsv_lower(n: usize, l: &[f64], lda: usize, x: &mut [f64]) {
+    assert!(lda >= n, "leading dimension too small");
+    assert!(x.len() >= n, "x too short");
+    for j in 0..n {
+        let col = &l[j * lda..j * lda + n];
+        let xj = x[j] / col[j];
+        x[j] = xj;
+        if xj != 0.0 {
+            let (_, xs) = x.split_at_mut(j + 1);
+            for (xi, &lij) in xs.iter_mut().zip(&col[j + 1..]) {
+                *xi -= lij * xj;
+            }
+        }
+    }
+}
+
+/// Solve `L^T x = b` in place (backward substitution on the same
+/// lower-triangular storage).
+pub fn trsv_lower_trans(n: usize, l: &[f64], lda: usize, x: &mut [f64]) {
+    assert!(lda >= n, "leading dimension too small");
+    assert!(x.len() >= n, "x too short");
+    for j in (0..n).rev() {
+        let col = &l[j * lda..j * lda + n];
+        // x[j] -= L[j+1..n, j] . x[j+1..n]
+        let dot: f64 = col[j + 1..]
+            .iter()
+            .zip(&x[j + 1..n])
+            .map(|(&lij, &xi)| lij * xi)
+            .sum();
+        x[j] = (x[j] - dot) / col[j];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::DenseMat;
+    use crate::potrf::potrf_lower;
+
+    fn spd_factor(n: usize, seed: u64) -> (DenseMat, Vec<f64>) {
+        let a = DenseMat::random_spd(n, seed);
+        let mut l = a.as_slice().to_vec();
+        potrf_lower(n, &mut l, n).unwrap();
+        (a, l)
+    }
+
+    #[test]
+    fn forward_solve_known() {
+        // L = [[2, 0], [1, 3]], b = [4, 7] -> x = [2, 5/3]
+        let l = vec![2.0, 1.0, 0.0, 3.0];
+        let mut x = vec![4.0, 7.0];
+        trsv_lower(2, &l, 2, &mut x);
+        assert!((x[0] - 2.0).abs() < 1e-15);
+        assert!((x[1] - 5.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn backward_solve_known() {
+        // L^T = [[2, 1], [0, 3]], b = [4, 6] -> x2 = 2, x1 = (4-2)/2 = 1
+        let l = vec![2.0, 1.0, 0.0, 3.0];
+        let mut x = vec![4.0, 6.0];
+        trsv_lower_trans(2, &l, 2, &mut x);
+        assert!((x[1] - 2.0).abs() < 1e-15);
+        assert!((x[0] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn forward_backward_solves_spd_system() {
+        for n in [1usize, 2, 3, 7, 20] {
+            let (a, l) = spd_factor(n, n as u64 + 1);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let mut x = b.clone();
+            trsv_lower(n, &l, n, &mut x);
+            trsv_lower_trans(n, &l, n, &mut x);
+            let ax = a.matvec(&x);
+            for (p, q) in ax.iter().zip(&b) {
+                assert!((p - q).abs() < 1e-8, "n={n}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_lda_padding() {
+        let n = 3;
+        let lda = 6;
+        let (_, l3) = spd_factor(n, 5);
+        let mut l = vec![f64::NAN; lda * n];
+        for j in 0..n {
+            for i in j..n {
+                l[j * lda + i] = l3[j * n + i];
+            }
+        }
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x1 = b.clone();
+        trsv_lower(n, &l, lda, &mut x1);
+        let mut x2 = b;
+        trsv_lower(n, &l3, n, &mut x2);
+        for (p, q) in x1.iter().zip(&x2) {
+            assert!((p - q).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn zero_rhs_stays_zero() {
+        let (_, l) = spd_factor(5, 9);
+        let mut x = vec![0.0; 5];
+        trsv_lower(5, &l, 5, &mut x);
+        trsv_lower_trans(5, &l, 5, &mut x);
+        assert!(x.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Row sparsity patterns of `L` via elimination-tree up-traversal —
+//! the Cholesky **prune-set** inspector of the paper (§3.2, Table 1:
+//! inspection graph = etree + SP(A), strategy = up-traversal,
+//! inspection set = SP(L_j) per row).
+//!
+//! `ereach(A, k)` returns the column indices `j < k` with `L[k,j] != 0`,
+//! i.e. exactly the columns whose updates column `k`'s factorization
+//! consumes in left-looking Cholesky (Figure 4's `PruneSet`). The
+//! traversal walks up the etree from each nonzero of `A(0..k, k)` until
+//! it hits an already-marked node, giving a cost proportional to the
+//! row's nonzero count — "nearly O(|A|)" across all rows (§3.2).
+
+use crate::etree::NONE;
+use sympiler_sparse::{ops, CscMatrix};
+
+/// Reusable workspace for [`ereach_into`].
+#[derive(Debug, Clone, Default)]
+pub struct EreachWorkspace {
+    /// Mark array: `mark[i] == stamp` means visited for the current row.
+    mark: Vec<usize>,
+    stamp: usize,
+    /// Scratch stack for one upward path.
+    path: Vec<usize>,
+}
+
+impl EreachWorkspace {
+    pub fn new(n: usize) -> Self {
+        Self {
+            mark: vec![0; n],
+            stamp: 0,
+            path: Vec::with_capacity(32),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+    }
+}
+
+/// Compute the pattern of row `k` of `L` (excluding the diagonal) for
+/// the symmetric matrix whose **upper triangle** is `a_upper`
+/// (i.e. `transpose(a_lower)`). Allocating convenience wrapper.
+pub fn ereach(a_upper: &CscMatrix, k: usize, parent: &[usize]) -> Vec<usize> {
+    let mut ws = EreachWorkspace::new(a_upper.n_cols());
+    let mut out = Vec::new();
+    ereach_into(a_upper, k, parent, &mut ws, &mut out);
+    out
+}
+
+/// As [`ereach`], writing into `out` (cleared first) and reusing `ws`.
+///
+/// The output is in **topological order with respect to the etree**
+/// (every node precedes its ancestors within the same path), which is a
+/// valid execution order for the left-looking update loop.
+pub fn ereach_into(
+    a_upper: &CscMatrix,
+    k: usize,
+    parent: &[usize],
+    ws: &mut EreachWorkspace,
+    out: &mut Vec<usize>,
+) {
+    let n = a_upper.n_cols();
+    assert!(k < n, "row {k} out of range {n}");
+    ws.ensure(n);
+    ws.stamp += 1;
+    let stamp = ws.stamp;
+    out.clear();
+    ws.mark[k] = stamp; // never include k itself
+    for &i in a_upper.col_rows(k) {
+        if i >= k {
+            continue; // lower/diagonal entries when given full storage
+        }
+        // Walk up the tree from i until a marked node, collecting the
+        // path, then emit it in root-ward order *after* reversing so the
+        // deepest (smallest) column comes first.
+        let mut x = i;
+        ws.path.clear();
+        while x != NONE && x < k && ws.mark[x] != stamp {
+            ws.path.push(x);
+            ws.mark[x] = stamp;
+            x = parent[x];
+        }
+        // The path runs child -> ancestor; children must execute first,
+        // so append as collected.
+        out.extend(ws.path.iter().copied());
+    }
+    // A canonical, fully sorted order is also topological for an etree
+    // (ancestors have larger indices), and makes downstream merging and
+    // testing deterministic.
+    out.sort_unstable();
+}
+
+/// All row patterns of `L`: returns `(row_ptr, row_idx)` in CSR-like
+/// form over rows `0..n` (diagonal excluded). This is the full
+/// prune-set table the Sympiler Cholesky inspector precomputes, so the
+/// numeric phase never calls `ereach` (§4.2: "the reach function ... is
+/// removed from the numeric code").
+pub fn row_patterns(a_lower: &CscMatrix, parent: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let at = ops::transpose(a_lower);
+    let n = a_lower.n_cols();
+    let mut ws = EreachWorkspace::new(n);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut row_idx = Vec::new();
+    let mut scratch = Vec::new();
+    row_ptr.push(0);
+    for k in 0..n {
+        ereach_into(&at, k, parent, &mut ws, &mut scratch);
+        row_idx.extend_from_slice(&scratch);
+        row_ptr.push(row_idx.len());
+    }
+    (row_ptr, row_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::etree;
+    use sympiler_sparse::gen;
+
+    /// Dense symbolic factorization for cross-checking row patterns.
+    fn brute_l_pattern(a_lower: &CscMatrix) -> Vec<Vec<bool>> {
+        let n = a_lower.n_cols();
+        let mut pat = vec![vec![false; n]; n]; // pat[j][i] = L[i,j] != 0
+        for j in 0..n {
+            for &i in a_lower.col_rows(j) {
+                pat[j][i] = true;
+            }
+        }
+        for j in 0..n {
+            let rows: Vec<usize> = (j + 1..n).filter(|&i| pat[j][i]).collect();
+            if let Some(&first) = rows.first() {
+                for &k in &rows[1..] {
+                    pat[first][k] = true;
+                }
+            }
+        }
+        pat
+    }
+
+    #[test]
+    fn ereach_matches_brute_force() {
+        for seed in 0..10u64 {
+            let a = gen::random_spd(35, 4, seed);
+            let parent = etree(&a);
+            let at = ops::transpose(&a);
+            let pat = brute_l_pattern(&a);
+            for k in 0..35 {
+                let r = ereach(&at, k, &parent);
+                let expect: Vec<usize> = (0..k).filter(|&j| pat[j][k]).collect();
+                assert_eq!(r, expect, "row {k}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn ereach_on_grid() {
+        let a = gen::grid2d_laplacian(5, 4, false, 1);
+        let parent = etree(&a);
+        let at = ops::transpose(&a);
+        let pat = brute_l_pattern(&a);
+        for k in 0..20 {
+            let r = ereach(&at, k, &parent);
+            let expect: Vec<usize> = (0..k).filter(|&j| pat[j][k]).collect();
+            assert_eq!(r, expect, "row {k}");
+        }
+    }
+
+    #[test]
+    fn first_row_is_empty() {
+        let a = gen::random_spd(20, 3, 2);
+        let parent = etree(&a);
+        let at = ops::transpose(&a);
+        assert!(ereach(&at, 0, &parent).is_empty());
+    }
+
+    #[test]
+    fn row_patterns_table_matches_per_row_calls() {
+        let a = gen::random_spd(30, 4, 5);
+        let parent = etree(&a);
+        let at = ops::transpose(&a);
+        let (ptr, idx) = row_patterns(&a, &parent);
+        assert_eq!(ptr.len(), 31);
+        for k in 0..30 {
+            let row = &idx[ptr[k]..ptr[k + 1]];
+            assert_eq!(row, ereach(&at, k, &parent).as_slice(), "row {k}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean() {
+        let a = gen::random_spd(25, 3, 8);
+        let parent = etree(&a);
+        let at = ops::transpose(&a);
+        let mut ws = EreachWorkspace::new(25);
+        let mut out = Vec::new();
+        for k in 0..25 {
+            ereach_into(&at, k, &parent, &mut ws, &mut out);
+            let fresh = ereach(&at, k, &parent);
+            assert_eq!(out, fresh, "row {k} with reused workspace");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_has_empty_rows() {
+        let a = CscMatrix::identity(8);
+        let parent = etree(&a);
+        let (ptr, idx) = row_patterns(&a, &parent);
+        assert!(idx.is_empty());
+        assert_eq!(ptr, vec![0; 9]);
+    }
+}

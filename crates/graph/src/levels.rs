@@ -1,0 +1,120 @@
+//! Level sets (wavefronts) of the dependence graph `DG_L`.
+//!
+//! Columns in the same level have no dependence path between them and
+//! can execute in parallel. The paper lists this as the natural
+//! extension of its inspection framework ("should extend to improve
+//! performance on shared and distributed memory systems", §1; realized
+//! later in the authors' ParSy). Used by the optional `parallel`
+//! executor in `sympiler-core`.
+
+use sympiler_sparse::CscMatrix;
+
+/// Level schedule of a lower-triangular matrix: `levels[l]` lists the
+/// columns whose longest dependence chain has length `l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSets {
+    /// Columns grouped by level, each group sorted ascending.
+    pub levels: Vec<Vec<usize>>,
+    /// `level_of[j]` = level of column `j`.
+    pub level_of: Vec<usize>,
+}
+
+impl LevelSets {
+    /// Number of levels (the critical-path length).
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Average available parallelism: columns per level.
+    pub fn avg_parallelism(&self) -> f64 {
+        if self.levels.is_empty() {
+            0.0
+        } else {
+            self.level_of.len() as f64 / self.levels.len() as f64
+        }
+    }
+}
+
+/// Compute level sets of `DG_L` for a lower-triangular matrix with
+/// diagonal-first columns. O(|L|).
+pub fn level_sets(l: &CscMatrix) -> LevelSets {
+    assert!(
+        l.is_lower_triangular_with_diag(),
+        "level sets need lower-triangular with diagonal"
+    );
+    let n = l.n_cols();
+    let mut level_of = vec![0usize; n];
+    // Forward sweep: an edge j -> i (i > j) forces level(i) > level(j).
+    for j in 0..n {
+        let lj = level_of[j];
+        for &i in &l.col_rows(j)[1..] {
+            if level_of[i] <= lj {
+                level_of[i] = lj + 1;
+            }
+        }
+    }
+    let n_levels = level_of.iter().copied().max().map_or(0, |m| m + 1);
+    let mut levels = vec![Vec::new(); n_levels];
+    for (j, &lv) in level_of.iter().enumerate() {
+        levels[lv].push(j);
+    }
+    LevelSets { levels, level_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::gen;
+
+    #[test]
+    fn identity_is_one_level() {
+        let l = CscMatrix::identity(5);
+        let ls = level_sets(&l);
+        assert_eq!(ls.n_levels(), 1);
+        assert_eq!(ls.levels[0], vec![0, 1, 2, 3, 4]);
+        assert_eq!(ls.avg_parallelism(), 5.0);
+    }
+
+    #[test]
+    fn chain_is_n_levels() {
+        let n = 6;
+        let mut t = sympiler_sparse::TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 1.0);
+            if j + 1 < n {
+                t.push(j + 1, j, -1.0);
+            }
+        }
+        let l = t.to_csc().unwrap();
+        let ls = level_sets(&l);
+        assert_eq!(ls.n_levels(), n);
+        for (lv, cols) in ls.levels.iter().enumerate() {
+            assert_eq!(cols, &vec![lv]);
+        }
+    }
+
+    #[test]
+    fn levels_respect_dependences() {
+        let l = gen::random_lower_triangular(60, 3, 3);
+        let ls = level_sets(&l);
+        for j in 0..60 {
+            for &i in &l.col_rows(j)[1..] {
+                assert!(
+                    ls.level_of[i] > ls.level_of[j],
+                    "edge {j}->{i} must increase level"
+                );
+            }
+        }
+        // Partition check.
+        let total: usize = ls.levels.iter().map(Vec::len).sum();
+        assert_eq!(total, 60);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let l = CscMatrix::zeros(0, 0);
+        let ls = level_sets(&l);
+        assert_eq!(ls.n_levels(), 0);
+        assert_eq!(ls.avg_parallelism(), 0.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # sympiler-graph
+//!
+//! The symbolic graph algorithms behind Sympiler's compile-time
+//! inspectors (SC'17, §2.2 and Table 1):
+//!
+//! * [`dfs`] — Gilbert–Peierls reach-set computation on the dependence
+//!   graph `DG_L` (the inspection strategy for triangular-solve
+//!   VI-Prune);
+//! * [`etree`] — Liu's elimination-tree algorithm (the inspection graph
+//!   for Cholesky);
+//! * [`postorder`] — iterative tree postorder;
+//! * [`ereach`] — row sparsity patterns of `L` via etree up-traversal
+//!   (Cholesky prune-sets);
+//! * [`symbolic`] — the full fill pattern of `L` from Eq. (1) of the
+//!   paper, enabling ahead-of-time allocation;
+//! * [`colcount`] — column counts of `L`;
+//! * [`supernode`] — supernode detection, both the etree merge rule
+//!   (Cholesky block-sets) and node equivalence on `DG_L` (triangular
+//!   solve block-sets);
+//! * [`rcm`] — reverse Cuthill–McKee ordering (fill reduction; shared by
+//!   every engine so comparisons stay fair);
+//! * [`levels`] — level sets of `DG_L` (wavefronts) for the parallel
+//!   triangular-solve extension.
+
+pub mod colcount;
+pub mod dfs;
+pub mod ereach;
+pub mod etree;
+pub mod levels;
+pub mod postorder;
+pub mod rcm;
+pub mod supernode;
+pub mod symbolic;
+
+pub use colcount::col_counts;
+pub use dfs::{reach, reach_into};
+pub use ereach::{ereach, ereach_into};
+pub use etree::etree;
+pub use postorder::postorder;
+pub use rcm::rcm_ordering;
+pub use supernode::{supernodes_cholesky, supernodes_trisolve, SupernodePartition};
+pub use symbolic::{symbolic_cholesky, SymbolicFactor};

@@ -1,0 +1,120 @@
+//! Iterative postorder of an elimination forest.
+//!
+//! Postorder is used by supernode detection and column-count algorithms;
+//! it also defines the execution order of the supernodal factorization.
+
+use crate::etree::NONE;
+
+/// Compute a postorder permutation of the forest given by `parent`
+/// (with `parent[root] == NONE`). Children are visited in increasing
+/// node order, so the result is deterministic.
+///
+/// Returns `post` where `post[k]` is the node visited k-th; every node
+/// appears after all of its descendants.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    // Build child lists: head[v] = first child, next[c] = sibling.
+    // Iterating nodes in reverse makes the lists sorted ascending.
+    let mut head = vec![NONE; n];
+    let mut next = vec![NONE; n];
+    for v in (0..n).rev() {
+        let p = parent[v];
+        if p != NONE {
+            next[v] = head[p];
+            head[p] = v;
+        }
+    }
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<usize> = Vec::with_capacity(64);
+    for root in 0..n {
+        if parent[root] != NONE {
+            continue;
+        }
+        // DFS with explicit stack; `head` is consumed as the per-node
+        // "next unvisited child" cursor.
+        stack.push(root);
+        while let Some(&v) = stack.last() {
+            let child = head[v];
+            if child == NONE {
+                post.push(v);
+                stack.pop();
+            } else {
+                head[v] = next[child];
+                stack.push(child);
+            }
+        }
+    }
+    post
+}
+
+/// Inverse permutation: `inv[post[k]] = k`.
+pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (k, &v) in perm.iter().enumerate() {
+        inv[v] = k;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::etree::{etree, NONE};
+    use sympiler_sparse::gen;
+
+    fn is_valid_postorder(parent: &[usize], post: &[usize]) -> bool {
+        let n = parent.len();
+        if post.len() != n {
+            return false;
+        }
+        let inv = inverse_permutation(post);
+        // Every child must come before its parent.
+        (0..n).all(|j| parent[j] == NONE || inv[j] < inv[parent[j]])
+    }
+
+    #[test]
+    fn path_tree_postorder_is_identity() {
+        let parent = vec![1, 2, 3, NONE];
+        assert_eq!(postorder(&parent), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn forest_of_roots() {
+        let parent = vec![NONE; 4];
+        assert_eq!(postorder(&parent), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn branching_tree() {
+        // 0 and 1 are children of 2; 3 child of 4; 2 and 4 children of 5.
+        let parent = vec![2, 2, 5, 4, 5, NONE];
+        let post = postorder(&parent);
+        assert!(is_valid_postorder(&parent, &post));
+        assert_eq!(post.len(), 6);
+        assert_eq!(*post.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn etree_postorders_are_valid() {
+        for seed in 0..10u64 {
+            let a = gen::random_spd(50, 4, seed);
+            let parent = etree(&a);
+            let post = postorder(&parent);
+            assert!(is_valid_postorder(&parent, &post), "seed {seed}");
+            // Permutation check.
+            let mut sorted = post.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn inverse_permutation_roundtrip() {
+        let perm = vec![2, 0, 3, 1];
+        let inv = inverse_permutation(&perm);
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        for (k, &p) in perm.iter().enumerate() {
+            assert_eq!(inv[p], k);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Incomplete Cholesky with zero fill, IC(0) — one of the §3.3 "other
+//! matrix methods": a preconditioner factorization whose pattern is the
+//! *static* pattern of `A`, so every index array is known before any
+//! numeric work. This is the method family (like incomplete LU(0))
+//! that prior inspector-executor work handled and Sympiler subsumes;
+//! its prune-sets come from the pattern of `A` itself rather than the
+//! filled pattern of `L`.
+
+use super::CholeskyError;
+use sympiler_sparse::{ops, CscMatrix};
+
+/// IC(0) preconditioner: analyze once (row patterns of `A`'s lower
+/// triangle), factor repeatedly.
+#[derive(Debug, Clone)]
+pub struct IncompleteCholesky0 {
+    n: usize,
+    a_nnz: usize,
+    guard: super::PatternGuard,
+    /// Row-pattern table of A's strict lower triangle: for each row k,
+    /// the columns j < k with A[k,j] != 0, and the position of the
+    /// entry (k, j) in the value array — the IC(0) prune set.
+    row_ptr: Vec<usize>,
+    row_cols: Vec<usize>,
+    row_pos: Vec<usize>,
+}
+
+impl IncompleteCholesky0 {
+    /// Symbolic analysis: the static row structure of `A`.
+    pub fn analyze(a_lower: &CscMatrix) -> Result<Self, CholeskyError> {
+        if !a_lower.is_square() {
+            return Err(CholeskyError::BadInput("matrix must be square".into()));
+        }
+        if !a_lower.is_lower_storage() {
+            return Err(CholeskyError::BadInput(
+                "matrix must be in lower-triangular storage".into(),
+            ));
+        }
+        let n = a_lower.n_cols();
+        // Build CSR-like access to the strict lower triangle.
+        let mut counts = vec![0usize; n];
+        for j in 0..n {
+            for &i in a_lower.col_rows(j) {
+                if i > j {
+                    counts[i] += 1;
+                }
+            }
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        for k in 0..n {
+            row_ptr[k + 1] = row_ptr[k] + counts[k];
+        }
+        let mut row_cols = vec![0usize; row_ptr[n]];
+        let mut row_pos = vec![0usize; row_ptr[n]];
+        let mut next = row_ptr[..n].to_vec();
+        for j in 0..n {
+            for (k, &i) in a_lower.col_rows(j).iter().enumerate() {
+                if i > j {
+                    let slot = next[i];
+                    row_cols[slot] = j;
+                    row_pos[slot] = a_lower.col_ptr()[j] + k;
+                    next[i] += 1;
+                }
+            }
+        }
+        Ok(Self {
+            n,
+            a_nnz: a_lower.nnz(),
+            guard: super::PatternGuard::new(a_lower),
+            row_ptr,
+            row_cols,
+            row_pos,
+        })
+    }
+
+    /// Numeric IC(0): `L` has exactly `A`'s lower pattern and satisfies
+    /// `(L L^T)_{ij} = A_{ij}` on that pattern.
+    pub fn factor(&self, a_lower: &CscMatrix) -> Result<CscMatrix, CholeskyError> {
+        if a_lower.nnz() != self.a_nnz {
+            return Err(CholeskyError::PatternMismatch);
+        }
+        self.guard.check(a_lower)?;
+        let n = self.n;
+        let mut lx = a_lower.values().to_vec();
+        let lp = a_lower.col_ptr();
+        let li = a_lower.row_idx();
+        // Column-by-column, like left-looking but with updates
+        // restricted to A's pattern. Dense accumulator for column k.
+        let mut acc = vec![0.0f64; n];
+        for k in 0..n {
+            // Scatter current column values.
+            for p in lp[k]..lp[k + 1] {
+                acc[li[p]] = lx[p];
+            }
+            // Updates from columns j in the static prune set of row k.
+            for t in self.row_ptr[k]..self.row_ptr[k + 1] {
+                let j = self.row_cols[t];
+                // l_kj is already final (j < k processed).
+                let lkj = lx[self.row_pos[t]];
+                if lkj == 0.0 {
+                    continue;
+                }
+                // acc[i] -= L[i,j] * lkj for i >= k in col j's pattern,
+                // restricted to entries that exist in column k (others
+                // are dropped by construction when we gather back).
+                for p in lp[j]..lp[j + 1] {
+                    let i = li[p];
+                    if i >= k {
+                        acc[i] -= lx[p] * lkj;
+                    }
+                }
+            }
+            // Column factorization on the static pattern.
+            let diag = acc[k];
+            if diag <= 0.0 || !diag.is_finite() {
+                for p in lp[k]..lp[k + 1] {
+                    acc[li[p]] = 0.0;
+                }
+                return Err(CholeskyError::NotPositiveDefinite { column: k });
+            }
+            let lkk = diag.sqrt();
+            let inv = 1.0 / lkk;
+            lx[lp[k]] = lkk;
+            acc[k] = 0.0;
+            for p in lp[k] + 1..lp[k + 1] {
+                lx[p] = acc[li[p]] * inv;
+                acc[li[p]] = 0.0;
+            }
+            // Clear accumulator slots touched by updates but outside
+            // column k's pattern (dropped fill).
+            for t in self.row_ptr[k]..self.row_ptr[k + 1] {
+                let j = self.row_cols[t];
+                for p in lp[j]..lp[j + 1] {
+                    if li[p] >= k {
+                        acc[li[p]] = 0.0;
+                    }
+                }
+            }
+        }
+        Ok(CscMatrix::from_parts_unchecked(
+            n,
+            n,
+            lp.to_vec(),
+            li.to_vec(),
+            lx,
+        ))
+    }
+
+    /// Apply the preconditioner: solve `L L^T z = r`.
+    pub fn apply(&self, l: &CscMatrix, r: &[f64]) -> Vec<f64> {
+        let mut z = r.to_vec();
+        crate::trisolve::naive_forward(l, &mut z);
+        crate::trisolve::backward_transposed(l, &mut z);
+        z
+    }
+}
+
+/// Condition-improvement check used in tests: PCG iteration counts with
+/// and without the preconditioner.
+pub fn pcg_iterations(
+    a_lower: &CscMatrix,
+    b: &[f64],
+    precond: Option<(&IncompleteCholesky0, &CscMatrix)>,
+    tol: f64,
+    max_iter: usize,
+) -> (usize, f64) {
+    let n = a_lower.n_cols();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = match &precond {
+        Some((ic, l)) => ic.apply(l, &r),
+        None => r.clone(),
+    };
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+    let mut iters = 0;
+    for _ in 0..max_iter {
+        iters += 1;
+        let mut ap = vec![0.0; n];
+        ops::spmv_sym_lower(a_lower, &p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rnorm = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if rnorm / bnorm < tol {
+            break;
+        }
+        z = match &precond {
+            Some((ic, l)) => ic.apply(l, &r),
+            None => r.clone(),
+        };
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let resid = ops::rel_residual_sym_lower(a_lower, &x, b);
+    (iters, resid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::gen;
+
+    #[test]
+    fn ic0_pattern_is_a_pattern() {
+        let a = gen::grid2d_laplacian(8, 8, false, 1);
+        let ic = IncompleteCholesky0::analyze(&a).unwrap();
+        let l = ic.factor(&a).unwrap();
+        assert!(l.same_pattern(&a), "IC(0) must keep A's pattern exactly");
+    }
+
+    #[test]
+    fn ic0_matches_complete_factor_when_no_fill() {
+        // Tridiagonal matrices factor without fill, so IC(0) == full
+        // Cholesky.
+        let a = gen::tridiagonal_spd(30);
+        let ic = IncompleteCholesky0::analyze(&a).unwrap().factor(&a).unwrap();
+        let full = crate::cholesky::simplicial::SimplicialCholesky::analyze(&a)
+            .unwrap()
+            .factor(&a)
+            .unwrap();
+        for (p, q) in ic.values().iter().zip(full.values()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ic0_reproduces_a_on_its_pattern() {
+        // (L L^T)_{ij} == A_{ij} wherever A has an entry.
+        let a = gen::grid2d_laplacian(6, 6, false, 3);
+        let ic = IncompleteCholesky0::analyze(&a).unwrap();
+        let l = ic.factor(&a).unwrap();
+        let lt = sympiler_sparse::ops::transpose(&l);
+        for j in 0..a.n_cols() {
+            for (i, want) in a.col_iter(j) {
+                // (L L^T)_{ij} = row i of L . row j of L
+                //             = col i of L^T . col j of L^T
+                let mut got = 0.0;
+                let (ri, vi) = (lt.col_rows(i), lt.col_values(i));
+                let (rj, vj) = (lt.col_rows(j), lt.col_values(j));
+                let (mut a_, mut b_) = (0usize, 0usize);
+                while a_ < ri.len() && b_ < rj.len() {
+                    match ri[a_].cmp(&rj[b_]) {
+                        std::cmp::Ordering::Less => a_ += 1,
+                        std::cmp::Ordering::Greater => b_ += 1,
+                        std::cmp::Ordering::Equal => {
+                            got += vi[a_] * vj[b_];
+                            a_ += 1;
+                            b_ += 1;
+                        }
+                    }
+                }
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "A[{i},{j}] = {want}, (LL^T) = {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ic0_preconditioner_cuts_pcg_iterations() {
+        let a = gen::grid2d_laplacian(16, 16, false, 5);
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let (plain_iters, plain_resid) = pcg_iterations(&a, &b, None, 1e-10, 500);
+        let ic = IncompleteCholesky0::analyze(&a).unwrap();
+        let l = ic.factor(&a).unwrap();
+        let (pc_iters, pc_resid) = pcg_iterations(&a, &b, Some((&ic, &l)), 1e-10, 500);
+        assert!(plain_resid < 1e-8 && pc_resid < 1e-8);
+        assert!(
+            pc_iters < plain_iters,
+            "IC(0) must accelerate PCG: {pc_iters} vs {plain_iters}"
+        );
+    }
+
+    #[test]
+    fn ic0_repeated_factorization() {
+        let a1 = gen::circuit_like(100, 4, 2, 7);
+        let ic = IncompleteCholesky0::analyze(&a1).unwrap();
+        let mut a2 = a1.clone();
+        for v in a2.values_mut() {
+            *v *= 1.5;
+        }
+        let l2 = ic.factor(&a2).unwrap();
+        assert!(l2.same_pattern(&a2));
+        assert!(ic.factor(&a1).is_ok());
+    }
+
+    #[test]
+    fn ic0_rejects_bad_inputs() {
+        let a = gen::grid2d_laplacian(4, 4, false, 1);
+        let ic = IncompleteCholesky0::analyze(&a).unwrap();
+        let b = gen::grid2d_laplacian(5, 4, false, 1);
+        assert!(matches!(ic.factor(&b), Err(CholeskyError::PatternMismatch)));
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 5.0);
+        t.push(1, 1, 1.0); // indefinite
+        let bad = t.to_csc().unwrap();
+        let ic2 = IncompleteCholesky0::analyze(&bad).unwrap();
+        assert!(matches!(
+            ic2.factor(&bad),
+            Err(CholeskyError::NotPositiveDefinite { .. })
+        ));
+    }
+}

@@ -1,0 +1,188 @@
+//! Up-looking `LDL^T` factorization (CSparse-style) — an extra baseline
+//! exercising the "up-looking implementations of factorization
+//! algorithms" the paper lists among methods its inspectors support by
+//! design (§3.3). Shares the `ereach` prune-set machinery with the
+//! Cholesky inspectors.
+//!
+//! `A = L D L^T` with unit-diagonal `L` and diagonal `D`; no square
+//! roots, and positive-definiteness shows up as `D > 0`.
+
+use super::CholeskyError;
+use sympiler_graph::ereach::EreachWorkspace;
+use sympiler_graph::symbolic::{symbolic_cholesky, SymbolicFactor};
+use sympiler_sparse::{ops, CscMatrix};
+
+/// An `LDL^T` factorization result.
+#[derive(Debug, Clone)]
+pub struct LdlFactor {
+    /// Unit lower-triangular factor (diagonal stored as explicit 1.0).
+    pub l: CscMatrix,
+    /// The diagonal of `D`.
+    pub d: Vec<f64>,
+}
+
+impl LdlFactor {
+    /// Solve `A x = b` via `L z = b; w = D^{-1} z; L^T x = w`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        crate::trisolve::naive_forward(&self.l, &mut x);
+        for (xi, &di) in x.iter_mut().zip(&self.d) {
+            *xi /= di;
+        }
+        crate::trisolve::backward_transposed(&self.l, &mut x);
+        x
+    }
+}
+
+/// Up-looking LDL^T: analyze once, factor repeatedly.
+#[derive(Debug, Clone)]
+pub struct UpLookingLdl {
+    sym: SymbolicFactor,
+    guard: super::PatternGuard,
+}
+
+impl UpLookingLdl {
+    /// Symbolic analysis (etree + pattern, shared with Cholesky).
+    pub fn analyze(a_lower: &CscMatrix) -> Result<Self, CholeskyError> {
+        if !a_lower.is_square() {
+            return Err(CholeskyError::BadInput("matrix must be square".into()));
+        }
+        if !a_lower.is_lower_storage() {
+            return Err(CholeskyError::BadInput(
+                "matrix must be in lower-triangular storage".into(),
+            ));
+        }
+        Ok(Self {
+            sym: symbolic_cholesky(a_lower),
+            guard: super::PatternGuard::new(a_lower),
+        })
+    }
+
+    pub fn symbolic(&self) -> &SymbolicFactor {
+        &self.sym
+    }
+
+    /// Numeric up-looking factorization: for each row `k`, solve
+    /// `L(0:k, 0:k) y = A(0:k, k)` over the row pattern, then
+    /// `D[k] = A[k,k] - y^T D^{-1} y`-style accumulation.
+    pub fn factor(&self, a_lower: &CscMatrix) -> Result<LdlFactor, CholeskyError> {
+        let n = self.sym.n;
+        self.guard.check(a_lower)?;
+        let at = ops::transpose(a_lower); // upper triangle, coupled cost
+        let lp = &self.sym.l_col_ptr;
+        let li = &self.sym.l_row_idx;
+        let mut lx = vec![0.0f64; self.sym.l_nnz()];
+        let mut d = vec![0.0f64; n];
+        // Write cursor per column (entries of L are produced row by row
+        // in increasing k, matching the sorted pattern).
+        let mut next_write: Vec<usize> = (0..n).map(|j| lp[j] + 1).collect();
+        // Dense scratch row.
+        let mut y = vec![0.0f64; n];
+        let mut ws = EreachWorkspace::new(n);
+        let mut pattern = Vec::new();
+
+        for k in 0..n {
+            // y = A(0:k, k) scattered (upper column k = row k of lower).
+            for (i, v) in at.col_iter(k) {
+                if i < k {
+                    y[i] = v;
+                }
+            }
+            let mut dk = a_lower.get(k, k);
+            // Row pattern in topological (ascending) order.
+            sympiler_graph::ereach::ereach_into(&at, k, &self.sym.parent, &mut ws, &mut pattern);
+            for &j in &pattern {
+                // Solve step: y[j] is now final; L[k,j] = y[j] / D[j].
+                let yj = y[j];
+                y[j] = 0.0;
+                let lkj = yj / d[j];
+                // Propagate to later pattern entries: y[i] -= L[i,j] yj.
+                for p in lp[j] + 1..next_write[j] {
+                    let i = li[p];
+                    if i < k {
+                        y[i] -= lx[p] * yj;
+                    }
+                }
+                dk -= lkj * yj;
+                // Store L[k,j] at the next write slot of column j.
+                let w = next_write[j];
+                debug_assert_eq!(li[w], k);
+                lx[w] = lkj;
+                next_write[j] = w + 1;
+            }
+            if dk <= 0.0 || !dk.is_finite() {
+                return Err(CholeskyError::NotPositiveDefinite { column: k });
+            }
+            d[k] = dk;
+            lx[lp[k]] = 1.0; // unit diagonal
+        }
+        let l = CscMatrix::from_parts_unchecked(n, n, lp.clone(), li.clone(), lx);
+        Ok(LdlFactor { l, d })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::simplicial::SimplicialCholesky;
+    use sympiler_sparse::gen;
+
+    #[test]
+    fn ldl_matches_llt() {
+        // L_chol = L_ldl * sqrt(D)
+        for seed in 0..5u64 {
+            let a = gen::random_spd(30, 4, seed);
+            let ldl = UpLookingLdl::analyze(&a).unwrap().factor(&a).unwrap();
+            let llt = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
+            assert!(ldl.l.same_pattern(&llt));
+            for j in 0..30 {
+                let sq = ldl.d[j].sqrt();
+                for (k, (i, v)) in ldl.l.col_iter(j).enumerate() {
+                    let expect = llt.col_values(j)[k];
+                    assert!(
+                        (v * sq - expect).abs() < 1e-9,
+                        "seed {seed} ({i},{j}): {} vs {expect}",
+                        v * sq
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_positive_for_spd() {
+        let a = gen::grid2d_laplacian(6, 5, false, 3);
+        let f = UpLookingLdl::analyze(&a).unwrap().factor(&a).unwrap();
+        assert!(f.d.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn solve_end_to_end() {
+        let a = gen::grid2d_laplacian(6, 6, true, 7);
+        let f = UpLookingLdl::analyze(&a).unwrap().factor(&a).unwrap();
+        let b: Vec<f64> = (0..36).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x = f.solve(&b);
+        let resid = ops::rel_residual_sym_lower(&a, &x, &b);
+        assert!(resid < 1e-12, "residual {resid}");
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 1.0);
+        let a = t.to_csc().unwrap();
+        let f = UpLookingLdl::analyze(&a).unwrap().factor(&a);
+        assert!(matches!(f, Err(CholeskyError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn unit_diagonal_stored() {
+        let a = gen::random_spd(15, 3, 9);
+        let f = UpLookingLdl::analyze(&a).unwrap().factor(&a).unwrap();
+        for j in 0..15 {
+            assert_eq!(f.l.get(j, j), 1.0);
+        }
+    }
+}

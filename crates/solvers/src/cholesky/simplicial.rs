@@ -1,0 +1,259 @@
+//! Left-looking **simplicial** (non-supernodal) sparse Cholesky — the
+//! Eigen baseline of the paper (§4.2: "Eigen uses the left-looking
+//! non-supernodal approach").
+//!
+//! The symbolic/numeric split deliberately mirrors what the paper says
+//! about the libraries: `analyze` (Eigen's `analyzePattern`) computes
+//! the etree and the pattern of `L` once; but the numeric `factor`
+//! (Eigen's `factorize`) still performs symbolic work per call — it
+//! materializes the upper triangle (the `A^T` the paper calls out) and
+//! recomputes every row pattern with `ereach` — because the library
+//! "cannot afford to have a separate implementation for each sparsity
+//! pattern" (§4.2). Sympiler's generated code removes exactly these.
+
+use super::CholeskyError;
+use sympiler_graph::ereach::EreachWorkspace;
+use sympiler_graph::symbolic::{symbolic_cholesky, SymbolicFactor};
+use sympiler_sparse::{ops, CscMatrix};
+
+/// Eigen-like simplicial Cholesky: analyze once, factor many times.
+#[derive(Debug, Clone)]
+pub struct SimplicialCholesky {
+    sym: SymbolicFactor,
+    guard: super::PatternGuard,
+}
+
+impl SimplicialCholesky {
+    /// Symbolic analysis (Eigen's `analyzePattern`): etree + fill
+    /// pattern of `L`, reusable while the sparsity stays fixed.
+    pub fn analyze(a_lower: &CscMatrix) -> Result<Self, CholeskyError> {
+        if !a_lower.is_square() {
+            return Err(CholeskyError::BadInput("matrix must be square".into()));
+        }
+        if !a_lower.is_lower_storage() {
+            return Err(CholeskyError::BadInput(
+                "matrix must be in lower-triangular storage".into(),
+            ));
+        }
+        Ok(Self {
+            sym: symbolic_cholesky(a_lower),
+            guard: super::PatternGuard::new(a_lower),
+        })
+    }
+
+    /// The symbolic factorization (pattern of `L`, etree, counts).
+    pub fn symbolic(&self) -> &SymbolicFactor {
+        &self.sym
+    }
+
+    /// Numeric factorization (Eigen's `factorize`). Returns `L` with
+    /// `A = L L^T`.
+    ///
+    /// Contains the library-style coupled symbolic work: the transpose
+    /// of `A` and per-column `ereach` calls happen *here*, every call.
+    pub fn factor(&self, a_lower: &CscMatrix) -> Result<CscMatrix, CholeskyError> {
+        let n = self.sym.n;
+        self.guard.check(a_lower)?;
+        // --- coupled symbolic work #1: upper triangle via transpose ---
+        let at = ops::transpose(a_lower);
+        let mut ws = EreachWorkspace::new(n);
+        let mut pattern = Vec::new();
+
+        let lp = &self.sym.l_col_ptr;
+        let li = &self.sym.l_row_idx;
+        let mut lx = vec![0.0f64; self.sym.l_nnz()];
+        // Dense accumulator and per-column read cursor (advances
+        // monotonically; amortized O(1) per entry).
+        let mut x = vec![0.0f64; n];
+        let mut next_pos: Vec<usize> = (0..n).map(|j| lp[j]).collect();
+
+        for k in 0..n {
+            // Scatter A(k:n, k) into the accumulator.
+            for (i, v) in a_lower.col_iter(k) {
+                debug_assert!(i >= k, "lower storage violated");
+                x[i] = v;
+            }
+            // --- coupled symbolic work #2: the row pattern (ereach) ---
+            sympiler_graph::ereach::ereach_into(&at, k, &self.sym.parent, &mut ws, &mut pattern);
+            // Left-looking update: for each j with L[k,j] != 0 pull the
+            // rank-1 contribution of column j restricted to rows >= k.
+            for &j in &pattern {
+                // Advance the cursor of column j to row k.
+                let mut p = next_pos[j];
+                while li[p] < k {
+                    p += 1;
+                }
+                next_pos[j] = p;
+                debug_assert_eq!(li[p], k, "pattern mismatch: L[{k},{j}] missing");
+                let lkj = lx[p];
+                for (&i, &lij) in li[p..lp[j + 1]].iter().zip(&lx[p..lp[j + 1]]) {
+                    x[i] -= lij * lkj;
+                }
+            }
+            // Column factorization: sqrt on the diagonal, scale the rest.
+            let diag = x[k];
+            if diag <= 0.0 || !diag.is_finite() {
+                // Clean up the accumulator before bailing.
+                for &i in self.sym.col_pattern(k) {
+                    x[i] = 0.0;
+                }
+                return Err(CholeskyError::NotPositiveDefinite { column: k });
+            }
+            let lkk = diag.sqrt();
+            let inv = 1.0 / lkk;
+            let col = self.sym.col_pattern(k);
+            let dst = &mut lx[lp[k]..lp[k + 1]];
+            dst[0] = lkk;
+            x[k] = 0.0;
+            for (slot, &i) in dst[1..].iter_mut().zip(&col[1..]) {
+                *slot = x[i] * inv;
+                x[i] = 0.0;
+            }
+        }
+        Ok(CscMatrix::from_parts_unchecked(
+            n,
+            n,
+            lp.clone(),
+            li.clone(),
+            lx,
+        ))
+    }
+
+    /// Factor and solve `A x = b` in one call (returns `x`).
+    pub fn solve(&self, a_lower: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, CholeskyError> {
+        let l = self.factor(a_lower)?;
+        let mut x = b.to_vec();
+        crate::trisolve::naive_forward(&l, &mut x);
+        crate::trisolve::backward_transposed(&l, &mut x);
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify;
+    use sympiler_sparse::gen;
+
+    #[test]
+    fn factors_small_known_matrix() {
+        // A = [[4, 2], [2, 5]] -> L = [[2, 0], [1, 2]]
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 5.0);
+        let a = t.to_csc().unwrap();
+        let chol = SimplicialCholesky::analyze(&a).unwrap();
+        let l = chol.factor(&a).unwrap();
+        assert!((l.get(0, 0) - 2.0).abs() < 1e-14);
+        assert!((l.get(1, 0) - 1.0).abs() < 1e-14);
+        assert!((l.get(1, 1) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn reconstructs_random_spd() {
+        for seed in 0..6u64 {
+            let a = gen::random_spd(50, 4, seed);
+            let chol = SimplicialCholesky::analyze(&a).unwrap();
+            let l = chol.factor(&a).unwrap();
+            let err = verify::reconstruction_error(&a, &l);
+            assert!(err < 1e-10, "seed {seed}: reconstruction error {err}");
+        }
+    }
+
+    #[test]
+    fn reconstructs_structured_matrices() {
+        for a in [
+            gen::grid2d_laplacian(7, 7, false, 1),
+            gen::grid2d_laplacian(5, 6, true, 2),
+            gen::banded_spd(40, 5, 3),
+            gen::circuit_like(60, 4, 2, 4),
+            gen::tridiagonal_spd(30),
+        ] {
+            let chol = SimplicialCholesky::analyze(&a).unwrap();
+            let l = chol.factor(&a).unwrap();
+            assert!(verify::reconstruction_error(&a, &l) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn factor_pattern_matches_symbolic_prediction() {
+        let a = gen::grid2d_laplacian(6, 5, false, 5);
+        let chol = SimplicialCholesky::analyze(&a).unwrap();
+        let l = chol.factor(&a).unwrap();
+        assert_eq!(l.col_ptr(), chol.symbolic().l_col_ptr.as_slice());
+        assert_eq!(l.row_idx(), chol.symbolic().l_row_idx.as_slice());
+    }
+
+    #[test]
+    fn repeated_factorization_with_new_values() {
+        // The Sympiler scenario: same pattern, changing values.
+        let a1 = gen::random_spd(40, 4, 10);
+        let chol = SimplicialCholesky::analyze(&a1).unwrap();
+        let l1 = chol.factor(&a1).unwrap();
+        // Scale values (pattern unchanged, still SPD).
+        let mut a2 = a1.clone();
+        for v in a2.values_mut() {
+            *v *= 2.0;
+        }
+        let l2 = chol.factor(&a2).unwrap();
+        assert!(verify::reconstruction_error(&a2, &l2) < 1e-10);
+        // L scales by sqrt(2).
+        for (p, q) in l1.values().iter().zip(l2.values()) {
+            assert!((q - p * 2.0f64.sqrt()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 2.0);
+        t.push(1, 1, 1.0); // [[1,2],[2,1]] indefinite
+        let a = t.to_csc().unwrap();
+        let chol = SimplicialCholesky::analyze(&a).unwrap();
+        assert_eq!(
+            chol.factor(&a),
+            Err(CholeskyError::NotPositiveDefinite { column: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 3);
+        t.push(0, 0, 1.0);
+        let rect = t.to_csc().unwrap();
+        assert!(matches!(
+            SimplicialCholesky::analyze(&rect),
+            Err(CholeskyError::BadInput(_))
+        ));
+        // Upper entry present -> not lower storage.
+        let mut t2 = sympiler_sparse::TripletMatrix::new(2, 2);
+        t2.push(0, 0, 1.0);
+        t2.push(0, 1, 1.0);
+        t2.push(1, 1, 1.0);
+        let up = t2.to_csc().unwrap();
+        assert!(matches!(
+            SimplicialCholesky::analyze(&up),
+            Err(CholeskyError::BadInput(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_at_factor_time() {
+        let a = gen::random_spd(10, 3, 1);
+        let b = gen::random_spd(12, 3, 1);
+        let chol = SimplicialCholesky::analyze(&a).unwrap();
+        assert_eq!(chol.factor(&b), Err(CholeskyError::PatternMismatch));
+    }
+
+    #[test]
+    fn solve_end_to_end() {
+        let a = gen::grid2d_laplacian(5, 5, false, 8);
+        let chol = SimplicialCholesky::analyze(&a).unwrap();
+        let b = vec![1.0; 25];
+        let x = chol.solve(&a, &b).unwrap();
+        let resid = ops::rel_residual_sym_lower(&a, &x, &b);
+        assert!(resid < 1e-12, "residual {resid}");
+    }
+}

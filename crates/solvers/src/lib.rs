@@ -1,0 +1,29 @@
+//! # sympiler-solvers
+//!
+//! Reference and baseline sparse solvers — the comparators of the
+//! Sympiler paper's evaluation (§4):
+//!
+//! * [`trisolve`] — sparse triangular solve variants: the naive forward
+//!   substitution of Figure 1b, the library implementation with the
+//!   `x[j] != 0` guard of Figure 1c (how Eigen implements it), and the
+//!   decoupled reach-set solver of Figure 1d;
+//! * [`cholesky::simplicial`] — left-looking non-supernodal Cholesky,
+//!   the Eigen baseline: its numeric phase recomputes row patterns
+//!   (ereach) and the implicit transpose of `A` every factorization —
+//!   exactly the symbolic/numeric coupling §4.2 describes;
+//! * [`cholesky::supernodal`] — left-looking supernodal Cholesky over
+//!   the generic mini-BLAS, the CHOLMOD baseline: symbolic analysis is
+//!   reusable, but the numeric phase still transposes `A` and computes
+//!   relative indices at run time;
+//! * [`cholesky::ldl`] — up-looking LDL^T (CSparse-style), an extra
+//!   baseline exercising the "up-looking implementations" the paper
+//!   lists among supported-by-design methods (§3.3);
+//! * [`verify`] — residual and reconstruction checks shared by tests
+//!   and benchmarks.
+
+pub mod cholesky;
+pub mod trisolve;
+pub mod verify;
+
+pub use cholesky::simplicial::SimplicialCholesky;
+pub use cholesky::supernodal::SupernodalCholesky;

@@ -1,0 +1,241 @@
+//! Sparse triangular solve baselines — the four code variants of the
+//! paper's Figure 1 except the Sympiler-generated one (which lives in
+//! `sympiler-core::plan::tri`).
+//!
+//! All solvers take `L` in CSC with a diagonal-first lower-triangular
+//! structure (`{n, Lp, Li, Lx}` in the paper) and solve `L x = b`.
+
+use sympiler_sparse::{CscMatrix, SparseVec};
+
+/// Figure 1b — naive forward substitution: visits **every** column.
+/// `x` enters holding `b` (dense) and leaves holding the solution.
+pub fn naive_forward(l: &CscMatrix, x: &mut [f64]) {
+    debug_assert!(l.is_lower_triangular_with_diag());
+    assert_eq!(x.len(), l.n_cols(), "x length mismatch");
+    let col_ptr = l.col_ptr();
+    let row_idx = l.row_idx();
+    let values = l.values();
+    for j in 0..l.n_cols() {
+        let range = col_ptr[j]..col_ptr[j + 1];
+        let xj = x[j] / values[range.start];
+        x[j] = xj;
+        for (&i, &lij) in row_idx[range.start + 1..range.end]
+            .iter()
+            .zip(&values[range.start + 1..range.end])
+        {
+            x[i] -= lij * xj;
+        }
+    }
+}
+
+/// Figure 1c — the library implementation (Eigen's strategy): identical
+/// to the naive loop but skips columns whose current `x[j]` is zero.
+/// Still O(n) loop overhead even for very sparse `b` — the cost the
+/// paper's decoupling removes.
+pub fn library_forward(l: &CscMatrix, x: &mut [f64]) {
+    debug_assert!(l.is_lower_triangular_with_diag());
+    assert_eq!(x.len(), l.n_cols(), "x length mismatch");
+    let col_ptr = l.col_ptr();
+    let row_idx = l.row_idx();
+    let values = l.values();
+    for j in 0..l.n_cols() {
+        if x[j] != 0.0 {
+            let range = col_ptr[j]..col_ptr[j + 1];
+            let xj = x[j] / values[range.start];
+            x[j] = xj;
+            for (&i, &lij) in row_idx[range.start + 1..range.end]
+                .iter()
+                .zip(&values[range.start + 1..range.end])
+            {
+                x[i] -= lij * xj;
+            }
+        }
+    }
+}
+
+/// Figure 1d — the decoupled solver: consumes a precomputed reach-set
+/// (in topological order) and touches only those columns. Run-time is
+/// O(|b| + f) instead of O(|b| + n + f).
+///
+/// `x` must be a zero-initialized dense buffer of length `n`; the sparse
+/// `b` is scattered into it here (the O(|b|) term).
+pub fn decoupled_forward(l: &CscMatrix, b: &SparseVec, reach_set: &[usize], x: &mut [f64]) {
+    debug_assert!(l.is_lower_triangular_with_diag());
+    assert_eq!(x.len(), l.n_cols(), "x length mismatch");
+    for (i, v) in b.iter() {
+        x[i] = v;
+    }
+    let col_ptr = l.col_ptr();
+    let row_idx = l.row_idx();
+    let values = l.values();
+    for &j in reach_set {
+        let range = col_ptr[j]..col_ptr[j + 1];
+        let xj = x[j] / values[range.start];
+        x[j] = xj;
+        for (&i, &lij) in row_idx[range.start + 1..range.end]
+            .iter()
+            .zip(&values[range.start + 1..range.end])
+        {
+            x[i] -= lij * xj;
+        }
+    }
+}
+
+/// Backward substitution `L^T x = b` (dense), the second half of an SPD
+/// solve. Included for the end-to-end solver path.
+pub fn backward_transposed(l: &CscMatrix, x: &mut [f64]) {
+    debug_assert!(l.is_lower_triangular_with_diag());
+    assert_eq!(x.len(), l.n_cols(), "x length mismatch");
+    let col_ptr = l.col_ptr();
+    let row_idx = l.row_idx();
+    let values = l.values();
+    for j in (0..l.n_cols()).rev() {
+        let range = col_ptr[j]..col_ptr[j + 1];
+        let mut dot = 0.0;
+        for (&i, &lij) in row_idx[range.start + 1..range.end]
+            .iter()
+            .zip(&values[range.start + 1..range.end])
+        {
+            dot += lij * x[i];
+        }
+        x[j] = (x[j] - dot) / values[range.start];
+    }
+}
+
+/// Flop count of a reach-set-pruned triangular solve: one division per
+/// reached column plus two flops per off-diagonal entry of reached
+/// columns. Used for GFLOP/s reporting (Figure 6).
+pub fn trisolve_flops(l: &CscMatrix, reach_set: &[usize]) -> u64 {
+    reach_set
+        .iter()
+        .map(|&j| 1 + 2 * (l.col_nnz(j) as u64 - 1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_graph::reach;
+    use sympiler_sparse::gen::random_lower_triangular;
+    use sympiler_sparse::rhs;
+
+    fn dense_reference(l: &CscMatrix, b: &[f64]) -> Vec<f64> {
+        // Straightforward O(n^2) dense forward substitution.
+        let n = l.n_cols();
+        let d = l.to_dense();
+        let mut x = b.to_vec();
+        for j in 0..n {
+            x[j] /= d[j * n + j];
+            for i in j + 1..n {
+                x[i] -= d[j * n + i] * x[j];
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn naive_matches_dense_reference() {
+        let l = random_lower_triangular(40, 3, 1);
+        let b: Vec<f64> = (0..40).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut x = b.clone();
+        naive_forward(&l, &mut x);
+        let expect = dense_reference(&l, &b);
+        for (p, q) in x.iter().zip(&expect) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_on_sparse_rhs() {
+        for seed in 0..10u64 {
+            let l = random_lower_triangular(80, 4, seed);
+            let b = rhs::random_sparse_rhs(80, 0.04, seed + 100);
+            let bd = b.to_dense();
+
+            let mut x_naive = bd.clone();
+            naive_forward(&l, &mut x_naive);
+
+            let mut x_lib = bd.clone();
+            library_forward(&l, &mut x_lib);
+
+            let r = reach(&l, b.indices());
+            let mut x_dec = vec![0.0; 80];
+            decoupled_forward(&l, &b, &r, &mut x_dec);
+
+            for i in 0..80 {
+                assert!((x_naive[i] - x_lib[i]).abs() < 1e-12, "lib seed {seed} i {i}");
+                assert!((x_naive[i] - x_dec[i]).abs() < 1e-12, "dec seed {seed} i {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn library_skips_exact_zeros_correctly() {
+        // b with a single nonzero late in the matrix: the library code
+        // must not touch earlier columns.
+        let l = random_lower_triangular(30, 2, 3);
+        let mut x = vec![0.0; 30];
+        x[29] = 5.0;
+        library_forward(&l, &mut x);
+        assert!((x[29] - 5.0 / l.get(29, 29)).abs() < 1e-12);
+        for i in 0..29 {
+            assert_eq!(x[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn decoupled_solution_pattern_is_reach_set() {
+        let l = random_lower_triangular(50, 3, 7);
+        let b = rhs::random_sparse_rhs(50, 0.04, 11);
+        let r = reach(&l, b.indices());
+        let mut x = vec![0.0; 50];
+        decoupled_forward(&l, &b, &r, &mut x);
+        // Nonzeros of x are contained in the reach set (Gilbert-Peierls).
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                assert!(r.contains(&i), "x[{i}] nonzero outside reach set");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_backward_solves_normal_equations() {
+        // L L^T x = b via the two substitutions.
+        let l = random_lower_triangular(25, 2, 9);
+        let xs: Vec<f64> = (0..25).map(|i| (i as f64).sin()).collect();
+        // b = L L^T xs
+        let mut tmp = xs.clone();
+        // tmp = L^T xs
+        let lt = sympiler_sparse::ops::transpose(&l);
+        let mut b = vec![0.0; 25];
+        sympiler_sparse::ops::spmv(&lt, &tmp, &mut b);
+        let mut b2 = vec![0.0; 25];
+        sympiler_sparse::ops::spmv(&l, &b, &mut b2);
+        // Solve.
+        tmp = b2;
+        naive_forward(&l, &mut tmp);
+        backward_transposed(&l, &mut tmp);
+        for (p, q) in tmp.iter().zip(&xs) {
+            assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let l = random_lower_triangular(10, 0, 1); // diagonal only
+        let r: Vec<usize> = vec![0, 5];
+        assert_eq!(trisolve_flops(&l, &r), 2);
+        let l2 = random_lower_triangular(10, 2, 1);
+        let all: Vec<usize> = (0..10).collect();
+        let expected: u64 = (0..10).map(|j| 1 + 2 * (l2.col_nnz(j) as u64 - 1)).sum();
+        assert_eq!(trisolve_flops(&l2, &all), expected);
+    }
+
+    #[test]
+    fn singleton_system() {
+        let l = CscMatrix::try_new(1, 1, vec![0, 1], vec![0], vec![4.0]).unwrap();
+        let mut x = vec![8.0];
+        naive_forward(&l, &mut x);
+        assert_eq!(x[0], 2.0);
+    }
+}

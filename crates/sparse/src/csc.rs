@@ -1,0 +1,455 @@
+//! Compressed sparse column (CSC) storage.
+//!
+//! This mirrors the `{n, Lp, Li, Lx}` quadruple used throughout the
+//! Sympiler paper (Figure 1): `col_ptr` (`Lp`) has `n_cols + 1` entries,
+//! `row_idx` (`Li`) holds the row index of each stored entry, and
+//! `values` (`Lx`) the numeric value. Entries within a column are sorted
+//! by row index and duplicate-free.
+
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse matrix in compressed sparse column format.
+///
+/// Invariants (enforced by [`CscMatrix::try_new`], assumed everywhere):
+/// * `col_ptr.len() == n_cols + 1`, `col_ptr[0] == 0`, monotone
+///   non-decreasing, `col_ptr[n_cols] == row_idx.len() == values.len()`;
+/// * within each column, row indices are strictly increasing and
+///   `< n_rows`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Build a CSC matrix, validating every structural invariant.
+    pub fn try_new(
+        n_rows: usize,
+        n_cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if col_ptr.len() != n_cols + 1 {
+            return Err(SparseError::BadColPtr(format!(
+                "col_ptr.len() = {} but n_cols + 1 = {}",
+                col_ptr.len(),
+                n_cols + 1
+            )));
+        }
+        if col_ptr[0] != 0 {
+            return Err(SparseError::BadColPtr(format!(
+                "col_ptr[0] = {} (must be 0)",
+                col_ptr[0]
+            )));
+        }
+        if row_idx.len() != values.len() {
+            return Err(SparseError::LengthMismatch(format!(
+                "row_idx.len() = {} but values.len() = {}",
+                row_idx.len(),
+                values.len()
+            )));
+        }
+        if *col_ptr.last().unwrap() != row_idx.len() {
+            return Err(SparseError::BadColPtr(format!(
+                "col_ptr[n_cols] = {} but nnz = {}",
+                col_ptr.last().unwrap(),
+                row_idx.len()
+            )));
+        }
+        for j in 0..n_cols {
+            if col_ptr[j] > col_ptr[j + 1] {
+                return Err(SparseError::BadColPtr(format!(
+                    "col_ptr not monotone at column {j}"
+                )));
+            }
+            let col = &row_idx[col_ptr[j]..col_ptr[j + 1]];
+            for (k, &r) in col.iter().enumerate() {
+                if r >= n_rows {
+                    return Err(SparseError::BadRowIndex(format!(
+                        "row index {r} >= n_rows {n_rows} in column {j}"
+                    )));
+                }
+                if k > 0 && col[k - 1] >= r {
+                    return Err(SparseError::BadRowIndex(format!(
+                        "row indices not strictly increasing in column {j}: {} then {r}",
+                        col[k - 1]
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        })
+    }
+
+    /// Build without validation. Used on hot paths where the caller has
+    /// just constructed provably valid arrays; debug builds still verify.
+    pub fn from_parts_unchecked(
+        n_rows: usize,
+        n_cols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert!(
+            Self::try_new(
+                n_rows,
+                n_cols,
+                col_ptr.clone(),
+                row_idx.clone(),
+                values.clone()
+            )
+            .is_ok(),
+            "from_parts_unchecked given invalid CSC arrays"
+        );
+        Self {
+            n_rows,
+            n_cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// An `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let col_ptr: Vec<usize> = (0..=n).collect();
+        let row_idx: Vec<usize> = (0..n).collect();
+        let values = vec![1.0; n];
+        Self::from_parts_unchecked(n, n, col_ptr, row_idx, values)
+    }
+
+    /// A matrix with no stored entries.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self::from_parts_unchecked(n_rows, n_cols, vec![0; n_cols + 1], Vec::new(), Vec::new())
+    }
+
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored (structural) nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The column pointer array (`Lp` in the paper).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row index array (`Li` in the paper).
+    #[inline]
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// The value array (`Lx` in the paper).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to values only — the pattern stays fixed, which is
+    /// exactly the contract Sympiler relies on (static sparsity, §1.2).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The half-open range of storage indices for column `j`.
+    #[inline]
+    pub fn col_range(&self, j: usize) -> std::ops::Range<usize> {
+        self.col_ptr[j]..self.col_ptr[j + 1]
+    }
+
+    /// Row indices of column `j`.
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.row_idx[self.col_range(j)]
+    }
+
+    /// Values of column `j`.
+    #[inline]
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.values[self.col_range(j)]
+    }
+
+    /// Number of stored entries in column `j`
+    /// (the paper's "column count" for `L`).
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Iterate over `(row, value)` pairs of column `j`.
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let r = self.col_range(j);
+        self.row_idx[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[r].iter().copied())
+    }
+
+    /// Value at `(i, j)`, or 0.0 if the entry is not stored.
+    /// Binary search; O(log nnz(col j)). For tests and convenience, not
+    /// for inner loops.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n_rows && j < self.n_cols, "index out of bounds");
+        let rows = self.col_rows(j);
+        match rows.binary_search(&i) {
+            Ok(k) => self.values[self.col_ptr[j] + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Storage position of entry `(i, j)` if present.
+    pub fn find(&self, i: usize, j: usize) -> Option<usize> {
+        let rows = self.col_rows(j);
+        rows.binary_search(&i).ok().map(|k| self.col_ptr[j] + k)
+    }
+
+    /// True if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.n_rows == self.n_cols
+    }
+
+    /// True if every stored entry lies on or below the diagonal **and**
+    /// every column's first stored entry is exactly the diagonal — the
+    /// shape required of the `L` operand in triangular solve.
+    pub fn is_lower_triangular_with_diag(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        (0..self.n_cols).all(|j| {
+            let rows = self.col_rows(j);
+            rows.first() == Some(&j)
+        })
+    }
+
+    /// True if only entries on or below the diagonal are stored
+    /// (the symmetric-lower storage convention of the paper's `A`).
+    pub fn is_lower_storage(&self) -> bool {
+        (0..self.n_cols).all(|j| self.col_rows(j).iter().all(|&i| i >= j))
+    }
+
+    /// Densify into a column-major `Vec` (`n_rows * n_cols`).
+    /// For tests and small examples only.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.n_rows * self.n_cols];
+        for j in 0..self.n_cols {
+            for (i, v) in self.col_iter(j) {
+                d[j * self.n_rows + i] = v;
+            }
+        }
+        d
+    }
+
+    /// The sparsity pattern with all values set to a constant. Useful for
+    /// symbolic-phase tests where only structure matters.
+    pub fn pattern_only(&self, fill: f64) -> CscMatrix {
+        CscMatrix {
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+            col_ptr: self.col_ptr.clone(),
+            row_idx: self.row_idx.clone(),
+            values: vec![fill; self.nnz()],
+        }
+    }
+
+    /// True if the two matrices have the identical sparsity pattern.
+    pub fn same_pattern(&self, other: &CscMatrix) -> bool {
+        self.n_rows == other.n_rows
+            && self.n_cols == other.n_cols
+            && self.col_ptr == other.col_ptr
+            && self.row_idx == other.row_idx
+    }
+
+    /// Consume the matrix, returning `(n_rows, n_cols, col_ptr, row_idx,
+    /// values)`.
+    pub fn into_parts(self) -> (usize, usize, Vec<usize>, Vec<usize>, Vec<f64>) {
+        (
+            self.n_rows,
+            self.n_cols,
+            self.col_ptr,
+            self.row_idx,
+            self.values,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3x3 lower triangular:
+    /// [2 . .]
+    /// [1 3 .]
+    /// [. 4 5]
+    fn small_lower() -> CscMatrix {
+        CscMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 4, 5],
+            vec![0, 1, 1, 2, 2],
+            vec![2.0, 1.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_construction() {
+        let m = small_lower();
+        assert_eq!(m.n_rows(), 3);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.col_nnz(0), 2);
+        assert_eq!(m.col_nnz(2), 1);
+    }
+
+    #[test]
+    fn rejects_bad_colptr_length() {
+        let e = CscMatrix::try_new(2, 2, vec![0, 1], vec![0], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::BadColPtr(_))));
+    }
+
+    #[test]
+    fn rejects_nonzero_first_colptr() {
+        let e = CscMatrix::try_new(2, 2, vec![1, 1, 1], vec![0], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::BadColPtr(_))));
+    }
+
+    #[test]
+    fn rejects_nonmonotone_colptr() {
+        let e = CscMatrix::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::BadColPtr(_))));
+    }
+
+    #[test]
+    fn rejects_row_out_of_range() {
+        let e = CscMatrix::try_new(2, 2, vec![0, 1, 1], vec![5], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::BadRowIndex(_))));
+    }
+
+    #[test]
+    fn rejects_unsorted_rows() {
+        let e = CscMatrix::try_new(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::BadRowIndex(_))));
+    }
+
+    #[test]
+    fn rejects_duplicate_rows() {
+        let e = CscMatrix::try_new(3, 1, vec![0, 2], vec![1, 1], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::BadRowIndex(_))));
+    }
+
+    #[test]
+    fn rejects_value_length_mismatch() {
+        let e = CscMatrix::try_new(2, 1, vec![0, 1], vec![0], vec![1.0, 2.0]);
+        assert!(matches!(e, Err(SparseError::LengthMismatch(_))));
+    }
+
+    #[test]
+    fn rejects_colptr_nnz_mismatch() {
+        let e = CscMatrix::try_new(2, 1, vec![0, 2], vec![0], vec![1.0]);
+        assert!(matches!(e, Err(SparseError::BadColPtr(_))));
+    }
+
+    #[test]
+    fn get_and_find() {
+        let m = small_lower();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.find(2, 2), Some(4));
+        assert_eq!(m.find(0, 1), None);
+    }
+
+    #[test]
+    fn identity_shape() {
+        let i = CscMatrix::identity(4);
+        assert!(i.is_lower_triangular_with_diag());
+        assert_eq!(i.nnz(), 4);
+        for k in 0..4 {
+            assert_eq!(i.get(k, k), 1.0);
+        }
+    }
+
+    #[test]
+    fn lower_triangular_detection() {
+        assert!(small_lower().is_lower_triangular_with_diag());
+        // Missing diagonal in column 0.
+        let no_diag =
+            CscMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 1], vec![1.0, 1.0]).unwrap();
+        assert!(!no_diag.is_lower_triangular_with_diag());
+        assert!(no_diag.is_lower_storage());
+    }
+
+    #[test]
+    fn to_dense_roundtrip_values() {
+        let m = small_lower();
+        let d = m.to_dense();
+        // column-major
+        assert_eq!(d[0], 2.0); // (0,0)
+        assert_eq!(d[1], 1.0); // (1,0)
+        assert_eq!(d[3 + 1], 3.0); // (1,1)
+        assert_eq!(d[3 + 2], 4.0); // (2,1)
+        assert_eq!(d[6 + 2], 5.0); // (2,2)
+        assert_eq!(d.iter().filter(|&&x| x != 0.0).count(), 5);
+    }
+
+    #[test]
+    fn pattern_only_and_same_pattern() {
+        let m = small_lower();
+        let p = m.pattern_only(1.0);
+        assert!(m.same_pattern(&p));
+        assert!(p.values().iter().all(|&v| v == 1.0));
+        let other = CscMatrix::identity(3);
+        assert!(!m.same_pattern(&other));
+    }
+
+    #[test]
+    fn col_iter_matches_get() {
+        let m = small_lower();
+        for j in 0..3 {
+            for (i, v) in m.col_iter(j) {
+                assert_eq!(m.get(i, j), v);
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = CscMatrix::zeros(3, 2);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.n_rows(), 3);
+        assert_eq!(z.n_cols(), 2);
+        assert_eq!(z.get(2, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        small_lower().get(3, 0);
+    }
+}

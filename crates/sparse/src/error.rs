@@ -1,0 +1,75 @@
+//! Error type shared by the sparse substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating sparse matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparseError {
+    /// Column pointer array has the wrong length or is not monotone.
+    BadColPtr(String),
+    /// A row index is out of range or out of order within its column.
+    BadRowIndex(String),
+    /// `values` and `row_indices` lengths disagree, or nnz mismatch.
+    LengthMismatch(String),
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch(String),
+    /// The matrix is structurally or numerically unsuitable
+    /// (e.g. not lower triangular, zero/negative pivot, not symmetric).
+    InvalidMatrix(String),
+    /// Parsing a Matrix Market (or other) file failed.
+    Parse(String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::BadColPtr(m) => write!(f, "bad column pointer: {m}"),
+            SparseError::BadRowIndex(m) => write!(f, "bad row index: {m}"),
+            SparseError::LengthMismatch(m) => write!(f, "length mismatch: {m}"),
+            SparseError::DimensionMismatch(m) => write!(f, "dimension mismatch: {m}"),
+            SparseError::InvalidMatrix(m) => write!(f, "invalid matrix: {m}"),
+            SparseError::Parse(m) => write!(f, "parse error: {m}"),
+            SparseError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_distinct() {
+        let variants = [
+            SparseError::BadColPtr("a".into()),
+            SparseError::BadRowIndex("b".into()),
+            SparseError::LengthMismatch("c".into()),
+            SparseError::DimensionMismatch("d".into()),
+            SparseError::InvalidMatrix("e".into()),
+            SparseError::Parse("f".into()),
+            SparseError::Io("g".into()),
+        ];
+        let mut texts: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
+        texts.sort();
+        texts.dedup();
+        assert_eq!(texts.len(), 7, "each error variant renders distinctly");
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SparseError = io.into();
+        assert!(matches!(e, SparseError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+}

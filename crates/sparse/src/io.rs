@@ -1,0 +1,290 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! Supports the `matrix coordinate real {general|symmetric}` and
+//! `matrix coordinate pattern {general|symmetric}` headers, which covers
+//! the SuiteSparse matrices the paper evaluates on (Table 2). Symmetric
+//! files store the lower triangle, matching this library's convention for
+//! Cholesky inputs.
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::triplet::TripletMatrix;
+use crate::Result;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Symmetry declared in a Matrix Market header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmSymmetry {
+    General,
+    Symmetric,
+}
+
+/// A parsed Matrix Market file: the matrix (as stored — symmetric files
+/// keep lower-triangle-only storage) plus its declared symmetry.
+#[derive(Debug, Clone)]
+pub struct MmMatrix {
+    pub matrix: CscMatrix,
+    pub symmetry: MmSymmetry,
+}
+
+/// Read a Matrix Market file from a reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<MmMatrix> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::Parse("empty file".into()))?
+        .map_err(SparseError::from)?;
+    let head: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if head.len() != 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(SparseError::Parse(format!("bad header: {header}")));
+    }
+    if head[2] != "coordinate" {
+        return Err(SparseError::Parse(format!(
+            "unsupported format {} (only coordinate)",
+            head[2]
+        )));
+    }
+    let pattern = match head[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported field type {other}"
+            )))
+        }
+    };
+    let symmetry = match head[4].as_str() {
+        "general" => MmSymmetry::General,
+        "symmetric" => MmSymmetry::Symmetric,
+        other => {
+            return Err(SparseError::Parse(format!(
+                "unsupported symmetry {other}"
+            )))
+        }
+    };
+
+    // Skip comments, find the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(trimmed.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| SparseError::Parse("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<usize>()
+                .map_err(|e| SparseError::Parse(format!("bad size token {t}: {e}")))
+        })
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::Parse(format!("bad size line: {size_line}")));
+    }
+    let (n_rows, n_cols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut t = TripletMatrix::with_capacity(n_rows, n_cols, nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(SparseError::from)?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing row".into()))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad row: {e}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| SparseError::Parse("missing col".into()))?
+            .parse()
+            .map_err(|e| SparseError::Parse(format!("bad col: {e}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| SparseError::Parse("missing value".into()))?
+                .parse()
+                .map_err(|e| SparseError::Parse(format!("bad value: {e}")))?
+        };
+        if i == 0 || j == 0 || i > n_rows || j > n_cols {
+            return Err(SparseError::Parse(format!(
+                "entry ({i},{j}) out of 1-based bounds {n_rows}x{n_cols}"
+            )));
+        }
+        if symmetry == MmSymmetry::Symmetric && j > i {
+            return Err(SparseError::Parse(format!(
+                "symmetric file stores upper entry ({i},{j})"
+            )));
+        }
+        t.push(i - 1, j - 1, v);
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::Parse(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(MmMatrix {
+        matrix: t.to_csc()?,
+        symmetry,
+    })
+}
+
+/// Read a Matrix Market file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<MmMatrix> {
+    let f = std::fs::File::open(path)?;
+    read_matrix_market(f)
+}
+
+/// Write a matrix in Matrix Market coordinate-real format. When
+/// `symmetry` is [`MmSymmetry::Symmetric`], the matrix must already be in
+/// lower-triangular storage.
+pub fn write_matrix_market<W: Write>(
+    writer: W,
+    a: &CscMatrix,
+    symmetry: MmSymmetry,
+) -> Result<()> {
+    if symmetry == MmSymmetry::Symmetric && !a.is_lower_storage() {
+        return Err(SparseError::InvalidMatrix(
+            "symmetric output requires lower-triangular storage".into(),
+        ));
+    }
+    let mut w = BufWriter::new(writer);
+    let sym = match symmetry {
+        MmSymmetry::General => "general",
+        MmSymmetry::Symmetric => "symmetric",
+    };
+    writeln!(w, "%%MatrixMarket matrix coordinate real {sym}")?;
+    writeln!(w, "% generated by sympiler-rs")?;
+    writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), a.nnz())?;
+    for j in 0..a.n_cols() {
+        for (i, v) in a.col_iter(j) {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write a matrix to a `.mtx` file on disk.
+pub fn write_matrix_market_file<P: AsRef<Path>>(
+    path: P,
+    a: &CscMatrix,
+    symmetry: MmSymmetry,
+) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_matrix_market(f, a, symmetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower3() -> CscMatrix {
+        CscMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 4, 5],
+            vec![0, 1, 1, 2, 2],
+            vec![2.0, 1.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_general() {
+        let a = lower3();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a, MmSymmetry::General).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back.symmetry, MmSymmetry::General);
+        assert_eq!(back.matrix, a);
+    }
+
+    #[test]
+    fn roundtrip_symmetric() {
+        let a = lower3();
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a, MmSymmetry::Symmetric).unwrap();
+        let back = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(back.symmetry, MmSymmetry::Symmetric);
+        assert_eq!(back.matrix, a);
+    }
+
+    #[test]
+    fn reads_pattern_files() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.matrix.nnz(), 2);
+        assert_eq!(m.matrix.get(0, 0), 1.0);
+        assert_eq!(m.matrix.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n% another\n2 1 3.5\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.matrix.get(1, 0), 3.5);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1\n1.0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+        let zero = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n";
+        assert!(read_matrix_market(zero.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_upper_entry_in_symmetric_file() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn symmetric_write_requires_lower() {
+        let full = crate::ops::symmetrize_from_lower(&lower3()).unwrap();
+        let mut buf = Vec::new();
+        assert!(write_matrix_market(&mut buf, &full, MmSymmetry::Symmetric).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let a = lower3();
+        let dir = std::env::temp_dir().join("sympiler_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.mtx");
+        write_matrix_market_file(&path, &a, MmSymmetry::Symmetric).unwrap();
+        let back = read_matrix_market_file(&path).unwrap();
+        assert_eq!(back.matrix, a);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,386 @@
+//! Core sparse operations: SpMV, transpose, permutation, symmetrization,
+//! triangular extraction, and norms.
+//!
+//! The transpose here is the same O(|A|) counting-sort transpose that the
+//! paper notes Eigen and CHOLMOD perform *inside their numeric phase* to
+//! reach the upper triangle of a symmetric matrix stored lower (§4.2) —
+//! one of the costs Sympiler's decoupling removes.
+
+use crate::csc::CscMatrix;
+use crate::error::SparseError;
+use crate::sparsevec::SparseVec;
+use crate::Result;
+
+/// `y = A * x` for dense `x`, dense `y`. `y` is overwritten.
+pub fn spmv(a: &CscMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.n_cols(), "x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "y length mismatch");
+    y.fill(0.0);
+    for j in 0..a.n_cols() {
+        let xj = x[j];
+        if xj == 0.0 {
+            continue;
+        }
+        for (i, v) in a.col_iter(j) {
+            y[i] += v * xj;
+        }
+    }
+}
+
+/// `y = A * x` where `A` is a *symmetric* matrix stored lower-triangular
+/// (the paper's storage convention for Cholesky inputs).
+pub fn spmv_sym_lower(a: &CscMatrix, x: &[f64], y: &mut [f64]) {
+    assert!(a.is_square(), "symmetric matrix must be square");
+    assert_eq!(x.len(), a.n_cols(), "x length mismatch");
+    assert_eq!(y.len(), a.n_rows(), "y length mismatch");
+    y.fill(0.0);
+    for j in 0..a.n_cols() {
+        let xj = x[j];
+        for (i, v) in a.col_iter(j) {
+            y[i] += v * xj;
+            if i != j {
+                // Mirror entry (j, i) in the upper triangle.
+                y[j] += v * x[i];
+            }
+        }
+    }
+}
+
+/// Transpose via counting sort; O(|A| + n).
+pub fn transpose(a: &CscMatrix) -> CscMatrix {
+    let m = a.n_rows();
+    let n = a.n_cols();
+    let nnz = a.nnz();
+    // Count per row of A = per column of A^T.
+    let mut count = vec![0usize; m];
+    for &i in a.row_idx() {
+        count[i] += 1;
+    }
+    let mut col_ptr = vec![0usize; m + 1];
+    for i in 0..m {
+        col_ptr[i + 1] = col_ptr[i] + count[i];
+    }
+    let mut next = col_ptr[..m].to_vec();
+    let mut row_idx = vec![0usize; nnz];
+    let mut values = vec![0.0f64; nnz];
+    for j in 0..n {
+        for (i, v) in a.col_iter(j) {
+            let p = next[i];
+            row_idx[p] = j;
+            values[p] = v;
+            next[i] += 1;
+        }
+    }
+    // Row indices within each output column arrive in increasing order
+    // because we scan source columns left to right.
+    CscMatrix::from_parts_unchecked(n, m, col_ptr, row_idx, values)
+}
+
+/// Expand a symmetric matrix stored lower-triangular into full storage
+/// (both triangles explicit).
+pub fn symmetrize_from_lower(a: &CscMatrix) -> Result<CscMatrix> {
+    if !a.is_square() {
+        return Err(SparseError::DimensionMismatch(
+            "symmetrize requires a square matrix".into(),
+        ));
+    }
+    if !a.is_lower_storage() {
+        return Err(SparseError::InvalidMatrix(
+            "symmetrize_from_lower requires lower-triangular storage".into(),
+        ));
+    }
+    let n = a.n_cols();
+    let mut t = crate::triplet::TripletMatrix::with_capacity(n, n, a.nnz() * 2);
+    for j in 0..n {
+        for (i, v) in a.col_iter(j) {
+            t.push(i, j, v);
+            if i != j {
+                t.push(j, i, v);
+            }
+        }
+    }
+    t.to_csc()
+}
+
+/// Extract the lower triangle (including diagonal) of a full-storage
+/// matrix.
+pub fn extract_lower(a: &CscMatrix) -> CscMatrix {
+    let n = a.n_cols();
+    let mut col_ptr = vec![0usize; n + 1];
+    let mut row_idx = Vec::new();
+    let mut values = Vec::new();
+    for j in 0..n {
+        for (i, v) in a.col_iter(j) {
+            if i >= j {
+                row_idx.push(i);
+                values.push(v);
+            }
+        }
+        col_ptr[j + 1] = row_idx.len();
+    }
+    CscMatrix::from_parts_unchecked(a.n_rows(), n, col_ptr, row_idx, values)
+}
+
+/// Symmetric permutation `P A P^T` of a square full-storage matrix, where
+/// `perm[new] = old` (i.e. `perm` lists old indices in their new order).
+pub fn permute_sym(a: &CscMatrix, perm: &[usize]) -> Result<CscMatrix> {
+    let n = a.n_cols();
+    if !a.is_square() {
+        return Err(SparseError::DimensionMismatch(
+            "permute_sym requires square".into(),
+        ));
+    }
+    if perm.len() != n {
+        return Err(SparseError::DimensionMismatch(format!(
+            "perm.len() = {} != n = {n}",
+            perm.len()
+        )));
+    }
+    // inv[old] = new
+    let mut inv = vec![usize::MAX; n];
+    for (new, &old) in perm.iter().enumerate() {
+        if old >= n || inv[old] != usize::MAX {
+            return Err(SparseError::InvalidMatrix(
+                "perm is not a permutation".into(),
+            ));
+        }
+        inv[old] = new;
+    }
+    let mut t = crate::triplet::TripletMatrix::with_capacity(n, n, a.nnz());
+    for j in 0..n {
+        let nj = inv[j];
+        for (i, v) in a.col_iter(j) {
+            t.push(inv[i], nj, v);
+        }
+    }
+    t.to_csc()
+}
+
+/// `||A x - b||_inf / (||A||_1 ||x||_inf + ||b||_inf)` — the scaled
+/// residual used to verify solves.
+pub fn rel_residual(a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let mut ax = vec![0.0; a.n_rows()];
+    spmv(a, x, &mut ax);
+    scaled_residual_from(&ax, a, x, b)
+}
+
+/// Residual for a symmetric matrix stored lower.
+pub fn rel_residual_sym_lower(a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let mut ax = vec![0.0; a.n_rows()];
+    spmv_sym_lower(a, x, &mut ax);
+    scaled_residual_from(&ax, a, x, b)
+}
+
+fn scaled_residual_from(ax: &[f64], a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let num = ax
+        .iter()
+        .zip(b.iter())
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    let a1 = norm_1(a);
+    let xi = x.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+    let bi = b.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+    let den = a1 * xi + bi;
+    if den == 0.0 {
+        num
+    } else {
+        num / den
+    }
+}
+
+/// Maximum absolute column sum.
+pub fn norm_1(a: &CscMatrix) -> f64 {
+    (0..a.n_cols())
+        .map(|j| a.col_values(j).iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0f64, f64::max)
+}
+
+/// Frobenius norm.
+pub fn norm_fro(a: &CscMatrix) -> f64 {
+    a.values().iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// `y = L * x` for sparse `x`, used to manufacture consistent RHS vectors
+/// for triangular-solve benchmarks: with sparse `x`, `b = L x` is sparse.
+pub fn spmv_sparse(a: &CscMatrix, x: &SparseVec) -> SparseVec {
+    assert_eq!(x.dim(), a.n_cols(), "x dimension mismatch");
+    let mut dense = vec![0.0; a.n_rows()];
+    for (j, xj) in x.iter() {
+        for (i, v) in a.col_iter(j) {
+            dense[i] += v * xj;
+        }
+    }
+    SparseVec::from_dense(&dense)
+}
+
+/// Check structural symmetry (pattern of `A` equals pattern of `A^T`)
+/// and numeric symmetry within `tol`.
+pub fn is_symmetric(a: &CscMatrix, tol: f64) -> bool {
+    if !a.is_square() {
+        return false;
+    }
+    let at = transpose(a);
+    if !a.same_pattern(&at) {
+        return false;
+    }
+    a.values()
+        .iter()
+        .zip(at.values())
+        .all(|(x, y)| (x - y).abs() <= tol * x.abs().max(y.abs()).max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn lower3() -> CscMatrix {
+        // [2 . .; 1 3 .; . 4 5]
+        CscMatrix::try_new(
+            3,
+            3,
+            vec![0, 2, 4, 5],
+            vec![0, 1, 1, 2, 2],
+            vec![2.0, 1.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spmv_simple() {
+        let a = lower3();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        spmv(&a, &x, &mut y);
+        assert_eq!(y, [2.0, 7.0, 23.0]);
+    }
+
+    #[test]
+    fn spmv_skips_zero_x() {
+        let a = lower3();
+        let x = [0.0, 0.0, 1.0];
+        let mut y = [9.0; 3];
+        spmv(&a, &x, &mut y);
+        assert_eq!(y, [0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = lower3();
+        let at = transpose(&a);
+        assert_eq!(at.get(0, 1), 1.0);
+        assert_eq!(at.get(1, 2), 4.0);
+        assert_eq!(at.get(1, 0), 0.0);
+        let att = transpose(&at);
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let mut t = TripletMatrix::new(2, 3);
+        t.push(0, 2, 1.0);
+        t.push(1, 0, 2.0);
+        let a = t.to_csc().unwrap();
+        let at = transpose(&a);
+        assert_eq!(at.n_rows(), 3);
+        assert_eq!(at.n_cols(), 2);
+        assert_eq!(at.get(2, 0), 1.0);
+        assert_eq!(at.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn symmetrize_and_extract_roundtrip() {
+        let a = lower3();
+        let full = symmetrize_from_lower(&a).unwrap();
+        assert!(is_symmetric(&full, 0.0));
+        assert_eq!(full.get(0, 1), 1.0);
+        assert_eq!(full.get(1, 0), 1.0);
+        let lower = extract_lower(&full);
+        assert_eq!(lower, a);
+    }
+
+    #[test]
+    fn symmetrize_rejects_nonlower() {
+        let full = symmetrize_from_lower(&lower3()).unwrap();
+        assert!(symmetrize_from_lower(&full).is_err());
+    }
+
+    #[test]
+    fn spmv_sym_lower_matches_full() {
+        let a = lower3();
+        let full = symmetrize_from_lower(&a).unwrap();
+        let x = [1.0, -2.0, 0.5];
+        let mut y1 = [0.0; 3];
+        let mut y2 = [0.0; 3];
+        spmv_sym_lower(&a, &x, &mut y1);
+        spmv(&full, &x, &mut y2);
+        for (p, q) in y1.iter().zip(y2.iter()) {
+            assert!((p - q).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn permute_sym_identity_is_noop() {
+        let a = symmetrize_from_lower(&lower3()).unwrap();
+        let p: Vec<usize> = (0..3).collect();
+        let b = permute_sym(&a, &p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permute_sym_reversal() {
+        let a = symmetrize_from_lower(&lower3()).unwrap();
+        let p = vec![2, 1, 0];
+        let b = permute_sym(&a, &p).unwrap();
+        // new (0,0) is old (2,2) = 5
+        assert_eq!(b.get(0, 0), 5.0);
+        assert_eq!(b.get(2, 2), 2.0);
+        // new (1,0) is old (1,2) = 4
+        assert_eq!(b.get(1, 0), 4.0);
+        assert!(is_symmetric(&b, 0.0));
+    }
+
+    #[test]
+    fn permute_sym_rejects_bad_perm() {
+        let a = symmetrize_from_lower(&lower3()).unwrap();
+        assert!(permute_sym(&a, &[0, 0, 1]).is_err());
+        assert!(permute_sym(&a, &[0, 1]).is_err());
+        assert!(permute_sym(&a, &[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let a = lower3();
+        assert_eq!(norm_1(&a), 7.0); // column 1: |3| + |4|
+        assert!((norm_fro(&a) - (4.0f64 + 1.0 + 9.0 + 16.0 + 25.0).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn residual_zero_for_exact_solution() {
+        let a = lower3();
+        // x = [1, 1, 1], b = A x
+        let x = [1.0, 1.0, 1.0];
+        let mut b = [0.0; 3];
+        spmv(&a, &x, &mut b);
+        assert!(rel_residual(&a, &x, &b) < 1e-15);
+    }
+
+    #[test]
+    fn spmv_sparse_matches_dense() {
+        let a = lower3();
+        let x = SparseVec::try_new(3, vec![1], vec![2.0]).unwrap();
+        let b = spmv_sparse(&a, &x);
+        let mut expect = [0.0; 3];
+        spmv(&a, &x.to_dense(), &mut expect);
+        assert_eq!(b.to_dense(), expect.to_vec());
+    }
+
+    #[test]
+    fn is_symmetric_detects_asymmetry() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 2.0);
+        let a = t.to_csc().unwrap();
+        assert!(!is_symmetric(&a, 1e-12));
+    }
+}

@@ -1,0 +1,103 @@
+//! Right-hand-side generators for triangular systems.
+//!
+//! The paper's triangular-solve experiments use **sparse** RHS vectors
+//! with under 5% fill whose sparsity "is close to the sparsity of the
+//! columns of a sparse matrix" (§4.2) — because in left-looking LU /
+//! Cholesky rank updates the RHS of the inner triangular solve *is* a
+//! matrix column. These helpers construct exactly those workloads.
+
+use crate::csc::CscMatrix;
+use crate::sparsevec::SparseVec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// RHS whose pattern is the pattern of column `j` of `L` — the workload
+/// of a factorization inner solve. Values are deterministic pseudo-random
+/// in `[1, 2)`.
+pub fn rhs_from_column_pattern(l: &CscMatrix, j: usize, seed: u64) -> SparseVec {
+    assert!(j < l.n_cols(), "column out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let indices: Vec<usize> = l.col_rows(j).to_vec();
+    let values: Vec<f64> = indices
+        .iter()
+        .map(|_| rng.random_range(1.0..2.0))
+        .collect();
+    SparseVec::try_new(l.n_rows(), indices, values).expect("column pattern is sorted")
+}
+
+/// Random sparse RHS with `max(1, round(fill * n))` nonzeros at uniformly
+/// random positions.
+pub fn random_sparse_rhs(n: usize, fill: f64, seed: u64) -> SparseVec {
+    assert!(n > 0, "empty vector");
+    assert!((0.0..=1.0).contains(&fill), "fill must be in [0,1]");
+    let k = ((fill * n as f64).round() as usize).clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked = std::collections::BTreeSet::new();
+    while picked.len() < k {
+        picked.insert(rng.random_range(0..n));
+    }
+    let indices: Vec<usize> = picked.into_iter().collect();
+    let values: Vec<f64> = indices
+        .iter()
+        .map(|_| rng.random_range(1.0..2.0))
+        .collect();
+    SparseVec::try_new(n, indices, values).expect("BTreeSet iterates sorted")
+}
+
+/// Build `b = L x` for a known sparse solution `x`, so solvers can be
+/// verified against `x` exactly.
+pub fn rhs_with_known_solution(l: &CscMatrix, x: &SparseVec) -> SparseVec {
+    crate::ops::spmv_sparse(l, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::random_lower_triangular;
+
+    #[test]
+    fn column_pattern_rhs_matches_column() {
+        let l = random_lower_triangular(40, 3, 1);
+        let b = rhs_from_column_pattern(&l, 10, 7);
+        assert_eq!(b.indices(), l.col_rows(10));
+        assert!(b.values().iter().all(|&v| (1.0..2.0).contains(&v)));
+    }
+
+    #[test]
+    fn random_rhs_respects_fill() {
+        let b = random_sparse_rhs(1000, 0.03, 5);
+        assert_eq!(b.nnz(), 30);
+        assert!(b.fill_ratio() <= 0.05, "paper's <5% constraint");
+        let tiny = random_sparse_rhs(10, 0.0, 5);
+        assert_eq!(tiny.nnz(), 1, "at least one nonzero");
+    }
+
+    #[test]
+    fn random_rhs_is_deterministic() {
+        assert_eq!(random_sparse_rhs(100, 0.05, 9), random_sparse_rhs(100, 0.05, 9));
+        assert_ne!(random_sparse_rhs(100, 0.05, 9), random_sparse_rhs(100, 0.05, 10));
+    }
+
+    #[test]
+    fn known_solution_roundtrip() {
+        let l = random_lower_triangular(30, 2, 3);
+        let x = random_sparse_rhs(30, 0.1, 4);
+        let b = rhs_with_known_solution(&l, &x);
+        // Forward substitution (dense, reference) must recover x.
+        let mut xd = b.to_dense();
+        for j in 0..30 {
+            let r = l.col_range(j);
+            let rows = &l.row_idx()[r.clone()];
+            let vals = &l.values()[r];
+            xd[j] /= vals[0];
+            let xj = xd[j];
+            for (&i, &v) in rows[1..].iter().zip(&vals[1..]) {
+                xd[i] -= v * xj;
+            }
+        }
+        let expect = x.to_dense();
+        for (a, b) in xd.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Sparse vectors — the right-hand sides of the paper's triangular
+//! systems (`b` in `Lx = b`, Figure 1), where only a few percent of the
+//! entries are nonzero.
+
+use crate::error::SparseError;
+use crate::Result;
+
+/// A sparse vector stored as parallel `(index, value)` arrays with
+/// strictly increasing indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseVec {
+    /// Build from parallel arrays, validating order and bounds.
+    pub fn try_new(dim: usize, indices: Vec<usize>, values: Vec<f64>) -> Result<Self> {
+        if indices.len() != values.len() {
+            return Err(SparseError::LengthMismatch(format!(
+                "indices.len() = {}, values.len() = {}",
+                indices.len(),
+                values.len()
+            )));
+        }
+        for (k, &i) in indices.iter().enumerate() {
+            if i >= dim {
+                return Err(SparseError::BadRowIndex(format!(
+                    "index {i} >= dim {dim}"
+                )));
+            }
+            if k > 0 && indices[k - 1] >= i {
+                return Err(SparseError::BadRowIndex(format!(
+                    "indices not strictly increasing: {} then {i}",
+                    indices[k - 1]
+                )));
+            }
+        }
+        Ok(Self {
+            dim,
+            indices,
+            values,
+        })
+    }
+
+    /// The all-zero vector.
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            dim,
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Gather the nonzeros of a dense slice.
+    pub fn from_dense(x: &[f64]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Self {
+            dim: x.len(),
+            indices,
+            values,
+        }
+    }
+
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored nonzeros (`|b|` in the paper's complexity bounds).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterate over `(index, value)` pairs in increasing index order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Scatter into a dense vector (allocates).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.dim];
+        self.scatter_into(&mut x);
+        x
+    }
+
+    /// Scatter into a caller-provided buffer that must already be zeroed
+    /// where this vector has no entries. The buffer is fully zeroed first.
+    pub fn scatter_into(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "buffer length mismatch");
+        x.fill(0.0);
+        for (i, v) in self.iter() {
+            x[i] = v;
+        }
+    }
+
+    /// The fill ratio `nnz / dim`, as used for the paper's "<5% RHS"
+    /// workload constraint (§4.2).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.dim == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.dim as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = SparseVec::try_new(6, vec![0, 5], vec![1.0, 2.0]).unwrap();
+        assert_eq!(v.dim(), 6);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), vec![1.0, 0.0, 0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_bad_indices() {
+        assert!(SparseVec::try_new(3, vec![3], vec![1.0]).is_err());
+        assert!(SparseVec::try_new(3, vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseVec::try_new(3, vec![2, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseVec::try_new(3, vec![0], vec![]).is_err());
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = vec![0.0, 3.0, 0.0, -1.0];
+        let v = SparseVec::from_dense(&d);
+        assert_eq!(v.indices(), &[1, 3]);
+        assert_eq!(v.to_dense(), d);
+    }
+
+    #[test]
+    fn fill_ratio() {
+        let v = SparseVec::try_new(100, vec![3, 50], vec![1.0, 1.0]).unwrap();
+        assert!((v.fill_ratio() - 0.02).abs() < 1e-15);
+        assert_eq!(SparseVec::zeros(0).fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn scatter_into_zeroes_buffer() {
+        let v = SparseVec::try_new(3, vec![1], vec![5.0]).unwrap();
+        let mut buf = vec![9.0; 3];
+        v.scatter_into(&mut buf);
+        assert_eq!(buf, vec![0.0, 5.0, 0.0]);
+    }
+}

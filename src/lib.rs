@@ -1,0 +1,52 @@
+//! # sympiler
+//!
+//! A Rust reproduction of **Sympiler** (Cheshmi, Kamil, Strout, Mehri
+//! Dehnavi — *Sympiler: Transforming Sparse Matrix Codes by Decoupling
+//! Symbolic Analysis*, SC 2017): a sparsity-aware code generator that
+//! performs all symbolic analysis of a sparse kernel at compile time and
+//! emits numeric-only code specialized to one sparsity pattern.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`sparse`] — CSC/COO storage, ops, Matrix Market I/O, generators;
+//! * [`graph`] — reach-sets, elimination trees, fill patterns, supernodes;
+//! * [`dense`] — the mini-BLAS used by supernodal kernels;
+//! * [`core`] — the Sympiler itself: symbolic inspectors, VI-Prune and
+//!   VS-Block transformations, low-level transformations, C emission and
+//!   executable plans;
+//! * [`solvers`] — the Eigen-like and CHOLMOD-like baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sympiler::prelude::*;
+//!
+//! // An SPD matrix from a 2-D Laplacian (lower-triangle storage).
+//! let a = sympiler::sparse::gen::grid2d_laplacian(8, 8, false, 42);
+//!
+//! // Compile a Cholesky factorization specialized to A's pattern.
+//! let chol = SympilerCholesky::compile(&a, &SympilerOptions::default()).unwrap();
+//! let factor = chol.factor(&a).unwrap();
+//!
+//! // Solve A x = b via L (L^T x) = b.
+//! let b = vec![1.0; a.n_cols()];
+//! let x = factor.solve(&b);
+//! let resid = sympiler::sparse::ops::rel_residual_sym_lower(&a, &x, &b);
+//! assert!(resid < 1e-10);
+//! ```
+
+pub use sympiler_core as core;
+pub use sympiler_dense as dense;
+pub use sympiler_graph as graph;
+pub use sympiler_solvers as solvers;
+pub use sympiler_sparse as sparse;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use sympiler_core::compile::{
+        SympilerCholesky, SympilerOptions, SympilerTriSolve,
+    };
+    pub use sympiler_core::plan::chol::CholFactor;
+    pub use sympiler_core::plan::tri::TriSolvePlan;
+    pub use sympiler_sparse::{CscMatrix, SparseVec, TripletMatrix};
+}

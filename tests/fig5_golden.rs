@@ -1,0 +1,144 @@
+//! Golden test: the paper's Figure 5 Cholesky example — a 10x10 SPD
+//! matrix `A`, its filled factor `L`, the elimination tree `T`, and the
+//! supernode grouping.
+
+use sympiler::prelude::*;
+use sympiler::solvers::SimplicialCholesky;
+
+/// The Figure 5 matrix (see `sympiler-graph`'s etree tests): a 10x10
+/// SPD pattern whose factor develops fill-in and whose etree is a
+/// single tree rooted at node 10 with the chain 8 -> 9 -> 10 at the
+/// top.
+fn fig5_a() -> CscMatrix {
+    let lower_1based: &[(usize, usize)] = &[
+        (2, 1),
+        (6, 1),
+        (10, 1),
+        (5, 2),
+        (7, 2),
+        (6, 3),
+        (8, 3),
+        (9, 3),
+        (7, 4),
+        (9, 4),
+        (10, 4),
+        (6, 5),
+        (9, 5),
+        (8, 6),
+        (9, 7),
+        (10, 8),
+        (9, 8),
+    ];
+    let mut t = TripletMatrix::new(10, 10);
+    for j in 0..10 {
+        t.push(j, j, 10.0);
+    }
+    for &(i, j) in lower_1based {
+        t.push(i - 1, j - 1, -1.0);
+    }
+    t.to_csc().unwrap()
+}
+
+#[test]
+fn etree_shape_matches_figure() {
+    let a = fig5_a();
+    let parent = sympiler::graph::etree(&a);
+    const NONE: usize = usize::MAX;
+    assert_eq!(parent[9], NONE, "node 10 (1-based) is the root");
+    assert_eq!(parent[8], 9, "9 -> 10");
+    assert_eq!(parent[7], 8, "8 -> 9");
+    // Every parent is the first sub-diagonal nonzero of the factor.
+    let l = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
+    for j in 0..9 {
+        let below: Vec<usize> = l
+            .col_rows(j)
+            .iter()
+            .copied()
+            .filter(|&i| i > j)
+            .collect();
+        match below.first() {
+            Some(&first) => assert_eq!(parent[j], first, "parent[{j}]"),
+            None => assert_eq!(parent[j], NONE),
+        }
+    }
+}
+
+#[test]
+fn factor_has_fill_in_like_the_figure() {
+    // Figure 5 highlights fill-in entries in L (red bullets): entries
+    // of L that are not in A. The factor must strictly contain A's
+    // pattern.
+    let a = fig5_a();
+    let sym = sympiler::graph::symbolic_cholesky(&a);
+    assert!(
+        sym.l_nnz() > a.nnz(),
+        "the example must produce fill-in ({} vs {})",
+        sym.l_nnz(),
+        a.nnz()
+    );
+    // Every entry of A's lower pattern is in L.
+    for j in 0..10 {
+        for &i in a.col_rows(j) {
+            assert!(sym.col_pattern(j).contains(&i));
+        }
+    }
+}
+
+#[test]
+fn trailing_chain_forms_a_supernode() {
+    // Figure 5 colors nodes {8, 9, 10} (1-based) as one supernode: the
+    // top chain of the etree with nested patterns.
+    let a = fig5_a();
+    let sym = sympiler::graph::symbolic_cholesky(&a);
+    let part = sympiler::graph::supernodes_cholesky(&sym, 0);
+    let s8 = part.col_to_super[7];
+    let s9 = part.col_to_super[8];
+    let s10 = part.col_to_super[9];
+    assert_eq!(s8, s9, "columns 8 and 9 (1-based) share a supernode");
+    assert_eq!(s9, s10, "columns 9 and 10 (1-based) share a supernode");
+}
+
+#[test]
+fn supernodal_and_plan_factors_match_simplicial() {
+    let a = fig5_a();
+    let l_ref = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
+    let l_sup = sympiler::solvers::SupernodalCholesky::analyze(&a, 0)
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .to_csc();
+    let l_plan = SympilerCholesky::compile(&a, &SympilerOptions::default())
+        .unwrap()
+        .factor(&a)
+        .unwrap()
+        .to_csc();
+    assert!(l_ref.same_pattern(&l_sup));
+    assert!(l_ref.same_pattern(&l_plan));
+    for ((x, y), z) in l_ref
+        .values()
+        .iter()
+        .zip(l_sup.values())
+        .zip(l_plan.values())
+    {
+        assert!((x - y).abs() < 1e-12);
+        assert!((x - z).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn prune_sets_match_update_dependencies() {
+    // Figure 4's PruneSet for column k is the row pattern of row k: the
+    // columns whose updates column k consumes. Validate against the
+    // factored values: L[k,j] != 0 exactly for j in the prune set.
+    let a = fig5_a();
+    let sym = sympiler::graph::symbolic_cholesky(&a);
+    let l = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
+    for k in 0..10 {
+        for &j in sym.row_pattern(k) {
+            assert!(
+                l.find(k, j).is_some(),
+                "prune set of row {k} contains {j} but L[{k},{j}] is not stored"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * every Cholesky engine reconstructs `A = L L^T`;
+//! * every triangular-solve variant matches dense substitution;
+//! * reach-sets equal brute-force reachability and are topological;
+//! * symbolic predictions (pattern, flops) match numeric reality;
+//! * supernode partitions are contiguous covers with nesting patterns.
+
+use proptest::prelude::*;
+use sympiler::prelude::*;
+use sympiler::solvers::{SimplicialCholesky, SupernodalCholesky};
+
+/// Strategy: a random SPD matrix in lower storage (diagonally dominant
+/// by construction), sizes 1..=40, varying sparsity.
+fn spd_matrix() -> impl Strategy<Value = CscMatrix> {
+    (1usize..=40, 0usize..=5, 0u64..1000).prop_map(|(n, extra, seed)| {
+        if n == 1 {
+            let mut t = TripletMatrix::new(1, 1);
+            t.push(0, 0, 4.0);
+            t.to_csc().unwrap()
+        } else if n < 5 {
+            // tiny: tridiagonal SPD
+            sympiler::sparse::gen::banded_spd(n, 1, seed)
+        } else {
+            sympiler::sparse::gen::random_spd(n, extra.min(n - 1).max(1), seed)
+        }
+    })
+}
+
+/// Strategy: a random well-conditioned lower-triangular matrix.
+fn lower_matrix() -> impl Strategy<Value = CscMatrix> {
+    (1usize..=60, 0usize..=4, 0u64..1000).prop_map(|(n, extra, seed)| {
+        sympiler::sparse::gen::random_lower_triangular(n, extra, seed)
+    })
+}
+
+/// Strategy: sparse RHS pattern for a dimension-n system.
+fn beta_for(n: usize, seed: u64) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..n)
+        .filter(|&i| (i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 7 < 2)
+        .collect();
+    if out.is_empty() {
+        out.push(seed as usize % n);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cholesky_engines_reconstruct_a(a in spd_matrix()) {
+        let l_simp = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
+        prop_assert!(sympiler::solvers::verify::reconstruction_error(&a, &l_simp) < 1e-9);
+
+        let l_super = SupernodalCholesky::analyze(&a, 0).unwrap().factor(&a).unwrap().to_csc();
+        prop_assert!(sympiler::solvers::verify::reconstruction_error(&a, &l_super) < 1e-9);
+
+        let l_plan = SympilerCholesky::compile(&a, &SympilerOptions::default())
+            .unwrap().factor(&a).unwrap().to_csc();
+        prop_assert!(sympiler::solvers::verify::reconstruction_error(&a, &l_plan) < 1e-9);
+    }
+
+    #[test]
+    fn symbolic_pattern_predicts_numeric_factor(a in spd_matrix()) {
+        let sym = sympiler::graph::symbolic_cholesky(&a);
+        let l = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
+        prop_assert_eq!(l.col_ptr(), sym.l_col_ptr.as_slice());
+        prop_assert_eq!(l.row_idx(), sym.l_row_idx.as_slice());
+    }
+
+    #[test]
+    fn trisolve_variants_agree(l in lower_matrix(), seed in 0u64..100) {
+        let n = l.n_cols();
+        let beta = beta_for(n, seed);
+        let values: Vec<f64> = beta.iter().map(|&i| 1.0 + (i % 3) as f64).collect();
+        let b = SparseVec::try_new(n, beta.clone(), values).unwrap();
+
+        let mut x_ref = b.to_dense();
+        sympiler::solvers::trisolve::naive_forward(&l, &mut x_ref);
+
+        let mut ts = SympilerTriSolve::compile(&l, b.indices(), &SympilerOptions::default());
+        let x = ts.solve(&b);
+        for i in 0..n {
+            prop_assert!((x[i] - x_ref[i]).abs() < 1e-9,
+                "x[{}] = {} vs {}", i, x[i], x_ref[i]);
+        }
+    }
+
+    #[test]
+    fn reach_set_is_exact_and_topological(l in lower_matrix(), seed in 0u64..100) {
+        let n = l.n_cols();
+        let beta = beta_for(n, seed);
+        let reach = sympiler::graph::reach(&l, &beta);
+        // Brute force reachability.
+        let mut expect = std::collections::BTreeSet::new();
+        let mut stack = beta.clone();
+        while let Some(j) = stack.pop() {
+            if expect.insert(j) {
+                for &i in &l.col_rows(j)[1..] {
+                    stack.push(i);
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<usize> = reach.iter().copied().collect();
+        prop_assert_eq!(&got, &expect);
+        prop_assert_eq!(reach.len(), got.len(), "no duplicates");
+        // Topological order.
+        let pos: std::collections::HashMap<usize, usize> =
+            reach.iter().enumerate().map(|(k, &j)| (j, k)).collect();
+        for &j in &reach {
+            for &i in &l.col_rows(j)[1..] {
+                prop_assert!(pos[&j] < pos[&i]);
+            }
+        }
+    }
+
+    #[test]
+    fn solution_pattern_contained_in_reach(l in lower_matrix(), seed in 0u64..100) {
+        let n = l.n_cols();
+        let beta = beta_for(n, seed);
+        let values: Vec<f64> = beta.iter().map(|_| 1.5).collect();
+        let b = SparseVec::try_new(n, beta, values).unwrap();
+        let reach: std::collections::BTreeSet<usize> =
+            sympiler::graph::reach(&l, b.indices()).into_iter().collect();
+        let mut x = b.to_dense();
+        sympiler::solvers::trisolve::naive_forward(&l, &mut x);
+        for (i, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                prop_assert!(reach.contains(&i), "x[{}] nonzero outside reach", i);
+            }
+        }
+    }
+
+    #[test]
+    fn supernode_partition_is_contiguous_nesting_cover(a in spd_matrix()) {
+        let sym = sympiler::graph::symbolic_cholesky(&a);
+        let part = sympiler::graph::supernodes_cholesky(&sym, 0);
+        let n = a.n_cols();
+        prop_assert_eq!(part.n_cols(), n);
+        // Contiguous cover.
+        let mut covered = 0;
+        for s in 0..part.n_supernodes() {
+            prop_assert_eq!(part.cols(s).start, covered);
+            covered = part.cols(s).end;
+            // Nesting patterns inside the supernode.
+            let cols: Vec<usize> = part.cols(s).collect();
+            for w in cols.windows(2) {
+                prop_assert_eq!(&sym.col_pattern(w[0])[1..], sym.col_pattern(w[1]));
+            }
+        }
+        prop_assert_eq!(covered, n);
+    }
+
+    #[test]
+    fn factor_flops_are_consistent(a in spd_matrix()) {
+        let sym = sympiler::graph::symbolic_cholesky(&a);
+        let plan = SympilerCholesky::compile(&a, &SympilerOptions::default()).unwrap();
+        prop_assert_eq!(plan.flops(), sym.factor_flops());
+        // Flops lower bound: every stored entry of L costs at least 1.
+        prop_assert!(sym.factor_flops() >= sym.l_nnz() as u64);
+    }
+
+    #[test]
+    fn spd_solve_has_small_residual(a in spd_matrix(), scale in 1.0f64..4.0) {
+        let n = a.n_cols();
+        let chol = SympilerCholesky::compile(&a, &SympilerOptions::default()).unwrap();
+        let f = chol.factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| scale * (1.0 + (i % 4) as f64)).collect();
+        let x = f.solve(&b);
+        let resid = sympiler::sparse::ops::rel_residual_sym_lower(&a, &x, &b);
+        prop_assert!(resid < 1e-9, "residual {}", resid);
+    }
+}
