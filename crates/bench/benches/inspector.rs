@@ -40,12 +40,9 @@ fn bench_inspectors(c: &mut Criterion) {
         )
         .unwrap();
         let beta: Vec<usize> = (0..a.n_cols()).step_by(97).collect();
-        group.bench_function(
-            BenchmarkId::new("reach_dfs", format!("grid{k}x{k}")),
-            |b| {
-                b.iter(|| black_box(sympiler_graph::reach(&l, &beta)));
-            },
-        );
+        group.bench_function(BenchmarkId::new("reach_dfs", format!("grid{k}x{k}")), |b| {
+            b.iter(|| black_box(sympiler_graph::reach(&l, &beta)));
+        });
     }
     group.finish();
 }

@@ -49,7 +49,11 @@ fn main() {
             low_level: true,
         });
         let t_block = time_of(TriVariant::full());
-        let picks = if avg >= 160.0 { "VS-Block" } else { "VI-Prune only" };
+        let picks = if avg >= 160.0 {
+            "VS-Block"
+        } else {
+            "VI-Prune only"
+        };
         t.row(vec![
             p.name.to_string(),
             format!("{avg:.0}"),

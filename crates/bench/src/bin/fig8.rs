@@ -50,8 +50,7 @@ fn main() {
         let mut inspect_samples = Vec::new();
         let mut build_samples = Vec::new();
         for _ in 0..RUNS {
-            let ts =
-                SympilerTriSolve::compile(&p.l, p.b.indices(), &SympilerOptions::default());
+            let ts = SympilerTriSolve::compile(&p.l, p.b.indices(), &SympilerOptions::default());
             let mut inspect = Duration::ZERO;
             let mut build = Duration::ZERO;
             for (name, d) in &ts.report().stages {

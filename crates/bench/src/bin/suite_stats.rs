@@ -38,7 +38,10 @@ fn main() {
         };
         let sym = sympiler_graph::symbolic_cholesky(&a);
         let part = sympiler_graph::supernodes_cholesky(&sym, 64);
-        let max_w = (0..part.n_supernodes()).map(|s| part.width(s)).max().unwrap_or(0);
+        let max_w = (0..part.n_supernodes())
+            .map(|s| part.width(s))
+            .max()
+            .unwrap_or(0);
         let counts = sympiler_graph::colcount::col_counts_from_symbolic(&sym);
         let avg_cc = sympiler_graph::colcount::average_col_count(&counts);
         t.row(vec![

@@ -51,8 +51,7 @@ fn main() {
         let t_reach = median_time(RUNS, || {
             std::hint::black_box(sympiler_graph::reach(&p.l, p.b.indices()));
         });
-        let total =
-            (t_etree + t_rows + t_super + t_reach).as_nanos() as f64 / sym.l_nnz() as f64;
+        let total = (t_etree + t_rows + t_super + t_reach).as_nanos() as f64 / sym.l_nnz() as f64;
         t.row(vec![
             p.id.to_string(),
             p.name.to_string(),

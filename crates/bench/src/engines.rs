@@ -3,12 +3,13 @@
 //! "Eigen", "CHOLMOD", and each Sympiler variant mean.
 
 use crate::harness::median_time;
-use crate::workloads::BenchProblem;
+use crate::workloads::{BenchProblem, LuBenchProblem};
 use std::time::Duration;
 use sympiler_core::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
-use sympiler_core::{SympilerCholesky, SympilerOptions};
+use sympiler_core::{SympilerCholesky, SympilerLu, SympilerOptions};
 use sympiler_solvers::cholesky::simplicial::SimplicialCholesky;
 use sympiler_solvers::cholesky::supernodal::SupernodalCholesky;
+use sympiler_solvers::lu::{GpLu, Pivoting};
 use sympiler_solvers::trisolve;
 
 /// Number of repetitions per measurement (paper: 5, median).
@@ -176,6 +177,59 @@ pub fn time_chol_engine(p: &BenchProblem, engine: CholEngine) -> Duration {
     }
 }
 
+/// Measured sparse-LU engines (the `lu_compare` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LuEngine {
+    /// The coupled baseline: Gilbert–Peierls with per-column DFS
+    /// re-run inside every numeric factorization (static pivoting, so
+    /// the numeric work matches the plan exactly).
+    GpluCoupled,
+    /// The coupled baseline with partial pivoting — the verification
+    /// mode (extra pivot-search work, possibly different factors).
+    GpluPartial,
+    /// The Sympiler LU plan: symbolic analysis at compile time, numeric
+    /// factorization only in the timed region.
+    SympilerPlan,
+}
+
+impl LuEngine {
+    pub fn label(self) -> &'static str {
+        match self {
+            LuEngine::GpluCoupled => "GPLU (coupled symbolic)",
+            LuEngine::GpluPartial => "GPLU (partial pivoting)",
+            LuEngine::SympilerPlan => "Sympiler LU plan (numeric)",
+        }
+    }
+}
+
+/// Median factorization time of one LU engine on one problem. Like the
+/// Cholesky engines, any reusable analysis runs **outside** the timed
+/// region — which for the coupled baselines is nothing at all.
+pub fn time_lu_engine(p: &LuBenchProblem, engine: LuEngine) -> Duration {
+    match engine {
+        LuEngine::GpluCoupled => median_time(RUNS, || {
+            let f = GpLu::factor(&p.a, Pivoting::None).expect("factor");
+            std::hint::black_box(&f);
+        }),
+        LuEngine::GpluPartial => median_time(RUNS, || {
+            let f = GpLu::factor(&p.a, Pivoting::Partial).expect("factor");
+            std::hint::black_box(&f);
+        }),
+        LuEngine::SympilerPlan => {
+            let lu = SympilerLu::compile(&p.a, &SympilerOptions::default()).expect("compile");
+            median_time(RUNS, || {
+                let f = lu.factor(&p.a).expect("factor");
+                std::hint::black_box(&f);
+            })
+        }
+    }
+}
+
+/// Exact LU factorization flop count (identical across engines).
+pub fn lu_flops(p: &LuBenchProblem) -> u64 {
+    sympiler_graph::lu_symbolic(&p.a).factor_flops()
+}
+
 /// Useful flop count of the pruned triangular solve on this problem
 /// (identical accounting across engines).
 pub fn tri_flops(p: &BenchProblem) -> u64 {
@@ -245,6 +299,29 @@ mod tests {
         }
         for (x, y) in l_eigen.values().iter().zip(l_symp.values()) {
             assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_engines_agree_and_time() {
+        let problems = crate::workloads::prepare_lu_subset(SuiteScale::Test, &[1, 3]);
+        for p in &problems {
+            let base = GpLu::factor(&p.a, Pivoting::None).unwrap();
+            let lu = SympilerLu::compile(&p.a, &SympilerOptions::default()).unwrap();
+            let f = lu.factor(&p.a).unwrap();
+            assert!(f.l().same_pattern(&base.l), "{}", p.name);
+            assert!(f.u().same_pattern(&base.u), "{}", p.name);
+            for (x, y) in f.u().values().iter().zip(base.u.values()) {
+                assert!((x - y).abs() < 1e-10, "{}", p.name);
+            }
+            for e in [
+                LuEngine::GpluCoupled,
+                LuEngine::GpluPartial,
+                LuEngine::SympilerPlan,
+            ] {
+                assert!(time_lu_engine(p, e).as_nanos() > 0, "{}", e.label());
+            }
+            assert!(lu_flops(p) > 0);
         }
     }
 

@@ -3,7 +3,7 @@
 
 use sympiler_core::{SympilerCholesky, SympilerOptions};
 use sympiler_graph::rcm::rcm_permute;
-use sympiler_sparse::suite::{suite, SuiteProblem, SuiteScale};
+use sympiler_sparse::suite::{suite, unsym_suite, SuiteProblem, SuiteScale, UnsymProblem};
 use sympiler_sparse::{rhs, CscMatrix, SparseVec};
 
 /// A fully prepared benchmark problem.
@@ -67,7 +67,10 @@ impl BenchProblem {
 
 /// Prepare the whole suite at the given scale.
 pub fn prepare_suite(scale: SuiteScale) -> Vec<BenchProblem> {
-    suite(scale).into_iter().map(BenchProblem::from_suite).collect()
+    suite(scale)
+        .into_iter()
+        .map(BenchProblem::from_suite)
+        .collect()
 }
 
 /// Prepare a subset of the suite by paper IDs (1-based), for quick runs.
@@ -79,9 +82,66 @@ pub fn prepare_subset(scale: SuiteScale, ids: &[usize]) -> Vec<BenchProblem> {
         .collect()
 }
 
+/// A prepared unsymmetric LU benchmark problem.
+pub struct LuBenchProblem {
+    pub id: usize,
+    pub name: &'static str,
+    pub family: &'static str,
+    /// Square unsymmetric matrix, full storage, statically pivotable.
+    pub a: CscMatrix,
+    /// Dense RHS for the end-to-end solve checks.
+    pub b: Vec<f64>,
+}
+
+impl LuBenchProblem {
+    fn from_suite(p: UnsymProblem) -> Self {
+        let n = p.n();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+        Self {
+            id: p.id,
+            name: p.name,
+            family: p.family,
+            a: p.matrix,
+            b,
+        }
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.a.n_cols()
+    }
+}
+
+/// Prepare the unsymmetric LU suite at the given scale.
+pub fn prepare_lu_suite(scale: SuiteScale) -> Vec<LuBenchProblem> {
+    unsym_suite(scale)
+        .into_iter()
+        .map(LuBenchProblem::from_suite)
+        .collect()
+}
+
+/// Prepare a subset of the LU suite by ID, for quick runs.
+pub fn prepare_lu_subset(scale: SuiteScale, ids: &[usize]) -> Vec<LuBenchProblem> {
+    unsym_suite(scale)
+        .into_iter()
+        .filter(|p| ids.contains(&p.id))
+        .map(LuBenchProblem::from_suite)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lu_suite_prepares() {
+        let problems = prepare_lu_subset(SuiteScale::Test, &[1, 3]);
+        assert_eq!(problems.len(), 2);
+        for p in &problems {
+            assert!(p.a.is_square());
+            assert_eq!(p.b.len(), p.n());
+        }
+    }
 
     #[test]
     fn test_scale_suite_prepares() {

@@ -5,6 +5,7 @@
 
 use crate::emit::emit_trisolve_c;
 use crate::plan::chol::{CholFactor, CholPlan, CholPlanError};
+use crate::plan::lu::{LuFactor, LuPlan, LuPlanError};
 use crate::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
 use crate::report::{timed, SymbolicReport};
 use sympiler_graph::supernode::supernodes_trisolve;
@@ -91,7 +92,13 @@ impl SympilerTriSolve {
             low_level: opts.low_level,
         };
         let plan = timed(&mut report, "transform + pack (plan build)", || {
-            TriSolvePlan::build(l, beta, variant, opts.max_supernode_width, opts.peel_col_count)
+            TriSolvePlan::build(
+                l,
+                beta,
+                variant,
+                opts.max_supernode_width,
+                opts.peel_col_count,
+            )
         });
         Self {
             plan,
@@ -162,13 +169,7 @@ impl SympilerTriSolve {
                 *slot = (j + k).min(n - 1);
             }
         }
-        let l = CscMatrix::from_parts_unchecked(
-            n,
-            n,
-            col_ptr.clone(),
-            row_idx,
-            vec![1.0; nnz],
-        );
+        let l = CscMatrix::from_parts_unchecked(n, n, col_ptr.clone(), row_idx, vec![1.0; nnz]);
         emit_trisolve_c(&l, &self.reach, self.peel_col_count)
     }
 }
@@ -240,6 +241,49 @@ impl SympilerCholesky {
     }
 }
 
+/// A compiled sparse LU, specialized to one (generally unsymmetric)
+/// pattern under static diagonal pivoting.
+#[derive(Debug, Clone)]
+pub struct SympilerLu {
+    plan: LuPlan,
+}
+
+impl SympilerLu {
+    /// Compile for the square matrix `a` (full storage). VS-Block does
+    /// not apply to the scalar left-looking LU schedule; `low_level`
+    /// and `peel_col_count` select the peeled update tier exactly like
+    /// the triangular-solve pipeline.
+    pub fn compile(a: &CscMatrix, opts: &SympilerOptions) -> Result<Self, LuPlanError> {
+        let plan = LuPlan::build(a, opts.low_level, opts.peel_col_count)?;
+        Ok(Self { plan })
+    }
+
+    /// Numeric factorization (no symbolic work): `A = L U`.
+    pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
+        self.plan.factor(a)
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &LuPlan {
+        &self.plan
+    }
+
+    /// Exact factorization flops.
+    pub fn flops(&self) -> u64 {
+        self.plan.flops()
+    }
+
+    /// Symbolic (compile-time) report.
+    pub fn report(&self) -> &SymbolicReport {
+        self.plan.report()
+    }
+
+    /// Emit the matrix-specialized C factorization kernel.
+    pub fn emit_c(&self) -> String {
+        self.plan.emit_c()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,7 +311,10 @@ mod tests {
         let l = gen::random_lower_triangular(100, 2, 3);
         let b = rhs::random_sparse_rhs(100, 0.04, 4);
         let ts = SympilerTriSolve::compile(&l, b.indices(), &SympilerOptions::default());
-        assert!(!ts.plan().variant().vs_block, "threshold must reject VS-Block");
+        assert!(
+            !ts.plan().variant().vs_block,
+            "threshold must reject VS-Block"
+        );
         // Forcing the threshold to zero enables it.
         let opts = SympilerOptions {
             vs_block_min_avg_size: 0.0,
@@ -324,6 +371,41 @@ mod tests {
         assert!(c.contains("blockSet"));
         assert!(c.contains("dense_potrf"));
         assert!(c.contains("pruneSet"));
+    }
+
+    #[test]
+    fn lu_compile_factor_solve() {
+        let a = gen::convection_diffusion_2d(6, 6, 1.5, 2);
+        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        let f = lu.factor(&a).unwrap();
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let x = f.solve(&b);
+        assert!(sympiler_sparse::ops::rel_residual(&a, &x, &b) < 1e-12);
+        assert!(lu.flops() > 0);
+        assert!(lu.report().total().as_nanos() > 0);
+    }
+
+    #[test]
+    fn lu_matches_gplu_baseline() {
+        let a = gen::circuit_unsym(40, 4, 2, 6);
+        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        let f = lu.factor(&a).unwrap();
+        let base =
+            sympiler_solvers::lu::GpLu::factor(&a, sympiler_solvers::lu::Pivoting::None).unwrap();
+        assert!(f.l().same_pattern(&base.l));
+        for (p, q) in f.u().values().iter().zip(base.u.values()) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn lu_emits_specialized_c() {
+        let a = gen::convection_diffusion_2d(4, 4, 1.0, 1);
+        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        let c = lu.emit_c();
+        assert!(c.contains("lu_factor_specialized"));
+        assert!(c.contains("updateSet"));
     }
 
     #[test]

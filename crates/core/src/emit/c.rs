@@ -183,6 +183,181 @@ pub fn emit_trisolve_c(l: &CscMatrix, reach: &[usize], peel_col_count: usize) ->
     out
 }
 
+/// Emit one column's epilogue (gather `U(:, j)`, pivot, scale
+/// `L(:, j)`, clear the accumulator) with concrete constants.
+fn emit_lu_col_epilogue(out: &mut String, j: usize, l: &CscMatrix, u_col_ptr: &[usize]) {
+    let (us, ue) = (u_col_ptr[j], u_col_ptr[j + 1]);
+    let (ls, le) = (l.col_ptr()[j], l.col_ptr()[j + 1]);
+    let _ = writeln!(out, "  for (int p = {us}; p < {ue}; p++) Ux[p] = x[Ui[p]];");
+    let _ = writeln!(out, "  double pivot = Ux[{}];", ue - 1);
+    let _ = writeln!(out, "  Lx[{ls}] = 1.0;");
+    let _ = writeln!(
+        out,
+        "  for (int p = {}; p < {le}; p++) Lx[p] = x[Li[p]] / pivot;",
+        ls + 1
+    );
+    let _ = writeln!(out, "  for (int p = {us}; p < {ue}; p++) x[Ui[p]] = 0.0;");
+    let _ = writeln!(
+        out,
+        "  for (int p = {}; p < {le}; p++) x[Li[p]] = 0.0;",
+        ls + 1
+    );
+}
+
+/// Emit matrix-specialized left-looking LU factorization C — the LU
+/// analogue of Figure 1e.
+///
+/// `schedules[j]` lists column `j`'s updates in topological order as
+/// `(source column, peeled)` pairs, exactly as the plan compiled them.
+/// Columns containing any peeled update become straight-line
+/// `lu_col_{j}` specializations with concrete column-pointer constants
+/// and unroll pragmas, invoked from the driver; runs of plain columns
+/// execute through compact loops over the embedded `updateSet` tables.
+/// `l` carries the predicted pattern of the factor (values unused);
+/// `u_col_ptr` the predicted `U` layout.
+pub fn emit_lu_c(l: &CscMatrix, u_col_ptr: &[usize], schedules: &[Vec<(usize, bool)>]) -> String {
+    let n = l.n_cols();
+    let n_updates: usize = schedules.iter().map(|s| s.len()).sum();
+    let peeled_cols: Vec<bool> = schedules
+        .iter()
+        .map(|s| s.iter().any(|&(_, p)| p))
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "/* Sympiler-generated sparse LU (Gilbert-Peierls)");
+    let _ = writeln!(
+        out,
+        "   specialized for one {n}x{n} pattern: nnz(L) = {}, nnz(U) = {}, {} updates, {} peeled columns */",
+        l.nnz(),
+        u_col_ptr[n],
+        n_updates,
+        peeled_cols.iter().filter(|&&p| p).count()
+    );
+    // Flattened per-column schedules as static data (used by the
+    // non-peeled runs).
+    let mut ptr = Vec::with_capacity(n + 1);
+    let mut flat: Vec<String> = Vec::with_capacity(n_updates);
+    ptr.push(0usize);
+    for s in schedules {
+        flat.extend(s.iter().map(|(k, _)| k.to_string()));
+        ptr.push(flat.len());
+    }
+    let ptr_s: Vec<String> = ptr.iter().map(|p| p.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "static const int updatePtr[{}] = {{{}}};",
+        n + 1,
+        ptr_s.join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "static const int updateSet[{}] = {{{}}};",
+        flat.len().max(1),
+        if flat.is_empty() {
+            "0".to_string()
+        } else {
+            flat.join(", ")
+        }
+    );
+    let params = "const int *Ap, const int *Ai, const double *Ax,\n    \
+                  const int *Li, double *Lx, const int *Ui, double *Ux, double *x";
+    let args = "Ap, Ai, Ax, Li, Lx, Ui, Ux, x";
+    // Straight-line specializations for the peeled columns, emitted
+    // first so the driver can call them (the low-level tier of the
+    // plan, Figure 1e's rule applied to factorization updates).
+    for (j, s) in schedules.iter().enumerate() {
+        if !peeled_cols[j] {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "\n/* peeled column {j}: {} updates inlined */",
+            s.len()
+        );
+        let _ = writeln!(out, "static void lu_col_{j}({params}) {{");
+        let _ = writeln!(
+            out,
+            "  for (int p = Ap[{j}]; p < Ap[{}]; p++) x[Ai[p]] = Ax[p];",
+            j + 1
+        );
+        for &(k, peeled) in s {
+            let start = l.col_ptr()[k];
+            let end = l.col_ptr()[k + 1];
+            if peeled {
+                // Heavy update: no zero guard, unrolled.
+                let _ = writeln!(out, "  {{ double xk = x[{k}];");
+                let _ = writeln!(out, "    #pragma GCC unroll 2");
+                let _ = writeln!(out, "    for (int p = {}; p < {end}; p++)", start + 1);
+                let _ = writeln!(out, "      x[Li[p]] -= Lx[p] * xk; }}");
+            } else {
+                let _ = writeln!(out, "  {{ double xk = x[{k}];");
+                let _ = writeln!(
+                    out,
+                    "    if (xk != 0.0) for (int p = {}; p < {end}; p++)",
+                    start + 1
+                );
+                let _ = writeln!(out, "      x[Li[p]] -= Lx[p] * xk; }}");
+            }
+        }
+        emit_lu_col_epilogue(&mut out, j, l, u_col_ptr);
+        out.push_str("}\n");
+    }
+    // The driver: peeled columns call their specialization; runs of
+    // plain columns loop over the embedded tables.
+    let _ = writeln!(out, "\nvoid lu_factor_specialized({params},");
+    let _ = writeln!(
+        out,
+        "                           const int *Lp, const int *Up) {{"
+    );
+    let mut j = 0usize;
+    while j < n {
+        if peeled_cols[j] {
+            let _ = writeln!(out, "  lu_col_{j}({args});");
+            j += 1;
+            continue;
+        }
+        let run_start = j;
+        while j < n && !peeled_cols[j] {
+            j += 1;
+        }
+        let _ = writeln!(out, "  for (int j = {run_start}; j < {j}; j++) {{");
+        let _ = writeln!(out, "    /* scatter A(:,j) */");
+        let _ = writeln!(out, "    for (int p = Ap[j]; p < Ap[j + 1]; p++)");
+        let _ = writeln!(out, "      x[Ai[p]] = Ax[p];");
+        let _ = writeln!(
+            out,
+            "    /* baked update schedule (VI-Prune, topological) */"
+        );
+        let _ = writeln!(
+            out,
+            "    for (int t = updatePtr[j]; t < updatePtr[j + 1]; t++) {{"
+        );
+        let _ = writeln!(out, "      int k = updateSet[t];");
+        let _ = writeln!(out, "      double xk = x[k];");
+        let _ = writeln!(out, "      if (xk != 0.0)");
+        let _ = writeln!(out, "        for (int p = Lp[k] + 1; p < Lp[k + 1]; p++)");
+        let _ = writeln!(out, "          x[Li[p]] -= Lx[p] * xk;");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "    /* gather U(:,j), pivot, scale L(:,j) */");
+        let _ = writeln!(out, "    for (int p = Up[j]; p < Up[j + 1]; p++)");
+        let _ = writeln!(out, "      Ux[p] = x[Ui[p]];");
+        let _ = writeln!(out, "    double pivot = Ux[Up[j + 1] - 1];");
+        let _ = writeln!(out, "    Lx[Lp[j]] = 1.0;");
+        let _ = writeln!(out, "    for (int p = Lp[j] + 1; p < Lp[j + 1]; p++)");
+        let _ = writeln!(out, "      Lx[p] = x[Li[p]] / pivot;");
+        let _ = writeln!(
+            out,
+            "    for (int p = Up[j]; p < Up[j + 1]; p++) x[Ui[p]] = 0.0;"
+        );
+        let _ = writeln!(
+            out,
+            "    for (int p = Lp[j] + 1; p < Lp[j + 1]; p++) x[Li[p]] = 0.0;"
+        );
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,14 +393,55 @@ mod tests {
     }
 
     #[test]
+    fn emits_specialized_lu() {
+        let a = sympiler_sparse::gen::convection_diffusion_2d(4, 4, 1.0, 1);
+        let sym = sympiler_graph::lu_symbolic(&a);
+        let l = CscMatrix::from_parts_unchecked(
+            16,
+            16,
+            sym.l_col_ptr.clone(),
+            sym.l_row_idx.clone(),
+            vec![1.0; sym.l_nnz()],
+        );
+        // Peel rule matching the plan: updates whose source column has
+        // more than 2 off-diagonal entries take the unrolled tier.
+        let schedules: Vec<Vec<(usize, bool)>> = (0..16)
+            .map(|j| {
+                sym.reach(j)
+                    .iter()
+                    .map(|&k| (k, sym.l_col_pattern(k).len() - 1 > 2))
+                    .collect()
+            })
+            .collect();
+        let c = emit_lu_c(&l, &sym.u_col_ptr, &schedules);
+        assert!(c.contains("lu_factor_specialized"));
+        assert!(c.contains("updateSet"));
+        assert!(c.contains("updatePtr"));
+        // Peeled columns become dedicated functions *called* from the
+        // driver (not dead code).
+        for (j, s) in schedules.iter().enumerate() {
+            if s.iter().any(|&(_, p)| p) {
+                assert!(
+                    c.contains(&format!("static void lu_col_{j}(")),
+                    "missing specialization for column {j}"
+                );
+                assert!(
+                    c.contains(&format!("lu_col_{j}(Ap, Ai, Ax, Li, Lx, Ui, Ux, x);")),
+                    "driver never calls lu_col_{j}"
+                );
+            }
+        }
+        assert!(
+            schedules.iter().any(|s| s.iter().any(|&(_, p)| p)),
+            "test matrix must exercise the peeled tier"
+        );
+    }
+
+    #[test]
     fn pragma_emission() {
         let mut k = lower_trisolve();
         crate::transform::low_level::annotate_unroll(&mut k.body, 4);
-        crate::transform::low_level::annotate_vectorize(
-            &mut k.body,
-            &[("j1".into(), 100)],
-            8,
-        );
+        crate::transform::low_level::annotate_vectorize(&mut k.body, &[("j1".into(), 100)], 8);
         let c = emit_kernel_c(&k);
         assert!(c.contains("#pragma GCC unroll 4"));
         assert!(c.contains("#pragma omp simd"));

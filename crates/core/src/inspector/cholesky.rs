@@ -1,8 +1,6 @@
 //! Cholesky inspectors (Table 1, "Cholesky" columns).
 
-use super::{
-    EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector,
-};
+use super::{EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector};
 use sympiler_graph::supernode::{supernodes_cholesky, SupernodePartition};
 use sympiler_graph::symbolic::{symbolic_cholesky, SymbolicFactor};
 use sympiler_sparse::CscMatrix;

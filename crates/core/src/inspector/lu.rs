@@ -1,0 +1,87 @@
+//! Sparse-LU inspector — the Table-1 contract extended to the third
+//! kernel (left-looking Gilbert–Peierls LU).
+//!
+//! Each column of a left-looking LU *is* a sparse triangular solve
+//! (`L(0:j-1) x = A(:,j)`), so LU's VI-Prune inspector is the
+//! triangular-solve inspector iterated over columns: the inspection
+//! graph is the dependence graph of the (growing) `L` with the RHS
+//! patterns `SP(A(:,j))`, the strategy is DFS, and the inspection set
+//! is one reach set per column — the complete symbolic factorization.
+
+use super::{EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector};
+use sympiler_graph::lu_symbolic::{lu_symbolic, LuSymbolic};
+use sympiler_sparse::CscMatrix;
+
+/// Inspection set for LU VI-Prune: the per-column reach sets (update
+/// schedules) plus the predicted factor patterns they imply.
+#[derive(Debug, Clone)]
+pub struct LuReachSets {
+    pub symbolic: LuSymbolic,
+}
+
+/// VI-Prune inspector for LU: column-by-column DFS over the growing
+/// `DG_L` (Gilbert–Peierls symbolic analysis).
+pub struct LuVIPruneInspector;
+
+impl LuVIPruneInspector {
+    /// Run the inspection for the full unsymmetric matrix `a`.
+    pub fn inspect(&self, a: &CscMatrix) -> LuReachSets {
+        LuReachSets {
+            symbolic: lu_symbolic(a),
+        }
+    }
+}
+
+impl SymbolicInspector for LuVIPruneInspector {
+    type Set = LuReachSets;
+
+    fn graph(&self) -> InspectionGraph {
+        // Same classification row as triangular-solve VI-Prune: each
+        // column solve consumes DG_L plus an RHS pattern (here A(:,j)).
+        InspectionGraph::DependenceGraphWithRhs
+    }
+
+    fn strategy(&self) -> InspectionStrategy {
+        InspectionStrategy::Dfs
+    }
+
+    fn enables(&self) -> &'static [EnabledTransformation] {
+        &[
+            EnabledTransformation::LoopDistribution,
+            EnabledTransformation::Unroll,
+            EnabledTransformation::Peel,
+            EnabledTransformation::Vectorize,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::gen;
+
+    #[test]
+    fn classification_matches_trisolve_row() {
+        let i = LuVIPruneInspector;
+        assert_eq!(i.graph(), InspectionGraph::DependenceGraphWithRhs);
+        assert_eq!(i.strategy(), InspectionStrategy::Dfs);
+        assert!(i
+            .enables()
+            .contains(&EnabledTransformation::LoopDistribution));
+    }
+
+    #[test]
+    fn inspection_produces_complete_schedules() {
+        let a = gen::convection_diffusion_2d(5, 5, 1.0, 1);
+        let set = LuVIPruneInspector.inspect(&a);
+        assert_eq!(set.symbolic.n, 25);
+        assert!(set.symbolic.l_nnz() >= 25);
+        assert!(set.symbolic.u_nnz() >= 25);
+        // Every scheduled update references an earlier column.
+        for j in 0..25 {
+            for &k in set.symbolic.reach(j) {
+                assert!(k < j);
+            }
+        }
+    }
+}

@@ -12,12 +12,16 @@
 //! inspector-guided transformations. "Additional numerical algorithms
 //! and transformations can be added to Sympiler, as long as the
 //! required inspectors can be described in this manner as well" — the
-//! [`SymbolicInspector`] trait is that contract.
+//! [`SymbolicInspector`] trait is that contract, and the [`lu`]
+//! inspector (per-column reach sets for Gilbert–Peierls LU) is the
+//! first kernel added through it beyond the paper's two.
 
 pub mod cholesky;
+pub mod lu;
 pub mod trisolve;
 
 pub use cholesky::{CholBlockSet, CholPruneSets, CholVIPruneInspector, CholVSBlockInspector};
+pub use lu::{LuReachSets, LuVIPruneInspector};
 pub use trisolve::{TriBlockSet, TriReachSet, TriVIPruneInspector, TriVSBlockInspector};
 
 /// The inspection graph kinds of Table 1.

@@ -1,8 +1,6 @@
 //! Triangular-solve inspectors (Table 1, "Triangular Solve" columns).
 
-use super::{
-    EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector,
-};
+use super::{EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector};
 use sympiler_graph::dfs::{reach_into, ReachWorkspace};
 use sympiler_graph::supernode::{supernodes_trisolve, SupernodePartition};
 use sympiler_sparse::CscMatrix;

@@ -355,7 +355,9 @@ mod tests {
 
     #[test]
     fn loop_variable_scoping_restores_outer_binding() {
-        let mut env = Env::default().scalar("i", 99).float_array("x", vec![0.0; 3]);
+        let mut env = Env::default()
+            .scalar("i", 99)
+            .float_array("x", vec![0.0; 3]);
         let s = Stmt::Loop {
             var: "i".into(),
             lo: Expr::Int(0),

@@ -38,5 +38,5 @@ pub mod plan;
 pub mod report;
 pub mod transform;
 
-pub use compile::{SympilerCholesky, SympilerOptions, SympilerTriSolve};
+pub use compile::{SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve};
 pub use report::SymbolicReport;

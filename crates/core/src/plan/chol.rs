@@ -19,7 +19,9 @@
 use crate::inspector::{CholVIPruneInspector, CholVSBlockInspector};
 use crate::report::{timed, SymbolicReport};
 use sympiler_dense::small::potrf_small;
-use sympiler_dense::{gemm_nt_sub, potrf_lower, trsm_right_lower_trans, trsv_lower, trsv_lower_trans};
+use sympiler_dense::{
+    gemm_nt_sub, potrf_lower, trsm_right_lower_trans, trsv_lower, trsv_lower_trans,
+};
 use sympiler_graph::supernode::SupernodePartition;
 use sympiler_graph::symbolic::SymbolicFactor;
 use sympiler_sparse::CscMatrix;
@@ -643,7 +645,10 @@ mod tests {
             *v *= 3.0;
         }
         let f2 = plan.factor(&a2).unwrap();
-        let l_ref = SimplicialCholesky::analyze(&a2).unwrap().factor(&a2).unwrap();
+        let l_ref = SimplicialCholesky::analyze(&a2)
+            .unwrap()
+            .factor(&a2)
+            .unwrap();
         for (p, q) in f2.to_csc().values().iter().zip(l_ref.values()) {
             assert!((p - q).abs() < 1e-9);
         }

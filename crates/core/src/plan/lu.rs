@@ -1,0 +1,518 @@
+//! The executable LU plan: left-looking Gilbert–Peierls factorization
+//! with **all symbolic work hoisted to compile time**.
+//!
+//! Compared to the runtime baseline (`sympiler-solvers`' GPLU), the
+//! plan's `factor`:
+//!
+//! * runs **no DFS** — every column's update schedule (its reach set in
+//!   topological order) is baked in, VI-Prune applied to the column
+//!   updates exactly as `plan/tri.rs` applies it to the solve loop;
+//! * allocates **nothing per column** — the patterns of `L` and `U`
+//!   are precomputed, so factor storage is laid out once and values
+//!   stream into fixed slots (the gather maps are baked index lists);
+//! * needs **no pivot search** — static diagonal pivoting is the
+//!   compiled contract (the paper's fixed-pattern premise), with the
+//!   numeric value checked and reported per column;
+//! * applies the low-level tier to heavy updates: columns whose
+//!   off-diagonal count exceeds the peel threshold execute through an
+//!   unrolled-by-two update loop, mirroring `TriOp::PeeledCol`.
+
+use crate::inspector::LuVIPruneInspector;
+use crate::report::{timed, SymbolicReport};
+use sympiler_sparse::CscMatrix;
+
+/// LU plan error (kept separate from the solvers' error type so
+/// `sympiler-core` does not depend on `sympiler-solvers`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuPlanError {
+    /// Bad input shape/storage.
+    BadInput(String),
+    /// The numeric input does not match the compiled pattern.
+    PatternMismatch,
+    /// Structurally or numerically zero diagonal pivot.
+    ZeroPivot { column: usize },
+}
+
+impl std::fmt::Display for LuPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuPlanError::BadInput(m) => write!(f, "bad input: {m}"),
+            LuPlanError::PatternMismatch => write!(f, "pattern mismatch"),
+            LuPlanError::ZeroPivot { column } => {
+                write!(f, "zero pivot at column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LuPlanError {}
+
+/// A compiled LU factorization specialized to one sparsity pattern
+/// (static diagonal pivoting).
+#[derive(Debug, Clone)]
+pub struct LuPlan {
+    n: usize,
+    a_nnz: usize,
+    /// Compiled input pattern, checked on every `factor` call (the
+    /// static-sparsity contract made enforceable, like `CholPlan`).
+    a_col_ptr: Vec<usize>,
+    a_row_idx: Vec<u32>,
+    /// Factor layouts (patterns fixed at compile time).
+    l_col_ptr: Vec<usize>,
+    l_row_idx: Vec<u32>,
+    u_col_ptr: Vec<usize>,
+    u_row_idx: Vec<u32>,
+    /// Update schedule: column `j` executes `upd_cols[upd_ptr[j]..
+    /// upd_ptr[j+1]]` in topological order. The high bit of each entry
+    /// marks the peeled (unrolled) low-level tier.
+    upd_ptr: Vec<usize>,
+    upd_cols: Vec<u32>,
+    /// Exact factorization flops.
+    flops: u64,
+    report: SymbolicReport,
+}
+
+const PEEL_BIT: u32 = 1 << 31;
+
+/// A numeric factorization produced by [`LuPlan::factor`]:
+/// `A = L U` with unit-lower-triangular `L` (diagonal-first columns)
+/// and upper-triangular `U` (diagonal-last columns).
+#[derive(Debug, Clone)]
+pub struct LuFactor {
+    l: CscMatrix,
+    u: CscMatrix,
+}
+
+impl LuFactor {
+    /// The unit lower-triangular factor.
+    pub fn l(&self) -> &CscMatrix {
+        &self.l
+    }
+
+    /// The upper-triangular factor.
+    pub fn u(&self) -> &CscMatrix {
+        &self.u
+    }
+
+    /// Consume into `(L, U)`.
+    pub fn into_parts(self) -> (CscMatrix, CscMatrix) {
+        (self.l, self.u)
+    }
+
+    /// Solve `A x = b` via `L y = b`, then `U x = y`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.n_cols();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        // Forward: L has diagonal-first unit columns.
+        let (col_ptr, row_idx, values) = (self.l.col_ptr(), self.l.row_idx(), self.l.values());
+        for j in 0..n {
+            let range = col_ptr[j]..col_ptr[j + 1];
+            let xj = x[j]; // unit diagonal: no division
+            if xj != 0.0 {
+                for (&i, &lij) in row_idx[range.start + 1..range.end]
+                    .iter()
+                    .zip(&values[range.start + 1..range.end])
+                {
+                    x[i] -= lij * xj;
+                }
+            }
+        }
+        // Backward: U has diagonal-last columns.
+        let (col_ptr, row_idx, values) = (self.u.col_ptr(), self.u.row_idx(), self.u.values());
+        for j in (0..n).rev() {
+            let range = col_ptr[j]..col_ptr[j + 1];
+            let xj = x[j] / values[range.end - 1];
+            x[j] = xj;
+            if xj != 0.0 {
+                for (&i, &uij) in row_idx[range.start..range.end - 1]
+                    .iter()
+                    .zip(&values[range.start..range.end - 1])
+                {
+                    x[i] -= uij * xj;
+                }
+            }
+        }
+        x
+    }
+
+    /// Magnitude of `det(A)`: the product of `U`'s diagonal.
+    pub fn det_magnitude(&self) -> f64 {
+        (0..self.u.n_cols())
+            .map(|j| {
+                let vals = self.u.col_values(j);
+                vals[vals.len() - 1].abs()
+            })
+            .product()
+    }
+}
+
+impl LuPlan {
+    /// Compile a plan for the square (generally unsymmetric) matrix
+    /// `a`. `low_level` enables the peeled update tier;
+    /// `peel_col_count` is the peeling threshold (update columns with
+    /// more than this many off-diagonal entries unroll, Figure 1e's
+    /// rule applied to factorization updates).
+    pub fn build(
+        a: &CscMatrix,
+        low_level: bool,
+        peel_col_count: usize,
+    ) -> Result<Self, LuPlanError> {
+        if !a.is_square() {
+            return Err(LuPlanError::BadInput("matrix must be square".into()));
+        }
+        let n = a.n_cols();
+        // Schedule entries pack a column index with the peel tag in bit
+        // 31, and factor rows narrow to u32 — reject orders where that
+        // packing would silently corrupt instead of erroring.
+        if n >= (1 << 31) {
+            return Err(LuPlanError::BadInput(format!(
+                "matrix order {n} exceeds the plan's 2^31 - 1 index limit"
+            )));
+        }
+        let mut report = SymbolicReport::default();
+
+        // --- Inspection: per-column reach sets (Gilbert–Peierls
+        // symbolic factorization).
+        let sets = timed(&mut report, "inspect: LU reach sets (DFS)", || {
+            LuVIPruneInspector.inspect(a)
+        });
+        let sym = sets.symbolic;
+        report.set_size("nnz(A)", a.nnz());
+        report.set_size("nnz(L)", sym.l_nnz());
+        report.set_size("nnz(U)", sym.u_nnz());
+        report.set_size("update ops", sym.reach_cols.len());
+
+        // --- Transform + pack: bake the schedule with the low-level
+        // tier decision resolved per update (VI-Prune made executable).
+        let (upd_ptr, upd_cols) = timed(&mut report, "transform + pack (schedule)", || {
+            let mut upd_ptr = Vec::with_capacity(n + 1);
+            let mut upd_cols = Vec::with_capacity(sym.reach_cols.len());
+            upd_ptr.push(0usize);
+            for j in 0..n {
+                for &k in sym.reach(j) {
+                    let heavy = sym.l_col_pattern(k).len() - 1 > peel_col_count;
+                    let tag = if low_level && heavy { PEEL_BIT } else { 0 };
+                    upd_cols.push(k as u32 | tag);
+                }
+                upd_ptr.push(upd_cols.len());
+            }
+            (upd_ptr, upd_cols)
+        });
+        report.set_size(
+            "peeled updates",
+            upd_cols.iter().filter(|&&c| c & PEEL_BIT != 0).count(),
+        );
+
+        let flops = sym.factor_flops();
+        Ok(Self {
+            n,
+            a_nnz: a.nnz(),
+            a_col_ptr: a.col_ptr().to_vec(),
+            a_row_idx: a.row_idx().iter().map(|&r| r as u32).collect(),
+            l_col_ptr: sym.l_col_ptr,
+            l_row_idx: sym.l_row_idx.iter().map(|&r| r as u32).collect(),
+            u_col_ptr: sym.u_col_ptr,
+            u_row_idx: sym.u_row_idx.iter().map(|&r| r as u32).collect(),
+            upd_ptr,
+            upd_cols,
+            flops,
+            report,
+        })
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Predicted nonzeros of `L`.
+    pub fn l_nnz(&self) -> usize {
+        self.l_row_idx.len()
+    }
+
+    /// Predicted nonzeros of `U`.
+    pub fn u_nnz(&self) -> usize {
+        self.u_row_idx.len()
+    }
+
+    /// Exact factorization flops.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Number of scheduled column updates.
+    pub fn n_updates(&self) -> usize {
+        self.upd_cols.len()
+    }
+
+    /// Number of updates compiled to the peeled (unrolled) tier.
+    pub fn n_peeled(&self) -> usize {
+        self.upd_cols.iter().filter(|&&c| c & PEEL_BIT != 0).count()
+    }
+
+    /// Symbolic (compile-time) report.
+    pub fn report(&self) -> &SymbolicReport {
+        &self.report
+    }
+
+    /// The update schedule of column `j` (peel tags stripped).
+    pub fn schedule(&self, j: usize) -> impl Iterator<Item = usize> + '_ {
+        self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]]
+            .iter()
+            .map(|&c| (c & !PEEL_BIT) as usize)
+    }
+
+    /// The update schedule of column `j` with the compiled low-level
+    /// tier decision per update.
+    fn schedule_with_tiers(&self, j: usize) -> impl Iterator<Item = (usize, bool)> + '_ {
+        self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]]
+            .iter()
+            .map(|&c| ((c & !PEEL_BIT) as usize, c & PEEL_BIT != 0))
+    }
+
+    /// Numeric factorization — no DFS, no allocation besides the factor
+    /// value arrays and one dense accumulator, no pivot search.
+    pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
+        if a.n_cols() != self.n || a.nnz() != self.a_nnz {
+            return Err(LuPlanError::PatternMismatch);
+        }
+        if a.col_ptr() != self.a_col_ptr.as_slice()
+            || a.row_idx()
+                .iter()
+                .zip(&self.a_row_idx)
+                .any(|(&r, &c)| r as u32 != c)
+        {
+            return Err(LuPlanError::PatternMismatch);
+        }
+        let n = self.n;
+        let mut lx = vec![0.0f64; self.l_row_idx.len()];
+        let mut ux = vec![0.0f64; self.u_row_idx.len()];
+        let mut x = vec![0.0f64; n];
+
+        for j in 0..n {
+            // Scatter A(:, j) (fixed pattern, numeric-only).
+            for (i, v) in a.col_iter(j) {
+                x[i] = v;
+            }
+            // Apply the baked update schedule in topological order.
+            for &tagged in &self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]] {
+                let k = (tagged & !PEEL_BIT) as usize;
+                let xk = x[k];
+                let range = self.l_col_ptr[k] + 1..self.l_col_ptr[k + 1];
+                let rows = &self.l_row_idx[range.clone()];
+                let vals = &lx[range];
+                if tagged & PEEL_BIT != 0 {
+                    // Peeled tier: no zero guard (the reach set
+                    // guarantees structural work), unrolled by two.
+                    let mut t = 0;
+                    while t + 1 < rows.len() {
+                        let (r0, r1) = (rows[t] as usize, rows[t + 1] as usize);
+                        let (v0, v1) = (vals[t], vals[t + 1]);
+                        x[r0] -= v0 * xk;
+                        x[r1] -= v1 * xk;
+                        t += 2;
+                    }
+                    if t < rows.len() {
+                        x[rows[t] as usize] -= vals[t] * xk;
+                    }
+                } else if xk != 0.0 {
+                    for (&r, &v) in rows.iter().zip(vals) {
+                        x[r as usize] -= v * xk;
+                    }
+                }
+            }
+            // Gather U(:, j) through the fixed layout; diagonal last.
+            let u_range = self.u_col_ptr[j]..self.u_col_ptr[j + 1];
+            for p in u_range.clone() {
+                ux[p] = x[self.u_row_idx[p] as usize];
+            }
+            let pivot = ux[u_range.end - 1];
+            if pivot == 0.0 {
+                return Err(LuPlanError::ZeroPivot { column: j });
+            }
+            // Gather L(:, j): unit diagonal, scaled sub-diagonal.
+            let l_range = self.l_col_ptr[j]..self.l_col_ptr[j + 1];
+            lx[l_range.start] = 1.0;
+            for p in l_range.start + 1..l_range.end {
+                lx[p] = x[self.l_row_idx[p] as usize] / pivot;
+            }
+            // Clear the accumulator (touch only the column's pattern).
+            for p in u_range {
+                x[self.u_row_idx[p] as usize] = 0.0;
+            }
+            for p in l_range.start + 1..l_range.end {
+                x[self.l_row_idx[p] as usize] = 0.0;
+            }
+        }
+
+        let l = CscMatrix::from_parts_unchecked(
+            n,
+            n,
+            self.l_col_ptr.clone(),
+            self.l_row_idx.iter().map(|&r| r as usize).collect(),
+            lx,
+        );
+        let u = CscMatrix::from_parts_unchecked(
+            n,
+            n,
+            self.u_col_ptr.clone(),
+            self.u_row_idx.iter().map(|&r| r as usize).collect(),
+            ux,
+        );
+        Ok(LuFactor { l, u })
+    }
+
+    /// Emit the matrix-specialized C factorization kernel (the LU
+    /// analogue of Figure 1e, via the `emit/c.rs` path).
+    pub fn emit_c(&self) -> String {
+        let l_pattern = CscMatrix::from_parts_unchecked(
+            self.n,
+            self.n,
+            self.l_col_ptr.clone(),
+            self.l_row_idx.iter().map(|&r| r as usize).collect(),
+            vec![1.0; self.l_row_idx.len()],
+        );
+        let schedules: Vec<Vec<(usize, bool)>> = (0..self.n)
+            .map(|j| self.schedule_with_tiers(j).collect())
+            .collect();
+        crate::emit::emit_lu_c(&l_pattern, &self.u_col_ptr, &schedules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_solvers::lu::{GpLu, Pivoting};
+    use sympiler_sparse::{gen, ops};
+
+    fn check_against_baseline(a: &CscMatrix) {
+        let plan = LuPlan::build(a, true, 2).unwrap();
+        let f = plan.factor(a).unwrap();
+        let base = GpLu::factor(a, Pivoting::None).unwrap();
+        assert!(f.l().same_pattern(&base.l), "L pattern");
+        assert!(f.u().same_pattern(&base.u), "U pattern");
+        for (p, q) in f.l().values().iter().zip(base.l.values()) {
+            assert!((p - q).abs() < 1e-10, "L value {p} vs {q}");
+        }
+        for (p, q) in f.u().values().iter().zip(base.u.values()) {
+            assert!((p - q).abs() < 1e-10, "U value {p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn plan_reproduces_baseline_factors() {
+        for seed in 0..6u64 {
+            check_against_baseline(&gen::circuit_unsym(40, 3, 2, seed));
+            check_against_baseline(&gen::random_unsym(35, 4, seed + 100));
+        }
+        check_against_baseline(&gen::convection_diffusion_2d(7, 6, 1.5, 3));
+    }
+
+    #[test]
+    fn factor_solve_has_small_residual() {
+        let a = gen::convection_diffusion_2d(8, 8, 2.0, 5);
+        let plan = LuPlan::build(&a, true, 2).unwrap();
+        let f = plan.factor(&a).unwrap();
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let x = f.solve(&b);
+        assert!(ops::rel_residual(&a, &x, &b) < 1e-12);
+        assert!(f.det_magnitude() > 0.0);
+    }
+
+    #[test]
+    fn repeated_factorization_with_changing_values() {
+        // The core premise: one compile, many numeric factorizations.
+        let a0 = gen::circuit_unsym(50, 4, 2, 7);
+        let plan = LuPlan::build(&a0, true, 2).unwrap();
+        let mut a = a0.clone();
+        for round in 1..=4 {
+            for v in a.values_mut() {
+                *v *= 1.0 + 0.05 / round as f64;
+            }
+            let f = plan.factor(&a).unwrap();
+            let base = GpLu::factor(&a, Pivoting::None).unwrap();
+            for (p, q) in f.u().values().iter().zip(base.u.values()) {
+                assert!((p - q).abs() < 1e-9, "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_mismatch_rejected() {
+        let a = gen::random_unsym(20, 3, 1);
+        let plan = LuPlan::build(&a, true, 2).unwrap();
+        let other = gen::random_unsym(20, 3, 2);
+        assert!(matches!(
+            plan.factor(&other),
+            Err(LuPlanError::PatternMismatch)
+        ));
+        let smaller = gen::random_unsym(10, 3, 1);
+        assert!(matches!(
+            plan.factor(&smaller),
+            Err(LuPlanError::PatternMismatch)
+        ));
+    }
+
+    #[test]
+    fn zero_pivot_reported() {
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 1.0);
+        let a0 = t.to_csc().unwrap();
+        let plan = LuPlan::build(&a0, true, 2).unwrap();
+        let mut a = a0.clone();
+        a.values_mut()[1] = 0.0;
+        assert!(matches!(
+            plan.factor(&a),
+            Err(LuPlanError::ZeroPivot { column: 1 })
+        ));
+    }
+
+    #[test]
+    fn low_level_tier_fires_and_stays_correct() {
+        // Heavy columns appear once fill cascades.
+        let a = gen::convection_diffusion_2d(9, 9, 1.0, 2);
+        let full = LuPlan::build(&a, true, 2).unwrap();
+        assert!(full.n_peeled() > 0, "expected peeled updates");
+        let plain = LuPlan::build(&a, false, 2).unwrap();
+        assert_eq!(plain.n_peeled(), 0);
+        let f1 = full.factor(&a).unwrap();
+        let f2 = plain.factor(&a).unwrap();
+        for (p, q) in f1.u().values().iter().zip(f2.u().values()) {
+            assert!((p - q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn flops_match_symbolic() {
+        let a = gen::circuit_unsym(30, 3, 1, 4);
+        let plan = LuPlan::build(&a, true, 2).unwrap();
+        let sym = sympiler_graph::lu_symbolic(&a);
+        assert_eq!(plan.flops(), sym.factor_flops());
+        assert_eq!(plan.n_updates(), sym.reach_cols.len());
+        assert!(plan.report().total().as_nanos() > 0);
+        assert_eq!(plan.report().size_of("nnz(L)"), Some(sym.l_nnz()));
+    }
+
+    #[test]
+    fn trivial_systems() {
+        // 1x1.
+        let mut t = sympiler_sparse::TripletMatrix::new(1, 1);
+        t.push(0, 0, 4.0);
+        let a = t.to_csc().unwrap();
+        let plan = LuPlan::build(&a, true, 2).unwrap();
+        let f = plan.factor(&a).unwrap();
+        assert_eq!(f.solve(&[8.0]), vec![2.0]);
+        // Diagonal.
+        let d = CscMatrix::identity(5);
+        let plan = LuPlan::build(&d, true, 2).unwrap();
+        let f = plan.factor(&d).unwrap();
+        assert_eq!(plan.n_updates(), 0);
+        assert_eq!(
+            f.solve(&[1.0, 2.0, 3.0, 4.0, 5.0]),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0]
+        );
+    }
+}

@@ -4,14 +4,16 @@
 //! The paper's Sympiler emits C and compiles it with GCC; the numeric
 //! binary then contains *no* symbolic work — every loop bound, every
 //! index, every kernel choice is already resolved. The plans here are
-//! the same object in library form: [`tri::TriSolvePlan`] and
-//! [`chol::CholPlan`] hold precomputed schedules (pruned column lists,
-//! packed panels, descendant-update scatter maps, kernel selections),
-//! and their `solve`/`factor` methods execute only numeric loads,
-//! stores, and floating-point operations. See DESIGN.md §2 for the
-//! substitution argument.
+//! the same object in library form: [`tri::TriSolvePlan`],
+//! [`chol::CholPlan`], and [`lu::LuPlan`] hold precomputed schedules
+//! (pruned column lists, packed panels, descendant-update scatter maps,
+//! per-column LU update schedules, kernel selections), and their
+//! `solve`/`factor` methods execute only numeric loads, stores, and
+//! floating-point operations. See DESIGN.md §2 for the substitution
+//! argument.
 
 pub mod chol;
+pub mod lu;
 pub mod tri;
 
 #[cfg(feature = "parallel")]

@@ -72,18 +72,10 @@ impl TriVariant {
 enum TriOp {
     /// A single column executed through packed scalar storage:
     /// divide by the diagonal, then a scatter-axpy of `len` entries.
-    Col {
-        j: u32,
-        off: u32,
-        len: u32,
-    },
+    Col { j: u32, off: u32, len: u32 },
     /// A peeled single column with an unrolled/vectorizable update
     /// (low-level tier; semantics identical to `Col`).
-    PeeledCol {
-        j: u32,
-        off: u32,
-        len: u32,
-    },
+    PeeledCol { j: u32, off: u32, len: u32 },
     /// A supernodal panel: dense triangular solve on the `width`-wide
     /// diagonal block, then a panel-vector product scattered to the
     /// shared off-diagonal row list.
@@ -174,10 +166,10 @@ impl TriSolvePlan {
         let mut max_panel_rows = 0usize;
 
         let push_col = |ops: &mut Vec<TriOp>,
-                            col_rows: &mut Vec<u32>,
-                            col_vals: &mut Vec<f64>,
-                            col_diag: &mut Vec<f64>,
-                            j: usize| {
+                        col_rows: &mut Vec<u32>,
+                        col_vals: &mut Vec<f64>,
+                        col_diag: &mut Vec<f64>,
+                        j: usize| {
             let rows = l.col_rows(j);
             let vals = l.col_values(j);
             let off = col_rows.len() as u32;
@@ -189,9 +181,17 @@ impl TriSolvePlan {
             // nonzeros (Figure 1e's "more than 2 nonzeros" rule).
             let peeled = variant.low_level && rows.len() > peel_col_count;
             if peeled {
-                ops.push(TriOp::PeeledCol { j: j as u32, off, len });
+                ops.push(TriOp::PeeledCol {
+                    j: j as u32,
+                    off,
+                    len,
+                });
             } else {
-                ops.push(TriOp::Col { j: j as u32, off, len });
+                ops.push(TriOp::Col {
+                    j: j as u32,
+                    off,
+                    len,
+                });
             }
         };
 
@@ -420,8 +420,7 @@ impl TriSolvePlan {
                     } else {
                         gemv_sub(m, w, off_panel, ld, xseg, t);
                     }
-                    let rows =
-                        &self.panel_rows[rows_off as usize + w..rows_off as usize + ld];
+                    let rows = &self.panel_rows[rows_off as usize + w..rows_off as usize + ld];
                     for (&r, &tv) in rows.iter().zip(t.iter()) {
                         x[r as usize] += tv;
                     }

@@ -74,11 +74,11 @@ impl ParallelTriSolve {
             // Parallel: workers accumulate deltas privately, merge at
             // the barrier.
             let chunk = level.len().div_ceil(self.n_threads);
-            let deltas: Vec<Vec<(usize, f64)>> = crossbeam::thread::scope(|scope| {
+            let xr: &[f64] = x;
+            let deltas: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for ch in level.chunks(chunk) {
-                    let xr: &[f64] = x;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let mut delta: Vec<(usize, f64)> = Vec::new();
                         for &j in ch {
                             // x[j] is final at this level (no writes to
@@ -96,9 +96,11 @@ impl ParallelTriSolve {
                         delta
                     }));
                 }
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .expect("worker panicked");
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
             for delta in deltas {
                 for (i, dv) in delta {
                     x[i] += dv;
@@ -168,9 +170,7 @@ mod tests {
         let solver = ParallelTriSolve::build(&l, b.indices(), 2);
         let reach: std::collections::BTreeSet<usize> =
             sympiler_graph::reach(&l, b.indices()).into_iter().collect();
-        let scheduled: usize = (0..solver.n_levels())
-            .map(|k| solver.levels[k].len())
-            .sum();
+        let scheduled: usize = (0..solver.n_levels()).map(|k| solver.levels[k].len()).sum();
         assert_eq!(scheduled, reach.len());
     }
 }

@@ -26,9 +26,9 @@ pub fn apply_peeling(stmts: &mut Vec<Stmt>, loop_var_hint: &str, positions: &[us
         return false;
     }
     // Find the pruned loop (the loop whose var starts with "p_").
-    let idx = stmts.iter().position(|s| {
-        matches!(s, Stmt::Loop { var, .. } if var.starts_with("p_") || var == loop_var_hint)
-    });
+    let idx = stmts.iter().position(
+        |s| matches!(s, Stmt::Loop { var, .. } if var.starts_with("p_") || var == loop_var_hint),
+    );
     let Some(idx) = idx else {
         return false;
     };
@@ -107,10 +107,7 @@ pub fn annotate_vectorize(stmts: &mut [Stmt], trip_counts: &[(String, usize)], m
             ..
         } = s
         {
-            if trip_counts
-                .iter()
-                .any(|(v, t)| v == var && *t >= min_trip)
-            {
+            if trip_counts.iter().any(|(v, t)| v == var && *t >= min_trip) {
                 annotations.push(Annotation::Vectorize);
             }
             annotate_vectorize(body, trip_counts, min_trip);
@@ -160,7 +157,9 @@ mod tests {
             Stmt::Loop {
                 annotations, body, ..
             } => {
-                assert!(!annotations.iter().any(|a| matches!(a, Annotation::Unroll(_))));
+                assert!(!annotations
+                    .iter()
+                    .any(|a| matches!(a, Annotation::Unroll(_))));
                 let inner = body
                     .iter()
                     .find_map(|s| match s {
@@ -185,7 +184,9 @@ mod tests {
             } = s
             {
                 if var == "j1" {
-                    found = annotations.iter().any(|a| matches!(a, Annotation::Vectorize));
+                    found = annotations
+                        .iter()
+                        .any(|a| matches!(a, Annotation::Vectorize));
                 }
             }
         });
@@ -199,7 +200,9 @@ mod tests {
             } = s
             {
                 if var == "j1" {
-                    assert!(!annotations.iter().any(|a| matches!(a, Annotation::Vectorize)));
+                    assert!(!annotations
+                        .iter()
+                        .any(|a| matches!(a, Annotation::Vectorize)));
                 }
             }
         });

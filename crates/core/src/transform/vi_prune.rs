@@ -21,9 +21,9 @@ pub fn apply_vi_prune(kernel: &mut Kernel, set_name: &str, set_size_name: &str) 
                 ..
             } = s
             {
-                let is_candidate = annotations.iter().any(
-                    |a| matches!(a, Annotation::VIPruneCandidate { set } if set == set_name),
-                );
+                let is_candidate = annotations
+                    .iter()
+                    .any(|a| matches!(a, Annotation::VIPruneCandidate { set } if set == set_name));
                 if is_candidate {
                     // New loop: for p_var in 0..setSize, with
                     //   var' = set[p_var]
@@ -111,9 +111,7 @@ mod tests {
                         || expr_uses_var(hi, v)
                         || body.iter().any(|s| stmt_uses_var(s, v))
                 }
-                Stmt::Assign { index, rhs, .. } => {
-                    expr_uses_var(index, v) || expr_uses_var(rhs, v)
-                }
+                Stmt::Assign { index, rhs, .. } => expr_uses_var(index, v) || expr_uses_var(rhs, v),
                 Stmt::Let { rhs, .. } => expr_uses_var(rhs, v),
                 Stmt::Comment(_) => false,
             }

@@ -38,7 +38,10 @@ pub fn gemm_nt_sub(
     c: &mut [f64],
     ldc: usize,
 ) {
-    assert!(lda >= m && ldc >= m && ldb >= n, "leading dimension too small");
+    assert!(
+        lda >= m && ldc >= m && ldb >= n,
+        "leading dimension too small"
+    );
     for j in 0..n {
         let cj = &mut c[j * ldc..j * ldc + m];
         // Unroll the rank dimension by two to cut loop overhead; the
@@ -120,12 +123,28 @@ mod tests {
 
     #[test]
     fn gemm_nt_matches_reference() {
-        for &(m, n, k) in &[(1usize, 1usize, 1usize), (4, 3, 2), (5, 5, 5), (7, 2, 9), (3, 8, 1)] {
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (4, 3, 2),
+            (5, 5, 5),
+            (7, 2, 9),
+            (3, 8, 1),
+        ] {
             let a = fill(m, k, 2);
             let b = fill(n, k, 3);
             let mut c = fill(m, n, 4);
             let orig = c.clone();
-            gemm_nt_sub(m, n, k, a.as_slice(), m, b.as_slice(), n, c.as_mut_slice(), m);
+            gemm_nt_sub(
+                m,
+                n,
+                k,
+                a.as_slice(),
+                m,
+                b.as_slice(),
+                n,
+                c.as_mut_slice(),
+                m,
+            );
             let expect = a.matmul(&b.transpose());
             for j in 0..n {
                 for i in 0..m {

@@ -128,8 +128,7 @@ pub fn trsv_small(n: usize, l: &[f64], lda: usize, x: &mut [f64]) {
             let x0 = x[0] / l[0];
             let x1 = (x[1] - l[1] * x0) / l[lda + 1];
             let x2 = (x[2] - l[2] * x0 - l[lda + 2] * x1) / l[2 * lda + 2];
-            let x3 = (x[3] - l[3] * x0 - l[lda + 3] * x1 - l[2 * lda + 3] * x2)
-                / l[3 * lda + 3];
+            let x3 = (x[3] - l[3] * x0 - l[lda + 3] * x1 - l[2 * lda + 3] * x2) / l[3 * lda + 3];
             x[0] = x0;
             x[1] = x1;
             x[2] = x2;
@@ -177,9 +176,7 @@ pub fn gemv_sub_small(m: usize, k: usize, a: &[f64], lda: usize, x: &[f64], y: &
             let a1 = &a[lda..lda + m];
             let a2 = &a[2 * lda..2 * lda + m];
             let a3 = &a[3 * lda..3 * lda + m];
-            for ((((yi, &v0), &v1), &v2), &v3) in
-                y.iter_mut().zip(a0).zip(a1).zip(a2).zip(a3)
-            {
+            for ((((yi, &v0), &v1), &v2), &v3) in y.iter_mut().zip(a0).zip(a1).zip(a2).zip(a3) {
                 *yi -= v0 * x0 + v1 * x1 + v2 * x2 + v3 * x3;
             }
         }

@@ -55,7 +55,30 @@ pub fn reach(l: &CscMatrix, beta: &[usize]) -> Vec<usize> {
 /// `j` appears before `i` (topological / execution order).
 pub fn reach_into(l: &CscMatrix, beta: &[usize], ws: &mut ReachWorkspace, out: &mut Vec<usize>) {
     assert!(l.is_square(), "reach requires a square matrix");
-    let n = l.n_cols();
+    reach_adjacency_into(l.n_cols(), beta, |j| l.col_rows(j), ws, out);
+}
+
+/// The reach computation over an arbitrary adjacency function: the
+/// traversal behind [`reach_into`], shared with the symbolic-LU
+/// inspectors, where the dependence graph is the *growing* `L` rather
+/// than a finished [`CscMatrix`] ([`crate::lu_symbolic`] and the
+/// runtime GPLU baseline both drive this with closures over their
+/// partial factors).
+///
+/// `edges(v)` returns the successors of node `v`; self-loops are
+/// skipped. `out` receives the reach set of `beta` in topological
+/// (execution) order, and `ws` is reset afterwards by touching only
+/// the visited nodes.
+///
+/// # Panics
+/// If `beta` contains an index `>= n`.
+pub fn reach_adjacency_into<'g>(
+    n: usize,
+    beta: &[usize],
+    edges: impl Fn(usize) -> &'g [usize],
+    ws: &mut ReachWorkspace,
+    out: &mut Vec<usize>,
+) {
     ws.ensure(n);
     out.clear();
     // Post-order DFS: a node is emitted after all nodes it reaches, so
@@ -69,12 +92,12 @@ pub fn reach_into(l: &CscMatrix, beta: &[usize], ws: &mut ReachWorkspace, out: &
         ws.marked[b] = true;
         ws.stack.push((b, 0));
         while let Some(&(j, off)) = ws.stack.last() {
-            let rows = l.col_rows(j);
+            let succ = edges(j);
             // Descend into the first unmarked successor, if any.
             let mut k = off;
             let mut next = None;
-            while k < rows.len() {
-                let i = rows[k];
+            while k < succ.len() {
+                let i = succ[k];
                 k += 1;
                 if i != j && !ws.marked[i] {
                     next = Some(i);
@@ -182,8 +205,7 @@ mod tests {
         let l = fig1_l();
         let r = reach(&l, &[0, 5]);
         let set: std::collections::BTreeSet<usize> = r.iter().copied().collect();
-        let expect: std::collections::BTreeSet<usize> =
-            [0, 5, 6, 7, 8, 9].into_iter().collect();
+        let expect: std::collections::BTreeSet<usize> = [0, 5, 6, 7, 8, 9].into_iter().collect();
         assert_eq!(set, expect, "paper §1.1: Reach_L(beta) = {{1,6,7,8,9,10}}");
         assert_topological(&l, &r);
     }
@@ -242,7 +264,9 @@ mod tests {
     fn random_matches_brute_force() {
         for seed in 0..20u64 {
             let l = random_lower_triangular(60, 3, seed);
-            let beta: Vec<usize> = (0..60).filter(|k| (k * 7 + seed as usize) % 13 == 0).collect();
+            let beta: Vec<usize> = (0..60)
+                .filter(|k| (k * 7 + seed as usize).is_multiple_of(13))
+                .collect();
             let r = reach(&l, &beta);
             let set: std::collections::BTreeSet<usize> = r.iter().copied().collect();
             assert_eq!(set, brute_reach(&l, &beta), "seed {seed}");

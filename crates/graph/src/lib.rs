@@ -13,6 +13,9 @@
 //!   (Cholesky prune-sets);
 //! * [`symbolic`] — the full fill pattern of `L` from Eq. (1) of the
 //!   paper, enabling ahead-of-time allocation;
+//! * [`lu_symbolic`] — column-by-column symbolic LU (Gilbert–Peierls):
+//!   per-column reach sets over the growing `DG_L`, predicting the
+//!   patterns of both LU factors for a statically pivoted ordering;
 //! * [`colcount`] — column counts of `L`;
 //! * [`supernode`] — supernode detection, both the etree merge rule
 //!   (Cholesky block-sets) and node equivalence on `DG_L` (triangular
@@ -27,15 +30,17 @@ pub mod dfs;
 pub mod ereach;
 pub mod etree;
 pub mod levels;
+pub mod lu_symbolic;
 pub mod postorder;
 pub mod rcm;
 pub mod supernode;
 pub mod symbolic;
 
 pub use colcount::col_counts;
-pub use dfs::{reach, reach_into};
+pub use dfs::{reach, reach_adjacency_into, reach_into};
 pub use ereach::{ereach, ereach_into};
 pub use etree::etree;
+pub use lu_symbolic::{lu_symbolic, LuSymbolic};
 pub use postorder::postorder;
 pub use rcm::rcm_ordering;
 pub use supernode::{supernodes_cholesky, supernodes_trisolve, SupernodePartition};

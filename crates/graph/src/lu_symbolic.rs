@@ -1,0 +1,435 @@
+//! Column-by-column symbolic LU factorization (Gilbert & Peierls 1988),
+//! the inspection stage of the sparse LU subsystem.
+//!
+//! Left-looking LU computes column `j` of the factors by solving the
+//! lower-triangular system `L(0:j-1, 0:j-1) * x = A(:, j)` — so the
+//! nonzero pattern of column `j` is exactly `Reach_L(SP(A(:,j)))` on the
+//! dependence graph of the partially built `L`, the same reach-set
+//! machinery [`crate::dfs`] implements for triangular solve. Because `L`
+//! grows one column per step, the DFS runs over the growing CSC arrays
+//! rather than a finished [`CscMatrix`]: the shared traversal
+//! [`crate::dfs::reach_adjacency_into`] is driven with a closure over
+//! the partial factor.
+//!
+//! Pivoting is **static** (diagonal): Sympiler's premise is a fixed
+//! sparsity pattern known at compile time, which rules out numeric
+//! partial pivoting (the paper targets matrices where a fill-reducing
+//! ordering plus diagonal dominance or pre-pivoting make this safe; the
+//! runtime baseline `sympiler-solvers`' GPLU offers partial pivoting as
+//! a verification mode). Every predicted pattern is therefore exact for
+//! any numeric values with the same structure, barring accidental
+//! cancellation.
+//!
+//! Complexity: O(flops(LU)) total — each DFS touches only the edges the
+//! numeric update will traverse, the paper's decoupled-complexity
+//! argument applied to factorization.
+
+use sympiler_sparse::CscMatrix;
+
+/// The symbolic LU factorization of one sparsity pattern: predicted
+/// patterns of `L` (unit lower triangular, diagonal first) and `U`
+/// (upper triangular, diagonal last), plus the per-column reach sets
+/// that schedule the numeric left-looking updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LuSymbolic {
+    /// Matrix order.
+    pub n: usize,
+    /// Column pointers of `L` (`n + 1` entries).
+    pub l_col_ptr: Vec<usize>,
+    /// Row indices of `L`; each column stores the diagonal first, then
+    /// strictly increasing sub-diagonal rows.
+    pub l_row_idx: Vec<usize>,
+    /// Column pointers of `U` (`n + 1` entries).
+    pub u_col_ptr: Vec<usize>,
+    /// Row indices of `U`; strictly increasing, diagonal last.
+    pub u_row_idx: Vec<usize>,
+    /// Reach-set pointers (`n + 1` entries) into [`Self::reach_cols`].
+    pub reach_ptr: Vec<usize>,
+    /// Per-column update schedules: for column `j`,
+    /// `reach_cols[reach_ptr[j]..reach_ptr[j+1]]` lists the columns
+    /// `k < j` whose `L(:,k)` updates column `j`, in topological
+    /// (execution) order — the VI-Prune set of the column's solve.
+    pub reach_cols: Vec<usize>,
+    /// Exact factorization flop count (divisions + multiply-subtract
+    /// pairs of every scheduled update).
+    flops: u64,
+}
+
+impl LuSymbolic {
+    /// Stored nonzeros of `L` (including the unit diagonal).
+    pub fn l_nnz(&self) -> usize {
+        self.l_row_idx.len()
+    }
+
+    /// Stored nonzeros of `U` (including the diagonal).
+    pub fn u_nnz(&self) -> usize {
+        self.u_row_idx.len()
+    }
+
+    /// Pattern of `L(:, j)`: diagonal first, then increasing rows.
+    pub fn l_col_pattern(&self, j: usize) -> &[usize] {
+        &self.l_row_idx[self.l_col_ptr[j]..self.l_col_ptr[j + 1]]
+    }
+
+    /// Pattern of `U(:, j)`: increasing rows, diagonal last.
+    pub fn u_col_pattern(&self, j: usize) -> &[usize] {
+        &self.u_row_idx[self.u_col_ptr[j]..self.u_col_ptr[j + 1]]
+    }
+
+    /// The update schedule of column `j` in topological order.
+    pub fn reach(&self, j: usize) -> &[usize] {
+        &self.reach_cols[self.reach_ptr[j]..self.reach_ptr[j + 1]]
+    }
+
+    /// Exact flop count of the numeric factorization this symbolic
+    /// analysis schedules (for GFLOP/s reporting, like
+    /// [`crate::symbolic::SymbolicFactor::factor_flops`]).
+    pub fn factor_flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Fill ratio `(nnz(L) + nnz(U) - n) / nnz(A)`.
+    pub fn fill_ratio(&self, a_nnz: usize) -> f64 {
+        if a_nnz == 0 {
+            return 0.0;
+        }
+        (self.l_nnz() + self.u_nnz() - self.n) as f64 / a_nnz as f64
+    }
+}
+
+/// Run the symbolic LU inspection for a square matrix `a` (full,
+/// generally unsymmetric storage) under static diagonal pivoting.
+///
+/// # Panics
+/// If `a` is not square.
+pub fn lu_symbolic(a: &CscMatrix) -> LuSymbolic {
+    assert!(a.is_square(), "LU needs a square matrix");
+    let n = a.n_cols();
+
+    let mut l_col_ptr = Vec::with_capacity(n + 1);
+    let mut l_row_idx: Vec<usize> = Vec::with_capacity(a.nnz());
+    let mut u_col_ptr = Vec::with_capacity(n + 1);
+    let mut u_row_idx: Vec<usize> = Vec::with_capacity(a.nnz());
+    let mut reach_ptr = Vec::with_capacity(n + 1);
+    let mut reach_cols: Vec<usize> = Vec::new();
+    l_col_ptr.push(0);
+    u_col_ptr.push(0);
+    reach_ptr.push(0);
+
+    // Off-diagonal nonzero count per finished L column, for O(1) flop
+    // accounting of each scheduled update.
+    let mut l_off_nnz: Vec<u64> = Vec::with_capacity(n);
+    let mut flops = 0u64;
+
+    // DFS state, reused across columns.
+    let mut ws = crate::dfs::ReachWorkspace::new(n);
+    // Reach of the current column in topological order.
+    let mut topo: Vec<usize> = Vec::with_capacity(64);
+
+    for j in 0..n {
+        // --- Inspection: Reach_{L_j}(SP(A(:,j))) via the shared reach
+        // driver, with adjacency read from the growing {l_col_ptr,
+        // l_row_idx} arrays. Nodes >= j have no outgoing edges yet
+        // (their columns are future pivots), so they are leaves.
+        crate::dfs::reach_adjacency_into(
+            n,
+            a.col_rows(j),
+            |v| {
+                if v < j {
+                    // Skip the unit diagonal stored first.
+                    &l_row_idx[l_col_ptr[v] + 1..l_col_ptr[v + 1]]
+                } else {
+                    &[]
+                }
+            },
+            &mut ws,
+            &mut topo,
+        );
+
+        // --- Partition the reach into the factor patterns. Only the
+        // k < j members carry updates, recorded in execution order.
+        for &v in topo.iter() {
+            if v < j {
+                reach_cols.push(v);
+                flops += 2 * l_off_nnz[v];
+            }
+        }
+        reach_ptr.push(reach_cols.len());
+
+        // U(:, j): reached rows k < j ascending, then the diagonal.
+        // L(:, j): diagonal first, then reached rows i > j ascending.
+        // Sorting costs O(|pattern| log |pattern|); the patterns stay
+        // sorted in the emitted CSC, which every consumer relies on.
+        topo.sort_unstable();
+        for &v in topo.iter() {
+            if v < j {
+                u_row_idx.push(v);
+            }
+        }
+        u_row_idx.push(j);
+        u_col_ptr.push(u_row_idx.len());
+
+        l_row_idx.push(j);
+        let l_start = l_row_idx.len();
+        for &v in topo.iter() {
+            if v > j {
+                l_row_idx.push(v);
+            }
+        }
+        let off = (l_row_idx.len() - l_start) as u64;
+        l_off_nnz.push(off);
+        l_col_ptr.push(l_row_idx.len());
+        // One division per sub-diagonal entry of L(:, j).
+        flops += off;
+    }
+
+    LuSymbolic {
+        n,
+        l_col_ptr,
+        l_row_idx,
+        u_col_ptr,
+        u_row_idx,
+        reach_ptr,
+        reach_cols,
+        flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::gen;
+    use sympiler_sparse::TripletMatrix;
+
+    /// Reference: boolean Gaussian elimination without pivoting — the
+    /// exact structural fill, O(n^3) but fine at test sizes.
+    fn dense_symbolic_lu(a: &CscMatrix) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let n = a.n_cols();
+        let mut pat = vec![vec![false; n]; n]; // pat[j][i], column-major
+        for j in 0..n {
+            for &i in a.col_rows(j) {
+                pat[j][i] = true;
+            }
+            pat[j][j] = true; // static pivot slot always exists
+        }
+        for k in 0..n {
+            // Eliminate: for every i > k with (i,k) nonzero and every
+            // j > k with (k,j) nonzero, (i,j) fills.
+            for j in k + 1..n {
+                if !pat[j][k] {
+                    continue;
+                }
+                for i in k + 1..n {
+                    if pat[k][i] {
+                        pat[j][i] = true;
+                    }
+                }
+            }
+        }
+        let mut l_cols = Vec::with_capacity(n);
+        let mut u_cols = Vec::with_capacity(n);
+        for j in 0..n {
+            l_cols.push((j..n).filter(|&i| pat[j][i]).collect());
+            u_cols.push((0..=j).filter(|&i| pat[j][i]).collect());
+        }
+        (l_cols, u_cols)
+    }
+
+    fn pattern_matrix(edges: &[(usize, usize)], n: usize) -> CscMatrix {
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 2.0);
+        }
+        for &(i, j) in edges {
+            t.push(i, j, 1.0);
+        }
+        t.to_csc().unwrap()
+    }
+
+    #[test]
+    fn diagonal_matrix_has_no_fill_and_no_updates() {
+        let a = CscMatrix::identity(6);
+        let sym = lu_symbolic(&a);
+        assert_eq!(sym.l_nnz(), 6);
+        assert_eq!(sym.u_nnz(), 6);
+        assert!(sym.reach_cols.is_empty());
+        assert_eq!(sym.factor_flops(), 0);
+        for j in 0..6 {
+            assert_eq!(sym.l_col_pattern(j), &[j]);
+            assert_eq!(sym.u_col_pattern(j), &[j]);
+        }
+    }
+
+    #[test]
+    fn lower_triangular_input_needs_no_updates() {
+        // A = diag + subdiagonal is already lower triangular: L takes
+        // A's pattern, U stays diagonal, and no column solve has any
+        // update to perform.
+        let edges: Vec<(usize, usize)> = (1..6).map(|i| (i, i - 1)).collect();
+        let a = pattern_matrix(&edges, 6);
+        let sym = lu_symbolic(&a);
+        for j in 0..6 {
+            assert_eq!(sym.reach(j), &[] as &[usize]);
+            assert_eq!(sym.u_col_pattern(j), &[j]);
+        }
+        assert_eq!(sym.l_nnz(), a.nnz());
+    }
+
+    #[test]
+    fn upper_bidiagonal_chains_updates() {
+        // A = diag + superdiagonal: U gets the superdiagonal, L stays
+        // diagonal, and each column j > 0 is updated by column j - 1.
+        let edges: Vec<(usize, usize)> = (1..6).map(|i| (i - 1, i)).collect();
+        let a = pattern_matrix(&edges, 6);
+        let sym = lu_symbolic(&a);
+        for j in 1..6 {
+            assert_eq!(sym.reach(j), &[j - 1]);
+            assert_eq!(sym.u_col_pattern(j), &[j - 1, j]);
+            assert_eq!(sym.l_col_pattern(j), &[j]);
+        }
+        assert_eq!(sym.reach(0), &[] as &[usize]);
+    }
+
+    #[test]
+    fn arrow_matrix_fills_last_row_and_column() {
+        // Dense first row + first column: no fill under this ordering
+        // (arrow pointing down-right), every column updated by column 0
+        // only through U, and L keeps the first column dense.
+        let n = 7;
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push((i, 0));
+            edges.push((0, i));
+        }
+        let a = pattern_matrix(&edges, n);
+        let sym = lu_symbolic(&a);
+        let (l_ref, u_ref) = dense_symbolic_lu(&a);
+        for j in 0..n {
+            assert_eq!(sym.l_col_pattern(j), l_ref[j].as_slice(), "L col {j}");
+            assert_eq!(sym.u_col_pattern(j), u_ref[j].as_slice(), "U col {j}");
+        }
+        // Reverse arrow (dense last row/col) is the worst case: here the
+        // matrix is already dense in the relevant sense, so check the
+        // other direction fills completely.
+        let mut edges_rev = Vec::new();
+        for i in 0..n - 1 {
+            edges_rev.push((n - 1, i));
+            edges_rev.push((i, n - 1));
+        }
+        let b = pattern_matrix(&edges_rev, n);
+        let symb = lu_symbolic(&b);
+        let (lb, ub) = dense_symbolic_lu(&b);
+        for j in 0..n {
+            assert_eq!(symb.l_col_pattern(j), lb[j].as_slice(), "L col {j}");
+            assert_eq!(symb.u_col_pattern(j), ub[j].as_slice(), "U col {j}");
+        }
+    }
+
+    #[test]
+    fn random_unsymmetric_matches_dense_symbolic() {
+        for seed in 0..12u64 {
+            let a = gen::circuit_unsym(30, 3, 1, seed);
+            let sym = lu_symbolic(&a);
+            let (l_ref, u_ref) = dense_symbolic_lu(&a);
+            for j in 0..30 {
+                assert_eq!(
+                    sym.l_col_pattern(j),
+                    l_ref[j].as_slice(),
+                    "seed {seed} L col {j}"
+                );
+                assert_eq!(
+                    sym.u_col_pattern(j),
+                    u_ref[j].as_slice(),
+                    "seed {seed} U col {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reach_is_topological_and_consistent_with_patterns() {
+        let a = gen::convection_diffusion_2d(6, 5, 0.8, 3);
+        let sym = lu_symbolic(&a);
+        for j in 0..a.n_cols() {
+            let reach = sym.reach(j);
+            // Reach members are exactly the off-diagonal U rows.
+            let mut sorted: Vec<usize> = reach.to_vec();
+            sorted.sort_unstable();
+            let u_off = &sym.u_col_pattern(j)[..sym.u_col_pattern(j).len() - 1];
+            assert_eq!(sorted.as_slice(), u_off, "col {j}");
+            // Topological: if k' in reach appears after k and
+            // L(k', k) != 0, order is violated.
+            let pos: std::collections::HashMap<usize, usize> =
+                reach.iter().enumerate().map(|(p, &k)| (k, p)).collect();
+            for &k in reach {
+                for &i in &sym.l_col_pattern(k)[1..] {
+                    if let Some(&pi) = pos.get(&i) {
+                        assert!(pos[&k] < pi, "col {j}: edge {k}->{i} out of order");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flop_count_matches_schedule() {
+        let a = gen::circuit_unsym(40, 4, 2, 9);
+        let sym = lu_symbolic(&a);
+        let mut expect = 0u64;
+        for j in 0..40 {
+            expect += (sym.l_col_pattern(j).len() - 1) as u64; // divisions
+            for &k in sym.reach(j) {
+                expect += 2 * (sym.l_col_pattern(k).len() - 1) as u64;
+            }
+        }
+        assert_eq!(sym.factor_flops(), expect);
+    }
+
+    #[test]
+    fn fully_dense_column_cascades_fill() {
+        // Column 2 dense below the diagonal plus a superdiagonal chain:
+        // the chain feeds each column its predecessor's pattern, so the
+        // dense column's fill cascades through every later column.
+        let n = 8;
+        let mut edges = Vec::new();
+        for i in 3..n {
+            edges.push((i, 2));
+        }
+        for i in 1..n {
+            edges.push((i - 1, i));
+        }
+        let a = pattern_matrix(&edges, n);
+        let sym = lu_symbolic(&a);
+        let (l_ref, u_ref) = dense_symbolic_lu(&a);
+        for j in 0..n {
+            assert_eq!(sym.l_col_pattern(j), l_ref[j].as_slice(), "L col {j}");
+            assert_eq!(sym.u_col_pattern(j), u_ref[j].as_slice(), "U col {j}");
+        }
+        // Column 3 reads the dense column directly...
+        assert!(sym.reach(3).contains(&2), "col 3 must be updated by col 2");
+        // ...and every later column inherits the full trailing pattern.
+        for j in 3..n {
+            let expect: Vec<usize> = (j..n).collect();
+            assert_eq!(
+                sym.l_col_pattern(j),
+                expect.as_slice(),
+                "fill cascade at {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = pattern_matrix(&[], 1);
+        let sym = lu_symbolic(&a);
+        assert_eq!(sym.l_col_pattern(0), &[0]);
+        assert_eq!(sym.u_col_pattern(0), &[0]);
+        assert_eq!(sym.factor_flops(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular() {
+        lu_symbolic(&CscMatrix::zeros(3, 2));
+    }
+}

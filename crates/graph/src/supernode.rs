@@ -350,7 +350,11 @@ mod tests {
             let cols: Vec<usize> = p_chol.cols(s).collect();
             let supers: std::collections::BTreeSet<usize> =
                 cols.iter().map(|&c| p_tri.col_to_super[c]).collect();
-            assert_eq!(supers.len(), 1, "etree supernode {s} split by node equivalence");
+            assert_eq!(
+                supers.len(),
+                1,
+                "etree supernode {s} split by node equivalence"
+            );
         }
     }
 

@@ -221,7 +221,10 @@ mod tests {
         // Tridiagonal matrices factor without fill, so IC(0) == full
         // Cholesky.
         let a = gen::tridiagonal_spd(30);
-        let ic = IncompleteCholesky0::analyze(&a).unwrap().factor(&a).unwrap();
+        let ic = IncompleteCholesky0::analyze(&a)
+            .unwrap()
+            .factor(&a)
+            .unwrap();
         let full = crate::cholesky::simplicial::SimplicialCholesky::analyze(&a)
             .unwrap()
             .factor(&a)

@@ -76,7 +76,11 @@ mod tests {
     fn error_display() {
         let e = CholeskyError::NotPositiveDefinite { column: 3 };
         assert!(e.to_string().contains("column 3"));
-        assert!(CholeskyError::PatternMismatch.to_string().contains("pattern"));
-        assert!(CholeskyError::BadInput("x".into()).to_string().contains("x"));
+        assert!(CholeskyError::PatternMismatch
+            .to_string()
+            .contains("pattern"));
+        assert!(CholeskyError::BadInput("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -504,6 +504,9 @@ mod tests {
         let a = gen::random_spd(10, 3, 1);
         let b = gen::random_spd(11, 3, 2);
         let sup = SupernodalCholesky::analyze(&a, 0).unwrap();
-        assert!(matches!(sup.factor(&b), Err(CholeskyError::PatternMismatch)));
+        assert!(matches!(
+            sup.factor(&b),
+            Err(CholeskyError::PatternMismatch)
+        ));
     }
 }

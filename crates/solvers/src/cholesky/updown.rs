@@ -65,7 +65,7 @@ pub fn rank_update(
         } else {
             delta = beta2 / beta;
             gamma = alpha / (beta2 * beta);
-            lx[p0] = delta * lx[p0];
+            lx[p0] *= delta;
         }
         beta = beta2;
         for p in p0 + 1..col_ptr[j + 1] {
@@ -138,7 +138,10 @@ mod tests {
             // Fresh factorization of A + w w^T (same pattern: w comes
             // from a column of L, whose pattern is within the fill).
             let a2 = a_plus_wwt(&a, &w0, 1.0);
-            let l2 = SimplicialCholesky::analyze(&a2).unwrap().factor(&a2).unwrap();
+            let l2 = SimplicialCholesky::analyze(&a2)
+                .unwrap()
+                .factor(&a2)
+                .unwrap();
             // Compare on the updated factor's pattern.
             for j in 0..30 {
                 for (i, v) in l.col_iter(j) {
@@ -170,7 +173,10 @@ mod tests {
         let mut w = w0;
         rank_update(&mut l, &sympiler_graph::etree(&a), &mut w, -1.0).unwrap();
         for (x, y) in l.values().iter().zip(&original) {
-            assert!((x - y).abs() < 1e-9, "downdate must undo update: {x} vs {y}");
+            assert!(
+                (x - y).abs() < 1e-9,
+                "downdate must undo update: {x} vs {y}"
+            );
         }
     }
 
@@ -185,7 +191,10 @@ mod tests {
         assert_eq!(touched, update_path(&parent, 6));
         // Path is increasing and ends at a root.
         assert!(touched.windows(2).all(|p| p[0] < p[1]));
-        assert_eq!(parent[*touched.last().unwrap()], sympiler_graph::etree::NONE);
+        assert_eq!(
+            parent[*touched.last().unwrap()],
+            sympiler_graph::etree::NONE
+        );
     }
 
     #[test]

@@ -18,12 +18,17 @@
 //! * [`cholesky::ldl`] — up-looking LDL^T (CSparse-style), an extra
 //!   baseline exercising the "up-looking implementations" the paper
 //!   lists among supported-by-design methods (§3.3);
+//! * [`lu`] — the left-looking Gilbert–Peierls LU baseline for
+//!   unsymmetric systems, with runtime (coupled) symbolic analysis and
+//!   a partial-pivoting verification mode;
 //! * [`verify`] — residual and reconstruction checks shared by tests
 //!   and benchmarks.
 
 pub mod cholesky;
+pub mod lu;
 pub mod trisolve;
 pub mod verify;
 
 pub use cholesky::simplicial::SimplicialCholesky;
 pub use cholesky::supernodal::SupernodalCholesky;
+pub use lu::{GpLu, GpLuFactors, LuError, Pivoting};

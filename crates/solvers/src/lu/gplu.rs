@@ -1,0 +1,502 @@
+//! Left-looking Gilbert–Peierls sparse LU (the algorithm of
+//! "Sparse partial pivoting in time proportional to arithmetic
+//! operations", Gilbert & Peierls 1988) — the runtime baseline whose
+//! symbolic phase (per-column DFS) re-runs inside **every** numeric
+//! factorization, the coupling Sympiler's compiled LU plan removes.
+//!
+//! Column `j` is produced by solving `L(:, 0:j-1) x = A(:, j)` with the
+//! already-computed columns: the solution pattern is the reach of
+//! `SP(A(:,j))` on the dependence graph of `L`, computed here by DFS at
+//! run time. Row indices are kept in **original** coordinates during
+//! factorization (pivoting permutes rows lazily via `pinv`); the final
+//! factors are re-mapped and sorted into permuted coordinates, so `L`
+//! is unit lower triangular with diagonal-first columns and `U` upper
+//! triangular with diagonal-last columns, satisfying
+//! `P A = L U` with `P` the returned row permutation.
+
+use sympiler_sparse::CscMatrix;
+
+/// Pivoting strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pivoting {
+    /// Static diagonal pivoting — the fixed-pattern regime Sympiler
+    /// compiles for. Fails with [`LuError::ZeroPivot`] when a diagonal
+    /// entry is structurally or numerically zero.
+    None,
+    /// Classic partial pivoting: choose the largest-magnitude candidate
+    /// row. Used as the numerical verification mode for workloads where
+    /// static pivoting is assumed safe.
+    Partial,
+}
+
+/// LU factorization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LuError {
+    /// Bad input shape.
+    BadInput(String),
+    /// No admissible pivot at this column (structural or numeric zero).
+    ZeroPivot { column: usize },
+}
+
+impl std::fmt::Display for LuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LuError::BadInput(m) => write!(f, "bad input: {m}"),
+            LuError::ZeroPivot { column } => {
+                write!(f, "zero pivot at column {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LuError {}
+
+/// The factors of `P A = L U`.
+#[derive(Debug, Clone)]
+pub struct GpLuFactors {
+    /// Unit lower triangular (diagonal-first columns, value 1.0), in
+    /// permuted row coordinates.
+    pub l: CscMatrix,
+    /// Upper triangular (diagonal-last columns).
+    pub u: CscMatrix,
+    /// Row permutation: `row_perm[new] = old`, i.e. `(P A)[new, :] =
+    /// A[row_perm[new], :]`.
+    pub row_perm: Vec<usize>,
+}
+
+impl GpLuFactors {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.l.n_cols()
+    }
+
+    /// True when no rows were actually exchanged.
+    pub fn is_identity_perm(&self) -> bool {
+        self.row_perm.iter().enumerate().all(|(k, &p)| k == p)
+    }
+
+    /// Solve `A x = b` through `P b -> L y = P b -> U x = y`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n(), "rhs length mismatch");
+        let mut x: Vec<f64> = self.row_perm.iter().map(|&old| b[old]).collect();
+        crate::trisolve::naive_forward(&self.l, &mut x);
+        crate::trisolve::naive_backward_upper(&self.u, &mut x);
+        x
+    }
+
+    /// Determinant of `A` up to the permutation sign: the product of
+    /// `U`'s diagonal (L's diagonal is unit).
+    pub fn det_magnitude(&self) -> f64 {
+        (0..self.n())
+            .map(|j| {
+                let vals = self.u.col_values(j);
+                vals[vals.len() - 1].abs()
+            })
+            .product()
+    }
+}
+
+/// Solve `A x = b` given precomputed factors (free-function form of
+/// [`GpLuFactors::solve`] for call sites that read better with one).
+pub fn lu_solve(f: &GpLuFactors, b: &[f64]) -> Vec<f64> {
+    f.solve(b)
+}
+
+/// The factorizer. Stateless — both symbolic and numeric work happen
+/// inside [`GpLu::factor`], which is exactly what makes this the
+/// coupled baseline.
+pub struct GpLu;
+
+const UNASSIGNED: usize = usize::MAX;
+
+impl GpLu {
+    /// Factor the square matrix `a` (full, generally unsymmetric
+    /// storage) as `P A = L U`.
+    pub fn factor(a: &CscMatrix, pivoting: Pivoting) -> Result<GpLuFactors, LuError> {
+        if !a.is_square() {
+            return Err(LuError::BadInput("matrix must be square".into()));
+        }
+        let n = a.n_cols();
+
+        // Growing L in original row coordinates; the first entry of each
+        // column is the pivot row with value 1.0.
+        let mut lp: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut li: Vec<usize> = Vec::with_capacity(2 * a.nnz());
+        let mut lx: Vec<f64> = Vec::with_capacity(2 * a.nnz());
+        lp.push(0);
+        // U built as per-column (row, value) lists, already in final
+        // coordinates (U row indices are pivot positions).
+        let mut up: Vec<usize> = Vec::with_capacity(n + 1);
+        let mut ui: Vec<usize> = Vec::with_capacity(2 * a.nnz());
+        let mut ux: Vec<f64> = Vec::with_capacity(2 * a.nnz());
+        up.push(0);
+
+        // pinv[old_row] = pivot position, or UNASSIGNED.
+        let mut pinv = vec![UNASSIGNED; n];
+        // Dense accumulator + DFS state (original row coordinates).
+        let mut x = vec![0.0f64; n];
+        let mut ws = sympiler_graph::dfs::ReachWorkspace::new(n);
+        let mut topo: Vec<usize> = Vec::with_capacity(64);
+        let mut u_entries: Vec<(usize, f64)> = Vec::with_capacity(64);
+
+        for j in 0..n {
+            // --- Symbolic (coupled): reach of SP(A(:,j)) via the shared
+            // reach driver. A node (original row) with an assigned pivot
+            // position k has the off-diagonal pattern of L(:,k) as
+            // successors; unpivoted rows are leaves.
+            sympiler_graph::dfs::reach_adjacency_into(
+                n,
+                a.col_rows(j),
+                |v| {
+                    let k = pinv[v];
+                    if k != UNASSIGNED {
+                        &li[lp[k] + 1..lp[k + 1]]
+                    } else {
+                        &[]
+                    }
+                },
+                &mut ws,
+                &mut topo,
+            );
+
+            // --- Numeric: sparse triangular solve in topological order.
+            for (i, v) in a.col_iter(j) {
+                x[i] = v;
+            }
+            for &v in topo.iter() {
+                let k = pinv[v];
+                if k == UNASSIGNED {
+                    continue;
+                }
+                let xk = x[v];
+                if xk != 0.0 {
+                    for (&r, &lrk) in li[lp[k] + 1..lp[k + 1]]
+                        .iter()
+                        .zip(&lx[lp[k] + 1..lp[k + 1]])
+                    {
+                        x[r] -= lrk * xk;
+                    }
+                }
+            }
+
+            // --- Pivot among the not-yet-pivotal candidates.
+            let pivot_row = match pivoting {
+                Pivoting::None => {
+                    // The diagonal must be numerically usable; x[j] is
+                    // only written when row j is in the reach pattern,
+                    // so a structural absence also lands here.
+                    debug_assert_eq!(pinv[j], UNASSIGNED);
+                    if x[j] == 0.0 {
+                        Self::clear(&mut x, &topo);
+                        return Err(LuError::ZeroPivot { column: j });
+                    }
+                    j
+                }
+                Pivoting::Partial => {
+                    let mut best = UNASSIGNED;
+                    let mut best_mag = 0.0f64;
+                    for &v in topo.iter() {
+                        if pinv[v] == UNASSIGNED && x[v].abs() > best_mag {
+                            best = v;
+                            best_mag = x[v].abs();
+                        }
+                    }
+                    if best == UNASSIGNED {
+                        Self::clear(&mut x, &topo);
+                        return Err(LuError::ZeroPivot { column: j });
+                    }
+                    best
+                }
+            };
+            let pivot = x[pivot_row];
+            pinv[pivot_row] = j;
+
+            // --- Gather U(:, j): pivotal rows sorted by position, then
+            // the diagonal.
+            u_entries.clear();
+            for &v in topo.iter() {
+                let k = pinv[v];
+                if k != UNASSIGNED && k < j {
+                    u_entries.push((k, x[v]));
+                }
+            }
+            u_entries.sort_unstable_by_key(|&(k, _)| k);
+            for &(k, val) in &u_entries {
+                ui.push(k);
+                ux.push(val);
+            }
+            ui.push(j);
+            ux.push(pivot);
+            up.push(ui.len());
+
+            // --- Gather L(:, j): unit pivot first, then the remaining
+            // candidates scaled by the pivot (original coordinates).
+            li.push(pivot_row);
+            lx.push(1.0);
+            for &v in topo.iter() {
+                if pinv[v] == UNASSIGNED {
+                    li.push(v);
+                    lx.push(x[v] / pivot);
+                }
+            }
+            lp.push(li.len());
+
+            Self::clear(&mut x, &topo);
+        }
+
+        // --- Finalize: remap L rows to pivot coordinates and sort each
+        // column (the pivot row maps to j, every other candidate was
+        // assigned later, so sorting puts the unit diagonal first).
+        for r in li.iter_mut() {
+            debug_assert_ne!(pinv[*r], UNASSIGNED, "unpivoted row survived");
+            *r = pinv[*r];
+        }
+        let mut cols: Vec<(usize, f64)> = Vec::new();
+        for j in 0..n {
+            let range = lp[j]..lp[j + 1];
+            cols.clear();
+            cols.extend(
+                li[range.clone()]
+                    .iter()
+                    .copied()
+                    .zip(lx[range.clone()].iter().copied()),
+            );
+            cols.sort_unstable_by_key(|&(r, _)| r);
+            for (slot, &(r, v)) in range.clone().zip(cols.iter()) {
+                li[slot] = r;
+                lx[slot] = v;
+            }
+        }
+        let mut row_perm = vec![0usize; n];
+        for (old, &new) in pinv.iter().enumerate() {
+            row_perm[new] = old;
+        }
+        let l = CscMatrix::try_new(n, n, lp, li, lx)
+            .map_err(|e| LuError::BadInput(format!("internal L assembly: {e}")))?;
+        let u = CscMatrix::try_new(n, n, up, ui, ux)
+            .map_err(|e| LuError::BadInput(format!("internal U assembly: {e}")))?;
+        Ok(GpLuFactors { l, u, row_perm })
+    }
+
+    /// Clear the dense accumulator, touching only the reach.
+    fn clear(x: &mut [f64], reach: &[usize]) {
+        for &v in reach {
+            x[v] = 0.0;
+        }
+    }
+}
+
+/// Max-norm reconstruction error `max |(P A - L U)[i, j]|` scaled by
+/// the 1-norm of `A` — the LU analogue of
+/// [`crate::verify::reconstruction_error`]. O(flops(LU)).
+pub fn lu_reconstruction_error(a: &CscMatrix, f: &GpLuFactors) -> f64 {
+    let n = a.n_cols();
+    assert_eq!(f.n(), n, "dimension mismatch");
+    // pinv[old] = new.
+    let mut pinv = vec![0usize; n];
+    for (new, &old) in f.row_perm.iter().enumerate() {
+        pinv[old] = new;
+    }
+    let a_norm = sympiler_sparse::ops::norm_1(a).max(1.0);
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut max_err = 0.0f64;
+    for j in 0..n {
+        // acc = (L U)(:, j) = sum_k U[k, j] * L(:, k).
+        touched.clear();
+        for (k, ukj) in f.u.col_iter(j) {
+            for (i, lik) in f.l.col_iter(k) {
+                if acc[i] == 0.0 {
+                    touched.push(i);
+                }
+                acc[i] += lik * ukj;
+            }
+        }
+        // Subtract (P A)(:, j).
+        for (i, v) in a.col_iter(j) {
+            let r = pinv[i];
+            if acc[r] == 0.0 {
+                touched.push(r);
+            }
+            acc[r] -= v;
+        }
+        for &i in &touched {
+            max_err = max_err.max(acc[i].abs());
+            acc[i] = 0.0;
+        }
+    }
+    max_err / a_norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::{gen, ops};
+
+    fn dense_lu_no_pivot(a: &CscMatrix) -> (Vec<f64>, usize) {
+        let n = a.n_cols();
+        let mut m = a.to_dense();
+        for k in 0..n {
+            let piv = m[k * n + k];
+            assert!(piv != 0.0, "dense reference hit zero pivot");
+            for i in k + 1..n {
+                m[k * n + i] /= piv;
+            }
+            for j in k + 1..n {
+                let ukj = m[j * n + k];
+                if ukj == 0.0 {
+                    continue;
+                }
+                for i in k + 1..n {
+                    m[j * n + i] -= m[k * n + i] * ukj;
+                }
+            }
+        }
+        (m, n)
+    }
+
+    #[test]
+    fn static_pivot_matches_dense_reference() {
+        for seed in 0..8u64 {
+            let a = gen::circuit_unsym(35, 3, 1, seed);
+            let f = GpLu::factor(&a, Pivoting::None).unwrap();
+            assert!(f.is_identity_perm(), "static pivoting must not permute");
+            let (dense, n) = dense_lu_no_pivot(&a);
+            for j in 0..n {
+                for (i, v) in f.l.col_iter(j) {
+                    if i > j {
+                        assert!(
+                            (v - dense[j * n + i]).abs() < 1e-10,
+                            "seed {seed}: L[{i},{j}] = {v} vs {}",
+                            dense[j * n + i]
+                        );
+                    }
+                }
+                for (i, v) in f.u.col_iter(j) {
+                    assert!(
+                        (v - dense[j * n + i]).abs() < 1e-10,
+                        "seed {seed}: U[{i},{j}] = {v} vs {}",
+                        dense[j * n + i]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_and_solve_static() {
+        for seed in 0..6u64 {
+            let a = gen::convection_diffusion_2d(6, 6, 1.2, seed);
+            let f = GpLu::factor(&a, Pivoting::None).unwrap();
+            assert!(lu_reconstruction_error(&a, &f) < 1e-12, "seed {seed}");
+            let n = a.n_cols();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+            let x = f.solve(&b);
+            assert!(ops::rel_residual(&a, &x, &b) < 1e-12, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partial_pivoting_verification_mode() {
+        // A matrix that *breaks* static pivoting: zero diagonal entry.
+        let mut t = sympiler_sparse::TripletMatrix::new(3, 3);
+        t.push(1, 0, 2.0);
+        t.push(0, 0, 1e-30);
+        t.push(0, 1, 3.0);
+        t.push(2, 1, 1.0);
+        t.push(1, 2, 1.0);
+        t.push(2, 2, 4.0);
+        let a = t.to_csc().unwrap();
+        // Static pivoting survives structurally but produces huge
+        // growth; partial pivoting permutes and stays accurate.
+        let f = GpLu::factor(&a, Pivoting::Partial).unwrap();
+        assert!(!f.is_identity_perm(), "partial pivoting must permute here");
+        assert!(lu_reconstruction_error(&a, &f) < 1e-12);
+        let b = vec![1.0, 2.0, 3.0];
+        let x = f.solve(&b);
+        assert!(ops::rel_residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn partial_matches_static_on_dominant_matrices() {
+        // On diagonally dominant systems both modes solve equally well
+        // (the verification argument for compiling with static pivots).
+        let a = gen::random_unsym(40, 4, 7);
+        let fs = GpLu::factor(&a, Pivoting::None).unwrap();
+        let fp = GpLu::factor(&a, Pivoting::Partial).unwrap();
+        let b: Vec<f64> = (0..40).map(|i| (i as f64).cos()).collect();
+        let xs = fs.solve(&b);
+        let xp = fp.solve(&b);
+        for (p, q) in xs.iter().zip(&xp) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pattern_matches_symbolic_prediction() {
+        for seed in 0..6u64 {
+            let a = gen::random_unsym(30, 3, seed);
+            let sym = sympiler_graph::lu_symbolic(&a);
+            let f = GpLu::factor(&a, Pivoting::None).unwrap();
+            assert_eq!(f.l.col_ptr(), sym.l_col_ptr.as_slice(), "seed {seed}");
+            assert_eq!(f.l.row_idx(), sym.l_row_idx.as_slice(), "seed {seed}");
+            assert_eq!(f.u.col_ptr(), sym.u_col_ptr.as_slice(), "seed {seed}");
+            assert_eq!(f.u.row_idx(), sym.u_row_idx.as_slice(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        // Structurally zero diagonal at column 1 and no path to fill it.
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(0, 1, 1.0);
+        let a = t.to_csc().unwrap();
+        // Column 1 fills at row 1? A(:,1) = {0}; reach of {0} includes
+        // row 1 via L(1,0) — so the diagonal fills and this factors.
+        assert!(GpLu::factor(&a, Pivoting::None).is_ok());
+        // But a truly empty pivot column fails.
+        let mut t2 = sympiler_sparse::TripletMatrix::new(2, 2);
+        t2.push(0, 0, 1.0);
+        t2.push(0, 1, 1.0);
+        let a2 = t2.to_csc().unwrap();
+        assert!(matches!(
+            GpLu::factor(&a2, Pivoting::None),
+            Err(LuError::ZeroPivot { column: 1 })
+        ));
+        assert!(matches!(
+            GpLu::factor(&a2, Pivoting::Partial),
+            Err(LuError::ZeroPivot { column: 1 })
+        ));
+    }
+
+    #[test]
+    fn one_by_one_and_diagonal() {
+        let a = CscMatrix::identity(1);
+        let f = GpLu::factor(&a, Pivoting::None).unwrap();
+        assert_eq!(f.solve(&[5.0]), vec![5.0]);
+        let d = CscMatrix::identity(6);
+        let f = GpLu::factor(&d, Pivoting::Partial).unwrap();
+        assert!(f.is_identity_perm());
+        assert_eq!(f.l.nnz(), 6);
+        assert_eq!(f.u.nnz(), 6);
+    }
+
+    #[test]
+    fn upper_backward_solver_is_exact() {
+        // U from a factorization, solved against the dense reference.
+        let a = gen::circuit_unsym(25, 3, 1, 3);
+        let f = GpLu::factor(&a, Pivoting::None).unwrap();
+        let n = 25;
+        let mut x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let b = x.clone();
+        crate::trisolve::naive_backward_upper(&f.u, &mut x);
+        // Check U x = b.
+        let mut y = vec![0.0; n];
+        ops::spmv(&f.u, &x, &mut y);
+        for (p, q) in y.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-10);
+        }
+    }
+}

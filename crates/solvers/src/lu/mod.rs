@@ -1,0 +1,15 @@
+//! Sparse LU baselines — the unsymmetric-system comparators for the
+//! Sympiler-style LU plan in `sympiler-core::plan::lu`.
+//!
+//! * [`gplu`] — the reference left-looking Gilbert–Peierls LU: symbolic
+//!   work (per-column DFS reach computation) is **coupled into every
+//!   numeric factorization**, exactly the library behaviour the paper's
+//!   decoupling removes. Supports static (diagonal) pivoting — the
+//!   regime Sympiler compiles for — and classic partial pivoting as a
+//!   numerical verification mode.
+//! * [`lu_solve`](gplu::GpLuFactors::solve) — the end-to-end
+//!   `P A x = b` solve path (`P b -> L y = P b -> U x = y`).
+
+pub mod gplu;
+
+pub use gplu::{lu_reconstruction_error, lu_solve, GpLu, GpLuFactors, LuError, Pivoting};

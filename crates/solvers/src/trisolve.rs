@@ -102,6 +102,28 @@ pub fn backward_transposed(l: &CscMatrix, x: &mut [f64]) {
     }
 }
 
+/// Backward substitution `U x = b` for an **upper**-triangular `U` in
+/// CSC with diagonal-last columns — the second half of an LU solve
+/// (`x` enters holding `b`, leaves holding the solution).
+pub fn naive_backward_upper(u: &CscMatrix, x: &mut [f64]) {
+    debug_assert!(u.is_upper_triangular_with_diag());
+    assert_eq!(x.len(), u.n_cols(), "x length mismatch");
+    let col_ptr = u.col_ptr();
+    let row_idx = u.row_idx();
+    let values = u.values();
+    for j in (0..u.n_cols()).rev() {
+        let range = col_ptr[j]..col_ptr[j + 1];
+        let xj = x[j] / values[range.end - 1];
+        x[j] = xj;
+        for (&i, &uij) in row_idx[range.start..range.end - 1]
+            .iter()
+            .zip(&values[range.start..range.end - 1])
+        {
+            x[i] -= uij * xj;
+        }
+    }
+}
+
 /// Flop count of a reach-set-pruned triangular solve: one division per
 /// reached column plus two flops per off-diagonal entry of reached
 /// columns. Used for GFLOP/s reporting (Figure 6).
@@ -163,8 +185,14 @@ mod tests {
             decoupled_forward(&l, &b, &r, &mut x_dec);
 
             for i in 0..80 {
-                assert!((x_naive[i] - x_lib[i]).abs() < 1e-12, "lib seed {seed} i {i}");
-                assert!((x_naive[i] - x_dec[i]).abs() < 1e-12, "dec seed {seed} i {i}");
+                assert!(
+                    (x_naive[i] - x_lib[i]).abs() < 1e-12,
+                    "lib seed {seed} i {i}"
+                );
+                assert!(
+                    (x_naive[i] - x_dec[i]).abs() < 1e-12,
+                    "dec seed {seed} i {i}"
+                );
             }
         }
     }

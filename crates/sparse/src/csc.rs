@@ -252,6 +252,22 @@ impl CscMatrix {
         (0..self.n_cols).all(|j| self.col_rows(j).iter().all(|&i| i >= j))
     }
 
+    /// True if every column's last stored entry is exactly the
+    /// diagonal — the shape of the `U` factor in LU (diagonal-last
+    /// columns). Under the struct's strictly-increasing-rows invariant
+    /// this implies every stored entry lies on or above the diagonal
+    /// (the same argument [`Self::is_lower_triangular_with_diag`]
+    /// makes with the first entry).
+    pub fn is_upper_triangular_with_diag(&self) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        (0..self.n_cols).all(|j| {
+            let rows = self.col_rows(j);
+            rows.last() == Some(&j)
+        })
+    }
+
     /// Densify into a column-major `Vec` (`n_rows * n_cols`).
     /// For tests and small examples only.
     pub fn to_dense(&self) -> Vec<f64> {
@@ -399,8 +415,7 @@ mod tests {
     fn lower_triangular_detection() {
         assert!(small_lower().is_lower_triangular_with_diag());
         // Missing diagonal in column 0.
-        let no_diag =
-            CscMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 1], vec![1.0, 1.0]).unwrap();
+        let no_diag = CscMatrix::try_new(2, 2, vec![0, 1, 2], vec![1, 1], vec![1.0, 1.0]).unwrap();
         assert!(!no_diag.is_lower_triangular_with_diag());
         assert!(no_diag.is_lower_storage());
     }

@@ -103,9 +103,7 @@ pub fn grid3d_laplacian(nx: usize, ny: usize, nz: usize, seed: u64) -> CscMatrix
                     t.push(idx(x, y, z + 1), i, -wv);
                     deg += wv;
                 }
-                deg += (x > 0) as usize as f64
-                    + (y > 0) as usize as f64
-                    + (z > 0) as usize as f64;
+                deg += (x > 0) as usize as f64 + (y > 0) as usize as f64 + (z > 0) as usize as f64;
                 t.push(i, i, deg.max(1.0) + 6.0);
             }
         }
@@ -202,7 +200,11 @@ pub fn circuit_like_spanned(
             if other == hub {
                 continue;
             }
-            let (i, j) = if other > hub { (other, hub) } else { (hub, other) };
+            let (i, j) = if other > hub {
+                (other, hub)
+            } else {
+                (hub, other)
+            };
             if seen.insert((i, j)) {
                 let v = -rng.random_range(0.05..0.3);
                 t.push(i, j, v);
@@ -238,7 +240,11 @@ pub fn random_lower_triangular(n: usize, extra_per_col: usize, seed: u64) -> Csc
         while placed < k {
             let i = j + 1 + rng.random_range(0..below);
             if used.insert(i) {
-                t.push(i, j, rng.random_range(-0.5..0.5) / (extra_per_col.max(1) as f64));
+                t.push(
+                    i,
+                    j,
+                    rng.random_range(-0.5..0.5) / (extra_per_col.max(1) as f64),
+                );
                 placed += 1;
             }
         }
@@ -257,7 +263,12 @@ pub fn tridiagonal_spd(n: usize) -> CscMatrix {
 /// adjacent blocks. The factor's columns nest inside each block, giving
 /// *natural supernodes* of width ~`block` — the structure that makes
 /// supernodal factorization pay off on matrices like cbuckle.
-pub fn blocked_banded_spd(n_blocks: usize, block: usize, band_blocks: usize, seed: u64) -> CscMatrix {
+pub fn blocked_banded_spd(
+    n_blocks: usize,
+    block: usize,
+    band_blocks: usize,
+    seed: u64,
+) -> CscMatrix {
     assert!(block >= 1 && n_blocks >= 2 && band_blocks >= 1);
     let n = n_blocks * block;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -286,6 +297,122 @@ pub fn blocked_banded_spd(n_blocks: usize, block: usize, band_blocks: usize, see
         t.push(i, i, rs + 1.0);
     }
     t.to_csc().expect("block-banded assembly cannot fail")
+}
+
+/// 2-D convection–diffusion operator on an `nx x ny` grid with upwind
+/// discretization of the convection term — the canonical **unsymmetric**
+/// CFD workload for sparse LU. `peclet` scales the convection strength
+/// (0 recovers the symmetric Laplacian; larger values skew the stencil
+/// harder). The matrix is stored **full** (both triangles) and kept
+/// strictly diagonally dominant so statically pivoted (diagonal) LU is
+/// numerically safe, mirroring how the SPD generators guarantee
+/// factorizability.
+pub fn convection_diffusion_2d(nx: usize, ny: usize, peclet: f64, seed: u64) -> CscMatrix {
+    assert!(nx >= 2 && ny >= 2, "grid must be at least 2x2");
+    assert!(peclet >= 0.0, "peclet must be non-negative");
+    let n = nx * ny;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut t = TripletMatrix::with_capacity(n, n, n * 5);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            // Per-node flow direction jitter keeps the pattern
+            // structurally unsymmetric in value but symmetric in shape.
+            let cx = peclet * (0.6 + 0.4 * rng.random_range(0.0..1.0));
+            let cy = peclet * (0.3 + 0.3 * rng.random_range(0.0..1.0));
+            let mut off_sum = 0.0;
+            // Upwind: the coefficient against the flow (west/south) is
+            // strengthened by the convection term; the downstream
+            // (east/north) coefficient stays diffusive.
+            if x > 0 {
+                let w = 1.0 + cx;
+                t.push(i, idx(x - 1, y), -w);
+                off_sum += w;
+            }
+            if x + 1 < nx {
+                t.push(i, idx(x + 1, y), -1.0);
+                off_sum += 1.0;
+            }
+            if y > 0 {
+                let w = 1.0 + cy;
+                t.push(i, idx(x, y - 1), -w);
+                off_sum += w;
+            }
+            if y + 1 < ny {
+                t.push(i, idx(x, y + 1), -1.0);
+                off_sum += 1.0;
+            }
+            // Strict row-wise diagonal dominance.
+            t.push(i, i, off_sum + 1.0 + 0.1 * rng.random_range(0.0..1.0));
+        }
+    }
+    t.to_csc()
+        .expect("convection-diffusion assembly cannot fail")
+}
+
+/// Unsymmetric circuit-style matrix: the sparse graph of
+/// [`circuit_like_spanned`] with **direction-dependent couplings**
+/// (like the Jacobians of circuits with controlled sources or
+/// transistors, where `dI_i/dV_j != dI_j/dV_i`), stored full. The
+/// pattern is structurally symmetric (both `(i,j)` and `(j,i)` are
+/// stored) but the values are not; the diagonal dominates each row so
+/// static pivoting is safe.
+pub fn circuit_unsym(n: usize, avg_degree: usize, n_hubs: usize, seed: u64) -> CscMatrix {
+    assert!(n >= 2, "matrix too small");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lower = circuit_like(n, avg_degree, n_hubs, seed);
+    let mut t = TripletMatrix::with_capacity(n, n, 2 * lower.nnz());
+    let mut rowsum = vec![0.0f64; n];
+    for j in 0..n {
+        for (i, v) in lower.col_iter(j) {
+            if i == j {
+                continue;
+            }
+            // Forward and backward conductances differ.
+            let asym = rng.random_range(0.3..1.0);
+            let (f, b) = (v, v * asym);
+            t.push(i, j, f);
+            t.push(j, i, b);
+            rowsum[i] += f.abs();
+            rowsum[j] += b.abs();
+        }
+    }
+    for (i, &rs) in rowsum.iter().enumerate() {
+        t.push(i, i, rs + 1.0 + 0.1 * rng.random_range(0.0..1.0));
+    }
+    t.to_csc()
+        .expect("unsymmetric circuit assembly cannot fail")
+}
+
+/// Random square unsymmetric matrix with ~`extra_per_col` off-diagonal
+/// entries per column at arbitrary positions, strictly diagonally
+/// dominant by rows. The pattern is generally **structurally
+/// unsymmetric** — the stress case for symbolic LU.
+pub fn random_unsym(n: usize, extra_per_col: usize, seed: u64) -> CscMatrix {
+    assert!(n >= 1, "empty matrix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::with_capacity(n, n, n * (extra_per_col + 1));
+    let mut rowsum = vec![0.0f64; n];
+    for j in 0..n {
+        let mut used = std::collections::HashSet::new();
+        used.insert(j);
+        let k = extra_per_col.min(n - 1);
+        let mut placed = 0;
+        while placed < k {
+            let i = rng.random_range(0..n);
+            if used.insert(i) {
+                let v = rng.random_range(-1.0..1.0);
+                t.push(i, j, v);
+                rowsum[i] += v.abs();
+                placed += 1;
+            }
+        }
+    }
+    for (i, &rs) in rowsum.iter().enumerate() {
+        t.push(i, i, rs + 1.0 + rng.random_range(0.0..1.0));
+    }
+    t.to_csc().expect("random unsymmetric assembly cannot fail")
 }
 
 /// Geometric nested-dissection ordering for an `nx x ny` grid (node
@@ -349,7 +476,7 @@ pub fn grid3d_nd_perm(nx: usize, ny: usize, nz: usize) -> Vec<usize> {
 
 fn nd3d_rec(lo: [usize; 3], hi: [usize; 3], dims: [usize; 2], out: &mut Vec<usize>) {
     let ext = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
-    if ext.iter().any(|&e| e == 0) {
+    if ext.contains(&0) {
         return;
     }
     let idx = |x: usize, y: usize, z: usize| (z * dims[1] + y) * dims[0] + x;
@@ -485,10 +612,7 @@ mod tests {
             grid2d_laplacian(6, 5, true, 42)
         );
         assert_eq!(banded_spd(20, 3, 42), banded_spd(20, 3, 42));
-        assert_eq!(
-            circuit_like(100, 4, 2, 42),
-            circuit_like(100, 4, 2, 42)
-        );
+        assert_eq!(circuit_like(100, 4, 2, 42), circuit_like(100, 4, 2, 42));
         assert_ne!(banded_spd(20, 3, 1), banded_spd(20, 3, 2));
     }
 
@@ -503,7 +627,10 @@ mod tests {
                 }
             }
         }
-        assert!(max_span <= 16, "edges must respect the span, got {max_span}");
+        assert!(
+            max_span <= 16,
+            "edges must respect the span, got {max_span}"
+        );
         // Unlimited span reaches farther.
         let b = circuit_like_spanned(400, 4, 0, 0, 9);
         let mut far = 0usize;
@@ -590,7 +717,9 @@ mod tests {
                     }
                 }
             }
-            pat.iter().map(|r| r.iter().filter(|&&b| b).count()).sum::<usize>()
+            pat.iter()
+                .map(|r| r.iter().filter(|&&b| b).count())
+                .sum::<usize>()
         };
         let natural = fill(&a);
         let dissected = fill(&a_nd);
@@ -598,6 +727,76 @@ mod tests {
             dissected < natural,
             "nested dissection must reduce fill: {dissected} vs {natural}"
         );
+    }
+
+    fn assert_row_diag_dominant(a: &CscMatrix) {
+        let n = a.n_cols();
+        let mut diag = vec![0.0f64; n];
+        let mut off = vec![0.0f64; n];
+        for j in 0..n {
+            for (i, v) in a.col_iter(j) {
+                if i == j {
+                    diag[i] = v.abs();
+                } else {
+                    off[i] += v.abs();
+                }
+            }
+        }
+        for i in 0..n {
+            assert!(
+                diag[i] > off[i],
+                "row {i} not dominant: {} <= {}",
+                diag[i],
+                off[i]
+            );
+        }
+    }
+
+    #[test]
+    fn convection_diffusion_is_unsymmetric_and_dominant() {
+        let a = convection_diffusion_2d(7, 6, 1.5, 3);
+        assert_eq!(a.n_cols(), 42);
+        assert!(
+            !ops::is_symmetric(&a, 1e-12),
+            "upwinding must break symmetry"
+        );
+        assert_row_diag_dominant(&a);
+        // Zero peclet recovers a symmetric operator up to the diagonal
+        // jitter (off-diagonals are the plain Laplacian stencil).
+        let sym = convection_diffusion_2d(7, 6, 0.0, 3);
+        for j in 0..42 {
+            for (i, v) in sym.col_iter(j) {
+                if i != j {
+                    assert!((v - sym.get(j, i)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn circuit_unsym_shape_and_dominance() {
+        let a = circuit_unsym(80, 4, 2, 5);
+        assert!(a.is_square());
+        assert!(!ops::is_symmetric(&a, 1e-12));
+        assert_row_diag_dominant(&a);
+        // Structurally symmetric: (i,j) stored iff (j,i) stored.
+        for j in 0..80 {
+            for &i in a.col_rows(j) {
+                assert!(a.find(j, i).is_some(), "missing transpose entry ({j},{i})");
+            }
+        }
+        assert_eq!(circuit_unsym(80, 4, 2, 5), circuit_unsym(80, 4, 2, 5));
+    }
+
+    #[test]
+    fn random_unsym_has_full_diagonal() {
+        let a = random_unsym(50, 3, 11);
+        assert_row_diag_dominant(&a);
+        for j in 0..50 {
+            assert!(a.find(j, j).is_some(), "diagonal missing at {j}");
+        }
+        assert_eq!(random_unsym(50, 3, 11), random_unsym(50, 3, 11));
+        assert_ne!(random_unsym(50, 3, 11), random_unsym(50, 3, 12));
     }
 
     #[test]

@@ -57,11 +57,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<MmMatrix> {
     let symmetry = match head[4].as_str() {
         "general" => MmSymmetry::General,
         "symmetric" => MmSymmetry::Symmetric,
-        other => {
-            return Err(SparseError::Parse(format!(
-                "unsupported symmetry {other}"
-            )))
-        }
+        other => return Err(SparseError::Parse(format!("unsupported symmetry {other}"))),
     };
 
     // Skip comments, find the size line.
@@ -148,11 +144,7 @@ pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<MmMatrix> {
 /// Write a matrix in Matrix Market coordinate-real format. When
 /// `symmetry` is [`MmSymmetry::Symmetric`], the matrix must already be in
 /// lower-triangular storage.
-pub fn write_matrix_market<W: Write>(
-    writer: W,
-    a: &CscMatrix,
-    symmetry: MmSymmetry,
-) -> Result<()> {
+pub fn write_matrix_market<W: Write>(writer: W, a: &CscMatrix, symmetry: MmSymmetry) -> Result<()> {
     if symmetry == MmSymmetry::Symmetric && !a.is_lower_storage() {
         return Err(SparseError::InvalidMatrix(
             "symmetric output requires lower-triangular storage".into(),

@@ -18,10 +18,7 @@ pub fn rhs_from_column_pattern(l: &CscMatrix, j: usize, seed: u64) -> SparseVec 
     assert!(j < l.n_cols(), "column out of range");
     let mut rng = StdRng::seed_from_u64(seed);
     let indices: Vec<usize> = l.col_rows(j).to_vec();
-    let values: Vec<f64> = indices
-        .iter()
-        .map(|_| rng.random_range(1.0..2.0))
-        .collect();
+    let values: Vec<f64> = indices.iter().map(|_| rng.random_range(1.0..2.0)).collect();
     SparseVec::try_new(l.n_rows(), indices, values).expect("column pattern is sorted")
 }
 
@@ -37,10 +34,7 @@ pub fn random_sparse_rhs(n: usize, fill: f64, seed: u64) -> SparseVec {
         picked.insert(rng.random_range(0..n));
     }
     let indices: Vec<usize> = picked.into_iter().collect();
-    let values: Vec<f64> = indices
-        .iter()
-        .map(|_| rng.random_range(1.0..2.0))
-        .collect();
+    let values: Vec<f64> = indices.iter().map(|_| rng.random_range(1.0..2.0)).collect();
     SparseVec::try_new(n, indices, values).expect("BTreeSet iterates sorted")
 }
 
@@ -74,8 +68,14 @@ mod tests {
 
     #[test]
     fn random_rhs_is_deterministic() {
-        assert_eq!(random_sparse_rhs(100, 0.05, 9), random_sparse_rhs(100, 0.05, 9));
-        assert_ne!(random_sparse_rhs(100, 0.05, 9), random_sparse_rhs(100, 0.05, 10));
+        assert_eq!(
+            random_sparse_rhs(100, 0.05, 9),
+            random_sparse_rhs(100, 0.05, 9)
+        );
+        assert_ne!(
+            random_sparse_rhs(100, 0.05, 9),
+            random_sparse_rhs(100, 0.05, 10)
+        );
     }
 
     #[test]

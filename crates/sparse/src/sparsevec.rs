@@ -26,9 +26,7 @@ impl SparseVec {
         }
         for (k, &i) in indices.iter().enumerate() {
             if i >= dim {
-                return Err(SparseError::BadRowIndex(format!(
-                    "index {i} >= dim {dim}"
-                )));
+                return Err(SparseError::BadRowIndex(format!("index {i} >= dim {dim}")));
             }
             if k > 0 && indices[k - 1] >= i {
                 return Err(SparseError::BadRowIndex(format!(

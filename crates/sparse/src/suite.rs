@@ -195,6 +195,78 @@ pub fn suite(scale: SuiteScale) -> Vec<SuiteProblem> {
     ]
 }
 
+/// An unsymmetric benchmark problem for the LU subsystem: a square
+/// matrix in **full** storage with a dominant diagonal (statically
+/// pivotable).
+#[derive(Debug, Clone)]
+pub struct UnsymProblem {
+    /// Problem ID, 1-based.
+    pub id: usize,
+    /// Stand-in name (suffix `_u` marks "unsymmetric synthetic").
+    pub name: &'static str,
+    /// Structural family used for generation.
+    pub family: &'static str,
+    /// The matrix (square, full storage).
+    pub matrix: CscMatrix,
+}
+
+impl UnsymProblem {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.matrix.n_cols()
+    }
+}
+
+/// The unsymmetric suite for the sparse LU experiments: the workload
+/// classes the paper names as LU's home turf (§1.2) — circuit
+/// simulation Jacobians and convection-dominated CFD operators — plus
+/// a structurally unsymmetric stress case.
+pub fn unsym_suite(scale: SuiteScale) -> Vec<UnsymProblem> {
+    let s = match scale {
+        SuiteScale::Test => 0,
+        SuiteScale::Bench => 1,
+    };
+    let mk =
+        |id: usize, name: &'static str, family: &'static str, matrix: CscMatrix| UnsymProblem {
+            id,
+            name,
+            family,
+            matrix,
+        };
+    vec![
+        mk(
+            1,
+            "convdiff_mild_u",
+            "convection-diffusion-2d",
+            gen::convection_diffusion_2d([16, 64][s], [16, 64][s], 0.5, 201),
+        ),
+        mk(
+            2,
+            "convdiff_strong_u",
+            "convection-diffusion-2d",
+            gen::convection_diffusion_2d([20, 90][s], [12, 48][s], 3.0, 202),
+        ),
+        mk(
+            3,
+            "circuit_small_u",
+            "circuit-unsym",
+            gen::circuit_unsym([300, 2400][s], 4, 2, 203),
+        ),
+        mk(
+            4,
+            "circuit_rails_u",
+            "circuit-unsym",
+            gen::circuit_unsym([350, 3000][s], 5, 4, 204),
+        ),
+        mk(
+            5,
+            "scrambled_u",
+            "random-unsym",
+            gen::random_unsym([250, 2000][s], 4, 205),
+        ),
+    ]
+}
+
 /// Fetch one suite problem by paper ID (1-based).
 pub fn problem(id: usize, scale: SuiteScale) -> SuiteProblem {
     suite(scale)
@@ -243,8 +315,8 @@ mod tests {
     fn suite_covers_both_supernode_regimes() {
         let s = suite(SuiteScale::Test);
         let families: Vec<&str> = s.iter().map(|p| p.family).collect();
-        assert!(families.iter().any(|f| *f == "blocked-banded"));
-        assert!(families.iter().any(|f| *f == "circuit-local"));
+        assert!(families.contains(&"blocked-banded"));
+        assert!(families.contains(&"circuit-local"));
         assert!(families.iter().any(|f| f.starts_with("grid2d-nd")));
         assert!(families.iter().any(|f| f.starts_with("grid3d-nd")));
     }
@@ -265,6 +337,41 @@ mod tests {
         for p in suite(SuiteScale::Test) {
             assert_eq!(p.nnz_full(), 2 * p.nnz_lower() - p.n());
         }
+    }
+
+    #[test]
+    fn unsym_suite_is_statically_pivotable() {
+        let s = unsym_suite(SuiteScale::Test);
+        assert_eq!(s.len(), 5);
+        for (k, p) in s.iter().enumerate() {
+            assert_eq!(p.id, k + 1);
+            assert!(p.matrix.is_square(), "{}", p.name);
+            // Row-wise diagonal dominance (static pivoting safe).
+            let n = p.n();
+            let mut diag = vec![0.0f64; n];
+            let mut off = vec![0.0f64; n];
+            for j in 0..n {
+                for (i, v) in p.matrix.col_iter(j) {
+                    if i == j {
+                        diag[i] = v.abs();
+                    } else {
+                        off[i] += v.abs();
+                    }
+                }
+            }
+            for i in 0..n {
+                assert!(diag[i] > off[i], "{}: row {i} not dominant", p.name);
+            }
+        }
+        // At least one problem is genuinely unsymmetric in structure.
+        assert!(s.iter().any(|p| {
+            (0..p.n()).any(|j| {
+                p.matrix
+                    .col_rows(j)
+                    .iter()
+                    .any(|&i| i != j && p.matrix.find(j, i).is_none())
+            })
+        }));
     }
 
     #[test]

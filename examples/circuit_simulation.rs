@@ -21,7 +21,10 @@ fn main() {
     let (a0, _perm) = sympiler::graph::rcm::rcm_permute(&raw);
     let n = a0.n_cols();
     let iterations = 20;
-    println!("circuit Jacobian: n={n}, nnz={} (lower), {iterations} NR iterations", a0.nnz());
+    println!(
+        "circuit Jacobian: n={n}, nnz={} (lower), {iterations} NR iterations",
+        a0.nnz()
+    );
 
     // Compile once (symbolic), like a simulator would at netlist load.
     let t0 = Instant::now();

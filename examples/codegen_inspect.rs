@@ -85,5 +85,10 @@ fn main() {
         .collect();
     println!("nonzero pattern of x (1-based): {nonzero:?}");
     assert_eq!(nonzero, vec![1, 6, 7, 8, 9, 10]);
+
+    println!("\n=== specialized LU factorization C (third kernel) ===");
+    let a = sympiler::sparse::gen::convection_diffusion_2d(4, 4, 1.2, 3);
+    let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+    println!("{}", lu.emit_c());
     println!("codegen_inspect OK");
 }

@@ -26,7 +26,9 @@ fn main() {
 
     // PCG on A x = b with M = L L^T (converges in O(1) iterations since
     // the preconditioner is exact; the point is the solve sequence).
-    let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64 / 17.0 + 0.5).collect();
+    let b: Vec<f64> = (0..n)
+        .map(|i| ((i * 13) % 17) as f64 / 17.0 + 0.5)
+        .collect();
     let mut x = vec![0.0; n];
     let mut r = b.clone(); // r = b - A x, x = 0
     let mut z = factor.solve(&r);
@@ -60,6 +62,9 @@ fn main() {
     let resid = ops::rel_residual_sym_lower(&a, &x, &b);
     println!("PCG converged in {iterations} iterations ({solves} preconditioner solves)");
     println!("final residual: {resid:.3e}");
-    assert!(resid < 1e-10, "PCG must converge with an exact preconditioner");
+    assert!(
+        resid < 1e-10,
+        "PCG must converge with an exact preconditioner"
+    );
     println!("fem_sequence OK");
 }

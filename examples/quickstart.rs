@@ -19,8 +19,7 @@ fn main() {
     );
 
     // --- Sympiler Cholesky: compile once, factor repeatedly ---
-    let chol = SympilerCholesky::compile(&a, &SympilerOptions::default())
-        .expect("matrix is SPD");
+    let chol = SympilerCholesky::compile(&a, &SympilerOptions::default()).expect("matrix is SPD");
     println!(
         "compiled Cholesky plan: {} supernodes, {} flops",
         chol.plan().partition().n_supernodes(),

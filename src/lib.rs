@@ -14,7 +14,21 @@
 //! * [`core`] — the Sympiler itself: symbolic inspectors, VI-Prune and
 //!   VS-Block transformations, low-level transformations, C emission and
 //!   executable plans;
-//! * [`solvers`] — the Eigen-like and CHOLMOD-like baselines.
+//! * [`solvers`] — the Eigen-like and CHOLMOD-like baselines, plus the
+//!   Gilbert–Peierls LU baseline for unsymmetric systems.
+//!
+//! Three kernels are compiled through the inspector→transform→plan
+//! pipeline: sparse triangular solve ([`SympilerTriSolve`]), Cholesky
+//! ([`SympilerCholesky`]), and sparse LU ([`SympilerLu`]) — the last
+//! extending the paper's two kernels to unsymmetric systems (circuit
+//! simulation, convection-dominated CFD) by reusing the reach-set
+//! machinery: each left-looking LU column solve *is* a sparse
+//! triangular solve, so its VI-Prune set is a reach set on the growing
+//! `DG_L`.
+//!
+//! [`SympilerTriSolve`]: prelude::SympilerTriSolve
+//! [`SympilerCholesky`]: prelude::SympilerCholesky
+//! [`SympilerLu`]: prelude::SympilerLu
 //!
 //! ## Quickstart
 //!
@@ -44,9 +58,11 @@ pub use sympiler_sparse as sparse;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use sympiler_core::compile::{
-        SympilerCholesky, SympilerOptions, SympilerTriSolve,
+        SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
     };
     pub use sympiler_core::plan::chol::CholFactor;
+    pub use sympiler_core::plan::lu::{LuFactor, LuPlan};
     pub use sympiler_core::plan::tri::TriSolvePlan;
+    pub use sympiler_solvers::lu::{GpLu, GpLuFactors, Pivoting};
     pub use sympiler_sparse::{CscMatrix, SparseVec, TripletMatrix};
 }

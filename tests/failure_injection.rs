@@ -44,9 +44,15 @@ fn pattern_swap_with_equal_nnz_is_rejected_everywhere() {
     let simp = SimplicialCholesky::analyze(&a).unwrap();
     assert_eq!(simp.factor(&b), Err(CholeskyError::PatternMismatch));
     let sup = SupernodalCholesky::analyze(&a, 0).unwrap();
-    assert!(matches!(sup.factor(&b), Err(CholeskyError::PatternMismatch)));
+    assert!(matches!(
+        sup.factor(&b),
+        Err(CholeskyError::PatternMismatch)
+    ));
     let ldl = UpLookingLdl::analyze(&a).unwrap();
-    assert!(matches!(ldl.factor(&b), Err(CholeskyError::PatternMismatch)));
+    assert!(matches!(
+        ldl.factor(&b),
+        Err(CholeskyError::PatternMismatch)
+    ));
     let ic = IncompleteCholesky0::analyze(&a).unwrap();
     assert!(matches!(ic.factor(&b), Err(CholeskyError::PatternMismatch)));
 }
@@ -85,7 +91,10 @@ fn indefinite_matrices_rejected_by_all_engines() {
     }
     let a = t.to_csc().unwrap();
     assert!(SimplicialCholesky::analyze(&a).unwrap().factor(&a).is_err());
-    assert!(SupernodalCholesky::analyze(&a, 0).unwrap().factor(&a).is_err());
+    assert!(SupernodalCholesky::analyze(&a, 0)
+        .unwrap()
+        .factor(&a)
+        .is_err());
     assert!(SympilerCholesky::compile(&a, &SympilerOptions::default())
         .unwrap()
         .factor(&a)

@@ -50,12 +50,7 @@ fn etree_shape_matches_figure() {
     // Every parent is the first sub-diagonal nonzero of the factor.
     let l = SimplicialCholesky::analyze(&a).unwrap().factor(&a).unwrap();
     for j in 0..9 {
-        let below: Vec<usize> = l
-            .col_rows(j)
-            .iter()
-            .copied()
-            .filter(|&i| i > j)
-            .collect();
+        let below: Vec<usize> = l.col_rows(j).iter().copied().filter(|&i| i > j).collect();
         match below.first() {
             Some(&first) => assert_eq!(parent[j], first, "parent[{j}]"),
             None => assert_eq!(parent[j], NONE),

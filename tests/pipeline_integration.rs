@@ -15,7 +15,9 @@ fn full_pipeline_on_every_suite_problem() {
         let (a, _) = sympiler::graph::rcm::rcm_permute(&p.matrix);
         let chol = SympilerCholesky::compile(&a, &SympilerOptions::default())
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));
-        let f = chol.factor(&a).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let f = chol
+            .factor(&a)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         let n = a.n_cols();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
         let x = f.solve(&b);

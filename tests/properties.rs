@@ -4,11 +4,60 @@
 //! * every triangular-solve variant matches dense substitution;
 //! * reach-sets equal brute-force reachability and are topological;
 //! * symbolic predictions (pattern, flops) match numeric reality;
-//! * supernode partitions are contiguous covers with nesting patterns.
+//! * supernode partitions are contiguous covers with nesting patterns;
+//! * LU engines satisfy `P A = L U` against the dense reference.
 
 use proptest::prelude::*;
 use sympiler::prelude::*;
 use sympiler::solvers::{SimplicialCholesky, SupernodalCholesky};
+
+/// Strategy: a random square unsymmetric, statically pivotable matrix.
+fn unsym_matrix() -> impl Strategy<Value = CscMatrix> {
+    (1usize..=40, 0usize..=5, 0u64..1000).prop_map(|(n, extra, seed)| {
+        if n < 4 {
+            // Tiny: dense-ish unsymmetric block via the random generator
+            // with full coupling.
+            sympiler::sparse::gen::random_unsym(n, n.saturating_sub(1), seed)
+        } else {
+            match seed % 3 {
+                0 => sympiler::sparse::gen::random_unsym(n, extra.min(n - 1), seed),
+                1 => sympiler::sparse::gen::circuit_unsym(n.max(4), 3, 1, seed),
+                _ => {
+                    let side = (2 + n / 6).max(2);
+                    sympiler::sparse::gen::convection_diffusion_2d(side, side, 1.5, seed)
+                }
+            }
+        }
+    })
+}
+
+/// Dense `P A` and `L U` products compared entrywise to `tol`.
+fn assert_pa_eq_lu(
+    a: &CscMatrix,
+    l: &CscMatrix,
+    u: &CscMatrix,
+    row_perm: &[usize],
+    tol: f64,
+) -> Result<(), String> {
+    let n = a.n_cols();
+    let ad = a.to_dense();
+    let ld = l.to_dense();
+    let ud = u.to_dense();
+    for j in 0..n {
+        for i in 0..n {
+            // (L U)[i, j]
+            let mut lu = 0.0;
+            for k in 0..n {
+                lu += ld[k * n + i] * ud[j * n + k];
+            }
+            let pa = ad[j * n + row_perm[i]];
+            if (lu - pa).abs() > tol {
+                return Err(format!("PA != LU at ({i}, {j}): {pa} vs {lu} (n = {n})"));
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Strategy: a random SPD matrix in lower storage (diagonally dominant
 /// by construction), sizes 1..=40, varying sparsity.
@@ -29,9 +78,8 @@ fn spd_matrix() -> impl Strategy<Value = CscMatrix> {
 
 /// Strategy: a random well-conditioned lower-triangular matrix.
 fn lower_matrix() -> impl Strategy<Value = CscMatrix> {
-    (1usize..=60, 0usize..=4, 0u64..1000).prop_map(|(n, extra, seed)| {
-        sympiler::sparse::gen::random_lower_triangular(n, extra, seed)
-    })
+    (1usize..=60, 0usize..=4, 0u64..1000)
+        .prop_map(|(n, extra, seed)| sympiler::sparse::gen::random_lower_triangular(n, extra, seed))
 }
 
 /// Strategy: sparse RHS pattern for a dimension-n system.
@@ -159,6 +207,53 @@ proptest! {
         prop_assert_eq!(plan.flops(), sym.factor_flops());
         // Flops lower bound: every stored entry of L costs at least 1.
         prop_assert!(sym.factor_flops() >= sym.l_nnz() as u64);
+    }
+
+    #[test]
+    fn lu_plan_satisfies_pa_eq_lu(a in unsym_matrix()) {
+        // Sympiler LU plan (static pivoting, P = I): dense reference.
+        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        let f = lu.factor(&a).unwrap();
+        let identity: Vec<usize> = (0..a.n_cols()).collect();
+        if let Err(m) = assert_pa_eq_lu(&a, f.l(), f.u(), &identity, 1e-10) {
+            prop_assert!(false, "plan: {}", m);
+        }
+        // The coupled baseline must produce the same factors.
+        let base = GpLu::factor(&a, Pivoting::None).unwrap();
+        prop_assert!(f.l().same_pattern(&base.l));
+        prop_assert!(f.u().same_pattern(&base.u));
+        for (x, y) in f.u().values().iter().zip(base.u.values()) {
+            prop_assert!((x - y).abs() < 1e-10, "factor drift {} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn gplu_partial_pivoting_satisfies_pa_eq_lu(a in unsym_matrix()) {
+        let f = GpLu::factor(&a, Pivoting::Partial).unwrap();
+        if let Err(m) = assert_pa_eq_lu(&a, &f.l, &f.u, &f.row_perm, 1e-10) {
+            prop_assert!(false, "partial: {}", m);
+        }
+        // Solve path: A x = b round-trips.
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let x = f.solve(&b);
+        prop_assert!(
+            sympiler::sparse::ops::rel_residual(&a, &x, &b) < 1e-9,
+            "residual too large"
+        );
+    }
+
+    #[test]
+    fn lu_symbolic_pattern_predicts_numeric_factor(a in unsym_matrix()) {
+        let sym = sympiler::graph::lu_symbolic(&a);
+        let f = GpLu::factor(&a, Pivoting::None).unwrap();
+        prop_assert_eq!(f.l.col_ptr(), sym.l_col_ptr.as_slice());
+        prop_assert_eq!(f.l.row_idx(), sym.l_row_idx.as_slice());
+        prop_assert_eq!(f.u.col_ptr(), sym.u_col_ptr.as_slice());
+        prop_assert_eq!(f.u.row_idx(), sym.u_row_idx.as_slice());
+        // Flop accounting agrees with the compiled plan.
+        let plan = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        prop_assert_eq!(plan.flops(), sym.factor_flops());
     }
 
     #[test]

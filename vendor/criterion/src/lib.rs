@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small slice of criterion's API the workspace benches
+//! use — `Criterion::benchmark_group`, group tuning knobs,
+//! `bench_function` with a `Bencher::iter` closure, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurements are median-of-samples wall-clock times printed to
+//! stdout; there is no statistical analysis, HTML report, or saved
+//! baseline. Enough to run `cargo bench` hermetically.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+        };
+        group.run_one(id, &mut f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            full: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Throughput annotation (recorded, reported as elements/sec).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A set of related benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run_one(&label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: Display, T, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: run the body until the warm-up budget is spent.
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                deadline: Instant::now() + self.warm_up,
+            },
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        // Measurement: collect sample_size timed runs within the budget.
+        bencher.mode = Mode::Measure {
+            deadline: Instant::now() + self.measurement,
+            target_samples: self.sample_size,
+        };
+        bencher.samples.clear();
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("  {label}: no samples collected");
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0 => {
+                format!("  ({:.3} Melem/s)", n as f64 / median as f64 * 1e9 / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if median > 0 => {
+                format!("  ({:.3} MB/s)", n as f64 / median as f64 * 1e9 / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {label}: median {}  [{} samples]{extra}",
+            fmt_ns(median),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+enum Mode {
+    WarmUp {
+        deadline: Instant,
+    },
+    Measure {
+        deadline: Instant,
+        target_samples: usize,
+    },
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::WarmUp { deadline } => {
+                while Instant::now() < deadline {
+                    std::hint::black_box(f());
+                }
+            }
+            Mode::Measure {
+                deadline,
+                target_samples,
+            } => {
+                // Calibrate iterations-per-sample so one sample takes
+                // roughly measurement/target_samples.
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                let once = t0.elapsed().max(Duration::from_nanos(1));
+                let budget = deadline.saturating_duration_since(Instant::now());
+                let per_sample = budget / (target_samples.max(1) as u32 + 1);
+                let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1 << 20) as u64;
+                for _ in 0..target_samples {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(f());
+                    }
+                    let elapsed = start.elapsed().as_nanos() / iters as u128;
+                    self.samples.push(elapsed);
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Re-export used by some criterion idioms.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+    }
+}
