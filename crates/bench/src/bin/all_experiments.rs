@@ -15,6 +15,7 @@ fn main() {
         "fig7",
         "fig8",
         "fig9",
+        "lu_compare",
         "motivating",
         "table3_overheads",
         "ablation_thresholds",

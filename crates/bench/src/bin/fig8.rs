@@ -16,6 +16,7 @@
 use std::time::Duration;
 use sympiler_bench::engines::{time_tri_engine, TriEngine, RUNS};
 use sympiler_bench::harness::{geomean, Table};
+use sympiler_bench::perf::PerfReport;
 use sympiler_bench::workloads::prepare_suite;
 use sympiler_core::{SympilerOptions, SympilerTriSolve};
 use sympiler_sparse::suite::SuiteScale;
@@ -43,6 +44,7 @@ fn main() {
     );
     let mut ratios = Vec::new();
     let mut codegen_ratios = Vec::new();
+    let mut report = PerfReport::new("fig8");
     for p in &problems {
         let t_eigen = time_tri_engine(p, TriEngine::Eigen);
         let t_num = time_tri_engine(p, TriEngine::SympilerFull);
@@ -72,6 +74,12 @@ fn main() {
         let cg_ratio = t_build.as_secs_f64() / t_num.as_secs_f64();
         ratios.push(ratio);
         codegen_ratios.push(cg_ratio);
+        // Perf-gate ratio: Eigen numeric / Sympiler numeric, the
+        // decoupled speedup of the solve itself (higher is better).
+        report.push(
+            p.name,
+            t_eigen.as_secs_f64() / t_num.as_secs_f64().max(1e-12),
+        );
         t.row(vec![
             p.id.to_string(),
             p.name.to_string(),
@@ -84,6 +92,7 @@ fn main() {
         ]);
     }
     t.emit(Some("fig8.csv"));
+    report.write_results().expect("write perf report");
     println!(
         "geomean (inspection+numeric)/Eigen: {:.2}  (paper: 1.27 average; ours runs sparser RHS reaches — see EXPERIMENTS.md)",
         geomean(&ratios)

@@ -1,24 +1,34 @@
 //! The sparse-LU experiment: baseline Gilbert–Peierls (symbolic DFS
 //! coupled into every numeric factorization) vs. the Sympiler LU plan
-//! (symbolic analysis once at compile time, numeric-only factor).
+//! (symbolic analysis once at compile time, numeric-only factor),
+//! serial and level-scheduled parallel.
 //!
 //! For every unsymmetric suite problem this prints the median numeric
 //! factorization time of each engine, the decoupling speedup, the
-//! amortized symbolic overhead, and verifies that the plan reproduces
-//! the baseline factors bit-for-pattern and to 1e-10 in values.
+//! parallel numeric times at 2 and 4 workers with the 4-worker scaling
+//! ratio and the elimination DAG's available parallelism, and verifies
+//! that (a) the plan reproduces the baseline factors bit-for-pattern
+//! and to 1e-10 in values, and (b) the parallel plan reproduces the
+//! serial plan **bitwise** at every thread count.
 //!
-//! Run with `--test-scale` for a fast smoke run (CI uses this); the
-//! default runs the bench-scale suite.
+//! Writes `results/lu_compare.csv` plus the machine-readable
+//! `results/BENCH_lu_compare.json` consumed by the CI perf gate.
+//!
+//! Run with `--test-scale` (or `--test`, for `all_experiments`
+//! compatibility) for a fast smoke run (CI uses this); the default
+//! runs the bench-scale suite.
 
 use sympiler_bench::engines::{time_lu_engine, LuEngine, RUNS};
 use sympiler_bench::harness::{geomean, gflops, median_time, Table};
+use sympiler_bench::perf::PerfReport;
 use sympiler_bench::workloads::prepare_lu_suite;
+use sympiler_core::plan::lu_parallel::ParallelLuPlan;
 use sympiler_core::{SympilerLu, SympilerOptions};
 use sympiler_solvers::lu::{lu_reconstruction_error, GpLu, Pivoting};
 use sympiler_sparse::suite::SuiteScale;
 
 fn main() {
-    let test_scale = std::env::args().any(|a| a == "--test-scale");
+    let test_scale = std::env::args().any(|a| a == "--test-scale" || a == "--test");
     let scale = if test_scale {
         SuiteScale::Test
     } else {
@@ -26,22 +36,27 @@ fn main() {
     };
     let problems = prepare_lu_suite(scale);
     let mut table = Table::new(
-        "Sparse LU: coupled baseline vs. Sympiler plan (median numeric time)",
+        "Sparse LU: coupled baseline vs. Sympiler plan, serial + parallel (median numeric time)",
         &[
             "id",
             "problem",
             "n",
-            "nnz(A)",
             "nnz(L+U)",
             "GPLU coupled",
             "GPLU partial",
-            "Sympiler plan",
+            "plan serial",
             "speedup",
+            "plan 2T",
+            "plan 4T",
+            "scal 4T",
+            "DAG par",
             "plan GF/s",
             "symbolic",
         ],
     );
     let mut speedups = Vec::new();
+    let mut scalings = Vec::new();
+    let mut report = PerfReport::new("lu_compare");
     for p in &problems {
         // Verification first: the plan must reproduce the statically
         // pivoted baseline factors exactly in pattern and to 1e-10 in
@@ -76,6 +91,30 @@ fn main() {
         let x = f.solve(&p.b);
         let resid = sympiler_sparse::ops::rel_residual(&p.a, &x, &p.b);
         assert!(resid < 1e-10, "{}: solve residual {resid}", p.name);
+        // The parallel numeric phase must reproduce the serial plan
+        // bitwise at every thread count (and hence match the baseline
+        // to 1e-10 transitively). Leveling reuses the compiled plan —
+        // no second symbolic pass.
+        let par4 = ParallelLuPlan::from_plan(lu.plan().clone(), 4);
+        for threads in [2usize, 4] {
+            let fp = ParallelLuPlan::from_plan(par4.serial().clone(), threads)
+                .factor(&p.a)
+                .expect("parallel factors");
+            for (x, y) in fp
+                .l()
+                .values()
+                .iter()
+                .chain(fp.u().values())
+                .zip(f.l().values().iter().chain(f.u().values()))
+            {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{}: parallel ({threads} threads) must match serial bitwise",
+                    p.name
+                );
+            }
+        }
 
         // Timings.
         let t_coupled = time_lu_engine(p, LuEngine::GpluCoupled);
@@ -88,30 +127,47 @@ fn main() {
                 std::hint::black_box(&f);
             })
         };
+        let t_par2 = time_lu_engine(p, LuEngine::SympilerParallel { threads: 2 });
+        let t_par4 = time_lu_engine(p, LuEngine::SympilerParallel { threads: 4 });
         // Identical to engines::lu_flops(p) but free: the compiled plan
         // already carries the exact count.
         let flops = lu.flops();
         let speedup = t_coupled.as_secs_f64() / t_plan.as_secs_f64().max(1e-12);
+        let scaling = t_plan.as_secs_f64() / t_par4.as_secs_f64().max(1e-12);
         speedups.push(speedup);
+        scalings.push(scaling);
+        report.push(p.name, speedup);
         table.row(vec![
             p.id.to_string(),
             p.name.to_string(),
             p.n().to_string(),
-            p.a.nnz().to_string(),
             (f.l().nnz() + f.u().nnz()).to_string(),
             format!("{:.3?}", t_coupled),
             format!("{:.3?}", t_partial),
             format!("{:.3?}", t_plan),
             format!("{speedup:.2}x"),
+            format!("{:.3?}", t_par2),
+            format!("{:.3?}", t_par4),
+            format!("{scaling:.2}x"),
+            format!("{:.1}", par4.avg_parallelism()),
             format!("{:.3}", gflops(flops, t_plan)),
             format!("{:.3?}", compile_time),
         ]);
     }
     table.emit(Some("lu_compare.csv"));
+    report.write_results().expect("write perf report");
     println!(
-        "geomean decoupling speedup (coupled GPLU / plan): {:.2}x over {} problems",
+        "geomean decoupling speedup (coupled GPLU / serial plan): {:.2}x over {} problems",
         geomean(&speedups),
         speedups.len()
     );
-    println!("all factor patterns + values verified against the baseline (1e-10)");
+    println!(
+        "geomean 4-thread scaling (serial plan / 4T plan): {:.2}x \
+         (spawn+barrier overhead dominates at test scale and on few-core hosts)",
+        geomean(&scalings)
+    );
+    println!(
+        "all factor patterns + values verified against the baseline (1e-10); \
+         parallel factors bitwise-identical to serial at 2 and 4 threads"
+    );
 }

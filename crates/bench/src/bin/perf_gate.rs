@@ -1,0 +1,103 @@
+//! CI perf-regression gate: compare the smoke-run benchmark reports
+//! under `--results-dir` against the checked-in baselines under
+//! `--baseline-dir`, and exit nonzero if any kernel's
+//! decoupled/baseline speedup ratio degrades by more than the
+//! tolerance (default 25%).
+//!
+//! Baselines and results use the same `BENCH_<experiment>.json` format
+//! ([`sympiler_bench::perf`]); every baseline file must have a
+//! matching results file. Gated values are ratios of two serial
+//! measurements from the same process, so they transfer across hosts;
+//! raw times and parallel-scaling numbers are deliberately *not*
+//! gated (they depend on core count and machine load) — they ride
+//! along in the uploaded artifact instead.
+//!
+//! Usage:
+//! `perf_gate [--baseline-dir crates/bench/baselines] [--results-dir results] [--tolerance 0.25]`
+
+use std::path::PathBuf;
+use sympiler_bench::perf::{gate, PerfReport};
+
+fn arg_value(args: &[String], flag: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_dir = PathBuf::from(arg_value(&args, "--baseline-dir", "crates/bench/baselines"));
+    let results_dir = PathBuf::from(arg_value(&args, "--results-dir", "results"));
+    let tolerance: f64 = arg_value(&args, "--tolerance", "0.25")
+        .parse()
+        .expect("--tolerance takes a fraction, e.g. 0.25");
+
+    let mut baseline_files: Vec<PathBuf> = std::fs::read_dir(&baseline_dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_dir.display()))
+        .filter_map(|entry| {
+            let path = entry.expect("dir entry").path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    baseline_files.sort();
+    assert!(
+        !baseline_files.is_empty(),
+        "no BENCH_*.json baselines under {}",
+        baseline_dir.display()
+    );
+
+    let mut violations = Vec::new();
+    for baseline_path in &baseline_files {
+        let read = |path: &PathBuf| -> PerfReport {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            PerfReport::from_json(&text)
+                .unwrap_or_else(|e| panic!("bad report {}: {e}", path.display()))
+        };
+        let baseline = read(baseline_path);
+        let results_path = results_dir.join(baseline_path.file_name().expect("file name"));
+        if !results_path.exists() {
+            violations.push(format!(
+                "{}: no smoke-run results at {} (did the bench job run?)",
+                baseline.experiment,
+                results_path.display()
+            ));
+            continue;
+        }
+        let current = read(&results_path);
+        println!(
+            "gate {}: {} baseline kernels, {} current kernels, tolerance {:.0}%",
+            baseline.experiment,
+            baseline.entries.len(),
+            current.entries.len(),
+            tolerance * 100.0
+        );
+        for entry in &baseline.entries {
+            let cur = current
+                .speedup_of(&entry.kernel)
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "MISSING".to_string());
+            println!(
+                "  {:24} baseline {:.2}x  current {cur}",
+                entry.kernel, entry.speedup
+            );
+        }
+        violations.extend(gate(&baseline, &current, tolerance));
+    }
+
+    if violations.is_empty() {
+        println!(
+            "perf gate PASSED: no kernel degraded beyond {:.0}% across {} experiment(s)",
+            tolerance * 100.0,
+            baseline_files.len()
+        );
+    } else {
+        eprintln!("perf gate FAILED:");
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -190,6 +190,9 @@ pub enum LuEngine {
     /// The Sympiler LU plan: symbolic analysis at compile time, numeric
     /// factorization only in the timed region.
     SympilerPlan,
+    /// The Sympiler LU plan with the level-scheduled parallel numeric
+    /// phase over the column elimination DAG at this worker count.
+    SympilerParallel { threads: usize },
 }
 
 impl LuEngine {
@@ -198,6 +201,9 @@ impl LuEngine {
             LuEngine::GpluCoupled => "GPLU (coupled symbolic)",
             LuEngine::GpluPartial => "GPLU (partial pivoting)",
             LuEngine::SympilerPlan => "Sympiler LU plan (numeric)",
+            LuEngine::SympilerParallel { threads: 2 } => "Sympiler LU plan (2 threads)",
+            LuEngine::SympilerParallel { threads: 4 } => "Sympiler LU plan (4 threads)",
+            LuEngine::SympilerParallel { .. } => "Sympiler LU plan (parallel)",
         }
     }
 }
@@ -217,6 +223,17 @@ pub fn time_lu_engine(p: &LuBenchProblem, engine: LuEngine) -> Duration {
         }),
         LuEngine::SympilerPlan => {
             let lu = SympilerLu::compile(&p.a, &SympilerOptions::default()).expect("compile");
+            median_time(RUNS, || {
+                let f = lu.factor(&p.a).expect("factor");
+                std::hint::black_box(&f);
+            })
+        }
+        LuEngine::SympilerParallel { threads } => {
+            let opts = SympilerOptions {
+                n_threads: threads,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&p.a, &opts).expect("compile");
             median_time(RUNS, || {
                 let f = lu.factor(&p.a).expect("factor");
                 std::hint::black_box(&f);
@@ -318,10 +335,23 @@ mod tests {
                 LuEngine::GpluCoupled,
                 LuEngine::GpluPartial,
                 LuEngine::SympilerPlan,
+                LuEngine::SympilerParallel { threads: 2 },
             ] {
                 assert!(time_lu_engine(p, e).as_nanos() > 0, "{}", e.label());
             }
             assert!(lu_flops(p) > 0);
+            // The parallel engine must agree with the serial plan.
+            let opts = SympilerOptions {
+                n_threads: 4,
+                ..Default::default()
+            };
+            let par = SympilerLu::compile(&p.a, &opts)
+                .unwrap()
+                .factor(&p.a)
+                .unwrap();
+            for (x, y) in par.u().values().iter().zip(f.u().values()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}", p.name);
+            }
         }
     }
 

@@ -14,6 +14,7 @@
 
 pub mod engines;
 pub mod harness;
+pub mod perf;
 pub mod workloads;
 
 pub use harness::{gflops, median_time, Measurement, Table};

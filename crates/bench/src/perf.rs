@@ -1,0 +1,437 @@
+//! Machine-readable benchmark results and the CI perf-regression gate.
+//!
+//! Every experiment binary that produces a headline speedup writes a
+//! `results/BENCH_<experiment>.json` report next to its CSV. CI runs
+//! the smoke suite, uploads those reports as a workflow artifact (the
+//! perf trajectory), and runs the `perf_gate` binary, which compares
+//! each report against the checked-in baseline under
+//! `crates/bench/baselines/` and fails when any kernel's
+//! decoupled/baseline speedup ratio degrades beyond the tolerance.
+//!
+//! Speedups are ratios of two serial measurements taken on the same
+//! machine in the same process, so they transfer across hosts far
+//! better than raw times — that's what makes a checked-in baseline
+//! workable at all. The format is deliberately tiny (no serde in this
+//! offline workspace): one experiment name plus `(kernel, speedup)`
+//! pairs, with a matching subset-JSON parser below.
+
+use std::path::Path;
+
+/// One kernel's headline ratio in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfEntry {
+    /// Kernel / problem name (unique within the experiment).
+    pub kernel: String,
+    /// Higher-is-better speedup ratio (decoupled vs. baseline).
+    pub speedup: f64,
+}
+
+/// A benchmark report: one experiment, many kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Experiment name (`lu_compare`, `fig8`, ...).
+    pub experiment: String,
+    pub entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    pub fn new(experiment: &str) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record one kernel's ratio.
+    pub fn push(&mut self, kernel: &str, speedup: f64) {
+        self.entries.push(PerfEntry {
+            kernel: kernel.to_string(),
+            speedup,
+        });
+    }
+
+    /// Look up a kernel's ratio.
+    pub fn speedup_of(&self, kernel: &str) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|e| e.kernel == kernel)
+            .map(|e| e.speedup)
+    }
+
+    /// Serialize to the report JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            escape(&self.experiment)
+        ));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"speedup\": {:.6}}}{comma}\n",
+                escape(&e.kernel),
+                e.speedup
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a report from JSON (any JSON with the expected shape, not
+    /// just our own pretty-printing).
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let v = json::parse(s)?;
+        let experiment = v
+            .get("experiment")
+            .and_then(json::Value::as_str)
+            .ok_or("missing \"experiment\" string")?
+            .to_string();
+        let raw = v
+            .get("entries")
+            .and_then(json::Value::as_array)
+            .ok_or("missing \"entries\" array")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for e in raw {
+            let kernel = e
+                .get("kernel")
+                .and_then(json::Value::as_str)
+                .ok_or("entry missing \"kernel\"")?
+                .to_string();
+            let speedup = e
+                .get("speedup")
+                .and_then(json::Value::as_f64)
+                .ok_or("entry missing \"speedup\"")?;
+            entries.push(PerfEntry { kernel, speedup });
+        }
+        Ok(Self {
+            experiment,
+            entries,
+        })
+    }
+
+    /// Write the report to `results/BENCH_<experiment>.json` (creating
+    /// `results/` if needed) and announce the path on stdout.
+    pub fn write_results(&self) -> std::io::Result<()> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json())?;
+        println!("[perf report saved to {}]", path.display());
+        Ok(())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Compare `current` against `baseline`: every baseline kernel must be
+/// present and keep at least `1 - max_degradation` of its baseline
+/// speedup. Returns human-readable violations (empty = gate passes).
+/// Kernels present only in `current` are new and never fail the gate.
+pub fn gate(baseline: &PerfReport, current: &PerfReport, max_degradation: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for b in &baseline.entries {
+        match current.speedup_of(&b.kernel) {
+            None => violations.push(format!(
+                "{}/{}: kernel missing from current results",
+                baseline.experiment, b.kernel
+            )),
+            Some(cur) => {
+                let floor = b.speedup * (1.0 - max_degradation);
+                if cur < floor {
+                    violations.push(format!(
+                        "{}/{}: speedup {:.3}x below floor {:.3}x \
+                         (baseline {:.3}x, tolerance {:.0}%)",
+                        baseline.experiment,
+                        b.kernel,
+                        cur,
+                        floor,
+                        b.speedup,
+                        max_degradation * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// A minimal JSON subset parser (objects, arrays, strings with `\"`
+/// and `\\` escapes, numbers, `true`/`false`/`null`) — just enough to
+/// read perf reports without a serde dependency.
+pub mod json {
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(xs) => Some(xs),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse a complete JSON document.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let bytes = s.as_bytes();
+        let mut pos = 0usize;
+        let v = value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => object(b, pos),
+            Some(b'[') => array(b, pos),
+            Some(b'"') => Ok(Value::String(string(b, pos)?)),
+            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => literal(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+        }
+    }
+
+    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {pos}"))
+        }
+    }
+
+    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            fields.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+            }
+        }
+    }
+
+    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+            }
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        // Accumulate raw bytes and validate UTF-8 once at the end, so
+        // multi-byte sequences survive intact.
+        let mut out: Vec<u8> = Vec::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into())
+                }
+                b'\\' => {
+                    let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    }
+                }
+                _ => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        std::str::from_utf8(&b[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        let mut r = PerfReport::new("lu_compare");
+        r.push("convdiff_mild_u", 2.5);
+        r.push("circuit_small_u", 3.125);
+        r
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let parsed = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parses_foreign_formatting() {
+        let s = "{\"entries\":[{\"speedup\":1.5e0,\"kernel\":\"a b\"}],\
+                 \"experiment\":\"x\"}";
+        let r = PerfReport::from_json(s).unwrap();
+        assert_eq!(r.experiment, "x");
+        assert_eq!(r.speedup_of("a b"), Some(1.5));
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(PerfReport::from_json("{}").is_err());
+        assert!(PerfReport::from_json("{\"experiment\": 3, \"entries\": []}").is_err());
+        assert!(PerfReport::from_json("not json").is_err());
+        assert!(PerfReport::from_json("{\"experiment\":\"x\",\"entries\":[{}]}").is_err());
+        // Trailing garbage.
+        assert!(PerfReport::from_json("{\"experiment\":\"x\",\"entries\":[]} tail").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let baseline = sample();
+        let mut current = PerfReport::new("lu_compare");
+        // 20% degradation on one kernel, improvement on the other.
+        current.push("convdiff_mild_u", 2.0);
+        current.push("circuit_small_u", 4.0);
+        assert!(gate(&baseline, &current, 0.25).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_degradation_and_missing_kernels() {
+        let baseline = sample();
+        let mut current = PerfReport::new("lu_compare");
+        current.push("convdiff_mild_u", 1.0); // 60% degradation
+        let violations = gate(&baseline, &current, 0.25);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("below floor"));
+        assert!(violations[1].contains("missing"));
+    }
+
+    #[test]
+    fn gate_ignores_new_kernels() {
+        let baseline = PerfReport::new("lu_compare");
+        let mut current = sample();
+        current.push("brand_new_u", 0.1);
+        assert!(gate(&baseline, &current, 0.25).is_empty());
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v =
+            json::parse("{\"a\": [1, -2.5, {\"b\\\"c\": true}, null, false], \"d\": \"e\\\\f\"}")
+                .unwrap();
+        let arr = v.get("a").and_then(json::Value::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].get("b\"c"), Some(&json::Value::Bool(true)));
+        assert_eq!(arr[3], json::Value::Null);
+        assert_eq!(v.get("d").and_then(json::Value::as_str), Some("e\\f"));
+        // Multi-byte UTF-8 survives intact.
+        let v = json::parse("{\"kernel\": \"café_μ\"}").unwrap();
+        assert_eq!(
+            v.get("kernel").and_then(json::Value::as_str),
+            Some("café_μ")
+        );
+        // Empty containers.
+        assert_eq!(json::parse("[]").unwrap(), json::Value::Array(vec![]));
+        assert_eq!(json::parse("{}").unwrap(), json::Value::Object(vec![]));
+    }
+}

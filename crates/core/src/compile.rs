@@ -31,6 +31,12 @@ pub struct SympilerOptions {
     /// Peel reach-set iterations whose column has more than this many
     /// off-diagonal nonzeros (Figure 1e uses 2).
     pub peel_col_count: usize,
+    /// Worker threads for the parallel numeric executors (currently
+    /// the LU plan's level-scheduled factorization). `1` (the default)
+    /// compiles the serial plan; higher values level the column
+    /// elimination DAG and bake cost-balanced per-thread chunks.
+    /// Ignored when the `parallel` feature is disabled.
+    pub n_threads: usize,
 }
 
 impl Default for SympilerOptions {
@@ -42,6 +48,7 @@ impl Default for SympilerOptions {
             max_supernode_width: 64,
             vs_block_min_avg_size: 160.0,
             peel_col_count: 2,
+            n_threads: 1,
         }
     }
 }
@@ -245,42 +252,84 @@ impl SympilerCholesky {
 /// pattern under static diagonal pivoting.
 #[derive(Debug, Clone)]
 pub struct SympilerLu {
-    plan: LuPlan,
+    exec: LuExec,
+}
+
+/// The numeric executor selected at compile time by
+/// [`SympilerOptions::n_threads`].
+#[derive(Debug, Clone)]
+enum LuExec {
+    Serial(LuPlan),
+    #[cfg(feature = "parallel")]
+    Parallel(crate::plan::lu_parallel::ParallelLuPlan),
 }
 
 impl SympilerLu {
     /// Compile for the square matrix `a` (full storage). VS-Block does
     /// not apply to the scalar left-looking LU schedule; `low_level`
     /// and `peel_col_count` select the peeled update tier exactly like
-    /// the triangular-solve pipeline.
+    /// the triangular-solve pipeline. With `n_threads > 1` (and the
+    /// `parallel` feature on), the numeric phase is additionally
+    /// leveled over the column elimination DAG and executed by that
+    /// many workers — results stay bitwise identical to the serial
+    /// plan.
     pub fn compile(a: &CscMatrix, opts: &SympilerOptions) -> Result<Self, LuPlanError> {
         let plan = LuPlan::build(a, opts.low_level, opts.peel_col_count)?;
-        Ok(Self { plan })
+        #[cfg(feature = "parallel")]
+        if opts.n_threads > 1 {
+            return Ok(Self {
+                exec: LuExec::Parallel(crate::plan::lu_parallel::ParallelLuPlan::from_plan(
+                    plan,
+                    opts.n_threads,
+                )),
+            });
+        }
+        Ok(Self {
+            exec: LuExec::Serial(plan),
+        })
     }
 
     /// Numeric factorization (no symbolic work): `A = L U`.
     pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
-        self.plan.factor(a)
+        match &self.exec {
+            LuExec::Serial(plan) => plan.factor(a),
+            #[cfg(feature = "parallel")]
+            LuExec::Parallel(par) => par.factor(a),
+        }
     }
 
-    /// The compiled plan.
+    /// The compiled (serial) plan: symbolic analysis, schedules, flop
+    /// counts — shared by both executors.
     pub fn plan(&self) -> &LuPlan {
-        &self.plan
+        match &self.exec {
+            LuExec::Serial(plan) => plan,
+            #[cfg(feature = "parallel")]
+            LuExec::Parallel(par) => par.serial(),
+        }
+    }
+
+    /// Worker threads the numeric phase was compiled for.
+    pub fn n_threads(&self) -> usize {
+        match &self.exec {
+            LuExec::Serial(_) => 1,
+            #[cfg(feature = "parallel")]
+            LuExec::Parallel(par) => par.n_threads(),
+        }
     }
 
     /// Exact factorization flops.
     pub fn flops(&self) -> u64 {
-        self.plan.flops()
+        self.plan().flops()
     }
 
     /// Symbolic (compile-time) report.
     pub fn report(&self) -> &SymbolicReport {
-        self.plan.report()
+        self.plan().report()
     }
 
     /// Emit the matrix-specialized C factorization kernel.
     pub fn emit_c(&self) -> String {
-        self.plan.emit_c()
+        self.plan().emit_c()
     }
 }
 
@@ -414,5 +463,37 @@ mod tests {
         assert_eq!(o.vs_block_min_avg_size, 160.0);
         assert_eq!(o.peel_col_count, 2);
         assert!(o.vs_block && o.vi_prune && o.low_level);
+        assert_eq!(o.n_threads, 1, "serial numeric phase by default");
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn lu_n_threads_knob_selects_parallel_executor() {
+        let a = gen::circuit_unsym(60, 4, 2, 8);
+        let serial = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        assert_eq!(serial.n_threads(), 1);
+        let opts = SympilerOptions {
+            n_threads: 4,
+            ..Default::default()
+        };
+        let par = SympilerLu::compile(&a, &opts).unwrap();
+        assert_eq!(par.n_threads(), 4);
+        // Identical symbolic products and bitwise-identical factors.
+        assert_eq!(par.flops(), serial.flops());
+        let f_s = serial.factor(&a).unwrap();
+        let f_p = par.factor(&a).unwrap();
+        for (x, y) in f_s
+            .l()
+            .values()
+            .iter()
+            .chain(f_s.u().values())
+            .zip(f_p.l().values().iter().chain(f_p.u().values()))
+        {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "thread count must not change bits"
+            );
+        }
     }
 }

@@ -24,7 +24,10 @@
 //!    into flat, pattern-specialized instruction streams executed by
 //!    static Rust loops. This is the benchmarked "Sympiler (numeric)"
 //!    code path (see DESIGN.md §2 for why this substitutes for running
-//!    GCC on the emitted C).
+//!    GCC on the emitted C). With the `parallel` feature, two plans
+//!    additionally execute level-scheduled across threads:
+//!    `plan::tri_parallel` (wavefronts of `DG_L`) and
+//!    `plan::lu_parallel` (the column elimination DAG).
 //! 6. [`compile`] — the user-facing driver: [`compile::SympilerTriSolve`]
 //!    and [`compile::SympilerCholesky`].
 

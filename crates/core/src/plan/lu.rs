@@ -51,28 +51,30 @@ impl std::error::Error for LuPlanError {}
 /// (static diagonal pivoting).
 #[derive(Debug, Clone)]
 pub struct LuPlan {
-    n: usize,
+    pub(crate) n: usize,
     a_nnz: usize,
     /// Compiled input pattern, checked on every `factor` call (the
     /// static-sparsity contract made enforceable, like `CholPlan`).
     a_col_ptr: Vec<usize>,
     a_row_idx: Vec<u32>,
-    /// Factor layouts (patterns fixed at compile time).
-    l_col_ptr: Vec<usize>,
-    l_row_idx: Vec<u32>,
-    u_col_ptr: Vec<usize>,
-    u_row_idx: Vec<u32>,
+    /// Factor layouts (patterns fixed at compile time). Shared with
+    /// `plan::lu_parallel`, which executes the same schedule leveled
+    /// over the column elimination DAG.
+    pub(crate) l_col_ptr: Vec<usize>,
+    pub(crate) l_row_idx: Vec<u32>,
+    pub(crate) u_col_ptr: Vec<usize>,
+    pub(crate) u_row_idx: Vec<u32>,
     /// Update schedule: column `j` executes `upd_cols[upd_ptr[j]..
     /// upd_ptr[j+1]]` in topological order. The high bit of each entry
     /// marks the peeled (unrolled) low-level tier.
-    upd_ptr: Vec<usize>,
-    upd_cols: Vec<u32>,
+    pub(crate) upd_ptr: Vec<usize>,
+    pub(crate) upd_cols: Vec<u32>,
     /// Exact factorization flops.
     flops: u64,
     report: SymbolicReport,
 }
 
-const PEEL_BIT: u32 = 1 << 31;
+pub(crate) const PEEL_BIT: u32 = 1 << 31;
 
 /// A numeric factorization produced by [`LuPlan::factor`]:
 /// `A = L U` with unit-lower-triangular `L` (diagonal-first columns)
@@ -271,9 +273,9 @@ impl LuPlan {
             .map(|&c| ((c & !PEEL_BIT) as usize, c & PEEL_BIT != 0))
     }
 
-    /// Numeric factorization — no DFS, no allocation besides the factor
-    /// value arrays and one dense accumulator, no pivot search.
-    pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
+    /// Check that `a` carries exactly the compiled sparsity pattern
+    /// (shared by the serial and parallel numeric phases).
+    pub(crate) fn check_pattern(&self, a: &CscMatrix) -> Result<(), LuPlanError> {
         if a.n_cols() != self.n || a.nnz() != self.a_nnz {
             return Err(LuPlanError::PatternMismatch);
         }
@@ -285,82 +287,153 @@ impl LuPlan {
         {
             return Err(LuPlanError::PatternMismatch);
         }
+        Ok(())
+    }
+
+    /// Assemble the factor object from filled value arrays laid out by
+    /// the compiled patterns.
+    pub(crate) fn assemble(&self, lx: Vec<f64>, ux: Vec<f64>) -> LuFactor {
+        let l = CscMatrix::from_parts_unchecked(
+            self.n,
+            self.n,
+            self.l_col_ptr.clone(),
+            self.l_row_idx.iter().map(|&r| r as usize).collect(),
+            lx,
+        );
+        let u = CscMatrix::from_parts_unchecked(
+            self.n,
+            self.n,
+            self.u_col_ptr.clone(),
+            self.u_row_idx.iter().map(|&r| r as usize).collect(),
+            ux,
+        );
+        LuFactor { l, u }
+    }
+
+    /// The per-column numeric solve shared by the serial and parallel
+    /// executors: scatter `A(:, j)`, apply the baked update schedule in
+    /// topological order, gather `U(:, j)`/`L(:, j)` through the fixed
+    /// layouts, and clear the accumulator back to zero. Returns `false`
+    /// on a zero pivot; the column's values are still written (division
+    /// by zero is IEEE-defined), so a parallel caller may keep going
+    /// and report the error after the fact.
+    ///
+    /// Keeping this in one place is what makes the parallel plan
+    /// **bitwise deterministic**: every executor performs the exact
+    /// same operation sequence per column, whatever the thread count.
+    ///
+    /// # Safety
+    /// `lx` and `ux` must point to the plan's full factor value arrays
+    /// (`l_nnz()` / `u_nnz()` elements). The caller must guarantee that
+    /// (a) no other thread accesses column `j`'s value ranges during
+    /// the call, and (b) every update column scheduled for `j` has been
+    /// fully written and synchronized before the call. In-order serial
+    /// execution satisfies both trivially; the level-scheduled parallel
+    /// executor satisfies them with barrier-separated levels and
+    /// per-thread column ownership. `x` must be an all-zeros dense
+    /// accumulator of length `n` (restored to zeros before returning).
+    pub(crate) unsafe fn column_numeric(
+        &self,
+        j: usize,
+        a: &CscMatrix,
+        x: &mut [f64],
+        lx: *mut f64,
+        ux: *mut f64,
+    ) -> bool {
+        // Scatter A(:, j) (fixed pattern, numeric-only).
+        for (i, v) in a.col_iter(j) {
+            x[i] = v;
+        }
+        // Apply the baked update schedule in topological order.
+        for &tagged in &self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]] {
+            let k = (tagged & !PEEL_BIT) as usize;
+            let xk = x[k];
+            let range = self.l_col_ptr[k] + 1..self.l_col_ptr[k + 1];
+            let rows = &self.l_row_idx[range.clone()];
+            // SAFETY: column k precedes j in the schedule, so by the
+            // caller's contract its values are final and no thread
+            // writes them concurrently.
+            let vals = std::slice::from_raw_parts(lx.add(range.start), range.len());
+            if tagged & PEEL_BIT != 0 {
+                // Peeled tier: no zero guard (the reach set
+                // guarantees structural work), unrolled by two.
+                let mut t = 0;
+                while t + 1 < rows.len() {
+                    let (r0, r1) = (rows[t] as usize, rows[t + 1] as usize);
+                    let (v0, v1) = (vals[t], vals[t + 1]);
+                    x[r0] -= v0 * xk;
+                    x[r1] -= v1 * xk;
+                    t += 2;
+                }
+                if t < rows.len() {
+                    x[rows[t] as usize] -= vals[t] * xk;
+                }
+            } else if xk != 0.0 {
+                for (&r, &v) in rows.iter().zip(vals) {
+                    x[r as usize] -= v * xk;
+                }
+            }
+        }
+        // Gather U(:, j) through the fixed layout; diagonal last.
+        let u_range = self.u_col_ptr[j]..self.u_col_ptr[j + 1];
+        for p in u_range.clone() {
+            *ux.add(p) = x[self.u_row_idx[p] as usize];
+        }
+        let pivot = *ux.add(u_range.end - 1);
+        // Gather L(:, j): unit diagonal, scaled sub-diagonal.
+        let l_range = self.l_col_ptr[j]..self.l_col_ptr[j + 1];
+        *lx.add(l_range.start) = 1.0;
+        for p in l_range.start + 1..l_range.end {
+            *lx.add(p) = x[self.l_row_idx[p] as usize] / pivot;
+        }
+        // Clear the accumulator (touch only the column's pattern).
+        for p in u_range {
+            x[self.u_row_idx[p] as usize] = 0.0;
+        }
+        for p in l_range.start + 1..l_range.end {
+            x[self.l_row_idx[p] as usize] = 0.0;
+        }
+        pivot != 0.0
+    }
+
+    /// Numeric factorization — no DFS, no allocation besides the factor
+    /// value arrays and one dense accumulator, no pivot search.
+    pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
+        self.check_pattern(a)?;
         let n = self.n;
         let mut lx = vec![0.0f64; self.l_row_idx.len()];
         let mut ux = vec![0.0f64; self.u_row_idx.len()];
         let mut x = vec![0.0f64; n];
 
         for j in 0..n {
-            // Scatter A(:, j) (fixed pattern, numeric-only).
-            for (i, v) in a.col_iter(j) {
-                x[i] = v;
-            }
-            // Apply the baked update schedule in topological order.
-            for &tagged in &self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]] {
-                let k = (tagged & !PEEL_BIT) as usize;
-                let xk = x[k];
-                let range = self.l_col_ptr[k] + 1..self.l_col_ptr[k + 1];
-                let rows = &self.l_row_idx[range.clone()];
-                let vals = &lx[range];
-                if tagged & PEEL_BIT != 0 {
-                    // Peeled tier: no zero guard (the reach set
-                    // guarantees structural work), unrolled by two.
-                    let mut t = 0;
-                    while t + 1 < rows.len() {
-                        let (r0, r1) = (rows[t] as usize, rows[t + 1] as usize);
-                        let (v0, v1) = (vals[t], vals[t + 1]);
-                        x[r0] -= v0 * xk;
-                        x[r1] -= v1 * xk;
-                        t += 2;
-                    }
-                    if t < rows.len() {
-                        x[rows[t] as usize] -= vals[t] * xk;
-                    }
-                } else if xk != 0.0 {
-                    for (&r, &v) in rows.iter().zip(vals) {
-                        x[r as usize] -= v * xk;
-                    }
-                }
-            }
-            // Gather U(:, j) through the fixed layout; diagonal last.
-            let u_range = self.u_col_ptr[j]..self.u_col_ptr[j + 1];
-            for p in u_range.clone() {
-                ux[p] = x[self.u_row_idx[p] as usize];
-            }
-            let pivot = ux[u_range.end - 1];
-            if pivot == 0.0 {
+            // SAFETY: single-threaded in-order execution — every
+            // scheduled update column is already final, and column j's
+            // value ranges are written exactly once, here.
+            let ok = unsafe { self.column_numeric(j, a, &mut x, lx.as_mut_ptr(), ux.as_mut_ptr()) };
+            if !ok {
                 return Err(LuPlanError::ZeroPivot { column: j });
-            }
-            // Gather L(:, j): unit diagonal, scaled sub-diagonal.
-            let l_range = self.l_col_ptr[j]..self.l_col_ptr[j + 1];
-            lx[l_range.start] = 1.0;
-            for p in l_range.start + 1..l_range.end {
-                lx[p] = x[self.l_row_idx[p] as usize] / pivot;
-            }
-            // Clear the accumulator (touch only the column's pattern).
-            for p in u_range {
-                x[self.u_row_idx[p] as usize] = 0.0;
-            }
-            for p in l_range.start + 1..l_range.end {
-                x[self.l_row_idx[p] as usize] = 0.0;
             }
         }
 
-        let l = CscMatrix::from_parts_unchecked(
-            n,
-            n,
-            self.l_col_ptr.clone(),
-            self.l_row_idx.iter().map(|&r| r as usize).collect(),
-            lx,
-        );
-        let u = CscMatrix::from_parts_unchecked(
-            n,
-            n,
-            self.u_col_ptr.clone(),
-            self.u_row_idx.iter().map(|&r| r as usize).collect(),
-            ux,
-        );
-        Ok(LuFactor { l, u })
+        Ok(self.assemble(lx, ux))
+    }
+
+    /// Per-column cost model for balancing the parallel numeric phase:
+    /// the column's exact flops plus its pattern size (memory traffic
+    /// of the scatter/gather), so structurally trivial columns still
+    /// carry nonzero weight.
+    pub(crate) fn per_column_costs(&self) -> Vec<u64> {
+        (0..self.n)
+            .map(|j| {
+                let l_nnz = (self.l_col_ptr[j + 1] - self.l_col_ptr[j]) as u64;
+                let u_nnz = (self.u_col_ptr[j + 1] - self.u_col_ptr[j]) as u64;
+                let mut c = l_nnz + u_nnz + (l_nnz - 1);
+                for k in self.schedule(j) {
+                    c += 2 * (self.l_col_ptr[k + 1] - self.l_col_ptr[k] - 1) as u64;
+                }
+                c
+            })
+            .collect()
     }
 
     /// Emit the matrix-specialized C factorization kernel (the LU

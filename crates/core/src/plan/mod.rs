@@ -17,6 +17,8 @@ pub mod lu;
 pub mod tri;
 
 #[cfg(feature = "parallel")]
+pub mod lu_parallel;
+#[cfg(feature = "parallel")]
 pub mod tri_parallel;
 
 /// Kernel tier selected at compile (inspection) time for a dense

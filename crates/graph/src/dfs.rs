@@ -61,7 +61,7 @@ pub fn reach_into(l: &CscMatrix, beta: &[usize], ws: &mut ReachWorkspace, out: &
 /// The reach computation over an arbitrary adjacency function: the
 /// traversal behind [`reach_into`], shared with the symbolic-LU
 /// inspectors, where the dependence graph is the *growing* `L` rather
-/// than a finished [`CscMatrix`] ([`crate::lu_symbolic`] and the
+/// than a finished [`CscMatrix`] ([`mod@crate::lu_symbolic`] and the
 /// runtime GPLU baseline both drive this with closures over their
 /// partial factors).
 ///

@@ -6,14 +6,14 @@
 //! * [`dfs`] — Gilbert–Peierls reach-set computation on the dependence
 //!   graph `DG_L` (the inspection strategy for triangular-solve
 //!   VI-Prune);
-//! * [`etree`] — Liu's elimination-tree algorithm (the inspection graph
+//! * [`mod@etree`] — Liu's elimination-tree algorithm (the inspection graph
 //!   for Cholesky);
-//! * [`postorder`] — iterative tree postorder;
-//! * [`ereach`] — row sparsity patterns of `L` via etree up-traversal
+//! * [`mod@postorder`] — iterative tree postorder;
+//! * [`mod@ereach`] — row sparsity patterns of `L` via etree up-traversal
 //!   (Cholesky prune-sets);
 //! * [`symbolic`] — the full fill pattern of `L` from Eq. (1) of the
 //!   paper, enabling ahead-of-time allocation;
-//! * [`lu_symbolic`] — column-by-column symbolic LU (Gilbert–Peierls):
+//! * [`mod@lu_symbolic`] — column-by-column symbolic LU (Gilbert–Peierls):
 //!   per-column reach sets over the growing `DG_L`, predicting the
 //!   patterns of both LU factors for a statically pivoted ordering;
 //! * [`colcount`] — column counts of `L`;
@@ -22,8 +22,10 @@
 //!   solve block-sets);
 //! * [`rcm`] — reverse Cuthill–McKee ordering (fill reduction; shared by
 //!   every engine so comparisons stay fair);
-//! * [`levels`] — level sets of `DG_L` (wavefronts) for the parallel
-//!   triangular-solve extension.
+//! * [`levels`] — DAG scheduling: longest-path level sets (wavefronts)
+//!   of any dependence DAG — `DG_L` for the parallel triangular solve,
+//!   the column elimination DAG for the parallel LU numeric phase —
+//!   plus cost-balanced chunking of levels across workers.
 
 pub mod colcount;
 pub mod dfs;
@@ -40,6 +42,10 @@ pub use colcount::col_counts;
 pub use dfs::{reach, reach_adjacency_into, reach_into};
 pub use ereach::{ereach, ereach_into};
 pub use etree::etree;
+pub use levels::{
+    balanced_partition, dag_levels_from_preds, dag_levels_from_succs, level_sets, lu_column_levels,
+    LevelSets,
+};
 pub use lu_symbolic::{lu_symbolic, LuSymbolic};
 pub use postorder::postorder;
 pub use rcm::rcm_ordering;

@@ -88,6 +88,20 @@ impl LuSymbolic {
         self.flops
     }
 
+    /// Exact flop count of each column's solve: its divisions plus a
+    /// multiply-subtract pair per off-diagonal entry of every update
+    /// column in its schedule. Sums to [`Self::factor_flops`]. This is
+    /// the symbolic-level resolution of the cost model behind
+    /// cost-balanced DAG scheduling (the parallel LU plan balances on
+    /// the equivalent counts read off its baked schedules, plus a
+    /// pattern-size term for scatter/gather traffic).
+    pub fn per_column_flops(&self) -> Vec<u64> {
+        let off = |k: usize| (self.l_col_ptr[k + 1] - self.l_col_ptr[k] - 1) as u64;
+        (0..self.n)
+            .map(|j| off(j) + self.reach(j).iter().map(|&k| 2 * off(k)).sum::<u64>())
+            .collect()
+    }
+
     /// Fill ratio `(nnz(L) + nnz(U) - n) / nnz(A)`.
     pub fn fill_ratio(&self, a_nnz: usize) -> f64 {
         if a_nnz == 0 {
@@ -383,6 +397,17 @@ mod tests {
             }
         }
         assert_eq!(sym.factor_flops(), expect);
+        // Per-column resolution sums to the total and matches the
+        // per-column definition.
+        let per_col = sym.per_column_flops();
+        assert_eq!(per_col.iter().sum::<u64>(), sym.factor_flops());
+        for j in 0..40 {
+            let mut c = (sym.l_col_pattern(j).len() - 1) as u64;
+            for &k in sym.reach(j) {
+                c += 2 * (sym.l_col_pattern(k).len() - 1) as u64;
+            }
+            assert_eq!(per_col[j], c, "col {j}");
+        }
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //! simulation, convection-dominated CFD) by reusing the reach-set
 //! machinery: each left-looking LU column solve *is* a sparse
 //! triangular solve, so its VI-Prune set is a reach set on the growing
-//! `DG_L`.
+//! `DG_L`. LU's numeric phase can additionally run **in parallel** over
+//! the column elimination DAG ([`SympilerOptions::n_threads`]), with
+//! results bitwise identical to the serial plan at any thread count.
+//!
+//! [`SympilerOptions::n_threads`]: prelude::SympilerOptions
 //!
 //! [`SympilerTriSolve`]: prelude::SympilerTriSolve
 //! [`SympilerCholesky`]: prelude::SympilerCholesky
@@ -62,6 +66,8 @@ pub mod prelude {
     };
     pub use sympiler_core::plan::chol::CholFactor;
     pub use sympiler_core::plan::lu::{LuFactor, LuPlan};
+    #[cfg(feature = "parallel")]
+    pub use sympiler_core::plan::lu_parallel::ParallelLuPlan;
     pub use sympiler_core::plan::tri::TriSolvePlan;
     pub use sympiler_solvers::lu::{GpLu, GpLuFactors, Pivoting};
     pub use sympiler_sparse::{CscMatrix, SparseVec, TripletMatrix};
