@@ -1,29 +1,39 @@
 //! The sparse-LU experiment: baseline Gilbert–Peierls (symbolic DFS
 //! coupled into every numeric factorization) vs. the Sympiler LU plan
 //! (symbolic analysis once at compile time, numeric-only factor),
-//! serial and level-scheduled parallel.
+//! serial and level-scheduled parallel — now swept across the
+//! fill-reducing **ordering knob** (natural / RCM / COLAMD).
 //!
-//! For every unsymmetric suite problem this prints the median numeric
-//! factorization time of each engine, the decoupling speedup, the
-//! parallel numeric times at 2 and 4 workers with the 4-worker scaling
-//! ratio and the elimination DAG's available parallelism, and verifies
-//! that (a) the plan reproduces the baseline factors bit-for-pattern
-//! and to 1e-10 in values, and (b) the parallel plan reproduces the
-//! serial plan **bitwise** at every thread count.
+//! For every unsymmetric suite problem and every ordering this prints
+//! the median numeric factorization time of each engine, the
+//! decoupling speedup, the fill ratio `nnz(L+U)/nnz(A)`, the parallel
+//! numeric times at 2 and 4 workers with the 4-worker scaling ratio
+//! and the elimination DAG's available parallelism, and verifies that
+//! (a) the plan reproduces the identically ordered baseline factors in
+//! pattern and to 1e-10 in values, (b) the parallel plan reproduces
+//! the serial plan **bitwise** at every thread count, and (c) the
+//! end-to-end solve answers the *original* system regardless of the
+//! ordering baked inside.
 //!
 //! Writes `results/lu_compare.csv` plus the machine-readable
-//! `results/BENCH_lu_compare.json` consumed by the CI perf gate.
+//! `results/BENCH_lu_compare.json` consumed by the CI perf gate. The
+//! report carries, per problem: the natural-order decoupling speedup
+//! (`<name>`, the historical gate entry), each ordering's decoupling
+//! speedup (`<name>:<ordering>`), and each ordering's **fill gain**
+//! over natural order (`<name>:<ordering>_fill_gain`,
+//! `nnz(L+U)_natural / nnz(L+U)_ordered` — deterministic, so the gate
+//! catches ordering-quality regressions, not just timing ones).
 //!
 //! Run with `--test-scale` (or `--test`, for `all_experiments`
 //! compatibility) for a fast smoke run (CI uses this); the default
 //! runs the bench-scale suite.
 
-use sympiler_bench::engines::{time_lu_engine, LuEngine, RUNS};
-use sympiler_bench::harness::{geomean, gflops, median_time, Table};
+use sympiler_bench::engines::time_lu_factorizer;
+use sympiler_bench::harness::{geomean, gflops, Table};
 use sympiler_bench::perf::PerfReport;
 use sympiler_bench::workloads::prepare_lu_suite;
 use sympiler_core::plan::lu_parallel::ParallelLuPlan;
-use sympiler_core::{SympilerLu, SympilerOptions};
+use sympiler_core::{Ordering, SympilerLu, SympilerOptions};
 use sympiler_solvers::lu::{lu_reconstruction_error, GpLu, Pivoting};
 use sympiler_sparse::suite::SuiteScale;
 
@@ -36,12 +46,14 @@ fn main() {
     };
     let problems = prepare_lu_suite(scale);
     let mut table = Table::new(
-        "Sparse LU: coupled baseline vs. Sympiler plan, serial + parallel (median numeric time)",
+        "Sparse LU: coupled baseline vs. Sympiler plan across orderings (median numeric time)",
         &[
             "id",
             "problem",
+            "ordering",
             "n",
             "nnz(L+U)",
+            "fill",
             "GPLU coupled",
             "GPLU partial",
             "plan serial",
@@ -55,119 +67,160 @@ fn main() {
         ],
     );
     let mut speedups = Vec::new();
-    let mut scalings = Vec::new();
+    let mut scalings_by_ordering = vec![Vec::new(); Ordering::ALL.len()];
     let mut report = PerfReport::new("lu_compare");
     for p in &problems {
-        // Verification first: the plan must reproduce the statically
-        // pivoted baseline factors exactly in pattern and to 1e-10 in
-        // values (the acceptance contract of the subsystem).
-        let base = GpLu::factor(&p.a, Pivoting::None).expect("baseline factors");
-        assert!(
-            base.is_identity_perm(),
-            "{}: static pivoting must not permute",
-            p.name
-        );
-        let t = std::time::Instant::now();
-        let lu = SympilerLu::compile(&p.a, &SympilerOptions::default()).unwrap();
-        let compile_time = t.elapsed();
-        let f = lu.factor(&p.a).expect("plan factors");
-        assert!(f.l().same_pattern(&base.l), "{}: L pattern", p.name);
-        assert!(f.u().same_pattern(&base.u), "{}: U pattern", p.name);
-        for (x, y) in f
-            .l()
-            .values()
-            .iter()
-            .chain(f.u().values())
-            .zip(base.l.values().iter().chain(base.u.values()))
-        {
-            assert!((x - y).abs() < 1e-10, "{}: factor value drift", p.name);
-        }
-        assert!(
-            lu_reconstruction_error(&p.a, &base) < 1e-10,
-            "{}: baseline reconstruction",
-            p.name
-        );
-        // End-to-end solve sanity.
-        let x = f.solve(&p.b);
-        let resid = sympiler_sparse::ops::rel_residual(&p.a, &x, &p.b);
-        assert!(resid < 1e-10, "{}: solve residual {resid}", p.name);
-        // The parallel numeric phase must reproduce the serial plan
-        // bitwise at every thread count (and hence match the baseline
-        // to 1e-10 transitively). Leveling reuses the compiled plan —
-        // no second symbolic pass.
-        let par4 = ParallelLuPlan::from_plan(lu.plan().clone(), 4);
-        for threads in [2usize, 4] {
-            let fp = ParallelLuPlan::from_plan(par4.serial().clone(), threads)
-                .factor(&p.a)
-                .expect("parallel factors");
-            for (x, y) in fp
-                .l()
-                .values()
-                .iter()
-                .chain(fp.u().values())
-                .zip(f.l().values().iter().chain(f.u().values()))
-            {
-                assert_eq!(
-                    x.to_bits(),
-                    y.to_bits(),
-                    "{}: parallel ({threads} threads) must match serial bitwise",
-                    p.name
-                );
+        let mut natural_lu_nnz = 0usize;
+        for (oi, &ordering) in Ordering::ALL.iter().enumerate() {
+            // Verification first: the plan must reproduce the
+            // identically ordered, statically pivoted baseline factors
+            // exactly in pattern and to 1e-10 in values (the
+            // acceptance contract of the subsystem).
+            let base =
+                GpLu::factor_ordered(&p.a, Pivoting::None, ordering).expect("baseline factors");
+            assert!(
+                base.factors.is_identity_perm(),
+                "{}: static pivoting must not row-permute",
+                p.name
+            );
+            let t = std::time::Instant::now();
+            let opts = SympilerOptions {
+                ordering,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&p.a, &opts).unwrap();
+            let compile_time = t.elapsed();
+            let f = lu.factor(&p.a).expect("plan factors");
+            assert!(f.l().same_pattern(&base.factors.l), "{}: L pattern", p.name);
+            assert!(f.u().same_pattern(&base.factors.u), "{}: U pattern", p.name);
+            for (x, y) in f.l().values().iter().chain(f.u().values()).zip(
+                base.factors
+                    .l
+                    .values()
+                    .iter()
+                    .chain(base.factors.u.values()),
+            ) {
+                assert!((x - y).abs() < 1e-10, "{}: factor value drift", p.name);
             }
-        }
+            // Reconstruction against the matrix the factors actually
+            // describe (Qᵀ A Q under an ordering, A itself otherwise).
+            let ordered_a = match lu.col_perm() {
+                Some(perm) => sympiler_sparse::ops::permute_rows_cols(&p.a, perm).unwrap(),
+                None => p.a.clone(),
+            };
+            assert!(
+                lu_reconstruction_error(&ordered_a, &base.factors) < 1e-10,
+                "{}: baseline reconstruction under {}",
+                p.name,
+                ordering.label()
+            );
+            // End-to-end solve sanity — in original coordinates.
+            let x = f.solve(&p.b);
+            let resid = sympiler_sparse::ops::rel_residual(&p.a, &x, &p.b);
+            assert!(resid < 1e-10, "{}: solve residual {resid}", p.name);
+            // The parallel numeric phase must reproduce the serial
+            // plan bitwise at every thread count (and hence match the
+            // baseline to 1e-10 transitively). Leveling reuses the
+            // compiled plan — no second symbolic pass.
+            let par4 = ParallelLuPlan::from_plan(lu.plan().clone(), 4);
+            for threads in [2usize, 4] {
+                let fp = ParallelLuPlan::from_plan(par4.serial().clone(), threads)
+                    .factor(&p.a)
+                    .expect("parallel factors");
+                for (x, y) in fp
+                    .l()
+                    .values()
+                    .iter()
+                    .chain(fp.u().values())
+                    .zip(f.l().values().iter().chain(f.u().values()))
+                {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{}: parallel ({threads} threads) must match serial bitwise",
+                        p.name
+                    );
+                }
+            }
 
-        // Timings.
-        let t_coupled = time_lu_engine(p, LuEngine::GpluCoupled);
-        let t_partial = time_lu_engine(p, LuEngine::GpluPartial);
-        let t_plan = {
-            // Reuse one compiled plan across the timed runs, matching
-            // how time_lu_engine holds analysis outside the region.
-            median_time(RUNS, || {
-                let f = lu.factor(&p.a).expect("factor");
-                std::hint::black_box(&f);
-            })
-        };
-        let t_par2 = time_lu_engine(p, LuEngine::SympilerParallel { threads: 2 });
-        let t_par4 = time_lu_engine(p, LuEngine::SympilerParallel { threads: 4 });
-        // Identical to engines::lu_flops(p) but free: the compiled plan
-        // already carries the exact count.
-        let flops = lu.flops();
-        let speedup = t_coupled.as_secs_f64() / t_plan.as_secs_f64().max(1e-12);
-        let scaling = t_plan.as_secs_f64() / t_par4.as_secs_f64().max(1e-12);
-        speedups.push(speedup);
-        scalings.push(scaling);
-        report.push(p.name, speedup);
-        table.row(vec![
-            p.id.to_string(),
-            p.name.to_string(),
-            p.n().to_string(),
-            (f.l().nnz() + f.u().nnz()).to_string(),
-            format!("{:.3?}", t_coupled),
-            format!("{:.3?}", t_partial),
-            format!("{:.3?}", t_plan),
-            format!("{speedup:.2}x"),
-            format!("{:.3?}", t_par2),
-            format!("{:.3?}", t_par4),
-            format!("{scaling:.2}x"),
-            format!("{:.1}", par4.avg_parallelism()),
-            format!("{:.3}", gflops(flops, t_plan)),
-            format!("{:.3?}", compile_time),
-        ]);
+            // Timings, all through the shared protocol
+            // (`time_lu_factorizer`). Analysis artifacts computed once
+            // above — `ordered_a` for the coupled baselines, the
+            // compiled plan for the Sympiler engines — are reused
+            // across every timed region, without re-deriving the
+            // ordering per engine.
+            let t_coupled =
+                time_lu_factorizer(|| GpLu::factor(&ordered_a, Pivoting::None).expect("factor"));
+            let t_partial =
+                time_lu_factorizer(|| GpLu::factor(&ordered_a, Pivoting::Partial).expect("factor"));
+            let t_plan = time_lu_factorizer(|| lu.factor(&p.a).expect("factor"));
+            let par2 = ParallelLuPlan::from_plan(lu.plan().clone(), 2);
+            let t_par2 = time_lu_factorizer(|| par2.factor(&p.a).expect("factor"));
+            let t_par4 = time_lu_factorizer(|| par4.factor(&p.a).expect("factor"));
+            // Identical to engines::lu_flops(p) but free: the compiled
+            // plan already carries the exact count.
+            let flops = lu.flops();
+            let lu_nnz = f.l().nnz() + f.u().nnz();
+            let speedup = t_coupled.as_secs_f64() / t_plan.as_secs_f64().max(1e-12);
+            let scaling = t_plan.as_secs_f64() / t_par4.as_secs_f64().max(1e-12);
+            scalings_by_ordering[oi].push(scaling);
+            match ordering {
+                Ordering::Natural => {
+                    natural_lu_nnz = lu_nnz;
+                    speedups.push(speedup);
+                    // The historical gate entry keeps its bare name.
+                    report.push(p.name, speedup);
+                }
+                _ => {
+                    assert!(
+                        natural_lu_nnz > 0,
+                        "Ordering::ALL must list Natural first so fill gains have a denominator"
+                    );
+                    report.push(&format!("{}:{}", p.name, ordering.label()), speedup);
+                    report.push(
+                        &format!("{}:{}_fill_gain", p.name, ordering.label()),
+                        natural_lu_nnz as f64 / lu_nnz as f64,
+                    );
+                }
+            }
+            table.row(vec![
+                p.id.to_string(),
+                p.name.to_string(),
+                ordering.label().to_string(),
+                p.n().to_string(),
+                lu_nnz.to_string(),
+                format!("{:.2}x", lu.fill_ratio()),
+                format!("{:.3?}", t_coupled),
+                format!("{:.3?}", t_partial),
+                format!("{:.3?}", t_plan),
+                format!("{speedup:.2}x"),
+                format!("{:.3?}", t_par2),
+                format!("{:.3?}", t_par4),
+                format!("{scaling:.2}x"),
+                format!("{:.1}", par4.avg_parallelism()),
+                format!("{:.3}", gflops(flops, t_plan)),
+                format!("{:.3?}", compile_time),
+            ]);
+        }
     }
     table.emit(Some("lu_compare.csv"));
     report.write_results().expect("write perf report");
     println!(
-        "geomean decoupling speedup (coupled GPLU / serial plan): {:.2}x over {} problems",
+        "geomean decoupling speedup, natural order (coupled GPLU / serial plan): \
+         {:.2}x over {} problems",
         geomean(&speedups),
         speedups.len()
     );
+    for (oi, &ordering) in Ordering::ALL.iter().enumerate() {
+        println!(
+            "geomean 4-thread scaling under {} (serial plan / 4T plan): {:.2}x",
+            ordering.label(),
+            geomean(&scalings_by_ordering[oi])
+        );
+    }
     println!(
-        "geomean 4-thread scaling (serial plan / 4T plan): {:.2}x \
-         (spawn+barrier overhead dominates at test scale and on few-core hosts)",
-        geomean(&scalings)
-    );
-    println!(
-        "all factor patterns + values verified against the baseline (1e-10); \
-         parallel factors bitwise-identical to serial at 2 and 4 threads"
+        "all factor patterns + values verified against the identically ordered \
+         baseline (1e-10); parallel factors bitwise-identical to serial at 2 and \
+         4 threads; solves answer the original systems"
     );
 }

@@ -6,11 +6,15 @@
 //!
 //! Baselines and results use the same `BENCH_<experiment>.json` format
 //! ([`sympiler_bench::perf`]); every baseline file must have a
-//! matching results file. Gated values are ratios of two serial
-//! measurements from the same process, so they transfer across hosts;
-//! raw times and parallel-scaling numbers are deliberately *not*
-//! gated (they depend on core count and machine load) — they ride
-//! along in the uploaded artifact instead.
+//! matching results file. Gated values are ratios that transfer
+//! across hosts: decoupling speedups (two serial measurements from
+//! the same process) and, for `lu_compare`, the per-ordering **fill
+//! gains** `nnz(L+U)_natural / nnz(L+U)_ordered` — deterministic
+//! structural ratios, so a COLAMD quality regression beyond the
+//! tolerance fails CI like any timing regression. Raw times and
+//! parallel-scaling numbers are deliberately *not* gated (they depend
+//! on core count and machine load) — they ride along in the uploaded
+//! artifact instead.
 //!
 //! Usage:
 //! `perf_gate [--baseline-dir crates/bench/baselines] [--results-dir results] [--tolerance 0.25]`

@@ -1,12 +1,18 @@
 //! Structural diagnostics for the benchmark suite: fill-in, supernode
 //! widths, average column counts — the quantities the paper's
-//! thresholds and regime arguments are built on.
+//! thresholds and regime arguments are built on. For the unsymmetric
+//! LU suite, a second table reports per-ordering structure: fill ratio
+//! `nnz(L+U)/nnz(A)` and the column elimination DAG's average
+//! parallelism under each `Ordering` — the two numbers a fill-reducing
+//! ordering exists to move.
 //!
 //! Usage: `cargo run -p sympiler-bench --release --bin suite_stats [--test]`
 
 use sympiler_bench::harness::Table;
+use sympiler_graph::levels::dag_levels_from_preds;
 use sympiler_graph::rcm::rcm_permute;
-use sympiler_sparse::suite::{suite, SuiteScale};
+use sympiler_graph::{compute_ordering, lu_symbolic, Ordering};
+use sympiler_sparse::suite::{suite, unsym_suite, SuiteScale};
 
 fn main() {
     let scale = if std::env::args().any(|a| a == "--test") {
@@ -59,4 +65,46 @@ fn main() {
         ]);
     }
     t.emit(Some("suite_stats.csv"));
+
+    // --- Unsymmetric LU suite: per-ordering structure.
+    let mut u = Table::new(
+        "Unsymmetric suite: fill and elimination-DAG parallelism per ordering",
+        &[
+            "ID",
+            "matrix",
+            "n",
+            "nnz(A)",
+            "ordering",
+            "nnz(L+U)",
+            "fill",
+            "DAG levels",
+            "DAG par",
+            "factor MFLOP",
+        ],
+    );
+    for p in unsym_suite(scale) {
+        for ordering in Ordering::ALL {
+            let a = match compute_ordering(&p.matrix, ordering) {
+                Some(perm) => sympiler_sparse::ops::permute_rows_cols(&p.matrix, &perm)
+                    .expect("valid ordering"),
+                None => p.matrix.clone(),
+            };
+            let sym = lu_symbolic(&a);
+            let levels = dag_levels_from_preds(sym.n, |j| sym.reach(j).iter().copied());
+            let lu_nnz = sym.l_nnz() + sym.u_nnz();
+            u.row(vec![
+                p.id.to_string(),
+                p.name.to_string(),
+                p.n().to_string(),
+                p.matrix.nnz().to_string(),
+                ordering.label().to_string(),
+                lu_nnz.to_string(),
+                format!("{:.2}x", (lu_nnz - p.n()) as f64 / p.matrix.nnz() as f64),
+                levels.n_levels().to_string(),
+                format!("{:.2}", levels.avg_parallelism()),
+                format!("{:.1}", sym.factor_flops() as f64 / 1e6),
+            ]);
+        }
+    }
+    u.emit(Some("suite_stats_unsym.csv"));
 }

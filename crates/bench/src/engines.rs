@@ -6,7 +6,7 @@ use crate::harness::median_time;
 use crate::workloads::{BenchProblem, LuBenchProblem};
 use std::time::Duration;
 use sympiler_core::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
-use sympiler_core::{SympilerCholesky, SympilerLu, SympilerOptions};
+use sympiler_core::{Ordering, SympilerCholesky, SympilerLu, SympilerOptions};
 use sympiler_solvers::cholesky::simplicial::SimplicialCholesky;
 use sympiler_solvers::cholesky::supernodal::SupernodalCholesky;
 use sympiler_solvers::lu::{GpLu, Pivoting};
@@ -208,36 +208,68 @@ impl LuEngine {
     }
 }
 
-/// Median factorization time of one LU engine on one problem. Like the
-/// Cholesky engines, any reusable analysis runs **outside** the timed
-/// region — which for the coupled baselines is nothing at all.
+/// Median factorization time of one LU engine on one problem in
+/// natural order. See [`time_lu_engine_ordered`].
 pub fn time_lu_engine(p: &LuBenchProblem, engine: LuEngine) -> Duration {
+    time_lu_engine_ordered(p, engine, Ordering::Natural)
+}
+
+/// The one timing protocol every LU measurement uses: median of
+/// [`RUNS`] invocations of `factor`, result black-boxed. Call sites
+/// that already hold a prepared input (an ordered matrix, a compiled
+/// plan) time through this directly, so experiment binaries and the
+/// engine wrappers cannot drift apart on warmups or black-box
+/// placement.
+pub fn time_lu_factorizer<T>(factor: impl Fn() -> T) -> Duration {
+    median_time(RUNS, || {
+        std::hint::black_box(&factor());
+    })
+}
+
+/// Median factorization time of one LU engine on one problem under a
+/// fill-reducing ordering. Like the Cholesky engines, any reusable
+/// analysis runs **outside** the timed region: for the Sympiler
+/// engines that is the whole compile (ordering included, baked into
+/// the plan); for the coupled GPLU baselines the ordering is applied
+/// to the matrix up front — real runtime libraries, too, order once in
+/// a separate analyze phase — so the timed region still measures
+/// exactly the coupled symbolic+numeric factorization, on the same
+/// ordered pattern the plan factors. Apples to apples.
+pub fn time_lu_engine_ordered(
+    p: &LuBenchProblem,
+    engine: LuEngine,
+    ordering: Ordering,
+) -> Duration {
+    // The GPLU baselines factor the pre-permuted matrix directly.
+    let ordered_input = || match sympiler_graph::compute_ordering(&p.a, ordering) {
+        Some(perm) => sympiler_sparse::ops::permute_rows_cols(&p.a, &perm).expect("valid ordering"),
+        None => p.a.clone(),
+    };
     match engine {
-        LuEngine::GpluCoupled => median_time(RUNS, || {
-            let f = GpLu::factor(&p.a, Pivoting::None).expect("factor");
-            std::hint::black_box(&f);
-        }),
-        LuEngine::GpluPartial => median_time(RUNS, || {
-            let f = GpLu::factor(&p.a, Pivoting::Partial).expect("factor");
-            std::hint::black_box(&f);
-        }),
+        LuEngine::GpluCoupled => {
+            let a = ordered_input();
+            time_lu_factorizer(|| GpLu::factor(&a, Pivoting::None).expect("factor"))
+        }
+        LuEngine::GpluPartial => {
+            let a = ordered_input();
+            time_lu_factorizer(|| GpLu::factor(&a, Pivoting::Partial).expect("factor"))
+        }
         LuEngine::SympilerPlan => {
-            let lu = SympilerLu::compile(&p.a, &SympilerOptions::default()).expect("compile");
-            median_time(RUNS, || {
-                let f = lu.factor(&p.a).expect("factor");
-                std::hint::black_box(&f);
-            })
+            let opts = SympilerOptions {
+                ordering,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&p.a, &opts).expect("compile");
+            time_lu_factorizer(|| lu.factor(&p.a).expect("factor"))
         }
         LuEngine::SympilerParallel { threads } => {
             let opts = SympilerOptions {
                 n_threads: threads,
+                ordering,
                 ..Default::default()
             };
             let lu = SympilerLu::compile(&p.a, &opts).expect("compile");
-            median_time(RUNS, || {
-                let f = lu.factor(&p.a).expect("factor");
-                std::hint::black_box(&f);
-            })
+            time_lu_factorizer(|| lu.factor(&p.a).expect("factor"))
         }
     }
 }
@@ -351,6 +383,37 @@ mod tests {
                 .unwrap();
             for (x, y) in par.u().values().iter().zip(f.u().values()) {
                 assert_eq!(x.to_bits(), y.to_bits(), "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_lu_engines_agree_and_time() {
+        let problems = crate::workloads::prepare_lu_subset(SuiteScale::Test, &[3]);
+        let p = &problems[0];
+        for ordering in [Ordering::Rcm, Ordering::Colamd] {
+            // Plan vs. identically ordered baseline.
+            let opts = SympilerOptions {
+                ordering,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&p.a, &opts).unwrap();
+            let f = lu.factor(&p.a).unwrap();
+            let base = GpLu::factor_ordered(&p.a, Pivoting::None, ordering).unwrap();
+            assert!(f.l().same_pattern(&base.factors.l), "{ordering:?}");
+            for (x, y) in f.u().values().iter().zip(base.factors.u.values()) {
+                assert!((x - y).abs() < 1e-10, "{ordering:?}");
+            }
+            for e in [
+                LuEngine::GpluCoupled,
+                LuEngine::SympilerPlan,
+                LuEngine::SympilerParallel { threads: 2 },
+            ] {
+                assert!(
+                    time_lu_engine_ordered(p, e, ordering).as_nanos() > 0,
+                    "{} under {ordering:?}",
+                    e.label()
+                );
             }
         }
     }

@@ -11,6 +11,8 @@ use crate::report::{timed, SymbolicReport};
 use sympiler_graph::supernode::supernodes_trisolve;
 use sympiler_sparse::{CscMatrix, SparseVec};
 
+pub use sympiler_graph::ordering::Ordering;
+
 /// Tunable thresholds and switches (paper §4.2).
 #[derive(Debug, Clone)]
 pub struct SympilerOptions {
@@ -37,6 +39,16 @@ pub struct SympilerOptions {
     /// elimination DAG and bake cost-balanced per-thread chunks.
     /// Ignored when the `parallel` feature is disabled.
     pub n_threads: usize,
+    /// Fill-reducing ordering for the LU pipeline, computed once at
+    /// inspection time and baked into the plan (applied symmetrically,
+    /// `Qᵀ A Q`, so static diagonal pivoting keeps its diagonal).
+    /// Defaults to [`Ordering::Natural`] — reorder nothing — because
+    /// the compiled pattern contract is per-matrix and callers may
+    /// already order upstream; [`Ordering::Colamd`] is the recommended
+    /// setting for unordered unsymmetric systems, cutting both fill
+    /// (numeric flops) and elimination-DAG depth (what the parallel
+    /// executor scales on).
+    pub ordering: Ordering,
 }
 
 impl Default for SympilerOptions {
@@ -49,6 +61,7 @@ impl Default for SympilerOptions {
             vs_block_min_avg_size: 160.0,
             peel_col_count: 2,
             n_threads: 1,
+            ordering: Ordering::Natural,
         }
     }
 }
@@ -268,13 +281,16 @@ impl SympilerLu {
     /// Compile for the square matrix `a` (full storage). VS-Block does
     /// not apply to the scalar left-looking LU schedule; `low_level`
     /// and `peel_col_count` select the peeled update tier exactly like
-    /// the triangular-solve pipeline. With `n_threads > 1` (and the
-    /// `parallel` feature on), the numeric phase is additionally
-    /// leveled over the column elimination DAG and executed by that
-    /// many workers — results stay bitwise identical to the serial
-    /// plan.
+    /// the triangular-solve pipeline. `ordering` selects the
+    /// fill-reducing ordering computed at inspection time and baked
+    /// into the plan ([`LuPlan::build_ordered`]); `factor` still takes
+    /// the original matrix, and [`LuFactor::solve`] speaks original
+    /// coordinates. With `n_threads > 1` (and the `parallel` feature
+    /// on), the numeric phase is additionally leveled over the column
+    /// elimination DAG and executed by that many workers — results
+    /// stay bitwise identical to the serial plan.
     pub fn compile(a: &CscMatrix, opts: &SympilerOptions) -> Result<Self, LuPlanError> {
-        let plan = LuPlan::build(a, opts.low_level, opts.peel_col_count)?;
+        let plan = LuPlan::build_ordered(a, opts.low_level, opts.peel_col_count, opts.ordering)?;
         #[cfg(feature = "parallel")]
         if opts.n_threads > 1 {
             return Ok(Self {
@@ -320,6 +336,22 @@ impl SympilerLu {
     /// Exact factorization flops.
     pub fn flops(&self) -> u64 {
         self.plan().flops()
+    }
+
+    /// The ordering strategy compiled into the plan.
+    pub fn ordering(&self) -> Ordering {
+        self.plan().ordering()
+    }
+
+    /// The compiled ordering `Q` (`perm[new] = old`), or `None` for
+    /// natural order.
+    pub fn col_perm(&self) -> Option<&[usize]> {
+        self.plan().col_perm()
+    }
+
+    /// Fill ratio `nnz(L + U) / nnz(A)` of the compiled factorization.
+    pub fn fill_ratio(&self) -> f64 {
+        self.plan().fill_ratio()
     }
 
     /// Symbolic (compile-time) report.
@@ -464,6 +496,77 @@ mod tests {
         assert_eq!(o.peel_col_count, 2);
         assert!(o.vs_block && o.vi_prune && o.low_level);
         assert_eq!(o.n_threads, 1, "serial numeric phase by default");
+        assert_eq!(o.ordering, Ordering::Natural, "no reordering by default");
+    }
+
+    #[test]
+    fn lu_ordering_knob_cuts_fill_and_keeps_solutions() {
+        let a = gen::circuit_unsym(120, 4, 2, 13);
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+        let natural = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        assert!(natural.col_perm().is_none());
+        let x_nat = natural.factor(&a).unwrap().solve(&b);
+        for ordering in [Ordering::Rcm, Ordering::Colamd] {
+            let opts = SympilerOptions {
+                ordering,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&a, &opts).unwrap();
+            assert_eq!(lu.ordering(), ordering);
+            assert!(lu.col_perm().is_some());
+            assert!(
+                lu.fill_ratio() < natural.fill_ratio(),
+                "{ordering:?} must reduce fill on the circuit pattern"
+            );
+            let x = lu.factor(&a).unwrap().solve(&b);
+            assert!(sympiler_sparse::ops::rel_residual(&a, &x, &b) < 1e-12);
+            for (p, q) in x.iter().zip(&x_nat) {
+                assert!((p - q).abs() < 1e-9, "{ordering:?} solution drift");
+            }
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn lu_ordering_combines_with_parallel_executor_bitwise() {
+        let a = gen::circuit_unsym(90, 4, 2, 17);
+        for ordering in [Ordering::Rcm, Ordering::Colamd] {
+            let serial = SympilerLu::compile(
+                &a,
+                &SympilerOptions {
+                    ordering,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let f_s = serial.factor(&a).unwrap();
+            for threads in [2usize, 4] {
+                let par = SympilerLu::compile(
+                    &a,
+                    &SympilerOptions {
+                        ordering,
+                        n_threads: threads,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                let f_p = par.factor(&a).unwrap();
+                for (x, y) in f_s
+                    .l()
+                    .values()
+                    .iter()
+                    .chain(f_s.u().values())
+                    .zip(f_p.l().values().iter().chain(f_p.u().values()))
+                {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{ordering:?} @ {threads}T must stay bitwise serial"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -215,7 +215,20 @@ fn emit_lu_col_epilogue(out: &mut String, j: usize, l: &CscMatrix, u_col_ptr: &[
 /// execute through compact loops over the embedded `updateSet` tables.
 /// `l` carries the predicted pattern of the factor (values unused);
 /// `u_col_ptr` the predicted `U` layout.
-pub fn emit_lu_c(l: &CscMatrix, u_col_ptr: &[usize], schedules: &[Vec<(usize, bool)>]) -> String {
+///
+/// `perm` is the plan's baked fill-reducing ordering as
+/// `(perm, iperm)` with `perm[new] = old` / `iperm[old] = new`, or
+/// `None` for natural order. Like the Rust numeric phase, the emitted
+/// kernel takes the **original** matrix (`Ap`/`Ai`/`Ax`) and applies
+/// the ordering inside the scatter — column `j` of the ordered system
+/// reads column `perm[j]` with rows mapped through `iperm`, via
+/// embedded `colPerm`/`rowNewOf` tables.
+pub fn emit_lu_c(
+    l: &CscMatrix,
+    u_col_ptr: &[usize],
+    schedules: &[Vec<(usize, bool)>],
+    perm: Option<(&[usize], &[usize])>,
+) -> String {
     let n = l.n_cols();
     let n_updates: usize = schedules.iter().map(|s| s.len()).sum();
     let peeled_cols: Vec<bool> = schedules
@@ -258,6 +271,32 @@ pub fn emit_lu_c(l: &CscMatrix, u_col_ptr: &[usize], schedules: &[Vec<(usize, bo
             flat.join(", ")
         }
     );
+    // Baked ordering tables: the scatter of the original A(:, colPerm[j])
+    // lands each row i at ordered position rowNewOf[i].
+    if let Some((p, ip)) = perm {
+        let ps: Vec<String> = p.iter().map(|v| v.to_string()).collect();
+        let ips: Vec<String> = ip.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "static const int colPerm[{}] = {{{}}}; /* perm[new] = old */",
+            n.max(1),
+            if ps.is_empty() {
+                "0".into()
+            } else {
+                ps.join(", ")
+            }
+        );
+        let _ = writeln!(
+            out,
+            "static const int rowNewOf[{}] = {{{}}}; /* iperm[old] = new */",
+            n.max(1),
+            if ips.is_empty() {
+                "0".into()
+            } else {
+                ips.join(", ")
+            }
+        );
+    }
     let params = "const int *Ap, const int *Ai, const double *Ax,\n    \
                   const int *Li, double *Lx, const int *Ui, double *Ux, double *x";
     let args = "Ap, Ai, Ax, Li, Lx, Ui, Ux, x";
@@ -274,11 +313,24 @@ pub fn emit_lu_c(l: &CscMatrix, u_col_ptr: &[usize], schedules: &[Vec<(usize, bo
             s.len()
         );
         let _ = writeln!(out, "static void lu_col_{j}({params}) {{");
-        let _ = writeln!(
-            out,
-            "  for (int p = Ap[{j}]; p < Ap[{}]; p++) x[Ai[p]] = Ax[p];",
-            j + 1
-        );
+        match perm {
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  for (int p = Ap[{j}]; p < Ap[{}]; p++) x[Ai[p]] = Ax[p];",
+                    j + 1
+                );
+            }
+            Some((p, _)) => {
+                // The source column is a compile-time constant.
+                let old_j = p[j];
+                let _ = writeln!(
+                    out,
+                    "  for (int p = Ap[{old_j}]; p < Ap[{}]; p++) x[rowNewOf[Ai[p]]] = Ax[p];",
+                    old_j + 1
+                );
+            }
+        }
         for &(k, peeled) in s {
             let start = l.col_ptr()[k];
             let end = l.col_ptr()[k + 1];
@@ -320,9 +372,16 @@ pub fn emit_lu_c(l: &CscMatrix, u_col_ptr: &[usize], schedules: &[Vec<(usize, bo
             j += 1;
         }
         let _ = writeln!(out, "  for (int j = {run_start}; j < {j}; j++) {{");
-        let _ = writeln!(out, "    /* scatter A(:,j) */");
-        let _ = writeln!(out, "    for (int p = Ap[j]; p < Ap[j + 1]; p++)");
-        let _ = writeln!(out, "      x[Ai[p]] = Ax[p];");
+        if perm.is_none() {
+            let _ = writeln!(out, "    /* scatter A(:,j) */");
+            let _ = writeln!(out, "    for (int p = Ap[j]; p < Ap[j + 1]; p++)");
+            let _ = writeln!(out, "      x[Ai[p]] = Ax[p];");
+        } else {
+            let _ = writeln!(out, "    /* scatter A(:, colPerm[j]) into ordered rows */");
+            let _ = writeln!(out, "    int cj = colPerm[j];");
+            let _ = writeln!(out, "    for (int p = Ap[cj]; p < Ap[cj + 1]; p++)");
+            let _ = writeln!(out, "      x[rowNewOf[Ai[p]]] = Ax[p];");
+        }
         let _ = writeln!(
             out,
             "    /* baked update schedule (VI-Prune, topological) */"
@@ -413,10 +472,19 @@ mod tests {
                     .collect()
             })
             .collect();
-        let c = emit_lu_c(&l, &sym.u_col_ptr, &schedules);
+        let c = emit_lu_c(&l, &sym.u_col_ptr, &schedules, None);
         assert!(c.contains("lu_factor_specialized"));
         assert!(c.contains("updateSet"));
         assert!(c.contains("updatePtr"));
+        assert!(!c.contains("colPerm"), "natural order embeds no tables");
+        // With a baked ordering the scatter must route through the
+        // embedded permutation tables.
+        let n = l.n_cols();
+        let perm: Vec<usize> = (0..n).rev().collect();
+        let iperm: Vec<usize> = (0..n).rev().collect();
+        let cp = emit_lu_c(&l, &sym.u_col_ptr, &schedules, Some((&perm, &iperm)));
+        assert!(cp.contains("colPerm"));
+        assert!(cp.contains("rowNewOf[Ai[p]]"));
         // Peeled columns become dedicated functions *called* from the
         // driver (not dead code).
         for (j, s) in schedules.iter().enumerate() {

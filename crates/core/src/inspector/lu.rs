@@ -10,25 +10,50 @@
 
 use super::{EnabledTransformation, InspectionGraph, InspectionStrategy, SymbolicInspector};
 use sympiler_graph::lu_symbolic::{lu_symbolic, LuSymbolic};
-use sympiler_sparse::CscMatrix;
+use sympiler_graph::ordering::{compute_ordering, Ordering};
+use sympiler_sparse::{ops, CscMatrix};
 
 /// Inspection set for LU VI-Prune: the per-column reach sets (update
-/// schedules) plus the predicted factor patterns they imply.
+/// schedules) plus the predicted factor patterns they imply — in the
+/// coordinates of the **ordered** matrix `Qᵀ A Q` when a fill-reducing
+/// ordering was requested.
 #[derive(Debug, Clone)]
 pub struct LuReachSets {
     pub symbolic: LuSymbolic,
+    /// The fill-reducing ordering computed at inspection time
+    /// (`col_perm[new] = old`); `None` under [`Ordering::Natural`].
+    /// [`Self::symbolic`] describes `Qᵀ A Q`, not `A`.
+    pub col_perm: Option<Vec<usize>>,
 }
 
 /// VI-Prune inspector for LU: column-by-column DFS over the growing
-/// `DG_L` (Gilbert–Peierls symbolic analysis).
+/// `DG_L` (Gilbert–Peierls symbolic analysis), optionally preceded by
+/// a fill-reducing ordering — both pattern-only, both run exactly once
+/// per compiled pattern.
 pub struct LuVIPruneInspector;
 
 impl LuVIPruneInspector {
-    /// Run the inspection for the full unsymmetric matrix `a`.
+    /// Run the inspection for the full unsymmetric matrix `a` in its
+    /// natural order.
     pub fn inspect(&self, a: &CscMatrix) -> LuReachSets {
-        LuReachSets {
-            symbolic: lu_symbolic(a),
-        }
+        self.inspect_ordered(a, Ordering::Natural)
+    }
+
+    /// Run the inspection with a fill-reducing ordering: compute `Q`
+    /// once ([`compute_ordering`]), apply it **symmetrically**
+    /// (`Qᵀ A Q`, preserving the static diagonal-pivot contract — see
+    /// [`ops::permute_rows_cols`]), and analyze the ordered pattern.
+    /// The returned reach sets, patterns, and schedules are all in
+    /// ordered coordinates; `col_perm` maps them back.
+    pub fn inspect_ordered(&self, a: &CscMatrix, ordering: Ordering) -> LuReachSets {
+        let col_perm = compute_ordering(a, ordering);
+        let symbolic = match &col_perm {
+            Some(perm) => lu_symbolic(
+                &ops::permute_rows_cols(a, perm).expect("ordering produced a valid permutation"),
+            ),
+            None => lu_symbolic(a),
+        };
+        LuReachSets { symbolic, col_perm }
     }
 }
 
@@ -77,11 +102,24 @@ mod tests {
         assert_eq!(set.symbolic.n, 25);
         assert!(set.symbolic.l_nnz() >= 25);
         assert!(set.symbolic.u_nnz() >= 25);
+        assert!(set.col_perm.is_none(), "natural order bakes no perm");
         // Every scheduled update references an earlier column.
         for j in 0..25 {
             for &k in set.symbolic.reach(j) {
                 assert!(k < j);
             }
+        }
+    }
+
+    #[test]
+    fn ordered_inspection_matches_symbolic_of_permuted_matrix() {
+        let a = gen::circuit_unsym(60, 4, 2, 11);
+        for ordering in [Ordering::Rcm, Ordering::Colamd] {
+            let set = LuVIPruneInspector.inspect_ordered(&a, ordering);
+            let perm = set.col_perm.as_ref().expect("ordering computed");
+            let b = sympiler_sparse::ops::permute_rows_cols(&a, perm).unwrap();
+            let direct = sympiler_graph::lu_symbolic(&b);
+            assert_eq!(set.symbolic, direct, "{ordering:?}");
         }
     }
 }

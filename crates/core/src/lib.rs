@@ -41,5 +41,5 @@ pub mod plan;
 pub mod report;
 pub mod transform;
 
-pub use compile::{SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve};
+pub use compile::{Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve};
 pub use report::SymbolicReport;

@@ -15,10 +15,18 @@
 //!   numeric value checked and reported per column;
 //! * applies the low-level tier to heavy updates: columns whose
 //!   off-diagonal count exceeds the peel threshold execute through an
-//!   unrolled-by-two update loop, mirroring `TriOp::PeeledCol`.
+//!   unrolled-by-two update loop, mirroring `TriOp::PeeledCol`;
+//! * optionally bakes a **fill-reducing ordering** (`build_ordered`):
+//!   `Q` is computed once at inspection time, the symbolic analysis
+//!   runs on `Qᵀ A Q`, and the numeric phase reads the caller's
+//!   original matrix through compiled gather maps — so ordered plans
+//!   carry less fill (fewer flops) at zero per-factorization
+//!   permutation cost, and [`LuFactor::solve`] still speaks the
+//!   original coordinates.
 
 use crate::inspector::LuVIPruneInspector;
 use crate::report::{timed, SymbolicReport};
+use sympiler_graph::ordering::Ordering;
 use sympiler_sparse::CscMatrix;
 
 /// LU plan error (kept separate from the solvers' error type so
@@ -47,16 +55,42 @@ impl std::fmt::Display for LuPlanError {
 
 impl std::error::Error for LuPlanError {}
 
+/// A fill-reducing ordering baked into a plan at compile time:
+/// `perm[new] = old` and its inverse. The numeric phase reads the
+/// caller's *original* matrix through these gather maps, so applying
+/// the ordering costs nothing per factorization — one extra index
+/// indirection during the scatter of `A`'s columns, on memory the
+/// scatter touches anyway.
+/// The maps are `Arc`-shared with every [`LuFactor`] the plan
+/// produces, so repeated factorization never copies them.
+#[derive(Debug, Clone)]
+pub(crate) struct BakedPerm {
+    /// `perm[new] = old` — the ordering `Q`.
+    pub(crate) perm: std::sync::Arc<[usize]>,
+    /// `iperm[old] = new` — `Q⁻¹`.
+    pub(crate) iperm: Vec<usize>,
+}
+
 /// A compiled LU factorization specialized to one sparsity pattern
-/// (static diagonal pivoting).
+/// (static diagonal pivoting), optionally under a fill-reducing
+/// ordering applied symmetrically (`Qᵀ A Q`) so the diagonal-pivot
+/// contract survives.
 #[derive(Debug, Clone)]
 pub struct LuPlan {
     pub(crate) n: usize,
     a_nnz: usize,
     /// Compiled input pattern, checked on every `factor` call (the
     /// static-sparsity contract made enforceable, like `CholPlan`).
+    /// Always the **original** (unordered) pattern: callers hand
+    /// `factor` the same matrix they compiled for, and the baked
+    /// permutation is the plan's internal affair.
     a_col_ptr: Vec<usize>,
     a_row_idx: Vec<u32>,
+    /// Which ordering strategy produced [`Self::baked`].
+    ordering: Ordering,
+    /// The compiled ordering, `None` under [`Ordering::Natural`]. All
+    /// factor layouts and schedules below live in ordered coordinates.
+    baked: Option<BakedPerm>,
     /// Factor layouts (patterns fixed at compile time). Shared with
     /// `plan::lu_parallel`, which executes the same schedule leveled
     /// over the column elimination DAG.
@@ -77,23 +111,36 @@ pub struct LuPlan {
 pub(crate) const PEEL_BIT: u32 = 1 << 31;
 
 /// A numeric factorization produced by [`LuPlan::factor`]:
-/// `A = L U` with unit-lower-triangular `L` (diagonal-first columns)
-/// and upper-triangular `U` (diagonal-last columns).
+/// `Qᵀ A Q = L U` with unit-lower-triangular `L` (diagonal-first
+/// columns) and upper-triangular `U` (diagonal-last columns), where
+/// `Q` is the plan's compiled ordering (the identity for
+/// [`Ordering::Natural`], in which case this is plainly `A = L U`).
+/// [`Self::solve`] handles the permutation transparently: it takes and
+/// returns vectors in the **original** coordinates of `A`.
 #[derive(Debug, Clone)]
 pub struct LuFactor {
     l: CscMatrix,
     u: CscMatrix,
+    /// `perm[new] = old`; `None` when no ordering was compiled.
+    /// Shared with the producing plan (`Arc`), not copied per factor.
+    perm: Option<std::sync::Arc<[usize]>>,
 }
 
 impl LuFactor {
-    /// The unit lower-triangular factor.
+    /// The unit lower-triangular factor (ordered coordinates).
     pub fn l(&self) -> &CscMatrix {
         &self.l
     }
 
-    /// The upper-triangular factor.
+    /// The upper-triangular factor (ordered coordinates).
     pub fn u(&self) -> &CscMatrix {
         &self.u
+    }
+
+    /// The ordering `Q` the factors live under (`perm[new] = old`), or
+    /// `None` for natural order.
+    pub fn col_perm(&self) -> Option<&[usize]> {
+        self.perm.as_deref()
     }
 
     /// Consume into `(L, U)`.
@@ -101,11 +148,28 @@ impl LuFactor {
         (self.l, self.u)
     }
 
-    /// Solve `A x = b` via `L y = b`, then `U x = y`.
+    /// Solve `A x = b` in original coordinates: permute `b` into
+    /// ordered coordinates (`Qᵀ b`), run `L y = Qᵀ b` then `U z = y`,
+    /// and scatter back (`x = Q z`). Both permutation applications are
+    /// O(n) gathers — no per-solve symbolic work of any kind.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.n_cols();
         assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut x = b.to_vec();
+        let mut x = match &self.perm {
+            Some(p) => sympiler_sparse::ops::gather_perm(p, b),
+            None => b.to_vec(),
+        };
+        self.solve_in_factor_coords(&mut x);
+        match &self.perm {
+            Some(p) => sympiler_sparse::ops::scatter_perm(p, &x),
+            None => x,
+        }
+    }
+
+    /// The two triangular sweeps, entirely in the factors' (ordered)
+    /// coordinate system.
+    fn solve_in_factor_coords(&self, x: &mut [f64]) {
+        let n = self.l.n_cols();
         // Forward: L has diagonal-first unit columns.
         let (col_ptr, row_idx, values) = (self.l.col_ptr(), self.l.row_idx(), self.l.values());
         for j in 0..n {
@@ -135,7 +199,6 @@ impl LuFactor {
                 }
             }
         }
-        x
     }
 
     /// Magnitude of `det(A)`: the product of `U`'s diagonal.
@@ -151,14 +214,31 @@ impl LuFactor {
 
 impl LuPlan {
     /// Compile a plan for the square (generally unsymmetric) matrix
-    /// `a`. `low_level` enables the peeled update tier;
-    /// `peel_col_count` is the peeling threshold (update columns with
-    /// more than this many off-diagonal entries unroll, Figure 1e's
-    /// rule applied to factorization updates).
+    /// `a` in its natural order. `low_level` enables the peeled update
+    /// tier; `peel_col_count` is the peeling threshold (update columns
+    /// with more than this many off-diagonal entries unroll, Figure
+    /// 1e's rule applied to factorization updates).
     pub fn build(
         a: &CscMatrix,
         low_level: bool,
         peel_col_count: usize,
+    ) -> Result<Self, LuPlanError> {
+        Self::build_ordered(a, low_level, peel_col_count, Ordering::Natural)
+    }
+
+    /// Compile a plan with a fill-reducing ordering. The ordering is a
+    /// pure symbolic-phase decision: `Q` is computed once here, the
+    /// symbolic factorization runs on `Qᵀ A Q`, and `Q`/`Q⁻¹` are
+    /// baked into the plan's gather maps — [`Self::factor`] still takes
+    /// the **original** matrix and pays no per-factorization
+    /// permutation cost. A [`LuPlanError::ZeroPivot`] column index is
+    /// reported in ordered coordinates (the coordinates of the factors
+    /// themselves).
+    pub fn build_ordered(
+        a: &CscMatrix,
+        low_level: bool,
+        peel_col_count: usize,
+        ordering: Ordering,
     ) -> Result<Self, LuPlanError> {
         if !a.is_square() {
             return Err(LuPlanError::BadInput("matrix must be square".into()));
@@ -174,10 +254,23 @@ impl LuPlan {
         }
         let mut report = SymbolicReport::default();
 
-        // --- Inspection: per-column reach sets (Gilbert–Peierls
-        // symbolic factorization).
-        let sets = timed(&mut report, "inspect: LU reach sets (DFS)", || {
-            LuVIPruneInspector.inspect(a)
+        // --- Inspection: fill-reducing ordering (pattern-only, once),
+        // then per-column reach sets (Gilbert–Peierls symbolic
+        // factorization) of the ordered pattern.
+        let sets = timed(
+            &mut report,
+            "inspect: ordering + LU reach sets (DFS)",
+            || LuVIPruneInspector.inspect_ordered(a, ordering),
+        );
+        let baked = sets.col_perm.map(|perm| {
+            // Inverting through the sparse helper doubles as the
+            // bijection check every ordering must pass.
+            let iperm = sympiler_sparse::ops::inverse_permutation(&perm)
+                .expect("ordering produced a valid permutation");
+            BakedPerm {
+                perm: perm.into(),
+                iperm,
+            }
         });
         let sym = sets.symbolic;
         report.set_size("nnz(A)", a.nnz());
@@ -212,6 +305,8 @@ impl LuPlan {
             a_nnz: a.nnz(),
             a_col_ptr: a.col_ptr().to_vec(),
             a_row_idx: a.row_idx().iter().map(|&r| r as u32).collect(),
+            ordering,
+            baked,
             l_col_ptr: sym.l_col_ptr,
             l_row_idx: sym.l_row_idx.iter().map(|&r| r as u32).collect(),
             u_col_ptr: sym.u_col_ptr,
@@ -253,6 +348,27 @@ impl LuPlan {
         self.upd_cols.iter().filter(|&&c| c & PEEL_BIT != 0).count()
     }
 
+    /// The ordering strategy this plan was compiled with.
+    pub fn ordering(&self) -> Ordering {
+        self.ordering
+    }
+
+    /// The compiled ordering `Q` (`perm[new] = old`), or `None` for
+    /// natural order.
+    pub fn col_perm(&self) -> Option<&[usize]> {
+        self.baked.as_ref().map(|b| &b.perm[..])
+    }
+
+    /// Fill ratio `nnz(L + U) / nnz(A)` of the compiled factorization
+    /// (diagonal counted once) — the headline number a fill-reducing
+    /// ordering exists to shrink.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.a_nnz == 0 {
+            return 0.0;
+        }
+        (self.l_nnz() + self.u_nnz() - self.n) as f64 / self.a_nnz as f64
+    }
+
     /// Symbolic (compile-time) report.
     pub fn report(&self) -> &SymbolicReport {
         &self.report
@@ -291,7 +407,8 @@ impl LuPlan {
     }
 
     /// Assemble the factor object from filled value arrays laid out by
-    /// the compiled patterns.
+    /// the compiled patterns, carrying the baked ordering so the
+    /// factor's `solve` speaks original coordinates.
     pub(crate) fn assemble(&self, lx: Vec<f64>, ux: Vec<f64>) -> LuFactor {
         let l = CscMatrix::from_parts_unchecked(
             self.n,
@@ -307,7 +424,11 @@ impl LuPlan {
             self.u_row_idx.iter().map(|&r| r as usize).collect(),
             ux,
         );
-        LuFactor { l, u }
+        LuFactor {
+            l,
+            u,
+            perm: self.baked.as_ref().map(|b| b.perm.clone()),
+        }
     }
 
     /// The per-column numeric solve shared by the serial and parallel
@@ -340,9 +461,23 @@ impl LuPlan {
         lx: *mut f64,
         ux: *mut f64,
     ) -> bool {
-        // Scatter A(:, j) (fixed pattern, numeric-only).
-        for (i, v) in a.col_iter(j) {
-            x[i] = v;
+        // Scatter A(:, j) (fixed pattern, numeric-only). Under a baked
+        // ordering, column j of Qᵀ A Q is column perm[j] of the
+        // caller's original matrix with rows mapped through Q⁻¹ — the
+        // permutation is applied here, inside the scatter the column
+        // solve performs anyway, so ordered plans pay zero extra
+        // passes over the data.
+        match &self.baked {
+            None => {
+                for (i, v) in a.col_iter(j) {
+                    x[i] = v;
+                }
+            }
+            Some(bp) => {
+                for (i, v) in a.col_iter(bp.perm[j]) {
+                    x[bp.iperm[i]] = v;
+                }
+            }
         }
         // Apply the baked update schedule in topological order.
         for &tagged in &self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]] {
@@ -437,7 +572,10 @@ impl LuPlan {
     }
 
     /// Emit the matrix-specialized C factorization kernel (the LU
-    /// analogue of Figure 1e, via the `emit/c.rs` path).
+    /// analogue of Figure 1e, via the `emit/c.rs` path). Like
+    /// [`Self::factor`], the emitted kernel takes the **original**
+    /// matrix: under a baked ordering it embeds the `Q`/`Q⁻¹` tables
+    /// and permutes inside its scatter.
     pub fn emit_c(&self) -> String {
         let l_pattern = CscMatrix::from_parts_unchecked(
             self.n,
@@ -449,7 +587,11 @@ impl LuPlan {
         let schedules: Vec<Vec<(usize, bool)>> = (0..self.n)
             .map(|j| self.schedule_with_tiers(j).collect())
             .collect();
-        crate::emit::emit_lu_c(&l_pattern, &self.u_col_ptr, &schedules)
+        let perm = self
+            .baked
+            .as_ref()
+            .map(|b| (&b.perm[..], b.iperm.as_slice()));
+        crate::emit::emit_lu_c(&l_pattern, &self.u_col_ptr, &schedules, perm)
     }
 }
 
@@ -567,6 +709,86 @@ mod tests {
         assert_eq!(plan.n_updates(), sym.reach_cols.len());
         assert!(plan.report().total().as_nanos() > 0);
         assert_eq!(plan.report().size_of("nnz(L)"), Some(sym.l_nnz()));
+    }
+
+    #[test]
+    fn ordered_plan_matches_baseline_on_permuted_matrix() {
+        // An ordered plan factors Qᵀ A Q; GPLU handed that matrix
+        // directly must produce the same factors to 1e-10.
+        for ordering in [Ordering::Rcm, Ordering::Colamd] {
+            for seed in 0..3u64 {
+                let a = gen::circuit_unsym(50, 4, 2, seed);
+                let plan = LuPlan::build_ordered(&a, true, 2, ordering).unwrap();
+                let f = plan.factor(&a).unwrap();
+                let perm = plan.col_perm().expect("non-natural ordering");
+                let b = ops::permute_rows_cols(&a, perm).unwrap();
+                let base = GpLu::factor(&b, Pivoting::None).unwrap();
+                assert!(f.l().same_pattern(&base.l), "{ordering:?} L pattern");
+                assert!(f.u().same_pattern(&base.u), "{ordering:?} U pattern");
+                for (p, q) in f.u().values().iter().zip(base.u.values()) {
+                    assert!((p - q).abs() < 1e-10, "{ordering:?} value drift");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_factor_solves_original_system() {
+        // factor() takes the original matrix and solve() speaks
+        // original coordinates — the permutation is invisible outside.
+        let a = gen::circuit_unsym(60, 4, 2, 5);
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        let natural = LuPlan::build(&a, true, 2).unwrap();
+        let x_nat = natural.factor(&a).unwrap().solve(&b);
+        for ordering in [Ordering::Rcm, Ordering::Colamd] {
+            let plan = LuPlan::build_ordered(&a, true, 2, ordering).unwrap();
+            let f = plan.factor(&a).unwrap();
+            let x = f.solve(&b);
+            assert!(
+                ops::rel_residual(&a, &x, &b) < 1e-12,
+                "{ordering:?} residual"
+            );
+            for (p, q) in x.iter().zip(&x_nat) {
+                assert!((p - q).abs() < 1e-9, "{ordering:?}: {p} vs {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn colamd_plan_reduces_fill_and_flops_on_circuits() {
+        let a = gen::circuit_unsym(200, 4, 2, 9);
+        let natural = LuPlan::build(&a, true, 2).unwrap();
+        let ordered = LuPlan::build_ordered(&a, true, 2, Ordering::Colamd).unwrap();
+        assert!(
+            ordered.l_nnz() + ordered.u_nnz() < natural.l_nnz() + natural.u_nnz(),
+            "colamd must cut fill: {} vs {}",
+            ordered.l_nnz() + ordered.u_nnz(),
+            natural.l_nnz() + natural.u_nnz()
+        );
+        assert!(ordered.flops() < natural.flops());
+        assert!(ordered.fill_ratio() < natural.fill_ratio());
+        assert_eq!(ordered.ordering(), Ordering::Colamd);
+        assert_eq!(natural.col_perm(), None);
+    }
+
+    #[test]
+    fn ordered_plan_checks_original_pattern() {
+        // The compiled-pattern contract is stated on the matrix the
+        // caller compiled, not its permuted image.
+        let a = gen::random_unsym(40, 3, 3);
+        let plan = LuPlan::build_ordered(&a, true, 2, Ordering::Colamd).unwrap();
+        assert!(plan.factor(&a).is_ok());
+        let perm = plan.col_perm().unwrap();
+        assert!(
+            perm.iter().enumerate().any(|(new, &old)| new != old),
+            "this pattern must not order to the identity"
+        );
+        let permuted = ops::permute_rows_cols(&a, perm).unwrap();
+        assert!(matches!(
+            plan.factor(&permuted),
+            Err(LuPlanError::PatternMismatch)
+        ));
     }
 
     #[test]

@@ -41,6 +41,9 @@ use std::sync::Barrier;
 use sympiler_graph::levels::{balanced_partition, dag_levels_from_preds};
 use sympiler_sparse::CscMatrix;
 
+/// Avoid clashing with `std::sync::atomic::Ordering` in this module.
+use sympiler_graph::ordering::Ordering as FillOrdering;
+
 /// A compiled LU factorization whose numeric phase executes the column
 /// elimination DAG level by level across a fixed number of threads.
 #[derive(Debug, Clone)]
@@ -94,6 +97,25 @@ impl ParallelLuPlan {
     ) -> Result<Self, LuPlanError> {
         Ok(Self::from_plan(
             LuPlan::build(a, low_level, peel_col_count)?,
+            n_threads,
+        ))
+    }
+
+    /// Compile a parallel plan under a fill-reducing ordering
+    /// ([`LuPlan::build_ordered`]). This is where orderings pay twice:
+    /// less fill means fewer numeric flops, and the reordered column
+    /// elimination DAG is shallower and bushier, so the leveling below
+    /// finds real concurrency where the natural order yields
+    /// near-chains.
+    pub fn build_ordered(
+        a: &CscMatrix,
+        low_level: bool,
+        peel_col_count: usize,
+        ordering: FillOrdering,
+        n_threads: usize,
+    ) -> Result<Self, LuPlanError> {
+        Ok(Self::from_plan(
+            LuPlan::build_ordered(a, low_level, peel_col_count, ordering)?,
             n_threads,
         ))
     }
@@ -303,6 +325,22 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ordered_parallel_plan_matches_ordered_serial_bitwise() {
+        let a = gen::circuit_unsym(110, 4, 2, 6);
+        for ordering in [FillOrdering::Rcm, FillOrdering::Colamd] {
+            let serial = LuPlan::build_ordered(&a, true, 2, ordering).unwrap();
+            let f_serial = serial.factor(&a).unwrap();
+            let par = ParallelLuPlan::build_ordered(&a, true, 2, ordering, 3).unwrap();
+            assert_eq!(par.serial().ordering(), ordering);
+            let f_par = par.factor(&a).unwrap();
+            assert!(
+                bitwise_eq(&f_serial, &f_par),
+                "{ordering:?}: ordered parallel factors must be bitwise serial"
+            );
         }
     }
 

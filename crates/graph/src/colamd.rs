@@ -1,0 +1,492 @@
+//! COLAMD-style approximate-minimum-degree **column** ordering.
+//!
+//! The fill of an LU factorization of `A Q` (for *any* row permutation
+//! chosen later, including the static diagonal pivoting Sympiler
+//! compiles for when `Q` is applied symmetrically) is contained in the
+//! Cholesky fill of `(A Q)ᵀ (A Q) = Qᵀ (AᵀA) Q` — so a fill-reducing
+//! column ordering for LU is a minimum-degree ordering of the **column
+//! intersection graph** of `AᵀA`, in which columns `i` and `j` are
+//! adjacent iff they share a row of `A`. Forming `AᵀA` can be
+//! asymptotically more expensive than the factorization itself (one
+//! dense row makes it fully dense), so — like Davis/Gilbert/Larimore's
+//! COLAMD — this implementation runs minimum degree directly on a
+//! **quotient-graph** representation of `A`'s rows:
+//!
+//! * each *row* of `A` is a clique constraint over the columns it
+//!   touches; eliminating a pivot column merges all of its rows into
+//!   one new **element** (their union minus the pivot), exactly the
+//!   quotient-graph step of AMD transplanted to `AᵀA`;
+//! * column degrees are **approximate external degrees**: the pivot
+//!   element's contribution is exact, every other row contributes its
+//!   set difference with the pivot element (an upper bound on the true
+//!   degree that never double-counts the freshest element);
+//! * rows whose columns are all inside the new element are **absorbed**
+//!   (their constraint is implied), keeping row lists from growing;
+//! * columns of the pivot element with *identical* row lists are merged
+//!   into **supercolumns** (detected by hashing, confirmed exactly) and
+//!   ordered consecutively when their representative pivots;
+//! * **dense rows and columns are stripped** up front: a dense row
+//!   would glue the whole column graph into one clique and poison every
+//!   degree estimate, so it is ignored during ordering; dense columns
+//!   are ordered last, where they would have ended up anyway.
+//!
+//! The result is a permutation `perm` with `perm[new] = old`, the same
+//! convention as [`crate::rcm::rcm_ordering`] and the
+//! `sympiler_sparse::ops` permutation helpers. Everything here is
+//! pattern-only and deterministic: ties break on the smallest column
+//! index, so one sparsity pattern always produces one ordering — a
+//! requirement for Sympiler's compile-once premise.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use sympiler_sparse::CscMatrix;
+
+/// Tuning knobs for [`colamd_ordering_with`]. The defaults follow the
+/// reference COLAMD: a row or column is "dense" when it has more than
+/// `max(dense_floor, dense_factor * sqrt(n))` entries.
+#[derive(Debug, Clone, Copy)]
+pub struct ColamdConfig {
+    /// Multiplier on `sqrt(n)` in the dense-row/column threshold.
+    pub dense_factor: f64,
+    /// Lower bound of the dense threshold (small matrices never strip).
+    pub dense_floor: usize,
+}
+
+impl Default for ColamdConfig {
+    fn default() -> Self {
+        Self {
+            dense_factor: 10.0,
+            dense_floor: 16,
+        }
+    }
+}
+
+impl ColamdConfig {
+    fn threshold(&self, n: usize) -> usize {
+        let t = (self.dense_factor * (n as f64).sqrt()) as usize;
+        t.max(self.dense_floor)
+    }
+}
+
+/// Column liveness in the quotient graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColState {
+    /// Still a candidate pivot.
+    Alive,
+    /// Emitted into the ordering (as a pivot).
+    Ordered,
+    /// Merged into a supercolumn; emitted with its representative.
+    Absorbed,
+    /// Stripped as dense; appended after all sparse columns.
+    Dense,
+}
+
+/// Compute a COLAMD-style column ordering of `a` with default
+/// parameters. Returns `perm` with `perm[new] = old`.
+pub fn colamd_ordering(a: &CscMatrix) -> Vec<usize> {
+    colamd_ordering_with(a, ColamdConfig::default())
+}
+
+/// Compute a COLAMD-style column ordering of `a`. Returns `perm` with
+/// `perm[new] = old`; the result is always a valid permutation of
+/// `0..a.n_cols()`, whatever the pattern (empty columns, dense rows,
+/// rectangular input).
+pub fn colamd_ordering_with(a: &CscMatrix, config: ColamdConfig) -> Vec<usize> {
+    let m = a.n_rows();
+    let n = a.n_cols();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // --- Dense-row stripping. A row's length is its clique size in the
+    // column graph; past the threshold it contributes no ordering
+    // information, only quadratic degree noise.
+    let dense_row = config.threshold(n);
+    let mut row_len = vec![0usize; m];
+    for &i in a.row_idx() {
+        row_len[i] += 1;
+    }
+    let row_is_dense: Vec<bool> = row_len.iter().map(|&l| l > dense_row).collect();
+
+    // --- Dense-column stripping: order them last (ascending live
+    // degree, then index), where minimum degree would have sent them.
+    let dense_col = config.threshold(m.max(1));
+    let live_rows_of = |j: usize| a.col_rows(j).iter().filter(|&&i| !row_is_dense[i]).count();
+    let mut col_state = vec![ColState::Alive; n];
+    let mut dense_cols: Vec<(usize, usize)> = Vec::new();
+    for j in 0..n {
+        let live = live_rows_of(j);
+        if live > dense_col {
+            col_state[j] = ColState::Dense;
+            dense_cols.push((live, j));
+        }
+    }
+    dense_cols.sort_unstable();
+
+    // --- Quotient-graph state. Rows `0..m` are `A`'s rows; every pivot
+    // appends one element row. A killed row keeps its slot (lists are
+    // pruned lazily against `row_alive` / `col_state`).
+    let mut row_cols: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut row_alive: Vec<bool> = row_is_dense.iter().map(|&d| !d).collect();
+    let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        if col_state[j] != ColState::Alive {
+            continue;
+        }
+        for &i in a.col_rows(j) {
+            if !row_is_dense[i] {
+                row_cols[i].push(j);
+                col_rows[j].push(i);
+            }
+        }
+    }
+
+    // --- Initial scores: sum of (|row| - 1) over the column's rows, the
+    // standard COLAMD upper bound on the external degree in `AᵀA`.
+    // Unlike the reference implementation we never clamp the score (the
+    // clamp there bounds packed-array memory, not quality): clamping
+    // collapses the very ties minimum degree needs to break.
+    let mut score = vec![0usize; n];
+    let mut heap: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for j in 0..n {
+        if col_state[j] != ColState::Alive {
+            continue;
+        }
+        score[j] = col_rows[j]
+            .iter()
+            .map(|&r| row_cols[r].len().saturating_sub(1))
+            .sum();
+        heap.insert((score[j], j));
+    }
+
+    let mut super_members: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut perm: Vec<usize> = Vec::with_capacity(n);
+    let mut marked = vec![false; n];
+    // Per-pivot caches for row set differences, stamped by pivot count
+    // so they never need clearing (rows grow; the vectors grow with
+    // them).
+    let mut row_ext: Vec<usize> = vec![0; m];
+    let mut row_stamp: Vec<u64> = vec![0; m];
+    let mut stamp: u64 = 0;
+
+    let n_sparse = n - dense_cols.len();
+    while perm.len() < n_sparse {
+        // --- Select: minimum approximate degree, smallest index on
+        // ties (BTreeSet order is exactly (score, index)).
+        let &(s, c) = heap.iter().next().expect("heap exhausted early");
+        heap.remove(&(s, c));
+        debug_assert_eq!(col_state[c], ColState::Alive);
+        debug_assert_eq!(score[c], s);
+
+        // --- Order the pivot supercolumn.
+        col_state[c] = ColState::Ordered;
+        perm.push(c);
+        perm.append(&mut super_members[c]);
+
+        // --- Form the pivot element: the union of the pivot's live
+        // rows, minus the pivot itself. Those rows are then dead — the
+        // element subsumes their constraints.
+        let mut pivot_cols: Vec<usize> = Vec::new();
+        for ri in 0..col_rows[c].len() {
+            let r = col_rows[c][ri];
+            if !row_alive[r] {
+                continue;
+            }
+            for &j in &row_cols[r] {
+                if col_state[j] == ColState::Alive && !marked[j] {
+                    marked[j] = true;
+                    pivot_cols.push(j);
+                }
+            }
+            row_alive[r] = false;
+            row_cols[r] = Vec::new();
+        }
+        if pivot_cols.is_empty() {
+            continue;
+        }
+        pivot_cols.sort_unstable();
+
+        // --- Set differences + row absorption. For every live row `r`
+        // adjacent to a pivot column, `row_ext[r] = |r \ pivot_cols|`
+        // (live columns only); a row entirely inside the new element is
+        // absorbed. Row lists are pruned to live columns as a side
+        // effect.
+        stamp += 1;
+        for &j in &pivot_cols {
+            for ri in 0..col_rows[j].len() {
+                let r = col_rows[j][ri];
+                if !row_alive[r] || row_stamp[r] == stamp {
+                    continue;
+                }
+                row_stamp[r] = stamp;
+                row_cols[r].retain(|&x| col_state[x] == ColState::Alive);
+                let ext = row_cols[r].iter().filter(|&&x| !marked[x]).count();
+                row_ext[r] = ext;
+                if ext == 0 {
+                    // r ⊆ element: absorbed.
+                    row_alive[r] = false;
+                    row_cols[r] = Vec::new();
+                }
+            }
+        }
+
+        // --- Create the element row.
+        let e = row_cols.len();
+        row_cols.push(pivot_cols.clone());
+        row_alive.push(true);
+        row_ext.push(0);
+        row_stamp.push(0);
+
+        // --- Rebuild each pivot column's row list and re-score it with
+        // the COLAMD approximate external degree:
+        // |element \ {j}| + Σ_{r ∈ rows(j), r ≠ e} |r \ element|.
+        for &j in &pivot_cols {
+            col_rows[j].retain(|&r| row_alive[r]);
+            col_rows[j].push(e);
+            let external: usize = col_rows[j]
+                .iter()
+                .filter(|&&r| r != e)
+                .map(|&r| row_ext[r])
+                .sum();
+            let new_score = pivot_cols.len() - 1 + external;
+            let old = score[j];
+            heap.remove(&(old, j));
+            score[j] = new_score;
+            heap.insert((new_score, j));
+        }
+
+        // --- Supercolumn detection among the element's columns: hash
+        // by (list length, sum of row ids), then confirm exact
+        // equality. Equal columns are structurally indistinguishable
+        // from here on, so they pivot together.
+        let mut groups: HashMap<(usize, u64), Vec<usize>> = HashMap::new();
+        for &j in &pivot_cols {
+            let sum: u64 = col_rows[j].iter().map(|&r| r as u64).sum();
+            groups.entry((col_rows[j].len(), sum)).or_default().push(j);
+        }
+        for (_, group) in groups {
+            if group.len() < 2 {
+                continue;
+            }
+            // Hash collisions can put structurally different columns
+            // in one bucket, so compare pairwise against every
+            // distinct representative seen so far — two identical
+            // columns must merge even when a third, different column
+            // shares their hash and sorts first. `pivot_cols` is
+            // sorted, so each group is too: representatives are the
+            // smallest index of their class, deterministically.
+            let mut reps: Vec<usize> = Vec::with_capacity(2);
+            for &k in &group {
+                match reps.iter().find(|&&r| col_rows[k] == col_rows[r]) {
+                    None => reps.push(k),
+                    Some(&rep) => {
+                        col_state[k] = ColState::Absorbed;
+                        heap.remove(&(score[k], k));
+                        let members = std::mem::take(&mut super_members[k]);
+                        super_members[rep].push(k);
+                        super_members[rep].extend(members);
+                        col_rows[k] = Vec::new();
+                    }
+                }
+            }
+        }
+
+        // --- Unmark for the next pivot.
+        for &j in &pivot_cols {
+            marked[j] = false;
+        }
+    }
+
+    // --- Dense columns last.
+    perm.extend(dense_cols.into_iter().map(|(_, j)| j));
+    debug_assert_eq!(perm.len(), n);
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu_symbolic::lu_symbolic;
+    use sympiler_sparse::{gen, ops, TripletMatrix};
+
+    fn assert_permutation(perm: &[usize], n: usize) {
+        assert_eq!(perm.len(), n);
+        let mut sorted = perm.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// `nnz(L) + nnz(U)` of the statically pivoted LU of `Qᵀ A Q`.
+    fn lu_nnz_under(a: &CscMatrix, perm: Option<&[usize]>) -> usize {
+        let b = match perm {
+            Some(p) => ops::permute_rows_cols(a, p).unwrap(),
+            None => a.clone(),
+        };
+        let sym = lu_symbolic(&b);
+        sym.l_nnz() + sym.u_nnz()
+    }
+
+    #[test]
+    fn returns_a_permutation_on_generators() {
+        for seed in 0..6u64 {
+            for a in [
+                gen::circuit_unsym(60, 4, 2, seed),
+                gen::random_unsym(45, 4, seed + 10),
+                gen::convection_diffusion_2d(7, 6, 1.5, seed),
+            ] {
+                let perm = colamd_ordering(&a);
+                assert_permutation(&perm, a.n_cols());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_patterns() {
+        // Empty.
+        assert!(colamd_ordering(&CscMatrix::zeros(0, 0)).is_empty());
+        // 1x1.
+        assert_eq!(colamd_ordering(&CscMatrix::identity(1)), vec![0]);
+        // Diagonal: every column is its own (empty-external) pivot.
+        let perm = colamd_ordering(&CscMatrix::identity(8));
+        assert_permutation(&perm, 8);
+        // Structurally empty columns.
+        let z = CscMatrix::zeros(5, 5);
+        assert_permutation(&colamd_ordering(&z), 5);
+        // Rectangular.
+        let mut t = TripletMatrix::new(3, 5);
+        t.push(0, 0, 1.0);
+        t.push(1, 2, 1.0);
+        t.push(2, 4, 1.0);
+        t.push(1, 4, 1.0);
+        let a = t.to_csc().unwrap();
+        assert_permutation(&colamd_ordering(&a), 5);
+    }
+
+    #[test]
+    fn fully_dense_matrix_is_still_a_permutation() {
+        let n = 12;
+        let mut t = TripletMatrix::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                t.push(i, j, 1.0);
+            }
+        }
+        let a = t.to_csc().unwrap();
+        assert_permutation(&colamd_ordering(&a), n);
+    }
+
+    #[test]
+    fn dense_first_arrow_orders_hub_last_and_kills_fill() {
+        // Dense first row + first column: natural order fills the
+        // whole trailing block (eliminating the hub first connects
+        // everything). At this size the hub row crosses the default
+        // dense threshold, so it is stripped (without stripping, the
+        // dense row makes AᵀA a complete graph and *no* column
+        // ordering looks better than any other); the hub column
+        // crosses the dense-column threshold and is ordered last —
+        // which under symmetric application gives zero fill.
+        let n = 150;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 2.0);
+        }
+        for i in 1..n {
+            t.push(i, 0, 1.0);
+            t.push(0, i, 1.0);
+        }
+        let a = t.to_csc().unwrap();
+        let perm = colamd_ordering(&a);
+        assert_permutation(&perm, n);
+        assert_eq!(perm[n - 1], 0, "the hub column must pivot last");
+        let natural = lu_nnz_under(&a, None);
+        let ordered = lu_nnz_under(&a, Some(&perm));
+        // Natural fills the (n-1)² trailing block; ordered keeps
+        // exactly the arrow pattern (+n: the diagonal is stored in
+        // both L and U).
+        assert_eq!(ordered, a.nnz() + n);
+        assert!(
+            ordered * 3 < natural,
+            "ordered {ordered} vs natural {natural}"
+        );
+    }
+
+    #[test]
+    fn supercolumns_absorb_identical_structure() {
+        // Columns 1..4 share one identical row set; the ordering must
+        // remain a bijection and keep the replicated group adjacent.
+        let n = 10;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 1.0);
+        }
+        for j in 1..4 {
+            t.push(5, j, 1.0);
+            t.push(6, j, 1.0);
+            t.push(7, j, 1.0);
+        }
+        let a = t.to_csc().unwrap();
+        let perm = colamd_ordering(&a);
+        assert_permutation(&perm, n);
+        let pos: Vec<usize> = (1..4)
+            .map(|j| perm.iter().position(|&p| p == j).unwrap())
+            .collect();
+        let (lo, hi) = (*pos.iter().min().unwrap(), *pos.iter().max().unwrap());
+        assert_eq!(hi - lo, 2, "identical columns must order consecutively");
+    }
+
+    #[test]
+    fn dense_row_is_stripped_not_fatal() {
+        // One fully dense row on top of a sparse banded pattern: with a
+        // low threshold the row must be ignored (not glue the graph
+        // into one clique), and the result must stay a bijection.
+        let n = 30;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 2.0);
+            if j + 1 < n {
+                t.push(j + 1, j, 1.0);
+            }
+            t.push(0, j, 1.0); // dense row 0
+        }
+        let a = t.to_csc().unwrap();
+        let config = ColamdConfig {
+            dense_factor: 0.5,
+            dense_floor: 4,
+        };
+        let perm = colamd_ordering_with(&a, config);
+        assert_permutation(&perm, n);
+        // Default config (threshold > n) keeps the row and still works.
+        assert_permutation(&colamd_ordering(&a), n);
+    }
+
+    #[test]
+    fn reduces_fill_on_unsymmetric_generators() {
+        // The acceptance-criteria shape at unit scale: COLAMD beats
+        // natural on circuit and random unsymmetric patterns at the
+        // sizes/densities the unsym suite uses (tiny random matrices
+        // are near-dense after fill, where no ordering can help).
+        for seed in 0..5u64 {
+            for a in [
+                gen::circuit_unsym(120, 4, 2, seed),
+                gen::random_unsym(250, 4, seed + 50),
+            ] {
+                let perm = colamd_ordering(&a);
+                assert_permutation(&perm, a.n_cols());
+                let natural = lu_nnz_under(&a, None);
+                let ordered = lu_nnz_under(&a, Some(&perm));
+                assert!(
+                    ordered < natural,
+                    "seed {seed}: ordered {ordered} !< natural {natural}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = gen::circuit_unsym(80, 4, 2, 7);
+        let p1 = colamd_ordering(&a);
+        let p2 = colamd_ordering(&a);
+        assert_eq!(p1, p2);
+    }
+}

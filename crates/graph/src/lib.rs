@@ -22,22 +22,31 @@
 //!   solve block-sets);
 //! * [`rcm`] — reverse Cuthill–McKee ordering (fill reduction; shared by
 //!   every engine so comparisons stay fair);
+//! * [`colamd`] — COLAMD-style approximate-minimum-degree column
+//!   ordering on the column intersection graph of `AᵀA` (quotient
+//!   graph, supercolumns, dense-row stripping) — the fill-reducing
+//!   ordering of the LU pipeline;
+//! * [`mod@ordering`] — the [`Ordering`] knob the compile pipeline
+//!   exposes (natural / RCM / COLAMD) and its dispatch;
 //! * [`levels`] — DAG scheduling: longest-path level sets (wavefronts)
 //!   of any dependence DAG — `DG_L` for the parallel triangular solve,
 //!   the column elimination DAG for the parallel LU numeric phase —
 //!   plus cost-balanced chunking of levels across workers.
 
+pub mod colamd;
 pub mod colcount;
 pub mod dfs;
 pub mod ereach;
 pub mod etree;
 pub mod levels;
 pub mod lu_symbolic;
+pub mod ordering;
 pub mod postorder;
 pub mod rcm;
 pub mod supernode;
 pub mod symbolic;
 
+pub use colamd::{colamd_ordering, colamd_ordering_with, ColamdConfig};
 pub use colcount::col_counts;
 pub use dfs::{reach, reach_adjacency_into, reach_into};
 pub use ereach::{ereach, ereach_into};
@@ -47,6 +56,7 @@ pub use levels::{
     LevelSets,
 };
 pub use lu_symbolic::{lu_symbolic, LuSymbolic};
+pub use ordering::{compute_ordering, Ordering};
 pub use postorder::postorder;
 pub use rcm::rcm_ordering;
 pub use supernode::{supernodes_cholesky, supernodes_trisolve, SupernodePartition};

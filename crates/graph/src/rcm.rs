@@ -6,6 +6,17 @@
 //! scale — RCM is simple, deterministic, and applied identically to
 //! every engine, so relative comparisons (the paper's claims) are
 //! unaffected. See DESIGN.md §6.
+//!
+//! RCM is also wired into the LU compile pipeline's ordering knob
+//! ([`crate::ordering::Ordering::Rcm`]) as the cheap symmetric-pattern
+//! alternative. Note its limits there: for **unsymmetric** LU it
+//! operates on the symmetrized pattern `|A| + |Aᵀ|`, which throws away
+//! exactly the asymmetry that governs LU fill (the right structure is
+//! the column intersection graph of `AᵀA`), and a minimal *bandwidth*
+//! still fills the entire band during factorization. Expect
+//! [`crate::ordering::Ordering::Colamd`] to dominate it on circuit-like
+//! and randomly structured systems; RCM earns its keep on nearly
+//! symmetric banded operators where its locality is the whole story.
 
 use sympiler_sparse::{ops, CscMatrix};
 

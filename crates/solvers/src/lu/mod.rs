@@ -10,6 +10,13 @@
 //! * [`lu_solve`](gplu::GpLuFactors::solve) — the end-to-end
 //!   `P A x = b` solve path (`P b -> L y = P b -> U x = y`).
 
+//! * [`gplu::OrderedGpLuFactors`] — the baseline under the same
+//!   fill-reducing [`Ordering`](sympiler_graph::ordering::Ordering)
+//!   knob the compiled pipeline uses, so decoupling comparisons stay
+//!   apples-to-apples when orderings are on.
+
 pub mod gplu;
 
-pub use gplu::{lu_reconstruction_error, lu_solve, GpLu, GpLuFactors, LuError, Pivoting};
+pub use gplu::{
+    lu_reconstruction_error, lu_solve, GpLu, GpLuFactors, LuError, OrderedGpLuFactors, Pivoting,
+};

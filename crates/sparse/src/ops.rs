@@ -156,6 +156,130 @@ pub fn permute_sym(a: &CscMatrix, perm: &[usize]) -> Result<CscMatrix> {
     t.to_csc()
 }
 
+/// Invert a permutation given as `perm[new] = old`, returning
+/// `inv[old] = new`. Doubles as the validity check every ordering must
+/// pass: the input is rejected unless it is a bijection of `0..n`.
+pub fn inverse_permutation(perm: &[usize]) -> Result<Vec<usize>> {
+    let n = perm.len();
+    let mut inv = vec![usize::MAX; n];
+    for (new, &old) in perm.iter().enumerate() {
+        if old >= n {
+            return Err(SparseError::InvalidMatrix(format!(
+                "perm[{new}] = {old} out of bounds for n = {n}"
+            )));
+        }
+        if inv[old] != usize::MAX {
+            return Err(SparseError::InvalidMatrix(format!(
+                "perm is not a bijection: {old} appears twice"
+            )));
+        }
+        inv[old] = new;
+    }
+    Ok(inv)
+}
+
+/// Gather a dense vector into ordered coordinates: `out[new] =
+/// x[perm[new]]` — the `Qᵀ x` half of applying an ordering to a solve.
+///
+/// # Panics
+/// If `perm` and `x` have different lengths (indices are bounds-checked
+/// by the gather itself).
+pub fn gather_perm(perm: &[usize], x: &[f64]) -> Vec<f64> {
+    assert_eq!(perm.len(), x.len(), "permutation/vector length mismatch");
+    perm.iter().map(|&old| x[old]).collect()
+}
+
+/// Scatter a vector from ordered coordinates back to the original:
+/// `out[perm[new]] = y[new]` — the `Q y` half of applying an ordering
+/// to a solve. Inverse of [`gather_perm`] for any bijective `perm`.
+///
+/// # Panics
+/// If `perm` and `y` have different lengths.
+pub fn scatter_perm(perm: &[usize], y: &[f64]) -> Vec<f64> {
+    assert_eq!(perm.len(), y.len(), "permutation/vector length mismatch");
+    let mut out = vec![0.0; y.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        out[old] = y[new];
+    }
+    out
+}
+
+/// Column permutation `A Q`, where `q[new] = old`: column `new` of the
+/// result is column `q[new]` of `a`. Row indices are untouched, so the
+/// construction is a direct O(|A|) CSC copy — no triplet round-trip.
+pub fn permute_cols(a: &CscMatrix, q: &[usize]) -> Result<CscMatrix> {
+    let n = a.n_cols();
+    if q.len() != n {
+        return Err(SparseError::DimensionMismatch(format!(
+            "q.len() = {} != n_cols = {n}",
+            q.len()
+        )));
+    }
+    inverse_permutation(q)?;
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    let mut row_idx = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    col_ptr.push(0);
+    for &old in q {
+        row_idx.extend_from_slice(a.col_rows(old));
+        values.extend_from_slice(a.col_values(old));
+        col_ptr.push(row_idx.len());
+    }
+    Ok(CscMatrix::from_parts_unchecked(
+        a.n_rows(),
+        n,
+        col_ptr,
+        row_idx,
+        values,
+    ))
+}
+
+/// Symmetric application of one ordering to a square full-storage
+/// matrix: `B = Qᵀ A Q` with `B[i, j] = A[perm[i], perm[j]]`
+/// (`perm[new] = old`). This is how a fill-reducing *column* ordering
+/// is applied under **static diagonal pivoting**: permuting rows by
+/// the same `Q` keeps every diagonal entry on the diagonal (so
+/// diagonal dominance survives), while the column intersection graph
+/// of `AᵀA` — the structure COLAMD minimizes fill over — is identical
+/// to that of `A Q`, because `(Qᵀ A Q)ᵀ (Qᵀ A Q) = Qᵀ (AᵀA) Q`.
+///
+/// Unlike [`permute_sym`] this is a direct CSC construction (gather
+/// each permuted column, map rows through the inverse, one sort per
+/// column) — O(|A| log maxcol) with no triplet round-trip.
+pub fn permute_rows_cols(a: &CscMatrix, perm: &[usize]) -> Result<CscMatrix> {
+    let n = a.n_cols();
+    if !a.is_square() {
+        return Err(SparseError::DimensionMismatch(
+            "permute_rows_cols requires a square matrix".into(),
+        ));
+    }
+    if perm.len() != n {
+        return Err(SparseError::DimensionMismatch(format!(
+            "perm.len() = {} != n = {n}",
+            perm.len()
+        )));
+    }
+    let inv = inverse_permutation(perm)?;
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    let mut row_idx = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    let mut entries: Vec<(usize, f64)> = Vec::new();
+    col_ptr.push(0);
+    for &old_j in perm {
+        entries.clear();
+        entries.extend(a.col_iter(old_j).map(|(i, v)| (inv[i], v)));
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        for &(i, v) in &entries {
+            row_idx.push(i);
+            values.push(v);
+        }
+        col_ptr.push(row_idx.len());
+    }
+    Ok(CscMatrix::from_parts_unchecked(
+        n, n, col_ptr, row_idx, values,
+    ))
+}
+
 /// `||A x - b||_inf / (||A||_1 ||x||_inf + ||b||_inf)` — the scaled
 /// residual used to verify solves.
 pub fn rel_residual(a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
@@ -346,6 +470,84 @@ mod tests {
         assert!(permute_sym(&a, &[0, 0, 1]).is_err());
         assert!(permute_sym(&a, &[0, 1]).is_err());
         assert!(permute_sym(&a, &[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn inverse_permutation_round_trips() {
+        let p = vec![2usize, 0, 3, 1];
+        let inv = inverse_permutation(&p).unwrap();
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        // Inverting twice recovers the original.
+        assert_eq!(inverse_permutation(&inv).unwrap(), p);
+        // Identity and empty are their own inverses.
+        assert_eq!(inverse_permutation(&[0, 1, 2]).unwrap(), vec![0, 1, 2]);
+        assert!(inverse_permutation(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn inverse_permutation_rejects_non_bijections() {
+        assert!(inverse_permutation(&[0, 0, 1]).is_err());
+        assert!(inverse_permutation(&[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn gather_scatter_perm_round_trip() {
+        let perm = vec![2usize, 0, 3, 1];
+        let x = vec![10.0, 11.0, 12.0, 13.0];
+        let gathered = gather_perm(&perm, &x);
+        assert_eq!(gathered, vec![12.0, 10.0, 13.0, 11.0]);
+        assert_eq!(scatter_perm(&perm, &gathered), x);
+        // And the other composition order.
+        assert_eq!(gather_perm(&perm, &scatter_perm(&perm, &x)), x);
+    }
+
+    #[test]
+    fn permute_cols_reorders_columns_only() {
+        let a = lower3();
+        let q = vec![2usize, 0, 1];
+        let b = permute_cols(&a, &q).unwrap();
+        for (new, &old) in q.iter().enumerate() {
+            assert_eq!(b.col_rows(new), a.col_rows(old), "col {new}");
+            assert_eq!(b.col_values(new), a.col_values(old), "col {new}");
+        }
+        assert_eq!(b.nnz(), a.nnz());
+        assert!(permute_cols(&a, &[0, 0, 1]).is_err());
+        assert!(permute_cols(&a, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn permute_rows_cols_matches_permute_sym() {
+        // On a full-storage symmetric matrix the direct construction
+        // must agree with the triplet-based symmetric permutation.
+        let full = symmetrize_from_lower(&lower3()).unwrap();
+        let perm = vec![1usize, 2, 0];
+        let direct = permute_rows_cols(&full, &perm).unwrap();
+        let via_triplets = permute_sym(&full, &perm).unwrap();
+        assert_eq!(direct, via_triplets);
+        // Diagonal entries stay diagonal under symmetric application.
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(direct.get(new, new), full.get(old, old));
+        }
+    }
+
+    #[test]
+    fn permute_rows_cols_entrywise_on_unsymmetric_input() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(2, 0, 2.0);
+        t.push(0, 1, 3.0);
+        t.push(1, 1, 4.0);
+        t.push(2, 2, 5.0);
+        let a = t.to_csc().unwrap();
+        let perm = vec![2usize, 0, 1];
+        let b = permute_rows_cols(&a, &perm).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.get(i, j), a.get(perm[i], perm[j]), "({i}, {j})");
+            }
+        }
+        assert!(permute_rows_cols(&a, &[1, 0]).is_err());
+        assert!(permute_rows_cols(&CscMatrix::zeros(2, 3), &[0, 1, 2]).is_err());
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub use sympiler_sparse as sparse;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use sympiler_core::compile::{
-        SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
+        Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
     };
     pub use sympiler_core::plan::chol::CholFactor;
     pub use sympiler_core::plan::lu::{LuFactor, LuPlan};

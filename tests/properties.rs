@@ -244,6 +244,49 @@ proptest! {
     }
 
     #[test]
+    fn orderings_return_valid_permutations(a in unsym_matrix()) {
+        for ordering in Ordering::ALL {
+            match sympiler::graph::compute_ordering(&a, ordering) {
+                None => prop_assert_eq!(ordering, Ordering::Natural),
+                Some(q) => {
+                    prop_assert_eq!(q.len(), a.n_cols());
+                    prop_assert!(
+                        sympiler::sparse::ops::inverse_permutation(&q).is_ok(),
+                        "{} must produce a bijection", ordering.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_lu_plan_satisfies_qaq_eq_lu(a in unsym_matrix()) {
+        // Under any ordering the compiled factors satisfy Qᵀ A Q = L U
+        // (dense check, identity row perm) and the solve answers the
+        // original system.
+        for ordering in [Ordering::Rcm, Ordering::Colamd] {
+            let opts = SympilerOptions { ordering, ..Default::default() };
+            let lu = SympilerLu::compile(&a, &opts).unwrap();
+            let f = lu.factor(&a).unwrap();
+            let ordered_a = match lu.col_perm() {
+                Some(q) => sympiler::sparse::ops::permute_rows_cols(&a, q).unwrap(),
+                None => a.clone(),
+            };
+            let identity: Vec<usize> = (0..a.n_cols()).collect();
+            if let Err(m) = assert_pa_eq_lu(&ordered_a, f.l(), f.u(), &identity, 1e-10) {
+                prop_assert!(false, "{}: {}", ordering.label(), m);
+            }
+            let n = a.n_cols();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+            let x = f.solve(&b);
+            prop_assert!(
+                sympiler::sparse::ops::rel_residual(&a, &x, &b) < 1e-9,
+                "{}: residual too large", ordering.label()
+            );
+        }
+    }
+
+    #[test]
     fn lu_symbolic_pattern_predicts_numeric_factor(a in unsym_matrix()) {
         let sym = sympiler::graph::lu_symbolic(&a);
         let f = GpLu::factor(&a, Pivoting::None).unwrap();
