@@ -15,14 +15,24 @@
 //! end-to-end solve answers the *original* system regardless of the
 //! ordering baked inside.
 //!
+//! The supernodal (VS-Block) engine rides in its own columns: median
+//! numeric time, decoupling speedup, and the per-problem panel
+//! statistics (panel count with wide count, mean panel width, % of
+//! factorization flops in dense kernels), with its factors verified to
+//! 1e-10 against the same ordered GPLU baseline under every ordering.
+//!
 //! Writes `results/lu_compare.csv` plus the machine-readable
 //! `results/BENCH_lu_compare.json` consumed by the CI perf gate. The
 //! report carries, per problem: the natural-order decoupling speedup
-//! (`<name>`, the historical gate entry), each ordering's decoupling
-//! speedup (`<name>:<ordering>`), and each ordering's **fill gain**
-//! over natural order (`<name>:<ordering>_fill_gain`,
-//! `nnz(L+U)_natural / nnz(L+U)_ordered` — deterministic, so the gate
-//! catches ordering-quality regressions, not just timing ones).
+//! (`<name>`, the historical gate entry), the supernodal engine's
+//! natural-order speedup (`<name>:supernodal`), each ordering's
+//! decoupling speedups (`<name>:<ordering>`,
+//! `<name>:<ordering>_supernodal`), each ordering's **fill gain** over
+//! natural order (`<name>:<ordering>_fill_gain`,
+//! `nnz(L+U)_natural / nnz(L+U)_ordered`), and each ordering's **mean
+//! panel width** (`<name>:<ordering>_panel_width`). Fill gains and
+//! panel widths are deterministic, so the gate catches ordering- and
+//! blocking-quality regressions, not just timing ones.
 //!
 //! Run with `--test-scale` (or `--test`, for `all_experiments`
 //! compatibility) for a fast smoke run (CI uses this); the default
@@ -33,7 +43,8 @@ use sympiler_bench::harness::{geomean, gflops, Table};
 use sympiler_bench::perf::PerfReport;
 use sympiler_bench::workloads::prepare_lu_suite;
 use sympiler_core::plan::lu_parallel::ParallelLuPlan;
-use sympiler_core::{Ordering, SympilerLu, SympilerOptions};
+use sympiler_core::plan::lu_supernodal::SupernodalLuPlan;
+use sympiler_core::{BlockLu, Ordering, SympilerLu, SympilerOptions};
 use sympiler_solvers::lu::{lu_reconstruction_error, GpLu, Pivoting};
 use sympiler_sparse::suite::SuiteScale;
 
@@ -58,6 +69,11 @@ fn main() {
             "GPLU partial",
             "plan serial",
             "speedup",
+            "supernodal",
+            "sup speedup",
+            "panels",
+            "mean w",
+            "dense flops",
             "plan 2T",
             "plan 4T",
             "scal 4T",
@@ -67,6 +83,7 @@ fn main() {
         ],
     );
     let mut speedups = Vec::new();
+    let mut sup_speedups = Vec::new();
     let mut scalings_by_ordering = vec![Vec::new(); Ordering::ALL.len()];
     let mut report = PerfReport::new("lu_compare");
     for p in &problems {
@@ -84,8 +101,11 @@ fn main() {
                 p.name
             );
             let t = std::time::Instant::now();
+            // Pin the scalar serial tier: "plan serial" measures the
+            // column plan; the supernodal engine gets its own column.
             let opts = SympilerOptions {
                 ordering,
+                block_lu: BlockLu::Off,
                 ..Default::default()
             };
             let lu = SympilerLu::compile(&p.a, &opts).unwrap();
@@ -142,6 +162,33 @@ fn main() {
                     );
                 }
             }
+            // The supernodal (VS-Block) engine must reproduce the same
+            // identically ordered GPLU factors to 1e-10 — dense
+            // GETRF/TRSM/GEMM kernels reassociate the update sums, so
+            // bitwise identity is not expected, but the acceptance
+            // tolerance is.
+            let sup = SupernodalLuPlan::from_plan(lu.plan().clone(), opts.max_panel, 1);
+            let f_sup = sup.factor(&p.a).expect("supernodal factors");
+            assert!(
+                f_sup.l().same_pattern(&base.factors.l) && f_sup.u().same_pattern(&base.factors.u),
+                "{}: supernodal patterns under {}",
+                p.name,
+                ordering.label()
+            );
+            for (x, y) in f_sup.l().values().iter().chain(f_sup.u().values()).zip(
+                base.factors
+                    .l
+                    .values()
+                    .iter()
+                    .chain(base.factors.u.values()),
+            ) {
+                assert!(
+                    (x - y).abs() < 1e-10,
+                    "{}: supernodal factor drift under {}",
+                    p.name,
+                    ordering.label()
+                );
+            }
 
             // Timings, all through the shared protocol
             // (`time_lu_factorizer`). Analysis artifacts computed once
@@ -154,6 +201,7 @@ fn main() {
             let t_partial =
                 time_lu_factorizer(|| GpLu::factor(&ordered_a, Pivoting::Partial).expect("factor"));
             let t_plan = time_lu_factorizer(|| lu.factor(&p.a).expect("factor"));
+            let t_sup = time_lu_factorizer(|| sup.factor(&p.a).expect("factor"));
             let par2 = ParallelLuPlan::from_plan(lu.plan().clone(), 2);
             let t_par2 = time_lu_factorizer(|| par2.factor(&p.a).expect("factor"));
             let t_par4 = time_lu_factorizer(|| par4.factor(&p.a).expect("factor"));
@@ -162,14 +210,18 @@ fn main() {
             let flops = lu.flops();
             let lu_nnz = f.l().nnz() + f.u().nnz();
             let speedup = t_coupled.as_secs_f64() / t_plan.as_secs_f64().max(1e-12);
+            let sup_speedup = t_coupled.as_secs_f64() / t_sup.as_secs_f64().max(1e-12);
             let scaling = t_plan.as_secs_f64() / t_par4.as_secs_f64().max(1e-12);
             scalings_by_ordering[oi].push(scaling);
             match ordering {
                 Ordering::Natural => {
                     natural_lu_nnz = lu_nnz;
                     speedups.push(speedup);
-                    // The historical gate entry keeps its bare name.
+                    sup_speedups.push(sup_speedup);
+                    // The historical gate entry keeps its bare name;
+                    // the supernodal engine gates beside it.
                     report.push(p.name, speedup);
+                    report.push(&format!("{}:supernodal", p.name), sup_speedup);
                 }
                 _ => {
                     assert!(
@@ -180,6 +232,18 @@ fn main() {
                     report.push(
                         &format!("{}:{}_fill_gain", p.name, ordering.label()),
                         natural_lu_nnz as f64 / lu_nnz as f64,
+                    );
+                    report.push(
+                        &format!("{}:{}_supernodal", p.name, ordering.label()),
+                        sup_speedup,
+                    );
+                    // Mean panel width is deterministic (pattern +
+                    // ordering + detection rule only), so it gates
+                    // blocking quality like fill gain gates ordering
+                    // quality.
+                    report.push(
+                        &format!("{}:{}_panel_width", p.name, ordering.label()),
+                        sup.mean_panel_width(),
                     );
                 }
             }
@@ -194,6 +258,11 @@ fn main() {
                 format!("{:.3?}", t_partial),
                 format!("{:.3?}", t_plan),
                 format!("{speedup:.2}x"),
+                format!("{:.3?}", t_sup),
+                format!("{sup_speedup:.2}x"),
+                format!("{} ({} wide)", sup.n_panels(), sup.n_wide_panels()),
+                format!("{:.2}", sup.mean_panel_width()),
+                format!("{:.0}%", sup.dense_flop_share() * 100.0),
                 format!("{:.3?}", t_par2),
                 format!("{:.3?}", t_par4),
                 format!("{scaling:.2}x"),
@@ -211,6 +280,12 @@ fn main() {
         geomean(&speedups),
         speedups.len()
     );
+    println!(
+        "geomean supernodal decoupling speedup, natural order (coupled GPLU / \
+         supernodal plan): {:.2}x over {} problems",
+        geomean(&sup_speedups),
+        sup_speedups.len()
+    );
     for (oi, &ordering) in Ordering::ALL.iter().enumerate() {
         println!(
             "geomean 4-thread scaling under {} (serial plan / 4T plan): {:.2}x",
@@ -220,7 +295,8 @@ fn main() {
     }
     println!(
         "all factor patterns + values verified against the identically ordered \
-         baseline (1e-10); parallel factors bitwise-identical to serial at 2 and \
-         4 threads; solves answer the original systems"
+         baseline (1e-10), the supernodal engine included; parallel factors \
+         bitwise-identical to serial at 2 and 4 threads; solves answer the \
+         original systems"
     );
 }

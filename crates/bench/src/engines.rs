@@ -6,7 +6,7 @@ use crate::harness::median_time;
 use crate::workloads::{BenchProblem, LuBenchProblem};
 use std::time::Duration;
 use sympiler_core::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
-use sympiler_core::{Ordering, SympilerCholesky, SympilerLu, SympilerOptions};
+use sympiler_core::{BlockLu, Ordering, SympilerCholesky, SympilerLu, SympilerOptions};
 use sympiler_solvers::cholesky::simplicial::SimplicialCholesky;
 use sympiler_solvers::cholesky::supernodal::SupernodalCholesky;
 use sympiler_solvers::lu::{GpLu, Pivoting};
@@ -188,11 +188,15 @@ pub enum LuEngine {
     /// mode (extra pivot-search work, possibly different factors).
     GpluPartial,
     /// The Sympiler LU plan: symbolic analysis at compile time, numeric
-    /// factorization only in the timed region.
+    /// factorization only in the timed region (scalar serial columns).
     SympilerPlan,
     /// The Sympiler LU plan with the level-scheduled parallel numeric
     /// phase over the column elimination DAG at this worker count.
     SympilerParallel { threads: usize },
+    /// The supernodal (VS-Block) LU engine: wide column panels routed
+    /// through dense GETRF/TRSM/GEMM kernels, singleton panels through
+    /// the scalar column kernel.
+    SympilerSupernodal,
 }
 
 impl LuEngine {
@@ -204,6 +208,7 @@ impl LuEngine {
             LuEngine::SympilerParallel { threads: 2 } => "Sympiler LU plan (2 threads)",
             LuEngine::SympilerParallel { threads: 4 } => "Sympiler LU plan (4 threads)",
             LuEngine::SympilerParallel { .. } => "Sympiler LU plan (parallel)",
+            LuEngine::SympilerSupernodal => "Sympiler LU plan (supernodal)",
         }
     }
 }
@@ -255,8 +260,11 @@ pub fn time_lu_engine_ordered(
             time_lu_factorizer(|| GpLu::factor(&a, Pivoting::Partial).expect("factor"))
         }
         LuEngine::SympilerPlan => {
+            // Pin the scalar tier so the engine measures exactly the
+            // serial column plan whatever the auto-blocking rule says.
             let opts = SympilerOptions {
                 ordering,
+                block_lu: BlockLu::Off,
                 ..Default::default()
             };
             let lu = SympilerLu::compile(&p.a, &opts).expect("compile");
@@ -266,9 +274,20 @@ pub fn time_lu_engine_ordered(
             let opts = SympilerOptions {
                 n_threads: threads,
                 ordering,
+                block_lu: BlockLu::Off,
                 ..Default::default()
             };
             let lu = SympilerLu::compile(&p.a, &opts).expect("compile");
+            time_lu_factorizer(|| lu.factor(&p.a).expect("factor"))
+        }
+        LuEngine::SympilerSupernodal => {
+            let opts = SympilerOptions {
+                ordering,
+                block_lu: BlockLu::On,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&p.a, &opts).expect("compile");
+            debug_assert!(lu.is_supernodal());
             time_lu_factorizer(|| lu.factor(&p.a).expect("factor"))
         }
     }

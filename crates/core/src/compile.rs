@@ -13,6 +13,26 @@ use sympiler_sparse::{CscMatrix, SparseVec};
 
 pub use sympiler_graph::ordering::Ordering;
 
+/// Whether the LU pipeline compiles the supernodal (VS-Block) numeric
+/// engine — the third execution tier beside the serial and
+/// column-parallel plans. See [`SympilerOptions::block_lu`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockLu {
+    /// Detect panels and engage the supernodal engine when blocking
+    /// pays: mean panel width ≥ 2 (at least half the columns sit in
+    /// wide panels). Otherwise compile the scalar serial/parallel
+    /// plan — the default, mirroring the paper's supernode-size
+    /// threshold for VS-Block.
+    #[default]
+    Auto,
+    /// Always compile the supernodal engine (singleton panels still
+    /// execute through the scalar column kernel, so this is safe on
+    /// any pattern — just pointless when nothing blocks).
+    On,
+    /// Never block: serial or column-parallel execution only.
+    Off,
+}
+
 /// Tunable thresholds and switches (paper §4.2).
 #[derive(Debug, Clone)]
 pub struct SympilerOptions {
@@ -49,6 +69,19 @@ pub struct SympilerOptions {
     /// (numeric flops) and elimination-DAG depth (what the parallel
     /// executor scales on).
     pub ordering: Ordering,
+    /// Supernodal (VS-Block) LU: detect column panels in the predicted
+    /// `L` and route the numeric phase through dense GETRF/TRSM/GEMM
+    /// kernels panel by panel. [`BlockLu::Auto`] (the default) engages
+    /// the engine only when the mean panel width reaches 2 — patterns
+    /// that never block keep the cheaper scalar plans. With
+    /// `n_threads > 1` the supernodal engine levels the **panel** DAG
+    /// instead of the column DAG.
+    pub block_lu: BlockLu,
+    /// Cap on LU panel width (the supernodal relaxation knob: wider
+    /// panels amortize more scalar work into dense kernels but grow
+    /// the dense block accumulator, `n × max_panel` doubles per
+    /// worker). 0 = unlimited.
+    pub max_panel: usize,
 }
 
 impl Default for SympilerOptions {
@@ -62,6 +95,8 @@ impl Default for SympilerOptions {
             peel_col_count: 2,
             n_threads: 1,
             ordering: Ordering::Natural,
+            block_lu: BlockLu::Auto,
+            max_panel: 32,
         }
     }
 }
@@ -269,19 +304,27 @@ pub struct SympilerLu {
 }
 
 /// The numeric executor selected at compile time by
-/// [`SympilerOptions::n_threads`].
+/// [`SympilerOptions::n_threads`] and [`SympilerOptions::block_lu`] —
+/// the three execution tiers of the compiled LU pipeline.
 #[derive(Debug, Clone)]
 enum LuExec {
+    /// Scalar columns, in order.
     Serial(LuPlan),
+    /// Scalar columns leveled over the column elimination DAG.
     #[cfg(feature = "parallel")]
     Parallel(crate::plan::lu_parallel::ParallelLuPlan),
+    /// Column panels routed through dense kernels, leveled over the
+    /// panel DAG (serial when compiled with `n_threads == 1`).
+    Supernodal(crate::plan::lu_supernodal::SupernodalLuPlan),
 }
 
 impl SympilerLu {
-    /// Compile for the square matrix `a` (full storage). VS-Block does
-    /// not apply to the scalar left-looking LU schedule; `low_level`
+    /// Compile for the square matrix `a` (full storage). `low_level`
     /// and `peel_col_count` select the peeled update tier exactly like
-    /// the triangular-solve pipeline. `ordering` selects the
+    /// the triangular-solve pipeline; `block_lu` / `max_panel` control
+    /// the supernodal (VS-Block) tier, which routes wide column panels
+    /// of the predicted `L` through dense GETRF/TRSM/GEMM kernels.
+    /// `ordering` selects the
     /// fill-reducing ordering computed at inspection time and baked
     /// into the plan ([`LuPlan::build_ordered`]); `factor` still takes
     /// the original matrix, and [`LuFactor::solve`] speaks original
@@ -291,6 +334,40 @@ impl SympilerLu {
     /// stay bitwise identical to the serial plan.
     pub fn compile(a: &CscMatrix, opts: &SympilerOptions) -> Result<Self, LuPlanError> {
         let plan = LuPlan::build_ordered(a, opts.low_level, opts.peel_col_count, opts.ordering)?;
+        // Supernodal tier: under `Auto`, engage only when blocking
+        // pays (mean panel width ≥ 2 — the VS-Block threshold idea
+        // applied to LU). The threshold needs only the O(nnz) panel
+        // detection, so the full leveled panel schedule is built just
+        // for patterns that actually block.
+        let engage = match opts.block_lu {
+            BlockLu::Off => false,
+            BlockLu::On => true,
+            BlockLu::Auto => {
+                let part = sympiler_graph::lu_supernode::supernodes_lu_from_parts(
+                    plan.n(),
+                    &plan.l_col_ptr,
+                    &plan.l_row_idx,
+                    opts.max_panel,
+                );
+                part.n_supernodes() > 0 && plan.n() as f64 / part.n_supernodes() as f64 >= 2.0
+            }
+        };
+        if engage {
+            return Ok(Self {
+                exec: LuExec::Supernodal(crate::plan::lu_supernodal::SupernodalLuPlan::from_plan(
+                    plan,
+                    opts.max_panel,
+                    opts.n_threads.max(1),
+                )),
+            });
+        }
+        Self::compile_scalar(plan, opts)
+    }
+
+    /// Wrap an already-compiled plan in the scalar executor the
+    /// options select (serial, or column-parallel when `n_threads > 1`
+    /// and the `parallel` feature is on).
+    fn compile_scalar(plan: LuPlan, opts: &SympilerOptions) -> Result<Self, LuPlanError> {
         #[cfg(feature = "parallel")]
         if opts.n_threads > 1 {
             return Ok(Self {
@@ -300,6 +377,8 @@ impl SympilerLu {
                 )),
             });
         }
+        #[cfg(not(feature = "parallel"))]
+        let _ = opts;
         Ok(Self {
             exec: LuExec::Serial(plan),
         })
@@ -311,16 +390,18 @@ impl SympilerLu {
             LuExec::Serial(plan) => plan.factor(a),
             #[cfg(feature = "parallel")]
             LuExec::Parallel(par) => par.factor(a),
+            LuExec::Supernodal(sup) => sup.factor(a),
         }
     }
 
     /// The compiled (serial) plan: symbolic analysis, schedules, flop
-    /// counts — shared by both executors.
+    /// counts — shared by every executor.
     pub fn plan(&self) -> &LuPlan {
         match &self.exec {
             LuExec::Serial(plan) => plan,
             #[cfg(feature = "parallel")]
             LuExec::Parallel(par) => par.serial(),
+            LuExec::Supernodal(sup) => sup.serial(),
         }
     }
 
@@ -330,6 +411,21 @@ impl SympilerLu {
             LuExec::Serial(_) => 1,
             #[cfg(feature = "parallel")]
             LuExec::Parallel(par) => par.n_threads(),
+            LuExec::Supernodal(sup) => sup.n_threads(),
+        }
+    }
+
+    /// True when the supernodal (VS-Block) engine was compiled in.
+    pub fn is_supernodal(&self) -> bool {
+        matches!(self.exec, LuExec::Supernodal(_))
+    }
+
+    /// The compiled supernodal plan, when the supernodal engine is the
+    /// selected executor (panel statistics, panel-DAG schedule).
+    pub fn supernodal(&self) -> Option<&crate::plan::lu_supernodal::SupernodalLuPlan> {
+        match &self.exec {
+            LuExec::Supernodal(sup) => Some(sup),
+            _ => None,
         }
     }
 
@@ -359,9 +455,14 @@ impl SympilerLu {
         self.plan().report()
     }
 
-    /// Emit the matrix-specialized C factorization kernel.
+    /// Emit the matrix-specialized C factorization kernel: the scalar
+    /// Gilbert–Peierls artifact for the serial/parallel tiers, the
+    /// VS-Block panel artifact for the supernodal tier.
     pub fn emit_c(&self) -> String {
-        self.plan().emit_c()
+        match &self.exec {
+            LuExec::Supernodal(sup) => sup.emit_c(),
+            _ => self.plan().emit_c(),
+        }
     }
 }
 
@@ -497,6 +598,112 @@ mod tests {
         assert!(o.vs_block && o.vi_prune && o.low_level);
         assert_eq!(o.n_threads, 1, "serial numeric phase by default");
         assert_eq!(o.ordering, Ordering::Natural, "no reordering by default");
+        assert_eq!(o.block_lu, BlockLu::Auto, "supernodal LU auto-detects");
+        assert_eq!(o.max_panel, 32, "panel cap keeps block buffers small");
+    }
+
+    /// A pattern whose factor blocks heavily: a dense trailing block
+    /// appended to a bidiagonal chain — mean panel width well above
+    /// the `Auto` threshold.
+    fn heavily_blocking_matrix() -> CscMatrix {
+        let n = 24;
+        let mut t = sympiler_sparse::TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 10.0);
+            if j + 1 < n {
+                t.push(j + 1, j, -1.0);
+            }
+        }
+        for j in n / 3..n {
+            for i in n / 3..n {
+                if i != j && i != j + 1 {
+                    t.push(i, j, 0.5);
+                }
+            }
+        }
+        t.to_csc().unwrap()
+    }
+
+    #[test]
+    fn block_lu_knob_selects_the_supernodal_tier() {
+        // The dense trailing block pushes mean panel width past the
+        // Auto threshold: Auto must engage the supernodal engine, Off
+        // must not, and both tiers agree to 1e-12.
+        let a = heavily_blocking_matrix();
+        let auto = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        assert!(auto.is_supernodal(), "dense trailing block must auto-block");
+        let sup = auto.supernodal().unwrap();
+        assert!(sup.mean_panel_width() >= 2.0);
+        assert!(sup.dense_flop_share() > 0.5, "dense kernels carry the work");
+        let off = SympilerLu::compile(
+            &a,
+            &SympilerOptions {
+                block_lu: BlockLu::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!off.is_supernodal());
+        assert!(off.supernodal().is_none());
+        let f_sup = auto.factor(&a).unwrap();
+        let f_off = off.factor(&a).unwrap();
+        for (x, y) in f_sup.u().values().iter().zip(f_off.u().values()) {
+            assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
+        }
+        // A grid pattern blocks too sparsely for Auto (mean width
+        // ~1.1) — the threshold keeps the scalar plan — but On forces
+        // the engine and stays correct.
+        let g = gen::convection_diffusion_2d(8, 8, 1.0, 6);
+        let never = SympilerLu::compile(&g, &SympilerOptions::default()).unwrap();
+        assert!(
+            !never.is_supernodal(),
+            "sparse blocking must not engage Auto"
+        );
+        let forced = SympilerLu::compile(
+            &g,
+            &SympilerOptions {
+                block_lu: BlockLu::On,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(forced.is_supernodal());
+        assert!(forced.supernodal().unwrap().n_wide_panels() > 0);
+        let f_forced = forced.factor(&g).unwrap();
+        let f_scalar = SympilerLu::compile(
+            &g,
+            &SympilerOptions {
+                block_lu: BlockLu::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .factor(&g)
+        .unwrap();
+        for (x, y) in f_forced.u().values().iter().zip(f_scalar.u().values()) {
+            assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn supernodal_emits_vs_block_c() {
+        let a = heavily_blocking_matrix();
+        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        assert!(lu.is_supernodal());
+        let c = lu.emit_c();
+        assert!(c.contains("lu_supernodal_specialized"));
+        assert!(c.contains("panelSet"));
+        assert!(c.contains("dense_getrf"));
+        // The scalar tiers keep the Gilbert–Peierls artifact.
+        let off = SympilerLu::compile(
+            &a,
+            &SympilerOptions {
+                block_lu: BlockLu::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(off.emit_c().contains("lu_factor_specialized"));
     }
 
     #[test]

@@ -417,6 +417,135 @@ pub fn emit_lu_c(
     out
 }
 
+/// Emit the matrix-specialized **supernodal** LU factorization C — the
+/// VS-Block artifact for LU (§3.2 applied to Gilbert–Peierls). Wide
+/// panels call the dense mini-BLAS the way Sympiler-generated
+/// supernodal Cholesky does (`dense_potrf`/`dense_trsm` there,
+/// `dense_getrf`/`dense_trsm`/`dense_gemm` here); singleton panels keep
+/// the scalar column loop. The panel table (`panelSet`) is embedded as
+/// static data, like `blockSet` in the Cholesky artifact and
+/// `reachSet` in Figure 1e.
+///
+/// `part` is the compiled panel partition, `l_col_ptr` the predicted
+/// `L` layout (for panel row counts), `n_wide` / `dense_share` the
+/// compile-time panel statistics quoted in the header comment.
+pub fn emit_lu_supernodal_c(
+    part: &sympiler_graph::supernode::SupernodePartition,
+    l_col_ptr: &[usize],
+    n_wide: usize,
+    dense_share: f64,
+) -> String {
+    let n = part.n_cols();
+    let n_panels = part.n_supernodes();
+    let mut out = String::new();
+    let _ = writeln!(out, "/* Sympiler-generated supernodal sparse LU (VS-Block)");
+    let _ = writeln!(
+        out,
+        "   specialized for one {n}x{n} pattern: {n_panels} panels ({n_wide} wide, mean width {:.2}),",
+        if n_panels == 0 { 0.0 } else { n as f64 / n_panels as f64 }
+    );
+    let _ = writeln!(
+        out,
+        "   {:.1}% of factorization flops in dense kernels */",
+        dense_share * 100.0
+    );
+    let firsts: Vec<String> = part.first_col.iter().map(|c| c.to_string()).collect();
+    let _ = writeln!(
+        out,
+        "static const int panelSet[{}] = {{{}}};",
+        firsts.len(),
+        firsts.join(", ")
+    );
+    let _ = writeln!(out, "static const int panelSetSize = {n_panels};");
+    // Trapezoid storage offsets, mirroring the Rust engine's `sx`
+    // layout: wide panel s owns the dense column-major m x w block
+    // `SX[sxPtr[s] .. sxPtr[s] + m*w]` — CSC `Lx` packs nesting
+    // columns with *shrinking* lengths, so it cannot double as a
+    // constant-stride dense block.
+    let mut sx_ptr = Vec::with_capacity(n_panels + 1);
+    sx_ptr.push(0usize);
+    for s in 0..n_panels {
+        let w = part.width(s);
+        let f = part.first_col[s];
+        let m = l_col_ptr[f + 1] - l_col_ptr[f];
+        sx_ptr.push(sx_ptr[s] + if w > 1 { m * w } else { 0 });
+    }
+    let _ = writeln!(
+        out,
+        "static const int sxSize = {}; /* doubles of supernodal trapezoid storage (SX) */",
+        sx_ptr[n_panels]
+    );
+    let _ = writeln!(
+        out,
+        "\nvoid lu_supernodal_specialized(const int *Ap, const int *Ai, const double *Ax,\n    \
+         const int *Lp, const int *Li, double *Lx,\n    \
+         const int *Up, const int *Ui, double *Ux, double *X, double *SX) {{"
+    );
+    let mut s = 0usize;
+    while s < n_panels {
+        let f = part.first_col[s];
+        let w = part.width(s);
+        if w == 1 {
+            // A run of singleton panels: the scalar column loop.
+            while s < n_panels && part.width(s) == 1 {
+                s += 1;
+            }
+            let hi = part.first_col[s];
+            let _ = writeln!(out, "  for (int j = {f}; j < {hi}; j++) {{");
+            let _ = writeln!(out, "    /* scalar column: scatter, update, gather */");
+            let _ = writeln!(
+                out,
+                "    lu_column_scalar(j, Ap, Ai, Ax, Lp, Li, Lx, Up, Ui, Ux, X);"
+            );
+            let _ = writeln!(out, "  }}");
+            continue;
+        }
+        let m = l_col_ptr[f + 1] - l_col_ptr[f];
+        let _ = writeln!(
+            out,
+            "  /* panel {s}: columns {f}..{} as a {m}x{w} trapezoid */",
+            f + w
+        );
+        let _ = writeln!(out, "  {{");
+        let _ = writeln!(
+            out,
+            "    lu_panel_scatter({f}, {w}, Ap, Ai, Ax, X); /* block accumulator */"
+        );
+        let _ = writeln!(
+            out,
+            "    lu_panel_updates({s}, panelSet, Lp, Li, Lx, SX, X); /* dense_trsm + dense_gemm per source panel */"
+        );
+        let _ = writeln!(
+            out,
+            "    double *W = SX + {}; /* this panel's dense trapezoid */",
+            sx_ptr[s]
+        );
+        let _ = writeln!(
+            out,
+            "    lu_panel_pack({f}, {w}, {m}, Lp, Li, X, W); /* accumulator rows -> trapezoid */"
+        );
+        let _ = writeln!(
+            out,
+            "    dense_getrf({w}, W, {m}); /* diagonal block, no pivoting */"
+        );
+        if m > w {
+            let _ = writeln!(
+                out,
+                "    dense_trsm_right_upper({}, {w}, W, {m}, W + {w}, {m}); /* panel solve */",
+                m - w
+            );
+        }
+        let _ = writeln!(
+            out,
+            "    lu_panel_gather({f}, {w}, {m}, W, Lp, Li, Lx, Up, Ui, Ux, X); /* fixed CSC layouts */"
+        );
+        let _ = writeln!(out, "  }}");
+        s += 1;
+    }
+    out.push_str("}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +632,49 @@ mod tests {
             schedules.iter().any(|s| s.iter().any(|&(_, p)| p)),
             "test matrix must exercise the peeled tier"
         );
+    }
+
+    #[test]
+    fn emits_supernodal_lu() {
+        // Columns 0, 1 nest with a shared sub-diagonal row (a true
+        // trapezoid, rows > width), the rest stay singletons.
+        let mut t = sympiler_sparse::TripletMatrix::new(6, 6);
+        for j in 0..6 {
+            t.push(j, j, 4.0);
+        }
+        t.push(1, 0, 1.0);
+        t.push(5, 0, 1.0);
+        t.push(5, 1, 1.0);
+        let a = t.to_csc().unwrap();
+        let sym = sympiler_graph::lu_symbolic(&a);
+        let part = sympiler_graph::lu_supernode::supernodes_lu(&sym, 0);
+        assert!(
+            (0..part.n_supernodes()).any(|s| part.width(s) > 1),
+            "test pattern must block"
+        );
+        let share = sympiler_graph::lu_supernode::flop_share_in_wide_panels(&sym, &part);
+        let n_wide = (0..part.n_supernodes())
+            .filter(|&s| part.width(s) > 1)
+            .count();
+        let c = emit_lu_supernodal_c(&part, &sym.l_col_ptr, n_wide, share);
+        assert!(c.contains("panelSet"));
+        assert!(c.contains("lu_supernodal_specialized"));
+        assert!(c.contains("dense_getrf"));
+        assert!(c.contains("dense_trsm_right_upper"));
+        assert!(c.contains("dense_trsm + dense_gemm"));
+        assert!(c.contains("lu_column_scalar"), "singleton run emitted");
+        // The header quotes the compile-time panel statistics.
+        assert!(c.contains("% of factorization flops in dense kernels"));
+        // Wide panels factor in dedicated trapezoid storage (SX), never
+        // in the packed CSC Lx (whose nesting columns shrink, so they
+        // cannot alias a constant-stride dense block).
+        assert!(c.contains("double *SX"));
+        assert!(
+            c.contains("static const int sxSize = 6;"),
+            "one 3x2 trapezoid"
+        );
+        assert!(c.contains("double *W = SX + 0;"));
+        assert!(!c.contains("W = Lx"), "Lx must never be treated as dense");
     }
 
     #[test]

@@ -3,4 +3,4 @@
 
 pub mod c;
 
-pub use c::{emit_kernel_c, emit_lu_c, emit_trisolve_c};
+pub use c::{emit_kernel_c, emit_lu_c, emit_lu_supernodal_c, emit_trisolve_c};

@@ -41,5 +41,7 @@ pub mod plan;
 pub mod report;
 pub mod transform;
 
-pub use compile::{Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve};
+pub use compile::{
+    BlockLu, Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
+};
 pub use report::SymbolicReport;

@@ -27,7 +27,7 @@
 use crate::inspector::LuVIPruneInspector;
 use crate::report::{timed, SymbolicReport};
 use sympiler_graph::ordering::Ordering;
-use sympiler_sparse::CscMatrix;
+use sympiler_sparse::{CscMatrix, SparseVec};
 
 /// LU plan error (kept separate from the solvers' error type so
 /// `sympiler-core` does not depend on `sympiler-solvers`).
@@ -67,8 +67,9 @@ impl std::error::Error for LuPlanError {}
 pub(crate) struct BakedPerm {
     /// `perm[new] = old` — the ordering `Q`.
     pub(crate) perm: std::sync::Arc<[usize]>,
-    /// `iperm[old] = new` — `Q⁻¹`.
-    pub(crate) iperm: Vec<usize>,
+    /// `iperm[old] = new` — `Q⁻¹`. `Arc`-shared with the factors so
+    /// sparse-RHS solves can map patterns without re-inverting.
+    pub(crate) iperm: std::sync::Arc<[usize]>,
 }
 
 /// A compiled LU factorization specialized to one sparsity pattern
@@ -124,6 +125,8 @@ pub struct LuFactor {
     /// `perm[new] = old`; `None` when no ordering was compiled.
     /// Shared with the producing plan (`Arc`), not copied per factor.
     perm: Option<std::sync::Arc<[usize]>>,
+    /// `iperm[old] = new`, shared likewise; present iff `perm` is.
+    iperm: Option<std::sync::Arc<[usize]>>,
 }
 
 impl LuFactor {
@@ -201,6 +204,106 @@ impl LuFactor {
         }
     }
 
+    /// Solve `A x = b` for a **sparse** right-hand side, touching only
+    /// the reach sets of `b`'s pattern on the factors' dependence
+    /// graphs — the Gilbert–Peierls theory (§1.1) applied at solve
+    /// time, with the same DFS machinery the symbolic LU inspection
+    /// uses ([`sympiler_graph::dfs`]).
+    ///
+    /// Two reach computations schedule the two sweeps: the forward
+    /// solve visits `Reach_{DG_L}(SP(b))`, the backward solve
+    /// `Reach_{DG_U}` of the intermediate's pattern (edges of `DG_U`
+    /// point *up*: column `j` of `U` feeds rows `i < j`). Arithmetic
+    /// and pattern traversal are `O(|b| + flops of the pruned solve)`;
+    /// only the dense scratch initialization is `O(n)`.
+    ///
+    /// Takes and returns **original** coordinates, exactly like
+    /// [`Self::solve`]: under a baked ordering the input pattern maps
+    /// through `Q⁻¹` and the result pattern back through `Q`. The
+    /// returned vector's pattern is the structural reach — entries
+    /// that cancel numerically are stored as explicit zeros.
+    pub fn solve_sparse(&self, b: &SparseVec) -> SparseVec {
+        let n = self.l.n_cols();
+        assert_eq!(b.dim(), n, "rhs dimension mismatch");
+        let mut x = vec![0.0f64; n];
+        // Pattern and values of Qᵀ b in factor coordinates.
+        let beta: Vec<usize> = match &self.iperm {
+            None => {
+                for (i, v) in b.iter() {
+                    x[i] = v;
+                }
+                b.indices().to_vec()
+            }
+            Some(ip) => {
+                let mut idx: Vec<usize> = b.indices().iter().map(|&i| ip[i]).collect();
+                for (&i, &v) in b.indices().iter().zip(b.values()) {
+                    x[ip[i]] = v;
+                }
+                idx.sort_unstable();
+                idx
+            }
+        };
+        let mut ws = sympiler_graph::dfs::ReachWorkspace::new(n);
+        let mut order: Vec<usize> = Vec::with_capacity(beta.len() * 4);
+        // Forward: L y = Qᵀ b over Reach_{DG_L}(SP(b)), topological.
+        sympiler_graph::dfs::reach_adjacency_into(
+            n,
+            &beta,
+            |v| &self.l.col_rows(v)[1..],
+            &mut ws,
+            &mut order,
+        );
+        let (col_ptr, row_idx, values) = (self.l.col_ptr(), self.l.row_idx(), self.l.values());
+        for &j in &order {
+            let xj = x[j]; // unit diagonal
+            if xj != 0.0 {
+                for (&i, &lij) in row_idx[col_ptr[j] + 1..col_ptr[j + 1]]
+                    .iter()
+                    .zip(&values[col_ptr[j] + 1..col_ptr[j + 1]])
+                {
+                    x[i] -= lij * xj;
+                }
+            }
+        }
+        // Backward: U z = y over Reach_{DG_U}(SP(y)); U's columns
+        // store the diagonal last, so the edge set of node v is every
+        // stored row but the last.
+        let beta_u = std::mem::take(&mut order);
+        let mut order_u: Vec<usize> = Vec::with_capacity(beta_u.len() * 2);
+        sympiler_graph::dfs::reach_adjacency_into(
+            n,
+            &beta_u,
+            |v| {
+                let rows = self.u.col_rows(v);
+                &rows[..rows.len() - 1]
+            },
+            &mut ws,
+            &mut order_u,
+        );
+        let (col_ptr, row_idx, values) = (self.u.col_ptr(), self.u.row_idx(), self.u.values());
+        for &j in &order_u {
+            let range = col_ptr[j]..col_ptr[j + 1];
+            let xj = x[j] / values[range.end - 1];
+            x[j] = xj;
+            if xj != 0.0 {
+                for (&i, &uij) in row_idx[range.start..range.end - 1]
+                    .iter()
+                    .zip(&values[range.start..range.end - 1])
+                {
+                    x[i] -= uij * xj;
+                }
+            }
+        }
+        // Gather the solution pattern back to original coordinates.
+        let mut pairs: Vec<(usize, f64)> = match &self.perm {
+            None => order_u.iter().map(|&j| (j, x[j])).collect(),
+            Some(p) => order_u.iter().map(|&j| (p[j], x[j])).collect(),
+        };
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let (indices, vals): (Vec<usize>, Vec<f64>) = pairs.into_iter().unzip();
+        SparseVec::try_new(n, indices, vals).expect("reach emits unique in-range indices")
+    }
+
     /// Magnitude of `det(A)`: the product of `U`'s diagonal.
     pub fn det_magnitude(&self) -> f64 {
         (0..self.u.n_cols())
@@ -269,7 +372,7 @@ impl LuPlan {
                 .expect("ordering produced a valid permutation");
             BakedPerm {
                 perm: perm.into(),
-                iperm,
+                iperm: iperm.into(),
             }
         });
         let sym = sets.symbolic;
@@ -428,6 +531,27 @@ impl LuPlan {
             l,
             u,
             perm: self.baked.as_ref().map(|b| b.perm.clone()),
+            iperm: self.baked.as_ref().map(|b| b.iperm.clone()),
+        }
+    }
+
+    /// Scatter the ordered column `j` of the system into a dense
+    /// accumulator: `A(:, j)` directly in natural order, or column
+    /// `perm[j]` of the caller's original matrix with rows mapped
+    /// through `Q⁻¹` under a baked ordering. Shared by the per-column
+    /// kernel below and the supernodal plan's panel scatter.
+    pub(crate) fn scatter_a_column(&self, j: usize, a: &CscMatrix, x: &mut [f64]) {
+        match &self.baked {
+            None => {
+                for (i, v) in a.col_iter(j) {
+                    x[i] = v;
+                }
+            }
+            Some(bp) => {
+                for (i, v) in a.col_iter(bp.perm[j]) {
+                    x[bp.iperm[i]] = v;
+                }
+            }
         }
     }
 
@@ -467,18 +591,7 @@ impl LuPlan {
         // permutation is applied here, inside the scatter the column
         // solve performs anyway, so ordered plans pay zero extra
         // passes over the data.
-        match &self.baked {
-            None => {
-                for (i, v) in a.col_iter(j) {
-                    x[i] = v;
-                }
-            }
-            Some(bp) => {
-                for (i, v) in a.col_iter(bp.perm[j]) {
-                    x[bp.iperm[i]] = v;
-                }
-            }
-        }
+        self.scatter_a_column(j, a, x);
         // Apply the baked update schedule in topological order.
         for &tagged in &self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]] {
             let k = (tagged & !PEEL_BIT) as usize;
@@ -587,10 +700,7 @@ impl LuPlan {
         let schedules: Vec<Vec<(usize, bool)>> = (0..self.n)
             .map(|j| self.schedule_with_tiers(j).collect())
             .collect();
-        let perm = self
-            .baked
-            .as_ref()
-            .map(|b| (&b.perm[..], b.iperm.as_slice()));
+        let perm = self.baked.as_ref().map(|b| (&b.perm[..], &b.iperm[..]));
         crate::emit::emit_lu_c(&l_pattern, &self.u_col_ptr, &schedules, perm)
     }
 }
@@ -789,6 +899,79 @@ mod tests {
             plan.factor(&permuted),
             Err(LuPlanError::PatternMismatch)
         ));
+    }
+
+    #[test]
+    fn solve_sparse_matches_dense_solve() {
+        for ordering in [Ordering::Natural, Ordering::Rcm, Ordering::Colamd] {
+            for seed in 0..4u64 {
+                let a = gen::circuit_unsym(80, 4, 2, seed);
+                let n = a.n_cols();
+                let plan = LuPlan::build_ordered(&a, true, 2, ordering).unwrap();
+                let f = plan.factor(&a).unwrap();
+                // A sparse RHS with a handful of scattered entries.
+                let idx: Vec<usize> = (0..n)
+                    .filter(|i| (i * 13 + seed as usize).is_multiple_of(29))
+                    .collect();
+                let vals: Vec<f64> = idx.iter().map(|&i| 1.0 + (i % 5) as f64).collect();
+                let b = SparseVec::try_new(n, idx, vals).unwrap();
+                let xs = f.solve_sparse(&b);
+                let xd = f.solve(&b.to_dense());
+                // Every dense-solve nonzero must appear in the sparse
+                // pattern, and stored values must agree.
+                let dense_of_sparse = xs.to_dense();
+                for i in 0..n {
+                    assert!(
+                        (dense_of_sparse[i] - xd[i]).abs() < 1e-11,
+                        "{ordering:?} seed {seed} row {i}: {} vs {}",
+                        dense_of_sparse[i],
+                        xd[i]
+                    );
+                }
+                // The pattern is the structural reach: no index may be
+                // *missing* where the dense solve is materially nonzero.
+                for i in 0..n {
+                    if xd[i].abs() > 1e-9 {
+                        assert!(
+                            xs.indices().binary_search(&i).is_ok(),
+                            "{ordering:?} seed {seed}: nonzero row {i} missing from sparse pattern"
+                        );
+                    }
+                }
+                assert!(
+                    xs.nnz() <= n,
+                    "pattern is a subset of the dimension by construction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_sparse_touches_only_the_reach_on_chains() {
+        // Bidiagonal L-shaped system: b = e_k solves to a suffix
+        // pattern; earlier rows must not appear.
+        let n = 12;
+        let mut t = sympiler_sparse::TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 2.0);
+            if j + 1 < n {
+                t.push(j + 1, j, -1.0);
+            }
+        }
+        let a = t.to_csc().unwrap();
+        let plan = LuPlan::build(&a, true, 2).unwrap();
+        let f = plan.factor(&a).unwrap();
+        let b = SparseVec::try_new(n, vec![7], vec![3.0]).unwrap();
+        let x = f.solve_sparse(&b);
+        assert!(
+            x.indices().iter().all(|&i| i >= 7),
+            "lower-bidiagonal reach of e_7 is the suffix, got {:?}",
+            x.indices()
+        );
+        let xd = f.solve(&b.to_dense());
+        for (i, v) in x.iter() {
+            assert!((v - xd[i]).abs() < 1e-13);
+        }
     }
 
     #[test]

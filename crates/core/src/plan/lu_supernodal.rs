@@ -1,0 +1,840 @@
+//! Supernodal (VS-Block) LU: the third execution tier of the compiled
+//! LU pipeline, beside the serial column plan ([`super::lu::LuPlan`])
+//! and the level-scheduled column-parallel plan
+//! (`super::lu_parallel::ParallelLuPlan`).
+//!
+//! The paper's VS-Block transformation (§3.2) converts column-at-a-time
+//! sparse kernels into blocked code over supernodes so the numeric
+//! phase runs on dense kernels. Applied to left-looking LU:
+//!
+//! * **Inspection** — adjacent columns of the predicted `L` whose
+//!   patterns nest ([`sympiler_graph::lu_supernode`]) form a column
+//!   **panel**: a dense trapezoid whose diagonal block is a full square
+//!   and whose sub-diagonal rows are shared by every column. Panel
+//!   layouts (trapezoid extents, value offsets, the panel-level update
+//!   DAG) are all baked here at compile time.
+//! * **Numeric phase** — panel by panel: gather the panel's columns
+//!   into a dense block accumulator, apply each *source* panel's
+//!   accumulated updates with a dense TRSM
+//!   ([`sympiler_dense::trsm_right_lower_trans_unit`], the source's
+//!   internal solve) followed by a dense GEMM
+//!   ([`sympiler_dense::gemm_nt_sub`], the outer-panel update) and a
+//!   scatter-add back into the accumulator; then factor the panel's own
+//!   diagonal block with an unpivoted dense GETRF
+//!   ([`sympiler_dense::getrf_nopiv`]) and divide out its `U` with a
+//!   dense TRSM ([`sympiler_dense::trsm_right_upper`]). Width-1 panels
+//!   fall back to the scalar per-column kernel
+//!   (`LuPlan::column_numeric`), so sparsity that never blocks costs
+//!   nothing extra.
+//! * **Parallelism** — the panel DAG (panel `s` depends on every panel
+//!   that sources one of its updates) feeds the same generalized
+//!   scheduler the column-parallel plan uses
+//!   ([`sympiler_graph::levels::dag_levels_from_preds`] +
+//!   [`sympiler_graph::levels::balanced_partition`]): levels of
+//!   independent panels execute across workers with one barrier per
+//!   kept level boundary, barriers elided across same-owner runs.
+//!
+//! Results are **not** bit-identical to the scalar plans — dense
+//! kernels reassociate the update sums — but agree to ~1e-12 relative
+//! (verified across the suite by `lu_compare` and the property tests),
+//! and the zero-pivot column reported is the same.
+
+use super::lu::{LuFactor, LuPlan, LuPlanError};
+use sympiler_dense::{gemm_nt_sub, getrf_nopiv, trsm_right_lower_trans_unit, trsm_right_upper};
+use sympiler_graph::levels::{balanced_partition, dag_levels_from_preds};
+use sympiler_graph::lu_supernode::supernodes_lu_from_parts;
+use sympiler_graph::supernode::SupernodePartition;
+use sympiler_sparse::CscMatrix;
+
+/// Avoid clashing with `std::sync::atomic::Ordering` in this module.
+use sympiler_graph::ordering::Ordering as FillOrdering;
+
+/// A compiled LU factorization whose numeric phase executes panel by
+/// panel over the supernodes of the predicted `L`, with dense
+/// GETRF/TRSM/GEMM kernels on the wide panels.
+#[derive(Debug, Clone)]
+pub struct SupernodalLuPlan {
+    plan: LuPlan,
+    /// Column panels of the predicted factor (ordered coordinates).
+    part: SupernodePartition,
+    /// Trapezoid value offsets: wide panel `s` owns the column-major
+    /// `m × w` block `sx[sx_ptr[s]..sx_ptr[s+1]]` of the supernodal
+    /// workspace, `m` its row count, `w` its width; singleton panels
+    /// own nothing (their columns live only in the CSC factor arrays).
+    sx_ptr: Vec<usize>,
+    /// Panel-level update schedule: panel `s` consumes the panels
+    /// `upd_panels[upd_ptr[s]..upd_ptr[s+1]]`, ascending — exactly the
+    /// predecessors of `s` in the panel DAG.
+    upd_ptr: Vec<usize>,
+    upd_panels: Vec<u32>,
+    /// Worker count baked into the level schedule.
+    n_threads: usize,
+    /// Panels flattened level by level (ascending within levels).
+    level_panels: Vec<usize>,
+    level_ptr: Vec<usize>,
+    /// Per-level worker chunks, `n_threads + 1` boundaries per level
+    /// relative to the level start (see `ParallelLuPlan`).
+    chunk_bounds: Vec<usize>,
+    /// Compile-time barrier schedule with same-owner elision.
+    barrier_after: Vec<bool>,
+    /// Widest panel (workspace sizing).
+    max_width: usize,
+    /// Largest sub-diagonal row count over wide panels (workspace
+    /// sizing for the GEMM gather block).
+    max_sub_rows: usize,
+    /// Fraction of factorization flops carried by wide panels — the
+    /// share the dense kernels execute.
+    dense_flop_share: f64,
+}
+
+/// Shared mutable view of the factor value arrays plus the supernodal
+/// trapezoid storage, handed to the scoped workers.
+///
+/// SAFETY ARGUMENT: identical to `ParallelLuPlan`'s — every panel's
+/// `L`/`U`/trapezoid value ranges are written by exactly one worker
+/// (the compile-time chunk owner) during the panel's level and read by
+/// other workers only in strictly later levels, with a barrier
+/// separating levels. No location is accessed concurrently with a
+/// write.
+#[cfg(feature = "parallel")]
+struct SharedPanels {
+    lx: *mut f64,
+    ux: *mut f64,
+    sx: *mut f64,
+}
+
+// SAFETY: see the struct-level safety argument.
+#[cfg(feature = "parallel")]
+unsafe impl Sync for SharedPanels {}
+
+/// Per-worker scratch: `x` is a dense `n × max_width` block accumulator
+/// (column-major, all zeros between panels), `bt` a `max_width²`
+/// gather block for source-panel solves and diagonal-block copies,
+/// `cbuf` the GEMM gather/scatter block.
+struct PanelWorkspace {
+    x: Vec<f64>,
+    bt: Vec<f64>,
+    cbuf: Vec<f64>,
+}
+
+impl SupernodalLuPlan {
+    /// Compile a supernodal plan for the square matrix `a` under a
+    /// fill-reducing ordering. `low_level` / `peel_col_count` select
+    /// the scalar fallback's peeled tier exactly like
+    /// [`LuPlan::build_ordered`]; `max_panel` caps panel width (0 =
+    /// unlimited); `n_threads` fixes the worker count baked into the
+    /// panel-level schedule (1 = serial panel sweep).
+    pub fn build(
+        a: &CscMatrix,
+        low_level: bool,
+        peel_col_count: usize,
+        ordering: FillOrdering,
+        max_panel: usize,
+        n_threads: usize,
+    ) -> Result<Self, LuPlanError> {
+        Ok(Self::from_plan(
+            LuPlan::build_ordered(a, low_level, peel_col_count, ordering)?,
+            max_panel,
+            n_threads,
+        ))
+    }
+
+    /// Detect panels on an already-compiled plan and bake the panel
+    /// layouts and the leveled panel-DAG schedule. Pure schedule
+    /// construction — no symbolic analysis re-runs.
+    pub fn from_plan(plan: LuPlan, max_panel: usize, n_threads: usize) -> Self {
+        assert!(n_threads >= 1, "need at least one thread");
+        let n = plan.n();
+        let part = supernodes_lu_from_parts(n, &plan.l_col_ptr, &plan.l_row_idx, max_panel);
+        let n_panels = part.n_supernodes();
+
+        // Trapezoid layout: wide panels own an m × w value block.
+        let mut sx_ptr = Vec::with_capacity(n_panels + 1);
+        sx_ptr.push(0usize);
+        let mut max_width = 1usize;
+        let mut max_sub_rows = 0usize;
+        for s in 0..n_panels {
+            let w = part.width(s);
+            let f = part.first_col[s];
+            let m = plan.l_col_ptr[f + 1] - plan.l_col_ptr[f];
+            let mut size = 0;
+            if w > 1 {
+                size = m * w;
+                max_width = max_width.max(w);
+                max_sub_rows = max_sub_rows.max(m - w);
+            }
+            sx_ptr.push(sx_ptr[s] + size);
+        }
+
+        // Panel-level update schedule = panel DAG predecessors: map
+        // every column's baked schedule through col_to_super, dedup.
+        let mut upd_ptr = Vec::with_capacity(n_panels + 1);
+        let mut upd_panels: Vec<u32> = Vec::new();
+        upd_ptr.push(0usize);
+        let mut seen = vec![usize::MAX; n_panels];
+        for s in 0..n_panels {
+            let start = upd_panels.len();
+            for j in part.cols(s) {
+                for k in plan.schedule(j) {
+                    let t = part.col_to_super[k];
+                    if t != s && seen[t] != s {
+                        seen[t] = s;
+                        upd_panels.push(t as u32);
+                    }
+                }
+            }
+            upd_panels[start..].sort_unstable();
+            upd_ptr.push(upd_panels.len());
+        }
+
+        // Dense flop share: the shared cost model from the graph
+        // crate, read off the plan's compiled layouts.
+        let dense_flop_share = sympiler_graph::lu_supernode::flop_share_in_wide_panels_from_parts(
+            &part,
+            &plan.l_col_ptr,
+            &plan.u_col_ptr,
+            &plan.u_row_idx,
+        );
+
+        // Level the panel DAG and cost-balance each level's panels
+        // across workers — the same generalized scheduler the
+        // column-parallel plan drives, fed panels instead of columns.
+        let levels = dag_levels_from_preds(n_panels, |s| {
+            upd_panels[upd_ptr[s]..upd_ptr[s + 1]]
+                .iter()
+                .map(|&t| t as usize)
+        });
+        let col_costs = plan.per_column_costs();
+        let panel_costs: Vec<u64> = (0..n_panels)
+            .map(|s| part.cols(s).map(|j| col_costs[j]).sum())
+            .collect();
+        let mut level_panels = Vec::with_capacity(n_panels);
+        let mut level_ptr = Vec::with_capacity(levels.n_levels() + 1);
+        let mut chunk_bounds = Vec::with_capacity(levels.n_levels() * (n_threads + 1));
+        level_ptr.push(0);
+        let mut sole_owner: Vec<bool> = Vec::with_capacity(levels.n_levels());
+        for panels in &levels.levels {
+            let costs: Vec<u64> = panels.iter().map(|&s| panel_costs[s]).collect();
+            let mut bounds = balanced_partition(&costs, n_threads);
+            let whole = (0..n_threads).any(|t| bounds[t + 1] - bounds[t] == panels.len());
+            if whole {
+                for b in bounds.iter_mut().skip(1) {
+                    *b = panels.len();
+                }
+            }
+            sole_owner.push(whole);
+            chunk_bounds.extend(bounds);
+            level_panels.extend_from_slice(panels);
+            level_ptr.push(level_panels.len());
+        }
+        let n_levels = sole_owner.len();
+        let barrier_after: Vec<bool> = (0..n_levels)
+            .map(|lv| lv + 1 < n_levels && !(sole_owner[lv] && sole_owner[lv + 1]))
+            .collect();
+
+        Self {
+            plan,
+            part,
+            sx_ptr,
+            upd_ptr,
+            upd_panels,
+            n_threads,
+            level_panels,
+            level_ptr,
+            chunk_bounds,
+            barrier_after,
+            max_width,
+            max_sub_rows,
+            dense_flop_share,
+        }
+    }
+
+    /// The underlying serial plan (shared symbolic analysis, layouts,
+    /// flop counts, scalar kernel).
+    pub fn serial(&self) -> &LuPlan {
+        &self.plan
+    }
+
+    /// Recover the serial plan (for compile drivers that decide after
+    /// detection that blocking does not pay).
+    pub fn into_plan(self) -> LuPlan {
+        self.plan
+    }
+
+    /// The compiled panel partition.
+    pub fn partition(&self) -> &SupernodePartition {
+        &self.part
+    }
+
+    /// Number of panels.
+    pub fn n_panels(&self) -> usize {
+        self.part.n_supernodes()
+    }
+
+    /// Mean panel width (columns per panel).
+    pub fn mean_panel_width(&self) -> f64 {
+        if self.n_panels() == 0 {
+            0.0
+        } else {
+            self.plan.n() as f64 / self.n_panels() as f64
+        }
+    }
+
+    /// Widest compiled panel.
+    pub fn max_panel_width(&self) -> usize {
+        self.max_width
+    }
+
+    /// Number of wide (width ≥ 2) panels — the ones the dense kernels
+    /// execute.
+    pub fn n_wide_panels(&self) -> usize {
+        (0..self.n_panels())
+            .filter(|&s| self.part.width(s) > 1)
+            .count()
+    }
+
+    /// Fraction of factorization flops carried by wide panels (the
+    /// dense-kernel share of the numeric phase).
+    pub fn dense_flop_share(&self) -> f64 {
+        self.dense_flop_share
+    }
+
+    /// Worker count baked into the panel schedule.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Number of panel levels (critical-path length of the panel DAG).
+    pub fn n_levels(&self) -> usize {
+        self.level_ptr.len() - 1
+    }
+
+    /// Average available panel parallelism.
+    pub fn avg_panel_parallelism(&self) -> f64 {
+        if self.n_levels() == 0 {
+            0.0
+        } else {
+            self.level_panels.len() as f64 / self.n_levels() as f64
+        }
+    }
+
+    /// Barriers the parallel numeric phase executes after elision.
+    pub fn n_barriers(&self) -> usize {
+        self.barrier_after.iter().filter(|&&b| b).count()
+    }
+
+    fn workspace(&self) -> PanelWorkspace {
+        let n = self.plan.n();
+        let w = self.max_width;
+        PanelWorkspace {
+            x: vec![0.0; n * w],
+            bt: vec![0.0; w * w],
+            cbuf: vec![0.0; self.max_sub_rows * w],
+        }
+    }
+
+    /// The chunk of level `lv` owned by worker `t`.
+    #[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+    fn chunk(&self, lv: usize, t: usize) -> &[usize] {
+        let base = self.level_ptr[lv];
+        let o = lv * (self.n_threads + 1);
+        let lo = base + self.chunk_bounds[o + t];
+        let hi = base + self.chunk_bounds[o + t + 1];
+        &self.level_panels[lo..hi]
+    }
+
+    /// Execute one panel: the scalar column kernel for singletons, the
+    /// dense GETRF/TRSM/GEMM pipeline for wide panels. Returns the
+    /// smallest zero-pivot column, or `usize::MAX` when clean; values
+    /// are always fully written (IEEE semantics on zero pivots), so
+    /// parallel callers record and keep going.
+    ///
+    /// # Safety
+    /// `lx` / `ux` / `sx` must point to the full factor and trapezoid
+    /// value arrays. The caller must guarantee that (a) no other thread
+    /// accesses this panel's value ranges during the call and (b) every
+    /// source panel in the baked schedule has been fully written and
+    /// synchronized before the call — in-order serial execution and the
+    /// barrier-leveled parallel executor both satisfy this, exactly as
+    /// for `LuPlan::column_numeric`.
+    unsafe fn panel_numeric(
+        &self,
+        s: usize,
+        a: &CscMatrix,
+        ws: &mut PanelWorkspace,
+        lx: *mut f64,
+        ux: *mut f64,
+        sx: *mut f64,
+    ) -> usize {
+        let plan = &self.plan;
+        let n = plan.n();
+        let f = self.part.first_col[s];
+        let w = self.part.width(s);
+
+        if w == 1 {
+            // Scalar fallback: the shared per-column kernel, reading
+            // and writing the CSC factor arrays directly.
+            let x = &mut ws.x[..n];
+            let ok = plan.column_numeric(f, a, x, lx, ux);
+            return if ok { usize::MAX } else { f };
+        }
+
+        let l_ptr = &plan.l_col_ptr;
+        let l_rows = &plan.l_row_idx;
+        let m = l_ptr[f + 1] - l_ptr[f];
+        let rows = &l_rows[l_ptr[f]..l_ptr[f + 1]];
+        debug_assert_eq!(rows[0] as usize, f, "panel rows start at the diagonal");
+
+        // --- Scatter the panel's (ordered) input columns into the
+        // dense block accumulator.
+        for c in 0..w {
+            plan.scatter_a_column(f + c, a, &mut ws.x[c * n..(c + 1) * n]);
+        }
+
+        // --- Source-panel updates, ascending (a valid topological
+        // order: every dependence edge points to a higher column).
+        for &t in &self.upd_panels[self.upd_ptr[s]..self.upd_ptr[s + 1]] {
+            let t = t as usize;
+            let g = self.part.first_col[t];
+            let v = self.part.width(t);
+            if v == 1 {
+                // Scalar source column: guarded axpy per panel column,
+                // values read from the finalized CSC factor.
+                let range = l_ptr[g] + 1..l_ptr[g + 1];
+                let krows = &l_rows[range.clone()];
+                // SAFETY: column g is finalized by the caller's
+                // contract and no thread writes it concurrently.
+                let kvals = std::slice::from_raw_parts(lx.add(range.start), range.len());
+                for c in 0..w {
+                    let xc = &mut ws.x[c * n..(c + 1) * n];
+                    let xk = xc[g];
+                    if xk != 0.0 {
+                        for (&r, &val) in krows.iter().zip(kvals) {
+                            xc[r as usize] -= val * xk;
+                        }
+                    }
+                }
+                continue;
+            }
+            // Wide source panel: its trapezoid holds the unit-lower
+            // diagonal block (strict lower part; U values sit on the
+            // diagonal) and the sub-diagonal L rows, all finalized.
+            let m_t = l_ptr[g + 1] - l_ptr[g];
+            let rows_t = &l_rows[l_ptr[g]..l_ptr[g + 1]];
+            // SAFETY: panel t precedes s in the schedule — finalized,
+            // no concurrent writes.
+            let sx_t = std::slice::from_raw_parts(sx.add(self.sx_ptr[t]), m_t * v);
+            // Gather the accumulator rows of the source's diagonal
+            // block, transposed (targets × source columns): panel diag
+            // rows are consecutive (g..g+v) by the nesting rule.
+            let bt = &mut ws.bt[..w * v];
+            for kk in 0..v {
+                for c in 0..w {
+                    bt[kk * w + c] = ws.x[c * n + g + kk];
+                }
+            }
+            // Internal solve of the source panel applied to all target
+            // columns at once: Bt := Bt · L_dd^{-T}  ⇔  B := L_dd^{-1} B.
+            trsm_right_lower_trans_unit(w, v, sx_t, m_t, bt, w);
+            // Outer-panel update through dense GEMM, gathered into a
+            // contiguous block and scattered back (rows need not be
+            // contiguous below the source's diagonal block).
+            let m_sub = m_t - v;
+            if m_sub > 0 {
+                let cbuf = &mut ws.cbuf[..m_sub * w];
+                for c in 0..w {
+                    let xc = &ws.x[c * n..(c + 1) * n];
+                    for (i, &r) in rows_t[v..].iter().enumerate() {
+                        cbuf[c * m_sub + i] = xc[r as usize];
+                    }
+                }
+                gemm_nt_sub(m_sub, w, v, &sx_t[v..], m_t, bt, w, cbuf, m_sub);
+                for c in 0..w {
+                    let xc = &mut ws.x[c * n..(c + 1) * n];
+                    for (i, &r) in rows_t[v..].iter().enumerate() {
+                        xc[r as usize] = cbuf[c * m_sub + i];
+                    }
+                }
+            }
+            // Write the solved block back: these are the final U values
+            // of the target columns at the source panel's rows.
+            for kk in 0..v {
+                for c in 0..w {
+                    ws.x[c * n + g + kk] = bt[kk * w + c];
+                }
+            }
+        }
+
+        // --- The panel's own dense factorization, in its trapezoid.
+        // SAFETY: this worker is the unique owner of panel s.
+        let trap = std::slice::from_raw_parts_mut(sx.add(self.sx_ptr[s]), m * w);
+        for c in 0..w {
+            let xc = &ws.x[c * n..(c + 1) * n];
+            for (i, &r) in rows.iter().enumerate() {
+                trap[c * m + i] = xc[r as usize];
+            }
+        }
+        let mut first_bad = usize::MAX;
+        if let Err(c) = getrf_nopiv(w, trap, m) {
+            first_bad = f + c;
+        }
+        if m > w {
+            // Divide the sub-diagonal rows by the panel's U: copy the
+            // factored diagonal block aside (TRSM reads U while writing
+            // the sub-block of the same buffer).
+            let db = &mut ws.bt[..w * w];
+            for c in 0..w {
+                for r in 0..=c {
+                    db[c * w + r] = trap[c * m + r];
+                }
+            }
+            trsm_right_upper(m - w, w, db, w, &mut trap[w..], m);
+        }
+
+        // --- Write back through the fixed CSC layouts and clear the
+        // accumulator by pattern (the scalar epilogue, blockwise).
+        let u_ptr = &plan.u_col_ptr;
+        let u_rows = &plan.u_row_idx;
+        for c in 0..w {
+            let j = f + c;
+            let u_range = u_ptr[j]..u_ptr[j + 1];
+            for p in u_range.clone() {
+                let r = u_rows[p] as usize;
+                let val = if r < f {
+                    ws.x[c * n + r]
+                } else {
+                    trap[c * m + (r - f)]
+                };
+                *ux.add(p) = val;
+            }
+            let l_range = l_ptr[j]..l_ptr[j + 1];
+            *lx.add(l_range.start) = 1.0;
+            for (i, p) in (l_range.start + 1..l_range.end).enumerate() {
+                *lx.add(p) = trap[c * m + (c + 1 + i)];
+            }
+            // The structural pivot is the diagonal of the panel's U.
+            if trap[c * m + c] == 0.0 {
+                first_bad = first_bad.min(j);
+            }
+            // Clear: U-pattern rows cover everything above the
+            // diagonal (diagonal last), L-pattern rows everything
+            // below; positions outside the pattern only ever hold
+            // exact zeros.
+            let xc = &mut ws.x[c * n..(c + 1) * n];
+            for p in u_range {
+                xc[u_rows[p] as usize] = 0.0;
+            }
+            for p in l_range.start + 1..l_range.end {
+                xc[l_rows[p] as usize] = 0.0;
+            }
+        }
+        first_bad
+    }
+
+    /// Supernodal numeric factorization. Matches the serial plan to
+    /// ~1e-12 (dense kernels reassociate sums; patterns and the
+    /// zero-pivot column are identical), and is deterministic at every
+    /// thread count — each panel executes one fixed operation sequence
+    /// whichever worker runs it.
+    pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
+        self.plan.check_pattern(a)?;
+        let mut lx = vec![0.0f64; self.plan.l_nnz()];
+        let mut ux = vec![0.0f64; self.plan.u_nnz()];
+        let mut sx = vec![0.0f64; *self.sx_ptr.last().unwrap_or(&0)];
+        let first_bad = if self.n_threads == 1 {
+            self.factor_serial(a, &mut lx, &mut ux, &mut sx)
+        } else {
+            self.factor_parallel(a, &mut lx, &mut ux, &mut sx)
+        };
+        if first_bad != usize::MAX {
+            return Err(LuPlanError::ZeroPivot { column: first_bad });
+        }
+        Ok(self.plan.assemble(lx, ux))
+    }
+
+    fn factor_serial(
+        &self,
+        a: &CscMatrix,
+        lx: &mut [f64],
+        ux: &mut [f64],
+        sx: &mut [f64],
+    ) -> usize {
+        let mut ws = self.workspace();
+        let mut first_bad = usize::MAX;
+        for s in 0..self.n_panels() {
+            // SAFETY: in-order serial execution — every source panel is
+            // final, each panel's ranges are written exactly once.
+            let bad = unsafe {
+                self.panel_numeric(
+                    s,
+                    a,
+                    &mut ws,
+                    lx.as_mut_ptr(),
+                    ux.as_mut_ptr(),
+                    sx.as_mut_ptr(),
+                )
+            };
+            first_bad = first_bad.min(bad);
+        }
+        first_bad
+    }
+
+    #[cfg(feature = "parallel")]
+    fn factor_parallel(
+        &self,
+        a: &CscMatrix,
+        lx: &mut [f64],
+        ux: &mut [f64],
+        sx: &mut [f64],
+    ) -> usize {
+        use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+        let n_levels = self.n_levels();
+        let shared = SharedPanels {
+            lx: lx.as_mut_ptr(),
+            ux: ux.as_mut_ptr(),
+            sx: sx.as_mut_ptr(),
+        };
+        let barrier = std::sync::Barrier::new(self.n_threads);
+        let first_bad = AtomicUsize::new(usize::MAX);
+        std::thread::scope(|scope| {
+            for t in 0..self.n_threads {
+                let shared = &shared;
+                let barrier = &barrier;
+                let first_bad = &first_bad;
+                scope.spawn(move || {
+                    let mut ws = self.workspace();
+                    for lv in 0..n_levels {
+                        for &s in self.chunk(lv, t) {
+                            // SAFETY: this worker is the unique owner
+                            // of panel s (compile-time chunking); every
+                            // source panel sits in an earlier level,
+                            // finalized either by this worker in
+                            // program order (elided barriers only span
+                            // same-single-owner levels) or before the
+                            // last kept barrier. See SharedPanels.
+                            let bad = unsafe {
+                                self.panel_numeric(s, a, &mut ws, shared.lx, shared.ux, shared.sx)
+                            };
+                            if bad != usize::MAX {
+                                first_bad.fetch_min(bad, AtomicOrdering::Relaxed);
+                            }
+                        }
+                        if self.barrier_after[lv] {
+                            barrier.wait();
+                        }
+                    }
+                });
+            }
+        });
+        first_bad.into_inner()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn factor_parallel(
+        &self,
+        a: &CscMatrix,
+        lx: &mut [f64],
+        ux: &mut [f64],
+        sx: &mut [f64],
+    ) -> usize {
+        self.factor_serial(a, lx, ux, sx)
+    }
+
+    /// Emit the matrix-specialized supernodal C factorization kernel
+    /// (the VS-Block artifact for LU): the panel table is embedded and
+    /// wide panels call the dense mini-BLAS.
+    pub fn emit_c(&self) -> String {
+        crate::emit::emit_lu_supernodal_c(
+            &self.part,
+            &self.plan.l_col_ptr,
+            self.n_wide_panels(),
+            self.dense_flop_share,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::{gen, ops};
+
+    fn assert_close(a: &LuFactor, b: &LuFactor, tol: f64, what: &str) {
+        assert!(a.l().same_pattern(b.l()), "{what}: L pattern");
+        assert!(a.u().same_pattern(b.u()), "{what}: U pattern");
+        for (x, y) in a.l().values().iter().zip(b.l().values()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "{what}: L {x} vs {y}"
+            );
+        }
+        for (x, y) in a.u().values().iter().zip(b.u().values()) {
+            assert!(
+                (x - y).abs() <= tol * (1.0 + y.abs()),
+                "{what}: U {x} vs {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn supernodal_matches_serial_on_grids_and_circuits() {
+        for (label, a) in [
+            ("convdiff", gen::convection_diffusion_2d(9, 8, 1.5, 3)),
+            ("circuit", gen::circuit_unsym(150, 4, 2, 7)),
+            ("random", gen::random_unsym(120, 4, 11)),
+        ] {
+            let serial = LuPlan::build(&a, true, 2).unwrap();
+            let f_serial = serial.factor(&a).unwrap();
+            for max_panel in [0usize, 4] {
+                let sup = SupernodalLuPlan::from_plan(serial.clone(), max_panel, 1);
+                let f_sup = sup.factor(&a).unwrap();
+                assert_close(
+                    &f_sup,
+                    &f_serial,
+                    1e-12,
+                    &format!("{label} cap {max_panel}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_problems_produce_wide_panels() {
+        let a = gen::convection_diffusion_2d(10, 10, 1.0, 5);
+        let sup = SupernodalLuPlan::build(&a, true, 2, FillOrdering::Natural, 0, 1).unwrap();
+        assert!(sup.n_wide_panels() > 0, "grid fill must block");
+        assert!(sup.mean_panel_width() > 1.0);
+        assert!(sup.max_panel_width() > 1);
+        assert!(sup.dense_flop_share() > 0.0 && sup.dense_flop_share() <= 1.0);
+    }
+
+    #[test]
+    fn ordered_supernodal_matches_ordered_serial() {
+        let a = gen::circuit_unsym(140, 4, 2, 9);
+        for ordering in [FillOrdering::Rcm, FillOrdering::Colamd] {
+            let serial = LuPlan::build_ordered(&a, true, 2, ordering).unwrap();
+            let f_serial = serial.factor(&a).unwrap();
+            let sup = SupernodalLuPlan::from_plan(serial, 16, 1);
+            let f_sup = sup.factor(&a).unwrap();
+            assert_close(&f_sup, &f_serial, 1e-12, &format!("{ordering:?}"));
+            // And the solve still answers the original system.
+            let n = a.n_cols();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+            let x = f_sup.solve(&b);
+            assert!(ops::rel_residual(&a, &x, &b) < 1e-10, "{ordering:?}");
+        }
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn parallel_panels_match_single_thread_bitwise() {
+        // Panel execution is a fixed operation sequence per panel, so
+        // thread count must not change a single bit.
+        let a = gen::convection_diffusion_2d(9, 9, 2.0, 13);
+        let one = SupernodalLuPlan::build(&a, true, 2, FillOrdering::Natural, 8, 1).unwrap();
+        let f1 = one.factor(&a).unwrap();
+        for threads in [2usize, 3, 4] {
+            let par = SupernodalLuPlan::from_plan(one.serial().clone(), 8, threads);
+            assert_eq!(par.n_threads(), threads);
+            let fp = par.factor(&a).unwrap();
+            for (x, y) in f1
+                .l()
+                .values()
+                .iter()
+                .chain(f1.u().values())
+                .zip(fp.l().values().iter().chain(fp.u().values()))
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_levels_cover_all_panels_and_respect_deps() {
+        let a = gen::circuit_unsym(90, 4, 2, 3);
+        let sup = SupernodalLuPlan::build(&a, true, 2, FillOrdering::Colamd, 8, 3).unwrap();
+        let mut seen = vec![false; sup.n_panels()];
+        for lv in 0..sup.n_levels() {
+            let mut level: Vec<usize> = Vec::new();
+            for t in 0..sup.n_threads() {
+                level.extend_from_slice(sup.chunk(lv, t));
+            }
+            for &s in &level {
+                assert!(!seen[s], "panel {s} scheduled twice");
+                seen[s] = true;
+                for &t in &sup.upd_panels[sup.upd_ptr[s]..sup.upd_ptr[s + 1]] {
+                    assert!(seen[t as usize], "source panel {t} must precede {s}");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all panels scheduled");
+        assert!(sup.avg_panel_parallelism() >= 1.0);
+        assert!(sup.n_barriers() < sup.n_levels().max(1));
+    }
+
+    #[test]
+    fn zero_pivot_reported_like_serial() {
+        // Zero a diagonal value inside what becomes a wide panel: the
+        // supernodal engine must report the same column as serial.
+        let n = 6;
+        let mut t = sympiler_sparse::TripletMatrix::new(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                t.push(i, j, if i == j { 10.0 } else { 1.0 });
+            }
+        }
+        let a0 = t.to_csc().unwrap();
+        let serial = LuPlan::build(&a0, true, 2).unwrap();
+        let sup = SupernodalLuPlan::from_plan(serial.clone(), 0, 1);
+        assert_eq!(sup.n_panels(), 1, "dense matrix is one panel");
+        let f_ok = sup.factor(&a0).unwrap();
+        assert_close(&f_ok, &serial.factor(&a0).unwrap(), 1e-12, "dense");
+        // A singular leading 2x2 block: A[1,1] chosen so the second
+        // pivot cancels exactly under the first elimination step.
+        let mut a = a0.clone();
+        let a_dense = a.to_dense();
+        let (a00, a01, a10) = (a_dense[0], a_dense[n], a_dense[1]);
+        let idx = a.find(1, 1).unwrap();
+        a.values_mut()[idx] = a10 * a01 / a00;
+        let serial_err = serial.factor(&a).unwrap_err();
+        let sup_err = sup.factor(&a).unwrap_err();
+        assert_eq!(serial_err, sup_err);
+        assert!(matches!(sup_err, LuPlanError::ZeroPivot { column: 1 }));
+    }
+
+    #[test]
+    fn singleton_only_patterns_degenerate_to_scalar() {
+        // A diagonal matrix never blocks: every panel is a singleton
+        // and the engine is exactly the scalar plan.
+        let a = CscMatrix::identity(9);
+        let sup = SupernodalLuPlan::build(&a, true, 2, FillOrdering::Natural, 0, 2).unwrap();
+        assert_eq!(sup.n_wide_panels(), 0);
+        assert_eq!(sup.dense_flop_share(), 0.0);
+        let f = sup.factor(&a).unwrap();
+        assert_eq!(f.solve(&[3.0; 9]), vec![3.0; 9]);
+    }
+
+    #[test]
+    fn repeated_factorization_reuses_the_panel_schedule() {
+        let a0 = gen::convection_diffusion_2d(7, 7, 1.0, 2);
+        let sup = SupernodalLuPlan::build(&a0, true, 2, FillOrdering::Natural, 8, 1).unwrap();
+        let mut a = a0.clone();
+        for round in 1..=3 {
+            for v in a.values_mut() {
+                *v *= 1.0 + 0.03 / round as f64;
+            }
+            let serial = LuPlan::build(&a, true, 2).unwrap().factor(&a).unwrap();
+            let f = sup.factor(&a).unwrap();
+            assert_close(&f, &serial, 1e-12, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = CscMatrix::zeros(0, 0);
+        let sup = SupernodalLuPlan::build(&a, true, 2, FillOrdering::Natural, 0, 2).unwrap();
+        assert_eq!(sup.n_panels(), 0);
+        assert_eq!(sup.mean_panel_width(), 0.0);
+        let f = sup.factor(&a).unwrap();
+        assert_eq!(f.l().nnz(), 0);
+    }
+}

@@ -11,9 +11,16 @@
 //! `solve`/`factor` methods execute only numeric loads, stores, and
 //! floating-point operations. See DESIGN.md §2 for the substitution
 //! argument.
+//!
+//! The LU pipeline compiles to one of three execution tiers:
+//! [`lu::LuPlan`] (serial columns), `lu_parallel::ParallelLuPlan`
+//! (columns leveled over the elimination DAG across workers), and
+//! [`lu_supernodal::SupernodalLuPlan`] (VS-Block column panels routed
+//! through dense GETRF/TRSM/GEMM kernels, leveled over the panel DAG).
 
 pub mod chol;
 pub mod lu;
+pub mod lu_supernodal;
 pub mod tri;
 
 #[cfg(feature = "parallel")]

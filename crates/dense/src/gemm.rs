@@ -9,6 +9,9 @@
 pub fn gemv_sub(m: usize, k: usize, a: &[f64], lda: usize, x: &[f64], y: &mut [f64]) {
     assert!(lda >= m, "lda too small");
     assert!(x.len() >= k && y.len() >= m, "operand too short");
+    if k > 0 {
+        assert!(a.len() >= lda * (k - 1) + m, "A buffer too small");
+    }
     let y = &mut y[..m];
     for (p, &xp) in x.iter().enumerate().take(k) {
         if xp == 0.0 {
@@ -42,6 +45,16 @@ pub fn gemm_nt_sub(
         lda >= m && ldc >= m && ldb >= n,
         "leading dimension too small"
     );
+    // Full tail-length checks so padded strides (lda/ldb/ldc larger
+    // than the live row count — the supernodal trapezoid case) fail
+    // loudly instead of reading out of bounds in release builds.
+    if k > 0 {
+        assert!(a.len() >= lda * (k - 1) + m, "A buffer too small");
+        assert!(b.len() >= ldb * (k - 1) + n, "B buffer too small");
+    }
+    if n > 0 {
+        assert!(c.len() >= ldc * (n - 1) + m, "C buffer too small");
+    }
     for j in 0..n {
         let cj = &mut c[j * ldc..j * ldc + m];
         // Unroll the rank dimension by two to cut loop overhead; the

@@ -1,0 +1,190 @@
+//! Dense LU factorization **without pivoting** (a GETRF variant) — the
+//! diagonal-block kernel of supernodal sparse LU, the VS-Block analogue
+//! of [`crate::potrf`] for the unsymmetric pipeline: once panel columns
+//! of `L` share one sub-diagonal pattern, the panel's diagonal block is
+//! a dense square that factors with straight dense loops.
+//!
+//! Pivoting is deliberately absent: the sparse LU plan's contract is
+//! *static diagonal pivoting* (the compiled pattern fixes every pivot
+//! slot), so the dense mini-kernel must not reorder rows either —
+//! otherwise the panel's compile-time row maps would be invalidated.
+
+/// In-place unpivoted LU of the leading `n x n` block of a column-major
+/// buffer with leading dimension `lda`: on return the strict lower
+/// triangle holds the multipliers of unit-lower `L`, the upper triangle
+/// (diagonal included) holds `U`, with `A = L U`. Rows `n..lda` of each
+/// column are untouched.
+///
+/// Returns `Err(j)` for the **first** column whose pivot `U[j,j]` is
+/// exactly zero — but keeps factoring: like the sparse plan's
+/// per-column kernel, every value is still written (division by zero
+/// is IEEE-defined), so a caller running panels in parallel can record
+/// the error and keep going without a consensus protocol.
+pub fn getrf_nopiv(n: usize, a: &mut [f64], lda: usize) -> Result<(), usize> {
+    assert!(lda >= n, "leading dimension too small");
+    assert!(
+        n == 0 || a.len() >= lda * (n - 1) + n,
+        "buffer too small for {n}x{n} with lda {lda}"
+    );
+    let mut first_bad = None;
+    // Right-looking: eliminate column k, rank-1 update the trailing
+    // block. Good locality for the small/medium diagonal blocks sparse
+    // panels produce.
+    for k in 0..n {
+        let pivot = a[k * lda + k];
+        if pivot == 0.0 && first_bad.is_none() {
+            first_bad = Some(k);
+        }
+        let inv = 1.0 / pivot;
+        for v in &mut a[k * lda + k + 1..k * lda + n] {
+            *v *= inv;
+        }
+        // Trailing update: A[k+1.., k+1..] -= L[k+1.., k] * U[k, k+1..].
+        for j in k + 1..n {
+            let ukj = a[j * lda + k];
+            if ukj == 0.0 {
+                continue;
+            }
+            let (head, tail) = a.split_at_mut(j * lda);
+            let lcol = &head[k * lda + k + 1..k * lda + n];
+            let dst = &mut tail[k + 1..n];
+            for (d, &s) in dst.iter_mut().zip(lcol) {
+                *d -= ukj * s;
+            }
+        }
+    }
+    match first_bad {
+        Some(k) => Err(k),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::DenseMat;
+
+    fn random_dd(n: usize, seed: u64) -> DenseMat {
+        // Diagonally dominant, generally unsymmetric: safe for
+        // unpivoted LU.
+        let mut s = seed;
+        let mut m = DenseMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(11);
+                m.set(i, j, ((s >> 40) as f64) / 1e7 - 0.8);
+            }
+        }
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| m.get(i, j).abs()).sum();
+            m.set(i, i, row_sum + 1.0);
+        }
+        m
+    }
+
+    fn reconstruct(n: usize, a: &[f64], lda: usize) -> DenseMat {
+        let mut l = DenseMat::zeros(n, n);
+        let mut u = DenseMat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                let v = a[j * lda + i];
+                match i.cmp(&j) {
+                    std::cmp::Ordering::Greater => l.set(i, j, v),
+                    _ => u.set(i, j, v),
+                }
+            }
+            l.set(j, j, 1.0);
+        }
+        l.matmul(&u)
+    }
+
+    #[test]
+    fn factors_random_sizes() {
+        for n in [1usize, 2, 3, 5, 8, 16, 33] {
+            let m = random_dd(n, n as u64 * 7 + 1);
+            let mut a = m.as_slice().to_vec();
+            getrf_nopiv(n, &mut a, n).unwrap_or_else(|j| panic!("n={n} zero pivot at {j}"));
+            let rec = reconstruct(n, &a, n);
+            assert!(
+                rec.max_abs_diff(&m) < 1e-9 * (n as f64 + 1.0),
+                "n={n}: reconstruction error {}",
+                rec.max_abs_diff(&m)
+            );
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // A = [[2, 6], [1, 4]] -> L = [[1,0],[0.5,1]], U = [[2,6],[0,1]].
+        let mut a = vec![2.0, 1.0, 6.0, 4.0];
+        getrf_nopiv(2, &mut a, 2).unwrap();
+        assert_eq!(a, vec![2.0, 0.5, 6.0, 1.0]);
+    }
+
+    #[test]
+    fn respects_leading_dimension() {
+        // Factor a 3x3 block inside a 6-row buffer: padding rows must
+        // be untouched (the supernodal trapezoid case, lda = panel
+        // rows > block order).
+        let n = 3;
+        let lda = 6;
+        let m = random_dd(n, 42);
+        let mut a = vec![-777.0; lda * n];
+        for j in 0..n {
+            for i in 0..n {
+                a[j * lda + i] = m.get(i, j);
+            }
+        }
+        getrf_nopiv(n, &mut a, lda).unwrap();
+        let rec = reconstruct(n, &a, lda);
+        assert!(rec.max_abs_diff(&m) < 1e-10);
+        for j in 0..n {
+            for i in n..lda {
+                assert_eq!(a[j * lda + i], -777.0, "padding must be untouched");
+            }
+        }
+        // And the padded factorization matches the tight one exactly.
+        let mut tight = m.as_slice().to_vec();
+        getrf_nopiv(n, &mut tight, n).unwrap();
+        for j in 0..n {
+            for i in 0..n {
+                assert_eq!(a[j * lda + i].to_bits(), tight[j * n + i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reports_first_zero_pivot_and_keeps_writing() {
+        // Column 1's pivot cancels exactly: A = [[1, 2], [1, 2]].
+        let mut a = vec![1.0, 1.0, 2.0, 2.0];
+        assert_eq!(getrf_nopiv(2, &mut a, 2), Err(1));
+        // The multiplier column was still written.
+        assert_eq!(a[1], 1.0);
+        // A structurally zero leading pivot reports column 0 even
+        // though later pivots also break.
+        let mut b = vec![0.0, 1.0, 1.0, 0.0];
+        assert_eq!(getrf_nopiv(2, &mut b, 2), Err(0));
+    }
+
+    #[test]
+    fn matches_potrf_on_spd_input() {
+        // On an SPD matrix, LU = L D^{1/2} (D^{1/2} L)^T-ish; concretely
+        // the U diagonal equals the squared Cholesky diagonal.
+        let n = 6;
+        let m = DenseMat::random_spd(n, 9);
+        let mut lu = m.as_slice().to_vec();
+        getrf_nopiv(n, &mut lu, n).unwrap();
+        let mut ch = m.as_slice().to_vec();
+        crate::potrf::potrf_lower(n, &mut ch, n).unwrap();
+        for j in 0..n {
+            let d = ch[j * n + j];
+            assert!((lu[j * n + j] - d * d).abs() < 1e-9 * d * d);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_ok() {
+        let mut a: Vec<f64> = vec![];
+        assert!(getrf_nopiv(0, &mut a, 0).is_ok());
+    }
+}

@@ -20,6 +20,7 @@
 //! measures the two tiers against each other across block sizes.
 
 pub mod gemm;
+pub mod getrf;
 pub mod mat;
 pub mod potrf;
 pub mod small;
@@ -27,7 +28,8 @@ pub mod trsm;
 pub mod trsv;
 
 pub use gemm::{gemm_nt_sub, gemv_sub, syrk_ln_sub};
+pub use getrf::getrf_nopiv;
 pub use mat::DenseMat;
 pub use potrf::potrf_lower;
-pub use trsm::trsm_right_lower_trans;
+pub use trsm::{trsm_right_lower_trans, trsm_right_lower_trans_unit, trsm_right_upper};
 pub use trsv::{trsv_lower, trsv_lower_trans};

@@ -1,9 +1,27 @@
-//! Dense triangular solve with multiple right-hand sides (BLAS `dtrsm`),
-//! the off-diagonal panel kernel of supernodal Cholesky: after the
-//! diagonal block of a supernode is factored, the sub-diagonal panel `B`
-//! is overwritten with `B * L^{-T}` ("the off-diagonal segments of the
+//! Dense triangular solves with multiple right-hand sides (BLAS
+//! `dtrsm` variants), the off-diagonal panel kernels of the supernodal
+//! sparse factorizations: after the diagonal block of a supernode is
+//! factored, the sub-diagonal panel `B` is overwritten with a
+//! triangular-inverse product ("the off-diagonal segments of the
 //! blocks must be updated using a set of dense triangular solves",
 //! §2.3.2).
+//!
+//! Three variants, one per supernodal use:
+//!
+//! * [`trsm_right_lower_trans`] — `B := B * L^{-T}` (Cholesky panels,
+//!   `L` from [`crate::potrf`]);
+//! * [`trsm_right_upper`] — `B := B * U^{-1}` (LU panels, `U` from
+//!   [`crate::getrf`]: the sub-diagonal rows of an LU panel become
+//!   columns of the `L` factor after dividing out the panel's `U`);
+//! * [`trsm_right_lower_trans_unit`] — `B := B * L^{-T}` with an
+//!   **implicit unit diagonal** (LU source-panel solves: the unit-lower
+//!   diagonal block produced by [`crate::getrf`] stores `U` values on
+//!   the diagonal, so the kernel must read only the strict lower part).
+//!
+//! All buffers are column-major with explicit leading dimensions, and
+//! every kernel tolerates padded strides (`lda`/`ldb` larger than the
+//! live row count) — the supernodal trapezoid case, where the leading
+//! dimension is the panel's total row count.
 
 /// `B := B * L^{-T}` where `L` is the leading `n x n` lower triangle of
 /// a column-major buffer (`lda`), and `B` is `m x n` column-major
@@ -41,6 +59,87 @@ pub fn trsm_right_lower_trans(
         let inv = 1.0 / ljj;
         for v in &mut b[j * ldb..j * ldb + m] {
             *v *= inv;
+        }
+    }
+}
+
+/// `B := B * U^{-1}` where `U` is the leading `n x n` upper triangle of
+/// a column-major buffer (`lda`), and `B` is `m x n` column-major
+/// (`ldb`). Equivalent to `dtrsm(side=R, uplo=U, trans=N, diag=N)`.
+///
+/// This is the LU panel solve: after [`crate::getrf::getrf_nopiv`]
+/// factors a supernode's diagonal block, the sub-diagonal rows of the
+/// trapezoid become `L` columns via `L_sub = A_sub * U^{-1}`. A zero
+/// diagonal in `U` produces IEEE infinities rather than a panic, so
+/// callers that detect zero pivots upstream can keep streaming.
+pub fn trsm_right_upper(m: usize, n: usize, u: &[f64], lda: usize, b: &mut [f64], ldb: usize) {
+    assert!(lda >= n, "lda too small");
+    assert!(ldb >= m, "ldb too small");
+    if n > 0 {
+        assert!(u.len() >= lda * (n - 1) + n, "U buffer too small");
+        assert!(m == 0 || b.len() >= ldb * (n - 1) + m, "B buffer too small");
+    }
+    // X U = B  =>  column j of X:
+    //   x_j = (b_j - sum_{k<j} x_k U[k,j]) / U[j,j]
+    for j in 0..n {
+        for k in 0..j {
+            let ukj = u[j * lda + k];
+            if ukj == 0.0 {
+                continue;
+            }
+            let (head, tail) = b.split_at_mut(j * ldb);
+            let xk = &head[k * ldb..k * ldb + m];
+            let bj = &mut tail[..m];
+            for (dst, &src) in bj.iter_mut().zip(xk) {
+                *dst -= ukj * src;
+            }
+        }
+        let inv = 1.0 / u[j * lda + j];
+        for v in &mut b[j * ldb..j * ldb + m] {
+            *v *= inv;
+        }
+    }
+}
+
+/// `B := B * L^{-T}` where `L` is **unit** lower triangular: only the
+/// strict lower part of the leading `n x n` block is read, so the
+/// buffer's diagonal may hold anything (in the LU supernodal use it
+/// holds `U` values, [`crate::getrf`] packing both factors into one
+/// trapezoid). Equivalent to `dtrsm(side=R, uplo=L, trans=T, diag=U)`.
+///
+/// Solving on the right against `L^T` is how the supernodal LU plan
+/// applies a source panel's *internal* updates to a whole block of
+/// gathered accumulator values at once: with the gathered block stored
+/// transposed (targets x source-columns), `Bt := Bt * L^{-T}` is
+/// exactly `B := L^{-1} B` on the untransposed data.
+pub fn trsm_right_lower_trans_unit(
+    m: usize,
+    n: usize,
+    l: &[f64],
+    lda: usize,
+    b: &mut [f64],
+    ldb: usize,
+) {
+    assert!(lda >= n, "lda too small");
+    assert!(ldb >= m, "ldb too small");
+    if n > 0 {
+        assert!(l.len() >= lda * (n - 1) + n, "L buffer too small");
+        assert!(m == 0 || b.len() >= ldb * (n - 1) + m, "B buffer too small");
+    }
+    // X L^T = B with unit diagonal:
+    //   x_j = b_j - sum_{k<j} x_k L[j,k]
+    for j in 0..n {
+        for k in 0..j {
+            let ljk = l[k * lda + j];
+            if ljk == 0.0 {
+                continue;
+            }
+            let (head, tail) = b.split_at_mut(j * ldb);
+            let xk = &head[k * ldb..k * ldb + m];
+            let bj = &mut tail[..m];
+            for (dst, &src) in bj.iter_mut().zip(xk) {
+                *dst -= ljk * src;
+            }
         }
     }
 }
@@ -139,5 +238,176 @@ mod tests {
     fn zero_size_ok() {
         let mut b: Vec<f64> = vec![];
         trsm_right_lower_trans(0, 0, &[], 0, &mut b, 0);
+        trsm_right_upper(0, 0, &[], 0, &mut b, 0);
+        trsm_right_lower_trans_unit(0, 0, &[], 0, &mut b, 0);
+    }
+
+    fn random_block(m: usize, n: usize, seed: u64) -> DenseMat {
+        let mut out = DenseMat::zeros(m, n);
+        let mut s = seed;
+        for j in 0..n {
+            for i in 0..m {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                out.set(i, j, ((s >> 40) as f64) / 1e6 - 4.0);
+            }
+        }
+        out
+    }
+
+    /// Dense non-singular upper triangle inside an `lda`-strided buffer.
+    fn upper_padded(n: usize, lda: usize, seed: u64) -> Vec<f64> {
+        let m = random_block(n, n, seed);
+        let mut u = vec![f64::NAN; if n == 0 { 0 } else { lda * (n - 1) + n }];
+        for j in 0..n {
+            for i in 0..=j {
+                u[j * lda + i] = if i == j {
+                    2.0 + m.get(i, j).abs()
+                } else {
+                    m.get(i, j)
+                };
+            }
+            for i in j + 1..n {
+                u[j * lda + i] = f64::NAN; // strict lower must never be read
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn right_upper_roundtrips_and_respects_strides() {
+        for &(m, n, lda, ldb) in &[
+            (1usize, 1usize, 1usize, 1usize),
+            (4, 3, 3, 4),
+            (5, 4, 7, 9), // padded, the supernodal trapezoid case
+            (8, 8, 8, 8),
+            (2, 6, 11, 5),
+        ] {
+            let u = upper_padded(n, lda, (m * 13 + n) as u64);
+            let bmat = random_block(m, n, 99 + lda as u64);
+            let mut b = vec![-5.0; if n == 0 { 0 } else { ldb * (n - 1) + m }];
+            for j in 0..n {
+                for i in 0..m {
+                    b[j * ldb + i] = bmat.get(i, j);
+                }
+            }
+            trsm_right_upper(m, n, &u, lda, &mut b, ldb);
+            // Reconstruct X U and compare with the original B.
+            let mut umat = DenseMat::zeros(n, n);
+            for j in 0..n {
+                for i in 0..=j {
+                    umat.set(i, j, u[j * lda + i]);
+                }
+            }
+            let mut x = DenseMat::zeros(m, n);
+            for j in 0..n {
+                for i in 0..m {
+                    x.set(i, j, b[j * ldb + i]);
+                }
+            }
+            let back = x.matmul(&umat);
+            assert!(
+                back.max_abs_diff(&bmat) < 1e-8,
+                "m={m} n={n} lda={lda} ldb={ldb}: {}",
+                back.max_abs_diff(&bmat)
+            );
+            // Padding rows between live entries stay untouched.
+            for j in 0..n.saturating_sub(1) {
+                for i in m..ldb {
+                    assert_eq!(b[j * ldb + i], -5.0, "padding clobbered at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn right_lower_trans_unit_ignores_diagonal_and_respects_strides() {
+        for &(m, n, lda, ldb) in &[(3usize, 2usize, 2usize, 3usize), (4, 5, 9, 6), (1, 4, 4, 1)] {
+            // Unit-lower L inside a padded buffer whose diagonal holds
+            // garbage (the getrf packing: U values live there).
+            let lmat = random_block(n, n, 7 + m as u64);
+            let mut l = vec![f64::NAN; if n == 0 { 0 } else { lda * (n - 1) + n }];
+            for j in 0..n {
+                for i in j + 1..n {
+                    l[j * lda + i] = lmat.get(i, j);
+                }
+                l[j * lda + j] = f64::NAN; // must never be read
+            }
+            let bmat = random_block(m, n, 31 + n as u64);
+            let mut b = vec![-5.0; if n == 0 { 0 } else { ldb * (n - 1) + m }];
+            for j in 0..n {
+                for i in 0..m {
+                    b[j * ldb + i] = bmat.get(i, j);
+                }
+            }
+            trsm_right_lower_trans_unit(m, n, &l, lda, &mut b, ldb);
+            // Reconstruct X L^T (unit diagonal) and compare with B.
+            let mut lt = DenseMat::zeros(n, n);
+            for j in 0..n {
+                lt.set(j, j, 1.0);
+                for i in j + 1..n {
+                    lt.set(i, j, lmat.get(i, j));
+                }
+            }
+            let mut x = DenseMat::zeros(m, n);
+            for j in 0..n {
+                for i in 0..m {
+                    x.set(i, j, b[j * ldb + i]);
+                }
+            }
+            let back = x.matmul(&lt.transpose());
+            assert!(
+                back.max_abs_diff(&bmat) < 1e-9,
+                "m={m} n={n} lda={lda} ldb={ldb}"
+            );
+            for j in 0..n.saturating_sub(1) {
+                for i in m..ldb {
+                    assert_eq!(b[j * ldb + i], -5.0, "padding clobbered");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unit_variant_matches_scalar_forward_elimination() {
+        // Bt := Bt * L^{-T} on transposed storage must equal the scalar
+        // forward elimination x[j] -= L[j,k] x[k] on each untransposed
+        // column — the exact substitution the supernodal LU plan makes.
+        let (v, w) = (4usize, 3usize);
+        let lmat = random_block(v, v, 17);
+        let mut l = vec![0.0; v * v];
+        for j in 0..v {
+            for i in j + 1..v {
+                l[j * v + i] = lmat.get(i, j);
+            }
+            l[j * v + j] = 1234.5; // garbage diagonal, must be ignored
+        }
+        let b0 = random_block(v, w, 23);
+        // Scalar reference: per column c, forward-eliminate.
+        let mut reference = b0.clone();
+        for c in 0..w {
+            for k in 0..v {
+                let xk = reference.get(k, c);
+                for i in k + 1..v {
+                    let val = reference.get(i, c) - l[k * v + i] * xk;
+                    reference.set(i, c, val);
+                }
+            }
+        }
+        // Kernel on the transposed block.
+        let mut bt = vec![0.0; w * v];
+        for k in 0..v {
+            for c in 0..w {
+                bt[k * w + c] = b0.get(k, c);
+            }
+        }
+        trsm_right_lower_trans_unit(w, v, &l, v, &mut bt, w);
+        for k in 0..v {
+            for c in 0..w {
+                assert!(
+                    (bt[k * w + c] - reference.get(k, c)).abs() < 1e-12,
+                    "({k},{c})"
+                );
+            }
+        }
     }
 }

@@ -20,6 +20,9 @@
 //! * [`supernode`] — supernode detection, both the etree merge rule
 //!   (Cholesky block-sets) and node equivalence on `DG_L` (triangular
 //!   solve block-sets);
+//! * [`mod@lu_supernode`] — column-panel detection on the predicted `L`
+//!   of a symbolic LU (the nesting rule applied to Gilbert–Peierls
+//!   patterns), the block-set inspector of the supernodal LU plan;
 //! * [`rcm`] — reverse Cuthill–McKee ordering (fill reduction; shared by
 //!   every engine so comparisons stay fair);
 //! * [`colamd`] — COLAMD-style approximate-minimum-degree column
@@ -39,6 +42,7 @@ pub mod dfs;
 pub mod ereach;
 pub mod etree;
 pub mod levels;
+pub mod lu_supernode;
 pub mod lu_symbolic;
 pub mod ordering;
 pub mod postorder;
@@ -54,6 +58,10 @@ pub use etree::etree;
 pub use levels::{
     balanced_partition, dag_levels_from_preds, dag_levels_from_succs, level_sets, lu_column_levels,
     LevelSets,
+};
+pub use lu_supernode::{
+    flop_share_in_wide_panels, flop_share_in_wide_panels_from_parts, panel_flops, supernodes_lu,
+    supernodes_lu_from_parts,
 };
 pub use lu_symbolic::{lu_symbolic, LuSymbolic};
 pub use ordering::{compute_ordering, Ordering};

@@ -1,0 +1,350 @@
+//! Supernode (column-panel) detection for sparse **LU** — the VS-Block
+//! inspector of the unsymmetric pipeline.
+//!
+//! Adjacent columns `j-1`, `j` of the predicted `L` merge when the
+//! sub-diagonal pattern of `j-1` equals the full pattern of `j` —
+//! `L(:, j-1)` minus its top (diagonal) row *is* `L(:, j)` — the
+//! [`crate::supernode::supernodes_cholesky`] nesting rule evaluated
+//! directly on the Gilbert–Peierls factor pattern instead of the etree.
+//! Inside such a panel the diagonal block of `L` is a full dense lower
+//! triangle and every column shares the panel's sub-diagonal rows, so
+//! the panel is a dense **trapezoid**: the numeric phase can factor its
+//! diagonal block with an unpivoted dense GETRF, divide out the panel's
+//! `U` with a dense TRSM, and push its updates into later panels with
+//! dense GEMMs (paper §3.2, applied to LU).
+//!
+//! Like the Cholesky rule, detection is strict (no amalgamation): the
+//! `max_panel` knob only *caps* panel width so trapezoid buffers stay
+//! cache-sized, it never merges non-nesting columns.
+
+use crate::lu_symbolic::LuSymbolic;
+use crate::supernode::SupernodePartition;
+
+/// Merge adjacent columns while their `L` patterns nest, given the
+/// pattern as diagonal-first row lists per column.
+fn detect_nesting<R: PartialEq>(
+    n: usize,
+    col_ptr: &[usize],
+    row_idx: &[R],
+    max_panel: usize,
+) -> SupernodePartition {
+    if n == 0 {
+        return SupernodePartition::from_first_cols(vec![0], 0);
+    }
+    let mut first_col = vec![0usize];
+    let mut width = 1usize;
+    for j in 1..n {
+        let prev = &row_idx[col_ptr[j - 1]..col_ptr[j]];
+        let cur = &row_idx[col_ptr[j]..col_ptr[j + 1]];
+        let nests = prev.len() == cur.len() + 1 && &prev[1..] == cur;
+        let fits = max_panel == 0 || width < max_panel;
+        if nests && fits {
+            width += 1;
+        } else {
+            first_col.push(j);
+            width = 1;
+        }
+    }
+    first_col.push(n);
+    SupernodePartition::from_first_cols(first_col, n)
+}
+
+/// Column panels of the predicted `L` of a symbolic LU factorization.
+/// `max_panel` caps panel width (0 = unlimited). Panels of width 1
+/// ("singletons") are simply scalar columns; the numeric payoff comes
+/// from the wide panels, whose share of the factorization work
+/// [`flop_share_in_wide_panels`] measures.
+pub fn supernodes_lu(sym: &LuSymbolic, max_panel: usize) -> SupernodePartition {
+    detect_nesting(sym.n, &sym.l_col_ptr, &sym.l_row_idx, max_panel)
+}
+
+/// [`supernodes_lu`] on raw factor-layout arrays (the compiled plan
+/// stores its row indices narrowed to `u32`; detection only compares
+/// patterns, so the index width is irrelevant).
+pub fn supernodes_lu_from_parts(
+    n: usize,
+    l_col_ptr: &[usize],
+    l_row_idx: &[u32],
+    max_panel: usize,
+) -> SupernodePartition {
+    assert_eq!(l_col_ptr.len(), n + 1, "column pointer length");
+    detect_nesting(n, l_col_ptr, l_row_idx, max_panel)
+}
+
+/// Per-panel factorization flops: the exact per-column counts of the
+/// symbolic analysis summed over each panel's columns — the cost model
+/// for balancing panel-level DAG schedules across workers, the panel
+/// analogue of [`LuSymbolic::per_column_flops`].
+pub fn panel_flops(sym: &LuSymbolic, part: &SupernodePartition) -> Vec<u64> {
+    let per_col = sym.per_column_flops();
+    (0..part.n_supernodes())
+        .map(|s| part.cols(s).map(|j| per_col[j]).sum())
+        .collect()
+}
+
+/// Fraction of the factorization's flops carried by columns living in
+/// wide (width ≥ 2) panels — the share of the numeric phase the
+/// supernodal engine routes through dense GETRF/TRSM/GEMM kernels
+/// instead of scalar scatter loops. 0.0 when the factorization has no
+/// flops at all.
+pub fn flop_share_in_wide_panels(sym: &LuSymbolic, part: &SupernodePartition) -> f64 {
+    flop_share_impl(part, &sym.l_col_ptr, |j| {
+        sym.u_col_pattern(j)[..sym.u_col_pattern(j).len() - 1]
+            .iter()
+            .copied()
+    })
+}
+
+/// [`flop_share_in_wide_panels`] on raw factor layouts (the compiled
+/// plan's `u32` row indices): the update set of column `j` is exactly
+/// the off-diagonal pattern of `U(:, j)` (diagonal stored last), so
+/// the `L`/`U` layouts alone determine the per-column flop counts —
+/// no reach sets needed. This is the engine-side entry point; keeping
+/// it here keeps the cost model in one place.
+pub fn flop_share_in_wide_panels_from_parts(
+    part: &SupernodePartition,
+    l_col_ptr: &[usize],
+    u_col_ptr: &[usize],
+    u_row_idx: &[u32],
+) -> f64 {
+    flop_share_impl(part, l_col_ptr, |j| {
+        u_row_idx[u_col_ptr[j]..u_col_ptr[j + 1] - 1]
+            .iter()
+            .map(|&k| k as usize)
+    })
+}
+
+/// The shared cost model: column `j` costs its `L` off-diagonal count
+/// (divisions) plus two flops per off-diagonal `L` entry of every
+/// update column (the multiply-subtract pairs) — the same accounting
+/// as [`LuSymbolic::per_column_flops`].
+fn flop_share_impl<I: Iterator<Item = usize>>(
+    part: &SupernodePartition,
+    l_col_ptr: &[usize],
+    updates_of: impl Fn(usize) -> I,
+) -> f64 {
+    let off = |k: usize| (l_col_ptr[k + 1] - l_col_ptr[k] - 1) as u64;
+    let col_flops = |j: usize| off(j) + updates_of(j).map(|k| 2 * off(k)).sum::<u64>();
+    let mut total = 0u64;
+    let mut wide = 0u64;
+    for s in 0..part.n_supernodes() {
+        let is_wide = part.width(s) > 1;
+        for j in part.cols(s) {
+            let c = col_flops(j);
+            total += c;
+            if is_wide {
+                wide += c;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        wide as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu_symbolic::lu_symbolic;
+    use sympiler_sparse::{gen, CscMatrix, TripletMatrix};
+
+    fn check_partition_valid(p: &SupernodePartition, n: usize) {
+        assert_eq!(p.n_cols(), n);
+        assert_eq!(p.col_to_super.len(), n);
+        let widths: usize = (0..p.n_supernodes()).map(|s| p.width(s)).sum();
+        assert_eq!(widths, n);
+    }
+
+    /// Every panel's columns must truly nest: pattern(j) equals
+    /// pattern(j-1) minus its diagonal row.
+    fn check_panels_nest(sym: &crate::lu_symbolic::LuSymbolic, p: &SupernodePartition) {
+        for s in 0..p.n_supernodes() {
+            let cols: Vec<usize> = p.cols(s).collect();
+            for w in cols.windows(2) {
+                let prev = sym.l_col_pattern(w[0]);
+                let cur = sym.l_col_pattern(w[1]);
+                assert_eq!(&prev[1..], cur, "panel columns {w:?} must nest");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_all_singletons() {
+        let sym = lu_symbolic(&CscMatrix::identity(7));
+        let p = supernodes_lu(&sym, 0);
+        assert_eq!(p.n_supernodes(), 7);
+        assert_eq!(p.avg_width(), 1.0);
+    }
+
+    #[test]
+    fn dense_matrix_is_one_panel() {
+        let n = 6;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                t.push(i, j, if i == j { 10.0 } else { 1.0 });
+            }
+        }
+        let sym = lu_symbolic(&t.to_csc().unwrap());
+        let p = supernodes_lu(&sym, 0);
+        assert_eq!(p.n_supernodes(), 1, "dense L is one panel");
+        assert_eq!(p.width(0), n);
+        assert!((flop_share_in_wide_panels(&sym, &p) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_panel_caps_width() {
+        let n = 6;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            for i in 0..n {
+                t.push(i, j, if i == j { 10.0 } else { 1.0 });
+            }
+        }
+        let sym = lu_symbolic(&t.to_csc().unwrap());
+        let p = supernodes_lu(&sym, 2);
+        assert_eq!(p.n_supernodes(), 3);
+        for s in 0..3 {
+            assert_eq!(p.width(s), 2);
+        }
+    }
+
+    #[test]
+    fn fill_cascade_produces_trailing_panel() {
+        // A dense column + superdiagonal chain fills the trailing
+        // block of L completely — those columns must merge.
+        let n = 8;
+        let mut t = TripletMatrix::new(n, n);
+        for j in 0..n {
+            t.push(j, j, 4.0);
+            if j + 1 < n {
+                t.push(j, j + 1, 1.0);
+            }
+        }
+        for i in 3..n {
+            t.push(i, 2, -1.0);
+        }
+        let sym = lu_symbolic(&t.to_csc().unwrap());
+        let p = supernodes_lu(&sym, 0);
+        check_partition_valid(&p, n);
+        check_panels_nest(&sym, &p);
+        let last = p.n_supernodes() - 1;
+        assert!(p.width(last) >= n - 2, "fill cascade must merge the tail");
+        assert!(flop_share_in_wide_panels(&sym, &p) > 0.5);
+    }
+
+    #[test]
+    fn convection_diffusion_has_wide_panels_that_nest() {
+        let a = gen::convection_diffusion_2d(8, 7, 1.5, 3);
+        let sym = lu_symbolic(&a);
+        let p = supernodes_lu(&sym, 0);
+        check_partition_valid(&p, a.n_cols());
+        check_panels_nest(&sym, &p);
+        assert!(
+            (0..p.n_supernodes()).any(|s| p.width(s) > 1),
+            "grid fill-in should produce at least one wide LU panel"
+        );
+        // The capped partition still nests and respects the cap.
+        let capped = supernodes_lu(&sym, 3);
+        check_panels_nest(&sym, &capped);
+        assert!((0..capped.n_supernodes()).all(|s| capped.width(s) <= 3));
+    }
+
+    #[test]
+    fn from_parts_agrees_with_symbolic_detection() {
+        let a = gen::circuit_unsym(60, 4, 2, 5);
+        let sym = lu_symbolic(&a);
+        let narrowed: Vec<u32> = sym.l_row_idx.iter().map(|&r| r as u32).collect();
+        let p1 = supernodes_lu(&sym, 4);
+        let p2 = supernodes_lu_from_parts(sym.n, &sym.l_col_ptr, &narrowed, 4);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn flop_share_entry_points_agree() {
+        // The symbolic-side and layout-side entry points must compute
+        // the identical share: the update schedule of a column is
+        // exactly the off-diagonal pattern of U(:, j).
+        for a in [
+            gen::convection_diffusion_2d(7, 6, 1.5, 4),
+            gen::circuit_unsym(70, 4, 2, 8),
+        ] {
+            let sym = lu_symbolic(&a);
+            let narrowed: Vec<u32> = sym.u_row_idx.iter().map(|&r| r as u32).collect();
+            for cap in [0usize, 4] {
+                let p = supernodes_lu(&sym, cap);
+                let via_sym = flop_share_in_wide_panels(&sym, &p);
+                let via_parts = flop_share_in_wide_panels_from_parts(
+                    &p,
+                    &sym.l_col_ptr,
+                    &sym.u_col_ptr,
+                    &narrowed,
+                );
+                assert!((via_sym - via_parts).abs() < 1e-15, "cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn panel_flops_sum_to_factor_flops() {
+        let a = gen::convection_diffusion_2d(6, 6, 1.0, 9);
+        let sym = lu_symbolic(&a);
+        for cap in [0usize, 2, 5] {
+            let p = supernodes_lu(&sym, cap);
+            let pf = panel_flops(&sym, &p);
+            assert_eq!(pf.len(), p.n_supernodes());
+            assert_eq!(pf.iter().sum::<u64>(), sym.factor_flops(), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let sym = lu_symbolic(&CscMatrix::zeros(0, 0));
+        let p = supernodes_lu(&sym, 0);
+        assert_eq!(p.n_supernodes(), 0);
+        assert_eq!(flop_share_in_wide_panels(&sym, &p), 0.0);
+        assert!(panel_flops(&sym, &p).is_empty());
+    }
+
+    // ---- SupernodePartition::from_first_cols edge cases (the
+    // constructor every detector funnels through). ----
+
+    #[test]
+    fn partition_n_zero() {
+        let p = SupernodePartition::from_first_cols(vec![0], 0);
+        assert_eq!(p.n_supernodes(), 0);
+        assert_eq!(p.n_cols(), 0);
+        assert_eq!(p.avg_width(), 0.0);
+        assert!(p.col_to_super.is_empty());
+    }
+
+    #[test]
+    fn partition_all_singletons() {
+        let n = 5;
+        let p = SupernodePartition::from_first_cols((0..=n).collect(), n);
+        assert_eq!(p.n_supernodes(), n);
+        for s in 0..n {
+            assert_eq!(p.width(s), 1);
+            assert_eq!(p.cols(s).collect::<Vec<_>>(), vec![s]);
+        }
+        assert_eq!(p.avg_width(), 1.0);
+    }
+
+    #[test]
+    fn partition_one_giant_panel() {
+        let n = 9;
+        let p = SupernodePartition::from_first_cols(vec![0, n], n);
+        assert_eq!(p.n_supernodes(), 1);
+        assert_eq!(p.width(0), n);
+        assert!(p.col_to_super.iter().all(|&s| s == 0));
+        assert_eq!(p.avg_width(), n as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover")]
+    fn partition_must_cover_all_columns() {
+        SupernodePartition::from_first_cols(vec![0, 3], 7);
+    }
+}

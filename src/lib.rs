@@ -24,11 +24,16 @@
 //! simulation, convection-dominated CFD) by reusing the reach-set
 //! machinery: each left-looking LU column solve *is* a sparse
 //! triangular solve, so its VI-Prune set is a reach set on the growing
-//! `DG_L`. LU's numeric phase can additionally run **in parallel** over
-//! the column elimination DAG ([`SympilerOptions::n_threads`]), with
-//! results bitwise identical to the serial plan at any thread count.
+//! `DG_L`. LU's numeric phase compiles to one of **three execution
+//! tiers**: serial columns, columns leveled in parallel over the
+//! column elimination DAG ([`SympilerOptions::n_threads`], bitwise
+//! identical to serial at any thread count), or supernodal VS-Block
+//! panels routed through dense GETRF/TRSM/GEMM kernels
+//! ([`SympilerOptions::block_lu`], ~1e-12 agreement — dense kernels
+//! reassociate sums).
 //!
 //! [`SympilerOptions::n_threads`]: prelude::SympilerOptions
+//! [`SympilerOptions::block_lu`]: prelude::SympilerOptions
 //!
 //! [`SympilerTriSolve`]: prelude::SympilerTriSolve
 //! [`SympilerCholesky`]: prelude::SympilerCholesky
@@ -62,12 +67,13 @@ pub use sympiler_sparse as sparse;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use sympiler_core::compile::{
-        Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
+        BlockLu, Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
     };
     pub use sympiler_core::plan::chol::CholFactor;
     pub use sympiler_core::plan::lu::{LuFactor, LuPlan};
     #[cfg(feature = "parallel")]
     pub use sympiler_core::plan::lu_parallel::ParallelLuPlan;
+    pub use sympiler_core::plan::lu_supernodal::SupernodalLuPlan;
     pub use sympiler_core::plan::tri::TriSolvePlan;
     pub use sympiler_solvers::lu::{GpLu, GpLuFactors, Pivoting};
     pub use sympiler_sparse::{CscMatrix, SparseVec, TripletMatrix};

@@ -287,6 +287,69 @@ proptest! {
     }
 
     #[test]
+    fn supernodal_lu_matches_serial_plan(a in unsym_matrix()) {
+        // The supernodal tier must agree with the serial plan to
+        // ≤ 1e-12 (dense kernels only reassociate sums) under every
+        // ordering and panel cap, with identical patterns and a valid
+        // panel partition.
+        for ordering in Ordering::ALL {
+            let serial = SympilerLu::compile(&a, &SympilerOptions {
+                ordering,
+                block_lu: BlockLu::Off,
+                ..Default::default()
+            }).unwrap();
+            let f_serial = serial.factor(&a).unwrap();
+            for max_panel in [0usize, 3] {
+                let sup = SympilerLu::compile(&a, &SympilerOptions {
+                    ordering,
+                    block_lu: BlockLu::On,
+                    max_panel,
+                    ..Default::default()
+                }).unwrap();
+                let plan = sup.supernodal().expect("On always compiles the engine");
+                let widths: usize = (0..plan.n_panels())
+                    .map(|s| plan.partition().width(s))
+                    .sum();
+                prop_assert_eq!(widths, a.n_cols());
+                if max_panel > 0 {
+                    prop_assert!(plan.max_panel_width() <= max_panel.max(1));
+                }
+                let f_sup = sup.factor(&a).unwrap();
+                prop_assert!(f_sup.l().same_pattern(f_serial.l()));
+                prop_assert!(f_sup.u().same_pattern(f_serial.u()));
+                for (x, y) in f_sup.l().values().iter().chain(f_sup.u().values())
+                    .zip(f_serial.l().values().iter().chain(f_serial.u().values()))
+                {
+                    prop_assert!(
+                        (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                        "{} cap {}: {} vs {}", ordering.label(), max_panel, x, y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rhs_solve_matches_dense_solve(a in unsym_matrix(), seed in 0u64..50) {
+        let n = a.n_cols();
+        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        let f = lu.factor(&a).unwrap();
+        let idx: Vec<usize> = (0..n)
+            .filter(|i| (i * 7 + seed as usize).is_multiple_of(5))
+            .collect();
+        let vals: Vec<f64> = idx.iter().map(|&i| 1.0 + (i % 4) as f64).collect();
+        let b = SparseVec::try_new(n, idx, vals).unwrap();
+        let xs = f.solve_sparse(&b).to_dense();
+        let xd = f.solve(&b.to_dense());
+        for i in 0..n {
+            prop_assert!(
+                (xs[i] - xd[i]).abs() < 1e-10 * (1.0 + xd[i].abs()),
+                "row {}: {} vs {}", i, xs[i], xd[i]
+            );
+        }
+    }
+
+    #[test]
     fn lu_symbolic_pattern_predicts_numeric_factor(a in unsym_matrix()) {
         let sym = sympiler::graph::lu_symbolic(&a);
         let f = GpLu::factor(&a, Pivoting::None).unwrap();

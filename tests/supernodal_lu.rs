@@ -1,0 +1,255 @@
+//! Integration tests for the supernodal (VS-Block) LU tier: panel
+//! detection quality, agreement with the serial plan across the whole
+//! unsymmetric suite under every ordering, the `block_lu` knob, panel
+//! DAG parallel execution, and sparse-RHS solves through factors from
+//! every tier.
+
+use sympiler::prelude::*;
+use sympiler::sparse::suite::{unsym_suite, SuiteScale};
+use sympiler::sparse::{ops, SparseVec};
+
+/// Serial-vs-supernodal agreement bound: dense kernels reassociate the
+/// update sums, nothing more.
+const TOL: f64 = 1e-12;
+
+fn assert_factors_close(a: &LuFactor, b: &LuFactor, what: &str) {
+    assert!(a.l().same_pattern(b.l()), "{what}: L pattern");
+    assert!(a.u().same_pattern(b.u()), "{what}: U pattern");
+    for (x, y) in a.l().values().iter().zip(b.l().values()) {
+        assert!(
+            (x - y).abs() <= TOL * (1.0 + y.abs()),
+            "{what}: L value {x} vs {y}"
+        );
+    }
+    for (x, y) in a.u().values().iter().zip(b.u().values()) {
+        assert!(
+            (x - y).abs() <= TOL * (1.0 + y.abs()),
+            "{what}: U value {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn supernodal_matches_serial_across_suite_and_orderings() {
+    // The satellite contract: supernodal factors comparable to the
+    // serial plan to ≤ 1e-12 across the unsym suite × all orderings.
+    for p in unsym_suite(SuiteScale::Test) {
+        for ordering in Ordering::ALL {
+            let serial = SympilerLu::compile(
+                &p.matrix,
+                &SympilerOptions {
+                    ordering,
+                    block_lu: BlockLu::Off,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let sup = SympilerLu::compile(
+                &p.matrix,
+                &SympilerOptions {
+                    ordering,
+                    block_lu: BlockLu::On,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert!(sup.is_supernodal() && !serial.is_supernodal());
+            let f_serial = serial.factor(&p.matrix).unwrap();
+            let f_sup = sup.factor(&p.matrix).unwrap();
+            assert_factors_close(
+                &f_sup,
+                &f_serial,
+                &format!("{} under {}", p.name, ordering.label()),
+            );
+            // Panel statistics are well-formed.
+            let plan = sup.supernodal().unwrap();
+            assert!(plan.mean_panel_width() >= 1.0);
+            assert!(plan.dense_flop_share() >= 0.0 && plan.dense_flop_share() <= 1.0);
+            let widths: usize = (0..plan.n_panels())
+                .map(|s| plan.partition().width(s))
+                .sum();
+            assert_eq!(widths, p.matrix.n_cols(), "panels partition the columns");
+        }
+    }
+}
+
+#[test]
+fn suite_blocks_on_every_problem() {
+    // Every suite problem must produce at least one wide panel — the
+    // engine has real dense work on all of them (the lu_compare
+    // numbers rest on this).
+    for p in unsym_suite(SuiteScale::Test) {
+        let sup = SympilerLu::compile(
+            &p.matrix,
+            &SympilerOptions {
+                block_lu: BlockLu::On,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let plan = sup.supernodal().unwrap();
+        assert!(plan.n_wide_panels() > 0, "{} never blocked", p.name);
+        assert!(plan.mean_panel_width() > 1.0, "{}", p.name);
+    }
+}
+
+#[test]
+fn colamd_circuit_panels_stay_wide() {
+    // The acceptance bar: COLAMD-ordered circuit problems keep mean
+    // panel width > 1 (blocking survives the fill-reducing ordering).
+    for p in unsym_suite(SuiteScale::Test) {
+        if p.family != "circuit-unsym" {
+            continue;
+        }
+        let sup = SympilerLu::compile(
+            &p.matrix,
+            &SympilerOptions {
+                ordering: Ordering::Colamd,
+                block_lu: BlockLu::On,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let plan = sup.supernodal().unwrap();
+        assert!(
+            plan.mean_panel_width() > 1.0,
+            "{}: colamd mean panel width {}",
+            p.name,
+            plan.mean_panel_width()
+        );
+        assert!(
+            plan.dense_flop_share() > 0.5,
+            "{}: dense kernels should dominate circuit factorizations",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn max_panel_knob_caps_widths_and_stays_correct() {
+    let p = &unsym_suite(SuiteScale::Test)[2]; // circuit_small_u
+    let mut reference: Option<LuFactor> = None;
+    for max_panel in [2usize, 8, 0] {
+        let sup = SympilerLu::compile(
+            &p.matrix,
+            &SympilerOptions {
+                block_lu: BlockLu::On,
+                max_panel,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let plan = sup.supernodal().unwrap();
+        if max_panel > 0 {
+            assert!(plan.max_panel_width() <= max_panel, "cap {max_panel}");
+        }
+        let f = sup.factor(&p.matrix).unwrap();
+        match &reference {
+            None => reference = Some(f),
+            Some(r) => assert_factors_close(&f, r, &format!("cap {max_panel}")),
+        }
+    }
+}
+
+#[test]
+fn panel_parallel_execution_is_deterministic_and_correct() {
+    let p = &unsym_suite(SuiteScale::Test)[3]; // circuit_rails_u
+    let opts1 = SympilerOptions {
+        ordering: Ordering::Colamd,
+        block_lu: BlockLu::On,
+        ..Default::default()
+    };
+    let one = SympilerLu::compile(&p.matrix, &opts1).unwrap();
+    let f1 = one.factor(&p.matrix).unwrap();
+    for threads in [2usize, 4] {
+        let par = SympilerLu::compile(
+            &p.matrix,
+            &SympilerOptions {
+                n_threads: threads,
+                ..opts1.clone()
+            },
+        )
+        .unwrap();
+        assert!(par.is_supernodal());
+        assert_eq!(par.n_threads(), threads);
+        let fp = par.factor(&p.matrix).unwrap();
+        // Panels run fixed operation sequences: thread count must not
+        // change a single bit.
+        for (x, y) in f1
+            .l()
+            .values()
+            .iter()
+            .chain(f1.u().values())
+            .zip(fp.l().values().iter().chain(fp.u().values()))
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+        }
+    }
+}
+
+#[test]
+fn sparse_rhs_solves_agree_with_dense_across_tiers() {
+    let p = &unsym_suite(SuiteScale::Test)[0]; // convdiff_mild_u
+    let n = p.matrix.n_cols();
+    let idx: Vec<usize> = (0..n).filter(|i| i % 41 == 3).collect();
+    let vals: Vec<f64> = idx.iter().map(|&i| 1.0 + (i % 3) as f64).collect();
+    let b = SparseVec::try_new(n, idx, vals).unwrap();
+    for (label, opts) in [
+        (
+            "serial",
+            SympilerOptions {
+                block_lu: BlockLu::Off,
+                ..Default::default()
+            },
+        ),
+        (
+            "supernodal+colamd",
+            SympilerOptions {
+                ordering: Ordering::Colamd,
+                block_lu: BlockLu::On,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let lu = SympilerLu::compile(&p.matrix, &opts).unwrap();
+        let f = lu.factor(&p.matrix).unwrap();
+        let xs = f.solve_sparse(&b);
+        let xd = f.solve(&b.to_dense());
+        let xs_dense = xs.to_dense();
+        for i in 0..n {
+            assert!(
+                (xs_dense[i] - xd[i]).abs() < 1e-11,
+                "{label}: row {i}: {} vs {}",
+                xs_dense[i],
+                xd[i]
+            );
+        }
+        // And the sparse solve answers the original system.
+        assert!(
+            ops::rel_residual(&p.matrix, &xs_dense, &b.to_dense()) < 1e-10,
+            "{label}: residual"
+        );
+    }
+}
+
+#[test]
+fn emitted_supernodal_c_reflects_the_partition() {
+    let p = &unsym_suite(SuiteScale::Test)[2];
+    let sup = SympilerLu::compile(
+        &p.matrix,
+        &SympilerOptions {
+            block_lu: BlockLu::On,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let c = sup.emit_c();
+    let plan = sup.supernodal().unwrap();
+    assert!(c.contains("lu_supernodal_specialized"));
+    assert!(c.contains(&format!(
+        "static const int panelSetSize = {};",
+        plan.n_panels()
+    )));
+    assert!(c.contains("dense_getrf"));
+    assert!(c.contains("dense_trsm_right_upper"));
+}
