@@ -66,12 +66,16 @@ fn main() {
     }
     t.emit(Some("suite_stats.csv"));
 
-    // --- Unsymmetric LU suite: per-ordering structure.
+    // --- Unsymmetric LU suite: per-ordering structure. Zero-diagonal
+    // problems are analyzed after the maximum-transversal pre-pivot
+    // (their honest structure: without it the symbolic analysis
+    // describes a factorization the numeric phase can never run).
     let mut u = Table::new(
         "Unsymmetric suite: fill and elimination-DAG parallelism per ordering",
         &[
             "ID",
             "matrix",
+            "pre-pivot",
             "n",
             "nnz(A)",
             "ordering",
@@ -83,11 +87,21 @@ fn main() {
         ],
     );
     for p in unsym_suite(scale) {
+        let (pivoted, pp_label) = if p.zero_diag {
+            let rowp = sympiler_graph::transversal::maximum_transversal(&p.matrix)
+                .expect("zero-diag suite problems have a perfect matching");
+            (
+                sympiler_sparse::ops::permute_rows(&p.matrix, &rowp).expect("valid matching"),
+                "transversal",
+            )
+        } else {
+            (p.matrix.clone(), "off")
+        };
         for ordering in Ordering::ALL {
-            let a = match compute_ordering(&p.matrix, ordering) {
-                Some(perm) => sympiler_sparse::ops::permute_rows_cols(&p.matrix, &perm)
+            let a = match compute_ordering(&pivoted, ordering) {
+                Some(perm) => sympiler_sparse::ops::permute_rows_cols(&pivoted, &perm)
                     .expect("valid ordering"),
-                None => p.matrix.clone(),
+                None => pivoted.clone(),
             };
             let sym = lu_symbolic(&a);
             let levels = dag_levels_from_preds(sym.n, |j| sym.reach(j).iter().copied());
@@ -95,6 +109,7 @@ fn main() {
             u.row(vec![
                 p.id.to_string(),
                 p.name.to_string(),
+                pp_label.to_string(),
                 p.n().to_string(),
                 p.matrix.nnz().to_string(),
                 ordering.label().to_string(),

@@ -87,7 +87,11 @@ pub struct LuBenchProblem {
     pub id: usize,
     pub name: &'static str,
     pub family: &'static str,
-    /// Square unsymmetric matrix, full storage, statically pivotable.
+    /// True when the matrix has structurally zero diagonals and only
+    /// factors under a static pre-pivot (`PrePivot` ≠ `Off`).
+    pub zero_diag: bool,
+    /// Square unsymmetric matrix, full storage, statically pivotable
+    /// (after the pre-pivot when `zero_diag`).
     pub a: CscMatrix,
     /// Dense RHS for the end-to-end solve checks.
     pub b: Vec<f64>,
@@ -101,6 +105,7 @@ impl LuBenchProblem {
             id: p.id,
             name: p.name,
             family: p.family,
+            zero_diag: p.zero_diag,
             a: p.matrix,
             b,
         }

@@ -12,6 +12,7 @@ use sympiler_graph::supernode::supernodes_trisolve;
 use sympiler_sparse::{CscMatrix, SparseVec};
 
 pub use sympiler_graph::ordering::Ordering;
+pub use sympiler_graph::transversal::PrePivot;
 
 /// Whether the LU pipeline compiles the supernodal (VS-Block) numeric
 /// engine — the third execution tier beside the serial and
@@ -34,6 +35,29 @@ pub enum BlockLu {
 }
 
 /// Tunable thresholds and switches (paper §4.2).
+///
+/// The LU pipeline's compile-time knobs compose: a static pre-pivot
+/// ([`Self::pre_pivot`]) makes the diagonal usable, a fill-reducing
+/// ordering ([`Self::ordering`]) shrinks the factors, and the
+/// execution tier ([`Self::n_threads`] / [`Self::block_lu`]) picks the
+/// numeric engine — all resolved once per pattern.
+///
+/// ```
+/// use sympiler_core::{Ordering, PrePivot, SympilerLu, SympilerOptions};
+///
+/// // A saddle-point (KKT) system: its trailing block has no diagonal,
+/// // so the default options cannot factor it — but a weighted-matching
+/// // pre-pivot composed with COLAMD can.
+/// let a = sympiler_sparse::gen::saddle_point_2x2(40, 8, 1);
+/// let opts = SympilerOptions {
+///     pre_pivot: PrePivot::WeightedMatching,
+///     ordering: Ordering::Colamd,
+///     ..Default::default()
+/// };
+/// let lu = SympilerLu::compile(&a, &opts).unwrap();
+/// let x = lu.factor(&a).unwrap().solve(&vec![1.0; 48]);
+/// assert!(sympiler_sparse::ops::rel_residual(&a, &x, &vec![1.0; 48]) < 1e-10);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SympilerOptions {
     /// Enable VS-Block (subject to the supernode-size threshold).
@@ -82,6 +106,18 @@ pub struct SympilerOptions {
     /// the dense block accumulator, `n × max_panel` doubles per
     /// worker). 0 = unlimited.
     pub max_panel: usize,
+    /// Static pre-pivoting for the LU pipeline: compute a row
+    /// permutation `P` at inspection time (maximum transversal or
+    /// MC64-like weighted matching) so `P·A` has a structurally
+    /// zero-free — and, for the weighted variant, numerically large —
+    /// diagonal, then factor `Qᵀ·P·A·Q`. This is what lets the
+    /// static-diagonal-pivot contract cover saddle-point/KKT and
+    /// circuit matrices whose diagonals are structurally zero (hard
+    /// errors otherwise). Defaults to [`PrePivot::Off`]; structurally
+    /// singular inputs fail compilation with a typed error instead of
+    /// a numeric-phase zero pivot. Zero per-factorization cost: the
+    /// permutation rides the same baked gather maps as the ordering.
+    pub pre_pivot: PrePivot,
 }
 
 impl Default for SympilerOptions {
@@ -97,6 +133,7 @@ impl Default for SympilerOptions {
             ordering: Ordering::Natural,
             block_lu: BlockLu::Auto,
             max_panel: 32,
+            pre_pivot: PrePivot::Off,
         }
     }
 }
@@ -297,7 +334,29 @@ impl SympilerCholesky {
 }
 
 /// A compiled sparse LU, specialized to one (generally unsymmetric)
-/// pattern under static diagonal pivoting.
+/// pattern under static diagonal pivoting — optionally pre-pivoted
+/// (row matching) and fill-reduced (column ordering), both baked at
+/// compile time.
+///
+/// One compile, many numeric factorizations:
+///
+/// ```
+/// use sympiler_core::{SympilerLu, SympilerOptions};
+///
+/// let mut a = sympiler_sparse::gen::circuit_unsym(60, 4, 2, 7);
+/// let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+///
+/// // Values change, pattern fixed: refactor without symbolic work.
+/// for round in 0..3 {
+///     for v in a.values_mut() {
+///         *v *= 1.0 + 0.01 * round as f64;
+///     }
+///     let f = lu.factor(&a).unwrap();
+///     let b = vec![1.0; 60];
+///     let x = f.solve(&b);
+///     assert!(sympiler_sparse::ops::rel_residual(&a, &x, &b) < 1e-10);
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct SympilerLu {
     exec: LuExec,
@@ -324,16 +383,23 @@ impl SympilerLu {
     /// the triangular-solve pipeline; `block_lu` / `max_panel` control
     /// the supernodal (VS-Block) tier, which routes wide column panels
     /// of the predicted `L` through dense GETRF/TRSM/GEMM kernels.
-    /// `ordering` selects the
-    /// fill-reducing ordering computed at inspection time and baked
-    /// into the plan ([`LuPlan::build_ordered`]); `factor` still takes
+    /// `pre_pivot` and `ordering` select the
+    /// static row pre-pivot and fill-reducing ordering computed at
+    /// inspection time and baked into the plan
+    /// ([`LuPlan::build_pivoted`]); `factor` still takes
     /// the original matrix, and [`LuFactor::solve`] speaks original
     /// coordinates. With `n_threads > 1` (and the `parallel` feature
     /// on), the numeric phase is additionally leveled over the column
     /// elimination DAG and executed by that many workers — results
     /// stay bitwise identical to the serial plan.
     pub fn compile(a: &CscMatrix, opts: &SympilerOptions) -> Result<Self, LuPlanError> {
-        let plan = LuPlan::build_ordered(a, opts.low_level, opts.peel_col_count, opts.ordering)?;
+        let plan = LuPlan::build_pivoted(
+            a,
+            opts.low_level,
+            opts.peel_col_count,
+            opts.ordering,
+            opts.pre_pivot,
+        )?;
         // Supernodal tier: under `Auto`, engage only when blocking
         // pays (mean panel width ≥ 2 — the VS-Block threshold idea
         // applied to LU). The threshold needs only the O(nnz) panel
@@ -443,6 +509,24 @@ impl SympilerLu {
     /// natural order.
     pub fn col_perm(&self) -> Option<&[usize]> {
         self.plan().col_perm()
+    }
+
+    /// The pre-pivoting strategy compiled into the plan.
+    pub fn pre_pivot(&self) -> PrePivot {
+        self.plan().pre_pivot()
+    }
+
+    /// The composed row map (`rperm[new] = old`, pre-pivot and
+    /// ordering combined), or `None` when neither knob moved anything.
+    pub fn row_perm(&self) -> Option<&[usize]> {
+        self.plan().row_perm()
+    }
+
+    /// Count of columns whose compiled pivot position is structurally
+    /// present in `A` — `n` after any successful pre-pivot. See
+    /// [`LuPlan::matched_diagonals`].
+    pub fn matched_diagonals(&self) -> usize {
+        self.plan().matched_diagonals()
     }
 
     /// Fill ratio `nnz(L + U) / nnz(A)` of the compiled factorization.
@@ -600,6 +684,7 @@ mod tests {
         assert_eq!(o.ordering, Ordering::Natural, "no reordering by default");
         assert_eq!(o.block_lu, BlockLu::Auto, "supernodal LU auto-detects");
         assert_eq!(o.max_panel, 32, "panel cap keeps block buffers small");
+        assert_eq!(o.pre_pivot, PrePivot::Off, "no pre-pivot by default");
     }
 
     /// A pattern whose factor blocks heavily: a dense trailing block

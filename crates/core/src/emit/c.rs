@@ -216,13 +216,17 @@ fn emit_lu_col_epilogue(out: &mut String, j: usize, l: &CscMatrix, u_col_ptr: &[
 /// `l` carries the predicted pattern of the factor (values unused);
 /// `u_col_ptr` the predicted `U` layout.
 ///
-/// `perm` is the plan's baked fill-reducing ordering as
-/// `(perm, iperm)` with `perm[new] = old` / `iperm[old] = new`, or
-/// `None` for natural order. Like the Rust numeric phase, the emitted
-/// kernel takes the **original** matrix (`Ap`/`Ai`/`Ax`) and applies
-/// the ordering inside the scatter — column `j` of the ordered system
-/// reads column `perm[j]` with rows mapped through `iperm`, via
-/// embedded `colPerm`/`rowNewOf` tables.
+/// `perm` is the plan's baked permutation pair `(cperm, irperm)`: the
+/// column gather map (`cperm[new] = old`, the fill-reducing ordering
+/// `Q`) and the **inverse row** map (`irperm[old] = new`, the
+/// composition of the static pre-pivot `P` with `Q`, inverted), or
+/// `None` when nothing is baked. The two maps coincide-modulo-inverse
+/// under an ordering alone; a pre-pivot makes them genuinely
+/// independent. Like the Rust numeric phase, the emitted kernel takes
+/// the **original** matrix (`Ap`/`Ai`/`Ax`) and applies the
+/// permutations inside the scatter — column `j` of the compiled
+/// system reads column `cperm[j]` with rows mapped through `irperm`,
+/// via embedded `colPerm`/`rowNewOf` tables.
 pub fn emit_lu_c(
     l: &CscMatrix,
     u_col_ptr: &[usize],

@@ -42,6 +42,6 @@ pub mod report;
 pub mod transform;
 
 pub use compile::{
-    BlockLu, Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
+    BlockLu, Ordering, PrePivot, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
 };
 pub use report::SymbolicReport;

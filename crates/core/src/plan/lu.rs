@@ -27,6 +27,7 @@
 use crate::inspector::LuVIPruneInspector;
 use crate::report::{timed, SymbolicReport};
 use sympiler_graph::ordering::Ordering;
+use sympiler_graph::transversal::PrePivot;
 use sympiler_sparse::{CscMatrix, SparseVec};
 
 /// LU plan error (kept separate from the solvers' error type so
@@ -39,6 +40,17 @@ pub enum LuPlanError {
     PatternMismatch,
     /// Structurally or numerically zero diagonal pivot.
     ZeroPivot { column: usize },
+    /// A pre-pivot was requested but the pattern admits no perfect
+    /// row/column matching: **no** row permutation can give this
+    /// matrix a zero-free diagonal, so statically pivoted LU is
+    /// structurally impossible. Reported from *inspection* (compile
+    /// time), never from the numeric phase.
+    StructurallySingular {
+        /// Matrix order.
+        n: usize,
+        /// Size of the maximum matching (`< n`).
+        structural_rank: usize,
+    },
 }
 
 impl std::fmt::Display for LuPlanError {
@@ -49,27 +61,43 @@ impl std::fmt::Display for LuPlanError {
             LuPlanError::ZeroPivot { column } => {
                 write!(f, "zero pivot at column {column}")
             }
+            LuPlanError::StructurallySingular { n, structural_rank } => write!(
+                f,
+                "structurally singular: maximum matching covers \
+                 {structural_rank} of {n} columns"
+            ),
         }
     }
 }
 
 impl std::error::Error for LuPlanError {}
 
-/// A fill-reducing ordering baked into a plan at compile time:
-/// `perm[new] = old` and its inverse. The numeric phase reads the
-/// caller's *original* matrix through these gather maps, so applying
-/// the ordering costs nothing per factorization — one extra index
-/// indirection during the scatter of `A`'s columns, on memory the
-/// scatter touches anyway.
-/// The maps are `Arc`-shared with every [`LuFactor`] the plan
-/// produces, so repeated factorization never copies them.
+/// The compile-time permutations baked into a plan: a composed **row**
+/// gather map and a **column** gather map (`perm[new] = old` on both
+/// sides), from the static pre-pivot `P` and/or the fill-reducing
+/// ordering `Q`. The plan factors `B = Qᵀ·P·A·Q`, i.e. `B[i, j] =
+/// A[rperm[i], cperm[j]]` with `rperm[new] = P[Q[new]]` and `cperm =
+/// Q` — under an ordering alone the two maps coincide (the historical
+/// symmetric application), under a pre-pivot alone `cperm` is the
+/// identity.
+///
+/// The numeric phase reads the caller's *original* matrix through
+/// these gather maps, so applying either permutation costs nothing per
+/// factorization — one extra index indirection during the scatter of
+/// `A`'s columns, on memory the scatter touches anyway. The maps are
+/// `Arc`-shared with every [`LuFactor`] the plan produces, so repeated
+/// factorization never copies them.
 #[derive(Debug, Clone)]
 pub(crate) struct BakedPerm {
-    /// `perm[new] = old` — the ordering `Q`.
-    pub(crate) perm: std::sync::Arc<[usize]>,
-    /// `iperm[old] = new` — `Q⁻¹`. `Arc`-shared with the factors so
-    /// sparse-RHS solves can map patterns without re-inverting.
-    pub(crate) iperm: std::sync::Arc<[usize]>,
+    /// `rperm[new] = old` row of `A` — the composed row map `P·Q`.
+    pub(crate) rperm: std::sync::Arc<[usize]>,
+    /// `irperm[old] = new` — the inverse row map, `Arc`-shared with
+    /// the factors so sparse-RHS solves can map input patterns without
+    /// re-inverting.
+    pub(crate) irperm: std::sync::Arc<[usize]>,
+    /// `cperm[new] = old` column of `A` — the ordering `Q` (identity
+    /// when only a pre-pivot is baked).
+    pub(crate) cperm: std::sync::Arc<[usize]>,
 }
 
 /// A compiled LU factorization specialized to one sparsity pattern
@@ -87,10 +115,17 @@ pub struct LuPlan {
     /// permutation is the plan's internal affair.
     a_col_ptr: Vec<usize>,
     a_row_idx: Vec<u32>,
-    /// Which ordering strategy produced [`Self::baked`].
+    /// Which ordering strategy contributed to [`Self::baked`].
     ordering: Ordering,
-    /// The compiled ordering, `None` under [`Ordering::Natural`]. All
-    /// factor layouts and schedules below live in ordered coordinates.
+    /// Which pre-pivoting strategy contributed to [`Self::baked`].
+    pre_pivot: PrePivot,
+    /// Count of columns whose compiled pivot position is structurally
+    /// present in `A` (the matched diagonals, `n` after any successful
+    /// pre-pivot) — the deterministic quantity the perf gate tracks.
+    matched_diag: usize,
+    /// The compiled permutations, `None` when both knobs resolve to
+    /// the identity. All factor layouts and schedules below live in
+    /// pivoted + ordered coordinates.
     baked: Option<BakedPerm>,
     /// Factor layouts (patterns fixed at compile time). Shared with
     /// `plan::lu_parallel`, which executes the same schedule leveled
@@ -112,38 +147,58 @@ pub struct LuPlan {
 pub(crate) const PEEL_BIT: u32 = 1 << 31;
 
 /// A numeric factorization produced by [`LuPlan::factor`]:
-/// `Qᵀ A Q = L U` with unit-lower-triangular `L` (diagonal-first
+/// `Qᵀ·P·A·Q = L U` with unit-lower-triangular `L` (diagonal-first
 /// columns) and upper-triangular `U` (diagonal-last columns), where
-/// `Q` is the plan's compiled ordering (the identity for
-/// [`Ordering::Natural`], in which case this is plainly `A = L U`).
-/// [`Self::solve`] handles the permutation transparently: it takes and
-/// returns vectors in the **original** coordinates of `A`.
+/// `P` is the plan's static pre-pivot and `Q` its compiled ordering
+/// (both the identity by default, in which case this is plainly
+/// `A = L U`). [`Self::solve`] handles the permutations transparently:
+/// it takes and returns vectors in the **original** coordinates of
+/// `A`.
 #[derive(Debug, Clone)]
 pub struct LuFactor {
     l: CscMatrix,
     u: CscMatrix,
-    /// `perm[new] = old`; `None` when no ordering was compiled.
-    /// Shared with the producing plan (`Arc`), not copied per factor.
-    perm: Option<std::sync::Arc<[usize]>>,
-    /// `iperm[old] = new`, shared likewise; present iff `perm` is.
-    iperm: Option<std::sync::Arc<[usize]>>,
+    /// Composed row gather `rperm[new] = old` (`P·Q`); `None` when no
+    /// permutation was compiled. Shared with the producing plan
+    /// (`Arc`), not copied per factor.
+    rperm: Option<std::sync::Arc<[usize]>>,
+    /// `irperm[old] = new`, shared likewise; present iff `rperm` is.
+    irperm: Option<std::sync::Arc<[usize]>>,
+    /// Column gather `cperm[new] = old` (`Q` alone); `None` whenever
+    /// no *ordering* was compiled — in particular under a pre-pivot
+    /// alone, where the column map is the identity — matching
+    /// [`LuPlan::col_perm`]'s contract exactly (and skipping the
+    /// then-pointless scatter pass in [`Self::solve`]).
+    cperm: Option<std::sync::Arc<[usize]>>,
 }
 
 impl LuFactor {
-    /// The unit lower-triangular factor (ordered coordinates).
+    /// The unit lower-triangular factor (pivoted/ordered coordinates).
     pub fn l(&self) -> &CscMatrix {
         &self.l
     }
 
-    /// The upper-triangular factor (ordered coordinates).
+    /// The upper-triangular factor (pivoted/ordered coordinates).
     pub fn u(&self) -> &CscMatrix {
         &self.u
     }
 
-    /// The ordering `Q` the factors live under (`perm[new] = old`), or
-    /// `None` for natural order.
+    /// The column map the factors live under (`cperm[new] = old` —
+    /// the ordering `Q`), or `None` for natural column order — the
+    /// same contract as [`LuPlan::col_perm`], so a pre-pivot alone
+    /// reports `None` here while [`Self::row_perm`] reports the row
+    /// moves.
     pub fn col_perm(&self) -> Option<&[usize]> {
-        self.perm.as_deref()
+        self.cperm.as_deref()
+    }
+
+    /// The composed row map the factors live under (`rperm[new] =
+    /// old`, the row of `A` that became row `new` of the factored
+    /// system — pre-pivot and ordering combined), or `None` when no
+    /// permutation is baked. Equal to [`Self::col_perm`] when no
+    /// pre-pivot moved rows.
+    pub fn row_perm(&self) -> Option<&[usize]> {
+        self.rperm.as_deref()
     }
 
     /// Consume into `(L, U)`.
@@ -151,20 +206,21 @@ impl LuFactor {
         (self.l, self.u)
     }
 
-    /// Solve `A x = b` in original coordinates: permute `b` into
-    /// ordered coordinates (`Qᵀ b`), run `L y = Qᵀ b` then `U z = y`,
-    /// and scatter back (`x = Q z`). Both permutation applications are
-    /// O(n) gathers — no per-solve symbolic work of any kind.
+    /// Solve `A x = b` in original coordinates: gather `b` through the
+    /// composed row map (`Qᵀ·P·b`), run `L y = Qᵀ·P·b` then `U z = y`,
+    /// and scatter back through the column map (`x = Q z`). The
+    /// permutation applications are O(n) gathers — no per-solve
+    /// symbolic work of any kind.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.n_cols();
         assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut x = match &self.perm {
+        let mut x = match &self.rperm {
             Some(p) => sympiler_sparse::ops::gather_perm(p, b),
             None => b.to_vec(),
         };
         self.solve_in_factor_coords(&mut x);
-        match &self.perm {
-            Some(p) => sympiler_sparse::ops::scatter_perm(p, &x),
+        match &self.cperm {
+            Some(q) => sympiler_sparse::ops::scatter_perm(q, &x),
             None => x,
         }
     }
@@ -218,16 +274,17 @@ impl LuFactor {
     /// only the dense scratch initialization is `O(n)`.
     ///
     /// Takes and returns **original** coordinates, exactly like
-    /// [`Self::solve`]: under a baked ordering the input pattern maps
-    /// through `Q⁻¹` and the result pattern back through `Q`. The
-    /// returned vector's pattern is the structural reach — entries
-    /// that cancel numerically are stored as explicit zeros.
+    /// [`Self::solve`]: under baked permutations the input pattern
+    /// maps through the inverse row map (`(P·Q)⁻¹`) and the result
+    /// pattern back through the column map (`Q`). The returned
+    /// vector's pattern is the structural reach — entries that cancel
+    /// numerically are stored as explicit zeros.
     pub fn solve_sparse(&self, b: &SparseVec) -> SparseVec {
         let n = self.l.n_cols();
         assert_eq!(b.dim(), n, "rhs dimension mismatch");
         let mut x = vec![0.0f64; n];
-        // Pattern and values of Qᵀ b in factor coordinates.
-        let beta: Vec<usize> = match &self.iperm {
+        // Pattern and values of Qᵀ·P·b in factor coordinates.
+        let beta: Vec<usize> = match &self.irperm {
             None => {
                 for (i, v) in b.iter() {
                     x[i] = v;
@@ -294,10 +351,11 @@ impl LuFactor {
                 }
             }
         }
-        // Gather the solution pattern back to original coordinates.
-        let mut pairs: Vec<(usize, f64)> = match &self.perm {
+        // Gather the solution pattern back to original coordinates
+        // (the solution lives on the column side: x = Q z).
+        let mut pairs: Vec<(usize, f64)> = match &self.cperm {
             None => order_u.iter().map(|&j| (j, x[j])).collect(),
-            Some(p) => order_u.iter().map(|&j| (p[j], x[j])).collect(),
+            Some(q) => order_u.iter().map(|&j| (q[j], x[j])).collect(),
         };
         pairs.sort_unstable_by_key(|&(i, _)| i);
         let (indices, vals): (Vec<usize>, Vec<f64>) = pairs.into_iter().unzip();
@@ -329,19 +387,34 @@ impl LuPlan {
         Self::build_ordered(a, low_level, peel_col_count, Ordering::Natural)
     }
 
-    /// Compile a plan with a fill-reducing ordering. The ordering is a
-    /// pure symbolic-phase decision: `Q` is computed once here, the
-    /// symbolic factorization runs on `Qᵀ A Q`, and `Q`/`Q⁻¹` are
-    /// baked into the plan's gather maps — [`Self::factor`] still takes
-    /// the **original** matrix and pays no per-factorization
-    /// permutation cost. A [`LuPlanError::ZeroPivot`] column index is
-    /// reported in ordered coordinates (the coordinates of the factors
-    /// themselves).
+    /// Compile a plan with a fill-reducing ordering (no pre-pivot);
+    /// see [`Self::build_pivoted`].
     pub fn build_ordered(
         a: &CscMatrix,
         low_level: bool,
         peel_col_count: usize,
         ordering: Ordering,
+    ) -> Result<Self, LuPlanError> {
+        Self::build_pivoted(a, low_level, peel_col_count, ordering, PrePivot::Off)
+    }
+
+    /// Compile a plan with a static pre-pivot and a fill-reducing
+    /// ordering. Both are pure symbolic-phase decisions: the row
+    /// matching `P` (maximum transversal / weighted matching) and the
+    /// ordering `Q` are computed once here, the symbolic factorization
+    /// runs on `Qᵀ·P·A·Q`, and the composed gather maps are baked into
+    /// the plan — [`Self::factor`] still takes the **original** matrix
+    /// and pays no per-factorization permutation cost. A
+    /// [`LuPlanError::ZeroPivot`] column index is reported in
+    /// pivoted + ordered coordinates (the coordinates of the factors
+    /// themselves); a structurally singular pattern fails here, at
+    /// compile time, with [`LuPlanError::StructurallySingular`].
+    pub fn build_pivoted(
+        a: &CscMatrix,
+        low_level: bool,
+        peel_col_count: usize,
+        ordering: Ordering,
+        pre_pivot: PrePivot,
     ) -> Result<Self, LuPlanError> {
         if !a.is_square() {
             return Err(LuPlanError::BadInput("matrix must be square".into()));
@@ -357,24 +430,59 @@ impl LuPlan {
         }
         let mut report = SymbolicReport::default();
 
-        // --- Inspection: fill-reducing ordering (pattern-only, once),
-        // then per-column reach sets (Gilbert–Peierls symbolic
-        // factorization) of the ordered pattern.
+        // --- Inspection: static pre-pivot (row matching) and
+        // fill-reducing ordering (both resolved once), then per-column
+        // reach sets (Gilbert–Peierls symbolic factorization) of the
+        // pivoted + ordered pattern.
         let sets = timed(
             &mut report,
-            "inspect: ordering + LU reach sets (DFS)",
-            || LuVIPruneInspector.inspect_ordered(a, ordering),
+            "inspect: pre-pivot + ordering + LU reach sets (DFS)",
+            || LuVIPruneInspector.inspect_pivoted(a, ordering, pre_pivot),
         );
-        let baked = sets.col_perm.map(|perm| {
-            // Inverting through the sparse helper doubles as the
-            // bijection check every ordering must pass.
-            let iperm = sympiler_sparse::ops::inverse_permutation(&perm)
-                .expect("ordering produced a valid permutation");
-            BakedPerm {
-                perm: perm.into(),
-                iperm: iperm.into(),
+        let sets = sets.map_err(|e| match e {
+            sympiler_sparse::SparseError::StructurallySingular { n, structural_rank } => {
+                LuPlanError::StructurallySingular { n, structural_rank }
             }
-        });
+            other => LuPlanError::BadInput(format!("inspection: {other}")),
+        })?;
+        let baked = match (&sets.row_perm, &sets.col_perm) {
+            (None, None) => None,
+            (rowp, q) => {
+                // Compose: row new of the factored system is row
+                // rowp[q[new]] of A; the column side is q alone.
+                // Inverting through the sparse helper doubles as the
+                // bijection check every permutation must pass.
+                let identity: Vec<usize>;
+                let q = match q {
+                    Some(q) => &q[..],
+                    None => {
+                        identity = (0..n).collect();
+                        &identity[..]
+                    }
+                };
+                let rperm: Vec<usize> = match rowp {
+                    Some(p) => q.iter().map(|&jq| p[jq]).collect(),
+                    None => q.to_vec(),
+                };
+                let irperm = sympiler_sparse::ops::inverse_permutation(&rperm)
+                    .expect("composed row map is a valid permutation");
+                Some(BakedPerm {
+                    rperm: rperm.into(),
+                    irperm: irperm.into(),
+                    cperm: q.to_vec().into(),
+                })
+            }
+        };
+        // The deterministic pre-pivot quality stat: how many compiled
+        // pivot positions are structurally present in A. Any
+        // successful matching makes this n; Off on a zero-diag
+        // pattern leaves it short.
+        let matched_diag = match &baked {
+            None => n - sympiler_sparse::ops::structurally_zero_diagonals(a),
+            Some(bp) => (0..n)
+                .filter(|&j| a.find(bp.rperm[j], bp.cperm[j]).is_some())
+                .count(),
+        };
         let sym = sets.symbolic;
         report.set_size("nnz(A)", a.nnz());
         report.set_size("nnz(L)", sym.l_nnz());
@@ -409,6 +517,8 @@ impl LuPlan {
             a_col_ptr: a.col_ptr().to_vec(),
             a_row_idx: a.row_idx().iter().map(|&r| r as u32).collect(),
             ordering,
+            pre_pivot,
+            matched_diag,
             baked,
             l_col_ptr: sym.l_col_ptr,
             l_row_idx: sym.l_row_idx.iter().map(|&r| r as u32).collect(),
@@ -456,10 +566,45 @@ impl LuPlan {
         self.ordering
     }
 
+    /// The pre-pivoting strategy this plan was compiled with.
+    pub fn pre_pivot(&self) -> PrePivot {
+        self.pre_pivot
+    }
+
     /// The compiled ordering `Q` (`perm[new] = old`), or `None` for
     /// natural order.
     pub fn col_perm(&self) -> Option<&[usize]> {
-        self.baked.as_ref().map(|b| &b.perm[..])
+        self.baked
+            .as_ref()
+            .filter(|_| self.ordering != Ordering::Natural)
+            .map(|b| &b.cperm[..])
+    }
+
+    /// The composed row map (`rperm[new] = old`, pre-pivot and
+    /// ordering combined), or `None` when neither knob moved anything.
+    /// Equal to [`Self::col_perm`] when no pre-pivot moved rows.
+    pub fn row_perm(&self) -> Option<&[usize]> {
+        self.baked.as_ref().map(|b| &b.rperm[..])
+    }
+
+    /// Count of columns whose compiled pivot position `(rperm[j],
+    /// cperm[j])` is structurally present in `A` — `n` after any
+    /// successful pre-pivot, short of `n` exactly when the numeric
+    /// phase is guaranteed to hit [`LuPlanError::ZeroPivot`].
+    /// Deterministic (pattern + knobs only), so it gates pre-pivot
+    /// quality in CI the way fill gain gates ordering quality.
+    pub fn matched_diagonals(&self) -> usize {
+        self.matched_diag
+    }
+
+    /// Count of rows the static pre-pivot moved: positions where the
+    /// composed row map differs from the column map. Zero without a
+    /// pre-pivot (or on its identity fast path).
+    pub fn moved_rows(&self) -> usize {
+        match &self.baked {
+            None => 0,
+            Some(b) => (0..self.n).filter(|&j| b.rperm[j] != b.cperm[j]).count(),
+        }
     }
 
     /// Fill ratio `nnz(L + U) / nnz(A)` of the compiled factorization
@@ -510,7 +655,7 @@ impl LuPlan {
     }
 
     /// Assemble the factor object from filled value arrays laid out by
-    /// the compiled patterns, carrying the baked ordering so the
+    /// the compiled patterns, carrying the baked permutations so the
     /// factor's `solve` speaks original coordinates.
     pub(crate) fn assemble(&self, lx: Vec<f64>, ux: Vec<f64>) -> LuFactor {
         let l = CscMatrix::from_parts_unchecked(
@@ -530,15 +675,24 @@ impl LuPlan {
         LuFactor {
             l,
             u,
-            perm: self.baked.as_ref().map(|b| b.perm.clone()),
-            iperm: self.baked.as_ref().map(|b| b.iperm.clone()),
+            rperm: self.baked.as_ref().map(|b| b.rperm.clone()),
+            irperm: self.baked.as_ref().map(|b| b.irperm.clone()),
+            // One contract with `LuPlan::col_perm`: the column map is
+            // only reported (and only applied in solves) when an
+            // ordering actually reordered columns.
+            cperm: self
+                .baked
+                .as_ref()
+                .filter(|_| self.ordering != Ordering::Natural)
+                .map(|b| b.cperm.clone()),
         }
     }
 
-    /// Scatter the ordered column `j` of the system into a dense
-    /// accumulator: `A(:, j)` directly in natural order, or column
-    /// `perm[j]` of the caller's original matrix with rows mapped
-    /// through `Q⁻¹` under a baked ordering. Shared by the per-column
+    /// Scatter column `j` of the compiled system into a dense
+    /// accumulator: `A(:, j)` directly when nothing is baked, or
+    /// column `cperm[j]` of the caller's original matrix with rows
+    /// mapped through the inverse row map under baked permutations
+    /// (`B[i, j] = A[rperm[i], cperm[j]]`). Shared by the per-column
     /// kernel below and the supernodal plan's panel scatter.
     pub(crate) fn scatter_a_column(&self, j: usize, a: &CscMatrix, x: &mut [f64]) {
         match &self.baked {
@@ -548,8 +702,8 @@ impl LuPlan {
                 }
             }
             Some(bp) => {
-                for (i, v) in a.col_iter(bp.perm[j]) {
-                    x[bp.iperm[i]] = v;
+                for (i, v) in a.col_iter(bp.cperm[j]) {
+                    x[bp.irperm[i]] = v;
                 }
             }
         }
@@ -687,8 +841,9 @@ impl LuPlan {
     /// Emit the matrix-specialized C factorization kernel (the LU
     /// analogue of Figure 1e, via the `emit/c.rs` path). Like
     /// [`Self::factor`], the emitted kernel takes the **original**
-    /// matrix: under a baked ordering it embeds the `Q`/`Q⁻¹` tables
-    /// and permutes inside its scatter.
+    /// matrix: under baked permutations it embeds the column-gather
+    /// (`cperm`) and inverse-row (`irperm`) tables and permutes inside
+    /// its scatter — one artifact for pre-pivot, ordering, or both.
     pub fn emit_c(&self) -> String {
         let l_pattern = CscMatrix::from_parts_unchecked(
             self.n,
@@ -700,7 +855,7 @@ impl LuPlan {
         let schedules: Vec<Vec<(usize, bool)>> = (0..self.n)
             .map(|j| self.schedule_with_tiers(j).collect())
             .collect();
-        let perm = self.baked.as_ref().map(|b| (&b.perm[..], &b.iperm[..]));
+        let perm = self.baked.as_ref().map(|b| (&b.cperm[..], &b.irperm[..]));
         crate::emit::emit_lu_c(&l_pattern, &self.u_col_ptr, &schedules, perm)
     }
 }
@@ -971,6 +1126,130 @@ mod tests {
         let xd = f.solve(&b.to_dense());
         for (i, v) in x.iter() {
             assert!((v - xd[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn prepivoted_plan_matches_baseline_on_composed_matrix() {
+        // A pre-pivoted (and possibly ordered) plan factors Qᵀ·P·A·Q;
+        // GPLU handed that matrix directly must produce the same
+        // factors to 1e-10. Also checks the composed-map accessors.
+        for ordering in [Ordering::Natural, Ordering::Rcm, Ordering::Colamd] {
+            for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+                for seed in 0..2u64 {
+                    let a = gen::circuit_zero_diag(60, 4, 2, seed);
+                    let plan = LuPlan::build_pivoted(&a, true, 2, ordering, pre_pivot).unwrap();
+                    assert_eq!(plan.pre_pivot(), pre_pivot);
+                    assert_eq!(plan.matched_diagonals(), 60, "matching must cover all");
+                    assert!(plan.moved_rows() > 0, "zero diagonals force row moves");
+                    let rperm = plan.row_perm().expect("row map baked");
+                    let cperm: Vec<usize> = match plan.col_perm() {
+                        Some(q) => q.to_vec(),
+                        None => (0..60).collect(),
+                    };
+                    let f = plan.factor(&a).unwrap();
+                    let b = ops::permute_general(&a, rperm, &cperm).unwrap();
+                    let base = GpLu::factor(&b, Pivoting::None).unwrap();
+                    assert!(f.l().same_pattern(&base.l), "{ordering:?}+{pre_pivot:?} L");
+                    assert!(f.u().same_pattern(&base.u), "{ordering:?}+{pre_pivot:?} U");
+                    // Relative tolerance: the pattern-only transversal
+                    // may pivot on small entries, so factor values can
+                    // grow — agreement is per-value relative, like the
+                    // supernodal tier's contract.
+                    for (p, q) in f.u().values().iter().zip(base.u.values()) {
+                        assert!(
+                            (p - q).abs() < 1e-10 * (1.0 + q.abs()),
+                            "{ordering:?}+{pre_pivot:?} drift: {p} vs {q}"
+                        );
+                    }
+                    // And the solve speaks original coordinates.
+                    let rhs: Vec<f64> = (0..60).map(|i| 1.0 + (i % 5) as f64).collect();
+                    let x = f.solve(&rhs);
+                    assert!(ops::rel_residual(&a, &x, &rhs) < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn off_on_zero_diag_fails_numerically_prepivot_succeeds() {
+        // The historical contract: without a pre-pivot the plan
+        // compiles (the symbolic phase forces the diagonal slot) and
+        // the numeric phase hits the structural zero. With one, it
+        // factors.
+        let a = gen::circuit_zero_diag(40, 4, 1, 3);
+        let off = LuPlan::build(&a, true, 2).unwrap();
+        assert!(off.matched_diagonals() < 40, "Off must report the gap");
+        assert!(matches!(off.factor(&a), Err(LuPlanError::ZeroPivot { .. })));
+        let on =
+            LuPlan::build_pivoted(&a, true, 2, Ordering::Natural, PrePivot::Transversal).unwrap();
+        assert!(on.factor(&a).is_ok());
+    }
+
+    #[test]
+    fn identity_fast_path_bakes_nothing() {
+        // Zero-free diagonal + Transversal: the matching is the
+        // identity, so the plan must carry no permutation at all and
+        // produce the exact plan Off would.
+        let a = gen::circuit_unsym(50, 4, 2, 9);
+        let plan =
+            LuPlan::build_pivoted(&a, true, 2, Ordering::Natural, PrePivot::Transversal).unwrap();
+        assert!(plan.row_perm().is_none(), "identity matching bakes no map");
+        assert_eq!(plan.moved_rows(), 0);
+        assert_eq!(plan.matched_diagonals(), 50);
+        let off = LuPlan::build(&a, true, 2).unwrap();
+        let (f1, f2) = (plan.factor(&a).unwrap(), off.factor(&a).unwrap());
+        for (x, y) in f1.u().values().iter().zip(f2.u().values()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "fast path must be a no-op");
+        }
+    }
+
+    #[test]
+    fn structurally_singular_is_a_compile_error() {
+        // Two columns sharing one row: no perfect matching exists, so
+        // compilation must fail with the typed diagnosis — the numeric
+        // phase is never reached.
+        let mut t = sympiler_sparse::TripletMatrix::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 2.0);
+        t.push(1, 2, 3.0);
+        t.push(2, 2, 4.0);
+        let a = t.to_csc().unwrap();
+        for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+            let err = LuPlan::build_pivoted(&a, true, 2, Ordering::Natural, pre_pivot).unwrap_err();
+            assert_eq!(
+                err,
+                LuPlanError::StructurallySingular {
+                    n: 3,
+                    structural_rank: 2
+                },
+                "{pre_pivot:?}"
+            );
+        }
+        // Off still compiles — and fails only at the numeric phase.
+        let off = LuPlan::build(&a, true, 2).unwrap();
+        assert!(matches!(off.factor(&a), Err(LuPlanError::ZeroPivot { .. })));
+    }
+
+    #[test]
+    fn prepivoted_solve_sparse_matches_dense_solve() {
+        for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+            let a = gen::circuit_zero_diag(70, 4, 2, 11);
+            let plan = LuPlan::build_pivoted(&a, true, 2, Ordering::Colamd, pre_pivot).unwrap();
+            let f = plan.factor(&a).unwrap();
+            let idx: Vec<usize> = (0..70).filter(|i| i % 17 == 3).collect();
+            let vals: Vec<f64> = idx.iter().map(|&i| 1.0 + (i % 3) as f64).collect();
+            let b = SparseVec::try_new(70, idx, vals).unwrap();
+            let xs = f.solve_sparse(&b).to_dense();
+            let xd = f.solve(&b.to_dense());
+            for i in 0..70 {
+                assert!(
+                    (xs[i] - xd[i]).abs() < 1e-11,
+                    "{pre_pivot:?} row {i}: {} vs {}",
+                    xs[i],
+                    xd[i]
+                );
+            }
         }
     }
 

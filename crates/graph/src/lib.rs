@@ -31,6 +31,12 @@
 //!   ordering of the LU pipeline;
 //! * [`mod@ordering`] — the [`Ordering`] knob the compile pipeline
 //!   exposes (natural / RCM / COLAMD) and its dispatch;
+//! * [`transversal`] — static pre-pivoting: MC21-style maximum
+//!   transversal and MC64-like weighted matching producing a row
+//!   permutation `P` with a zero-free (and numerically large) diagonal
+//!   on `P·A`, dispatched through the [`PrePivot`] knob — what lets
+//!   statically pivoted LU factor saddle-point and circuit matrices
+//!   whose diagonals are structurally zero;
 //! * [`levels`] — DAG scheduling: longest-path level sets (wavefronts)
 //!   of any dependence DAG — `DG_L` for the parallel triangular solve,
 //!   the column elimination DAG for the parallel LU numeric phase —
@@ -49,6 +55,7 @@ pub mod postorder;
 pub mod rcm;
 pub mod supernode;
 pub mod symbolic;
+pub mod transversal;
 
 pub use colamd::{colamd_ordering, colamd_ordering_with, ColamdConfig};
 pub use colcount::col_counts;
@@ -69,3 +76,6 @@ pub use postorder::postorder;
 pub use rcm::rcm_ordering;
 pub use supernode::{supernodes_cholesky, supernodes_trisolve, SupernodePartition};
 pub use symbolic::{symbolic_cholesky, SymbolicFactor};
+pub use transversal::{
+    compute_pre_pivot, maximum_transversal, structural_rank, weighted_matching, PrePivot,
+};

@@ -19,8 +19,12 @@
 //!   baseline exercising the "up-looking implementations" the paper
 //!   lists among supported-by-design methods (§3.3);
 //! * [`lu`] — the left-looking Gilbert–Peierls LU baseline for
-//!   unsymmetric systems, with runtime (coupled) symbolic analysis and
-//!   a partial-pivoting verification mode;
+//!   unsymmetric systems, with runtime (coupled) symbolic analysis, a
+//!   partial-pivoting verification mode, and ordered / pre-pivoted
+//!   entry points (`factor_ordered`, `factor_prepivoted`) that apply
+//!   the same fill-reducing-ordering and row-matching knobs as the
+//!   compiled pipeline, so decoupling comparisons stay
+//!   apples-to-apples even on zero-diagonal systems;
 //! * [`verify`] — residual and reconstruction checks shared by tests
 //!   and benchmarks.
 

@@ -36,6 +36,16 @@ pub enum LuError {
     BadInput(String),
     /// No admissible pivot at this column (structural or numeric zero).
     ZeroPivot { column: usize },
+    /// A pre-pivot was requested but the pattern has no perfect
+    /// row/column matching — no row permutation can make any pivoting
+    /// strategy work (see
+    /// [`sympiler_sparse::SparseError::StructurallySingular`]).
+    StructurallySingular {
+        /// Matrix order.
+        n: usize,
+        /// Size of the maximum matching (`< n`).
+        structural_rank: usize,
+    },
 }
 
 impl std::fmt::Display for LuError {
@@ -45,6 +55,11 @@ impl std::fmt::Display for LuError {
             LuError::ZeroPivot { column } => {
                 write!(f, "zero pivot at column {column}")
             }
+            LuError::StructurallySingular { n, structural_rank } => write!(
+                f,
+                "structurally singular: maximum matching covers \
+                 {structural_rank} of {n} columns"
+            ),
         }
     }
 }
@@ -169,6 +184,100 @@ impl GpLu {
                     col_perm: Some(q),
                 })
             }
+        }
+    }
+
+    /// Factor `a` under a static pre-pivot **and** a fill-reducing
+    /// ordering, the same two knobs (and the same graph algorithms)
+    /// the compiled pipeline resolves at inspection time: compute the
+    /// row matching `P` ([`sympiler_graph::transversal`]), the
+    /// ordering `Q` of `P·A`, and run the coupled factorization on
+    /// `Qᵀ·P·A·Q`. With both engines pivoted and ordered identically,
+    /// the measured gap against the compiled plan is the decoupling
+    /// win alone — apples to apples on matrices whose raw diagonal is
+    /// structurally zero.
+    pub fn factor_prepivoted(
+        a: &CscMatrix,
+        pivoting: Pivoting,
+        pre_pivot: sympiler_graph::transversal::PrePivot,
+        ordering: sympiler_graph::ordering::Ordering,
+    ) -> Result<PrePivotedGpLuFactors, LuError> {
+        if !a.is_square() {
+            return Err(LuError::BadInput("matrix must be square".into()));
+        }
+        let rowp =
+            sympiler_graph::transversal::compute_pre_pivot(a, pre_pivot).map_err(|e| match e {
+                sympiler_sparse::SparseError::StructurallySingular { n, structural_rank } => {
+                    LuError::StructurallySingular { n, structural_rank }
+                }
+                other => LuError::BadInput(format!("pre-pivot: {other}")),
+            })?;
+        let pivoted_storage;
+        let pivoted = match &rowp {
+            Some(p) => {
+                pivoted_storage = sympiler_sparse::ops::permute_rows(a, p)
+                    .map_err(|e| LuError::BadInput(format!("pre-pivot application: {e}")))?;
+                &pivoted_storage
+            }
+            None => a,
+        };
+        let ordered = Self::factor_ordered(pivoted, pivoting, ordering)?;
+        // Compose the row maps: row `new` of the factored system is
+        // row `rowp[q[new]]` of the caller's matrix.
+        let (row_perm, col_perm) = match (rowp, ordered.col_perm) {
+            (None, None) => (None, None),
+            (Some(p), None) => (Some(p), None),
+            (None, Some(q)) => (Some(q.clone()), Some(q)),
+            (Some(p), Some(q)) => {
+                let composed: Vec<usize> = q.iter().map(|&jq| p[jq]).collect();
+                (Some(composed), Some(q))
+            }
+        };
+        Ok(PrePivotedGpLuFactors {
+            factors: ordered.factors,
+            row_perm,
+            col_perm,
+        })
+    }
+}
+
+/// [`GpLuFactors`] under a static pre-pivot composed with a
+/// fill-reducing ordering: the factors satisfy `P' (Qᵀ·P·A·Q) = L U`
+/// (`P'` the identity under [`Pivoting::None`]), and [`Self::solve`]
+/// maps between the original coordinates of `A` and the factored
+/// system's — gather through the composed row map, scatter back
+/// through the column map. The runtime counterpart of the compiled
+/// plan's pre-pivoted gather maps.
+#[derive(Debug, Clone)]
+pub struct PrePivotedGpLuFactors {
+    /// Factors of the pre-pivoted, ordered matrix `Qᵀ·P·A·Q`.
+    pub factors: GpLuFactors,
+    /// Composed row gather map (`row_perm[new] = old` row of `A`,
+    /// pre-pivot and ordering combined); `None` when both knobs
+    /// resolved to the identity.
+    pub row_perm: Option<Vec<usize>>,
+    /// Column gather map (`col_perm[new] = old`, the ordering alone);
+    /// `None` under a natural ordering.
+    pub col_perm: Option<Vec<usize>>,
+}
+
+impl PrePivotedGpLuFactors {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.factors.n()
+    }
+
+    /// Solve `A x = b` in original coordinates: gather `b` through the
+    /// composed row map, run the factors' solve, scatter the result
+    /// back through the column map.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = match &self.row_perm {
+            None => self.factors.solve(b),
+            Some(p) => self.factors.solve(&sympiler_sparse::ops::gather_perm(p, b)),
+        };
+        match &self.col_perm {
+            None => y,
+            Some(q) => sympiler_sparse::ops::scatter_perm(q, &y),
         }
     }
 }
@@ -576,6 +685,74 @@ mod tests {
         let pp = GpLu::factor_ordered(&a, Pivoting::Partial, Ordering::Colamd).unwrap();
         let b: Vec<f64> = (0..200).map(|i| (i as f64).sin() + 2.0).collect();
         assert!(ops::rel_residual(&a, &pp.solve(&b), &b) < 1e-10);
+    }
+
+    #[test]
+    fn prepivoted_baseline_factors_zero_diag_systems() {
+        use sympiler_graph::ordering::Ordering;
+        use sympiler_graph::transversal::PrePivot;
+        for (name, a) in [
+            ("circuit", gen::circuit_zero_diag(80, 4, 2, 2)),
+            ("saddle", gen::saddle_point_2x2(60, 12, 4)),
+        ] {
+            // Static pivoting without a pre-pivot is a hard error.
+            assert!(
+                matches!(
+                    GpLu::factor(&a, Pivoting::None),
+                    Err(LuError::ZeroPivot { .. })
+                ),
+                "{name}: raw static pivoting must fail"
+            );
+            let n = a.n_cols();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 4) as f64).collect();
+            for ord in [Ordering::Natural, Ordering::Colamd] {
+                for pp in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+                    let f = GpLu::factor_prepivoted(&a, Pivoting::None, pp, ord).unwrap();
+                    assert!(f.row_perm.is_some(), "{name}: rows must move");
+                    let x = f.solve(&b);
+                    assert!(
+                        ops::rel_residual(&a, &x, &b) < 1e-9,
+                        "{name} {ord:?} {pp:?}: residual"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepivoted_identity_fast_path_matches_ordered() {
+        use sympiler_graph::ordering::Ordering;
+        use sympiler_graph::transversal::PrePivot;
+        // Zero-free diagonal: Transversal is a no-op and the result
+        // must match factor_ordered exactly.
+        let a = gen::circuit_unsym(50, 4, 2, 8);
+        let f =
+            GpLu::factor_prepivoted(&a, Pivoting::None, PrePivot::Transversal, Ordering::Colamd)
+                .unwrap();
+        let g = GpLu::factor_ordered(&a, Pivoting::None, Ordering::Colamd).unwrap();
+        assert_eq!(f.col_perm, g.col_perm);
+        assert_eq!(f.row_perm, f.col_perm, "no pre-pivot: row map is Q");
+        for (x, y) in f.factors.u.values().iter().zip(g.factors.u.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn prepivoted_structurally_singular_is_typed() {
+        use sympiler_graph::ordering::Ordering;
+        use sympiler_graph::transversal::PrePivot;
+        let mut t = sympiler_sparse::TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 1, 1.0);
+        let a = t.to_csc().unwrap();
+        assert_eq!(
+            GpLu::factor_prepivoted(&a, Pivoting::None, PrePivot::Transversal, Ordering::Natural)
+                .unwrap_err(),
+            LuError::StructurallySingular {
+                n: 2,
+                structural_rank: 1
+            }
+        );
     }
 
     #[test]

@@ -14,9 +14,15 @@
 //!   fill-reducing [`Ordering`](sympiler_graph::ordering::Ordering)
 //!   knob the compiled pipeline uses, so decoupling comparisons stay
 //!   apples-to-apples when orderings are on.
+//! * [`gplu::PrePivotedGpLuFactors`] — the baseline under the static
+//!   [`PrePivot`](sympiler_graph::transversal::PrePivot) row-matching
+//!   knob composed with an ordering (`Qᵀ·P·A·Q`), the comparator for
+//!   compiled plans on matrices whose raw diagonal is structurally
+//!   zero.
 
 pub mod gplu;
 
 pub use gplu::{
     lu_reconstruction_error, lu_solve, GpLu, GpLuFactors, LuError, OrderedGpLuFactors, Pivoting,
+    PrePivotedGpLuFactors,
 };

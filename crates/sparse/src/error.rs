@@ -16,6 +16,20 @@ pub enum SparseError {
     /// The matrix is structurally or numerically unsuitable
     /// (e.g. not lower triangular, zero/negative pivot, not symmetric).
     InvalidMatrix(String),
+    /// The matrix is structurally rank-deficient: no row permutation
+    /// can produce a zero-free diagonal, because the maximum
+    /// row/column matching of the pattern covers only
+    /// `structural_rank` of the `n` columns. Surfaced by the
+    /// pre-pivoting inspectors (max transversal / weighted matching)
+    /// so static-pivot factorization fails at *inspection* time with a
+    /// diagnosis, instead of deep in the numeric phase with a bare
+    /// zero pivot.
+    StructurallySingular {
+        /// Matrix order.
+        n: usize,
+        /// Size of the maximum matching (`< n`).
+        structural_rank: usize,
+    },
     /// Parsing a Matrix Market (or other) file failed.
     Parse(String),
     /// Underlying I/O failure.
@@ -30,6 +44,11 @@ impl fmt::Display for SparseError {
             SparseError::LengthMismatch(m) => write!(f, "length mismatch: {m}"),
             SparseError::DimensionMismatch(m) => write!(f, "dimension mismatch: {m}"),
             SparseError::InvalidMatrix(m) => write!(f, "invalid matrix: {m}"),
+            SparseError::StructurallySingular { n, structural_rank } => write!(
+                f,
+                "structurally singular: maximum matching covers \
+                 {structural_rank} of {n} columns (no perfect transversal)"
+            ),
             SparseError::Parse(m) => write!(f, "parse error: {m}"),
             SparseError::Io(m) => write!(f, "i/o error: {m}"),
         }
@@ -58,11 +77,15 @@ mod tests {
             SparseError::InvalidMatrix("e".into()),
             SparseError::Parse("f".into()),
             SparseError::Io("g".into()),
+            SparseError::StructurallySingular {
+                n: 4,
+                structural_rank: 3,
+            },
         ];
         let mut texts: Vec<String> = variants.iter().map(|v| v.to_string()).collect();
         texts.sort();
         texts.dedup();
-        assert_eq!(texts.len(), 7, "each error variant renders distinctly");
+        assert_eq!(texts.len(), 8, "each error variant renders distinctly");
     }
 
     #[test]

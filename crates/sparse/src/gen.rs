@@ -415,6 +415,117 @@ pub fn random_unsym(n: usize, extra_per_col: usize, seed: u64) -> CscMatrix {
     t.to_csc().expect("random unsymmetric assembly cannot fail")
 }
 
+/// Circuit-style matrix with **structurally zero diagonal entries** —
+/// the matrices Sympiler's static-pivot contract rejects without a
+/// pre-pivot (circuit Jacobians with ideal voltage sources, where a
+/// branch-current unknown has no self-term). Built as `P·A` for a
+/// diagonally dominant [`circuit_unsym`] `A` and a pairwise row swap
+/// `P` over non-adjacent node pairs: each swapped pair leaves both its
+/// diagonal positions structurally empty, and a maximum-transversal /
+/// weighted-matching pre-pivot can restore a (dominant) diagonal
+/// exactly by undoing the swaps — so the pre-pivoted factorization is
+/// as well-conditioned as the underlying circuit matrix. Roughly half
+/// the rows move (`~n/4` swapped pairs).
+pub fn circuit_zero_diag(n: usize, avg_degree: usize, n_hubs: usize, seed: u64) -> CscMatrix {
+    assert!(n >= 8, "matrix too small to scramble");
+    let a = circuit_unsym(n, avg_degree, n_hubs, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_d1a6);
+    let mut rowp: Vec<usize> = (0..n).collect();
+    let mut used = vec![false; n];
+    let target = n / 4;
+    let mut swapped = 0usize;
+    let mut attempts = 0usize;
+    while swapped < target && attempts < 40 * n {
+        attempts += 1;
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i == j || used[i] || used[j] {
+            continue;
+        }
+        // Swapping rows i and j zeroes both diagonals iff neither
+        // coupling entry exists (the pattern is structurally
+        // symmetric, so one find suffices — checked both ways anyway).
+        if a.find(i, j).is_some() || a.find(j, i).is_some() {
+            continue;
+        }
+        rowp.swap(i, j);
+        used[i] = true;
+        used[j] = true;
+        swapped += 1;
+    }
+    assert!(swapped > 0, "no swappable pair found — graph too dense");
+    crate::ops::permute_rows(&a, &rowp).expect("pairwise swaps form a permutation")
+}
+
+/// Saddle-point (KKT) system `[[A, Bᵀ], [B, 0]]` with **interleaved**
+/// unknowns: `m` primal variables with a diagonally dominant
+/// unsymmetric `A` block, and `k` constraints whose `2×1` coupling
+/// blocks tie constraint `c` to a dedicated primal pair — the
+/// canonical optimization/incompressible-flow structure whose
+/// constraint block has **no diagonal at all**. Constraint `c` sits at
+/// index `3c`, *before* its partners at `3c+1` and `3c+2` (a natural
+/// elimination order interleaves multipliers with the variables they
+/// constrain), so its column is entirely sub-diagonal: statically
+/// pivoted LU hits a hard zero at the very first constraint column —
+/// fill-in cannot rescue it. A maximum transversal pairs each
+/// constraint with one of its two primal partners (and the displaced
+/// primal column with the constraint row), after which the
+/// factorization goes through. Requires `2k ≤ m` so the coupling pairs
+/// are disjoint.
+pub fn saddle_point_2x2(m: usize, k: usize, seed: u64) -> CscMatrix {
+    assert!(k >= 1 && 2 * k <= m, "need 1 <= k and 2k <= m");
+    let n = m + k;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Global index maps: constraint c -> 3c; primal slot t -> its
+    // global index (the first 2k slots are the constraint partners).
+    let con = |c: usize| 3 * c;
+    let prim = |t: usize| {
+        if t < 2 * k {
+            3 * (t / 2) + 1 + (t % 2)
+        } else {
+            t + k
+        }
+    };
+    let mut t = TripletMatrix::with_capacity(n, n, m * 5 + 4 * k);
+    let mut rowsum = vec![0.0f64; n];
+    // A block: sparse unsymmetric couplings among the primal unknowns.
+    for jt in 0..m {
+        let j = prim(jt);
+        let mut used = std::collections::HashSet::new();
+        used.insert(jt);
+        let mut placed = 0usize;
+        while placed < 3.min(m - 1) {
+            let it = rng.random_range(0..m);
+            if used.insert(it) {
+                let i = prim(it);
+                let v = rng.random_range(-1.0..1.0);
+                t.push(i, j, v);
+                rowsum[i] += v.abs();
+                placed += 1;
+            }
+        }
+    }
+    // B / Bᵀ blocks: constraint c couples primal slots 2c, 2c+1
+    // (global indices 3c+1, 3c+2, right after the constraint).
+    for c in 0..k {
+        for dx in 0..2usize {
+            let p = prim(2 * c + dx);
+            let w = 1.0 + rng.random_range(0.0..1.0);
+            t.push(con(c), p, w); // B
+            let wt = 1.0 + rng.random_range(0.0..1.0);
+            t.push(p, con(c), wt); // Bᵀ (values differ: unsymmetric)
+            rowsum[p] += wt;
+        }
+    }
+    // Dominant primal diagonal (covers A-row sums and Bᵀ couplings).
+    for it in 0..m {
+        let i = prim(it);
+        t.push(i, i, rowsum[i] + 2.0 + rng.random_range(0.0..1.0));
+    }
+    // Constraint rows get no diagonal: the zero block.
+    t.to_csc().expect("saddle-point assembly cannot fail")
+}
+
 /// Geometric nested-dissection ordering for an `nx x ny` grid (node
 /// `(x, y)` has index `y * nx + x`, matching [`grid2d_laplacian`]).
 /// Returns `perm` with `perm[new] = old`, suitable for
@@ -813,5 +924,71 @@ mod tests {
     fn tridiagonal_shape() {
         let a = tridiagonal_spd(6);
         assert_eq!(a.nnz(), 6 + 5);
+    }
+
+    #[test]
+    fn circuit_zero_diag_has_structural_zero_diagonals() {
+        let a = circuit_zero_diag(100, 4, 2, 3);
+        let zeros = ops::structurally_zero_diagonals(&a);
+        assert!(zeros > 0, "generator must produce zero diagonals");
+        assert!(zeros.is_multiple_of(2), "rows move in disjoint pairs");
+        assert!(zeros <= 100 / 2, "at most n/4 pairs swap");
+        // Same pattern family as the source circuit: the row
+        // permutation preserves nnz and column layout.
+        let src = circuit_unsym(100, 4, 2, 3);
+        assert_eq!(a.nnz(), src.nnz());
+        assert_eq!(a.col_ptr(), src.col_ptr());
+        assert_eq!(
+            circuit_zero_diag(100, 4, 2, 3),
+            circuit_zero_diag(100, 4, 2, 3)
+        );
+    }
+
+    #[test]
+    fn saddle_point_shape_and_zero_block() {
+        let a = saddle_point_2x2(30, 6, 1);
+        assert_eq!(a.n_cols(), 36);
+        assert!(a.is_square());
+        // Exactly the k constraint columns miss their diagonal.
+        assert_eq!(ops::structurally_zero_diagonals(&a), 6);
+        for c in 0..6 {
+            let jc = 3 * c;
+            assert!(a.find(jc, jc).is_none(), "zero block must stay zero");
+            // Each constraint couples its primal pair, both ways, and
+            // the partners sit right after it (entirely sub-diagonal
+            // constraint column: static pivoting must hit a hard zero).
+            for dx in 1..=2usize {
+                assert!(a.find(jc, jc + dx).is_some(), "B entry");
+                assert!(a.find(jc + dx, jc).is_some(), "Bt entry");
+            }
+            assert!(
+                a.col_rows(jc).iter().all(|&i| i > jc),
+                "constraint column {jc} must be entirely sub-diagonal"
+            );
+        }
+        // Primal rows keep a dominant diagonal.
+        let mut diag = vec![0.0f64; 36];
+        let mut off = vec![0.0f64; 36];
+        for j in 0..36 {
+            for (i, v) in a.col_iter(j) {
+                if i == j {
+                    diag[i] = v.abs();
+                } else {
+                    off[i] += v.abs();
+                }
+            }
+        }
+        for j in 0..36 {
+            if a.find(j, j).is_some() {
+                assert!(diag[j] > off[j], "primal row {j} not dominant");
+            }
+        }
+        assert_eq!(saddle_point_2x2(30, 6, 1), saddle_point_2x2(30, 6, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "2k <= m")]
+    fn saddle_point_rejects_overlapping_pairs() {
+        saddle_point_2x2(5, 3, 0);
     }
 }

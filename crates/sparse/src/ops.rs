@@ -234,6 +234,104 @@ pub fn permute_cols(a: &CscMatrix, q: &[usize]) -> Result<CscMatrix> {
     ))
 }
 
+/// Row permutation `P A`, where `p[new] = old`: row `new` of the
+/// result is row `p[new]` of `a`, i.e. `B[i, j] = A[p[i], j]`. This is
+/// how a static pre-pivot (maximum transversal / weighted matching) is
+/// applied: `p[j]` is the row matched to column `j`, so `B[j, j] =
+/// A[p[j], j]` is the matched — structurally nonzero — diagonal.
+/// Column pointers are untouched; each column's rows map through the
+/// inverse and re-sort, O(|A| log maxcol) with no triplet round-trip.
+pub fn permute_rows(a: &CscMatrix, p: &[usize]) -> Result<CscMatrix> {
+    if p.len() != a.n_rows() {
+        return Err(SparseError::DimensionMismatch(format!(
+            "p.len() = {} != n_rows = {}",
+            p.len(),
+            a.n_rows()
+        )));
+    }
+    let inv = inverse_permutation(p)?;
+    let n = a.n_cols();
+    let mut row_idx = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    let mut entries: Vec<(usize, f64)> = Vec::new();
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    col_ptr.push(0);
+    for j in 0..n {
+        entries.clear();
+        entries.extend(a.col_iter(j).map(|(i, v)| (inv[i], v)));
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        for &(i, v) in &entries {
+            row_idx.push(i);
+            values.push(v);
+        }
+        col_ptr.push(row_idx.len());
+    }
+    Ok(CscMatrix::from_parts_unchecked(
+        a.n_rows(),
+        n,
+        col_ptr,
+        row_idx,
+        values,
+    ))
+}
+
+/// General two-sided permutation of a square full-storage matrix:
+/// `B[i, j] = A[rperm[i], cperm[j]]` with independent row and column
+/// maps (`perm[new] = old` on both sides). This is the matrix a
+/// compiled LU plan actually factors when a static pre-pivot `P` is
+/// composed with a fill-reducing ordering `Q`: `B = Qᵀ P A Q`, whose
+/// row map is `rperm[new] = rowp[q[new]]` and column map `cperm = q`.
+/// [`permute_rows_cols`] is the `rperm == cperm` special case;
+/// [`permute_rows`] the `cperm == identity` one.
+pub fn permute_general(a: &CscMatrix, rperm: &[usize], cperm: &[usize]) -> Result<CscMatrix> {
+    let n = a.n_cols();
+    if !a.is_square() {
+        return Err(SparseError::DimensionMismatch(
+            "permute_general requires a square matrix".into(),
+        ));
+    }
+    if rperm.len() != n || cperm.len() != n {
+        return Err(SparseError::DimensionMismatch(format!(
+            "rperm.len() = {}, cperm.len() = {} != n = {n}",
+            rperm.len(),
+            cperm.len()
+        )));
+    }
+    let rinv = inverse_permutation(rperm)?;
+    inverse_permutation(cperm)?;
+    let mut col_ptr = Vec::with_capacity(n + 1);
+    let mut row_idx = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    let mut entries: Vec<(usize, f64)> = Vec::new();
+    col_ptr.push(0);
+    for &old_j in cperm {
+        entries.clear();
+        entries.extend(a.col_iter(old_j).map(|(i, v)| (rinv[i], v)));
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        for &(i, v) in &entries {
+            row_idx.push(i);
+            values.push(v);
+        }
+        col_ptr.push(row_idx.len());
+    }
+    Ok(CscMatrix::from_parts_unchecked(
+        n, n, col_ptr, row_idx, values,
+    ))
+}
+
+/// Count the structurally **missing** entries on the main diagonal
+/// (`min(n_rows, n_cols)` positions) — on square matrices, the columns
+/// a statically pivoted LU cannot serve without a pre-pivot. Zero
+/// means the diagonal is structurally full (values may still be
+/// numerically zero). The single diagonal-census implementation;
+/// `sympiler_graph::transversal::structural_diag_count` is its
+/// complement.
+pub fn structurally_zero_diagonals(a: &CscMatrix) -> usize {
+    (0..a.n_cols().min(a.n_rows()))
+        .filter(|&j| a.col_rows(j).binary_search(&j).is_err())
+        .count()
+}
+
 /// Symmetric application of one ordering to a square full-storage
 /// matrix: `B = Qᵀ A Q` with `B[i, j] = A[perm[i], perm[j]]`
 /// (`perm[new] = old`). This is how a fill-reducing *column* ordering
@@ -584,5 +682,62 @@ mod tests {
         t.push(1, 0, 2.0);
         let a = t.to_csc().unwrap();
         assert!(!is_symmetric(&a, 1e-12));
+    }
+
+    #[test]
+    fn permute_rows_moves_rows_only() {
+        let a = crate::gen::random_unsym(12, 3, 4);
+        let p: Vec<usize> = (0..12).rev().collect();
+        let b = permute_rows(&a, &p).unwrap();
+        assert_eq!(b.col_ptr(), a.col_ptr(), "column layout untouched");
+        for j in 0..12 {
+            for (i, v) in b.col_iter(j) {
+                assert_eq!(v, a.get(p[i], j), "B[{i},{j}] = A[p[{i}],{j}]");
+            }
+        }
+        // Identity is a no-op.
+        let id: Vec<usize> = (0..12).collect();
+        assert_eq!(permute_rows(&a, &id).unwrap(), a);
+        // Non-bijections are rejected.
+        assert!(permute_rows(&a, &[0; 12]).is_err());
+        assert!(permute_rows(&a, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn permute_general_composes_row_and_col_maps() {
+        let a = crate::gen::random_unsym(10, 3, 7);
+        let rp: Vec<usize> = (0..10).map(|i| (i + 3) % 10).collect();
+        let cp: Vec<usize> = (0..10).map(|i| (i * 7) % 10).collect();
+        let b = permute_general(&a, &rp, &cp).unwrap();
+        for j in 0..10 {
+            for (i, v) in b.col_iter(j) {
+                assert_eq!(v, a.get(rp[i], cp[j]));
+            }
+            assert_eq!(b.col_nnz(j), a.col_nnz(cp[j]));
+        }
+        // Equal maps reduce to the symmetric application; identity
+        // columns reduce to the row permutation.
+        assert_eq!(
+            permute_general(&a, &rp, &rp).unwrap(),
+            permute_rows_cols(&a, &rp).unwrap()
+        );
+        let id: Vec<usize> = (0..10).collect();
+        assert_eq!(
+            permute_general(&a, &rp, &id).unwrap(),
+            permute_rows(&a, &rp).unwrap()
+        );
+    }
+
+    #[test]
+    fn zero_diagonal_census() {
+        let mut t = TripletMatrix::new(4, 4);
+        t.push(0, 0, 1.0);
+        t.push(2, 2, 0.0); // numerically zero still counts as present
+        t.push(1, 0, 1.0);
+        t.push(3, 1, 1.0);
+        t.push(0, 3, 1.0);
+        let a = t.to_csc().unwrap();
+        assert_eq!(structurally_zero_diagonals(&a), 2);
+        assert_eq!(structurally_zero_diagonals(&CscMatrix::identity(5)), 0);
     }
 }

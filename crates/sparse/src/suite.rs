@@ -206,6 +206,12 @@ pub struct UnsymProblem {
     pub name: &'static str,
     /// Structural family used for generation.
     pub family: &'static str,
+    /// True when the matrix has **structurally zero diagonal
+    /// entries**: statically pivoted LU is a hard error without a
+    /// pre-pivot (max transversal / weighted matching), which is
+    /// exactly the scenario these problems exist to exercise.
+    /// Consumers that pin `PrePivot::Off` must skip them.
+    pub zero_diag: bool,
     /// The matrix (square, full storage).
     pub matrix: CscMatrix,
 }
@@ -220,7 +226,9 @@ impl UnsymProblem {
 /// The unsymmetric suite for the sparse LU experiments: the workload
 /// classes the paper names as LU's home turf (§1.2) — circuit
 /// simulation Jacobians and convection-dominated CFD operators — plus
-/// a structurally unsymmetric stress case.
+/// a structurally unsymmetric stress case and two **zero-diagonal**
+/// problems (circuit with voltage-source-like row scrambling, and a
+/// saddle-point/KKT system) that only factor under a static pre-pivot.
 pub fn unsym_suite(scale: SuiteScale) -> Vec<UnsymProblem> {
     let s = match scale {
         SuiteScale::Test => 0,
@@ -231,6 +239,15 @@ pub fn unsym_suite(scale: SuiteScale) -> Vec<UnsymProblem> {
             id,
             name,
             family,
+            zero_diag: false,
+            matrix,
+        };
+    let mk_zd =
+        |id: usize, name: &'static str, family: &'static str, matrix: CscMatrix| UnsymProblem {
+            id,
+            name,
+            family,
+            zero_diag: true,
             matrix,
         };
     vec![
@@ -263,6 +280,18 @@ pub fn unsym_suite(scale: SuiteScale) -> Vec<UnsymProblem> {
             "scrambled_u",
             "random-unsym",
             gen::random_unsym([250, 2000][s], 4, 205),
+        ),
+        mk_zd(
+            6,
+            "circuit_zdiag_u",
+            "circuit-zero-diag",
+            gen::circuit_zero_diag([300, 2400][s], 4, 2, 206),
+        ),
+        mk_zd(
+            7,
+            "saddle_point_u",
+            "saddle-point-2x2",
+            gen::saddle_point_2x2([200, 1600][s], [36, 280][s], 207),
         ),
     ]
 }
@@ -340,12 +369,27 @@ mod tests {
     }
 
     #[test]
-    fn unsym_suite_is_statically_pivotable() {
+    fn unsym_suite_is_statically_pivotable_except_zero_diag() {
         let s = unsym_suite(SuiteScale::Test);
-        assert_eq!(s.len(), 5);
+        assert_eq!(s.len(), 7);
         for (k, p) in s.iter().enumerate() {
             assert_eq!(p.id, k + 1);
             assert!(p.matrix.is_square(), "{}", p.name);
+            if p.zero_diag {
+                // The pre-pivot showcase: structurally zero diagonals.
+                assert!(
+                    ops::structurally_zero_diagonals(&p.matrix) > 0,
+                    "{}: zero_diag flag must match the pattern",
+                    p.name
+                );
+                continue;
+            }
+            assert_eq!(
+                ops::structurally_zero_diagonals(&p.matrix),
+                0,
+                "{}: unflagged problems keep a full diagonal",
+                p.name
+            );
             // Row-wise diagonal dominance (static pivoting safe).
             let n = p.n();
             let mut diag = vec![0.0f64; n];
@@ -372,6 +416,15 @@ mod tests {
                     .any(|&i| i != j && p.matrix.find(j, i).is_none())
             })
         }));
+        // Both zero-diagonal families are present, at both scales.
+        for scale in [SuiteScale::Test, SuiteScale::Bench] {
+            let zd: Vec<&str> = unsym_suite(scale)
+                .iter()
+                .filter(|p| p.zero_diag)
+                .map(|p| p.family)
+                .collect();
+            assert_eq!(zd, vec!["circuit-zero-diag", "saddle-point-2x2"]);
+        }
     }
 
     #[test]

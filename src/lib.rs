@@ -30,10 +30,19 @@
 //! identical to serial at any thread count), or supernodal VS-Block
 //! panels routed through dense GETRF/TRSM/GEMM kernels
 //! ([`SympilerOptions::block_lu`], ~1e-12 agreement — dense kernels
-//! reassociate sums).
+//! reassociate sums). Two further compile-time knobs compose with
+//! every tier: a fill-reducing ordering
+//! ([`SympilerOptions::ordering`]: RCM / COLAMD, applied `Qᵀ A Q`)
+//! and a static pre-pivot ([`SympilerOptions::pre_pivot`]: maximum
+//! transversal / weighted matching, producing a row permutation `P`
+//! with a zero-free diagonal on `P·A`) — the latter is what lets
+//! statically pivoted LU factor saddle-point and circuit matrices
+//! whose diagonals are structurally zero.
 //!
 //! [`SympilerOptions::n_threads`]: prelude::SympilerOptions
 //! [`SympilerOptions::block_lu`]: prelude::SympilerOptions
+//! [`SympilerOptions::ordering`]: prelude::SympilerOptions
+//! [`SympilerOptions::pre_pivot`]: prelude::SympilerOptions
 //!
 //! [`SympilerTriSolve`]: prelude::SympilerTriSolve
 //! [`SympilerCholesky`]: prelude::SympilerCholesky
@@ -67,7 +76,8 @@ pub use sympiler_sparse as sparse;
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
     pub use sympiler_core::compile::{
-        BlockLu, Ordering, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
+        BlockLu, Ordering, PrePivot, SympilerCholesky, SympilerLu, SympilerOptions,
+        SympilerTriSolve,
     };
     pub use sympiler_core::plan::chol::CholFactor;
     pub use sympiler_core::plan::lu::{LuFactor, LuPlan};

@@ -10,7 +10,19 @@
 
 use sympiler::prelude::*;
 use sympiler::sparse::ops;
-use sympiler::sparse::suite::{unsym_suite, SuiteScale};
+use sympiler::sparse::suite::{unsym_suite, SuiteScale, UnsymProblem};
+
+/// The pre-pivot each suite problem needs: the zero-diagonal problems
+/// only factor under a matching (weighted, so the strict 1e-10
+/// contracts below keep holding — it restores a dominant diagonal),
+/// everything else keeps the historical `Off` path.
+fn suite_pre_pivot(p: &UnsymProblem) -> PrePivot {
+    if p.zero_diag {
+        PrePivot::WeightedMatching
+    } else {
+        PrePivot::Off
+    }
+}
 
 fn factor_bits(f: &LuFactor) -> Vec<u64> {
     f.l()
@@ -46,15 +58,18 @@ fn every_ordering_is_a_valid_permutation_on_the_suite() {
 fn ordered_factors_reconstruct_and_match_baseline_on_the_suite() {
     for p in unsym_suite(SuiteScale::Test) {
         for ordering in Ordering::ALL {
+            let pre_pivot = suite_pre_pivot(&p);
             let opts = SympilerOptions {
                 ordering,
+                pre_pivot,
                 ..Default::default()
             };
             let lu = SympilerLu::compile(&p.matrix, &opts).unwrap();
             let f = lu.factor(&p.matrix).unwrap();
-            // The identically ordered coupled baseline must agree to
-            // 1e-10 in every factor value.
-            let base = GpLu::factor_ordered(&p.matrix, Pivoting::None, ordering).unwrap();
+            // The identically pre-pivoted + ordered coupled baseline
+            // must agree to 1e-10 in every factor value.
+            let base =
+                GpLu::factor_prepivoted(&p.matrix, Pivoting::None, pre_pivot, ordering).unwrap();
             assert!(f.l().same_pattern(&base.factors.l), "{}: L", p.name);
             assert!(f.u().same_pattern(&base.factors.u), "{}: U", p.name);
             for (x, y) in f.l().values().iter().chain(f.u().values()).zip(
@@ -71,11 +86,15 @@ fn ordered_factors_reconstruct_and_match_baseline_on_the_suite() {
                     ordering.label()
                 );
             }
-            // Qᵀ A Q = L U to 1e-10, checked through the baseline's
+            // Qᵀ·P·A·Q = L U to 1e-10, checked through the baseline's
             // reconstruction machinery on the matrix the factors
-            // actually describe.
-            let ordered_a = match lu.col_perm() {
-                Some(q) => ops::permute_rows_cols(&p.matrix, q).unwrap(),
+            // actually describe (rebuilt from the plan's baked maps).
+            let identity: Vec<usize> = (0..p.n()).collect();
+            let ordered_a = match lu.row_perm() {
+                Some(rperm) => {
+                    ops::permute_general(&p.matrix, rperm, lu.col_perm().unwrap_or(&identity))
+                        .unwrap()
+                }
                 None => p.matrix.clone(),
             };
             let err = sympiler::solvers::lu::lu_reconstruction_error(&ordered_a, &base.factors);
@@ -103,10 +122,12 @@ fn ordered_factors_reconstruct_and_match_baseline_on_the_suite() {
 fn factors_bitwise_identical_across_thread_counts_for_every_ordering() {
     for p in unsym_suite(SuiteScale::Test) {
         for ordering in Ordering::ALL {
+            let pre_pivot = suite_pre_pivot(&p);
             let serial = SympilerLu::compile(
                 &p.matrix,
                 &SympilerOptions {
                     ordering,
+                    pre_pivot,
                     ..Default::default()
                 },
             )
@@ -117,6 +138,7 @@ fn factors_bitwise_identical_across_thread_counts_for_every_ordering() {
                     &p.matrix,
                     &SympilerOptions {
                         ordering,
+                        pre_pivot,
                         n_threads: threads,
                         ..Default::default()
                     },
@@ -204,17 +226,25 @@ fn rcm_and_colamd_agree_with_natural_solutions() {
     // different rounding), but the solutions must agree to solver
     // accuracy.
     for p in unsym_suite(SuiteScale::Test) {
+        let pre_pivot = suite_pre_pivot(&p);
         let b: Vec<f64> = (0..p.n()).map(|i| (i as f64).cos() + 2.0).collect();
-        let x_nat = SympilerLu::compile(&p.matrix, &SympilerOptions::default())
-            .unwrap()
-            .factor(&p.matrix)
-            .unwrap()
-            .solve(&b);
+        let x_nat = SympilerLu::compile(
+            &p.matrix,
+            &SympilerOptions {
+                pre_pivot,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .factor(&p.matrix)
+        .unwrap()
+        .solve(&b);
         for ordering in [Ordering::Rcm, Ordering::Colamd] {
             let x = SympilerLu::compile(
                 &p.matrix,
                 &SympilerOptions {
                     ordering,
+                    pre_pivot,
                     ..Default::default()
                 },
             )

@@ -64,11 +64,24 @@ fn dag_levels_match_reference_on_unsym_suite() {
 #[test]
 fn parallel_lu_identical_factors_across_thread_counts() {
     for p in unsym_suite(SuiteScale::Test) {
-        let baseline = GpLu::factor(&p.matrix, Pivoting::None).expect("baseline");
+        // Zero-diagonal problems factor under the weighted-matching
+        // pre-pivot (numerically strict: it restores a large
+        // diagonal) — the same baseline contract then applies to the
+        // pre-pivoted system.
+        let pre_pivot = if p.zero_diag {
+            PrePivot::WeightedMatching
+        } else {
+            PrePivot::Off
+        };
+        let baseline =
+            GpLu::factor_prepivoted(&p.matrix, Pivoting::None, pre_pivot, Ordering::Natural)
+                .expect("baseline")
+                .factors;
         let mut factors = Vec::new();
         for threads in [1usize, 2, 4] {
             let opts = SympilerOptions {
                 n_threads: threads,
+                pre_pivot,
                 ..Default::default()
             };
             let lu = SympilerLu::compile(&p.matrix, &opts).expect("compile");

@@ -1,0 +1,306 @@
+//! Integration tests for static pre-pivoting (maximum transversal /
+//! weighted matching) across the whole LU pipeline: every
+//! `(ordering, pre_pivot)` combination must factor the zero-diagonal
+//! workloads through **all three execution tiers** (serial,
+//! column-parallel, supernodal) to the same answers as the identically
+//! pre-pivoted runtime baseline, stay bitwise identical across thread
+//! counts, solve the *original* systems, keep the identity fast path a
+//! true no-op, and turn structural singularity into a typed
+//! compile-time error.
+
+use sympiler::prelude::*;
+use sympiler::sparse::ops;
+use sympiler::sparse::suite::{unsym_suite, SuiteScale};
+use sympiler::sparse::{CscMatrix, TripletMatrix};
+
+fn zero_diag_workloads() -> Vec<(&'static str, CscMatrix)> {
+    vec![
+        (
+            "circuit_zdiag",
+            sympiler::sparse::gen::circuit_zero_diag(120, 4, 2, 31),
+        ),
+        (
+            "saddle_point",
+            sympiler::sparse::gen::saddle_point_2x2(80, 16, 32),
+        ),
+    ]
+}
+
+#[test]
+fn zero_diag_is_a_hard_error_without_a_pre_pivot() {
+    for (name, a) in zero_diag_workloads() {
+        assert!(
+            ops::structurally_zero_diagonals(&a) > 0,
+            "{name}: workload must be degenerate"
+        );
+        // Compilation succeeds (the symbolic phase reserves the
+        // diagonal slot) but the numeric phase must report the
+        // structural zero — the exact failure mode this PR unblocks.
+        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        assert!(lu.matched_diagonals() < a.n_cols());
+        assert!(matches!(
+            lu.factor(&a),
+            Err(sympiler::core::plan::lu::LuPlanError::ZeroPivot { .. })
+        ));
+        // The coupled runtime baseline fails the same way.
+        assert!(matches!(
+            GpLu::factor(&a, Pivoting::None),
+            Err(sympiler::solvers::lu::LuError::ZeroPivot { .. })
+        ));
+    }
+}
+
+#[test]
+fn every_combination_factors_through_every_tier() {
+    // The composition matrix: (ordering × pre_pivot × tier). Serial
+    // and parallel must agree bitwise; the supernodal tier to a
+    // growth-aware tolerance (its dense kernels reassociate sums, and
+    // the pattern-only transversal may pivot small).
+    for (name, a) in zero_diag_workloads() {
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 6) as f64).collect();
+        for ordering in Ordering::ALL {
+            for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+                let opts = SympilerOptions {
+                    ordering,
+                    pre_pivot,
+                    block_lu: BlockLu::Off,
+                    ..Default::default()
+                };
+                let serial = SympilerLu::compile(&a, &opts).unwrap();
+                assert_eq!(serial.pre_pivot(), pre_pivot);
+                assert_eq!(serial.matched_diagonals(), n, "{name}: full matching");
+                let f = serial.factor(&a).unwrap();
+                // Serial vs parallel: bitwise at 2 and 4 threads.
+                for threads in [2usize, 4] {
+                    let par = SympilerLu::compile(
+                        &a,
+                        &SympilerOptions {
+                            n_threads: threads,
+                            ..opts.clone()
+                        },
+                    )
+                    .unwrap();
+                    let fp = par.factor(&a).unwrap();
+                    for (x, y) in fp
+                        .l()
+                        .values()
+                        .iter()
+                        .chain(fp.u().values())
+                        .zip(f.l().values().iter().chain(f.u().values()))
+                    {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{name} {ordering:?}+{pre_pivot:?} @ {threads}T"
+                        );
+                    }
+                }
+                // Serial vs supernodal: relative, growth-aware for
+                // the pattern-only transversal (it may pivot small, so
+                // element growth amplifies the dense kernels'
+                // reassociation noise).
+                let vtol = if pre_pivot == PrePivot::Transversal {
+                    1e-6
+                } else {
+                    1e-9
+                };
+                let sup = SympilerLu::compile(
+                    &a,
+                    &SympilerOptions {
+                        block_lu: BlockLu::On,
+                        ..opts.clone()
+                    },
+                )
+                .unwrap();
+                assert!(sup.is_supernodal());
+                let fs = sup.factor(&a).unwrap();
+                for (x, y) in fs
+                    .l()
+                    .values()
+                    .iter()
+                    .chain(fs.u().values())
+                    .zip(f.l().values().iter().chain(f.u().values()))
+                {
+                    assert!(
+                        (x - y).abs() <= vtol * (1.0 + y.abs()),
+                        "{name} {ordering:?}+{pre_pivot:?} supernodal: {x} vs {y}"
+                    );
+                }
+                // Every tier's factor solves the ORIGINAL system. The
+                // weighted matching restores a dominant diagonal so it
+                // meets the strict threshold; the pattern-only
+                // transversal is growth-limited (why MC64 exists).
+                let rtol = if pre_pivot == PrePivot::Transversal {
+                    1e-7
+                } else {
+                    1e-10
+                };
+                for (tier, fx) in [("serial", &f), ("supernodal", &fs)] {
+                    let x = fx.solve(&b);
+                    let resid = ops::rel_residual(&a, &x, &b);
+                    assert!(
+                        resid < rtol,
+                        "{name} {ordering:?}+{pre_pivot:?} {tier}: residual {resid}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn weighted_matching_matches_prepivoted_baseline_to_1e10() {
+    // The acceptance bar, stated directly: the compiled plan's factors
+    // agree with the identically pre-pivoted GPLU baseline to 1e-10
+    // on the zero-diagonal workloads, under every ordering.
+    for (name, a) in zero_diag_workloads() {
+        for ordering in Ordering::ALL {
+            let opts = SympilerOptions {
+                ordering,
+                pre_pivot: PrePivot::WeightedMatching,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&a, &opts).unwrap();
+            let f = lu.factor(&a).unwrap();
+            let base =
+                GpLu::factor_prepivoted(&a, Pivoting::None, PrePivot::WeightedMatching, ordering)
+                    .unwrap();
+            assert!(f.l().same_pattern(&base.factors.l), "{name}: L pattern");
+            assert!(f.u().same_pattern(&base.factors.u), "{name}: U pattern");
+            for (x, y) in f.l().values().iter().chain(f.u().values()).zip(
+                base.factors
+                    .l
+                    .values()
+                    .iter()
+                    .chain(base.factors.u.values()),
+            ) {
+                assert!(
+                    (x - y).abs() < 1e-10,
+                    "{name} under {ordering:?}: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn identity_fast_path_is_a_no_op_on_the_classic_suite() {
+    // Transversal on every zero-free-diagonal suite problem must bake
+    // nothing and reproduce the Off plan bitwise.
+    for p in unsym_suite(SuiteScale::Test) {
+        if p.zero_diag {
+            continue;
+        }
+        let off = SympilerLu::compile(&p.matrix, &SympilerOptions::default()).unwrap();
+        let fast = SympilerLu::compile(
+            &p.matrix,
+            &SympilerOptions {
+                pre_pivot: PrePivot::Transversal,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.pre_pivot(), PrePivot::Transversal);
+        assert_eq!(
+            fast.row_perm(),
+            off.row_perm(),
+            "{}: identity matching must bake no row map",
+            p.name
+        );
+        let (f1, f2) = (
+            fast.factor(&p.matrix).unwrap(),
+            off.factor(&p.matrix).unwrap(),
+        );
+        for (x, y) in f1.u().values().iter().zip(f2.u().values()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{}", p.name);
+        }
+    }
+}
+
+#[test]
+fn structurally_singular_matrices_fail_at_compile_time_with_a_typed_error() {
+    // No perfect matching exists: column 1 and column 0 share their
+    // only row. Every pre-pivot variant must reject at compile time;
+    // Off compiles and fails only in the numeric phase.
+    let mut t = TripletMatrix::new(3, 3);
+    t.push(0, 0, 1.0);
+    t.push(0, 1, 2.0);
+    t.push(1, 2, 3.0);
+    t.push(2, 2, 4.0);
+    let a = t.to_csc().unwrap();
+    for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+        let err = SympilerLu::compile(
+            &a,
+            &SympilerOptions {
+                pre_pivot,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            sympiler::core::plan::lu::LuPlanError::StructurallySingular {
+                n: 3,
+                structural_rank: 2
+            },
+            "{pre_pivot:?}"
+        );
+        // The error renders with the diagnosis, not a bare zero pivot.
+        assert!(err.to_string().contains("structurally singular"));
+        assert!(err.to_string().contains("2 of 3"));
+    }
+}
+
+#[test]
+fn sparse_rhs_solves_speak_original_coordinates_under_pre_pivot() {
+    for (name, a) in zero_diag_workloads() {
+        let n = a.n_cols();
+        let opts = SympilerOptions {
+            ordering: Ordering::Colamd,
+            pre_pivot: PrePivot::WeightedMatching,
+            ..Default::default()
+        };
+        let f = SympilerLu::compile(&a, &opts).unwrap().factor(&a).unwrap();
+        let idx: Vec<usize> = (0..n).filter(|i| i % 13 == 5).collect();
+        let vals: Vec<f64> = idx.iter().map(|&i| 1.0 + (i % 4) as f64).collect();
+        let b = SparseVec::try_new(n, idx, vals).unwrap();
+        let xs = f.solve_sparse(&b).to_dense();
+        let xd = f.solve(&b.to_dense());
+        for i in 0..n {
+            assert!(
+                (xs[i] - xd[i]).abs() < 1e-10,
+                "{name} row {i}: {} vs {}",
+                xs[i],
+                xd[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn emitted_c_artifact_embeds_the_composed_permutations() {
+    // The C artifact for a pre-pivoted plan must embed the gather
+    // tables (colPerm / rowNewOf) like an ordered plan does, and the
+    // row table must differ from the column table exactly when a
+    // pre-pivot moved rows.
+    let a = sympiler::sparse::gen::circuit_zero_diag(40, 4, 1, 7);
+    let lu = SympilerLu::compile(
+        &a,
+        &SympilerOptions {
+            pre_pivot: PrePivot::WeightedMatching,
+            block_lu: BlockLu::Off,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let c = lu.emit_c();
+    assert!(c.contains("lu_factor_specialized"));
+    assert!(c.contains("colPerm"), "column gather table embedded");
+    assert!(c.contains("rowNewOf"), "inverse row map embedded");
+    // Natural ordering + pre-pivot: the column map is the identity,
+    // the row map is not.
+    assert!(lu.col_perm().is_none(), "natural ordering compiles no Q");
+    let rperm = lu.row_perm().expect("pre-pivot bakes the row map");
+    assert!(rperm.iter().enumerate().any(|(new, &old)| new != old));
+}

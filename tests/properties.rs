@@ -373,3 +373,101 @@ proptest! {
         prop_assert!(resid < 1e-9, "residual {}", resid);
     }
 }
+
+/// Strategy: a random matrix with structurally zero diagonal entries —
+/// the pre-pivot workloads (scrambled circuits and saddle-point/KKT
+/// systems).
+fn zero_diag_matrix() -> impl Strategy<Value = CscMatrix> {
+    (12usize..=36, 0u64..500).prop_map(|(n, seed)| {
+        if seed % 2 == 0 {
+            sympiler::sparse::gen::circuit_zero_diag(n.max(16), 3, 1, seed)
+        } else {
+            let k = (n / 4).max(1);
+            sympiler::sparse::gen::saddle_point_2x2(n.max(2 * k + 1), k, seed)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pre_pivot_composes_with_every_ordering_across_tiers(a in zero_diag_matrix()) {
+        // The satellite contract: serial / parallel / supernodal
+        // agreement plus baseline verification across every
+        // (ordering, pre_pivot) pair — on matrices the Off pipeline
+        // rejects outright.
+        prop_assert!(sympiler::sparse::ops::structurally_zero_diagonals(&a) > 0);
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        for ordering in Ordering::ALL {
+            for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+                let opts = SympilerOptions {
+                    ordering,
+                    pre_pivot,
+                    block_lu: BlockLu::Off,
+                    ..Default::default()
+                };
+                let serial = SympilerLu::compile(&a, &opts).unwrap();
+                prop_assert_eq!(serial.matched_diagonals(), n);
+                let f = serial.factor(&a).unwrap();
+                // Parallel: bitwise identical.
+                let par = SympilerLu::compile(&a, &SympilerOptions {
+                    n_threads: 3,
+                    ..opts.clone()
+                }).unwrap();
+                let fp = par.factor(&a).unwrap();
+                for (x, y) in fp.l().values().iter().chain(fp.u().values())
+                    .zip(f.l().values().iter().chain(f.u().values()))
+                {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(),
+                        "{}+{}: parallel bits moved", ordering.label(), pre_pivot.label());
+                }
+                // Supernodal: relative agreement (growth-aware for the
+                // pattern-only transversal, which may pivot small).
+                let vtol = if pre_pivot == PrePivot::Transversal { 1e-7 } else { 1e-10 };
+                let sup = SympilerLu::compile(&a, &SympilerOptions {
+                    block_lu: BlockLu::On,
+                    ..opts.clone()
+                }).unwrap();
+                let fs = sup.factor(&a).unwrap();
+                for (x, y) in fs.l().values().iter().chain(fs.u().values())
+                    .zip(f.l().values().iter().chain(f.u().values()))
+                {
+                    prop_assert!((x - y).abs() <= vtol * (1.0 + y.abs()),
+                        "{}+{} supernodal: {} vs {}",
+                        ordering.label(), pre_pivot.label(), x, y);
+                }
+                // Baseline verification: identical pre-pivoted GPLU
+                // factors (1e-10 under the weighted matching), and the
+                // solve answers the original system.
+                let base = GpLu::factor_prepivoted(&a, Pivoting::None, pre_pivot, ordering)
+                    .unwrap();
+                prop_assert!(f.l().same_pattern(&base.factors.l));
+                prop_assert!(f.u().same_pattern(&base.factors.u));
+                for (x, y) in f.u().values().iter().zip(base.factors.u.values()) {
+                    prop_assert!((x - y).abs() < vtol * (1.0 + y.abs()),
+                        "{}+{}: baseline drift {} vs {}",
+                        ordering.label(), pre_pivot.label(), x, y);
+                }
+                let x = f.solve(&b);
+                prop_assert!(
+                    sympiler::sparse::ops::rel_residual(&a, &x, &b) < vtol.max(1e-9),
+                    "{}+{}: residual", ordering.label(), pre_pivot.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pre_pivot_permutations_are_valid_and_zero_free(a in zero_diag_matrix()) {
+        for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
+            let rowp = sympiler::graph::compute_pre_pivot(&a, pre_pivot)
+                .expect("suite-style workloads have a perfect matching")
+                .expect("zero diagonals force a non-identity matching");
+            prop_assert!(sympiler::sparse::ops::inverse_permutation(&rowp).is_ok());
+            let b = sympiler::sparse::ops::permute_rows(&a, &rowp).unwrap();
+            prop_assert_eq!(sympiler::sparse::ops::structurally_zero_diagonals(&b), 0);
+        }
+    }
+}

@@ -35,10 +35,19 @@ fn supernodal_matches_serial_across_suite_and_orderings() {
     // serial plan to ≤ 1e-12 across the unsym suite × all orderings.
     for p in unsym_suite(SuiteScale::Test) {
         for ordering in Ordering::ALL {
+            // Zero-diagonal problems ride the weighted-matching
+            // pre-pivot (restores a dominant diagonal, so the strict
+            // serial-vs-supernodal tolerance still applies).
+            let pre_pivot = if p.zero_diag {
+                PrePivot::WeightedMatching
+            } else {
+                PrePivot::Off
+            };
             let serial = SympilerLu::compile(
                 &p.matrix,
                 &SympilerOptions {
                     ordering,
+                    pre_pivot,
                     block_lu: BlockLu::Off,
                     ..Default::default()
                 },
@@ -48,6 +57,7 @@ fn supernodal_matches_serial_across_suite_and_orderings() {
                 &p.matrix,
                 &SympilerOptions {
                     ordering,
+                    pre_pivot,
                     block_lu: BlockLu::On,
                     ..Default::default()
                 },
