@@ -50,23 +50,90 @@
 //! only), so the gate catches pre-pivot quality regressions the way
 //! fill gains catch ordering regressions.
 //!
+//! Every run additionally takes one **profiled** pass per problem
+//! through all three execution tiers (enabled `Profiler`, natural
+//! order, a weighted-matching pre-pivot on the zero-diagonal
+//! problems) and checks the observability layer's flop accounting
+//! against the compile-time count: serial `flops.scalar`, parallel
+//! `flops.scalar`, and supernodal `flops.dense + flops.scalar` must
+//! each equal `plan.flops()` **exactly** — gated per problem as the
+//! deterministic `<name>:flop_accounting` entry (1.0). With
+//! `--profile` the collected traces are also written to
+//! `results/PROFILE_lu_compare.json` (chrome://tracing loadable) and
+//! printed as a span/counter table. The main table carries the
+//! numerical-health monitors (`growth`, `min piv`) for every row.
+//!
 //! Run with `--test-scale` (or `--test`, for `all_experiments`
 //! compatibility) for a fast smoke run (CI uses this); the default
 //! runs the bench-scale suite.
 
+use std::sync::Arc;
 use sympiler_bench::engines::time_lu_factorizer;
 use sympiler_bench::harness::{geomean, gflops, Table};
 use sympiler_bench::perf::PerfReport;
 use sympiler_bench::workloads::prepare_lu_suite;
-use sympiler_core::plan::lu::LuPlanError;
+use sympiler_core::plan::lu::{LuPlan, LuPlanError};
 use sympiler_core::plan::lu_parallel::ParallelLuPlan;
 use sympiler_core::plan::lu_supernodal::SupernodalLuPlan;
-use sympiler_core::{BlockLu, Ordering, PrePivot, SympilerLu, SympilerOptions};
+use sympiler_core::{
+    BlockLu, Ordering, PrePivot, Profiler, SympilerLu, SympilerOptions, TraceFile,
+};
 use sympiler_solvers::lu::{lu_reconstruction_error, GpLu, Pivoting};
 use sympiler_sparse::suite::SuiteScale;
 
+/// One profiled pass per problem through all three numeric tiers on a
+/// shared enabled profiler; returns the flop-accounting ratio
+/// (profiled / compile-time, exactly 1.0 when the observability layer
+/// attributes every flop) and pushes the snapshot onto the trace.
+fn profile_problem(p: &sympiler_bench::workloads::LuBenchProblem, trace: &mut TraceFile) -> f64 {
+    let pre_pivot = if p.zero_diag {
+        PrePivot::WeightedMatching
+    } else {
+        PrePivot::Off
+    };
+    let profiler = Arc::new(Profiler::enabled());
+    let plan = LuPlan::build_profiled(
+        &p.a,
+        true,
+        2,
+        Ordering::Natural,
+        pre_pivot,
+        Arc::clone(&profiler),
+    )
+    .expect("profiled plan compiles");
+    let want = plan.flops();
+    // Serial tier.
+    let before = profiler.counter_value("flops.scalar");
+    plan.factor(&p.a).expect("profiled serial factor");
+    let serial = profiler.counter_value("flops.scalar") - before;
+    // Parallel tier (4 workers; plan clones share the profiler).
+    let before = profiler.counter_value("flops.scalar");
+    ParallelLuPlan::from_plan(plan.clone(), 4)
+        .factor(&p.a)
+        .expect("profiled parallel factor");
+    let parallel = profiler.counter_value("flops.scalar") - before;
+    // Supernodal tier.
+    let before_d = profiler.counter_value("flops.dense");
+    let before_s = profiler.counter_value("flops.scalar");
+    SupernodalLuPlan::from_plan(plan.clone(), 32, 1)
+        .factor(&p.a)
+        .expect("profiled supernodal factor");
+    let sup_dense = profiler.counter_value("flops.dense") - before_d;
+    let sup_scalar = profiler.counter_value("flops.scalar") - before_s;
+    // Per-tier attribution gauges ride the profile so `perf_gate` can
+    // re-verify the accounting from the JSON alone.
+    profiler.gauge("flops.plan", want as f64);
+    profiler.gauge("flops.serial", serial as f64);
+    profiler.gauge("flops.parallel", parallel as f64);
+    profiler.gauge("flops.supernodal_dense", sup_dense as f64);
+    profiler.gauge("flops.supernodal_scalar", sup_scalar as f64);
+    trace.push(profiler.snapshot(p.name));
+    (serial + parallel + sup_dense + sup_scalar) as f64 / (3 * want) as f64
+}
+
 fn main() {
     let test_scale = std::env::args().any(|a| a == "--test-scale" || a == "--test");
+    let write_profile = std::env::args().any(|a| a == "--profile");
     let scale = if test_scale {
         SuiteScale::Test
     } else {
@@ -98,9 +165,12 @@ fn main() {
             "scal 4T",
             "DAG par",
             "plan GF/s",
+            "growth",
+            "min piv",
             "symbolic",
         ],
     );
+    let mut trace = TraceFile::new("lu_compare");
     let mut speedups = Vec::new();
     let mut sup_speedups = Vec::new();
     let mut zd_speedups = Vec::new();
@@ -137,6 +207,16 @@ fn main() {
             );
             report.push(&format!("{}:zero_diag", p.name), zeros as f64);
         }
+        // Observability self-check: one profiled pass through all
+        // three tiers; the attributed flops must reproduce the
+        // compile-time count exactly (ratio 1.0, gated in CI).
+        let accounting = profile_problem(p, &mut trace);
+        assert_eq!(
+            accounting, 1.0,
+            "{}: profiled flop attribution must equal plan.flops() exactly",
+            p.name
+        );
+        report.push(&format!("{}:flop_accounting", p.name), accounting);
         for &pre_pivot in pre_pivots {
             let mut natural_lu_nnz = 0usize;
             for (oi, &ordering) in Ordering::ALL.iter().enumerate() {
@@ -315,6 +395,9 @@ fn main() {
                 let t_par2 = time_lu_factorizer(|| par2.factor(&p.a).expect("factor"));
                 let t_par4 = time_lu_factorizer(|| par4.factor(&p.a).expect("factor"));
                 let flops = lu.flops();
+                // Numerical-health monitors of the verified factor:
+                // pivot growth and the smallest pivot magnitude.
+                let health = lu.plan().health_of(&p.a, &f);
                 let lu_nnz = f.l().nnz() + f.u().nnz();
                 let speedup = t_coupled.as_secs_f64() / t_plan.as_secs_f64().max(1e-12);
                 let sup_speedup = t_coupled.as_secs_f64() / t_sup.as_secs_f64().max(1e-12);
@@ -389,6 +472,8 @@ fn main() {
                     format!("{scaling:.2}x"),
                     format!("{:.1}", par4.avg_parallelism()),
                     format!("{:.3}", gflops(flops, t_plan)),
+                    format!("{:.1e}", health.growth),
+                    format!("{:.1e}", health.min_pivot),
                     format!("{:.3?}", compile_time),
                 ]);
             }
@@ -396,6 +481,11 @@ fn main() {
     }
     table.emit(Some("lu_compare.csv"));
     report.write_results().expect("write perf report");
+    if write_profile {
+        let path = trace.write_results().expect("write profile trace");
+        println!("[profile trace saved to {}]", path.display());
+        print!("{}", trace.to_table());
+    }
     println!(
         "geomean decoupling speedup, natural order (coupled GPLU / serial plan): \
          {:.2}x over {} problems",

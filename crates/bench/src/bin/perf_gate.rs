@@ -16,11 +16,63 @@
 //! on core count and machine load) — they ride along in the uploaded
 //! artifact instead.
 //!
+//! When the results directory also carries observability traces
+//! (`PROFILE_<experiment>.json`, written by `lu_compare --profile`),
+//! each profile's flop-attribution gauges are re-verified from the
+//! JSON alone: `flops.serial`, `flops.parallel`, and
+//! `flops.supernodal_dense + flops.supernodal_scalar` must each equal
+//! `flops.plan` **exactly** — a deterministic accounting gate on the
+//! instrumentation layer itself.
+//!
 //! Usage:
 //! `perf_gate [--baseline-dir crates/bench/baselines] [--results-dir results] [--tolerance 0.25]`
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use sympiler_bench::perf::{gate, PerfReport};
+use sympiler_obs::TraceFile;
+
+/// Check the exact flop-accounting identities carried by one profile
+/// trace; returns one violation string per broken identity.
+fn check_profile_flops(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read {}: {e}", path.display())],
+    };
+    let trace = match TraceFile::from_chrome_json(&text) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("bad profile {}: {e}", path.display())],
+    };
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for profile in &trace.profiles {
+        let Some(plan) = profile.gauge("flops.plan") else {
+            continue; // profile without accounting gauges: nothing to gate
+        };
+        let g = |name: &str| profile.gauge(name).unwrap_or(-1.0);
+        let tiers = [
+            ("serial", g("flops.serial")),
+            ("parallel", g("flops.parallel")),
+            (
+                "supernodal",
+                g("flops.supernodal_dense") + g("flops.supernodal_scalar"),
+            ),
+        ];
+        for (tier, got) in tiers {
+            if got != plan {
+                violations.push(format!(
+                    "{}/{}: {tier} flop attribution {got} != plan {plan}",
+                    trace.experiment, profile.label
+                ));
+            }
+        }
+        checked += 1;
+    }
+    println!(
+        "flop-accounting gate {}: {checked} profile(s) checked against plan.flops()",
+        path.display()
+    );
+    violations
+}
 
 fn arg_value(args: &[String], flag: &str, default: &str) -> String {
     args.iter()
@@ -89,6 +141,21 @@ fn main() {
             );
         }
         violations.extend(gate(&baseline, &current, tolerance));
+    }
+
+    // Observability traces, when the smoke run collected them.
+    if let Ok(entries) = std::fs::read_dir(&results_dir) {
+        let mut profile_files: Vec<PathBuf> = entries
+            .filter_map(|entry| {
+                let path = entry.expect("dir entry").path();
+                let name = path.file_name()?.to_str()?;
+                (name.starts_with("PROFILE_") && name.ends_with(".json")).then_some(path)
+            })
+            .collect();
+        profile_files.sort();
+        for path in &profile_files {
+            violations.extend(check_profile_flops(path));
+        }
     }
 
     if violations.is_empty() {

@@ -4,11 +4,16 @@
 //! LU suite, a second table reports per-ordering structure: fill ratio
 //! `nnz(L+U)/nnz(A)` and the column elimination DAG's average
 //! parallelism under each `Ordering` — the two numbers a fill-reducing
-//! ordering exists to move.
+//! ordering exists to move. The zero-diagonal rows additionally carry
+//! the numerical-health monitors of a transversal-pre-pivoted
+//! factorization (pivot growth and the smallest pivot magnitude) —
+//! the quantities that motivate the weighted matching.
 //!
 //! Usage: `cargo run -p sympiler-bench --release --bin suite_stats [--test]`
 
 use sympiler_bench::harness::Table;
+use sympiler_core::plan::lu::LuPlan;
+use sympiler_core::PrePivot;
 use sympiler_graph::levels::dag_levels_from_preds;
 use sympiler_graph::rcm::rcm_permute;
 use sympiler_graph::{compute_ordering, lu_symbolic, Ordering};
@@ -84,6 +89,8 @@ fn main() {
             "DAG levels",
             "DAG par",
             "factor MFLOP",
+            "growth",
+            "min piv",
         ],
     );
     for p in unsym_suite(scale) {
@@ -106,6 +113,24 @@ fn main() {
             let sym = lu_symbolic(&a);
             let levels = dag_levels_from_preds(sym.n, |j| sym.reach(j).iter().copied());
             let lu_nnz = sym.l_nnz() + sym.u_nnz();
+            // Health of the transversal-pre-pivoted factorization on
+            // the degenerate problems: how hard the pattern-only
+            // matching strains static pivoting under this ordering.
+            let (growth, min_piv) = if p.zero_diag {
+                let health =
+                    LuPlan::build_pivoted(&p.matrix, true, 2, ordering, PrePivot::Transversal)
+                        .ok()
+                        .and_then(|plan| {
+                            let f = plan.factor(&p.matrix).ok()?;
+                            Some(plan.health_of(&p.matrix, &f))
+                        });
+                match health {
+                    Some(h) => (format!("{:.1e}", h.growth), format!("{:.1e}", h.min_pivot)),
+                    None => ("fail".to_string(), "fail".to_string()),
+                }
+            } else {
+                ("-".to_string(), "-".to_string())
+            };
             u.row(vec![
                 p.id.to_string(),
                 p.name.to_string(),
@@ -118,6 +143,8 @@ fn main() {
                 levels.n_levels().to_string(),
                 format!("{:.2}", levels.avg_parallelism()),
                 format!("{:.1}", sym.factor_flops() as f64 / 1e6),
+                growth,
+                min_piv,
             ]);
         }
     }

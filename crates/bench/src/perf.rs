@@ -13,8 +13,9 @@
 //! better than raw times — that's what makes a checked-in baseline
 //! workable at all. The format is deliberately tiny (no serde in this
 //! offline workspace): one experiment name plus `(kernel, speedup)`
-//! pairs, with a matching subset-JSON parser below.
+//! pairs, read back through the shared [`json`] subset parser.
 
+use json::escape;
 use std::path::Path;
 
 /// One kernel's headline ratio in a report.
@@ -123,10 +124,6 @@ impl PerfReport {
     }
 }
 
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 /// Compare `current` against `baseline`: every baseline kernel must be
 /// present and keep at least `1 - max_degradation` of its baseline
 /// speedup. Returns human-readable violations (empty = gate passes).
@@ -159,193 +156,11 @@ pub fn gate(baseline: &PerfReport, current: &PerfReport, max_degradation: f64) -
     violations
 }
 
-/// A minimal JSON subset parser (objects, arrays, strings with `\"`
-/// and `\\` escapes, numbers, `true`/`false`/`null`) — just enough to
-/// read perf reports without a serde dependency.
-pub mod json {
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Number(f64),
-        String(String),
-        Array(Vec<Value>),
-        Object(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        /// Object field lookup.
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::String(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Number(x) => Some(*x),
-                _ => None,
-            }
-        }
-
-        pub fn as_array(&self) -> Option<&[Value]> {
-            match self {
-                Value::Array(xs) => Some(xs),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parse a complete JSON document.
-    pub fn parse(s: &str) -> Result<Value, String> {
-        let bytes = s.as_bytes();
-        let mut pos = 0usize;
-        let v = value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing input at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(b: &[u8], pos: &mut usize) {
-        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(b, pos);
-        if *pos < b.len() && b[*pos] == c {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", c as char, pos))
-        }
-    }
-
-    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            None => Err("unexpected end of input".into()),
-            Some(b'{') => object(b, pos),
-            Some(b'[') => array(b, pos),
-            Some(b'"') => Ok(Value::String(string(b, pos)?)),
-            Some(b't') => literal(b, pos, "true", Value::Bool(true)),
-            Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
-            Some(b'n') => literal(b, pos, "null", Value::Null),
-            Some(_) => number(b, pos),
-        }
-    }
-
-    fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
-        if b[*pos..].starts_with(word.as_bytes()) {
-            *pos += word.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {pos}"))
-        }
-    }
-
-    fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'{')?;
-        let mut fields = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Object(fields));
-        }
-        loop {
-            skip_ws(b, pos);
-            let key = string(b, pos)?;
-            expect(b, pos, b':')?;
-            fields.push((key, value(b, pos)?));
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Object(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-            }
-        }
-    }
-
-    fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(b, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(b, pos);
-        if b.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(value(b, pos)?);
-            skip_ws(b, pos);
-            match b.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-            }
-        }
-    }
-
-    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-        if b.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at byte {pos}"));
-        }
-        *pos += 1;
-        // Accumulate raw bytes and validate UTF-8 once at the end, so
-        // multi-byte sequences survive intact.
-        let mut out: Vec<u8> = Vec::new();
-        while let Some(&c) = b.get(*pos) {
-            *pos += 1;
-            match c {
-                b'"' => {
-                    return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into())
-                }
-                b'\\' => {
-                    let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
-                    *pos += 1;
-                    match esc {
-                        b'"' => out.push(b'"'),
-                        b'\\' => out.push(b'\\'),
-                        b'/' => out.push(b'/'),
-                        b'n' => out.push(b'\n'),
-                        b't' => out.push(b'\t'),
-                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
-                    }
-                }
-                _ => out.push(c),
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-            *pos += 1;
-        }
-        std::str::from_utf8(&b[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Value::Number)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-}
+/// The shared no-serde JSON subset reader/writer, re-exported from
+/// `sympiler-obs` so perf reports and observability profiles agree on
+/// one escaping discipline ([`json::escape`] covers quotes,
+/// backslashes, and control characters) and one parser.
+pub use sympiler_obs::json;
 
 #[cfg(test)]
 mod tests {
@@ -362,6 +177,20 @@ mod tests {
     fn json_round_trip() {
         let r = sample();
         let parsed = PerfReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn kernel_names_with_special_characters_round_trip() {
+        // Quotes and backslashes were always escaped; control
+        // characters (newlines, tabs, raw \x01) used to be written
+        // verbatim, producing invalid JSON. All must survive now.
+        let mut r = PerfReport::new("edge\"case\\exp");
+        r.push("kernel\nwith\tnewline", 1.5);
+        r.push("ctrl\u{1}char", 2.0);
+        let text = r.to_json();
+        assert!(!text.contains('\u{1}'), "control chars must be escaped");
+        let parsed = PerfReport::from_json(&text).unwrap();
         assert_eq!(parsed, r);
     }
 

@@ -118,6 +118,15 @@ pub struct SympilerOptions {
     /// a numeric-phase zero pivot. Zero per-factorization cost: the
     /// permutation rides the same baked gather maps as the ordering.
     pub pre_pivot: PrePivot,
+    /// Attach an enabled [`sympiler_obs::Profiler`] to the compiled LU
+    /// plan: compile stages, numeric-phase spans (per-level work,
+    /// barriers, dense panel kernels), kernel counters, and
+    /// numerical-health gauges all land on one trace, retrievable via
+    /// [`SympilerLu::profiler`]. `false` (the default) compiles a
+    /// disabled profiler whose hooks are single-branch no-ops — the
+    /// numeric phase stays bitwise identical either way (all
+    /// instrumentation is observational).
+    pub profile: bool,
 }
 
 impl Default for SympilerOptions {
@@ -134,6 +143,7 @@ impl Default for SympilerOptions {
             block_lu: BlockLu::Auto,
             max_panel: 32,
             pre_pivot: PrePivot::Off,
+            profile: false,
         }
     }
 }
@@ -393,12 +403,18 @@ impl SympilerLu {
     /// elimination DAG and executed by that many workers — results
     /// stay bitwise identical to the serial plan.
     pub fn compile(a: &CscMatrix, opts: &SympilerOptions) -> Result<Self, LuPlanError> {
-        let plan = LuPlan::build_pivoted(
+        let profiler = std::sync::Arc::new(if opts.profile {
+            sympiler_obs::Profiler::enabled()
+        } else {
+            sympiler_obs::Profiler::disabled()
+        });
+        let plan = LuPlan::build_profiled(
             a,
             opts.low_level,
             opts.peel_col_count,
             opts.ordering,
             opts.pre_pivot,
+            profiler,
         )?;
         // Supernodal tier: under `Auto`, engage only when blocking
         // pays (mean panel width ≥ 2 — the VS-Block threshold idea
@@ -537,6 +553,13 @@ impl SympilerLu {
     /// Symbolic (compile-time) report.
     pub fn report(&self) -> &SymbolicReport {
         self.plan().report()
+    }
+
+    /// The profiler attached at compile time (disabled unless
+    /// [`SympilerOptions::profile`] was set). Snapshot it after one or
+    /// more `factor` calls to get the combined compile + numeric trace.
+    pub fn profiler(&self) -> &std::sync::Arc<sympiler_obs::Profiler> {
+        self.plan().profiler()
     }
 
     /// Emit the matrix-specialized C factorization kernel: the scalar
@@ -685,6 +708,32 @@ mod tests {
         assert_eq!(o.block_lu, BlockLu::Auto, "supernodal LU auto-detects");
         assert_eq!(o.max_panel, 32, "panel cap keeps block buffers small");
         assert_eq!(o.pre_pivot, PrePivot::Off, "no pre-pivot by default");
+        assert!(!o.profile, "observability off by default");
+    }
+
+    #[test]
+    fn profile_option_attaches_an_enabled_profiler() {
+        let a = gen::circuit_unsym(40, 4, 2, 6);
+        let lu = SympilerLu::compile(
+            &a,
+            &SympilerOptions {
+                profile: true,
+                block_lu: BlockLu::Off,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(lu.profiler().is_enabled());
+        let f = lu.factor(&a).unwrap();
+        assert!(f.health().is_some(), "profiled factor carries health");
+        let snap = lu.profiler().snapshot("t");
+        assert_eq!(snap.spans_named("factor:serial").count(), 1);
+        assert!(snap.spans.iter().any(|s| s.name.starts_with("compile: ")));
+        assert_eq!(snap.counter("flops.scalar"), Some(lu.flops()));
+        // Default compile: everything off, factor unprofiled.
+        let off = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        assert!(!off.profiler().is_enabled());
+        assert!(off.factor(&a).unwrap().health().is_none());
     }
 
     /// A pattern whose factor blocks heavily: a dense trailing block

@@ -45,3 +45,6 @@ pub use compile::{
     BlockLu, Ordering, PrePivot, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
 };
 pub use report::SymbolicReport;
+// Observability layer (spans, counters, health monitors) — re-exported
+// so downstream users can drive profiling without naming the obs crate.
+pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};

@@ -25,9 +25,11 @@
 //!   original coordinates.
 
 use crate::inspector::LuVIPruneInspector;
-use crate::report::{timed, SymbolicReport};
+use crate::report::{timed_traced, SymbolicReport};
+use std::sync::Arc;
 use sympiler_graph::ordering::Ordering;
 use sympiler_graph::transversal::PrePivot;
+use sympiler_obs::{LuHealth, Profiler};
 use sympiler_sparse::{CscMatrix, SparseVec};
 
 /// LU plan error (kept separate from the solvers' error type so
@@ -141,7 +143,16 @@ pub struct LuPlan {
     pub(crate) upd_cols: Vec<u32>,
     /// Exact factorization flops.
     flops: u64,
+    /// Exact per-column flops (sums to `flops`) — the attribution
+    /// table the observability layer charges scalar/dense work
+    /// against, so profiled flop accounting closes exactly.
+    pub(crate) col_flops: Vec<u64>,
     report: SymbolicReport,
+    /// The observability sink every execution tier built from this
+    /// plan records into. Disabled (a no-op) unless the plan was
+    /// compiled with profiling on; `Arc`-shared so plan clones — and
+    /// the parallel/supernodal plans wrapping them — feed one trace.
+    profiler: Arc<Profiler>,
 }
 
 pub(crate) const PEEL_BIT: u32 = 1 << 31;
@@ -170,6 +181,9 @@ pub struct LuFactor {
     /// [`LuPlan::col_perm`]'s contract exactly (and skipping the
     /// then-pointless scatter pass in [`Self::solve`]).
     cperm: Option<std::sync::Arc<[usize]>>,
+    /// Numerical-health monitors, recorded only when the producing
+    /// plan was compiled with profiling enabled.
+    health: Option<LuHealth>,
 }
 
 impl LuFactor {
@@ -199,6 +213,15 @@ impl LuFactor {
     /// pre-pivot moved rows.
     pub fn row_perm(&self) -> Option<&[usize]> {
         self.rperm.as_deref()
+    }
+
+    /// Numerical-health monitors (pivot growth, min/max pivot,
+    /// matched-diagonal quality) recorded during `factor()` —
+    /// `Some` only when the plan was compiled with
+    /// `SympilerOptions::profile`. For an on-demand computation on an
+    /// unprofiled factor, see [`LuPlan::health_of`].
+    pub fn health(&self) -> Option<&LuHealth> {
+        self.health.as_ref()
     }
 
     /// Consume into `(L, U)`.
@@ -416,6 +439,31 @@ impl LuPlan {
         ordering: Ordering,
         pre_pivot: PrePivot,
     ) -> Result<Self, LuPlanError> {
+        Self::build_profiled(
+            a,
+            low_level,
+            peel_col_count,
+            ordering,
+            pre_pivot,
+            Arc::new(Profiler::disabled()),
+        )
+    }
+
+    /// [`Self::build_pivoted`] with an observability sink attached:
+    /// compile stages land on the profiler as `compile: ...` spans,
+    /// inspection-set sizes as `sets.*` gauges, and every execution
+    /// tier built from the plan records its numeric-phase spans,
+    /// counters, and health monitors into the same trace. Passing
+    /// `Profiler::disabled()` (what [`Self::build_pivoted`] does)
+    /// makes all of that a no-op.
+    pub fn build_profiled(
+        a: &CscMatrix,
+        low_level: bool,
+        peel_col_count: usize,
+        ordering: Ordering,
+        pre_pivot: PrePivot,
+        profiler: Arc<Profiler>,
+    ) -> Result<Self, LuPlanError> {
         if !a.is_square() {
             return Err(LuPlanError::BadInput("matrix must be square".into()));
         }
@@ -434,8 +482,9 @@ impl LuPlan {
         // fill-reducing ordering (both resolved once), then per-column
         // reach sets (Gilbert–Peierls symbolic factorization) of the
         // pivoted + ordered pattern.
-        let sets = timed(
+        let sets = timed_traced(
             &mut report,
+            &profiler,
             "inspect: pre-pivot + ordering + LU reach sets (DFS)",
             || LuVIPruneInspector.inspect_pivoted(a, ordering, pre_pivot),
         );
@@ -491,26 +540,33 @@ impl LuPlan {
 
         // --- Transform + pack: bake the schedule with the low-level
         // tier decision resolved per update (VI-Prune made executable).
-        let (upd_ptr, upd_cols) = timed(&mut report, "transform + pack (schedule)", || {
-            let mut upd_ptr = Vec::with_capacity(n + 1);
-            let mut upd_cols = Vec::with_capacity(sym.reach_cols.len());
-            upd_ptr.push(0usize);
-            for j in 0..n {
-                for &k in sym.reach(j) {
-                    let heavy = sym.l_col_pattern(k).len() - 1 > peel_col_count;
-                    let tag = if low_level && heavy { PEEL_BIT } else { 0 };
-                    upd_cols.push(k as u32 | tag);
+        let (upd_ptr, upd_cols) = timed_traced(
+            &mut report,
+            &profiler,
+            "transform + pack (schedule)",
+            || {
+                let mut upd_ptr = Vec::with_capacity(n + 1);
+                let mut upd_cols = Vec::with_capacity(sym.reach_cols.len());
+                upd_ptr.push(0usize);
+                for j in 0..n {
+                    for &k in sym.reach(j) {
+                        let heavy = sym.l_col_pattern(k).len() - 1 > peel_col_count;
+                        let tag = if low_level && heavy { PEEL_BIT } else { 0 };
+                        upd_cols.push(k as u32 | tag);
+                    }
+                    upd_ptr.push(upd_cols.len());
                 }
-                upd_ptr.push(upd_cols.len());
-            }
-            (upd_ptr, upd_cols)
-        });
+                (upd_ptr, upd_cols)
+            },
+        );
         report.set_size(
             "peeled updates",
             upd_cols.iter().filter(|&&c| c & PEEL_BIT != 0).count(),
         );
 
         let flops = sym.factor_flops();
+        let col_flops = sym.per_column_flops();
+        report.export_gauges(&profiler);
         Ok(Self {
             n,
             a_nnz: a.nnz(),
@@ -527,7 +583,9 @@ impl LuPlan {
             upd_ptr,
             upd_cols,
             flops,
+            col_flops,
             report,
+            profiler,
         })
     }
 
@@ -617,6 +675,18 @@ impl LuPlan {
         (self.l_nnz() + self.u_nnz() - self.n) as f64 / self.a_nnz as f64
     }
 
+    /// Exact per-column factorization flops (sums to [`Self::flops`]).
+    pub fn per_column_flops(&self) -> &[u64] {
+        &self.col_flops
+    }
+
+    /// The observability sink attached at compile time — disabled (a
+    /// no-op) unless the plan was built via [`Self::build_profiled`]
+    /// with an enabled profiler.
+    pub fn profiler(&self) -> &Arc<Profiler> {
+        &self.profiler
+    }
+
     /// Symbolic (compile-time) report.
     pub fn report(&self) -> &SymbolicReport {
         &self.report
@@ -685,6 +755,79 @@ impl LuPlan {
                 .as_ref()
                 .filter(|_| self.ordering != Ordering::Natural)
                 .map(|b| b.cperm.clone()),
+            health: None,
+        }
+    }
+
+    /// [`Self::assemble`] plus the profiling-only epilogue shared by
+    /// all three execution tiers: when the profiler is enabled,
+    /// compute the numerical-health monitors from the filled `U`
+    /// values, record them as `health.*` gauges, and surface them on
+    /// the factor. With profiling off this *is* `assemble` — no health
+    /// pass runs, and the factor value arrays are untouched either
+    /// way, so results stay bitwise identical.
+    pub(crate) fn finish(&self, a: &CscMatrix, lx: Vec<f64>, ux: Vec<f64>) -> LuFactor {
+        let health = if self.profiler.is_enabled() {
+            let h = self.compute_health(a, &ux);
+            self.profiler.gauge("health.growth", h.growth);
+            self.profiler.gauge("health.min_pivot", h.min_pivot);
+            self.profiler.gauge("health.max_pivot", h.max_pivot);
+            self.profiler
+                .gauge("health.min_matched_diag", h.min_matched_diag);
+            Some(h)
+        } else {
+            None
+        };
+        let mut f = self.assemble(lx, ux);
+        f.health = health;
+        f
+    }
+
+    /// Numerical-health monitors of a completed factorization of `a`
+    /// by this plan: element growth `max|U| / max|A|`, min/max pivot
+    /// magnitude on `U`'s diagonal, and the smallest magnitude the
+    /// static matching placed on the diagonal (`min_j |A[rperm[j],
+    /// cperm[j]]|`). Works on any factor the plan produced, profiled
+    /// or not — `lu_compare` uses it to put recorded growth numbers in
+    /// the comparison table.
+    pub fn health_of(&self, a: &CscMatrix, f: &LuFactor) -> LuHealth {
+        self.compute_health(a, f.u().values())
+    }
+
+    fn compute_health(&self, a: &CscMatrix, ux: &[f64]) -> LuHealth {
+        let max_abs_a = a.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let max_abs_u = ux.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let mut min_pivot = f64::INFINITY;
+        let mut max_pivot = 0.0f64;
+        for j in 0..self.n {
+            let p = ux[self.u_col_ptr[j + 1] - 1].abs();
+            min_pivot = min_pivot.min(p);
+            max_pivot = max_pivot.max(p);
+        }
+        let mut min_matched_diag = f64::INFINITY;
+        for j in 0..self.n {
+            let (r, c) = match &self.baked {
+                None => (j, j),
+                Some(bp) => (bp.rperm[j], bp.cperm[j]),
+            };
+            let v = a.find(r, c).map_or(0.0, |p| a.values()[p].abs());
+            min_matched_diag = min_matched_diag.min(v);
+        }
+        if self.n == 0 {
+            min_pivot = 0.0;
+            min_matched_diag = 0.0;
+        }
+        LuHealth {
+            max_abs_a,
+            max_abs_u,
+            growth: if max_abs_a > 0.0 {
+                max_abs_u / max_abs_a
+            } else {
+                0.0
+            },
+            min_pivot,
+            max_pivot,
+            min_matched_diag,
         }
     }
 
@@ -807,17 +950,48 @@ impl LuPlan {
         let mut ux = vec![0.0f64; self.u_row_idx.len()];
         let mut x = vec![0.0f64; n];
 
+        // Instrumentation is purely observational (counts baked
+        // pattern sizes, touches no numeric state), so profiled and
+        // unprofiled runs produce bitwise-identical factors.
+        let prof = &*self.profiler;
+        let enabled = prof.is_enabled();
+        let span = if enabled {
+            prof.begin(0, "factor:serial")
+        } else {
+            None
+        };
+        let mut flops_done = 0u64;
+        let mut scatter_elems = 0u64;
+        let mut gather_elems = 0u64;
+
         for j in 0..n {
             // SAFETY: single-threaded in-order execution — every
             // scheduled update column is already final, and column j's
             // value ranges are written exactly once, here.
             let ok = unsafe { self.column_numeric(j, a, &mut x, lx.as_mut_ptr(), ux.as_mut_ptr()) };
             if !ok {
+                prof.end(span);
                 return Err(LuPlanError::ZeroPivot { column: j });
+            }
+            if enabled {
+                flops_done += self.col_flops[j];
+                let oc = match &self.baked {
+                    None => j,
+                    Some(bp) => bp.cperm[j],
+                };
+                scatter_elems += (self.a_col_ptr[oc + 1] - self.a_col_ptr[oc]) as u64;
+                gather_elems += (self.l_col_ptr[j + 1] - self.l_col_ptr[j] + self.u_col_ptr[j + 1]
+                    - self.u_col_ptr[j]) as u64;
             }
         }
 
-        Ok(self.assemble(lx, ux))
+        if enabled {
+            prof.counter("flops.scalar").add(flops_done);
+            prof.counter("scalar.scatter_elems").add(scatter_elems);
+            prof.counter("scalar.gather_elems").add(gather_elems);
+            prof.end_with(span, &[("flops", flops_done as f64)]);
+        }
+        Ok(self.finish(a, lx, ux))
     }
 
     /// Per-column cost model for balancing the parallel numeric phase:

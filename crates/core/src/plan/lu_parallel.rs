@@ -36,7 +36,7 @@
 //!   paying one barrier per column.
 
 use super::lu::{LuFactor, LuPlan, LuPlanError};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 use sympiler_graph::levels::{balanced_partition, dag_levels_from_preds};
 use sympiler_sparse::CscMatrix;
@@ -243,13 +243,36 @@ impl ParallelLuPlan {
         // Workers flag and keep going (the kernel's values stay
         // IEEE-defined), so no consensus protocol is needed mid-run.
         let first_bad = AtomicUsize::new(usize::MAX);
+        // Observability (active only when the plan was compiled with
+        // profiling): each worker records a `work` span per
+        // barrier-separated segment and a `barrier` span per wait on
+        // its own lane, and accumulates busy/wait time and executed
+        // flops locally — one atomic store per worker at the end, so
+        // the instrumented hot loop stays contention-free. Nothing
+        // here touches numeric state: results stay bitwise identical.
+        let prof = self.plan.profiler().as_ref();
+        let enabled = prof.is_enabled();
+        let outer = if enabled {
+            prof.begin(0, "factor:parallel")
+        } else {
+            None
+        };
+        let busy: Vec<AtomicU64> = (0..self.n_threads).map(|_| AtomicU64::new(0)).collect();
+        let wait: Vec<AtomicU64> = (0..self.n_threads).map(|_| AtomicU64::new(0)).collect();
+        let flops_done = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for t in 0..self.n_threads {
                 let shared = &shared;
                 let barrier = &barrier;
                 let first_bad = &first_bad;
+                let (busy, wait, flops_done) = (&busy, &wait, &flops_done);
                 scope.spawn(move || {
                     let mut x = vec![0.0f64; n];
+                    let mut my_busy = 0u64;
+                    let mut my_wait = 0u64;
+                    let mut my_flops = 0u64;
+                    let mut seg_start = prof.now_ns();
+                    let mut seg_first_lv = 0usize;
                     for lv in 0..n_levels {
                         for &j in self.chunk(lv, t) {
                             // SAFETY: this worker is the unique owner
@@ -266,16 +289,88 @@ impl ParallelLuPlan {
                             if !ok {
                                 first_bad.fetch_min(j, Ordering::Relaxed);
                             }
+                            if enabled {
+                                my_flops += self.plan.col_flops[j];
+                            }
                         }
                         // Compile-time constant, so every worker takes
                         // the same barriers.
                         if self.barrier_after[lv] {
-                            barrier.wait();
+                            if enabled {
+                                let now = prof.now_ns();
+                                prof.add_span(
+                                    t,
+                                    "work",
+                                    seg_start,
+                                    now - seg_start,
+                                    &[
+                                        ("level_first", seg_first_lv as f64),
+                                        ("level_last", lv as f64),
+                                    ],
+                                );
+                                my_busy += now - seg_start;
+                                barrier.wait();
+                                let after = prof.now_ns();
+                                prof.add_span(
+                                    t,
+                                    "barrier",
+                                    now,
+                                    after - now,
+                                    &[("level", lv as f64)],
+                                );
+                                my_wait += after - now;
+                                seg_start = after;
+                                seg_first_lv = lv + 1;
+                            } else {
+                                barrier.wait();
+                            }
                         }
+                    }
+                    if enabled {
+                        if n_levels > 0 && seg_first_lv < n_levels {
+                            let now = prof.now_ns();
+                            prof.add_span(
+                                t,
+                                "work",
+                                seg_start,
+                                now - seg_start,
+                                &[
+                                    ("level_first", seg_first_lv as f64),
+                                    ("level_last", (n_levels - 1) as f64),
+                                ],
+                            );
+                            my_busy += now - seg_start;
+                        }
+                        busy[t].store(my_busy, Ordering::Relaxed);
+                        wait[t].store(my_wait, Ordering::Relaxed);
+                        flops_done.fetch_add(my_flops, Ordering::Relaxed);
                     }
                 });
             }
         });
+        if enabled {
+            let busys: Vec<u64> = busy.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            for (t, (&b, w)) in busys.iter().zip(&wait).enumerate() {
+                prof.counter(&format!("par.t{t}.busy_ns")).add(b);
+                prof.counter(&format!("par.t{t}.wait_ns"))
+                    .add(w.load(Ordering::Relaxed));
+            }
+            let max = busys.iter().copied().max().unwrap_or(0) as f64;
+            let mean = busys.iter().sum::<u64>() as f64 / busys.len().max(1) as f64;
+            if mean > 0.0 {
+                prof.gauge("par.imbalance", max / mean);
+            }
+            prof.counter("flops.scalar")
+                .add(flops_done.load(Ordering::Relaxed));
+            prof.end_with(
+                outer,
+                &[
+                    ("threads", self.n_threads as f64),
+                    ("levels", n_levels as f64),
+                    ("flops", flops_done.load(Ordering::Relaxed) as f64),
+                ],
+            );
+        }
         // The scope join synchronizes every worker's writes, including
         // the relaxed flag. The smallest flagged column is exactly the
         // column the serial plan would have reported: all columns
@@ -284,7 +379,7 @@ impl ParallelLuPlan {
         if column != usize::MAX {
             return Err(LuPlanError::ZeroPivot { column });
         }
-        Ok(self.plan.assemble(lx, ux))
+        Ok(self.plan.finish(a, lx, ux))
     }
 }
 

@@ -85,6 +85,11 @@ pub struct SupernodalLuPlan {
     /// Fraction of factorization flops carried by wide panels — the
     /// share the dense kernels execute.
     dense_flop_share: f64,
+    /// Exact compile-time flops per panel (the sum of its columns'
+    /// flops) — what profiled panel spans report achieved GFLOP/s
+    /// against, and what the flop-accounting gate charges dense vs.
+    /// scalar work with.
+    panel_flops: Vec<u64>,
 }
 
 /// Shared mutable view of the factor value arrays plus the supernodal
@@ -232,6 +237,11 @@ impl SupernodalLuPlan {
             .map(|lv| lv + 1 < n_levels && !(sole_owner[lv] && sole_owner[lv + 1]))
             .collect();
 
+        let col_flops = plan.per_column_flops();
+        let panel_flops: Vec<u64> = (0..n_panels)
+            .map(|s| part.cols(s).map(|j| col_flops[j]).sum())
+            .collect();
+
         Self {
             plan,
             part,
@@ -246,6 +256,7 @@ impl SupernodalLuPlan {
             max_width,
             max_sub_rows,
             dense_flop_share,
+            panel_flops,
         }
     }
 
@@ -365,6 +376,7 @@ impl SupernodalLuPlan {
         lx: *mut f64,
         ux: *mut f64,
         sx: *mut f64,
+        lane: usize,
     ) -> usize {
         let plan = &self.plan;
         let n = plan.n();
@@ -378,6 +390,19 @@ impl SupernodalLuPlan {
             let ok = plan.column_numeric(f, a, x, lx, ux);
             return if ok { usize::MAX } else { f };
         }
+
+        // Wide-panel observability: one `panel` span with achieved
+        // GFLOP/s vs. the compile-time flop count, and child spans
+        // around each dense kernel call. Pure timing — no numeric
+        // effect, and a single branch per call site when disabled.
+        let prof = plan.profiler().as_ref();
+        let enabled = prof.is_enabled();
+        let panel_span = if enabled {
+            prof.begin(lane, "panel")
+        } else {
+            None
+        };
+        let panel_t0 = prof.now_ns();
 
         let l_ptr = &plan.l_col_ptr;
         let l_rows = &plan.l_row_idx;
@@ -435,7 +460,18 @@ impl SupernodalLuPlan {
             }
             // Internal solve of the source panel applied to all target
             // columns at once: Bt := Bt · L_dd^{-T}  ⇔  B := L_dd^{-1} B.
+            let t0 = if enabled { prof.now_ns() } else { 0 };
             trsm_right_lower_trans_unit(w, v, sx_t, m_t, bt, w);
+            if enabled {
+                let t1 = prof.now_ns();
+                prof.add_span(
+                    lane,
+                    "trsm",
+                    t0,
+                    t1 - t0,
+                    &[("m", w as f64), ("n", v as f64)],
+                );
+            }
             // Outer-panel update through dense GEMM, gathered into a
             // contiguous block and scattered back (rows need not be
             // contiguous below the source's diagonal block).
@@ -448,7 +484,25 @@ impl SupernodalLuPlan {
                         cbuf[c * m_sub + i] = xc[r as usize];
                     }
                 }
+                let t0 = if enabled { prof.now_ns() } else { 0 };
                 gemm_nt_sub(m_sub, w, v, &sx_t[v..], m_t, bt, w, cbuf, m_sub);
+                if enabled {
+                    let t1 = prof.now_ns();
+                    let flops = 2.0 * m_sub as f64 * w as f64 * v as f64;
+                    prof.add_span(
+                        lane,
+                        "gemm",
+                        t0,
+                        t1 - t0,
+                        &[
+                            ("m", m_sub as f64),
+                            ("n", w as f64),
+                            ("k", v as f64),
+                            ("flops", flops),
+                            ("gflops", flops / (t1 - t0).max(1) as f64),
+                        ],
+                    );
+                }
                 for c in 0..w {
                     let xc = &mut ws.x[c * n..(c + 1) * n];
                     for (i, &r) in rows_t[v..].iter().enumerate() {
@@ -475,8 +529,19 @@ impl SupernodalLuPlan {
             }
         }
         let mut first_bad = usize::MAX;
+        let t0 = if enabled { prof.now_ns() } else { 0 };
         if let Err(c) = getrf_nopiv(w, trap, m) {
             first_bad = f + c;
+        }
+        if enabled {
+            let t1 = prof.now_ns();
+            prof.add_span(
+                lane,
+                "getrf",
+                t0,
+                t1 - t0,
+                &[("width", w as f64), ("rows", m as f64)],
+            );
         }
         if m > w {
             // Divide the sub-diagonal rows by the panel's U: copy the
@@ -488,7 +553,18 @@ impl SupernodalLuPlan {
                     db[c * w + r] = trap[c * m + r];
                 }
             }
+            let t0 = if enabled { prof.now_ns() } else { 0 };
             trsm_right_upper(m - w, w, db, w, &mut trap[w..], m);
+            if enabled {
+                let t1 = prof.now_ns();
+                prof.add_span(
+                    lane,
+                    "trsm",
+                    t0,
+                    t1 - t0,
+                    &[("m", (m - w) as f64), ("n", w as f64)],
+                );
+            }
         }
 
         // --- Write back through the fixed CSC layouts and clear the
@@ -528,6 +604,21 @@ impl SupernodalLuPlan {
                 xc[l_rows[p] as usize] = 0.0;
             }
         }
+        if enabled {
+            let dur = prof.now_ns().saturating_sub(panel_t0);
+            let fl = self.panel_flops[s] as f64;
+            // GFLOP/s == flops / ns numerically.
+            let gf = if dur > 0 { fl / dur as f64 } else { 0.0 };
+            prof.end_with(
+                panel_span,
+                &[
+                    ("panel", s as f64),
+                    ("width", w as f64),
+                    ("flops", fl),
+                    ("gflops", gf),
+                ],
+            );
+        }
         first_bad
     }
 
@@ -549,7 +640,7 @@ impl SupernodalLuPlan {
         if first_bad != usize::MAX {
             return Err(LuPlanError::ZeroPivot { column: first_bad });
         }
-        Ok(self.plan.assemble(lx, ux))
+        Ok(self.plan.finish(a, lx, ux))
     }
 
     fn factor_serial(
@@ -559,8 +650,16 @@ impl SupernodalLuPlan {
         ux: &mut [f64],
         sx: &mut [f64],
     ) -> usize {
+        let prof = self.plan.profiler().as_ref();
+        let enabled = prof.is_enabled();
+        let span = if enabled {
+            prof.begin(0, "factor:supernodal")
+        } else {
+            None
+        };
         let mut ws = self.workspace();
         let mut first_bad = usize::MAX;
+        let (mut dense, mut scalar) = (0u64, 0u64);
         for s in 0..self.n_panels() {
             // SAFETY: in-order serial execution — every source panel is
             // final, each panel's ranges are written exactly once.
@@ -572,9 +671,22 @@ impl SupernodalLuPlan {
                     lx.as_mut_ptr(),
                     ux.as_mut_ptr(),
                     sx.as_mut_ptr(),
+                    0,
                 )
             };
             first_bad = first_bad.min(bad);
+            if enabled {
+                if self.part.width(s) > 1 {
+                    dense += self.panel_flops[s];
+                } else {
+                    scalar += self.panel_flops[s];
+                }
+            }
+        }
+        if enabled {
+            prof.counter("flops.dense").add(dense);
+            prof.counter("flops.scalar").add(scalar);
+            prof.end_with(span, &[("flops", (dense + scalar) as f64)]);
         }
         first_bad
     }
@@ -587,7 +699,14 @@ impl SupernodalLuPlan {
         ux: &mut [f64],
         sx: &mut [f64],
     ) -> usize {
-        use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+        use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+        let prof = self.plan.profiler().as_ref();
+        let enabled = prof.is_enabled();
+        let outer = if enabled {
+            prof.begin(0, "factor:supernodal")
+        } else {
+            None
+        };
         let n_levels = self.n_levels();
         let shared = SharedPanels {
             lx: lx.as_mut_ptr(),
@@ -596,13 +715,22 @@ impl SupernodalLuPlan {
         };
         let barrier = std::sync::Barrier::new(self.n_threads);
         let first_bad = AtomicUsize::new(usize::MAX);
+        let busy: Vec<AtomicU64> = (0..self.n_threads).map(|_| AtomicU64::new(0)).collect();
+        let wait: Vec<AtomicU64> = (0..self.n_threads).map(|_| AtomicU64::new(0)).collect();
+        let dense_flops = AtomicU64::new(0);
+        let scalar_flops = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for t in 0..self.n_threads {
                 let shared = &shared;
                 let barrier = &barrier;
                 let first_bad = &first_bad;
+                let (busy, wait) = (&busy, &wait);
+                let (dense_flops, scalar_flops) = (&dense_flops, &scalar_flops);
                 scope.spawn(move || {
                     let mut ws = self.workspace();
+                    let worker_t0 = prof.now_ns();
+                    let mut my_wait = 0u64;
+                    let (mut my_dense, mut my_scalar) = (0u64, 0u64);
                     for lv in 0..n_levels {
                         for &s in self.chunk(lv, t) {
                             // SAFETY: this worker is the unique owner
@@ -613,19 +741,63 @@ impl SupernodalLuPlan {
                             // same-single-owner levels) or before the
                             // last kept barrier. See SharedPanels.
                             let bad = unsafe {
-                                self.panel_numeric(s, a, &mut ws, shared.lx, shared.ux, shared.sx)
+                                self.panel_numeric(
+                                    s, a, &mut ws, shared.lx, shared.ux, shared.sx, t,
+                                )
                             };
                             if bad != usize::MAX {
                                 first_bad.fetch_min(bad, AtomicOrdering::Relaxed);
                             }
+                            if enabled {
+                                if self.part.width(s) > 1 {
+                                    my_dense += self.panel_flops[s];
+                                } else {
+                                    my_scalar += self.panel_flops[s];
+                                }
+                            }
                         }
                         if self.barrier_after[lv] {
-                            barrier.wait();
+                            if enabled {
+                                let w0 = prof.now_ns();
+                                barrier.wait();
+                                let w1 = prof.now_ns();
+                                my_wait += w1 - w0;
+                                prof.add_span(t, "barrier", w0, w1 - w0, &[("level", lv as f64)]);
+                            } else {
+                                barrier.wait();
+                            }
                         }
+                    }
+                    if enabled {
+                        let elapsed = prof.now_ns().saturating_sub(worker_t0);
+                        busy[t].store(elapsed.saturating_sub(my_wait), AtomicOrdering::Relaxed);
+                        wait[t].store(my_wait, AtomicOrdering::Relaxed);
+                        dense_flops.fetch_add(my_dense, AtomicOrdering::Relaxed);
+                        scalar_flops.fetch_add(my_scalar, AtomicOrdering::Relaxed);
                     }
                 });
             }
         });
+        if enabled {
+            for t in 0..self.n_threads {
+                prof.counter(&format!("sup.t{t}.busy_ns"))
+                    .add(busy[t].load(AtomicOrdering::Relaxed));
+                prof.counter(&format!("sup.t{t}.wait_ns"))
+                    .add(wait[t].load(AtomicOrdering::Relaxed));
+            }
+            let dense = dense_flops.into_inner();
+            let scalar = scalar_flops.into_inner();
+            prof.counter("flops.dense").add(dense);
+            prof.counter("flops.scalar").add(scalar);
+            prof.end_with(
+                outer,
+                &[
+                    ("threads", self.n_threads as f64),
+                    ("levels", n_levels as f64),
+                    ("flops", (dense + scalar) as f64),
+                ],
+            );
+        }
         first_bad.into_inner()
     }
 

@@ -1,8 +1,15 @@
 //! Symbolic-phase reporting: where inspection time goes and what the
 //! inspectors found. Feeds the paper's Figures 8/9 (symbolic + numeric
 //! accumulated time) and the §4.3 overhead discussion.
+//!
+//! The report is the compile-phase view; when profiling is enabled the
+//! same measurements also land on the plan's [`Profiler`] (as lane-0
+//! `compile: ...` spans and `sets.*` gauges) so compile and numeric
+//! phases share one trace — see [`timed_traced`] and
+//! [`SymbolicReport::export_gauges`].
 
 use std::time::Duration;
+use sympiler_obs::Profiler;
 
 /// Timing and set-size report of one Sympiler compilation.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +45,17 @@ impl SymbolicReport {
             .map(|&(_, s)| s)
     }
 
+    /// Replay the recorded set sizes onto a profiler as `sets.<name>`
+    /// gauges (no-op when the profiler is disabled).
+    pub fn export_gauges(&self, profiler: &Profiler) {
+        if !profiler.is_enabled() {
+            return;
+        }
+        for (name, s) in &self.set_sizes {
+            profiler.gauge(&format!("sets.{name}"), *s as f64);
+        }
+    }
+
     /// Render as an aligned text table (used by the bench binaries).
     pub fn to_table(&self) -> String {
         let mut out = String::new();
@@ -61,6 +79,24 @@ pub fn timed<T>(report: &mut SymbolicReport, name: &str, f: impl FnOnce() -> T) 
     let start = std::time::Instant::now();
     let out = f();
     report.stage(name, start.elapsed());
+    out
+}
+
+/// Time a closure, pushing the duration into the report **and**
+/// recording the same interval as a lane-0 `compile: <name>` span when
+/// the profiler is enabled — one measurement feeding both views.
+pub fn timed_traced<T>(
+    report: &mut SymbolicReport,
+    profiler: &Profiler,
+    name: &str,
+    f: impl FnOnce() -> T,
+) -> T {
+    if !profiler.is_enabled() {
+        return timed(report, name, f);
+    }
+    let span = profiler.begin(0, &format!("compile: {name}"));
+    let out = timed(report, name, f);
+    profiler.end(span);
     out
 }
 
@@ -91,6 +127,33 @@ mod tests {
         r.set_size("reach", 17);
         assert_eq!(r.size_of("reach"), Some(17));
         assert_eq!(r.size_of("missing"), None);
+    }
+
+    #[test]
+    fn timed_traced_records_into_both_views() {
+        let mut r = SymbolicReport::default();
+        let prof = Profiler::enabled();
+        let v = timed_traced(&mut r, &prof, "dfs", || 7);
+        assert_eq!(v, 7);
+        assert_eq!(r.stages.len(), 1);
+        let snap = prof.snapshot("t");
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "compile: dfs");
+
+        // Disabled profiler: report still filled, no spans anywhere.
+        let off = Profiler::disabled();
+        timed_traced(&mut r, &off, "pack", || ());
+        assert_eq!(r.stages.len(), 2);
+        assert!(off.snapshot("t").spans.is_empty());
+    }
+
+    #[test]
+    fn export_gauges_replays_set_sizes() {
+        let mut r = SymbolicReport::default();
+        r.set_size("nnz(L)", 99);
+        let prof = Profiler::enabled();
+        r.export_gauges(&prof);
+        assert_eq!(prof.snapshot("t").gauge("sets.nnz(L)"), Some(99.0));
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! A minimal JSON subset writer + parser shared by every machine-readable
+//! artifact in the workspace (`results/BENCH_*.json` perf reports and
+//! `results/PROFILE_*.json` chrome traces). No serde in this offline
+//! workspace: the writer is `format!`-based with [`escape`] guarding
+//! string content, and the parser below reads any JSON document built
+//! from objects, arrays, strings, numbers, and `true`/`false`/`null`.
+//!
+//! Strings round-trip exactly: the writer escapes quotes, backslashes,
+//! and every control character (`\n`/`\t`/`\r` named, the rest as
+//! `\u00XX`), and the parser accepts all of those plus `\b`, `\f`,
+//! `\/`, and full `\uXXXX` sequences including surrogate pairs.
+
+/// Escape a string for embedding inside a JSON string literal.
+///
+/// Handles `"` and `\` plus all control characters, so arbitrary kernel
+/// and span names (including embedded newlines or tabs) always produce
+/// valid JSON. Shared by the perf-report writer and the profile writer.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number. Rust's shortest-round-trip `{}`
+/// formatting is already valid JSON for finite values; non-finite
+/// values (which JSON cannot represent) are clamped to `0`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Object fields in document order (empty for non-objects).
+    pub fn fields(&self) -> &[(String, Value)] {
+        match self {
+            Value::Object(fields) => fields,
+            _ => &[],
+        }
+    }
+}
+
+/// Parse a complete JSON document.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => Ok(Value::String(string(b, pos)?)),
+        Some(b't') => literal(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => literal(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => literal(b, pos, "null", Value::Null),
+        Some(_) => number_token(b, pos),
+    }
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = string(b, pos)?;
+        expect(b, pos, b':')?;
+        fields.push((key, value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn hex4(b: &[u8], pos: &mut usize) -> Result<u32, String> {
+    if *pos + 4 > b.len() {
+        return Err("truncated \\u escape".into());
+    }
+    let s = std::str::from_utf8(&b[*pos..*pos + 4]).map_err(|_| "bad \\u escape".to_string())?;
+    let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+    *pos += 4;
+    Ok(v)
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    // Accumulate raw bytes and validate UTF-8 once at the end, so
+    // multi-byte sequences survive intact.
+    let mut out: Vec<u8> = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into()),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0C),
+                    b'u' => {
+                        let cp = hex4(b, pos)?;
+                        let ch = if (0xD800..0xDC00).contains(&cp) {
+                            // High surrogate: must be followed by a low
+                            // surrogate escape.
+                            if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                return Err("unpaired high surrogate".into());
+                            }
+                            *pos += 2;
+                            let lo = hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err("invalid low surrogate".into());
+                            }
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(combined).ok_or("invalid surrogate pair")?
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err("unpaired low surrogate".into());
+                        } else {
+                            char::from_u32(cp).ok_or("invalid \\u codepoint")?
+                        };
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                }
+            }
+            _ => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number_token(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Number)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_backslashes() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(escape("x\u{1}y\u{1f}z"), "x\\u0001y\\u001fz");
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_parser() {
+        let nasty = "ke\"rn\\el\nwith\tctrl\r\u{8}\u{c}\u{1}\u{1f} bytes café_μ";
+        let doc = format!("{{\"name\": \"{}\"}}", escape(nasty));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn parser_accepts_unicode_escapes_and_surrogate_pairs() {
+        let v = parse("\"\\u00e9\\ud83d\\ude00\\b\\f\\r\"").unwrap();
+        assert_eq!(v.as_str(), Some("é😀\u{8}\u{c}\r"));
+        assert!(parse("\"\\ud83d\"").is_err()); // unpaired high surrogate
+        assert!(parse("\"\\ude00\"").is_err()); // unpaired low surrogate
+    }
+
+    #[test]
+    fn number_clamps_non_finite() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::INFINITY), "0");
+        assert_eq!(number(f64::NAN), "0");
+    }
+
+    #[test]
+    fn parser_handles_nesting() {
+        let v = parse("{\"a\": [1, -2.5, {\"b\\\"c\": true}, null, false], \"d\": \"e\\\\f\"}")
+            .unwrap();
+        let arr = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].get("b\"c"), Some(&Value::Bool(true)));
+        assert_eq!(arr[3], Value::Null);
+        assert_eq!(v.get("d").and_then(Value::as_str), Some("e\\f"));
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("not json").is_err());
+        assert!(parse("{\"a\": 1} tail").is_err());
+        assert!(parse("{\"a\"").is_err());
+    }
+}

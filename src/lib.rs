@@ -14,6 +14,9 @@
 //! * [`core`] — the Sympiler itself: symbolic inspectors, VI-Prune and
 //!   VS-Block transformations, low-level transformations, C emission and
 //!   executable plans;
+//! * [`obs`] — the observability layer: spans, kernel counters,
+//!   numerical-health gauges, chrome-trace export
+//!   ([`SympilerOptions::profile`] turns it on per compile);
 //! * [`solvers`] — the Eigen-like and CHOLMOD-like baselines, plus the
 //!   Gilbert–Peierls LU baseline for unsymmetric systems.
 //!
@@ -43,6 +46,7 @@
 //! [`SympilerOptions::block_lu`]: prelude::SympilerOptions
 //! [`SympilerOptions::ordering`]: prelude::SympilerOptions
 //! [`SympilerOptions::pre_pivot`]: prelude::SympilerOptions
+//! [`SympilerOptions::profile`]: prelude::SympilerOptions
 //!
 //! [`SympilerTriSolve`]: prelude::SympilerTriSolve
 //! [`SympilerCholesky`]: prelude::SympilerCholesky
@@ -70,6 +74,7 @@
 pub use sympiler_core as core;
 pub use sympiler_dense as dense;
 pub use sympiler_graph as graph;
+pub use sympiler_obs as obs;
 pub use sympiler_solvers as solvers;
 pub use sympiler_sparse as sparse;
 
@@ -85,6 +90,7 @@ pub mod prelude {
     pub use sympiler_core::plan::lu_parallel::ParallelLuPlan;
     pub use sympiler_core::plan::lu_supernodal::SupernodalLuPlan;
     pub use sympiler_core::plan::tri::TriSolvePlan;
+    pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};
     pub use sympiler_solvers::lu::{GpLu, GpLuFactors, Pivoting};
     pub use sympiler_sparse::{CscMatrix, SparseVec, TripletMatrix};
 }

@@ -1,0 +1,216 @@
+//! Observability-layer integration tests: profile round trips, the
+//! bitwise-identity contract with instrumentation on, per-thread span
+//! lanes, exact flop attribution across the three LU execution tiers,
+//! and the numerical-health monitors.
+
+use std::sync::Arc;
+use sympiler::prelude::*;
+use sympiler::sparse::gen;
+
+fn problem() -> CscMatrix {
+    gen::circuit_unsym(120, 4, 2, 11)
+}
+
+/// Compile the serial scalar tier with an explicit profiler.
+fn profiled_plan(a: &CscMatrix, profiler: Arc<Profiler>) -> LuPlan {
+    LuPlan::build_profiled(a, true, 2, Ordering::Natural, PrePivot::Off, profiler).unwrap()
+}
+
+#[test]
+fn profile_json_round_trips_through_chrome_trace() {
+    let a = problem();
+    let profiler = Arc::new(Profiler::enabled());
+    let plan = profiled_plan(&a, Arc::clone(&profiler));
+    plan.factor(&a).unwrap();
+    let mut trace = TraceFile::new("obs_test");
+    trace.push(profiler.snapshot("circuit"));
+    let text = trace.to_chrome_json();
+    let parsed = TraceFile::from_chrome_json(&text).unwrap();
+    assert_eq!(parsed.experiment, trace.experiment);
+    assert_eq!(parsed.profiles.len(), 1);
+    let (orig, back) = (&trace.profiles[0], &parsed.profiles[0]);
+    assert_eq!(orig.label, back.label);
+    assert_eq!(orig.spans, back.spans, "spans must survive exactly");
+    assert_eq!(orig.counters, back.counters);
+    assert_eq!(orig.gauges.len(), back.gauges.len());
+    for ((n1, v1), (n2, v2)) in orig.gauges.iter().zip(&back.gauges) {
+        assert_eq!(n1, n2);
+        assert_eq!(v1, v2, "gauge {n1} must round-trip exactly");
+    }
+}
+
+#[test]
+fn disabled_profiler_keeps_all_three_tiers_bitwise_identical() {
+    let a = problem();
+    let collect = |profile: bool, block_lu: BlockLu, n_threads: usize| -> Vec<u64> {
+        let lu = SympilerLu::compile(
+            &a,
+            &SympilerOptions {
+                profile,
+                block_lu,
+                n_threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let f = lu.factor(&a).unwrap();
+        f.l()
+            .values()
+            .iter()
+            .chain(f.u().values())
+            .map(|v| v.to_bits())
+            .collect()
+    };
+    // Serial, parallel, and supernodal: profiling on vs. off must not
+    // change a single bit of the factors (instrumentation is purely
+    // observational).
+    for (block_lu, n_threads) in [
+        (BlockLu::Off, 1),
+        (BlockLu::Off, 4),
+        (BlockLu::On, 1),
+        (BlockLu::On, 4),
+    ] {
+        assert_eq!(
+            collect(false, block_lu, n_threads),
+            collect(true, block_lu, n_threads),
+            "profiling must be invisible to the numbers ({block_lu:?}, {n_threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn parallel_tier_records_per_thread_lanes_and_counters() {
+    let a = problem();
+    for threads in [1usize, 2, 4] {
+        let profiler = Arc::new(Profiler::enabled());
+        let plan = profiled_plan(&a, Arc::clone(&profiler));
+        ParallelLuPlan::from_plan(plan, threads).factor(&a).unwrap();
+        let snap = profiler.snapshot("par");
+        if threads == 1 {
+            // One worker compiles to the serial plan — serial span.
+            assert_eq!(snap.spans_named("factor:serial").count(), 1);
+            continue;
+        }
+        assert_eq!(snap.spans_named("factor:parallel").count(), 1);
+        // Every worker must report busy/wait counters and have run
+        // work spans on its own lane.
+        for t in 0..threads {
+            assert!(
+                snap.counter(&format!("par.t{t}.busy_ns")).is_some(),
+                "busy counter for worker {t} at {threads} threads"
+            );
+            assert!(
+                snap.counter(&format!("par.t{t}.wait_ns")).is_some(),
+                "wait counter for worker {t} at {threads} threads"
+            );
+            assert!(
+                snap.spans_named("work").any(|s| s.lane == t),
+                "work span on lane {t} at {threads} threads"
+            );
+        }
+        // No counters for workers that don't exist.
+        assert!(snap.counter(&format!("par.t{threads}.busy_ns")).is_none());
+        let imbalance = snap.gauge("par.imbalance").expect("imbalance gauge");
+        assert!(imbalance >= 1.0, "max/mean busy ratio is at least 1");
+    }
+}
+
+#[test]
+fn flop_attribution_matches_compile_time_counts_exactly() {
+    let a = problem();
+    let profiler = Arc::new(Profiler::enabled());
+    let plan = profiled_plan(&a, Arc::clone(&profiler));
+    let want = plan.flops();
+    assert_eq!(
+        plan.per_column_flops().iter().sum::<u64>(),
+        want,
+        "per-column flops sum to the total"
+    );
+    // Serial tier.
+    plan.factor(&a).unwrap();
+    assert_eq!(profiler.counter_value("flops.scalar"), want);
+    // Parallel tier (clone shares the profiler; counter accumulates).
+    ParallelLuPlan::from_plan(plan.clone(), 4)
+        .factor(&a)
+        .unwrap();
+    assert_eq!(profiler.counter_value("flops.scalar"), 2 * want);
+    // Supernodal tier: dense + scalar attribution covers every flop.
+    SupernodalLuPlan::from_plan(plan.clone(), 32, 2)
+        .factor(&a)
+        .unwrap();
+    let dense = profiler.counter_value("flops.dense");
+    let scalar = profiler.counter_value("flops.scalar") - 2 * want;
+    assert_eq!(dense + scalar, want, "supernodal dense+scalar == plan");
+    assert!(dense > 0, "wide panels must attribute dense flops");
+    // Wide panels carry per-panel spans with exact flop args.
+    let snap = profiler.snapshot("sup");
+    let panel_flops: f64 = snap
+        .spans_named("panel")
+        .map(|s| {
+            s.args
+                .iter()
+                .find(|(k, _)| k == "flops")
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    assert_eq!(panel_flops as u64, dense, "panel spans sum to dense flops");
+    assert!(snap
+        .spans_named("panel")
+        .all(|s| s.args.iter().any(|(k, _)| k == "gflops")));
+}
+
+#[test]
+fn health_monitors_surface_on_profiled_factors() {
+    let a = problem();
+    let profiler = Arc::new(Profiler::enabled());
+    let plan = profiled_plan(&a, Arc::clone(&profiler));
+    let f = plan.factor(&a).unwrap();
+    let health = *f.health().expect("profiled factor carries health");
+    assert_eq!(
+        health,
+        plan.health_of(&a, &f),
+        "inline health equals recomputation"
+    );
+    assert!(
+        health.growth > 0.0 && health.growth.is_finite(),
+        "growth is a positive finite ratio"
+    );
+    assert!(health.min_pivot > 0.0 && health.min_pivot <= health.max_pivot);
+    assert!(
+        health.min_matched_diag > 0.0,
+        "diagonal structurally present"
+    );
+    let snap = profiler.snapshot("health");
+    assert_eq!(snap.gauge("health.growth"), Some(health.growth));
+    assert_eq!(snap.gauge("health.min_pivot"), Some(health.min_pivot));
+    // Unprofiled factors don't pay for it.
+    let off = LuPlan::build_pivoted(&a, true, 2, Ordering::Natural, PrePivot::Off).unwrap();
+    assert!(off.factor(&a).unwrap().health().is_none());
+}
+
+#[test]
+fn compile_spans_and_set_gauges_share_the_trace() {
+    let a = problem();
+    let lu = SympilerLu::compile(
+        &a,
+        &SympilerOptions {
+            profile: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    lu.factor(&a).unwrap();
+    let snap = lu.profiler().snapshot("compile");
+    assert!(
+        snap.spans.iter().any(|s| s.name.starts_with("compile: ")),
+        "compile stages land on the same trace as the numeric phase"
+    );
+    for (name, size) in &lu.report().set_sizes {
+        assert_eq!(
+            snap.gauge(&format!("sets.{name}")),
+            Some(*size as f64),
+            "set size {name} must ride the trace as a gauge"
+        );
+    }
+}
