@@ -16,6 +16,7 @@ fn main() {
         "fig8",
         "fig9",
         "lu_compare",
+        "serve_bench",
         "motivating",
         "table3_overheads",
         "ablation_thresholds",

@@ -5,7 +5,7 @@
 
 use crate::emit::emit_trisolve_c;
 use crate::plan::chol::{CholFactor, CholPlan, CholPlanError};
-use crate::plan::lu::{LuFactor, LuPlan, LuPlanError};
+use crate::plan::lu::{BatchError, LuFactor, LuPlan, LuPlanError, LuWorkspace};
 use crate::plan::tri::{TriScratch, TriSolvePlan, TriVariant};
 use crate::report::{timed, SymbolicReport};
 use sympiler_graph::supernode::supernodes_trisolve;
@@ -58,7 +58,12 @@ pub enum BlockLu {
 /// let x = lu.factor(&a).unwrap().solve(&vec![1.0; 48]);
 /// assert!(sympiler_sparse::ops::rel_residual(&a, &x, &vec![1.0; 48]) < 1e-10);
 /// ```
-#[derive(Debug, Clone)]
+///
+/// The derived `PartialEq` is part of the serving contract: a
+/// [`crate::serve::PlanCache`] entry matches a request only when the
+/// request's options compare equal to the ones the entry was compiled
+/// with (the structural hash alone is not trusted).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SympilerOptions {
     /// Enable VS-Block (subject to the supernode-size threshold).
     pub vs_block: bool,
@@ -467,12 +472,64 @@ impl SympilerLu {
     }
 
     /// Numeric factorization (no symbolic work): `A = L U`.
+    ///
+    /// For high-rate callers: [`Self::factor_with`] reuses a
+    /// caller-held workspace, [`Self::factor_batch`] amortizes the
+    /// compiled tables over a same-pattern batch, and
+    /// [`crate::serve::PlanCache`] /
+    /// [`crate::serve::FactorService`] layer caching and a thread-pool
+    /// front end on top.
     pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
         match &self.exec {
             LuExec::Serial(plan) => plan.factor(a),
             #[cfg(feature = "parallel")]
             LuExec::Parallel(par) => par.factor(a),
             LuExec::Supernodal(sup) => sup.factor(a),
+        }
+    }
+
+    /// [`Self::factor`] against a caller-held [`LuWorkspace`] —
+    /// bitwise identical results, minus the per-call accumulator
+    /// allocation on the serial tier. The parallel and supernodal
+    /// executors keep their own per-worker scratch (their numeric
+    /// state is already pooled internally), so they accept and ignore
+    /// the workspace — one call shape serves all three tiers.
+    pub fn factor_with(
+        &self,
+        a: &CscMatrix,
+        ws: &mut LuWorkspace,
+    ) -> Result<LuFactor, LuPlanError> {
+        match &self.exec {
+            LuExec::Serial(plan) => plan.factor_with(a, ws),
+            #[cfg(feature = "parallel")]
+            LuExec::Parallel(par) => par.factor(a),
+            LuExec::Supernodal(sup) => sup.factor(a),
+        }
+    }
+
+    /// Factor a batch of same-pattern matrices. On the serial tier
+    /// this is [`LuPlan::factor_batch`]'s column-interleaved pass —
+    /// the compiled schedule streams once per batch column instead of
+    /// once per matrix. The parallel and supernodal tiers already
+    /// stream their schedules per level/panel across worker threads,
+    /// so they factor the batch one matrix at a time through their own
+    /// engines. Every tier returns factors bitwise identical to
+    /// looping [`Self::factor`], and the batch is all-or-nothing: the
+    /// first failure aborts with a [`BatchError`] naming the matrix.
+    pub fn factor_batch(&self, mats: &[&CscMatrix]) -> Result<Vec<LuFactor>, BatchError> {
+        match &self.exec {
+            LuExec::Serial(plan) => plan.factor_batch(mats),
+            #[cfg(feature = "parallel")]
+            LuExec::Parallel(par) => mats
+                .iter()
+                .enumerate()
+                .map(|(index, a)| par.factor(a).map_err(|error| BatchError { index, error }))
+                .collect(),
+            LuExec::Supernodal(sup) => mats
+                .iter()
+                .enumerate()
+                .map(|(index, a)| sup.factor(a).map_err(|error| BatchError { index, error }))
+                .collect(),
         }
     }
 

@@ -30,6 +30,9 @@
 //!    `plan::lu_parallel` (the column elimination DAG).
 //! 6. [`compile`] — the user-facing driver: [`compile::SympilerTriSolve`]
 //!    and [`compile::SympilerCholesky`].
+//! 7. [`serve`] — the serving layer over the compiled pipeline: a
+//!    structural-hash plan cache, batched factor/solve entry points,
+//!    and a thread-pool front end for request streams.
 
 pub mod ast;
 pub mod compile;
@@ -39,12 +42,15 @@ pub mod interp;
 pub mod lower;
 pub mod plan;
 pub mod report;
+pub mod serve;
 pub mod transform;
 
 pub use compile::{
     BlockLu, Ordering, PrePivot, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
 };
+pub use plan::lu::{BatchError, LuWorkspace};
 pub use report::SymbolicReport;
+pub use serve::{CacheConfig, CacheStats, CachedPlan, FactorService, PlanCache};
 // Observability layer (spans, counters, health monitors) — re-exported
 // so downstream users can drive profiling without naming the obs crate.
 pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};

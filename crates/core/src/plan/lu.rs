@@ -74,6 +74,68 @@ impl std::fmt::Display for LuPlanError {
 
 impl std::error::Error for LuPlanError {}
 
+/// A failure inside a batched factorization ([`LuPlan::factor_batch`]):
+/// the error plus the index of the matrix (within the batch) that
+/// produced it. The batch is all-or-nothing — on the first failure the
+/// whole call returns this error and no factors are produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index into the batch slice of the failing matrix.
+    pub index: usize,
+    /// What went wrong for that matrix.
+    pub error: LuPlanError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch matrix {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Reusable per-factorization scratch state, split out of the
+/// (immutable, shareable) [`LuPlan`] so N threads can factor against
+/// one `Arc<LuPlan>` without cloning any compiled tables: the plan
+/// holds everything decided at compile time, the workspace holds the
+/// dense accumulator a numeric factorization scatters into.
+///
+/// A workspace is plan-agnostic — it grows to the largest `n` it has
+/// served and can be reused across plans (a serving worker keeps one
+/// for its whole lifetime, whatever patterns flow through). The
+/// accumulator is maintained all-zeros between calls by the column
+/// kernel itself, so reuse costs nothing per factorization.
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    /// Dense accumulator, all zeros between factorizations.
+    x: Vec<f64>,
+}
+
+impl LuWorkspace {
+    /// A fresh, empty workspace (grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity in matrix order currently held.
+    pub fn capacity(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Make the accumulator at least `n` long (new tail zeroed; the
+    /// existing prefix is already all-zeros by the kernel invariant).
+    fn ensure(&mut self, n: usize) -> &mut [f64] {
+        if self.x.len() < n {
+            self.x.resize(n, 0.0);
+        }
+        &mut self.x[..n]
+    }
+}
+
 /// The compile-time permutations baked into a plan: a composed **row**
 /// gather map and a **column** gather map (`perm[new] = old` on both
 /// sides), from the static pre-pivot `P` and/or the fill-reducing
@@ -246,6 +308,114 @@ impl LuFactor {
             Some(q) => sympiler_sparse::ops::scatter_perm(q, &x),
             None => x,
         }
+    }
+
+    /// Solve `A X = B` for a block of right-hand sides stored
+    /// column-major (`b[r*n..(r+1)*n]` is RHS `r`), returning the
+    /// solutions in the same layout. The triangular sweeps are
+    /// **blocked**: each factor column is loaded once per sweep and
+    /// applied to every RHS while it is hot in cache, instead of
+    /// re-streaming both factors per RHS the way an [`Self::solve`]
+    /// loop would. Per RHS, the arithmetic order (including the skip
+    /// of structurally-zero columns) is exactly [`Self::solve`]'s, so
+    /// each returned column is bitwise identical to a one-at-a-time
+    /// solve of that RHS.
+    pub fn solve_multi(&self, b: &[f64], nrhs: usize) -> Vec<f64> {
+        let n = self.l.n_cols();
+        assert_eq!(b.len(), n * nrhs, "rhs block length mismatch");
+        let mut x = vec![0.0f64; n * nrhs];
+        match &self.rperm {
+            Some(p) => {
+                for r in 0..nrhs {
+                    let (src, dst) = (&b[r * n..(r + 1) * n], &mut x[r * n..(r + 1) * n]);
+                    for (i, d) in dst.iter_mut().enumerate() {
+                        *d = src[p[i]];
+                    }
+                }
+            }
+            None => x.copy_from_slice(b),
+        }
+        // Forward: L has diagonal-first unit columns; the column's
+        // rows/values are hoisted out of the RHS loop.
+        let (col_ptr, row_idx, values) = (self.l.col_ptr(), self.l.row_idx(), self.l.values());
+        for j in 0..n {
+            let range = col_ptr[j] + 1..col_ptr[j + 1];
+            let rows = &row_idx[range.clone()];
+            let vals = &values[range];
+            for r in 0..nrhs {
+                let xr = &mut x[r * n..(r + 1) * n];
+                let xj = xr[j]; // unit diagonal: no division
+                if xj != 0.0 {
+                    for (&i, &lij) in rows.iter().zip(vals) {
+                        xr[i] -= lij * xj;
+                    }
+                }
+            }
+        }
+        // Backward: U has diagonal-last columns.
+        let (col_ptr, row_idx, values) = (self.u.col_ptr(), self.u.row_idx(), self.u.values());
+        for j in (0..n).rev() {
+            let range = col_ptr[j]..col_ptr[j + 1];
+            let rows = &row_idx[range.start..range.end - 1];
+            let vals = &values[range.start..range.end - 1];
+            let pivot = values[range.end - 1];
+            for r in 0..nrhs {
+                let xr = &mut x[r * n..(r + 1) * n];
+                let xj = xr[j] / pivot;
+                xr[j] = xj;
+                if xj != 0.0 {
+                    for (&i, &uij) in rows.iter().zip(vals) {
+                        xr[i] -= uij * xj;
+                    }
+                }
+            }
+        }
+        match &self.cperm {
+            Some(q) => {
+                let mut out = vec![0.0f64; n * nrhs];
+                for r in 0..nrhs {
+                    let (src, dst) = (&x[r * n..(r + 1) * n], &mut out[r * n..(r + 1) * n]);
+                    for (i, &s) in src.iter().enumerate() {
+                        dst[q[i]] = s;
+                    }
+                }
+                out
+            }
+            None => x,
+        }
+    }
+
+    /// [`Self::solve_multi`] over a slice of independent right-hand
+    /// sides — packs them into one column-major block, runs the
+    /// blocked sweeps, and unpacks. Each returned vector is bitwise
+    /// identical to `self.solve(&rhs[r])`.
+    ///
+    /// ```
+    /// use sympiler_core::{SympilerLu, SympilerOptions};
+    /// use sympiler_sparse::gen;
+    ///
+    /// let a = gen::circuit_unsym(40, 4, 2, 7);
+    /// let lu = SympilerLu::compile(&a, &SympilerOptions::default())?;
+    /// let f = lu.factor(&a)?;
+    ///
+    /// let rhs = vec![vec![1.0; 40], vec![-2.0; 40]];
+    /// let xs = f.solve_batch(&rhs);
+    /// assert_eq!(xs[0], f.solve(&rhs[0]));
+    /// assert_eq!(xs[1], f.solve(&rhs[1]));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn solve_batch<S: AsRef<[f64]>>(&self, rhs: &[S]) -> Vec<Vec<f64>> {
+        let n = self.l.n_cols();
+        if n == 0 {
+            return rhs.iter().map(|_| Vec::new()).collect();
+        }
+        let mut block = Vec::with_capacity(n * rhs.len());
+        for r in rhs {
+            assert_eq!(r.as_ref().len(), n, "rhs length mismatch");
+            block.extend_from_slice(r.as_ref());
+        }
+        let flat = self.solve_multi(&block, rhs.len());
+        flat.chunks(n).map(<[f64]>::to_vec).collect()
     }
 
     /// The two triangular sweeps, entirely in the factors' (ordered)
@@ -943,12 +1113,32 @@ impl LuPlan {
 
     /// Numeric factorization — no DFS, no allocation besides the factor
     /// value arrays and one dense accumulator, no pivot search.
+    ///
+    /// Allocates a fresh dense accumulator per call; a caller
+    /// factoring in a loop (or a serving worker) should hold a
+    /// [`LuWorkspace`] and use [`Self::factor_with`] to skip that
+    /// `O(n)` allocation. Same-pattern streams go faster still through
+    /// [`Self::factor_batch`].
     pub fn factor(&self, a: &CscMatrix) -> Result<LuFactor, LuPlanError> {
+        self.factor_with(a, &mut LuWorkspace::new())
+    }
+
+    /// [`Self::factor`] against a caller-held [`LuWorkspace`]: the
+    /// plan stays immutable (`&self`, freely shared behind an `Arc`
+    /// across threads), all mutable per-factorization state lives in
+    /// `ws`. Results are bitwise identical to [`Self::factor`] — the
+    /// workspace only replaces the accumulator allocation, never the
+    /// operation order.
+    pub fn factor_with(
+        &self,
+        a: &CscMatrix,
+        ws: &mut LuWorkspace,
+    ) -> Result<LuFactor, LuPlanError> {
         self.check_pattern(a)?;
         let n = self.n;
         let mut lx = vec![0.0f64; self.l_row_idx.len()];
         let mut ux = vec![0.0f64; self.u_row_idx.len()];
-        let mut x = vec![0.0f64; n];
+        let x = ws.ensure(n);
 
         // Instrumentation is purely observational (counts baked
         // pattern sizes, touches no numeric state), so profiled and
@@ -968,7 +1158,7 @@ impl LuPlan {
             // SAFETY: single-threaded in-order execution — every
             // scheduled update column is already final, and column j's
             // value ranges are written exactly once, here.
-            let ok = unsafe { self.column_numeric(j, a, &mut x, lx.as_mut_ptr(), ux.as_mut_ptr()) };
+            let ok = unsafe { self.column_numeric(j, a, x, lx.as_mut_ptr(), ux.as_mut_ptr()) };
             if !ok {
                 prof.end(span);
                 return Err(LuPlanError::ZeroPivot { column: j });
@@ -992,6 +1182,249 @@ impl LuPlan {
             prof.end_with(span, &[("flops", flops_done as f64)]);
         }
         Ok(self.finish(a, lx, ux))
+    }
+
+    /// Factor a batch of **same-pattern** matrices in one fused pass
+    /// over the compiled schedule — the structure-of-arrays layout the
+    /// serving tier batches for. Factor values and the accumulator are
+    /// stored entry-major (`value[p]` holds the batch's `B` copies of
+    /// nonzero `p`, contiguously), and the numeric sweep walks columns
+    /// once: every schedule entry, row index, and column bound is
+    /// decoded **once per batch** instead of once per matrix, and the
+    /// inner loop over the batch is unit-stride over adjacent values —
+    /// exactly the per-entry bookkeeping the scalar kernel re-pays per
+    /// matrix, amortized away.
+    ///
+    /// Per matrix, the arithmetic sequence is exactly [`Self::factor`]'s
+    /// (same operations, same order — lanes are fully independent), so
+    /// every returned factor is **bitwise identical** to factoring
+    /// that matrix alone. The batch is all-or-nothing: the first zero
+    /// pivot (in column order, then batch order) aborts with a
+    /// [`BatchError`] naming the offending matrix and no factors are
+    /// returned.
+    ///
+    /// ```
+    /// use sympiler_core::plan::lu::LuPlan;
+    /// use sympiler_sparse::gen;
+    ///
+    /// let a = gen::circuit_unsym(40, 4, 2, 7);
+    /// let plan = LuPlan::build(&a, true, 2)?;
+    ///
+    /// // Three same-pattern matrices with different values.
+    /// let mut mats = vec![a.clone(), a.clone(), a.clone()];
+    /// for (k, m) in mats.iter_mut().enumerate() {
+    ///     for v in m.values_mut() {
+    ///         *v *= 1.0 + 0.25 * k as f64;
+    ///     }
+    /// }
+    /// let refs: Vec<&_> = mats.iter().collect();
+    /// let factors = plan.factor_batch(&refs)?;
+    ///
+    /// // Bitwise identical to the one-at-a-time loop.
+    /// for (m, f) in mats.iter().zip(&factors) {
+    ///     let single = plan.factor(m)?;
+    ///     assert_eq!(single.l().values(), f.l().values());
+    ///     assert_eq!(single.u().values(), f.u().values());
+    /// }
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn factor_batch(&self, mats: &[&CscMatrix]) -> Result<Vec<LuFactor>, BatchError> {
+        for (b, a) in mats.iter().enumerate() {
+            self.check_pattern(a)
+                .map_err(|error| BatchError { index: b, error })?;
+        }
+        let bsz = mats.len();
+        if bsz == 0 {
+            return Ok(Vec::new());
+        }
+        let n = self.n;
+        let l_nnz = self.l_row_idx.len();
+        let u_nnz = self.u_row_idx.len();
+        // Entry-major SoA arenas: slot `p * bsz + b` is nonzero `p` of
+        // matrix `b`. The accumulator interleaves the same way.
+        let mut lxs = vec![0.0f64; l_nnz * bsz];
+        let mut uxs = vec![0.0f64; u_nnz * bsz];
+        let mut x = vec![0.0f64; n * bsz];
+        // The multiplier row of the update being applied (x[k] may
+        // itself still accumulate later updates of a *different*
+        // column, but reads and writes within one update never alias —
+        // copying it out keeps the borrow checker and the kernel both
+        // simple).
+        let mut xk = vec![0.0f64; bsz];
+        let mut failed: Option<(usize, usize)> = None; // (column, batch)
+
+        let prof = &*self.profiler;
+        let enabled = prof.is_enabled();
+        let span = if enabled {
+            prof.begin(0, "factor:batch")
+        } else {
+            None
+        };
+
+        // The sweep mirrors `column_numeric` with raw pointers (the
+        // safe-slicing version re-pays a bounds check per entry per
+        // lane group, which is exactly the bookkeeping batching exists
+        // to amortize). SAFETY throughout: all offsets come from the
+        // compiled layouts, which index `n` lanes of width `bsz` in
+        // arenas allocated above with those exact extents; `check_
+        // pattern` pinned every matrix to the compiled `a` layout, so
+        // `a_col_ptr`/`a_row_idx` positions are in range for each
+        // `m.values()`; update reads (`lxs` columns k < j) never alias
+        // update writes (`x` lanes), and each factor slot is written
+        // exactly once, in column order.
+        let xp = x.as_mut_ptr();
+        let lxp = lxs.as_mut_ptr();
+        let uxp = uxs.as_mut_ptr();
+        let xkp = xk.as_mut_ptr();
+        let mvals: Vec<*const f64> = mats.iter().map(|m| m.values().as_ptr()).collect();
+        'columns: for j in 0..n {
+            unsafe {
+                // Scatter A(:, j) of every matrix: indices (and any
+                // baked permutation lookups) resolved once, values
+                // fanned out to the batch lanes.
+                let (oc, irperm) = match &self.baked {
+                    None => (j, None),
+                    Some(bp) => (bp.cperm[j], Some(&bp.irperm)),
+                };
+                for p in self.a_col_ptr[oc]..self.a_col_ptr[oc + 1] {
+                    let i = self.a_row_idx[p] as usize;
+                    let i = irperm.map_or(i, |ip| ip[i]);
+                    let lane = xp.add(i * bsz);
+                    for (b, m) in mvals.iter().enumerate() {
+                        *lane.add(b) = *m.add(p);
+                    }
+                }
+                // Apply the baked update schedule in topological order.
+                for &tagged in &self.upd_cols[self.upd_ptr[j]..self.upd_ptr[j + 1]] {
+                    let k = (tagged & !PEEL_BIT) as usize;
+                    std::ptr::copy_nonoverlapping(xp.add(k * bsz) as *const f64, xkp, bsz);
+                    let range = self.l_col_ptr[k] + 1..self.l_col_ptr[k + 1];
+                    let rows = &self.l_row_idx[range.clone()];
+                    // The peeled tier runs unguarded; the guarded tier
+                    // skips zero multipliers per lane — either way each
+                    // lane performs exactly the scalar kernel's
+                    // operations in the scalar kernel's order (lanes
+                    // are independent, so batch interleaving cannot
+                    // change any lane's arithmetic). The all-lanes-live
+                    // fast path drops the inner branch and vectorizes.
+                    let peeled = tagged & PEEL_BIT != 0;
+                    let all_live = peeled || xk.iter().all(|&v| v != 0.0);
+                    let base = lxp.add(range.start * bsz) as *const f64;
+                    for (t, &r) in rows.iter().enumerate() {
+                        let src = base.add(t * bsz);
+                        let dst = xp.add(r as usize * bsz);
+                        if all_live {
+                            for b in 0..bsz {
+                                *dst.add(b) -= *src.add(b) * *xkp.add(b);
+                            }
+                        } else {
+                            for b in 0..bsz {
+                                let m = *xkp.add(b);
+                                if m != 0.0 {
+                                    *dst.add(b) -= *src.add(b) * m;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Gather U(:, j); diagonal (pivot) last.
+                let u_range = self.u_col_ptr[j]..self.u_col_ptr[j + 1];
+                for p in u_range.clone() {
+                    let lane = xp.add(self.u_row_idx[p] as usize * bsz) as *const f64;
+                    std::ptr::copy_nonoverlapping(lane, uxp.add(p * bsz), bsz);
+                }
+                let piv = uxp.add((u_range.end - 1) * bsz) as *const f64;
+                if let Some(b) = (0..bsz).find(|&b| *piv.add(b) == 0.0) {
+                    failed = Some((j, b));
+                    break 'columns;
+                }
+                // Gather L(:, j): unit diagonal, sub-diagonal scaled
+                // by each lane's pivot.
+                let l_range = self.l_col_ptr[j]..self.l_col_ptr[j + 1];
+                for b in 0..bsz {
+                    *lxp.add(l_range.start * bsz + b) = 1.0;
+                }
+                for p in l_range.start + 1..l_range.end {
+                    let lane = xp.add(self.l_row_idx[p] as usize * bsz) as *const f64;
+                    let dst = lxp.add(p * bsz);
+                    for b in 0..bsz {
+                        *dst.add(b) = *lane.add(b) / *piv.add(b);
+                    }
+                }
+                // Clear the accumulator (touch only the column's
+                // pattern).
+                for p in u_range {
+                    let lane = xp.add(self.u_row_idx[p] as usize * bsz);
+                    std::slice::from_raw_parts_mut(lane, bsz).fill(0.0);
+                }
+                for p in l_range.start + 1..l_range.end {
+                    let lane = xp.add(self.l_row_idx[p] as usize * bsz);
+                    std::slice::from_raw_parts_mut(lane, bsz).fill(0.0);
+                }
+            }
+        }
+
+        if let Some((column, index)) = failed {
+            prof.end(span);
+            return Err(BatchError {
+                index,
+                error: LuPlanError::ZeroPivot { column },
+            });
+        }
+
+        if enabled {
+            let flops_done = self.flops * bsz as u64;
+            prof.counter("flops.scalar").add(flops_done);
+            prof.counter("batch.matrices").add(bsz as u64);
+            prof.end_with(span, &[("flops", flops_done as f64), ("batch", bsz as f64)]);
+        }
+
+        // De-interleave the lanes into per-matrix factors. Tiled
+        // transpose: a naive per-matrix `lxs[p*bsz + b]` gather streams
+        // the whole arena once per lane (bsz× the traffic); walking
+        // entry tiles that fit in cache reads each arena line once.
+        let deinterleave = |arena: &[f64], nnz: usize| -> Vec<Vec<f64>> {
+            const TILE: usize = 1024;
+            let mut cols: Vec<Vec<f64>> = (0..bsz).map(|_| Vec::with_capacity(nnz)).collect();
+            let mut p0 = 0;
+            while p0 < nnz {
+                let p1 = (p0 + TILE).min(nnz);
+                for (b, col) in cols.iter_mut().enumerate() {
+                    col.extend((p0..p1).map(|p| arena[p * bsz + b]));
+                }
+                p0 = p1;
+            }
+            cols
+        };
+        let lx_cols = deinterleave(&lxs, l_nnz);
+        let ux_cols = deinterleave(&uxs, u_nnz);
+        let out = mats
+            .iter()
+            .zip(lx_cols.into_iter().zip(ux_cols))
+            .map(|(a, (lx, ux))| self.finish(a, lx, ux))
+            .collect();
+        Ok(out)
+    }
+
+    /// Resident size, in bytes, of the compiled tables this plan keeps
+    /// alive: factor layouts, the baked update schedule, the pattern
+    /// copy backing [`Self::factor`]'s cheap pattern check, permutation
+    /// maps, and the per-column cost model. This is the footprint a
+    /// plan cache charges an entry for — factor *values* are per-call
+    /// and not counted.
+    pub fn table_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let usz = size_of::<usize>();
+        let mut bytes = (self.l_col_ptr.len() + self.u_col_ptr.len() + self.upd_ptr.len()) * usz
+            + self.a_col_ptr.len() * usz
+            + (self.l_row_idx.len() + self.u_row_idx.len() + self.upd_cols.len()) * 4
+            + self.a_row_idx.len() * 4
+            + self.col_flops.len() * 8;
+        if self.baked.is_some() {
+            // rperm + irperm + cperm, each n usizes.
+            bytes += 3 * self.n * usz;
+        }
+        bytes
     }
 
     /// Per-column cost model for balancing the parallel numeric phase:

@@ -1,0 +1,730 @@
+//! The serving layer: compile once, serve many.
+//!
+//! Sympiler's economics come from reuse — symbolic analysis is paid
+//! once per sparsity pattern, then amortized over every numeric
+//! factorization with that pattern. This module packages that reuse
+//! for request-stream workloads (circuit transients, Newton loops,
+//! parameter sweeps) where the caller cannot or should not manage
+//! plan lifetimes by hand:
+//!
+//! * [`PlanCache`] — a concurrent cache of compiled [`SympilerLu`]
+//!   plans keyed by a structural hash of `(pattern, options)`, with
+//!   LRU eviction bounded by entry count and resident table bytes.
+//!   Lookups return `Arc<CachedPlan>`: the plan's gather tables are
+//!   shared, never cloned, and N threads factor against one plan
+//!   concurrently (per-factorization state lives in a
+//!   [`LuWorkspace`], not the plan).
+//! * [`FactorService`] — a thread-pool front end accepting
+//!   factor(+solve) requests, routing every request through one
+//!   shared cache and per-worker workspaces.
+//!
+//! Batched numeric entry points live on the plan types themselves:
+//! [`LuPlan::factor_batch`](crate::plan::lu::LuPlan::factor_batch)
+//! (column-interleaved same-pattern batches) and
+//! [`LuFactor::solve_batch`] (blocked multi-RHS sweeps).
+//!
+//! Everything here is observational-layer honest: cached, batched,
+//! and served results are **bitwise identical** to direct
+//! [`SympilerLu::compile`] + [`SympilerLu::factor`] calls.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering as MemOrder};
+use std::sync::{mpsc, Arc, Mutex};
+
+use crate::compile::{SympilerLu, SympilerOptions};
+use crate::plan::lu::{LuFactor, LuPlanError, LuWorkspace};
+use sympiler_obs::Profiler;
+use sympiler_sparse::CscMatrix;
+
+/// FNV-1a, the same spirit as the vendored deterministic hashers:
+/// stable across runs and platforms, so cache keys (and therefore
+/// bench-reported hit rates) are reproducible.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv_u64(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// The cache key: a 64-bit FNV-1a digest of the sparsity pattern
+/// (`n`, column pointers, row indices — **not** values) and every
+/// compile-relevant field of [`SympilerOptions`]. Two requests whose
+/// matrices share a pattern and whose options compare equal always
+/// hash equal; the converse is only probabilistic, which is why
+/// [`PlanCache`] verifies candidates with an exact pattern check and
+/// an options comparison before reporting a hit.
+pub fn structural_hash(a: &CscMatrix, opts: &SympilerOptions) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_u64(&mut h, a.n_cols() as u64);
+    for &p in a.col_ptr() {
+        fnv_u64(&mut h, p as u64);
+    }
+    for &r in a.row_idx() {
+        fnv_u64(&mut h, r as u64);
+    }
+    // Options: every field that can change the compiled plan (or the
+    // executor wrapped around it).
+    fnv_u64(
+        &mut h,
+        (opts.vs_block as u64) | (opts.vi_prune as u64) << 1 | (opts.low_level as u64) << 2,
+    );
+    fnv_u64(&mut h, opts.max_supernode_width as u64);
+    fnv_u64(&mut h, opts.vs_block_min_avg_size.to_bits());
+    fnv_u64(&mut h, opts.peel_col_count as u64);
+    fnv_u64(&mut h, opts.n_threads as u64);
+    fnv_u64(&mut h, opts.ordering as u64);
+    fnv_u64(&mut h, opts.block_lu as u64);
+    fnv_u64(&mut h, opts.max_panel as u64);
+    fnv_u64(&mut h, opts.pre_pivot as u64);
+    fnv_u64(&mut h, opts.profile as u64);
+    h
+}
+
+/// Capacity bounds for a [`PlanCache`]. Eviction triggers when
+/// **either** bound is exceeded and always keeps at least one entry
+/// (a cache that cannot hold the plan it just compiled would thrash
+/// forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum resident plans (0 = unbounded by count).
+    pub max_entries: usize,
+    /// Maximum summed [`table_bytes`](crate::plan::lu::LuPlan::table_bytes)
+    /// across resident plans (0 = unbounded by size).
+    pub max_bytes: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: 64,
+            max_bytes: 256 << 20, // 256 MiB of compiled tables
+        }
+    }
+}
+
+/// A cache-resident compiled plan: the [`SympilerLu`] plus the key
+/// and options it was admitted under and its charged byte footprint.
+/// Derefs to [`SympilerLu`], so `plan.factor(&a)`,
+/// `plan.factor_with(&a, &mut ws)`, and `plan.factor_batch(&refs)`
+/// all work directly on the `Arc<CachedPlan>` handles the cache hands
+/// out — shared, immutable, never cloned per request.
+#[derive(Debug)]
+pub struct CachedPlan {
+    lu: SympilerLu,
+    key: u64,
+    opts: SympilerOptions,
+    bytes: usize,
+}
+
+impl CachedPlan {
+    /// The structural hash this plan is filed under.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The options the plan was compiled with.
+    pub fn options(&self) -> &SympilerOptions {
+        &self.opts
+    }
+
+    /// Bytes of compiled tables the cache charges this entry for.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The compiled pipeline itself (also reachable via `Deref`).
+    pub fn lu(&self) -> &SympilerLu {
+        &self.lu
+    }
+}
+
+impl std::ops::Deref for CachedPlan {
+    type Target = SympilerLu;
+    fn deref(&self) -> &SympilerLu {
+        &self.lu
+    }
+}
+
+struct Entry {
+    plan: Arc<CachedPlan>,
+    last_use: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    /// Hash buckets: collisions coexist as a short in-bucket list and
+    /// are disambiguated by exact pattern + options checks.
+    buckets: HashMap<u64, Vec<Entry>>,
+    entries: usize,
+    bytes: usize,
+}
+
+/// Point-in-time counters of a [`PlanCache`] (monotonic except
+/// `entries`/`bytes`, which track current residency).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered by a resident plan.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+    /// Plans evicted under capacity pressure.
+    pub evictions: u64,
+    /// Currently resident plans.
+    pub entries: usize,
+    /// Currently resident compiled-table bytes.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, 0.0 before any traffic.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A concurrent, bounded cache of compiled LU pipelines, keyed by
+/// [`structural_hash`] and verified exactly on every hit.
+///
+/// Compilation happens **outside** the cache lock — a slow compile on
+/// one pattern never blocks hits on others — with a re-check on
+/// insert so racing compilers of the same pattern converge on one
+/// resident plan. Eviction is LRU over a global use tick, bounded by
+/// [`CacheConfig`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use sympiler_core::serve::{CacheConfig, PlanCache};
+/// use sympiler_core::SympilerOptions;
+/// use sympiler_sparse::gen;
+///
+/// let cache = PlanCache::new(CacheConfig::default());
+/// let mut a = gen::circuit_unsym(40, 4, 2, 7);
+/// let opts = SympilerOptions::default();
+///
+/// let p1 = cache.get_or_compile(&a, &opts)?; // miss: compiles
+/// for v in a.values_mut() {
+///     *v *= 2.0; // values change, pattern fixed
+/// }
+/// let p2 = cache.get_or_compile(&a, &opts)?; // hit: same plan
+/// assert!(Arc::ptr_eq(&p1, &p2));
+///
+/// let f = p2.factor(&a)?; // CachedPlan derefs to SympilerLu
+/// assert!(f.l().nnz() > 0);
+/// let s = cache.stats();
+/// assert_eq!((s.hits, s.misses), (1, 1));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+    config: CacheConfig,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Observability sink: `serve.cache.*` counters land here. A
+    /// disabled profiler (the default) makes every hook a no-op.
+    profiler: Arc<Profiler>,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanCache")
+            .field("config", &self.config)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+impl PlanCache {
+    /// An empty cache with the given capacity bounds and no profiler.
+    pub fn new(config: CacheConfig) -> Self {
+        Self::with_profiler(config, Arc::new(Profiler::disabled()))
+    }
+
+    /// An empty cache whose hit/miss/eviction counters also land on
+    /// `profiler` as `serve.cache.hit` / `serve.cache.miss` /
+    /// `serve.cache.eviction` — the same [`Profiler`] machinery the
+    /// numeric phase records kernel counters into, so one snapshot
+    /// carries both.
+    pub fn with_profiler(config: CacheConfig, profiler: Arc<Profiler>) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            config,
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            profiler,
+        }
+    }
+
+    /// The capacity bounds this cache enforces.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let inner = self.inner.lock().unwrap();
+            (inner.entries, inner.bytes)
+        };
+        CacheStats {
+            hits: self.hits.load(MemOrder::Relaxed),
+            misses: self.misses.load(MemOrder::Relaxed),
+            evictions: self.evictions.load(MemOrder::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries
+    }
+
+    /// True when no plan is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every resident plan (counters keep their totals).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.buckets.clear();
+        inner.entries = 0;
+        inner.bytes = 0;
+    }
+
+    /// The plan for `(a's pattern, opts)` — resident if cached,
+    /// compiled (and admitted) otherwise. A hit requires the exact
+    /// compiled pattern and equal options, not just a matching hash;
+    /// values of `a` are irrelevant. Returns the same `Arc` to every
+    /// concurrent caller of the same key, so gather tables exist once
+    /// regardless of thread count.
+    pub fn get_or_compile(
+        &self,
+        a: &CscMatrix,
+        opts: &SympilerOptions,
+    ) -> Result<Arc<CachedPlan>, LuPlanError> {
+        let key = structural_hash(a, opts);
+        let now = self.tick.fetch_add(1, MemOrder::Relaxed);
+        if let Some(plan) = self.lookup(key, a, opts, now) {
+            self.hits.fetch_add(1, MemOrder::Relaxed);
+            self.profiler.counter("serve.cache.hit").add(1);
+            return Ok(plan);
+        }
+        // Miss: compile outside the lock so a slow symbolic phase on
+        // one pattern never serializes hits on others.
+        self.misses.fetch_add(1, MemOrder::Relaxed);
+        self.profiler.counter("serve.cache.miss").add(1);
+        let lu = SympilerLu::compile(a, opts)?;
+        let plan = Arc::new(CachedPlan {
+            key,
+            opts: opts.clone(),
+            bytes: lu.plan().table_bytes(),
+            lu,
+        });
+        Ok(self.admit(key, a, opts, now, plan))
+    }
+
+    /// In-lock hit path: scan the key's bucket for an entry whose
+    /// compiled pattern and options match exactly.
+    fn lookup(
+        &self,
+        key: u64,
+        a: &CscMatrix,
+        opts: &SympilerOptions,
+        now: u64,
+    ) -> Option<Arc<CachedPlan>> {
+        let mut inner = self.inner.lock().unwrap();
+        let bucket = inner.buckets.get_mut(&key)?;
+        for e in bucket.iter_mut() {
+            if e.plan.opts == *opts && e.plan.lu.plan().check_pattern(a).is_ok() {
+                e.last_use = now;
+                return Some(e.plan.clone());
+            }
+        }
+        None
+    }
+
+    /// Insert a freshly compiled plan, unless a racing thread already
+    /// admitted an equivalent one while we compiled — theirs wins (we
+    /// drop ours), keeping exactly one resident plan per key.
+    fn admit(
+        &self,
+        key: u64,
+        a: &CscMatrix,
+        opts: &SympilerOptions,
+        now: u64,
+        plan: Arc<CachedPlan>,
+    ) -> Arc<CachedPlan> {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(bucket) = inner.buckets.get_mut(&key) {
+            for e in bucket.iter_mut() {
+                if e.plan.opts == *opts && e.plan.lu.plan().check_pattern(a).is_ok() {
+                    e.last_use = now;
+                    return e.plan.clone();
+                }
+            }
+        }
+        inner.entries += 1;
+        inner.bytes += plan.bytes;
+        inner.buckets.entry(key).or_default().push(Entry {
+            plan: plan.clone(),
+            last_use: now,
+        });
+        self.evict_locked(&mut inner);
+        plan
+    }
+
+    /// LRU eviction down to the configured bounds, never below one
+    /// resident entry. Called with the lock held.
+    fn evict_locked(&self, inner: &mut CacheInner) {
+        let over = |inner: &CacheInner| {
+            (self.config.max_entries > 0 && inner.entries > self.config.max_entries)
+                || (self.config.max_bytes > 0 && inner.bytes > self.config.max_bytes)
+        };
+        while inner.entries > 1 && over(inner) {
+            // O(entries) scan for the oldest use tick — entry counts
+            // are small (bounded by config), the scan is cheaper than
+            // maintaining an ordered side structure under churn.
+            let mut oldest: Option<(u64, u64)> = None; // (last_use, key)
+            for (&key, bucket) in &inner.buckets {
+                for e in bucket {
+                    if oldest.is_none_or(|(t, _)| e.last_use < t) {
+                        oldest = Some((e.last_use, key));
+                    }
+                }
+            }
+            let Some((tick, key)) = oldest else { break };
+            let bucket = inner.buckets.get_mut(&key).expect("key from scan");
+            let idx = bucket
+                .iter()
+                .position(|e| e.last_use == tick)
+                .expect("entry from scan");
+            let victim = bucket.swap_remove(idx);
+            if bucket.is_empty() {
+                inner.buckets.remove(&key);
+            }
+            inner.entries -= 1;
+            inner.bytes -= victim.plan.bytes;
+            self.evictions.fetch_add(1, MemOrder::Relaxed);
+            self.profiler.counter("serve.cache.eviction").add(1);
+        }
+    }
+
+    #[cfg(test)]
+    /// Test hook: file `plan` under an arbitrary `key`, bypassing
+    /// hashing — how the collision tests plant a same-key foreign
+    /// entry that lookup must reject on the exact checks.
+    fn insert_raw(&self, key: u64, plan: Arc<CachedPlan>) {
+        let mut inner = self.inner.lock().unwrap();
+        let now = self.tick.fetch_add(1, MemOrder::Relaxed);
+        inner.entries += 1;
+        inner.bytes += plan.bytes;
+        inner.buckets.entry(key).or_default().push(Entry {
+            plan,
+            last_use: now,
+        });
+    }
+}
+
+/// One unit of serving work: factor `a` under `opts` (through the
+/// shared [`PlanCache`]), then solve for each supplied right-hand
+/// side via the blocked multi-RHS sweep.
+pub struct ServeRequest {
+    /// The matrix to factor (values fresh per request, pattern
+    /// typically shared across the stream).
+    pub a: CscMatrix,
+    /// Compile options — part of the cache key.
+    pub opts: SympilerOptions,
+    /// Right-hand sides to solve after factoring (may be empty).
+    pub rhs: Vec<Vec<f64>>,
+}
+
+/// What a [`ServeRequest`] produces.
+pub struct ServeResponse {
+    /// The numeric factorization, bitwise identical to an uncached
+    /// `compile()` + `factor()` of the same request.
+    pub factor: LuFactor,
+    /// One solution per requested right-hand side, in order.
+    pub solutions: Vec<Vec<f64>>,
+}
+
+/// A pending [`FactorService`] reply.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ServeResponse, LuPlanError>>,
+}
+
+impl Ticket {
+    /// Block until the worker finishes this request.
+    ///
+    /// # Panics
+    /// If the service was dropped (workers joined) with the request
+    /// still queued.
+    pub fn wait(self) -> Result<ServeResponse, LuPlanError> {
+        self.rx.recv().expect("serving worker dropped the reply")
+    }
+}
+
+struct Job {
+    req: ServeRequest,
+    reply: mpsc::Sender<Result<ServeResponse, LuPlanError>>,
+}
+
+/// A thread-pool front end over a shared [`PlanCache`]: submit
+/// [`ServeRequest`]s, collect [`Ticket`]s, wait for
+/// [`ServeResponse`]s. Every worker holds one long-lived
+/// [`LuWorkspace`] and factors against cache-shared plans — steady
+/// state does no symbolic work and no per-request table or
+/// accumulator allocation. Dropping the service drains the queue and
+/// joins the workers.
+pub struct FactorService {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    cache: Arc<PlanCache>,
+}
+
+impl FactorService {
+    /// Spawn `n_workers` serving threads (at least one) over `cache`.
+    pub fn new(n_workers: usize, cache: Arc<PlanCache>) -> Self {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..n_workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    let mut ws = LuWorkspace::new();
+                    loop {
+                        // Hold the queue lock only for the dequeue.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // service dropped, queue drained
+                        };
+                        let result = Self::run(&cache, &mut ws, &job.req);
+                        // A dropped ticket just discards the response.
+                        let _ = job.reply.send(result);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            workers,
+            cache,
+        }
+    }
+
+    /// The shared plan cache (e.g. for [`PlanCache::stats`]).
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// Number of serving threads.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a request; the returned [`Ticket`] resolves when a
+    /// worker has factored (and solved) it.
+    pub fn submit(&self, req: ServeRequest) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(Job { req, reply })
+            .expect("workers live until drop");
+        Ticket { rx }
+    }
+
+    /// Submit and wait: one factor (+ solves) through the pool.
+    pub fn call(&self, req: ServeRequest) -> Result<ServeResponse, LuPlanError> {
+        self.submit(req).wait()
+    }
+
+    fn run(
+        cache: &PlanCache,
+        ws: &mut LuWorkspace,
+        req: &ServeRequest,
+    ) -> Result<ServeResponse, LuPlanError> {
+        let plan = cache.get_or_compile(&req.a, &req.opts)?;
+        let factor = plan.factor_with(&req.a, ws)?;
+        let solutions = if req.rhs.is_empty() {
+            Vec::new()
+        } else {
+            factor.solve_batch(&req.rhs)
+        };
+        Ok(ServeResponse { factor, solutions })
+    }
+}
+
+impl Drop for FactorService {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain the queue and exit.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sympiler_sparse::gen;
+
+    fn opts() -> SympilerOptions {
+        SympilerOptions::default()
+    }
+
+    #[test]
+    fn structural_hash_is_pattern_and_options_keyed() {
+        let a = gen::circuit_unsym(50, 4, 2, 3);
+        let mut a2 = a.clone();
+        for v in a2.values_mut() {
+            *v *= -3.5; // values must not matter
+        }
+        assert_eq!(structural_hash(&a, &opts()), structural_hash(&a2, &opts()));
+        let b = gen::circuit_unsym(50, 4, 2, 4); // different pattern
+        assert_ne!(structural_hash(&a, &opts()), structural_hash(&b, &opts()));
+        let other = SympilerOptions {
+            ordering: crate::Ordering::Colamd,
+            ..opts()
+        };
+        assert_ne!(structural_hash(&a, &opts()), structural_hash(&a, &other));
+    }
+
+    #[test]
+    fn same_pattern_different_options_are_distinct_entries() {
+        let a = gen::circuit_unsym(40, 4, 2, 5);
+        let cache = PlanCache::new(CacheConfig::default());
+        let p1 = cache.get_or_compile(&a, &opts()).unwrap();
+        let colamd = SympilerOptions {
+            ordering: crate::Ordering::Colamd,
+            ..opts()
+        };
+        let p2 = cache.get_or_compile(&a, &colamd).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+        // And each keeps answering its own options.
+        assert!(Arc::ptr_eq(
+            &p1,
+            &cache.get_or_compile(&a, &opts()).unwrap()
+        ));
+        assert!(Arc::ptr_eq(
+            &p2,
+            &cache.get_or_compile(&a, &colamd).unwrap()
+        ));
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn hash_collision_is_rejected_by_exact_checks() {
+        // Plant a foreign plan under pattern `a`'s key: the lookup
+        // must see through the colliding hash (exact pattern check
+        // fails), compile the right plan, and keep both in one bucket.
+        let a = gen::circuit_unsym(40, 4, 2, 5);
+        let b = gen::circuit_unsym(30, 4, 2, 6);
+        let key = structural_hash(&a, &opts());
+        let cache = PlanCache::new(CacheConfig::default());
+        let foreign_lu = SympilerLu::compile(&b, &opts()).unwrap();
+        cache.insert_raw(
+            key,
+            Arc::new(CachedPlan {
+                key,
+                opts: opts(),
+                bytes: foreign_lu.plan().table_bytes(),
+                lu: foreign_lu,
+            }),
+        );
+        let p = cache.get_or_compile(&a, &opts()).unwrap();
+        assert_eq!(p.plan().n(), 40, "must not serve the colliding plan");
+        assert_eq!(cache.stats().misses, 1, "collision is a miss, not a hit");
+        assert_eq!(cache.len(), 2, "collided entries coexist in the bucket");
+        // Now both resolve correctly.
+        assert!(Arc::ptr_eq(&p, &cache.get_or_compile(&a, &opts()).unwrap()));
+        assert_eq!(cache.get_or_compile(&b, &opts()).unwrap().plan().n(), 30);
+    }
+
+    #[test]
+    fn lru_eviction_under_entry_pressure() {
+        let mats: Vec<_> = (0..3)
+            .map(|s| gen::circuit_unsym(30 + s, 4, 2, s as u64))
+            .collect();
+        let cache = PlanCache::new(CacheConfig {
+            max_entries: 2,
+            max_bytes: 0,
+        });
+        cache.get_or_compile(&mats[0], &opts()).unwrap();
+        cache.get_or_compile(&mats[1], &opts()).unwrap();
+        // Touch 0 so 1 becomes the LRU victim.
+        cache.get_or_compile(&mats[0], &opts()).unwrap();
+        cache.get_or_compile(&mats[2], &opts()).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // 0 and 2 are resident (hits); 1 was evicted (miss).
+        let before = cache.stats().misses;
+        cache.get_or_compile(&mats[0], &opts()).unwrap();
+        cache.get_or_compile(&mats[2], &opts()).unwrap();
+        assert_eq!(cache.stats().misses, before);
+        cache.get_or_compile(&mats[1], &opts()).unwrap();
+        assert_eq!(cache.stats().misses, before + 1, "LRU victim was 1");
+    }
+
+    #[test]
+    fn byte_bound_evicts_and_stats_track_residency() {
+        let a = gen::circuit_unsym(60, 4, 2, 1);
+        let b = gen::circuit_unsym(70, 4, 2, 2);
+        let probe = PlanCache::new(CacheConfig::default());
+        let pa = probe.get_or_compile(&a, &opts()).unwrap();
+        // Bound below the two plans' combined footprint: admitting the
+        // second must evict the first.
+        let cache = PlanCache::new(CacheConfig {
+            max_entries: 0,
+            max_bytes: pa.bytes() + pa.bytes() / 2,
+        });
+        cache.get_or_compile(&a, &opts()).unwrap();
+        assert_eq!(cache.stats().bytes, pa.bytes());
+        cache.get_or_compile(&b, &opts()).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "byte bound holds one plan");
+        assert!(s.evictions >= 1);
+        // Never evicts below one entry even when oversized.
+        let tiny = PlanCache::new(CacheConfig {
+            max_entries: 0,
+            max_bytes: 1,
+        });
+        tiny.get_or_compile(&a, &opts()).unwrap();
+        assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn cache_counters_land_on_the_profiler() {
+        let prof = Arc::new(Profiler::enabled());
+        let cache = PlanCache::with_profiler(CacheConfig::default(), Arc::clone(&prof));
+        let a = gen::circuit_unsym(40, 4, 2, 9);
+        cache.get_or_compile(&a, &opts()).unwrap();
+        cache.get_or_compile(&a, &opts()).unwrap();
+        assert_eq!(prof.counter_value("serve.cache.miss"), 1);
+        assert_eq!(prof.counter_value("serve.cache.hit"), 1);
+    }
+}

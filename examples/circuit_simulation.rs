@@ -1,81 +1,111 @@
 //! Circuit / power-grid simulation scenario (paper §1.2): a
-//! Newton-Raphson-style loop factorizes a Jacobian with a **fixed
-//! sparsity pattern** at every iteration while its values change —
-//! "a change in the sparsity structure occurs on rare occasions".
+//! Newton-Raphson-style loop factorizes an **unsymmetric** circuit
+//! Jacobian at every iteration while its values change — "a change in
+//! the sparsity structure occurs on rare occasions".
 //!
-//! Sympiler compiles once for the pattern and only the numeric
-//! factorization runs per iteration; the baseline (Eigen-like
-//! simplicial) redoes its coupled symbolic work every time.
+//! Two implementations of the same transient run:
+//!
+//! * the **anti-pattern** — `SympilerLu::compile()` + `factor()` per
+//!   iteration, paying the symbolic inspector every time;
+//! * the **serving path** — every iteration submits a factor+solve
+//!   request to a [`FactorService`] thread pool backed by a shared
+//!   [`PlanCache`]; the pattern compiles once (the first request's
+//!   miss) and every later iteration is a cache hit running
+//!   numeric-only code against the `Arc`-shared plan.
+//!
+//! The two paths are verified **bitwise identical** per iteration —
+//! serving changes where the work runs, never what it computes.
 //!
 //! Run with: `cargo run --release --example circuit_simulation`
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use sympiler::prelude::*;
-use sympiler::solvers::SimplicialCholesky;
 use sympiler::sparse::{gen, ops};
 
 fn main() {
-    // Circuit-like SPD Jacobian: sparse local graph + hub rails,
-    // RCM-ordered once at netlist load (like a real simulator).
-    let raw = gen::circuit_like_spanned(2000, 5, 4, 40, 11);
-    let (a0, _perm) = sympiler::graph::rcm::rcm_permute(&raw);
+    // Unsymmetric circuit Jacobian: sparse local graph + hub rails,
+    // row-sum dominant diagonal (statically pivoted LU is safe).
+    let a0 = gen::circuit_unsym(1500, 4, 3, 11);
     let n = a0.n_cols();
     let iterations = 20;
     println!(
-        "circuit Jacobian: n={n}, nnz={} (lower), {iterations} NR iterations",
+        "circuit Jacobian: n={n}, nnz={}, {iterations} NR iterations",
         a0.nnz()
     );
 
-    // Compile once (symbolic), like a simulator would at netlist load.
-    let t0 = Instant::now();
-    let chol = SympilerCholesky::compile(&a0, &SympilerOptions::default()).expect("SPD");
-    let compile_time = t0.elapsed();
+    let opts = SympilerOptions::default();
+    let cache = Arc::new(PlanCache::new(CacheConfig::default()));
+    let service = FactorService::new(2, Arc::clone(&cache));
 
-    let eigen = SimplicialCholesky::analyze(&a0).expect("SPD");
-
-    // Newton-Raphson loop: values drift each iteration, pattern fixed.
-    let mut a = a0.clone();
-    let mut x_prev = vec![0.0; n];
-    let (mut t_symp, mut t_eigen) = (std::time::Duration::ZERO, std::time::Duration::ZERO);
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
+    let (mut t_naive, mut t_served) = (Duration::ZERO, Duration::ZERO);
     for it in 0..iterations {
-        // Perturb values deterministically (keeps SPD: diagonal grows).
-        let nnz = a.nnz();
-        {
-            let vals = a.values_mut();
-            for (k, v) in vals.iter_mut().enumerate() {
-                let bump = 1.0 + 0.01 * (((k + it * 7919) % 13) as f64) / 13.0;
-                *v *= bump;
-            }
-            let _ = nnz;
+        // Values drift deterministically each NR step, pattern fixed.
+        let mut a = a0.clone();
+        for (k, v) in a.values_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 0.01 * (((k + it * 7919) % 13) as f64) / 13.0;
         }
 
-        // Sympiler numeric-only factorization + solve.
+        // Anti-pattern: recompile the unchanged pattern every step.
         let t = Instant::now();
-        let f = chol.factor(&a).expect("factor");
-        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64).collect();
-        let x = f.solve(&b);
-        t_symp += t.elapsed();
+        let naive = SympilerLu::compile(&a, &opts)
+            .expect("compile")
+            .factor(&a)
+            .expect("factor");
+        let x_naive = naive.solve(&b);
+        t_naive += t.elapsed();
 
-        // Baseline.
+        // Serving path: one request through the pool + shared cache.
         let t = Instant::now();
-        let xe = eigen.solve(&a, &b).expect("factor");
-        t_eigen += t.elapsed();
+        let resp = service
+            .submit(ServeRequest {
+                a: a.clone(),
+                opts: opts.clone(),
+                rhs: vec![b.clone()],
+            })
+            .wait()
+            .expect("served factor");
+        t_served += t.elapsed();
 
-        for (p, q) in x.iter().zip(&xe) {
-            assert!((p - q).abs() < 1e-8 * (1.0 + p.abs()), "engines disagree");
-        }
-        let resid = ops::rel_residual_sym_lower(&a, &x, &b);
-        assert!(resid < 1e-10);
-        x_prev = x;
+        // Bitwise agreement: the served factor and solution are the
+        // direct path's, exactly.
+        assert!(
+            resp.factor
+                .l()
+                .values()
+                .iter()
+                .chain(resp.factor.u().values())
+                .zip(naive.l().values().iter().chain(naive.u().values()))
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "served factor diverged at iteration {it}"
+        );
+        assert!(
+            resp.solutions[0]
+                .iter()
+                .zip(&x_naive)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "served solution diverged at iteration {it}"
+        );
+        assert!(ops::rel_residual(&a, &resp.solutions[0], &b) < 1e-10);
     }
-    let _ = x_prev;
-    println!("Sympiler compile (once):      {compile_time:?}");
-    println!("Sympiler numeric x{iterations}:         {t_symp:?}");
-    println!("Eigen-like numeric x{iterations}:       {t_eigen:?}");
+
+    let stats = cache.stats();
     println!(
-        "numeric speedup: {:.2}x; compile amortizes after ~{:.0} iterations",
-        t_eigen.as_secs_f64() / t_symp.as_secs_f64(),
-        compile_time.as_secs_f64()
-            / ((t_eigen.as_secs_f64() - t_symp.as_secs_f64()).max(1e-12) / iterations as f64)
+        "plan cache: {} compile(s), {} hit(s) (hit rate {:.3})",
+        stats.misses,
+        stats.hits,
+        stats.hit_rate()
     );
+    assert!(
+        stats.misses <= 2,
+        "one pattern must compile at most twice (two workers can race the first request)"
+    );
+    println!("recompile-per-step x{iterations}: {t_naive:?}");
+    println!("served (cache + pool) x{iterations}: {t_served:?}");
+    println!(
+        "serving speedup: {:.2}x (symbolic cost paid once, not {iterations} times)",
+        t_naive.as_secs_f64() / t_served.as_secs_f64().max(1e-12)
+    );
+    println!("circuit_simulation OK");
 }

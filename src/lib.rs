@@ -85,11 +85,15 @@ pub mod prelude {
         SympilerTriSolve,
     };
     pub use sympiler_core::plan::chol::CholFactor;
-    pub use sympiler_core::plan::lu::{LuFactor, LuPlan};
+    pub use sympiler_core::plan::lu::{BatchError, LuFactor, LuPlan, LuWorkspace};
     #[cfg(feature = "parallel")]
     pub use sympiler_core::plan::lu_parallel::ParallelLuPlan;
     pub use sympiler_core::plan::lu_supernodal::SupernodalLuPlan;
     pub use sympiler_core::plan::tri::TriSolvePlan;
+    pub use sympiler_core::serve::{
+        CacheConfig, CacheStats, CachedPlan, FactorService, PlanCache, ServeRequest, ServeResponse,
+        Ticket,
+    };
     pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};
     pub use sympiler_solvers::lu::{GpLu, GpLuFactors, Pivoting};
     pub use sympiler_sparse::{CscMatrix, SparseVec, TripletMatrix};

@@ -1,0 +1,298 @@
+//! Serving-layer integration tests: the [`PlanCache`] under concurrent
+//! mixed-pattern load and eviction pressure, batched factorization
+//! against every execution tier, the blocked multi-RHS solve, and the
+//! [`FactorService`] end to end — all verified against the direct
+//! `compile()` + `factor()` path, bitwise where the tier promises it.
+
+use std::sync::Arc;
+use sympiler::prelude::*;
+use sympiler::sparse::gen;
+
+/// Same pattern, fresh values — the request-stream shape.
+fn perturbed(base: &CscMatrix, k: usize) -> CscMatrix {
+    let mut a = base.clone();
+    let s = 1.0 + 0.001 * ((k % 13) as f64) + 1e-6 * (k as f64);
+    for v in a.values_mut() {
+        *v *= s;
+    }
+    a
+}
+
+fn bitwise_eq(a: &LuFactor, b: &LuFactor) -> bool {
+    a.l()
+        .values()
+        .iter()
+        .chain(a.u().values())
+        .zip(b.l().values().iter().chain(b.u().values()))
+        .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn close(a: &LuFactor, b: &LuFactor, tol: f64) -> bool {
+    a.l()
+        .values()
+        .iter()
+        .chain(a.u().values())
+        .zip(b.l().values().iter().chain(b.u().values()))
+        .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs()))
+}
+
+/// Many threads hammer one cache with a mix of patterns sized so the
+/// working set exceeds the entry bound: hits, misses, recompiles of
+/// evicted patterns, and (thanks to `Arc`) plans staying alive in
+/// flight after eviction — all while every factor must stay bitwise
+/// identical to an uncached compile of the same matrix.
+#[test]
+fn concurrent_cache_stress_under_eviction_pressure() {
+    let patterns: Vec<CscMatrix> = (0..6)
+        .map(|k| gen::circuit_unsym(60 + 10 * k, 4, 2, 7 + k as u64))
+        .collect();
+    let opts = SympilerOptions::default();
+    // Room for 3 of the 6 patterns: a steady eviction churn.
+    let cache = Arc::new(PlanCache::new(CacheConfig {
+        max_entries: 3,
+        max_bytes: 0,
+    }));
+
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            let patterns = patterns.clone();
+            let opts = opts.clone();
+            std::thread::spawn(move || {
+                let mut ws = LuWorkspace::new();
+                for req in 0..40 {
+                    let base = &patterns[(t + req) % patterns.len()];
+                    let a = perturbed(base, t * 1000 + req);
+                    let plan = cache.get_or_compile(&a, &opts).expect("cached compile");
+                    let cached = plan.factor_with(&a, &mut ws).expect("cached factor");
+                    let direct = SympilerLu::compile(&a, &opts)
+                        .expect("direct compile")
+                        .factor(&a)
+                        .expect("direct factor");
+                    assert!(
+                        bitwise_eq(&cached, &direct),
+                        "thread {t} request {req}: cached factor diverged"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("stress thread");
+    }
+
+    let stats = cache.stats();
+    assert!(
+        stats.entries <= 3,
+        "entry bound violated: {}",
+        stats.entries
+    );
+    assert_eq!(
+        stats.hits + stats.misses,
+        8 * 40,
+        "every request is a hit or a miss"
+    );
+    assert!(stats.evictions > 0, "6 patterns through 3 slots must evict");
+    assert!(stats.hits > 0, "same-pattern requests must hit");
+    // 6 patterns cannot be served by fewer than 6 compiles.
+    assert!(stats.misses >= 6);
+}
+
+/// The cache is exact, not just hash-keyed: same pattern under
+/// different options are distinct plans, and both serve correctly.
+#[test]
+fn options_are_part_of_the_cache_key() {
+    let a = gen::convection_diffusion_2d(12, 12, 2.0, 5);
+    let cache = PlanCache::new(CacheConfig::default());
+    let serial = SympilerOptions::default();
+    let blocked = SympilerOptions {
+        block_lu: BlockLu::On,
+        ..SympilerOptions::default()
+    };
+    let p1 = cache.get_or_compile(&a, &serial).expect("serial");
+    let p2 = cache.get_or_compile(&a, &blocked).expect("blocked");
+    assert!(
+        !Arc::ptr_eq(&p1, &p2),
+        "distinct options must not share a plan"
+    );
+    assert_eq!(cache.stats().misses, 2);
+    let p1b = cache.get_or_compile(&a, &serial).expect("serial again");
+    assert!(Arc::ptr_eq(&p1, &p1b), "same (pattern, options) must hit");
+}
+
+/// Batched factorization agrees with the one-at-a-time loop on every
+/// execution tier: bitwise for the scalar serial and column-parallel
+/// tiers (whose batch path runs the same per-lane arithmetic), and to
+/// dense-kernel tolerance for the supernodal tier (whose `factor()`
+/// itself reassociates sums — the batch path delegates to it).
+#[test]
+fn factor_batch_agrees_on_all_three_tiers() {
+    let base = gen::convection_diffusion_2d(16, 16, 3.0, 9);
+    let mats: Vec<CscMatrix> = (0..5).map(|k| perturbed(&base, k)).collect();
+    let refs: Vec<&CscMatrix> = mats.iter().collect();
+
+    let tiers = [
+        ("serial", SympilerOptions::default(), true),
+        (
+            "parallel",
+            SympilerOptions {
+                n_threads: 3,
+                ..SympilerOptions::default()
+            },
+            true,
+        ),
+        (
+            "supernodal",
+            SympilerOptions {
+                block_lu: BlockLu::On,
+                ..SympilerOptions::default()
+            },
+            true,
+        ),
+    ];
+    for (name, opts, bitwise) in tiers {
+        let lu = SympilerLu::compile(&base, &opts).expect("compile");
+        let batched = lu.factor_batch(&refs).expect("batch");
+        assert_eq!(batched.len(), mats.len());
+        for (k, (b, a)) in batched.iter().zip(&mats).enumerate() {
+            let single = lu.factor(a).expect("single");
+            if bitwise {
+                assert!(
+                    bitwise_eq(b, &single),
+                    "{name} tier: batch[{k}] diverged from factor()"
+                );
+            } else {
+                assert!(close(b, &single, 1e-12), "{name} tier: batch[{k}] off");
+            }
+        }
+    }
+}
+
+/// A zero pivot anywhere in the batch aborts the whole call and names
+/// the offending matrix; the plan stays reusable afterwards.
+#[test]
+fn factor_batch_reports_the_failing_matrix() {
+    let base = gen::circuit_unsym(50, 4, 2, 3);
+    let lu = SympilerLu::compile(&base, &SympilerOptions::default()).expect("compile");
+    let good0 = perturbed(&base, 0);
+    let mut bad = perturbed(&base, 1);
+    // Zero a diagonal entry: structurally present, numerically fatal.
+    let diag_pos = (bad.col_ptr()[0]..bad.col_ptr()[1])
+        .find(|&p| bad.row_idx()[p] == 0)
+        .expect("circuit generator keeps a full diagonal");
+    bad.values_mut()[diag_pos] = 0.0;
+    let good2 = perturbed(&base, 2);
+    let err = lu
+        .factor_batch(&[&good0, &bad, &good2])
+        .expect_err("zero pivot must fail");
+    assert_eq!(err.index, 1, "error must name the batch position: {err}");
+    // The plan (and a fresh batch) still works.
+    let ok = lu.factor_batch(&[&good0, &good2]).expect("clean batch");
+    assert!(bitwise_eq(&ok[0], &lu.factor(&good0).expect("single")));
+}
+
+/// Blocked multi-RHS solve is bitwise per-RHS `solve()`.
+#[test]
+fn solve_batch_is_bitwise_per_rhs() {
+    let a = gen::convection_diffusion_2d(14, 14, 2.5, 4);
+    let n = a.n_cols();
+    let lu = SympilerLu::compile(&a, &SympilerOptions::default()).expect("compile");
+    let f = lu.factor(&a).expect("factor");
+    let rhs: Vec<Vec<f64>> = (0..7)
+        .map(|r| (0..n).map(|i| 0.5 + ((i * 3 + r) % 11) as f64).collect())
+        .collect();
+    let xs = f.solve_batch(&rhs);
+    assert_eq!(xs.len(), rhs.len());
+    for (r, x) in xs.iter().enumerate() {
+        let want = f.solve(&rhs[r]);
+        assert!(
+            x.iter().zip(&want).all(|(p, q)| p.to_bits() == q.to_bits()),
+            "rhs {r} diverged"
+        );
+    }
+    assert!(f.solve_batch(&Vec::<Vec<f64>>::new()).is_empty());
+}
+
+/// End to end: a mixed-pattern request stream through the thread-pool
+/// service, every response checked against the direct path.
+#[test]
+fn service_serves_mixed_patterns_correctly() {
+    let patterns: Vec<CscMatrix> = (0..3)
+        .map(|k| gen::circuit_unsym(70 + 15 * k, 4, 2, 21 + k as u64))
+        .collect();
+    let opts = SympilerOptions::default();
+    let cache = Arc::new(PlanCache::new(CacheConfig::default()));
+    let service = FactorService::new(3, Arc::clone(&cache));
+
+    let requests: Vec<CscMatrix> = (0..24)
+        .map(|req| perturbed(&patterns[req % patterns.len()], req))
+        .collect();
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|a| {
+            let b: Vec<f64> = (0..a.n_cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+            service.submit(ServeRequest {
+                a: a.clone(),
+                opts: opts.clone(),
+                rhs: vec![b],
+            })
+        })
+        .collect();
+    for (req, t) in tickets.into_iter().enumerate() {
+        let resp: ServeResponse = t.wait().expect("served");
+        let a = &requests[req];
+        let direct = SympilerLu::compile(a, &opts)
+            .expect("direct compile")
+            .factor(a)
+            .expect("direct factor");
+        assert!(
+            bitwise_eq(&resp.factor, &direct),
+            "request {req}: served factor diverged"
+        );
+        let b: Vec<f64> = (0..a.n_cols()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let want = direct.solve(&b);
+        assert!(
+            resp.solutions[0]
+                .iter()
+                .zip(&want)
+                .all(|(p, q)| p.to_bits() == q.to_bits()),
+            "request {req}: served solution diverged"
+        );
+    }
+    let stats = cache.stats();
+    // 3 patterns, 3 workers: at most one racing compile extra each.
+    assert!(stats.misses <= 6, "too many compiles: {}", stats.misses);
+    assert!(stats.hits >= 18);
+}
+
+/// A zero-pivot request surfaces the factorization error through the
+/// ticket without poisoning the service for later requests.
+#[test]
+fn service_propagates_factor_errors() {
+    let base = gen::circuit_unsym(40, 4, 2, 5);
+    let opts = SympilerOptions::default();
+    let service = FactorService::new(2, Arc::new(PlanCache::new(CacheConfig::default())));
+    let mut bad = base.clone();
+    for v in bad.values_mut() {
+        *v = 0.0;
+    }
+    let err = service
+        .submit(ServeRequest {
+            a: bad,
+            opts: opts.clone(),
+            rhs: Vec::new(),
+        })
+        .wait();
+    assert!(err.is_err(), "all-zero matrix must fail to factor");
+    let ok = service
+        .submit(ServeRequest {
+            a: base.clone(),
+            opts,
+            rhs: Vec::new(),
+        })
+        .wait();
+    assert!(
+        ok.is_ok(),
+        "service must keep serving after a failed request"
+    );
+}
