@@ -6,8 +6,10 @@
 //! parallelism under each `Ordering` — the two numbers a fill-reducing
 //! ordering exists to move. The zero-diagonal rows additionally carry
 //! the numerical-health monitors of a transversal-pre-pivoted
-//! factorization (pivot growth and the smallest pivot magnitude) —
-//! the quantities that motivate the weighted matching.
+//! factorization (pivot growth, the smallest pivot magnitude, and the
+//! componentwise backward error after iterative refinement) — the
+//! quantities that motivate the weighted matching and calibrate the
+//! recovery ladder's refinement rung.
 //!
 //! Usage: `cargo run -p sympiler-bench --release --bin suite_stats [--test]`
 
@@ -91,6 +93,7 @@ fn main() {
             "factor MFLOP",
             "growth",
             "min piv",
+            "refined berr",
         ],
     );
     for p in unsym_suite(scale) {
@@ -116,20 +119,30 @@ fn main() {
             // Health of the transversal-pre-pivoted factorization on
             // the degenerate problems: how hard the pattern-only
             // matching strains static pivoting under this ordering.
-            let (growth, min_piv) = if p.zero_diag {
+            let (growth, min_piv, berr) = if p.zero_diag {
                 let health =
                     LuPlan::build_pivoted(&p.matrix, true, 2, ordering, PrePivot::Transversal)
                         .ok()
                         .and_then(|plan| {
                             let f = plan.factor(&p.matrix).ok()?;
-                            Some(plan.health_of(&p.matrix, &f))
+                            let h = plan.health_of(&p.matrix, &f);
+                            // The refinement rung's calibration: how
+                            // far the pattern-only pre-pivot's berr
+                            // falls once refinement absorbs the growth.
+                            let b: Vec<f64> = (0..p.n()).map(|i| 1.0 + (i % 7) as f64).collect();
+                            let (_, rep) = f.solve_refined(&p.matrix, &b, 1e-12, 10);
+                            Some((h, rep.final_berr))
                         });
                 match health {
-                    Some(h) => (format!("{:.1e}", h.growth), format!("{:.1e}", h.min_pivot)),
-                    None => ("fail".to_string(), "fail".to_string()),
+                    Some((h, berr)) => (
+                        format!("{:.1e}", h.growth),
+                        format!("{:.1e}", h.min_pivot),
+                        format!("{berr:.1e}"),
+                    ),
+                    None => ("fail".to_string(), "fail".to_string(), "fail".to_string()),
                 }
             } else {
-                ("-".to_string(), "-".to_string())
+                ("-".to_string(), "-".to_string(), "-".to_string())
             };
             u.row(vec![
                 p.id.to_string(),
@@ -145,6 +158,7 @@ fn main() {
                 format!("{:.1}", sym.factor_flops() as f64 / 1e6),
                 growth,
                 min_piv,
+                berr,
             ]);
         }
     }

@@ -132,6 +132,28 @@ pub struct SympilerOptions {
     /// numeric phase stays bitwise identical either way (all
     /// instrumentation is observational).
     pub profile: bool,
+    /// Static pivot perturbation tolerance (layer 1 of the recovery
+    /// ladder, SuperLU_DIST's idea under the static-pivoting
+    /// contract): during the numeric phase, a pivot whose magnitude
+    /// falls below `pivot_perturb · max|A values|` is replaced by
+    /// `±pivot_perturb · max|A values|` and recorded in the factor's
+    /// [`crate::plan::lu::PerturbReport`]; factorization continues
+    /// instead of failing with a zero pivot. The perturbed factors
+    /// solve a *nearby* system — follow with
+    /// [`crate::plan::lu::LuFactor::solve_refined`] (or drive through
+    /// [`crate::robust::RobustLu`]) to repair the answer. `0.0` (the
+    /// default) disables the guard entirely: the numeric phase is
+    /// bitwise identical to a build without this feature. A typical
+    /// enabled value is `1e-8` (≈√ε).
+    pub pivot_perturb: f64,
+    /// Escalation policy for [`crate::robust::RobustLu`] (layer 3 of
+    /// the recovery ladder) and, when
+    /// [`RecoveryPolicy::serve_escalate`] is set, for per-request
+    /// retry in [`crate::serve::FactorService`]. Part of the plan-
+    /// cache identity like every other option.
+    ///
+    /// [`RecoveryPolicy::serve_escalate`]: crate::robust::RecoveryPolicy::serve_escalate
+    pub recovery: crate::robust::RecoveryPolicy,
 }
 
 impl Default for SympilerOptions {
@@ -149,6 +171,8 @@ impl Default for SympilerOptions {
             max_panel: 32,
             pre_pivot: PrePivot::Off,
             profile: false,
+            pivot_perturb: 0.0,
+            recovery: crate::robust::RecoveryPolicy::default(),
         }
     }
 }
@@ -420,7 +444,8 @@ impl SympilerLu {
             opts.ordering,
             opts.pre_pivot,
             profiler,
-        )?;
+        )?
+        .with_pivot_perturbation(opts.pivot_perturb);
         // Supernodal tier: under `Auto`, engage only when blocking
         // pays (mean panel width ≥ 2 — the VS-Block threshold idea
         // applied to LU). The threshold needs only the O(nnz) panel
@@ -766,6 +791,12 @@ mod tests {
         assert_eq!(o.max_panel, 32, "panel cap keeps block buffers small");
         assert_eq!(o.pre_pivot, PrePivot::Off, "no pre-pivot by default");
         assert!(!o.profile, "observability off by default");
+        assert_eq!(o.pivot_perturb, 0.0, "perturbation off = bitwise seed");
+        let r = &o.recovery;
+        assert_eq!(r.berr_tol, 1e-12, "recovery targets full precision");
+        assert_eq!(r.max_refine_iters, 10, "bounded refinement");
+        assert!(r.allow_refactor, "baseline fallback on by default");
+        assert!(!r.serve_escalate, "serving keeps its bitwise contract");
     }
 
     #[test]

@@ -42,15 +42,20 @@ pub mod interp;
 pub mod lower;
 pub mod plan;
 pub mod report;
+pub mod robust;
 pub mod serve;
 pub mod transform;
 
 pub use compile::{
     BlockLu, Ordering, PrePivot, SympilerCholesky, SympilerLu, SympilerOptions, SympilerTriSolve,
 };
-pub use plan::lu::{BatchError, LuWorkspace};
+pub use plan::lu::{BatchError, LuWorkspace, PerturbReport, RefineReport};
 pub use report::SymbolicReport;
-pub use serve::{CacheConfig, CacheStats, CachedPlan, FactorService, PlanCache};
+pub use robust::{Recovered, RecoveryError, RecoveryPolicy, RobustLu, Rung};
+pub use serve::{
+    CacheConfig, CacheStats, CachedPlan, FactorService, PlanCache, ServeError, ServeRequest,
+    ServeResponse, Ticket,
+};
 // Observability layer (spans, counters, health monitors) — re-exported
 // so downstream users can drive profiling without naming the obs crate.
 pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};

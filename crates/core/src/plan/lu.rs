@@ -32,8 +32,12 @@ use sympiler_graph::transversal::PrePivot;
 use sympiler_obs::{LuHealth, Profiler};
 use sympiler_sparse::{CscMatrix, SparseVec};
 
-/// LU plan error (kept separate from the solvers' error type so
-/// `sympiler-core` does not depend on `sympiler-solvers`).
+/// LU plan error (kept separate from the solvers' [`LuError`] — the
+/// plan's failure modes are pattern- and schedule-shaped, the
+/// baseline's are not; [`crate::robust::RecoveryError`] wraps both
+/// when the recovery ladder exhausts its rungs).
+///
+/// [`LuError`]: sympiler_solvers::lu::LuError
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LuPlanError {
     /// Bad input shape/storage.
@@ -96,6 +100,119 @@ impl std::error::Error for BatchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.error)
     }
+}
+
+/// Record of the static pivot perturbations a factorization applied
+/// (SuperLU_DIST's recovery idea under the static-pivoting contract):
+/// every column whose pivot magnitude fell below `tol · max|A|` had the
+/// pivot replaced by `±tol · max|A|` so factorization could continue.
+/// Empty — and the factorization bitwise identical to an unperturbed
+/// run — whenever no pivot crossed the threshold or perturbation is
+/// off (`tol = 0`). A non-empty report means the factors solve a
+/// *nearby* system; run [`LuFactor::solve_refined`] against the
+/// original matrix to repair the answer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerturbReport {
+    /// Columns (factor coordinates) whose pivot was replaced, in
+    /// ascending order.
+    pub columns: Vec<usize>,
+    /// The replacement magnitude used for this factorization:
+    /// `tol · max|A values|` (0 when perturbation is off).
+    pub threshold: f64,
+}
+
+impl PerturbReport {
+    /// True when no pivot was touched.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Number of perturbed columns.
+    pub fn count(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// Outcome of [`LuFactor::solve_refined`]'s iterative-refinement loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefineReport {
+    /// Correction iterations performed (0 when the direct solve was
+    /// already below tolerance).
+    pub iterations: usize,
+    /// Componentwise backward error of the direct solve.
+    pub initial_berr: f64,
+    /// Componentwise backward error of the returned solution.
+    pub final_berr: f64,
+    /// True when `final_berr <= tol`.
+    pub converged: bool,
+}
+
+/// Per-column pivot outcome of the shared column kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PivotStatus {
+    /// Pivot used as computed.
+    Clean,
+    /// Pivot magnitude fell below the perturbation threshold and was
+    /// replaced by `±threshold`.
+    Perturbed,
+    /// Pivot exactly zero with perturbation off — the column failed.
+    Zero,
+}
+
+/// Run the residual/correction loop of iterative refinement around an
+/// arbitrary solver: `x = solve(b)`, then repeatedly `x += solve(b -
+/// A·x)` until the componentwise backward error
+/// `max_i |r_i| / (|A||x| + |b|)_i` drops to `tol`, `max_iter`
+/// corrections have run, or the error stagnates (not halved by an
+/// iteration — the LAPACK `xGERFS` stopping rule). Returns the best
+/// iterate seen. Shared by [`LuFactor::solve_refined`] and the
+/// recovery driver's last-resort rung, which refines around the
+/// partial-pivoting baseline.
+pub fn refine_with<F: Fn(&[f64]) -> Vec<f64>>(
+    a: &CscMatrix,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    solve: F,
+) -> (Vec<f64>, RefineReport) {
+    use sympiler_sparse::ops::componentwise_berr;
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut x = solve(b);
+    let initial_berr = componentwise_berr(a, &x, b);
+    let mut best = x.clone();
+    let mut best_berr = initial_berr;
+    let mut berr = initial_berr;
+    let mut iterations = 0;
+    let mut r = vec![0.0f64; n];
+    while berr > tol && iterations < max_iter && berr.is_finite() {
+        sympiler_sparse::ops::spmv(a, &x, &mut r);
+        for (ri, bi) in r.iter_mut().zip(b) {
+            *ri = bi - *ri;
+        }
+        let d = solve(&r);
+        for (xi, di) in x.iter_mut().zip(&d) {
+            *xi += di;
+        }
+        iterations += 1;
+        let new_berr = componentwise_berr(a, &x, b);
+        if new_berr < best_berr {
+            best_berr = new_berr;
+            best.copy_from_slice(&x);
+        }
+        let stagnated = new_berr > 0.5 * berr;
+        berr = new_berr;
+        if stagnated {
+            break;
+        }
+    }
+    let report = RefineReport {
+        iterations,
+        initial_berr,
+        final_berr: best_berr,
+        converged: best_berr <= tol,
+    };
+    (best, report)
 }
 
 /// Reusable per-factorization scratch state, split out of the
@@ -187,6 +304,13 @@ pub struct LuPlan {
     /// present in `A` (the matched diagonals, `n` after any successful
     /// pre-pivot) — the deterministic quantity the perf gate tracks.
     matched_diag: usize,
+    /// Static pivot-perturbation tolerance: a pivot whose magnitude
+    /// falls below `perturb_tol · max|A values|` is replaced by the
+    /// signed threshold and recorded, instead of failing (or silently
+    /// amplifying). `0.0` disables perturbation entirely — the guard
+    /// `|pivot| < 0` never fires, so the numeric phase is bitwise the
+    /// unperturbed code path.
+    perturb_tol: f64,
     /// The compiled permutations, `None` when both knobs resolve to
     /// the identity. All factor layouts and schedules below live in
     /// pivoted + ordered coordinates.
@@ -246,6 +370,8 @@ pub struct LuFactor {
     /// Numerical-health monitors, recorded only when the producing
     /// plan was compiled with profiling enabled.
     health: Option<LuHealth>,
+    /// Which columns (if any) had their pivot statically perturbed.
+    perturb: PerturbReport,
 }
 
 impl LuFactor {
@@ -284,6 +410,15 @@ impl LuFactor {
     /// unprofiled factor, see [`LuPlan::health_of`].
     pub fn health(&self) -> Option<&LuHealth> {
         self.health.as_ref()
+    }
+
+    /// The static pivot perturbations this factorization applied —
+    /// empty unless the producing plan had perturbation enabled *and*
+    /// at least one pivot fell below the threshold. A non-empty report
+    /// means the factors belong to a nearby matrix; pair with
+    /// [`Self::solve_refined`] to recover solutions of the original.
+    pub fn perturb_report(&self) -> &PerturbReport {
+        &self.perturb
     }
 
     /// Consume into `(L, U)`.
@@ -555,6 +690,31 @@ impl LuFactor {
         SparseVec::try_new(n, indices, vals).expect("reach emits unique in-range indices")
     }
 
+    /// Solve `A x = b` with iterative refinement against the caller's
+    /// **original** matrix: the direct [`Self::solve`], then
+    /// residual/correction sweeps (`x += solve(b - A·x)`) until the
+    /// componentwise backward error reaches `tol`, `max_iter`
+    /// corrections have run, or the error stagnates. Returns the best
+    /// iterate together with a [`RefineReport`].
+    ///
+    /// This is the recovery ladder's second rung: it repairs both
+    /// static pivot perturbation ([`Self::perturb_report`]) and the
+    /// element growth a pattern-only pre-pivot can admit — at the cost
+    /// of a few O(nnz) sweeps, with **no** recompilation and no
+    /// refactorization. `a` must be the matrix this factor was
+    /// computed from (any same-pattern matrix is accepted; the report
+    /// then describes backward error with respect to the matrix
+    /// given).
+    pub fn solve_refined(
+        &self,
+        a: &CscMatrix,
+        b: &[f64],
+        tol: f64,
+        max_iter: usize,
+    ) -> (Vec<f64>, RefineReport) {
+        refine_with(a, b, tol, max_iter, |rhs| self.solve(rhs))
+    }
+
     /// Magnitude of `det(A)`: the product of `U`'s diagonal.
     pub fn det_magnitude(&self) -> f64 {
         (0..self.u.n_cols())
@@ -745,6 +905,7 @@ impl LuPlan {
             ordering,
             pre_pivot,
             matched_diag,
+            perturb_tol: 0.0,
             baked,
             l_col_ptr: sym.l_col_ptr,
             l_row_idx: sym.l_row_idx.iter().map(|&r| r as u32).collect(),
@@ -797,6 +958,40 @@ impl LuPlan {
     /// The pre-pivoting strategy this plan was compiled with.
     pub fn pre_pivot(&self) -> PrePivot {
         self.pre_pivot
+    }
+
+    /// Enable SuperLU_DIST-style static pivot perturbation: during a
+    /// factorization of `a`, any pivot with `|pivot| < tol · max|A
+    /// values|` is replaced by `±tol · max|A values|` (keeping its
+    /// sign; `+` for an exact zero), the column is recorded in the
+    /// factor's [`PerturbReport`], and factorization continues. The
+    /// perturbed factors solve a nearby system — follow with
+    /// [`LuFactor::solve_refined`]. `tol = 0.0` (the default) turns
+    /// the mechanism off, leaving every numeric path bitwise
+    /// unchanged. Applies to all execution tiers built from this plan.
+    pub fn with_pivot_perturbation(mut self, tol: f64) -> Self {
+        assert!(
+            tol >= 0.0 && tol.is_finite(),
+            "perturbation tolerance must be finite and non-negative"
+        );
+        self.perturb_tol = tol;
+        self
+    }
+
+    /// The configured perturbation tolerance (0 when off).
+    pub fn pivot_perturbation(&self) -> f64 {
+        self.perturb_tol
+    }
+
+    /// The absolute replacement threshold for one factorization of
+    /// `a`: `perturb_tol · max|A values|` (0 when perturbation is off
+    /// — the column kernels' `|pivot| < 0` guard then never fires).
+    pub(crate) fn perturb_threshold(&self, a: &CscMatrix) -> f64 {
+        if self.perturb_tol == 0.0 {
+            return 0.0;
+        }
+        let max_abs_a = a.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        self.perturb_tol * max_abs_a
     }
 
     /// The compiled ordering `Q` (`perm[new] = old`), or `None` for
@@ -926,6 +1121,7 @@ impl LuPlan {
                 .filter(|_| self.ordering != Ordering::Natural)
                 .map(|b| b.cperm.clone()),
             health: None,
+            perturb: PerturbReport::default(),
         }
     }
 
@@ -936,7 +1132,13 @@ impl LuPlan {
     /// the factor. With profiling off this *is* `assemble` — no health
     /// pass runs, and the factor value arrays are untouched either
     /// way, so results stay bitwise identical.
-    pub(crate) fn finish(&self, a: &CscMatrix, lx: Vec<f64>, ux: Vec<f64>) -> LuFactor {
+    pub(crate) fn finish(
+        &self,
+        a: &CscMatrix,
+        lx: Vec<f64>,
+        ux: Vec<f64>,
+        perturb: PerturbReport,
+    ) -> LuFactor {
         let health = if self.profiler.is_enabled() {
             let h = self.compute_health(a, &ux);
             self.profiler.gauge("health.growth", h.growth);
@@ -948,8 +1150,14 @@ impl LuPlan {
         } else {
             None
         };
+        if !perturb.is_empty() {
+            self.profiler
+                .counter("lu.perturbed_cols")
+                .add(perturb.count() as u64);
+        }
         let mut f = self.assemble(lx, ux);
         f.health = health;
+        f.perturb = perturb;
         f
     }
 
@@ -1025,10 +1233,14 @@ impl LuPlan {
     /// The per-column numeric solve shared by the serial and parallel
     /// executors: scatter `A(:, j)`, apply the baked update schedule in
     /// topological order, gather `U(:, j)`/`L(:, j)` through the fixed
-    /// layouts, and clear the accumulator back to zero. Returns `false`
-    /// on a zero pivot; the column's values are still written (division
-    /// by zero is IEEE-defined), so a parallel caller may keep going
-    /// and report the error after the fact.
+    /// layouts, and clear the accumulator back to zero. `thresh` is
+    /// the absolute pivot-perturbation threshold for this
+    /// factorization ([`Self::perturb_threshold`]); a pivot below it
+    /// is replaced by the signed threshold and reported as
+    /// [`PivotStatus::Perturbed`]. Returns [`PivotStatus::Zero`] on a
+    /// zero pivot with perturbation off; the column's values are still
+    /// written (division by zero is IEEE-defined), so a parallel
+    /// caller may keep going and report the error after the fact.
     ///
     /// Keeping this in one place is what makes the parallel plan
     /// **bitwise deterministic**: every executor performs the exact
@@ -1051,7 +1263,8 @@ impl LuPlan {
         x: &mut [f64],
         lx: *mut f64,
         ux: *mut f64,
-    ) -> bool {
+        thresh: f64,
+    ) -> PivotStatus {
         // Scatter A(:, j) (fixed pattern, numeric-only). Under a baked
         // ordering, column j of Qᵀ A Q is column perm[j] of the
         // caller's original matrix with rows mapped through Q⁻¹ — the
@@ -1094,7 +1307,22 @@ impl LuPlan {
         for p in u_range.clone() {
             *ux.add(p) = x[self.u_row_idx[p] as usize];
         }
-        let pivot = *ux.add(u_range.end - 1);
+        let mut pivot = *ux.add(u_range.end - 1);
+        let mut status = PivotStatus::Clean;
+        // Static perturbation: with thresh == 0.0 (perturbation off)
+        // the strict `<` can never hold, so this branch compiles to
+        // the historical code path bit for bit.
+        if pivot.abs() < thresh {
+            pivot = if pivot.is_sign_negative() {
+                -thresh
+            } else {
+                thresh
+            };
+            *ux.add(u_range.end - 1) = pivot;
+            status = PivotStatus::Perturbed;
+        } else if pivot == 0.0 {
+            status = PivotStatus::Zero;
+        }
         // Gather L(:, j): unit diagonal, scaled sub-diagonal.
         let l_range = self.l_col_ptr[j]..self.l_col_ptr[j + 1];
         *lx.add(l_range.start) = 1.0;
@@ -1108,7 +1336,7 @@ impl LuPlan {
         for p in l_range.start + 1..l_range.end {
             x[self.l_row_idx[p] as usize] = 0.0;
         }
-        pivot != 0.0
+        status
     }
 
     /// Numeric factorization — no DFS, no allocation besides the factor
@@ -1139,6 +1367,8 @@ impl LuPlan {
         let mut lx = vec![0.0f64; self.l_row_idx.len()];
         let mut ux = vec![0.0f64; self.u_row_idx.len()];
         let x = ws.ensure(n);
+        let thresh = self.perturb_threshold(a);
+        let mut perturbed: Vec<usize> = Vec::new();
 
         // Instrumentation is purely observational (counts baked
         // pattern sizes, touches no numeric state), so profiled and
@@ -1158,10 +1388,15 @@ impl LuPlan {
             // SAFETY: single-threaded in-order execution — every
             // scheduled update column is already final, and column j's
             // value ranges are written exactly once, here.
-            let ok = unsafe { self.column_numeric(j, a, x, lx.as_mut_ptr(), ux.as_mut_ptr()) };
-            if !ok {
-                prof.end(span);
-                return Err(LuPlanError::ZeroPivot { column: j });
+            let status =
+                unsafe { self.column_numeric(j, a, x, lx.as_mut_ptr(), ux.as_mut_ptr(), thresh) };
+            match status {
+                PivotStatus::Clean => {}
+                PivotStatus::Perturbed => perturbed.push(j),
+                PivotStatus::Zero => {
+                    prof.end(span);
+                    return Err(LuPlanError::ZeroPivot { column: j });
+                }
             }
             if enabled {
                 flops_done += self.col_flops[j];
@@ -1181,7 +1416,15 @@ impl LuPlan {
             prof.counter("scalar.gather_elems").add(gather_elems);
             prof.end_with(span, &[("flops", flops_done as f64)]);
         }
-        Ok(self.finish(a, lx, ux))
+        Ok(self.finish(
+            a,
+            lx,
+            ux,
+            PerturbReport {
+                columns: perturbed,
+                threshold: thresh,
+            },
+        ))
     }
 
     /// Factor a batch of **same-pattern** matrices in one fused pass
@@ -1252,6 +1495,10 @@ impl LuPlan {
         // simple).
         let mut xk = vec![0.0f64; bsz];
         let mut failed: Option<(usize, usize)> = None; // (column, batch)
+                                                       // Per-lane perturbation thresholds (all 0.0 — and therefore
+                                                       // bitwise inert — when perturbation is off).
+        let threshs: Vec<f64> = mats.iter().map(|m| self.perturb_threshold(m)).collect();
+        let mut perturbed: Vec<Vec<usize>> = vec![Vec::new(); bsz];
 
         let prof = &*self.profiler;
         let enabled = prof.is_enabled();
@@ -1333,10 +1580,16 @@ impl LuPlan {
                     let lane = xp.add(self.u_row_idx[p] as usize * bsz) as *const f64;
                     std::ptr::copy_nonoverlapping(lane, uxp.add(p * bsz), bsz);
                 }
-                let piv = uxp.add((u_range.end - 1) * bsz) as *const f64;
-                if let Some(b) = (0..bsz).find(|&b| *piv.add(b) == 0.0) {
-                    failed = Some((j, b));
-                    break 'columns;
+                let piv = uxp.add((u_range.end - 1) * bsz);
+                for (b, &t) in threshs.iter().enumerate() {
+                    let p = *piv.add(b);
+                    if p.abs() < t {
+                        *piv.add(b) = if p.is_sign_negative() { -t } else { t };
+                        perturbed[b].push(j);
+                    } else if p == 0.0 {
+                        failed = Some((j, b));
+                        break 'columns;
+                    }
                 }
                 // Gather L(:, j): unit diagonal, sub-diagonal scaled
                 // by each lane's pivot.
@@ -1401,7 +1654,10 @@ impl LuPlan {
         let out = mats
             .iter()
             .zip(lx_cols.into_iter().zip(ux_cols))
-            .map(|(a, (lx, ux))| self.finish(a, lx, ux))
+            .zip(perturbed.into_iter().zip(threshs))
+            .map(|((a, (lx, ux)), (columns, threshold))| {
+                self.finish(a, lx, ux, PerturbReport { columns, threshold })
+            })
             .collect();
         Ok(out)
     }

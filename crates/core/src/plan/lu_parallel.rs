@@ -35,9 +35,9 @@
 //!   column `j` depend on `j - 1`) run at serial speed instead of
 //!   paying one barrier per column.
 
-use super::lu::{LuFactor, LuPlan, LuPlanError};
+use super::lu::{LuFactor, LuPlan, LuPlanError, PerturbReport, PivotStatus};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Barrier;
+use std::sync::{Barrier, Mutex};
 use sympiler_graph::levels::{balanced_partition, dag_levels_from_preds};
 use sympiler_sparse::CscMatrix;
 
@@ -243,6 +243,11 @@ impl ParallelLuPlan {
         // Workers flag and keep going (the kernel's values stay
         // IEEE-defined), so no consensus protocol is needed mid-run.
         let first_bad = AtomicUsize::new(usize::MAX);
+        // Static perturbation threshold (0.0 = off) and the merged
+        // perturbed-column record. Workers buffer locally and push once
+        // at the end, so the hot loop never touches the mutex.
+        let thresh = self.plan.perturb_threshold(a);
+        let perturbed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         // Observability (active only when the plan was compiled with
         // profiling): each worker records a `work` span per
         // barrier-separated segment and a `barrier` span per wait on
@@ -266,8 +271,10 @@ impl ParallelLuPlan {
                 let barrier = &barrier;
                 let first_bad = &first_bad;
                 let (busy, wait, flops_done) = (&busy, &wait, &flops_done);
+                let perturbed = &perturbed;
                 scope.spawn(move || {
                     let mut x = vec![0.0f64; n];
+                    let mut my_perturbed: Vec<usize> = Vec::new();
                     let mut my_busy = 0u64;
                     let mut my_wait = 0u64;
                     let mut my_flops = 0u64;
@@ -283,11 +290,16 @@ impl ParallelLuPlan {
                             // barriers only span same-single-owner
                             // levels) or before the last kept barrier.
                             // See SharedFactor.
-                            let ok = unsafe {
-                                self.plan.column_numeric(j, a, &mut x, shared.lx, shared.ux)
+                            let status = unsafe {
+                                self.plan
+                                    .column_numeric(j, a, &mut x, shared.lx, shared.ux, thresh)
                             };
-                            if !ok {
-                                first_bad.fetch_min(j, Ordering::Relaxed);
+                            match status {
+                                PivotStatus::Clean => {}
+                                PivotStatus::Perturbed => my_perturbed.push(j),
+                                PivotStatus::Zero => {
+                                    first_bad.fetch_min(j, Ordering::Relaxed);
+                                }
                             }
                             if enabled {
                                 my_flops += self.plan.col_flops[j];
@@ -345,6 +357,9 @@ impl ParallelLuPlan {
                         wait[t].store(my_wait, Ordering::Relaxed);
                         flops_done.fetch_add(my_flops, Ordering::Relaxed);
                     }
+                    if !my_perturbed.is_empty() {
+                        perturbed.lock().unwrap().extend(my_perturbed);
+                    }
                 });
             }
         });
@@ -379,7 +394,19 @@ impl ParallelLuPlan {
         if column != usize::MAX {
             return Err(LuPlanError::ZeroPivot { column });
         }
-        Ok(self.plan.finish(a, lx, ux))
+        // Merge order depends on worker timing; sort so the report is
+        // deterministic (column order, like the serial kernel's).
+        let mut columns = perturbed.into_inner().unwrap();
+        columns.sort_unstable();
+        Ok(self.plan.finish(
+            a,
+            lx,
+            ux,
+            PerturbReport {
+                columns,
+                threshold: thresh,
+            },
+        ))
     }
 }
 

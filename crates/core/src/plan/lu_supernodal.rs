@@ -39,8 +39,10 @@
 //! (verified across the suite by `lu_compare` and the property tests),
 //! and the zero-pivot column reported is the same.
 
-use super::lu::{LuFactor, LuPlan, LuPlanError};
-use sympiler_dense::{gemm_nt_sub, getrf_nopiv, trsm_right_lower_trans_unit, trsm_right_upper};
+use super::lu::{LuFactor, LuPlan, LuPlanError, PerturbReport, PivotStatus};
+use sympiler_dense::{
+    gemm_nt_sub, getrf_nopiv_perturbed, trsm_right_lower_trans_unit, trsm_right_upper,
+};
 use sympiler_graph::levels::{balanced_partition, dag_levels_from_preds};
 use sympiler_graph::lu_supernode::supernodes_lu_from_parts;
 use sympiler_graph::supernode::SupernodePartition;
@@ -377,6 +379,8 @@ impl SupernodalLuPlan {
         ux: *mut f64,
         sx: *mut f64,
         lane: usize,
+        thresh: f64,
+        perturbed: &mut Vec<usize>,
     ) -> usize {
         let plan = &self.plan;
         let n = plan.n();
@@ -387,8 +391,14 @@ impl SupernodalLuPlan {
             // Scalar fallback: the shared per-column kernel, reading
             // and writing the CSC factor arrays directly.
             let x = &mut ws.x[..n];
-            let ok = plan.column_numeric(f, a, x, lx, ux);
-            return if ok { usize::MAX } else { f };
+            return match plan.column_numeric(f, a, x, lx, ux, thresh) {
+                PivotStatus::Clean => usize::MAX,
+                PivotStatus::Perturbed => {
+                    perturbed.push(f);
+                    usize::MAX
+                }
+                PivotStatus::Zero => f,
+            };
         }
 
         // Wide-panel observability: one `panel` span with achieved
@@ -530,9 +540,13 @@ impl SupernodalLuPlan {
         }
         let mut first_bad = usize::MAX;
         let t0 = if enabled { prof.now_ns() } else { 0 };
-        if let Err(c) = getrf_nopiv(w, trap, m) {
+        // `Vec::new` never allocates until a perturbation actually
+        // fires, so the clean path costs one stack slot.
+        let mut block_perturbed = Vec::new();
+        if let Err(c) = getrf_nopiv_perturbed(w, trap, m, thresh, &mut block_perturbed) {
             first_bad = f + c;
         }
+        perturbed.extend(block_perturbed.into_iter().map(|c| f + c));
         if enabled {
             let t1 = prof.now_ns();
             prof.add_span(
@@ -632,15 +646,26 @@ impl SupernodalLuPlan {
         let mut lx = vec![0.0f64; self.plan.l_nnz()];
         let mut ux = vec![0.0f64; self.plan.u_nnz()];
         let mut sx = vec![0.0f64; *self.sx_ptr.last().unwrap_or(&0)];
+        let thresh = self.plan.perturb_threshold(a);
+        let mut perturbed: Vec<usize> = Vec::new();
         let first_bad = if self.n_threads == 1 {
-            self.factor_serial(a, &mut lx, &mut ux, &mut sx)
+            self.factor_serial(a, &mut lx, &mut ux, &mut sx, thresh, &mut perturbed)
         } else {
-            self.factor_parallel(a, &mut lx, &mut ux, &mut sx)
+            self.factor_parallel(a, &mut lx, &mut ux, &mut sx, thresh, &mut perturbed)
         };
         if first_bad != usize::MAX {
             return Err(LuPlanError::ZeroPivot { column: first_bad });
         }
-        Ok(self.plan.finish(a, lx, ux))
+        perturbed.sort_unstable();
+        Ok(self.plan.finish(
+            a,
+            lx,
+            ux,
+            PerturbReport {
+                columns: perturbed,
+                threshold: thresh,
+            },
+        ))
     }
 
     fn factor_serial(
@@ -649,6 +674,8 @@ impl SupernodalLuPlan {
         lx: &mut [f64],
         ux: &mut [f64],
         sx: &mut [f64],
+        thresh: f64,
+        perturbed: &mut Vec<usize>,
     ) -> usize {
         let prof = self.plan.profiler().as_ref();
         let enabled = prof.is_enabled();
@@ -672,6 +699,8 @@ impl SupernodalLuPlan {
                     ux.as_mut_ptr(),
                     sx.as_mut_ptr(),
                     0,
+                    thresh,
+                    perturbed,
                 )
             };
             first_bad = first_bad.min(bad);
@@ -698,8 +727,11 @@ impl SupernodalLuPlan {
         lx: &mut [f64],
         ux: &mut [f64],
         sx: &mut [f64],
+        thresh: f64,
+        perturbed: &mut Vec<usize>,
     ) -> usize {
         use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+        use std::sync::Mutex;
         let prof = self.plan.profiler().as_ref();
         let enabled = prof.is_enabled();
         let outer = if enabled {
@@ -715,6 +747,9 @@ impl SupernodalLuPlan {
         };
         let barrier = std::sync::Barrier::new(self.n_threads);
         let first_bad = AtomicUsize::new(usize::MAX);
+        // Workers buffer perturbed columns locally and merge once at
+        // the end; the caller sorts, so the report is deterministic.
+        let all_perturbed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
         let busy: Vec<AtomicU64> = (0..self.n_threads).map(|_| AtomicU64::new(0)).collect();
         let wait: Vec<AtomicU64> = (0..self.n_threads).map(|_| AtomicU64::new(0)).collect();
         let dense_flops = AtomicU64::new(0);
@@ -726,11 +761,13 @@ impl SupernodalLuPlan {
                 let first_bad = &first_bad;
                 let (busy, wait) = (&busy, &wait);
                 let (dense_flops, scalar_flops) = (&dense_flops, &scalar_flops);
+                let all_perturbed = &all_perturbed;
                 scope.spawn(move || {
                     let mut ws = self.workspace();
                     let worker_t0 = prof.now_ns();
                     let mut my_wait = 0u64;
                     let (mut my_dense, mut my_scalar) = (0u64, 0u64);
+                    let mut my_perturbed: Vec<usize> = Vec::new();
                     for lv in 0..n_levels {
                         for &s in self.chunk(lv, t) {
                             // SAFETY: this worker is the unique owner
@@ -742,7 +779,15 @@ impl SupernodalLuPlan {
                             // last kept barrier. See SharedPanels.
                             let bad = unsafe {
                                 self.panel_numeric(
-                                    s, a, &mut ws, shared.lx, shared.ux, shared.sx, t,
+                                    s,
+                                    a,
+                                    &mut ws,
+                                    shared.lx,
+                                    shared.ux,
+                                    shared.sx,
+                                    t,
+                                    thresh,
+                                    &mut my_perturbed,
                                 )
                             };
                             if bad != usize::MAX {
@@ -775,6 +820,9 @@ impl SupernodalLuPlan {
                         dense_flops.fetch_add(my_dense, AtomicOrdering::Relaxed);
                         scalar_flops.fetch_add(my_scalar, AtomicOrdering::Relaxed);
                     }
+                    if !my_perturbed.is_empty() {
+                        all_perturbed.lock().unwrap().extend(my_perturbed);
+                    }
                 });
             }
         });
@@ -798,6 +846,7 @@ impl SupernodalLuPlan {
                 ],
             );
         }
+        perturbed.extend(all_perturbed.into_inner().unwrap());
         first_bad.into_inner()
     }
 
@@ -808,8 +857,10 @@ impl SupernodalLuPlan {
         lx: &mut [f64],
         ux: &mut [f64],
         sx: &mut [f64],
+        thresh: f64,
+        perturbed: &mut Vec<usize>,
     ) -> usize {
-        self.factor_serial(a, lx, ux, sx)
+        self.factor_serial(a, lx, ux, sx, thresh, perturbed)
     }
 
     /// Emit the matrix-specialized supernodal C factorization kernel

@@ -29,12 +29,122 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering as MemOrder};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 use crate::compile::{SympilerLu, SympilerOptions};
 use crate::plan::lu::{LuFactor, LuPlanError, LuWorkspace};
 use sympiler_obs::Profiler;
 use sympiler_sparse::CscMatrix;
+
+/// Deterministic fault-injection hooks for the serving tier, used by
+/// the robustness tests and `robust_bench` to prove that worker
+/// failures neither hang a [`Ticket`] nor kill the [`FactorService`]
+/// pool. Each `arm_*` call arms the *next* `n` jobs processed by any
+/// worker; unarmed (the steady state) the hooks are two relaxed
+/// atomic loads per job. Not part of the public API.
+#[doc(hidden)]
+pub mod fault {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static PANICS: AtomicUsize = AtomicUsize::new(0);
+    static DEATHS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Arm a *soft* fault: the next `n` jobs panic inside the
+    /// worker's `catch_unwind` guard, so the ticket receives
+    /// [`super::ServeError::WorkerPanic`] and the worker survives.
+    pub fn arm_worker_panics(n: usize) {
+        PANICS.store(n, Ordering::SeqCst);
+    }
+
+    /// Arm a *hard* fault: the next `n` jobs kill their worker thread
+    /// outside the guard, so the ticket's reply sender is dropped
+    /// (mapped to [`super::ServeError::Disconnected`]) and the pool
+    /// respawns the worker on the next submit.
+    pub fn arm_worker_deaths(n: usize) {
+        DEATHS.store(n, Ordering::SeqCst);
+    }
+
+    /// Disarm both hooks (test hygiene between cases).
+    pub fn disarm() {
+        PANICS.store(0, Ordering::SeqCst);
+        DEATHS.store(0, Ordering::SeqCst);
+    }
+
+    fn take(c: &AtomicUsize) -> bool {
+        c.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok()
+    }
+
+    pub(super) fn maybe_panic() {
+        if take(&PANICS) {
+            panic!("injected worker panic (fault hook)");
+        }
+    }
+
+    pub(super) fn maybe_die() {
+        if take(&DEATHS) {
+            panic!("injected worker death (fault hook)");
+        }
+    }
+}
+
+/// What a serving request can fail with — the typed surface a
+/// [`Ticket`] resolves to. `Plan` wraps the numeric/compile errors of
+/// the pipeline; the other variants are serving-infrastructure
+/// failures, which is exactly why they are distinct: a caller retries
+/// a `WorkerPanic` or `Timeout`, but not a `Plan(ZeroPivot)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Compilation or factorization failed (root cause via
+    /// [`std::error::Error::source`]).
+    Plan(LuPlanError),
+    /// The worker processing this request panicked; the panic was
+    /// isolated and the worker kept serving.
+    WorkerPanic {
+        /// The panic payload, when it was a string.
+        detail: String,
+    },
+    /// The worker died (or the service was dropped) before replying —
+    /// the reply channel disconnected. The request may or may not
+    /// have executed.
+    Disconnected,
+    /// [`Ticket::wait_timeout`] gave up waiting.
+    Timeout {
+        /// How long the caller waited.
+        waited: Duration,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Plan(e) => write!(f, "serve: {e}"),
+            ServeError::WorkerPanic { detail } => {
+                write!(f, "serving worker panicked: {detail}")
+            }
+            ServeError::Disconnected => f.write_str("serving worker disconnected before replying"),
+            ServeError::Timeout { waited } => {
+                write!(f, "serve reply timed out after {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LuPlanError> for ServeError {
+    fn from(e: LuPlanError) -> Self {
+        ServeError::Plan(e)
+    }
+}
 
 /// FNV-1a, the same spirit as the vendored deterministic hashers:
 /// stable across runs and platforms, so cache keys (and therefore
@@ -81,6 +191,13 @@ pub fn structural_hash(a: &CscMatrix, opts: &SympilerOptions) -> u64 {
     fnv_u64(&mut h, opts.max_panel as u64);
     fnv_u64(&mut h, opts.pre_pivot as u64);
     fnv_u64(&mut h, opts.profile as u64);
+    fnv_u64(&mut h, opts.pivot_perturb.to_bits());
+    fnv_u64(&mut h, opts.recovery.berr_tol.to_bits());
+    fnv_u64(&mut h, opts.recovery.max_refine_iters as u64);
+    fnv_u64(
+        &mut h,
+        (opts.recovery.allow_refactor as u64) | (opts.recovery.serve_escalate as u64) << 1,
+    );
     h
 }
 
@@ -279,10 +396,27 @@ impl PlanCache {
         self.config
     }
 
+    /// Lock the cache state, recovering from poison: a thread that
+    /// panicked mid-mutation (e.g. an injected worker fault during
+    /// `admit`) may have left `entries`/`bytes` out of sync with the
+    /// buckets, so on poison both are re-derived from the buckets —
+    /// the buckets themselves are always structurally valid because
+    /// every mutation either pushes a complete entry or removes one.
+    fn lock_inner(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|poisoned| {
+            let mut inner = poisoned.into_inner();
+            inner.entries = inner.buckets.values().map(Vec::len).sum();
+            inner.bytes = inner.buckets.values().flatten().map(|e| e.plan.bytes).sum();
+            self.inner.clear_poison();
+            self.profiler.counter("serve.cache.poison_recovered").add(1);
+            inner
+        })
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let (entries, bytes) = {
-            let inner = self.inner.lock().unwrap();
+            let inner = self.lock_inner();
             (inner.entries, inner.bytes)
         };
         CacheStats {
@@ -296,7 +430,7 @@ impl PlanCache {
 
     /// Number of resident plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries
+        self.lock_inner().entries
     }
 
     /// True when no plan is resident.
@@ -306,7 +440,7 @@ impl PlanCache {
 
     /// Drop every resident plan (counters keep their totals).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.buckets.clear();
         inner.entries = 0;
         inner.bytes = 0;
@@ -353,7 +487,7 @@ impl PlanCache {
         opts: &SympilerOptions,
         now: u64,
     ) -> Option<Arc<CachedPlan>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         let bucket = inner.buckets.get_mut(&key)?;
         for e in bucket.iter_mut() {
             if e.plan.opts == *opts && e.plan.lu.plan().check_pattern(a).is_ok() {
@@ -375,7 +509,7 @@ impl PlanCache {
         now: u64,
         plan: Arc<CachedPlan>,
     ) -> Arc<CachedPlan> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         if let Some(bucket) = inner.buckets.get_mut(&key) {
             for e in bucket.iter_mut() {
                 if e.plan.opts == *opts && e.plan.lu.plan().check_pattern(a).is_ok() {
@@ -435,7 +569,7 @@ impl PlanCache {
     /// hashing — how the collision tests plant a same-key foreign
     /// entry that lookup must reject on the exact checks.
     fn insert_raw(&self, key: u64, plan: Arc<CachedPlan>) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         let now = self.tick.fetch_add(1, MemOrder::Relaxed);
         inner.entries += 1;
         inner.bytes += plan.bytes;
@@ -470,23 +604,34 @@ pub struct ServeResponse {
 
 /// A pending [`FactorService`] reply.
 pub struct Ticket {
-    rx: mpsc::Receiver<Result<ServeResponse, LuPlanError>>,
+    rx: mpsc::Receiver<Result<ServeResponse, ServeError>>,
 }
 
 impl Ticket {
-    /// Block until the worker finishes this request.
-    ///
-    /// # Panics
-    /// If the service was dropped (workers joined) with the request
-    /// still queued.
-    pub fn wait(self) -> Result<ServeResponse, LuPlanError> {
-        self.rx.recv().expect("serving worker dropped the reply")
+    /// Block until the worker finishes this request. Never hangs on a
+    /// dead worker and never panics: a dropped reply sender (worker
+    /// died mid-request, or the service was dropped with the request
+    /// still queued) resolves to [`ServeError::Disconnected`].
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// [`Self::wait`] with a deadline: gives up with
+    /// [`ServeError::Timeout`] when no reply lands within `dur`. The
+    /// ticket is consumed either way — a timed-out request's eventual
+    /// result is discarded, exactly like a dropped ticket's.
+    pub fn wait_timeout(self, dur: Duration) -> Result<ServeResponse, ServeError> {
+        match self.rx.recv_timeout(dur) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout { waited: dur }),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::Disconnected),
+        }
     }
 }
 
 struct Job {
     req: ServeRequest,
-    reply: mpsc::Sender<Result<ServeResponse, LuPlanError>>,
+    reply: mpsc::Sender<Result<ServeResponse, ServeError>>,
 }
 
 /// A thread-pool front end over a shared [`PlanCache`]: submit
@@ -496,10 +641,59 @@ struct Job {
 /// state does no symbolic work and no per-request table or
 /// accumulator allocation. Dropping the service drains the queue and
 /// joins the workers.
+///
+/// Fault tolerance: each request executes under `catch_unwind`, so a
+/// panicking request resolves its own ticket to
+/// [`ServeError::WorkerPanic`] and the worker keeps serving. Should a
+/// worker thread die outright (a panic that escapes the request
+/// guard), its in-flight ticket resolves to
+/// [`ServeError::Disconnected`] (never a hang) and a sentinel guard
+/// running during the very unwind spawns the replacement worker into
+/// the same slot — queued and future requests are always drained, with
+/// no reliance on a later `submit` noticing the death (the OS marks a
+/// thread finished strictly *after* its ticket is woken, so
+/// submit-side `is_finished` sweeps race and can strand a job). When
+/// [`crate::robust::RecoveryPolicy::serve_escalate`] is set on a
+/// request's options, a factorization failure is retried once through
+/// the recovery ladder's cheap rungs (pivot perturbation + iterative
+/// refinement) before the error is returned.
 pub struct FactorService {
     tx: Option<mpsc::Sender<Job>>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    /// One slot per worker; a sentinel overwrites its own slot with
+    /// the replacement handle when its worker dies. The dead thread's
+    /// handle is dropped (detached) — it is already past doing work.
+    workers: Registry,
+    /// Kept so respawned workers can join the same queue. Holding a
+    /// receiver clone here also means the job channel only disconnects
+    /// at drop, never because every worker died at once.
+    #[allow(dead_code)]
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
     cache: Arc<PlanCache>,
+}
+
+type Registry = Arc<Mutex<Vec<Option<std::thread::JoinHandle<()>>>>>;
+
+/// Declared first in every worker closure, so its `Drop` runs during
+/// the unwind of any panic that escapes the request guard: it spawns
+/// a replacement worker into the dying worker's slot. Normal worker
+/// exit (queue disconnected at service drop) does not respawn —
+/// `thread::panicking()` is false.
+struct Sentinel {
+    slot: usize,
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    cache: Arc<PlanCache>,
+    registry: Registry,
+}
+
+impl Drop for Sentinel {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.cache.profiler.counter("serve.worker.respawn").add(1);
+            let fresh =
+                FactorService::spawn_worker(self.slot, &self.rx, &self.cache, &self.registry);
+            self.registry.lock().unwrap_or_else(PoisonError::into_inner)[self.slot] = Some(fresh);
+        }
+    }
 }
 
 impl FactorService {
@@ -507,30 +701,76 @@ impl FactorService {
     pub fn new(n_workers: usize, cache: Arc<PlanCache>) -> Self {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..n_workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let cache = Arc::clone(&cache);
-                std::thread::spawn(move || {
-                    let mut ws = LuWorkspace::new();
-                    loop {
-                        // Hold the queue lock only for the dequeue.
-                        let job = match rx.lock().unwrap().recv() {
-                            Ok(job) => job,
-                            Err(_) => break, // service dropped, queue drained
-                        };
-                        let result = Self::run(&cache, &mut ws, &job.req);
-                        // A dropped ticket just discards the response.
-                        let _ = job.reply.send(result);
-                    }
-                })
-            })
-            .collect();
+        let n = n_workers.max(1);
+        let workers: Registry = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        {
+            // Register under the lock: a worker dying instantly blocks
+            // in its sentinel until every slot holds its first handle,
+            // so a replacement can never be clobbered by this loop.
+            let mut reg = workers.lock().unwrap();
+            for slot in 0..n {
+                reg[slot] = Some(Self::spawn_worker(slot, &rx, &cache, &workers));
+            }
+        }
         Self {
             tx: Some(tx),
             workers,
+            rx,
             cache,
         }
+    }
+
+    fn spawn_worker(
+        slot: usize,
+        rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
+        cache: &Arc<PlanCache>,
+        registry: &Registry,
+    ) -> std::thread::JoinHandle<()> {
+        let rx = Arc::clone(rx);
+        let cache = Arc::clone(cache);
+        let registry = Arc::clone(registry);
+        std::thread::spawn(move || {
+            let sentinel = Sentinel {
+                slot,
+                rx: Arc::clone(&rx),
+                cache: Arc::clone(&cache),
+                registry,
+            };
+            let mut ws = LuWorkspace::new();
+            loop {
+                // Hold the queue lock only for the dequeue; recover
+                // the lock if a sibling died while holding it.
+                let job = match rx.lock().unwrap_or_else(PoisonError::into_inner).recv() {
+                    Ok(job) => job,
+                    Err(_) => break, // service dropped, queue drained
+                };
+                // Hard-fault hook: dies here, after the queue lock is
+                // released but before any reply — the ticket sees a
+                // disconnect, exactly like a real worker death.
+                fault::maybe_die();
+                // Isolate the request: a panic anywhere in compile/
+                // factor/solve resolves this ticket instead of
+                // unwinding the worker. The workspace is plain
+                // buffers the next request overwrites from scratch,
+                // so reusing it across a caught panic is sound.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    fault::maybe_panic();
+                    Self::run(&cache, &mut ws, &job.req)
+                }))
+                .unwrap_or_else(|payload| {
+                    cache.profiler.counter("serve.worker.panic").add(1);
+                    let detail = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    Err(ServeError::WorkerPanic { detail })
+                });
+                // A dropped ticket just discards the response.
+                let _ = job.reply.send(result);
+            }
+            drop(sentinel); // normal exit: explicitly not a respawn
+        })
     }
 
     /// The shared plan cache (e.g. for [`PlanCache::stats`]).
@@ -538,9 +778,13 @@ impl FactorService {
         &self.cache
     }
 
-    /// Number of serving threads.
+    /// Number of serving threads. The pool size is fixed: dead workers
+    /// are replaced in-slot by their sentinels.
     pub fn n_workers(&self) -> usize {
-        self.workers.len()
+        self.workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Enqueue a request; the returned [`Ticket`] resolves when a
@@ -551,12 +795,12 @@ impl FactorService {
             .as_ref()
             .expect("sender lives until drop")
             .send(Job { req, reply })
-            .expect("workers live until drop");
+            .expect("service holds a receiver until drop");
         Ticket { rx }
     }
 
     /// Submit and wait: one factor (+ solves) through the pool.
-    pub fn call(&self, req: ServeRequest) -> Result<ServeResponse, LuPlanError> {
+    pub fn call(&self, req: ServeRequest) -> Result<ServeResponse, ServeError> {
         self.submit(req).wait()
     }
 
@@ -564,14 +808,60 @@ impl FactorService {
         cache: &PlanCache,
         ws: &mut LuWorkspace,
         req: &ServeRequest,
-    ) -> Result<ServeResponse, LuPlanError> {
+    ) -> Result<ServeResponse, ServeError> {
         let plan = cache.get_or_compile(&req.a, &req.opts)?;
-        let factor = plan.factor_with(&req.a, ws)?;
+        let factor = match plan.factor_with(&req.a, ws) {
+            Ok(f) => f,
+            Err(e) if req.opts.recovery.serve_escalate => {
+                return Self::escalate(cache, ws, req, e);
+            }
+            Err(e) => return Err(e.into()),
+        };
         let solutions = if req.rhs.is_empty() {
             Vec::new()
         } else {
             factor.solve_batch(&req.rhs)
         };
+        Ok(ServeResponse { factor, solutions })
+    }
+
+    /// Per-request retry with escalation (opted in via
+    /// [`crate::robust::RecoveryPolicy::serve_escalate`]): re-factor
+    /// through the same cache with static pivot perturbation forced
+    /// on, then repair every requested solve by iterative refinement
+    /// against the request's matrix. Succeeds only when every solve
+    /// reaches the policy's berr tolerance; otherwise the *original*
+    /// factor error is returned, so escalation never masks the root
+    /// cause with a worse answer.
+    fn escalate(
+        cache: &PlanCache,
+        ws: &mut LuWorkspace,
+        req: &ServeRequest,
+        original: LuPlanError,
+    ) -> Result<ServeResponse, ServeError> {
+        cache.profiler.counter("serve.escalate").add(1);
+        let mut opts = req.opts.clone();
+        if opts.pivot_perturb == 0.0 {
+            // √ε-scale: the conventional static-perturbation setting.
+            opts.pivot_perturb = 1e-8;
+        }
+        let Ok(plan) = cache.get_or_compile(&req.a, &opts) else {
+            return Err(original.into());
+        };
+        let Ok(factor) = plan.factor_with(&req.a, ws) else {
+            return Err(original.into());
+        };
+        let policy = &req.opts.recovery;
+        let mut solutions = Vec::with_capacity(req.rhs.len());
+        for b in &req.rhs {
+            let (x, report) =
+                factor.solve_refined(&req.a, b, policy.berr_tol, policy.max_refine_iters);
+            if !report.converged {
+                return Err(original.into());
+            }
+            solutions.push(x);
+        }
+        cache.profiler.counter("serve.escalate.recovered").add(1);
         Ok(ServeResponse { factor, solutions })
     }
 }
@@ -580,7 +870,19 @@ impl Drop for FactorService {
     fn drop(&mut self) {
         // Closing the channel lets workers drain the queue and exit.
         drop(self.tx.take());
-        for w in self.workers.drain(..) {
+        // `self.workers` is an Arc shared with the sentinels, so lock
+        // rather than get_mut. Take the handles out before joining —
+        // a sentinel firing mid-drop writes its replacement into the
+        // emptied slot; that replacement sees the closed channel and
+        // exits on its own (its handle is simply never joined).
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect();
+        for w in handles {
             let _ = w.join();
         }
     }

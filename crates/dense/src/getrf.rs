@@ -21,6 +21,24 @@
 /// is IEEE-defined), so a caller running panels in parallel can record
 /// the error and keep going without a consensus protocol.
 pub fn getrf_nopiv(n: usize, a: &mut [f64], lda: usize) -> Result<(), usize> {
+    let mut perturbed = Vec::new();
+    getrf_nopiv_perturbed(n, a, lda, 0.0, &mut perturbed)
+}
+
+/// [`getrf_nopiv`] with static pivot perturbation: a pivot whose
+/// magnitude falls below `thresh` is replaced in place by `±thresh`
+/// (sign preserved, `+thresh` for an exact zero) and its block-local
+/// column index is appended to `perturbed`; factoring continues with
+/// the replaced value. With `thresh == 0.0` the guard never fires
+/// (strict `<` on a non-negative magnitude), `perturbed` stays
+/// untouched, and the result is bitwise identical to [`getrf_nopiv`].
+pub fn getrf_nopiv_perturbed(
+    n: usize,
+    a: &mut [f64],
+    lda: usize,
+    thresh: f64,
+    perturbed: &mut Vec<usize>,
+) -> Result<(), usize> {
     assert!(lda >= n, "leading dimension too small");
     assert!(
         n == 0 || a.len() >= lda * (n - 1) + n,
@@ -31,8 +49,16 @@ pub fn getrf_nopiv(n: usize, a: &mut [f64], lda: usize) -> Result<(), usize> {
     // block. Good locality for the small/medium diagonal blocks sparse
     // panels produce.
     for k in 0..n {
-        let pivot = a[k * lda + k];
-        if pivot == 0.0 && first_bad.is_none() {
+        let mut pivot = a[k * lda + k];
+        if pivot.abs() < thresh {
+            pivot = if pivot.is_sign_negative() {
+                -thresh
+            } else {
+                thresh
+            };
+            a[k * lda + k] = pivot;
+            perturbed.push(k);
+        } else if pivot == 0.0 && first_bad.is_none() {
             first_bad = Some(k);
         }
         let inv = 1.0 / pivot;

@@ -28,7 +28,7 @@ pub mod trsm;
 pub mod trsv;
 
 pub use gemm::{gemm_nt_sub, gemv_sub, syrk_ln_sub};
-pub use getrf::getrf_nopiv;
+pub use getrf::{getrf_nopiv, getrf_nopiv_perturbed};
 pub use mat::DenseMat;
 pub use potrf::potrf_lower;
 pub use trsm::{trsm_right_lower_trans, trsm_right_lower_trans_unit, trsm_right_upper};

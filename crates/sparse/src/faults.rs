@@ -1,0 +1,156 @@
+//! Deterministic numerical fault injectors.
+//!
+//! The robustness ladder (static pivot perturbation → iterative
+//! refinement → partial-pivoting re-factorization) is validated against
+//! *injected* faults, not hoped-for natural ones: these helpers take a
+//! healthy matrix and degrade its **values only** — the sparsity
+//! pattern, and therefore every compiled plan, is untouched. That is
+//! exactly the failure shape Sympiler's decoupling exposes: the
+//! symbolic phase ran once against the pattern, then the values drifted
+//! (Newton steps, circuit transients) into numerically hostile
+//! territory the static pivot order never anticipated.
+//!
+//! Every injector is seeded and pure: the same `(matrix, seed)` pair
+//! always produces the same fault set, so recovery-rate benchmarks and
+//! regression tests are bit-reproducible.
+
+use crate::csc::CscMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Deterministically pick `count` distinct columns of an `n`-column
+/// matrix (seeded Fisher–Yates prefix). Sorted ascending so fault
+/// reports read naturally.
+pub fn pick_columns(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    let count = count.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<usize> = (0..n).collect();
+    for k in 0..count {
+        let j = k + rng.random_range(0..(n - k));
+        cols.swap(k, j);
+    }
+    let mut picked = cols[..count].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+/// Zero the stored diagonal entry of each listed column (values only;
+/// the entries stay structurally present, so the plan is unchanged).
+/// Columns without a stored diagonal are skipped. Returns the faulted
+/// copy and the columns actually zeroed.
+pub fn zero_diagonals(a: &CscMatrix, columns: &[usize]) -> (CscMatrix, Vec<usize>) {
+    scale_diagonals(a, columns, 0.0)
+}
+
+/// Shrink the stored diagonal entry of each listed column to
+/// `scale` times its value — `scale = 1e-300` manufactures pivots that
+/// are formally nonzero but numerically meaningless, the classic
+/// "tiny pivot" hazard static pivoting cannot see coming.
+pub fn tiny_diagonals(a: &CscMatrix, columns: &[usize], scale: f64) -> (CscMatrix, Vec<usize>) {
+    scale_diagonals(a, columns, scale)
+}
+
+fn scale_diagonals(a: &CscMatrix, columns: &[usize], scale: f64) -> (CscMatrix, Vec<usize>) {
+    let mut out = a.clone();
+    let mut hit = Vec::with_capacity(columns.len());
+    for &j in columns {
+        if j < out.n_cols() {
+            if let Some(p) = out.find(j, j) {
+                out.values_mut()[p] *= scale;
+                hit.push(j);
+            }
+        }
+    }
+    (out, hit)
+}
+
+/// Ill-scale the matrix: every row `i` is multiplied by
+/// `10^{e_i}` with `e_i` drawn uniformly from `[-decades, decades]`
+/// (seeded). Row scaling preserves exact solvability — `D·A·x = D·b`
+/// has the same `x` — but wrecks the componentwise conditioning that
+/// static pivot orders were chosen under, which is precisely what
+/// iterative refinement is supposed to absorb. Returns the scaled
+/// matrix and the per-row scale factors (apply them to `b` yourself to
+/// keep the system consistent).
+pub fn ill_scale_rows(a: &CscMatrix, decades: f64, seed: u64) -> (CscMatrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scales: Vec<f64> = (0..a.n_rows())
+        .map(|_| 10.0_f64.powf(rng.random_range(-decades..decades)))
+        .collect();
+    let mut out = a.clone();
+    // CSC walk: entry p in column j sits on row row_idx[p].
+    let rows = out.row_idx().to_vec();
+    for (p, v) in out.values_mut().iter_mut().enumerate() {
+        *v *= scales[rows[p]];
+    }
+    (out, scales)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn pick_columns_is_deterministic_and_distinct() {
+        let a = pick_columns(100, 10, 42);
+        let b = pick_columns(100, 10, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup, a, "picked columns must be distinct and sorted");
+        assert_ne!(a, pick_columns(100, 10, 43), "seed must matter");
+    }
+
+    #[test]
+    fn zero_diagonals_only_touches_the_targets() {
+        let a = gen::circuit_unsym(50, 4, 2, 7);
+        let cols = pick_columns(a.n_cols(), 5, 11);
+        let (faulted, hit) = zero_diagonals(&a, &cols);
+        assert!(faulted.same_pattern(&a), "pattern must be untouched");
+        assert!(!hit.is_empty());
+        for &j in &hit {
+            assert_eq!(faulted.get(j, j), 0.0, "column {j} diagonal not zeroed");
+        }
+        // Everything off the fault set is bitwise identical.
+        let n_changed = a
+            .values()
+            .iter()
+            .zip(faulted.values())
+            .filter(|(x, y)| x.to_bits() != y.to_bits())
+            .count();
+        assert_eq!(n_changed, hit.len());
+    }
+
+    #[test]
+    fn tiny_diagonals_shrink_without_zeroing() {
+        let a = gen::circuit_unsym(50, 4, 2, 7);
+        let (faulted, hit) = tiny_diagonals(&a, &[0, 3], 1e-200);
+        for &j in &hit {
+            let v = faulted.get(j, j);
+            assert!(v != 0.0 && v.abs() < 1e-150, "col {j}: got {v}");
+        }
+    }
+
+    #[test]
+    fn ill_scaling_preserves_the_solution() {
+        use crate::ops::spmv;
+        let a = gen::circuit_unsym(30, 4, 2, 7);
+        let x: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
+        let mut b = vec![0.0; 30];
+        spmv(&a, &x, &mut b);
+        let (scaled, d) = ill_scale_rows(&a, 6.0, 99);
+        assert!(scaled.same_pattern(&a));
+        let mut b_scaled = vec![0.0; 30];
+        spmv(&scaled, &x, &mut b_scaled);
+        for i in 0..30 {
+            let want = d[i] * b[i];
+            assert!(
+                (b_scaled[i] - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "row {i}: D·A·x = {} but D·b = {want}",
+                b_scaled[i]
+            );
+        }
+    }
+}

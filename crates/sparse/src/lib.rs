@@ -15,6 +15,7 @@
 
 pub mod csc;
 pub mod error;
+pub mod faults;
 pub mod gen;
 pub mod io;
 pub mod ops;

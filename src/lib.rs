@@ -42,6 +42,16 @@
 //! statically pivoted LU factor saddle-point and circuit matrices
 //! whose diagonals are structurally zero.
 //!
+//! When values drift into numerically hostile territory after the
+//! pattern was compiled, the **recovery ladder**
+//! ([`RobustLu`](prelude::RobustLu)) escalates from static pivot
+//! perturbation ([`SympilerOptions::pivot_perturb`]) through
+//! iterative refinement to a partial-pivoting re-factorization,
+//! governed by a [`RecoveryPolicy`](prelude::RecoveryPolicy) — see
+//! ARCHITECTURE.md §Robustness.
+//!
+//! [`SympilerOptions::pivot_perturb`]: prelude::SympilerOptions
+//!
 //! [`SympilerOptions::n_threads`]: prelude::SympilerOptions
 //! [`SympilerOptions::block_lu`]: prelude::SympilerOptions
 //! [`SympilerOptions::ordering`]: prelude::SympilerOptions
@@ -85,14 +95,17 @@ pub mod prelude {
         SympilerTriSolve,
     };
     pub use sympiler_core::plan::chol::CholFactor;
-    pub use sympiler_core::plan::lu::{BatchError, LuFactor, LuPlan, LuWorkspace};
+    pub use sympiler_core::plan::lu::{
+        BatchError, LuFactor, LuPlan, LuWorkspace, PerturbReport, RefineReport,
+    };
     #[cfg(feature = "parallel")]
     pub use sympiler_core::plan::lu_parallel::ParallelLuPlan;
     pub use sympiler_core::plan::lu_supernodal::SupernodalLuPlan;
     pub use sympiler_core::plan::tri::TriSolvePlan;
+    pub use sympiler_core::robust::{Recovered, RecoveryError, RecoveryPolicy, RobustLu, Rung};
     pub use sympiler_core::serve::{
-        CacheConfig, CacheStats, CachedPlan, FactorService, PlanCache, ServeRequest, ServeResponse,
-        Ticket,
+        CacheConfig, CacheStats, CachedPlan, FactorService, PlanCache, ServeError, ServeRequest,
+        ServeResponse, Ticket,
     };
     pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};
     pub use sympiler_solvers::lu::{GpLu, GpLuFactors, Pivoting};

@@ -460,6 +460,47 @@ proptest! {
     }
 
     #[test]
+    fn perturbation_off_is_bitwise_inert_in_every_tier(a in unsym_matrix()) {
+        // The robustness ladder's Layer-1 contract: pivot_perturb == 0.0
+        // (the default) must not move a single bit in any execution
+        // tier, and an *armed* tolerance that never fires (empty
+        // PerturbReport) must also leave the factors bitwise identical
+        // to the untouched path.
+        let tiers: [(&str, SympilerOptions); 3] = [
+            ("serial", SympilerOptions { block_lu: BlockLu::Off, ..Default::default() }),
+            ("parallel", SympilerOptions {
+                n_threads: 3, block_lu: BlockLu::Off, ..Default::default()
+            }),
+            ("supernodal", SympilerOptions { block_lu: BlockLu::On, ..Default::default() }),
+        ];
+        for (label, base) in tiers {
+            let plain = SympilerLu::compile(&a, &base).unwrap().factor(&a).unwrap();
+            let explicit = SympilerLu::compile(&a, &SympilerOptions {
+                pivot_perturb: 0.0, ..base.clone()
+            }).unwrap().factor(&a).unwrap();
+            prop_assert!(plain.perturb_report().is_empty());
+            prop_assert!(explicit.perturb_report().is_empty());
+            for (x, y) in explicit.l().values().iter().chain(explicit.u().values())
+                .zip(plain.l().values().iter().chain(plain.u().values()))
+            {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "{}: explicit pivot_perturb=0.0 moved bits", label);
+            }
+            let armed = SympilerLu::compile(&a, &SympilerOptions {
+                pivot_perturb: 1e-10, ..base.clone()
+            }).unwrap().factor(&a).unwrap();
+            if armed.perturb_report().is_empty() {
+                for (x, y) in armed.l().values().iter().chain(armed.u().values())
+                    .zip(plain.l().values().iter().chain(plain.u().values()))
+                {
+                    prop_assert_eq!(x.to_bits(), y.to_bits(),
+                        "{}: an armed-but-silent tolerance moved bits", label);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn pre_pivot_permutations_are_valid_and_zero_free(a in zero_diag_matrix()) {
         for pre_pivot in [PrePivot::Transversal, PrePivot::WeightedMatching] {
             let rowp = sympiler::graph::compute_pre_pivot(&a, pre_pivot)
