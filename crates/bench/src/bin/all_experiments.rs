@@ -17,6 +17,7 @@ fn main() {
         "fig9",
         "lu_compare",
         "serve_bench",
+        "obs_bench",
         "motivating",
         "table3_overheads",
         "ablation_thresholds",

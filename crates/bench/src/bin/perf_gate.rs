@@ -24,12 +24,23 @@
 //! `flops.plan` **exactly** — a deterministic accounting gate on the
 //! instrumentation layer itself.
 //!
+//! Telemetry artifacts are re-validated from the files alone as well:
+//! every `METRICS_<experiment>.json` must parse, each histogram's
+//! bucket counts must sum to its total count, and its quantiles must
+//! be monotone (p50 ≤ p90 ≤ p99 ≤ p999); every
+//! `EVENTS_<experiment>.jsonl` must parse with dense monotonic
+//! sequence numbers and non-decreasing timestamps. Finally, when
+//! `BENCH_obs_bench.json` is among the results, its `obs:overhead_ok`
+//! and `obs:bitwise` flags are hard-checked to equal 1.0 — the
+//! telemetry overhead/bitwise contract is not subject to the timing
+//! tolerance.
+//!
 //! Usage:
 //! `perf_gate [--baseline-dir crates/bench/baselines] [--results-dir results] [--tolerance 0.25]`
 
 use std::path::{Path, PathBuf};
 use sympiler_bench::perf::{gate, PerfReport};
-use sympiler_obs::TraceFile;
+use sympiler_obs::{EventJournal, MetricsSnapshot, TraceFile};
 
 /// Check the exact flop-accounting identities carried by one profile
 /// trace; returns one violation string per broken identity.
@@ -71,6 +82,112 @@ fn check_profile_flops(path: &Path) -> Vec<String> {
         "flop-accounting gate {}: {checked} profile(s) checked against plan.flops()",
         path.display()
     );
+    violations
+}
+
+/// Structurally validate one metrics snapshot from its JSON alone:
+/// histograms must be internally consistent (bucket counts summing to
+/// the total, monotone quantiles).
+fn check_metrics(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read {}: {e}", path.display())],
+    };
+    let snap = match MetricsSnapshot::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => return vec![format!("bad metrics {}: {e}", path.display())],
+    };
+    let mut violations = Vec::new();
+    for h in &snap.histograms {
+        let bucket_total: u64 = h.buckets.iter().map(|(_, _, c)| c).sum();
+        if bucket_total != h.count {
+            violations.push(format!(
+                "{}/{}: bucket counts sum to {bucket_total}, histogram count is {}",
+                snap.experiment, h.name, h.count
+            ));
+        }
+        if !(h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.p999) {
+            violations.push(format!(
+                "{}/{}: quantiles not monotone (p50={} p90={} p99={} p999={})",
+                snap.experiment, h.name, h.p50, h.p90, h.p99, h.p999
+            ));
+        }
+    }
+    println!(
+        "metrics gate {}: {} histogram(s), {} counter(s), {} gauge(s) validated",
+        path.display(),
+        snap.histograms.len(),
+        snap.counters.len(),
+        snap.gauges.len()
+    );
+    violations
+}
+
+/// Validate one event journal from its JSONL alone: sequence numbers
+/// must be dense from 0 and timestamps non-decreasing (both are
+/// assigned under the journal lock, so any gap or inversion means a
+/// corrupted artifact).
+fn check_events(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("cannot read {}: {e}", path.display())],
+    };
+    let events = match EventJournal::parse_jsonl(&text) {
+        Ok(e) => e,
+        Err(e) => return vec![format!("bad journal {}: {e}", path.display())],
+    };
+    let mut violations = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.seq != i as u64 {
+            violations.push(format!(
+                "{}: event {i} has seq {} (sequence must be dense from 0)",
+                path.display(),
+                e.seq
+            ));
+            break;
+        }
+    }
+    if events.windows(2).any(|w| w[1].t_ns < w[0].t_ns) {
+        violations.push(format!(
+            "{}: event timestamps regress within the journal",
+            path.display()
+        ));
+    }
+    println!(
+        "event-journal gate {}: {} event(s) validated",
+        path.display(),
+        events.len()
+    );
+    violations
+}
+
+/// Hard flags that are pass/fail, not tolerance-gated: the telemetry
+/// layer must be within its overhead budget and bit-exact.
+fn check_obs_flags(results_dir: &Path) -> Vec<String> {
+    let path = results_dir.join("BENCH_obs_bench.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new(); // absence is caught by the baseline loop
+    };
+    let report = match PerfReport::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => return vec![format!("bad report {}: {e}", path.display())],
+    };
+    let mut violations = Vec::new();
+    for flag in ["obs:overhead_ok", "obs:bitwise"] {
+        match report.speedup_of(flag) {
+            Some(1.0) => {}
+            Some(v) => violations.push(format!(
+                "obs_bench: {flag} = {v} (telemetry contract requires exactly 1.0)"
+            )),
+            None => violations.push(format!("obs_bench: {flag} missing from {}", path.display())),
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "telemetry gate {}: overhead_ok and bitwise both 1.0",
+            path.display()
+        );
+    }
     violations
 }
 
@@ -143,20 +260,33 @@ fn main() {
         violations.extend(gate(&baseline, &current, tolerance));
     }
 
-    // Observability traces, when the smoke run collected them.
+    // Observability artifacts, when the smoke run collected them:
+    // profile traces, metrics snapshots, and event journals are each
+    // re-validated from the files alone.
     if let Ok(entries) = std::fs::read_dir(&results_dir) {
-        let mut profile_files: Vec<PathBuf> = entries
+        let mut obs_files: Vec<PathBuf> = entries
             .filter_map(|entry| {
                 let path = entry.expect("dir entry").path();
                 let name = path.file_name()?.to_str()?;
-                (name.starts_with("PROFILE_") && name.ends_with(".json")).then_some(path)
+                let keep = (name.starts_with("PROFILE_") && name.ends_with(".json"))
+                    || (name.starts_with("METRICS_") && name.ends_with(".json"))
+                    || (name.starts_with("EVENTS_") && name.ends_with(".jsonl"));
+                keep.then_some(path)
             })
             .collect();
-        profile_files.sort();
-        for path in &profile_files {
-            violations.extend(check_profile_flops(path));
+        obs_files.sort();
+        for path in &obs_files {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name.starts_with("PROFILE_") {
+                violations.extend(check_profile_flops(path));
+            } else if name.starts_with("METRICS_") {
+                violations.extend(check_metrics(path));
+            } else {
+                violations.extend(check_events(path));
+            }
         }
     }
+    violations.extend(check_obs_flags(&results_dir));
 
     if violations.is_empty() {
         println!(

@@ -9,9 +9,13 @@
 //! 1. **Cached stream** — 1000 same-pattern factor requests (values
 //!    perturbed per request) through a [`PlanCache`]: exactly one
 //!    compile (the first request misses, 999 hit), reported as
-//!    throughput (factors/sec), p50/p99 request latency, and the
-//!    cache hit rate. Every sampled response is verified **bitwise**
-//!    against a direct `compile()` + `factor()` of the same request.
+//!    throughput (factors/sec), p50/p99/p999 request latency, and
+//!    the cache hit rate. Every sampled response is verified
+//!    **bitwise** against a direct `compile()` + `factor()` of the
+//!    same request. Latencies go straight into a log-bucketed
+//!    [`Histogram`] (one per problem, `serve.<name>.latency_ns`), so
+//!    the quantiles printed here and the quantiles in the exported
+//!    metrics snapshot come from the same buckets.
 //! 2. **Batched factorization** — [`SympilerLu::factor_batch`]'s
 //!    entry-major SoA pass over a same-pattern batch vs. the
 //!    one-at-a-time `factor()` loop, median-timed; factors verified
@@ -24,8 +28,13 @@
 //!    the service-side hit rate, with solutions verified against the
 //!    direct path.
 //!
-//! Writes `results/serve_bench.csv` plus the machine-readable
-//! `results/BENCH_serve_bench.json` consumed by the CI perf gate.
+//! Writes `results/serve_bench.csv`, the machine-readable
+//! `results/BENCH_serve_bench.json` consumed by the CI perf gate, and
+//! `results/METRICS_serve_bench.json` — the [`MetricsRegistry`]
+//! snapshot carrying the per-problem latency histograms (full bucket
+//! arrays plus p50/p90/p99/p999). The snapshot is re-parsed after
+//! writing and its quantiles asserted equal to the ones reported
+//! here, so the file is guaranteed to agree with the console table.
 //! Gate entries per problem: `<name>:cache_hit_rate` (deterministic —
 //! one miss in 1000 requests is 0.999 by construction),
 //! `<name>:cache_bitwise` and `<name>:batch_bitwise` (deterministic
@@ -41,6 +50,11 @@
 //! `serve.cache.hit` / `serve.cache.miss` / `serve.cache.eviction`
 //! counters and the numeric-phase spans of the profiled stream land
 //! in `results/PROFILE_serve_bench.json` (chrome://tracing loadable).
+//! The [`FactorService`] shape shares the same profiler, so the trace
+//! additionally carries one per-request span tree per service request
+//! (`request` → `queue-wait` / `cache-lookup` / `factor` / `solve`)
+//! on the named `worker-*` lanes, and the profiler's counters and
+//! gauges are absorbed into the metrics snapshot.
 //!
 //! Run with `--test-scale` (or `--test`, for `all_experiments`
 //! compatibility) for a fast smoke run (CI uses this); the default
@@ -55,6 +69,7 @@ use sympiler_bench::workloads::{prepare_lu_subset, LuBenchProblem};
 use sympiler_core::plan::lu::LuFactor;
 use sympiler_core::serve::{CacheConfig, FactorService, PlanCache, ServeRequest};
 use sympiler_core::{LuWorkspace, Profiler, SympilerLu, SympilerOptions, TraceFile};
+use sympiler_obs::{Histogram, MetricsRegistry};
 use sympiler_sparse::CscMatrix;
 
 /// Length of the same-pattern request stream (both scales: the
@@ -85,11 +100,6 @@ fn assert_bitwise(tag: &str, got: &LuFactor, want: &LuFactor) -> bool {
     same
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
-}
-
 fn throughput(count: usize, total: Duration) -> f64 {
     count as f64 / total.as_secs_f64().max(1e-12)
 }
@@ -99,24 +109,28 @@ struct StreamResult {
     factors_per_sec: f64,
     p50: Duration,
     p99: Duration,
+    p999: Duration,
 }
 
-/// Shape 1: the cached single-caller stream.
+/// Shape 1: the cached single-caller stream. Per-request latencies
+/// are recorded into `hist` and the reported quantiles read back out
+/// of it, so the console numbers and the exported metrics snapshot
+/// share one source of truth.
 fn run_cached_stream(
     p: &LuBenchProblem,
     opts: &SympilerOptions,
     profiler: &Arc<Profiler>,
+    hist: &Histogram,
 ) -> StreamResult {
     let cache = PlanCache::with_profiler(CacheConfig::default(), Arc::clone(profiler));
     let mut ws = LuWorkspace::new();
-    let mut latencies = Vec::with_capacity(STREAM);
     let t0 = Instant::now();
     for req in 0..STREAM {
         let a = perturbed(&p.a, req);
         let t = Instant::now();
         let plan = cache.get_or_compile(&a, opts).expect("stream compile");
         let f = plan.factor_with(&a, &mut ws).expect("stream factor");
-        latencies.push(t.elapsed());
+        hist.record_duration(t.elapsed());
         black_box(f.l().values().first().copied());
     }
     let total = t0.elapsed();
@@ -147,12 +161,12 @@ fn run_cached_stream(
             .expect("cached factor");
         assert_bitwise(&format!("{} req {req}", p.name), &cached, &direct);
     }
-    latencies.sort_unstable();
     StreamResult {
         hit_rate: stats.hit_rate(),
         factors_per_sec: throughput(STREAM, total),
-        p50: percentile(&latencies, 0.50),
-        p99: percentile(&latencies, 0.99),
+        p50: Duration::from_nanos(hist.quantile(0.50)),
+        p99: Duration::from_nanos(hist.quantile(0.99)),
+        p999: Duration::from_nanos(hist.quantile(0.999)),
     }
 }
 
@@ -216,10 +230,20 @@ struct ServiceResult {
     hit_rate: f64,
 }
 
-/// Shape 3: the thread-pool front end absorbing the stream.
-fn run_service(p: &LuBenchProblem, opts: &SympilerOptions, test_scale: bool) -> ServiceResult {
+/// Shape 3: the thread-pool front end absorbing the stream. The
+/// shared profiler means a `--profile` run captures one span tree per
+/// request on the `worker-*` lanes.
+fn run_service(
+    p: &LuBenchProblem,
+    opts: &SympilerOptions,
+    test_scale: bool,
+    profiler: &Arc<Profiler>,
+) -> ServiceResult {
     let requests = if test_scale { 200 } else { STREAM };
-    let cache = Arc::new(PlanCache::new(CacheConfig::default()));
+    let cache = Arc::new(PlanCache::with_profiler(
+        CacheConfig::default(),
+        Arc::clone(profiler),
+    ));
     let service = FactorService::new(2, Arc::clone(&cache));
     let t0 = Instant::now();
     let tickets: Vec<_> = (0..requests)
@@ -290,6 +314,7 @@ fn main() {
 
     let mut report = PerfReport::new("serve_bench");
     let mut trace = TraceFile::new("serve_bench");
+    let metrics = MetricsRegistry::new();
     let mut table = Table::new(
         &format!(
             "serving layer: {STREAM}-request cached stream, batched factorization, \
@@ -304,6 +329,7 @@ fn main() {
             "factors/s",
             "p50",
             "p99",
+            "p999",
             "batch",
             "t loop",
             "t batch",
@@ -314,15 +340,18 @@ fn main() {
     );
 
     let mut batch_wins = 0usize;
+    let mut profile_snaps = Vec::new();
+    let mut reported = Vec::new();
     for p in &problems {
         let profiler = Arc::new(if write_profile {
             Profiler::enabled()
         } else {
             Profiler::disabled()
         });
-        let stream = run_cached_stream(p, &opts, &profiler);
+        let hist = metrics.histogram(&format!("serve.{}.latency_ns", p.name));
+        let stream = run_cached_stream(p, &opts, &profiler, &hist);
         let batch = run_batched(p, &opts, test_scale);
-        let service = run_service(p, &opts, test_scale);
+        let service = run_service(p, &opts, test_scale, &profiler);
         if batch.speedup > 1.0 {
             batch_wins += 1;
         }
@@ -335,11 +364,21 @@ fn main() {
         report.push(&format!("{}:batch_bitwise", p.name), 1.0);
         // Timing ratio entry (floored conservatively in the baseline).
         report.push(&format!("{}:batch_speedup", p.name), batch.speedup);
+        reported.push((
+            format!("serve.{}.latency_ns", p.name),
+            [
+                stream.p50.as_nanos() as u64,
+                stream.p99.as_nanos() as u64,
+                stream.p999.as_nanos() as u64,
+            ],
+        ));
 
         if write_profile {
             profiler.gauge("serve.stream.requests", STREAM as f64);
             profiler.gauge("serve.stream.hit_rate", stream.hit_rate);
-            trace.push(profiler.snapshot(p.name));
+            let prof = profiler.snapshot(p.name);
+            profile_snaps.push(prof.clone());
+            trace.push(prof);
         }
 
         table.row(vec![
@@ -350,6 +389,7 @@ fn main() {
             format!("{:.0}", stream.factors_per_sec),
             format!("{:.3?}", stream.p50),
             format!("{:.3?}", stream.p99),
+            format!("{:.3?}", stream.p999),
             batch.batch.to_string(),
             format!("{:.3?}", batch.t_loop),
             format!("{:.3?}", batch.t_batch),
@@ -374,6 +414,32 @@ fn main() {
 
     table.emit(Some("serve_bench.csv"));
     report.write_results().expect("write perf report");
+
+    // Export the latency histograms (and, when profiling, the cache
+    // counters/gauges) as a metrics snapshot, then re-parse the file
+    // and check it against what the console reported: the exported
+    // quantiles must be the exact values printed above, since both
+    // come from the same histogram buckets.
+    let mut snapshot = metrics.snapshot("serve_bench");
+    for prof in &profile_snaps {
+        snapshot.absorb_profile(prof);
+    }
+    let metrics_path = snapshot.write_results().expect("write metrics snapshot");
+    let reread = sympiler_obs::MetricsSnapshot::from_json(
+        &std::fs::read_to_string(&metrics_path).expect("read metrics snapshot"),
+    )
+    .expect("parse metrics snapshot");
+    for (name, [p50, p99, p999]) in &reported {
+        let h = reread
+            .histogram(name)
+            .unwrap_or_else(|| panic!("{name} missing from {}", metrics_path.display()));
+        assert_eq!(h.count, STREAM as u64, "{name}: sample count");
+        assert_eq!(
+            (h.p50, h.p99, h.p999),
+            (*p50, *p99, *p999),
+            "{name}: exported quantiles diverged from the reported ones"
+        );
+    }
     if write_profile {
         let path = trace.write_results().expect("write profile trace");
         println!("[profile trace saved to {}]", path.display());

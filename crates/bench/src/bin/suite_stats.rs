@@ -11,14 +11,22 @@
 //! quantities that motivate the weighted matching and calibrate the
 //! recovery ladder's refinement rung.
 //!
+//! A third table times the numeric phase itself: repeated
+//! factorizations per unsymmetric problem recorded into the
+//! observability layer's log-bucketed [`Histogram`] — the same
+//! buckets the serving layer exports — reported as p50/p90/p99/p999
+//! factor latency.
+//!
 //! Usage: `cargo run -p sympiler-bench --release --bin suite_stats [--test]`
 
+use std::time::{Duration, Instant};
 use sympiler_bench::harness::Table;
 use sympiler_core::plan::lu::LuPlan;
-use sympiler_core::PrePivot;
+use sympiler_core::{LuWorkspace, PrePivot, SympilerLu, SympilerOptions};
 use sympiler_graph::levels::dag_levels_from_preds;
 use sympiler_graph::rcm::rcm_permute;
 use sympiler_graph::{compute_ordering, lu_symbolic, Ordering};
+use sympiler_obs::Histogram;
 use sympiler_sparse::suite::{suite, unsym_suite, SuiteScale};
 
 fn main() {
@@ -163,4 +171,49 @@ fn main() {
         }
     }
     u.emit(Some("suite_stats_unsym.csv"));
+
+    // --- Numeric factor latency, histogram-sourced: the tail
+    // quantiles (p999 especially) come out of the log-bucketed
+    // histogram rather than a sorted sample vector, so this table and
+    // the serving layer's exported metrics agree on bucket semantics
+    // (quantile = upper bound of the covering bucket, ≤ 12.5% wide).
+    let samples = if matches!(scale, SuiteScale::Test) {
+        8usize
+    } else {
+        25
+    };
+    let mut l = Table::new(
+        "Unsymmetric suite: numeric factor latency (log-bucketed histogram)",
+        &["ID", "matrix", "n", "samples", "p50", "p90", "p99", "p999"],
+    );
+    for p in unsym_suite(scale) {
+        let opts = SympilerOptions {
+            pre_pivot: if p.zero_diag {
+                PrePivot::Transversal
+            } else {
+                PrePivot::Off
+            },
+            ..SympilerOptions::default()
+        };
+        let lu = SympilerLu::compile(&p.matrix, &opts).expect("latency compile");
+        let mut ws = LuWorkspace::new();
+        let hist = Histogram::new();
+        for _ in 0..samples {
+            let t = Instant::now();
+            std::hint::black_box(lu.factor_with(&p.matrix, &mut ws).expect("latency factor"));
+            hist.record_duration(t.elapsed());
+        }
+        let q = |quant: f64| format!("{:.3?}", Duration::from_nanos(hist.quantile(quant)));
+        l.row(vec![
+            p.id.to_string(),
+            p.name.to_string(),
+            p.n().to_string(),
+            samples.to_string(),
+            q(0.50),
+            q(0.90),
+            q(0.99),
+            q(0.999),
+        ]);
+    }
+    l.emit(Some("suite_stats_latency.csv"));
 }

@@ -58,4 +58,7 @@ pub use serve::{
 };
 // Observability layer (spans, counters, health monitors) — re-exported
 // so downstream users can drive profiling without naming the obs crate.
-pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};
+pub use sympiler_obs::{
+    Event, EventJournal, Histogram, HistogramSummary, LuHealth, MetricsRegistry, MetricsSnapshot,
+    Profile, Profiler, TraceFile,
+};

@@ -22,7 +22,11 @@
 //!    diagnostic trail of everything the ladder tried.
 //!
 //! Every rung emits a `robust.*` counter on the compiled profiler, so
-//! a serving deployment can watch how often requests escalate.
+//! a serving deployment can watch how often requests escalate. Each
+//! escalation (and final exhaustion) is additionally journalled on the
+//! profiler's [`sympiler_obs::EventJournal`] as a `robust.escalate` /
+//! `robust.exhausted` event carrying the observed berr and cause —
+//! the discrete incident record a histogram cannot hold.
 //!
 //! [`LuFactor::solve_refined`]: crate::plan::lu::LuFactor::solve_refined
 //! [`PerturbReport`]: crate::plan::lu::PerturbReport
@@ -258,6 +262,11 @@ impl RobustLu {
         match self.lu.factor(a) {
             Err(e) => {
                 prof.counter("robust.factor_fail").add(1);
+                prof.journal().emit(
+                    "robust.escalate",
+                    &[],
+                    &[("rung", "refactor"), ("cause", format!("{e}").as_str())],
+                );
                 trail.push(TrailStep::FactorFailed(e.clone()));
                 self.refactor(a, b, trail, RecoveryCause::Plan(e))
             }
@@ -276,6 +285,11 @@ impl RobustLu {
                     });
                 }
                 trail.push(TrailStep::BerrAboveTol { berr, tol });
+                prof.journal().emit(
+                    "robust.escalate",
+                    &[("berr", berr), ("tol", tol)],
+                    &[("rung", "refine")],
+                );
 
                 // Rung 2: refine around the compiled factors.
                 let (x, report) = f.solve_refined(a, b, tol, policy.max_refine_iters);
@@ -290,6 +304,11 @@ impl RobustLu {
                     });
                 }
                 trail.push(TrailStep::RefineStalled(report.clone()));
+                prof.journal().emit(
+                    "robust.escalate",
+                    &[("berr", report.final_berr), ("tol", tol)],
+                    &[("rung", "refactor")],
+                );
 
                 let cause = RecoveryCause::BerrAboveTol {
                     berr: report.final_berr,
@@ -315,6 +334,8 @@ impl RobustLu {
         let prof = self.lu.profiler();
         if !policy.allow_refactor {
             prof.counter("robust.fail").add(1);
+            prof.journal()
+                .emit("robust.exhausted", &[], &[("reason", "refactor disabled")]);
             trail.push(TrailStep::RefactorDisabled);
             return Err(RecoveryError { trail, cause });
         }
@@ -328,6 +349,11 @@ impl RobustLu {
             Ok(f) => f,
             Err(e) => {
                 prof.counter("robust.fail").add(1);
+                prof.journal().emit(
+                    "robust.exhausted",
+                    &[],
+                    &[("reason", format!("baseline: {e}").as_str())],
+                );
                 trail.push(TrailStep::RefactorFailed(e.clone()));
                 return Err(RecoveryError {
                     trail,
@@ -349,6 +375,11 @@ impl RobustLu {
             });
         }
         prof.counter("robust.fail").add(1);
+        prof.journal().emit(
+            "robust.exhausted",
+            &[("berr", report.final_berr), ("tol", tol)],
+            &[("reason", "baseline refinement stalled")],
+        );
         trail.push(TrailStep::RefactorStalled(report.clone()));
         Err(RecoveryError {
             trail,
@@ -490,6 +521,32 @@ mod tests {
         assert!(matches!(err.cause, RecoveryCause::Plan(_)));
         use std::error::Error;
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn escalations_are_journalled_with_monotonic_seq() {
+        let opts = SympilerOptions {
+            profile: true,
+            ..SympilerOptions::default()
+        };
+        let robust = RobustLu::compile(&cancelling3(3.0), &opts).unwrap();
+        let tricky = cancelling3(1.0);
+        let r = robust.solve(&tricky, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(r.rung, Rung::Refactor);
+        let journal = robust.lu().profiler().journal();
+        let events = journal.events();
+        assert!(
+            events.iter().any(|e| e.kind == "robust.escalate"
+                && e.notes.iter().any(|(k, v)| k == "rung" && v == "refactor")),
+            "escalation to the baseline must be journalled, got {events:?}"
+        );
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+        // The unprofiled path journals nothing.
+        let quiet = RobustLu::compile(&cancelling3(3.0), &SympilerOptions::default()).unwrap();
+        quiet.solve(&tricky, &[1.0, 2.0, 3.0]).unwrap();
+        assert!(quiet.lu().profiler().journal().is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use crate::compile::{SympilerLu, SympilerOptions};
 use crate::plan::lu::{LuFactor, LuPlanError, LuWorkspace};
-use sympiler_obs::Profiler;
+use sympiler_obs::{Profiler, MAX_LANES};
 use sympiler_sparse::CscMatrix;
 
 /// Deterministic fault-injection hooks for the serving tier, used by
@@ -444,6 +444,17 @@ impl PlanCache {
         inner.buckets.clear();
         inner.entries = 0;
         inner.bytes = 0;
+        self.publish_residency(&inner);
+    }
+
+    /// Mirror current residency onto the profiler as *live* gauges, so
+    /// eviction pressure is visible in traces and metrics snapshots
+    /// without polling [`stats`](Self::stats).
+    fn publish_residency(&self, inner: &CacheInner) {
+        self.profiler
+            .set_gauge("serve.cache.entries", inner.entries as f64);
+        self.profiler
+            .set_gauge("serve.cache.bytes", inner.bytes as f64);
     }
 
     /// The plan for `(a's pattern, opts)` — resident if cached,
@@ -457,9 +468,26 @@ impl PlanCache {
         a: &CscMatrix,
         opts: &SympilerOptions,
     ) -> Result<Arc<CachedPlan>, LuPlanError> {
+        self.get_or_compile_on_lane(a, opts, 0)
+    }
+
+    /// [`get_or_compile`](Self::get_or_compile), recording its
+    /// `cache-lookup` / `compile` spans on the given profiler lane —
+    /// the entry point [`FactorService`] workers use so each request's
+    /// cache time lands on that worker's own trace lane.
+    pub fn get_or_compile_on_lane(
+        &self,
+        a: &CscMatrix,
+        opts: &SympilerOptions,
+        lane: usize,
+    ) -> Result<Arc<CachedPlan>, LuPlanError> {
         let key = structural_hash(a, opts);
         let now = self.tick.fetch_add(1, MemOrder::Relaxed);
-        if let Some(plan) = self.lookup(key, a, opts, now) {
+        let span = self.profiler.begin(lane, "cache-lookup");
+        let found = self.lookup(key, a, opts, now);
+        self.profiler
+            .end_with(span, &[("hit", found.is_some() as u64 as f64)]);
+        if let Some(plan) = found {
             self.hits.fetch_add(1, MemOrder::Relaxed);
             self.profiler.counter("serve.cache.hit").add(1);
             return Ok(plan);
@@ -468,7 +496,11 @@ impl PlanCache {
         // one pattern never serializes hits on others.
         self.misses.fetch_add(1, MemOrder::Relaxed);
         self.profiler.counter("serve.cache.miss").add(1);
-        let lu = SympilerLu::compile(a, opts)?;
+        let span = self.profiler.begin(lane, "compile");
+        let compiled = SympilerLu::compile(a, opts);
+        self.profiler
+            .end_with(span, &[("ok", compiled.is_ok() as u64 as f64)]);
+        let lu = compiled?;
         let plan = Arc::new(CachedPlan {
             key,
             opts: opts.clone(),
@@ -525,6 +557,7 @@ impl PlanCache {
             last_use: now,
         });
         self.evict_locked(&mut inner);
+        self.publish_residency(&inner);
         plan
     }
 
@@ -561,6 +594,14 @@ impl PlanCache {
             inner.bytes -= victim.plan.bytes;
             self.evictions.fetch_add(1, MemOrder::Relaxed);
             self.profiler.counter("serve.cache.eviction").add(1);
+            self.profiler.journal().emit(
+                "cache.eviction",
+                &[
+                    ("bytes", victim.plan.bytes as f64),
+                    ("resident", inner.entries as f64),
+                ],
+                &[("key", format!("{key:#018x}").as_str())],
+            );
         }
     }
 
@@ -604,10 +645,19 @@ pub struct ServeResponse {
 
 /// A pending [`FactorService`] reply.
 pub struct Ticket {
+    id: u64,
     rx: mpsc::Receiver<Result<ServeResponse, ServeError>>,
 }
 
 impl Ticket {
+    /// The request id assigned at submit time. Request ids are unique
+    /// per service and appear as the `req` argument on the request's
+    /// span tree and in journal events, so a slow or failed ticket can
+    /// be matched to its trace.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Block until the worker finishes this request. Never hangs on a
     /// dead worker and never panics: a dropped reply sender (worker
     /// died mid-request, or the service was dropped with the request
@@ -630,8 +680,20 @@ impl Ticket {
 }
 
 struct Job {
+    /// Request id (service-wide, assigned at submit).
+    id: u64,
+    /// Submit timestamp on the cache profiler's clock, so the worker
+    /// can backdate the request's root span and carve out queue-wait.
+    submit_ns: u64,
     req: ServeRequest,
     reply: mpsc::Sender<Result<ServeResponse, ServeError>>,
+}
+
+/// Profiler lane for worker `slot`. Lane 0 stays the main/submit
+/// lane; worker `s` records on lane `s + 1`. Slots beyond the lane
+/// budget share the last lane (graceful degradation, never a panic).
+fn worker_lane(slot: usize) -> usize {
+    (slot + 1).min(MAX_LANES - 1)
 }
 
 /// A thread-pool front end over a shared [`PlanCache`]: submit
@@ -669,6 +731,8 @@ pub struct FactorService {
     #[allow(dead_code)]
     rx: Arc<Mutex<mpsc::Receiver<Job>>>,
     cache: Arc<PlanCache>,
+    /// Monotonic request-id source (ids are handed out at submit).
+    req_seq: AtomicU64,
 }
 
 type Registry = Arc<Mutex<Vec<Option<std::thread::JoinHandle<()>>>>>;
@@ -689,6 +753,11 @@ impl Drop for Sentinel {
     fn drop(&mut self) {
         if std::thread::panicking() {
             self.cache.profiler.counter("serve.worker.respawn").add(1);
+            self.cache.profiler.journal().emit(
+                "worker.respawn",
+                &[("slot", self.slot as f64)],
+                &[],
+            );
             let fresh =
                 FactorService::spawn_worker(self.slot, &self.rx, &self.cache, &self.registry);
             self.registry.lock().unwrap_or_else(PoisonError::into_inner)[self.slot] = Some(fresh);
@@ -717,6 +786,7 @@ impl FactorService {
             workers,
             rx,
             cache,
+            req_seq: AtomicU64::new(0),
         }
     }
 
@@ -736,6 +806,11 @@ impl FactorService {
                 cache: Arc::clone(&cache),
                 registry,
             };
+            // Name this worker's trace lane. Lane = slot + 1, so a
+            // respawned worker re-claims the *same* tid and the trace
+            // stays readable across sentinel restarts.
+            let lane = worker_lane(slot);
+            cache.profiler.name_lane(lane, &format!("worker-{slot}"));
             let mut ws = LuWorkspace::new();
             loop {
                 // Hold the queue lock only for the dequeue; recover
@@ -748,6 +823,15 @@ impl FactorService {
                 // released but before any reply — the ticket sees a
                 // disconnect, exactly like a real worker death.
                 fault::maybe_die();
+                // Per-request span tree: the root spans submit → reply
+                // (backdated to submit time), with queue-wait as its
+                // first child and the run phases (cache-lookup /
+                // compile / factor / solve / escalate) nesting under
+                // it as they execute on this lane.
+                let prof = &cache.profiler;
+                let root = prof.begin_at(lane, "request", job.submit_ns);
+                let queue = prof.begin_at(lane, "queue-wait", job.submit_ns);
+                prof.end(queue);
                 // Isolate the request: a panic anywhere in compile/
                 // factor/solve resolves this ticket instead of
                 // unwinding the worker. The workspace is plain
@@ -755,7 +839,7 @@ impl FactorService {
                 // so reusing it across a caught panic is sound.
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     fault::maybe_panic();
-                    Self::run(&cache, &mut ws, &job.req)
+                    Self::run(&cache, &mut ws, &job.req, lane, job.id)
                 }))
                 .unwrap_or_else(|payload| {
                     cache.profiler.counter("serve.worker.panic").add(1);
@@ -764,8 +848,17 @@ impl FactorService {
                         .map(|s| s.to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "non-string panic payload".into());
+                    cache.profiler.journal().emit(
+                        "worker.panic",
+                        &[("slot", slot as f64), ("req", job.id as f64)],
+                        &[("detail", detail.as_str())],
+                    );
                     Err(ServeError::WorkerPanic { detail })
                 });
+                prof.end_with(
+                    root,
+                    &[("req", job.id as f64), ("ok", result.is_ok() as u64 as f64)],
+                );
                 // A dropped ticket just discards the response.
                 let _ = job.reply.send(result);
             }
@@ -788,15 +881,24 @@ impl FactorService {
     }
 
     /// Enqueue a request; the returned [`Ticket`] resolves when a
-    /// worker has factored (and solved) it.
+    /// worker has factored (and solved) it. Each submission is stamped
+    /// with a service-wide request id ([`Ticket::id`]) and its submit
+    /// time, from which the worker derives the queue-wait span.
     pub fn submit(&self, req: ServeRequest) -> Ticket {
+        let id = self.req_seq.fetch_add(1, MemOrder::Relaxed);
+        let submit_ns = self.cache.profiler.now_ns();
         let (reply, rx) = mpsc::channel();
         self.tx
             .as_ref()
             .expect("sender lives until drop")
-            .send(Job { req, reply })
+            .send(Job {
+                id,
+                submit_ns,
+                req,
+                reply,
+            })
             .expect("service holds a receiver until drop");
-        Ticket { rx }
+        Ticket { id, rx }
     }
 
     /// Submit and wait: one factor (+ solves) through the pool.
@@ -808,19 +910,40 @@ impl FactorService {
         cache: &PlanCache,
         ws: &mut LuWorkspace,
         req: &ServeRequest,
+        lane: usize,
+        req_id: u64,
     ) -> Result<ServeResponse, ServeError> {
-        let plan = cache.get_or_compile(&req.a, &req.opts)?;
-        let factor = match plan.factor_with(&req.a, ws) {
+        let prof = &cache.profiler;
+        let plan = cache.get_or_compile_on_lane(&req.a, &req.opts, lane)?;
+        let span = prof.begin(lane, "factor");
+        let factored = plan.factor_with(&req.a, ws);
+        prof.end_with(span, &[("ok", factored.is_ok() as u64 as f64)]);
+        let factor = match factored {
             Ok(f) => f,
             Err(e) if req.opts.recovery.serve_escalate => {
-                return Self::escalate(cache, ws, req, e);
+                return Self::escalate(cache, ws, req, e, lane, req_id);
             }
             Err(e) => return Err(e.into()),
         };
+        let perturb = factor.perturb_report();
+        if !perturb.is_empty() {
+            prof.journal().emit(
+                "pivot.perturbed",
+                &[
+                    ("req", req_id as f64),
+                    ("columns", perturb.columns.len() as f64),
+                    ("threshold", perturb.threshold),
+                ],
+                &[],
+            );
+        }
         let solutions = if req.rhs.is_empty() {
             Vec::new()
         } else {
-            factor.solve_batch(&req.rhs)
+            let span = prof.begin(lane, "solve");
+            let s = factor.solve_batch(&req.rhs);
+            prof.end_with(span, &[("n_rhs", req.rhs.len() as f64)]);
+            s
         };
         Ok(ServeResponse { factor, solutions })
     }
@@ -838,18 +961,50 @@ impl FactorService {
         ws: &mut LuWorkspace,
         req: &ServeRequest,
         original: LuPlanError,
+        lane: usize,
+        req_id: u64,
     ) -> Result<ServeResponse, ServeError> {
+        let prof = &cache.profiler;
         cache.profiler.counter("serve.escalate").add(1);
+        prof.journal().emit(
+            "serve.escalate",
+            &[("req", req_id as f64)],
+            &[("cause", format!("{original}").as_str())],
+        );
+        let span = prof.begin(lane, "escalate");
+        let result = Self::escalate_inner(cache, ws, req, &original, lane);
+        prof.end_with(
+            span,
+            &[
+                ("req", req_id as f64),
+                ("recovered", result.is_ok() as u64 as f64),
+            ],
+        );
+        if result.is_ok() {
+            cache.profiler.counter("serve.escalate.recovered").add(1);
+            prof.journal()
+                .emit("serve.escalate.recovered", &[("req", req_id as f64)], &[]);
+        }
+        result
+    }
+
+    fn escalate_inner(
+        cache: &PlanCache,
+        ws: &mut LuWorkspace,
+        req: &ServeRequest,
+        original: &LuPlanError,
+        lane: usize,
+    ) -> Result<ServeResponse, ServeError> {
         let mut opts = req.opts.clone();
         if opts.pivot_perturb == 0.0 {
             // √ε-scale: the conventional static-perturbation setting.
             opts.pivot_perturb = 1e-8;
         }
-        let Ok(plan) = cache.get_or_compile(&req.a, &opts) else {
-            return Err(original.into());
+        let Ok(plan) = cache.get_or_compile_on_lane(&req.a, &opts, lane) else {
+            return Err(original.clone().into());
         };
         let Ok(factor) = plan.factor_with(&req.a, ws) else {
-            return Err(original.into());
+            return Err(original.clone().into());
         };
         let policy = &req.opts.recovery;
         let mut solutions = Vec::with_capacity(req.rhs.len());
@@ -857,11 +1012,10 @@ impl FactorService {
             let (x, report) =
                 factor.solve_refined(&req.a, b, policy.berr_tol, policy.max_refine_iters);
             if !report.converged {
-                return Err(original.into());
+                return Err(original.clone().into());
             }
             solutions.push(x);
         }
-        cache.profiler.counter("serve.escalate.recovered").add(1);
         Ok(ServeResponse { factor, solutions })
     }
 }
@@ -1028,5 +1182,118 @@ mod tests {
         cache.get_or_compile(&a, &opts()).unwrap();
         assert_eq!(prof.counter_value("serve.cache.miss"), 1);
         assert_eq!(prof.counter_value("serve.cache.hit"), 1);
+    }
+
+    #[test]
+    fn residency_gauges_are_live_and_evictions_are_journalled() {
+        let prof = Arc::new(Profiler::enabled());
+        let cache = PlanCache::with_profiler(
+            CacheConfig {
+                max_entries: 1,
+                max_bytes: 0,
+            },
+            Arc::clone(&prof),
+        );
+        let a = gen::circuit_unsym(30, 4, 2, 1);
+        let b = gen::circuit_unsym(31, 4, 2, 2);
+        let pa = cache.get_or_compile(&a, &opts()).unwrap();
+        let snap = prof.snapshot("after-a");
+        assert_eq!(snap.gauge("serve.cache.entries"), Some(1.0));
+        assert_eq!(snap.gauge("serve.cache.bytes"), Some(pa.bytes() as f64));
+        // Admitting b evicts a (max one entry): the live gauges track
+        // the new residency and the eviction lands in the journal.
+        let pb = cache.get_or_compile(&b, &opts()).unwrap();
+        let snap = prof.snapshot("after-b");
+        assert_eq!(snap.gauge("serve.cache.entries"), Some(1.0));
+        assert_eq!(snap.gauge("serve.cache.bytes"), Some(pb.bytes() as f64));
+        let events = prof.journal().events();
+        let ev = events
+            .iter()
+            .find(|e| e.kind == "cache.eviction")
+            .expect("eviction journalled");
+        assert!(ev
+            .fields
+            .iter()
+            .any(|(k, v)| k == "bytes" && *v == pa.bytes() as f64));
+        assert!(ev
+            .notes
+            .iter()
+            .any(|(k, v)| k == "key" && v.starts_with("0x")));
+        // clear() zeroes the live gauges.
+        cache.clear();
+        let snap = prof.snapshot("cleared");
+        assert_eq!(snap.gauge("serve.cache.entries"), Some(0.0));
+        assert_eq!(snap.gauge("serve.cache.bytes"), Some(0.0));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_traced_on_worker_lanes() {
+        let prof = Arc::new(Profiler::enabled());
+        let cache = Arc::new(PlanCache::with_profiler(
+            CacheConfig::default(),
+            Arc::clone(&prof),
+        ));
+        let service = FactorService::new(2, Arc::clone(&cache));
+        let a = gen::circuit_unsym(40, 4, 2, 9);
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| {
+                service.submit(ServeRequest {
+                    a: a.clone(),
+                    opts: opts(),
+                    rhs: vec![vec![1.0; 40]],
+                })
+            })
+            .collect();
+        let ids: Vec<u64> = tickets.iter().map(Ticket::id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5], "ids are assigned in order");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let snap = prof.snapshot("serve");
+        // Every request produced a root span on a *worker* lane with
+        // its id attached, and the tree accounts for queue-wait,
+        // cache, factor, and solve time.
+        let roots: Vec<_> = snap.spans_named("request").collect();
+        assert_eq!(roots.len(), 6);
+        let mut seen: Vec<u64> = roots
+            .iter()
+            .map(|s| {
+                assert!(s.lane >= 1, "request spans live on worker lanes");
+                s.args
+                    .iter()
+                    .find(|(k, _)| k == "req")
+                    .expect("req id arg")
+                    .1 as u64
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+        for name in ["queue-wait", "cache-lookup", "factor", "solve"] {
+            assert_eq!(
+                snap.spans_named(name).count(),
+                6,
+                "each request records a {name} child"
+            );
+        }
+        assert_eq!(snap.spans_named("compile").count(), 1, "one miss compiles");
+        // Worker lanes carry stable thread names.
+        assert_eq!(snap.thread_name(1), Some("worker-0"));
+        assert_eq!(snap.thread_name(2), Some("worker-1"));
+        // Children nest inside their roots in time: each root span
+        // contains at least queue-wait, cache-lookup, and factor.
+        for root in &roots {
+            let end = root.start_ns + root.dur_ns;
+            let children = snap
+                .spans
+                .iter()
+                .filter(|s| {
+                    s.lane == root.lane
+                        && s.name != "request"
+                        && s.start_ns >= root.start_ns
+                        && s.start_ns + s.dur_ns <= end
+                })
+                .count();
+            assert!(children >= 3, "request tree has its phase children");
+        }
     }
 }

@@ -1,0 +1,267 @@
+//! Structured event journal: discrete serving incidents (worker
+//! panic/respawn, cache eviction, recovery-ladder escalation, perturbed
+//! pivots) as JSONL with monotonic sequence numbers.
+//!
+//! Spans answer "where did the time go"; the journal answers "what
+//! happened" — rare, discrete facts that would be invisible in a
+//! latency histogram and awkward as counters. Each event carries a
+//! global sequence number (total order across threads), a timestamp on
+//! the owning profiler's epoch, a dotted `kind`, and flat numeric /
+//! text fields.
+//!
+//! ## JSONL schema (`results/EVENTS_<experiment>.jsonl`)
+//!
+//! One event per line:
+//!
+//! ```json
+//! {"seq": 0, "t_ns": 123456, "kind": "cache.eviction",
+//!  "fields": {"bytes": 81920, "resident": 3}, "notes": {"key": "0x1d2c"}}
+//! ```
+//!
+//! `seq` is strictly increasing from 0 within one journal — the
+//! property `perf_gate` re-validates from the artifact alone.
+
+use crate::json::{self, escape, number, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One journalled incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global sequence number, strictly increasing from 0.
+    pub seq: u64,
+    /// Nanoseconds since the journal's (= profiler's) epoch.
+    pub t_ns: u64,
+    /// Dotted event kind, e.g. `worker.panic`, `cache.eviction`.
+    pub kind: String,
+    /// Numeric payload fields.
+    pub fields: Vec<(String, f64)>,
+    /// Text payload fields.
+    pub notes: Vec<(String, String)>,
+}
+
+struct JournalInner {
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+/// An append-only incident journal. A disabled journal (what a
+/// disabled [`crate::Profiler`] hands out) is inert: `emit` is a
+/// branch and nothing more.
+pub struct EventJournal {
+    inner: Option<JournalInner>,
+}
+
+impl EventJournal {
+    /// An inert journal (const-constructible).
+    pub const fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording journal with its epoch at the call instant.
+    pub fn enabled() -> Self {
+        Self::with_epoch(Instant::now())
+    }
+
+    /// A recording journal timestamping against the given epoch (used
+    /// by [`crate::Profiler`] so journal times align with span times).
+    pub fn with_epoch(epoch: Instant) -> Self {
+        Self {
+            inner: Some(JournalInner {
+                epoch,
+                events: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Append an event. Sequence number and timestamp are assigned
+    /// under the journal lock, so `seq` order equals append order.
+    pub fn emit(&self, kind: &str, fields: &[(&str, f64)], notes: &[(&str, &str)]) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut ev = inner.events.lock().unwrap();
+        let seq = ev.len() as u64;
+        ev.push(Event {
+            seq,
+            t_ns: inner.epoch.elapsed().as_nanos() as u64,
+            kind: kind.to_string(),
+            fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            notes: notes
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.events.lock().unwrap().len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy out all events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.events.lock().unwrap().clone())
+    }
+
+    /// Serialize all events as JSONL (one event per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            let fields: Vec<String> = e
+                .fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {}", escape(k), number(*v)))
+                .collect();
+            let notes: Vec<String> = e
+                .notes
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", escape(k), escape(v)))
+                .collect();
+            out.push_str(&format!(
+                "{{\"seq\": {}, \"t_ns\": {}, \"kind\": \"{}\", \
+                 \"fields\": {{{}}}, \"notes\": {{{}}}}}\n",
+                e.seq,
+                e.t_ns,
+                escape(&e.kind),
+                fields.join(", "),
+                notes.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Parse a JSONL journal written by [`to_jsonl`](Self::to_jsonl).
+    pub fn parse_jsonl(s: &str) -> Result<Vec<Event>, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in s.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let seq = v
+                .get("seq")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("line {}: missing seq", lineno + 1))?
+                as u64;
+            let t_ns = v
+                .get("t_ns")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("line {}: missing t_ns", lineno + 1))?
+                as u64;
+            let kind = v
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?
+                .to_string();
+            let mut fields = Vec::new();
+            if let Some(f) = v.get("fields") {
+                for (k, fv) in f.fields() {
+                    if let Some(x) = fv.as_f64() {
+                        fields.push((k.clone(), x));
+                    }
+                }
+            }
+            let mut notes = Vec::new();
+            if let Some(n) = v.get("notes") {
+                for (k, nv) in n.fields() {
+                    if let Some(x) = nv.as_str() {
+                        notes.push((k.clone(), x.to_string()));
+                    }
+                }
+            }
+            events.push(Event {
+                seq,
+                t_ns,
+                kind,
+                fields,
+                notes,
+            });
+        }
+        Ok(events)
+    }
+
+    /// Write the journal to `results/EVENTS_<experiment>.jsonl`,
+    /// announce the path, and return it.
+    pub fn write_results(&self, experiment: &str) -> std::io::Result<PathBuf> {
+        let dir = Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("EVENTS_{experiment}.jsonl"));
+        std::fs::write(&path, self.to_jsonl())?;
+        println!("[events saved to {}]", path.display());
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let j = EventJournal::disabled();
+        assert!(!j.is_enabled());
+        j.emit("x", &[("a", 1.0)], &[]);
+        assert!(j.is_empty());
+        assert_eq!(j.to_jsonl(), "");
+    }
+
+    #[test]
+    fn seq_is_strictly_increasing_across_threads() {
+        let j = EventJournal::enabled();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let j = &j;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        j.emit("race", &[("t", t as f64), ("i", i as f64)], &[]);
+                    }
+                });
+            }
+        });
+        let ev = j.events();
+        assert_eq!(ev.len(), 400);
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let j = EventJournal::enabled();
+        j.emit(
+            "cache.eviction",
+            &[("bytes", 81920.0), ("resident", 3.0)],
+            &[("key", "0x1d2c")],
+        );
+        j.emit(
+            "worker.panic",
+            &[("slot", 1.0)],
+            &[("detail", "bad \"rhs\"")],
+        );
+        let text = j.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        let back = EventJournal::parse_jsonl(&text).unwrap();
+        assert_eq!(back, j.events());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(EventJournal::parse_jsonl("{\"seq\": 0}").is_err());
+        assert!(EventJournal::parse_jsonl("not json").is_err());
+    }
+}

@@ -19,6 +19,13 @@
 //!   text table for humans and a chrome-`trace_event`-compatible JSON
 //!   profile (`results/PROFILE_<experiment>.json`) with a matching
 //!   subset parser so tests and the perf gate can read profiles back.
+//! - [`MetricsRegistry`] / [`Histogram`] — serving metrics: log-
+//!   bucketed latency histograms (lock-free record path, mergeable
+//!   across worker threads) with Prometheus text exposition and a
+//!   JSON snapshot writer (`results/METRICS_<experiment>.json`).
+//! - [`EventJournal`] — a structured incident journal (worker panics,
+//!   cache evictions, recovery escalations) exported as JSONL with
+//!   monotonic sequence numbers.
 //! - [`json`] — the no-serde JSON writer/parser shared with the perf
 //!   reports in `sympiler-bench`.
 //!
@@ -26,9 +33,13 @@
 //! workspace crate so the core pipeline can thread one profiler from
 //! compile time through the numeric phase.
 
+pub mod journal;
 pub mod json;
+pub mod metrics;
 mod trace;
 
+pub use journal::{Event, EventJournal};
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use trace::{Profile, TraceFile};
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,7 +83,15 @@ struct Inner {
     lanes: Vec<Mutex<Lane>>,
     counters: Mutex<CounterTable>,
     gauges: Mutex<Vec<(String, f64)>>,
+    /// Lane → display name (chrome `thread_name` metadata); at most
+    /// one entry per lane, last write wins.
+    lane_names: Mutex<Vec<(usize, String)>>,
+    /// Incident journal sharing the profiler's epoch.
+    journal: EventJournal,
 }
+
+/// The journal handed out by a disabled profiler: inert, shared.
+static INERT_JOURNAL: EventJournal = EventJournal::disabled();
 
 /// Handle to an open span, returned by [`Profiler::begin`]. `None` when
 /// the profiler is disabled — [`Profiler::end`] accepts the `Option`
@@ -101,6 +120,12 @@ impl Counter {
     #[inline]
     pub fn get(&self) -> u64 {
         self.0.as_ref().map_or(0, |a| a.load(Ordering::Relaxed))
+    }
+
+    /// Wrap a shared atomic (used by [`MetricsRegistry`] so its
+    /// counters hand out the same lock-free handle type).
+    pub(crate) fn from_shared(a: Arc<AtomicU64>) -> Self {
+        Counter(Some(a))
     }
 }
 
@@ -131,14 +156,17 @@ impl Profiler {
 
     /// A recording profiler with its epoch at the call instant.
     pub fn enabled() -> Self {
+        let epoch = Instant::now();
         Self {
             inner: Some(Inner {
-                epoch: Instant::now(),
+                epoch,
                 lanes: (0..MAX_LANES)
                     .map(|_| Mutex::new(Lane::default()))
                     .collect(),
                 counters: Mutex::new(Vec::new()),
                 gauges: Mutex::new(Vec::new()),
+                lane_names: Mutex::new(Vec::new()),
+                journal: EventJournal::with_epoch(epoch),
             }),
         }
     }
@@ -158,8 +186,16 @@ impl Profiler {
 
     /// Open a span on `lane`. Returns `None` when disabled.
     pub fn begin(&self, lane: usize, name: &str) -> Option<SpanId> {
+        let start = self.now_ns();
+        self.begin_at(lane, name, start)
+    }
+
+    /// Open a span with an explicit start timestamp (from
+    /// [`now_ns`](Self::now_ns)) — the pattern used by the serving
+    /// layer to backdate a request's root span to its *submit* time so
+    /// the queue-wait child nests inside it.
+    pub fn begin_at(&self, lane: usize, name: &str, start: u64) -> Option<SpanId> {
         let inner = self.inner.as_ref()?;
-        let start = inner.epoch.elapsed().as_nanos() as u64;
         let lane = lane.min(MAX_LANES - 1);
         let mut l = inner.lanes[lane].lock().unwrap();
         let depth = l.open.len();
@@ -257,15 +293,53 @@ impl Profiler {
         }
     }
 
+    /// Set a *live* gauge: replaces the previous value of the same
+    /// name (or appends on first write). Used for occupancy-style
+    /// gauges (`serve.cache.entries`, `serve.cache.bytes`) where only
+    /// the current value is meaningful.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut g = inner.gauges.lock().unwrap();
+        match g.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = value,
+            None => g.push((name.to_string(), value)),
+        }
+    }
+
+    /// Name a lane for trace display (chrome `thread_name` metadata).
+    /// Idempotent per lane: re-naming (a respawned worker re-claiming
+    /// its slot) replaces the previous name, keeping tids stable.
+    pub fn name_lane(&self, lane: usize, name: &str) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let lane = lane.min(MAX_LANES - 1);
+        let mut names = inner.lane_names.lock().unwrap();
+        match names.iter_mut().find(|(l, _)| *l == lane) {
+            Some(slot) => slot.1 = name.to_string(),
+            None => names.push((lane, name.to_string())),
+        }
+    }
+
+    /// The profiler's incident journal (inert when disabled). Journal
+    /// timestamps share the profiler's epoch, so events line up with
+    /// spans in the same trace.
+    pub fn journal(&self) -> &EventJournal {
+        match &self.inner {
+            Some(i) => &i.journal,
+            None => &INERT_JOURNAL,
+        }
+    }
+
     /// Snapshot everything recorded so far into a [`Profile`].
     /// Spans are ordered lane-major, each lane chronologically.
     pub fn snapshot(&self, label: &str) -> Profile {
         let Some(inner) = self.inner.as_ref() else {
             return Profile {
                 label: label.to_string(),
-                spans: Vec::new(),
-                counters: Vec::new(),
-                gauges: Vec::new(),
+                ..Profile::default()
             };
         };
         let mut spans = Vec::new();
@@ -280,11 +354,14 @@ impl Profiler {
             .map(|(n, a)| (n.clone(), a.load(Ordering::Relaxed)))
             .collect();
         let gauges = inner.gauges.lock().unwrap().clone();
+        let mut thread_names = inner.lane_names.lock().unwrap().clone();
+        thread_names.sort_by_key(|&(lane, _)| lane);
         Profile {
             label: label.to_string(),
             spans,
             counters,
             gauges,
+            thread_names,
         }
     }
 
@@ -303,6 +380,7 @@ impl Profiler {
             a.store(0, Ordering::Relaxed);
         }
         inner.gauges.lock().unwrap().clear();
+        inner.lane_names.lock().unwrap().clear();
     }
 }
 
@@ -396,6 +474,91 @@ mod tests {
         assert_eq!(s.spans.len(), 2);
         assert_eq!(s.spans[0].lane, 1);
         assert_eq!(s.spans[1].lane, MAX_LANES - 1);
+    }
+
+    #[test]
+    fn set_gauge_replaces_while_gauge_appends() {
+        let p = Profiler::enabled();
+        p.gauge("health.growth", 1.0);
+        p.gauge("health.growth", 2.0);
+        p.set_gauge("serve.cache.entries", 5.0);
+        p.set_gauge("serve.cache.entries", 3.0);
+        let s = p.snapshot("t");
+        // Append-only gauges keep both records, first-wins on read.
+        assert_eq!(
+            s.gauges
+                .iter()
+                .filter(|(n, _)| n == "health.growth")
+                .count(),
+            2
+        );
+        assert_eq!(s.gauge("health.growth"), Some(1.0));
+        // Live gauges hold only the current value.
+        assert_eq!(
+            s.gauges
+                .iter()
+                .filter(|(n, _)| n == "serve.cache.entries")
+                .count(),
+            1
+        );
+        assert_eq!(s.gauge("serve.cache.entries"), Some(3.0));
+    }
+
+    #[test]
+    fn lane_names_are_stable_across_renames() {
+        let p = Profiler::enabled();
+        p.name_lane(1, "worker-0");
+        p.name_lane(2, "worker-1");
+        p.name_lane(1, "worker-0"); // respawned worker re-claims its lane
+        p.name_lane(MAX_LANES + 5, "clamped");
+        let s = p.snapshot("t");
+        assert_eq!(
+            s.thread_names,
+            vec![
+                (1, "worker-0".to_string()),
+                (2, "worker-1".to_string()),
+                (MAX_LANES - 1, "clamped".to_string()),
+            ]
+        );
+        let disabled = Profiler::disabled();
+        disabled.name_lane(1, "x");
+        assert!(disabled.snapshot("t").thread_names.is_empty());
+    }
+
+    #[test]
+    fn begin_at_backdates_the_root_span() {
+        let p = Profiler::enabled();
+        let submit = p.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let root = p.begin_at(1, "request", submit);
+        let child = p.begin(1, "factor");
+        p.end(child);
+        p.end_with(root, &[("req", 7.0)]);
+        let s = p.snapshot("t");
+        let root = s.spans_named("request").next().unwrap();
+        let child = s.spans_named("factor").next().unwrap();
+        assert_eq!(root.start_ns, submit);
+        assert_eq!(root.depth, 0);
+        assert_eq!(child.depth, 1);
+        assert!(child.start_ns >= root.start_ns);
+        assert!(root.start_ns + root.dur_ns >= child.start_ns + child.dur_ns);
+        assert_eq!(root.args, vec![("req".to_string(), 7.0)]);
+    }
+
+    #[test]
+    fn journal_is_inert_when_disabled_and_shares_epoch_when_enabled() {
+        let d = Profiler::disabled();
+        d.journal().emit("x", &[], &[]);
+        assert!(d.journal().is_empty());
+
+        let p = Profiler::enabled();
+        let before = p.now_ns();
+        p.journal().emit("cache.eviction", &[("bytes", 10.0)], &[]);
+        let after = p.now_ns();
+        let ev = p.journal().events();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].seq, 0);
+        assert!(ev[0].t_ns >= before && ev[0].t_ns <= after);
     }
 
     #[test]

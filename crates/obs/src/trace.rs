@@ -16,6 +16,8 @@
 //!   "traceEvents": [
 //!     {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
 //!      "args": {"name": "<profile label>"}},
+//!     {"name": "thread_name", "ph": "M", "pid": 1, "tid": <lane>,
+//!      "args": {"name": "worker-0"}},
 //!     {"name": "<span>", "ph": "X", "pid": 1, "tid": <lane>,
 //!      "ts": <µs>, "dur": <µs>, "args": {"depth": 0, "flops": 64}}
 //!   ],
@@ -44,6 +46,9 @@ pub struct Profile {
     pub counters: Vec<(String, u64)>,
     /// Gauge name → value, in record order (names may repeat).
     pub gauges: Vec<(String, f64)>,
+    /// Lane → display name, ascending by lane (chrome `thread_name`
+    /// metadata: `worker-0`, `worker-1`, ... for service lanes).
+    pub thread_names: Vec<(usize, String)>,
 }
 
 impl Profile {
@@ -63,6 +68,14 @@ impl Profile {
     /// All spans with the given name.
     pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRec> {
         self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Display name of a lane, if one was recorded.
+    pub fn thread_name(&self, lane: usize) -> Option<&str> {
+        self.thread_names
+            .iter()
+            .find(|&&(l, _)| l == lane)
+            .map(|(_, n)| n.as_str())
     }
 
     /// Distinct lanes that carry at least one span, ascending.
@@ -119,6 +132,13 @@ impl TraceFile {
                  \"tid\": 0, \"args\": {{\"name\": \"{}\"}}}}",
                 escape(&p.label)
             ));
+            for (lane, name) in &p.thread_names {
+                events.push(format!(
+                    "    {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \
+                     \"tid\": {lane}, \"args\": {{\"name\": \"{}\"}}}}",
+                    escape(name)
+                ));
+            }
             for s in &p.spans {
                 let mut args = format!("\"depth\": {}", s.depth);
                 for (k, v) in &s.args {
@@ -205,6 +225,16 @@ impl TraceFile {
                 .ok_or("event missing pid")? as usize;
             let i = profile_of(pid, &mut pids, &mut profiles);
             match ph {
+                "M" if name == "thread_name" => {
+                    let lane = e.get("tid").and_then(Value::as_f64).unwrap_or(0.0) as usize;
+                    if let Some(n) = e
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
+                    {
+                        profiles[i].thread_names.push((lane, n.to_string()));
+                    }
+                }
                 "M" if name == "process_name" => {
                     if let Some(label) = e
                         .get("args")
@@ -367,12 +397,14 @@ mod tests {
             ],
             counters: vec![("flops.scalar".to_string(), 4096)],
             gauges: vec![("health.growth".to_string(), 1.25)],
+            thread_names: vec![(0, "main".to_string()), (3, "worker-2".to_string())],
         });
         t.push(Profile {
             label: "p2".to_string(),
             spans: vec![],
             counters: vec![],
             gauges: vec![("par.imbalance".to_string(), 1.5)],
+            thread_names: vec![],
         });
         t
     }
@@ -401,6 +433,8 @@ mod tests {
         assert_eq!(p.gauge("health.growth"), Some(1.25));
         assert_eq!(p.spans_named("factor:serial").count(), 1);
         assert_eq!(p.lanes_used(), vec![0, 3]);
+        assert_eq!(p.thread_name(3), Some("worker-2"));
+        assert_eq!(p.thread_name(7), None);
     }
 
     #[test]

@@ -107,7 +107,10 @@ pub mod prelude {
         CacheConfig, CacheStats, CachedPlan, FactorService, PlanCache, ServeError, ServeRequest,
         ServeResponse, Ticket,
     };
-    pub use sympiler_obs::{LuHealth, Profile, Profiler, TraceFile};
+    pub use sympiler_obs::{
+        Event, EventJournal, Histogram, HistogramSummary, LuHealth, MetricsRegistry,
+        MetricsSnapshot, Profile, Profiler, TraceFile,
+    };
     pub use sympiler_solvers::lu::{GpLu, GpLuFactors, Pivoting};
     pub use sympiler_sparse::{CscMatrix, SparseVec, TripletMatrix};
 }

@@ -190,6 +190,81 @@ fn health_monitors_surface_on_profiled_factors() {
 }
 
 #[test]
+fn lane_exhaustion_beyond_32_threads_degrades_gracefully() {
+    use sympiler::core::serve::{CacheConfig, FactorService, PlanCache, ServeRequest};
+    use sympiler::obs::MAX_LANES;
+
+    // Raw hammer: more threads than lanes, each opening and closing
+    // spans concurrently. Overflow lanes clamp onto the last lane
+    // (which several threads then share); nothing may panic, every
+    // span must be recorded, and no span may claim an out-of-range
+    // lane.
+    let threads = MAX_LANES + 8;
+    let profiler = Arc::new(Profiler::enabled());
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let prof = Arc::clone(&profiler);
+            s.spawn(move || {
+                for i in 0..16 {
+                    let id = prof.begin(t, "hammer");
+                    prof.end_with(id, &[("i", i as f64)]);
+                }
+            });
+        }
+    });
+    let snap = profiler.snapshot("hammer");
+    assert_eq!(
+        snap.spans_named("hammer").count(),
+        threads * 16,
+        "every span survives lane clamping"
+    );
+    assert!(
+        snap.spans.iter().all(|s| s.lane < MAX_LANES),
+        "clamped lanes stay in range"
+    );
+
+    // Service shape: more workers than span lanes. The overflow
+    // workers share the clamped last lane; every request must still
+    // succeed and leave its root span on a valid worker lane.
+    let a = problem();
+    let profiler = Arc::new(Profiler::enabled());
+    let cache = Arc::new(PlanCache::with_profiler(
+        CacheConfig::default(),
+        Arc::clone(&profiler),
+    ));
+    let workers = MAX_LANES + 4;
+    let service = FactorService::new(workers, Arc::clone(&cache));
+    let requests = 2 * workers;
+    let tickets: Vec<_> = (0..requests)
+        .map(|req| {
+            let mut m = a.clone();
+            for v in m.values_mut() {
+                *v *= 1.0 + 1e-3 * (req as f64);
+            }
+            service.submit(ServeRequest {
+                a: m,
+                opts: SympilerOptions::default(),
+                rhs: Vec::new(),
+            })
+        })
+        .collect();
+    for t in tickets {
+        t.wait()
+            .expect("request on a shared overflow lane succeeds");
+    }
+    let snap = profiler.snapshot("lanes");
+    assert_eq!(
+        snap.spans_named("request").count(),
+        requests,
+        "one root span per request even with workers sharing a lane"
+    );
+    assert!(
+        snap.spans.iter().all(|s| s.lane >= 1 && s.lane < MAX_LANES),
+        "service spans stay on worker lanes (1..MAX_LANES)"
+    );
+}
+
+#[test]
 fn compile_spans_and_set_gauges_share_the_trace() {
     let a = problem();
     let lu = SympilerLu::compile(
