@@ -111,6 +111,33 @@ pub struct SympilerOptions {
     /// the dense block accumulator, `n × max_panel` doubles per
     /// worker). 0 = unlimited.
     pub max_panel: usize,
+    /// Relative fill budget for **relaxed supernode amalgamation**
+    /// (CHOLMOD/SuperLU's `relax`, applied to LU panels): adjacent
+    /// strictly-nesting panels merge into one wider panel when the
+    /// explicit zeros the merged trapezoid must pad stay within
+    /// `relax_fill` × the panel's structural nonzeros. Padding lives
+    /// only in dense workspace (padded slots compute to exact ±0.0;
+    /// the CSC factors are untouched), buying wider panels — more
+    /// dense-kernel work per schedule entry — for a bounded amount of
+    /// wasted arithmetic. `<= 0.0` disables merging: panels are
+    /// bitwise today's strict ones. Default `0.3`.
+    pub relax_fill: f64,
+    /// Cap on the width an amalgamated panel may grow to (min'd with
+    /// `max_panel` when that is nonzero). `< 2` disables merging.
+    /// Default `16`.
+    pub relax_cols: usize,
+    /// Finish MC64: derive row/column equilibration scalings `Dr`/`Dc`
+    /// from the weighted-matching dual potentials and fold them into
+    /// the plan's baked gather maps — the numeric phase factors
+    /// `Qᵀ·P·(Dr·A·Dc)·Q` (every matched diagonal exactly 1, every
+    /// entry ≤ 1) at zero per-factorization cost, and solves unscale
+    /// transparently in original coordinates. Collapses pivot growth
+    /// from ~1e8 to O(1) on zero-diagonal problems, making the strict
+    /// verification bar hold under the pattern-only transversal too.
+    /// Scalings are computed from the compile-time matrix values (the
+    /// static MC64 contract — recompile to re-equilibrate). Default
+    /// `false`: factors then stay comparable with unscaled baselines.
+    pub mc64_scale: bool,
     /// Static pre-pivoting for the LU pipeline: compute a row
     /// permutation `P` at inspection time (maximum transversal or
     /// MC64-like weighted matching) so `P·A` has a structurally
@@ -169,6 +196,9 @@ impl Default for SympilerOptions {
             ordering: Ordering::Natural,
             block_lu: BlockLu::Auto,
             max_panel: 32,
+            relax_fill: 0.3,
+            relax_cols: 16,
+            mc64_scale: false,
             pre_pivot: PrePivot::Off,
             profile: false,
             pivot_perturb: 0.0,
@@ -413,7 +443,7 @@ enum LuExec {
     Parallel(crate::plan::lu_parallel::ParallelLuPlan),
     /// Column panels routed through dense kernels, leveled over the
     /// panel DAG (serial when compiled with `n_threads == 1`).
-    Supernodal(crate::plan::lu_supernodal::SupernodalLuPlan),
+    Supernodal(Box<crate::plan::lu_supernodal::SupernodalLuPlan>),
 }
 
 impl SympilerLu {
@@ -446,30 +476,44 @@ impl SympilerLu {
             profiler,
         )?
         .with_pivot_perturbation(opts.pivot_perturb);
+        let plan = if opts.mc64_scale {
+            plan.with_mc64_scaling(a)?
+        } else {
+            plan
+        };
         // Supernodal tier: under `Auto`, engage only when blocking
         // pays (mean panel width ≥ 2 — the VS-Block threshold idea
         // applied to LU). The threshold needs only the O(nnz) panel
-        // detection, so the full leveled panel schedule is built just
-        // for patterns that actually block.
+        // detection — run with the same relaxation budget the
+        // supernodal plan would use, so amalgamated widths count — and
+        // the full leveled panel schedule is built just for patterns
+        // that actually block.
         let engage = match opts.block_lu {
             BlockLu::Off => false,
             BlockLu::On => true,
             BlockLu::Auto => {
-                let part = sympiler_graph::lu_supernode::supernodes_lu_from_parts(
+                let panels = sympiler_graph::lu_supernode::supernodes_lu_relaxed_from_parts(
                     plan.n(),
                     &plan.l_col_ptr,
                     &plan.l_row_idx,
                     opts.max_panel,
+                    opts.relax_fill,
+                    opts.relax_cols,
                 );
-                part.n_supernodes() > 0 && plan.n() as f64 / part.n_supernodes() as f64 >= 2.0
+                let ns = panels.part.n_supernodes();
+                ns > 0 && plan.n() as f64 / ns as f64 >= 2.0
             }
         };
         if engage {
             return Ok(Self {
-                exec: LuExec::Supernodal(crate::plan::lu_supernodal::SupernodalLuPlan::from_plan(
-                    plan,
-                    opts.max_panel,
-                    opts.n_threads.max(1),
+                exec: LuExec::Supernodal(Box::new(
+                    crate::plan::lu_supernodal::SupernodalLuPlan::from_plan_relaxed(
+                        plan,
+                        opts.max_panel,
+                        opts.n_threads.max(1),
+                        opts.relax_fill,
+                        opts.relax_cols,
+                    ),
                 )),
             });
         }
@@ -596,6 +640,17 @@ impl SympilerLu {
     /// Exact factorization flops.
     pub fn flops(&self) -> u64 {
         self.plan().flops()
+    }
+
+    /// Resident bytes of the compiled tables for the tier actually
+    /// executing — the supernodal tier adds its panel layouts
+    /// (amalgamation padding included) and schedules on top of the
+    /// scalar plan's tables.
+    pub fn table_bytes(&self) -> usize {
+        match &self.exec {
+            LuExec::Supernodal(sup) => sup.table_bytes(),
+            _ => self.plan().table_bytes(),
+        }
     }
 
     /// The ordering strategy compiled into the plan.
@@ -772,8 +827,14 @@ mod tests {
 
     #[test]
     fn lu_emits_specialized_c() {
+        // Pin the scalar tier: under the default relaxation budget the
+        // tiny grid amalgamates well enough for Auto to block it.
         let a = gen::convection_diffusion_2d(4, 4, 1.0, 1);
-        let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();
+        let opts = SympilerOptions {
+            block_lu: BlockLu::Off,
+            ..Default::default()
+        };
+        let lu = SympilerLu::compile(&a, &opts).unwrap();
         let c = lu.emit_c();
         assert!(c.contains("lu_factor_specialized"));
         assert!(c.contains("updateSet"));
@@ -789,6 +850,9 @@ mod tests {
         assert_eq!(o.ordering, Ordering::Natural, "no reordering by default");
         assert_eq!(o.block_lu, BlockLu::Auto, "supernodal LU auto-detects");
         assert_eq!(o.max_panel, 32, "panel cap keeps block buffers small");
+        assert_eq!(o.relax_fill, 0.3, "CHOLMOD-style relaxation budget");
+        assert_eq!(o.relax_cols, 16, "amalgamated panels stay cache-sized");
+        assert!(!o.mc64_scale, "factors comparable with unscaled baselines");
         assert_eq!(o.pre_pivot, PrePivot::Off, "no pre-pivot by default");
         assert!(!o.profile, "observability off by default");
         assert_eq!(o.pivot_perturb, 0.0, "perturbation off = bitwise seed");
@@ -872,19 +936,36 @@ mod tests {
         for (x, y) in f_sup.u().values().iter().zip(f_off.u().values()) {
             assert!((x - y).abs() <= 1e-12 * (1.0 + y.abs()));
         }
-        // A grid pattern blocks too sparsely for Auto (mean width
-        // ~1.1) — the threshold keeps the scalar plan — but On forces
-        // the engine and stays correct.
+        // A grid pattern blocks too sparsely for Auto under strict
+        // nesting (mean width ~1.1) — with relaxation disabled the
+        // threshold keeps the scalar plan. The default amalgamation
+        // budget merges the near-nesting grid columns past the
+        // threshold, so Auto engages — relaxation is exactly what
+        // makes such patterns blockable. On forces the engine
+        // regardless and stays correct.
         let g = gen::convection_diffusion_2d(8, 8, 1.0, 6);
-        let never = SympilerLu::compile(&g, &SympilerOptions::default()).unwrap();
+        let never = SympilerLu::compile(
+            &g,
+            &SympilerOptions {
+                relax_fill: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(
             !never.is_supernodal(),
-            "sparse blocking must not engage Auto"
+            "strict sparse blocking must not engage Auto"
+        );
+        let relaxed = SympilerLu::compile(&g, &SympilerOptions::default()).unwrap();
+        assert!(
+            relaxed.is_supernodal(),
+            "default amalgamation budget blocks the grid"
         );
         let forced = SympilerLu::compile(
             &g,
             &SympilerOptions {
                 block_lu: BlockLu::On,
+                relax_fill: 0.0,
                 ..Default::default()
             },
         )

@@ -227,11 +227,20 @@ fn emit_lu_col_epilogue(out: &mut String, j: usize, l: &CscMatrix, u_col_ptr: &[
 /// permutations inside the scatter — column `j` of the compiled
 /// system reads column `cperm[j]` with rows mapped through `irperm`,
 /// via embedded `colPerm`/`rowNewOf` tables.
+///
+/// `scaling` is the plan's compiled MC64 equilibration pair
+/// `(Dr, Dc)` in **original** coordinates, or `None` when scaling is
+/// off. Like the permutations, the scalings fold into the scatter —
+/// every read of `Ax[p]` becomes `rowScale[Ai[p]] * Ax[p] *
+/// colScale[c]` via embedded tables, so the emitted kernel factors
+/// the equilibrated system at zero extra passes, exactly mirroring
+/// the Rust numeric phase.
 pub fn emit_lu_c(
     l: &CscMatrix,
     u_col_ptr: &[usize],
     schedules: &[Vec<(usize, bool)>],
     perm: Option<(&[usize], &[usize])>,
+    scaling: Option<(&[f64], &[f64])>,
 ) -> String {
     let n = l.n_cols();
     let n_updates: usize = schedules.iter().map(|s| s.len()).sum();
@@ -301,6 +310,31 @@ pub fn emit_lu_c(
             }
         );
     }
+    // MC64 equilibration tables (original coordinates): the scatter
+    // multiplies entries by rowScale[row]·colScale[col] on the fly.
+    if let Some((dr, dc)) = scaling {
+        for (name, vals) in [("rowScale", dr), ("colScale", dc)] {
+            let vs: Vec<String> = vals.iter().map(|v| format!("{v:.17e}")).collect();
+            let _ = writeln!(
+                out,
+                "static const double {name}[{}] = {{{}}}; /* MC64 {} */",
+                n.max(1),
+                if vs.is_empty() {
+                    "1.0".into()
+                } else {
+                    vs.join(", ")
+                },
+                if name == "rowScale" { "Dr" } else { "Dc" }
+            );
+        }
+    }
+    // One scatter expression shape everywhere, scaled or not.
+    let ax_of = |row_expr: &str, col_expr: &str| -> String {
+        match scaling {
+            None => "Ax[p]".into(),
+            Some(_) => format!("rowScale[{row_expr}] * Ax[p] * colScale[{col_expr}]"),
+        }
+    };
     let params = "const int *Ap, const int *Ai, const double *Ax,\n    \
                   const int *Li, double *Lx, const int *Ui, double *Ux, double *x";
     let args = "Ap, Ai, Ax, Li, Lx, Ui, Ux, x";
@@ -321,8 +355,9 @@ pub fn emit_lu_c(
             None => {
                 let _ = writeln!(
                     out,
-                    "  for (int p = Ap[{j}]; p < Ap[{}]; p++) x[Ai[p]] = Ax[p];",
-                    j + 1
+                    "  for (int p = Ap[{j}]; p < Ap[{}]; p++) x[Ai[p]] = {};",
+                    j + 1,
+                    ax_of("Ai[p]", &j.to_string())
                 );
             }
             Some((p, _)) => {
@@ -330,8 +365,9 @@ pub fn emit_lu_c(
                 let old_j = p[j];
                 let _ = writeln!(
                     out,
-                    "  for (int p = Ap[{old_j}]; p < Ap[{}]; p++) x[rowNewOf[Ai[p]]] = Ax[p];",
-                    old_j + 1
+                    "  for (int p = Ap[{old_j}]; p < Ap[{}]; p++) x[rowNewOf[Ai[p]]] = {};",
+                    old_j + 1,
+                    ax_of("Ai[p]", &old_j.to_string())
                 );
             }
         }
@@ -379,12 +415,12 @@ pub fn emit_lu_c(
         if perm.is_none() {
             let _ = writeln!(out, "    /* scatter A(:,j) */");
             let _ = writeln!(out, "    for (int p = Ap[j]; p < Ap[j + 1]; p++)");
-            let _ = writeln!(out, "      x[Ai[p]] = Ax[p];");
+            let _ = writeln!(out, "      x[Ai[p]] = {};", ax_of("Ai[p]", "j"));
         } else {
             let _ = writeln!(out, "    /* scatter A(:, colPerm[j]) into ordered rows */");
             let _ = writeln!(out, "    int cj = colPerm[j];");
             let _ = writeln!(out, "    for (int p = Ap[cj]; p < Ap[cj + 1]; p++)");
-            let _ = writeln!(out, "      x[rowNewOf[Ai[p]]] = Ax[p];");
+            let _ = writeln!(out, "      x[rowNewOf[Ai[p]]] = {};", ax_of("Ai[p]", "cj"));
         }
         let _ = writeln!(
             out,
@@ -430,15 +466,17 @@ pub fn emit_lu_c(
 /// static data, like `blockSet` in the Cholesky artifact and
 /// `reachSet` in Figure 1e.
 ///
-/// `part` is the compiled panel partition, `l_col_ptr` the predicted
-/// `L` layout (for panel row counts), `n_wide` / `dense_share` the
-/// compile-time panel statistics quoted in the header comment.
+/// `panels` is the compiled panel layout — partition plus per-panel
+/// union row lists, which for relaxed (amalgamated) panels are wider
+/// than any single member column's pattern and carry explicit padded
+/// zeros; `n_wide` / `dense_share` are the compile-time panel
+/// statistics quoted in the header comment.
 pub fn emit_lu_supernodal_c(
-    part: &sympiler_graph::supernode::SupernodePartition,
-    l_col_ptr: &[usize],
+    panels: &sympiler_graph::lu_supernode::LuPanels,
     n_wide: usize,
     dense_share: f64,
 ) -> String {
+    let part = &panels.part;
     let n = part.n_cols();
     let n_panels = part.n_supernodes();
     let mut out = String::new();
@@ -450,8 +488,9 @@ pub fn emit_lu_supernodal_c(
     );
     let _ = writeln!(
         out,
-        "   {:.1}% of factorization flops in dense kernels */",
-        dense_share * 100.0
+        "   {:.1}% of factorization flops in dense kernels, {} amalgamation-padded zeros */",
+        dense_share * 100.0,
+        panels.padded_zeros
     );
     let firsts: Vec<String> = part.first_col.iter().map(|c| c.to_string()).collect();
     let _ = writeln!(
@@ -465,13 +504,15 @@ pub fn emit_lu_supernodal_c(
     // layout: wide panel s owns the dense column-major m x w block
     // `SX[sxPtr[s] .. sxPtr[s] + m*w]` — CSC `Lx` packs nesting
     // columns with *shrinking* lengths, so it cannot double as a
-    // constant-stride dense block.
+    // constant-stride dense block. `m` is the panel's **union** row
+    // count: for relaxed panels this exceeds any single column's CSC
+    // length, the extra slots holding the amalgamation's explicit
+    // zeros.
     let mut sx_ptr = Vec::with_capacity(n_panels + 1);
     sx_ptr.push(0usize);
     for s in 0..n_panels {
         let w = part.width(s);
-        let f = part.first_col[s];
-        let m = l_col_ptr[f + 1] - l_col_ptr[f];
+        let m = panels.panel_rows(s).len();
         sx_ptr.push(sx_ptr[s] + if w > 1 { m * w } else { 0 });
     }
     let _ = writeln!(
@@ -504,7 +545,7 @@ pub fn emit_lu_supernodal_c(
             let _ = writeln!(out, "  }}");
             continue;
         }
-        let m = l_col_ptr[f + 1] - l_col_ptr[f];
+        let m = panels.panel_rows(s).len();
         let _ = writeln!(
             out,
             "  /* panel {s}: columns {f}..{} as a {m}x{w} trapezoid */",
@@ -605,19 +646,34 @@ mod tests {
                     .collect()
             })
             .collect();
-        let c = emit_lu_c(&l, &sym.u_col_ptr, &schedules, None);
+        let c = emit_lu_c(&l, &sym.u_col_ptr, &schedules, None, None);
         assert!(c.contains("lu_factor_specialized"));
         assert!(c.contains("updateSet"));
         assert!(c.contains("updatePtr"));
         assert!(!c.contains("colPerm"), "natural order embeds no tables");
+        assert!(!c.contains("rowScale"), "unscaled embeds no scale tables");
         // With a baked ordering the scatter must route through the
         // embedded permutation tables.
         let n = l.n_cols();
         let perm: Vec<usize> = (0..n).rev().collect();
         let iperm: Vec<usize> = (0..n).rev().collect();
-        let cp = emit_lu_c(&l, &sym.u_col_ptr, &schedules, Some((&perm, &iperm)));
+        let cp = emit_lu_c(&l, &sym.u_col_ptr, &schedules, Some((&perm, &iperm)), None);
         assert!(cp.contains("colPerm"));
         assert!(cp.contains("rowNewOf[Ai[p]]"));
+        // With compiled MC64 scaling the scatter multiplies through
+        // the embedded Dr/Dc tables.
+        let dr = vec![0.5; n];
+        let dc = vec![2.0; n];
+        let cs = emit_lu_c(
+            &l,
+            &sym.u_col_ptr,
+            &schedules,
+            Some((&perm, &iperm)),
+            Some((&dr, &dc)),
+        );
+        assert!(cs.contains("static const double rowScale"));
+        assert!(cs.contains("static const double colScale"));
+        assert!(cs.contains("rowScale[Ai[p]] * Ax[p] * colScale[cj]"));
         // Peeled columns become dedicated functions *called* from the
         // driver (not dead code).
         for (j, s) in schedules.iter().enumerate() {
@@ -660,7 +716,11 @@ mod tests {
         let n_wide = (0..part.n_supernodes())
             .filter(|&s| part.width(s) > 1)
             .count();
-        let c = emit_lu_supernodal_c(&part, &sym.l_col_ptr, n_wide, share);
+        // Strict panel layout (relaxation off): union rows match each
+        // leading column's CSC pattern exactly, zero padded slots.
+        let panels = sympiler_graph::lu_supernode::supernodes_lu_relaxed(&sym, 0, 0.0, 0);
+        assert_eq!(panels.part.first_col, part.first_col);
+        let c = emit_lu_supernodal_c(&panels, n_wide, share);
         assert!(c.contains("panelSet"));
         assert!(c.contains("lu_supernodal_specialized"));
         assert!(c.contains("dense_getrf"));

@@ -281,6 +281,24 @@ pub(crate) struct BakedPerm {
     pub(crate) cperm: std::sync::Arc<[usize]>,
 }
 
+/// MC64 equilibration scalings derived from the weighted-matching dual
+/// potentials, stored in **original** coordinates: the compiled system
+/// becomes `Qᵀ·P·(Dr·A·Dc)·Q`, with every matched diagonal scaled to
+/// exactly 1 and every entry to magnitude ≤ 1. The diagonal matrices
+/// never materialize — the numeric scatter multiplies entries on the
+/// fly (`B[i, j] = dr[r]·A[r, c]·dc[c]` for `r = rperm[i]`, `c =
+/// cperm[j]`), so a scaled factorization costs zero extra passes, and
+/// solves scale `b` by `Dr` on the way in and the solution by `Dc` on
+/// the way out (`(Dr·A·Dc)(Dc⁻¹x) = Dr·b`). `Arc`-shared with every
+/// factor, like the baked permutations.
+#[derive(Debug, Clone)]
+pub(crate) struct ScalePair {
+    /// `dr[old_row]` — row scaling of `A`'s original rows.
+    pub(crate) dr: std::sync::Arc<[f64]>,
+    /// `dc[old_col]` — column scaling of `A`'s original columns.
+    pub(crate) dc: std::sync::Arc<[f64]>,
+}
+
 /// A compiled LU factorization specialized to one sparsity pattern
 /// (static diagonal pivoting), optionally under a fill-reducing
 /// ordering applied symmetrically (`Qᵀ A Q`) so the diagonal-pivot
@@ -315,6 +333,10 @@ pub struct LuPlan {
     /// the identity. All factor layouts and schedules below live in
     /// pivoted + ordered coordinates.
     baked: Option<BakedPerm>,
+    /// MC64 row/column scalings ([`Self::with_mc64_scaling`]), `None`
+    /// unless scaling was compiled in. Purely numeric: the factor
+    /// patterns, schedules, and permutations above are unaffected.
+    scaling: Option<ScalePair>,
     /// Factor layouts (patterns fixed at compile time). Shared with
     /// `plan::lu_parallel`, which executes the same schedule leveled
     /// over the column elimination DAG.
@@ -367,6 +389,11 @@ pub struct LuFactor {
     /// [`LuPlan::col_perm`]'s contract exactly (and skipping the
     /// then-pointless scatter pass in [`Self::solve`]).
     cperm: Option<std::sync::Arc<[usize]>>,
+    /// MC64 scalings the factors were computed under (`Some` iff the
+    /// plan compiled with [`LuPlan::with_mc64_scaling`]); solves apply
+    /// `Dr` to the RHS and `Dc` to the solution so callers stay in
+    /// unscaled original coordinates throughout.
+    scaling: Option<ScalePair>,
     /// Numerical-health monitors, recorded only when the producing
     /// plan was compiled with profiling enabled.
     health: Option<LuHealth>,
@@ -427,21 +454,72 @@ impl LuFactor {
     }
 
     /// Solve `A x = b` in original coordinates: gather `b` through the
-    /// composed row map (`Qᵀ·P·b`), run `L y = Qᵀ·P·b` then `U z = y`,
-    /// and scatter back through the column map (`x = Q z`). The
-    /// permutation applications are O(n) gathers — no per-solve
-    /// symbolic work of any kind.
+    /// composed row map (`Qᵀ·P·b`, scaled by `Dr` first when the plan
+    /// compiled MC64 scaling), run `L y = Qᵀ·P·Dr·b` then `U z = y`,
+    /// and scatter back through the column map, unscaling by `Dc`
+    /// (`x = Dc·Q·z`). The permutation and scaling applications are
+    /// O(n) gathers — no per-solve symbolic work of any kind.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.l.n_cols();
         assert_eq!(b.len(), n, "rhs length mismatch");
-        let mut x = match &self.rperm {
-            Some(p) => sympiler_sparse::ops::gather_perm(p, b),
-            None => b.to_vec(),
-        };
+        let mut x = vec![0.0f64; n];
+        self.gather_rhs_into(b, &mut x);
         self.solve_in_factor_coords(&mut x);
-        match &self.cperm {
-            Some(q) => sympiler_sparse::ops::scatter_perm(q, &x),
-            None => x,
+        if self.cperm.is_none() && self.scaling.is_none() {
+            return x;
+        }
+        let mut out = vec![0.0f64; n];
+        self.scatter_solution_into(&x, &mut out);
+        out
+    }
+
+    /// Map one RHS from original coordinates into factor coordinates:
+    /// scale by `Dr` (when scaling is compiled) and gather through the
+    /// composed row map. The scale factor multiplies the *original*
+    /// row's entry — `x[new] = dr[old]·b[old]` for `old = rperm[new]`.
+    fn gather_rhs_into(&self, b: &[f64], x: &mut [f64]) {
+        match (&self.scaling, &self.rperm) {
+            (None, None) => x.copy_from_slice(b),
+            (None, Some(p)) => {
+                for (d, &old) in x.iter_mut().zip(p.iter()) {
+                    *d = b[old];
+                }
+            }
+            (Some(s), None) => {
+                for ((d, &v), &dr) in x.iter_mut().zip(b).zip(s.dr.iter()) {
+                    *d = dr * v;
+                }
+            }
+            (Some(s), Some(p)) => {
+                for (d, &old) in x.iter_mut().zip(p.iter()) {
+                    *d = s.dr[old] * b[old];
+                }
+            }
+        }
+    }
+
+    /// Map one solved vector from factor coordinates back to original
+    /// coordinates: scatter through the column map and unscale by `Dc`
+    /// (the factored unknown is `Dc⁻¹x`, so `out[old] = dc[old]·z[new]`
+    /// for `old = cperm[new]`).
+    fn scatter_solution_into(&self, z: &[f64], out: &mut [f64]) {
+        match (&self.scaling, &self.cperm) {
+            (None, None) => out.copy_from_slice(z),
+            (None, Some(q)) => {
+                for (&v, &old) in z.iter().zip(q.iter()) {
+                    out[old] = v;
+                }
+            }
+            (Some(s), None) => {
+                for ((o, &v), &dc) in out.iter_mut().zip(z).zip(s.dc.iter()) {
+                    *o = dc * v;
+                }
+            }
+            (Some(s), Some(q)) => {
+                for (&v, &old) in z.iter().zip(q.iter()) {
+                    out[old] = s.dc[old] * v;
+                }
+            }
         }
     }
 
@@ -459,16 +537,8 @@ impl LuFactor {
         let n = self.l.n_cols();
         assert_eq!(b.len(), n * nrhs, "rhs block length mismatch");
         let mut x = vec![0.0f64; n * nrhs];
-        match &self.rperm {
-            Some(p) => {
-                for r in 0..nrhs {
-                    let (src, dst) = (&b[r * n..(r + 1) * n], &mut x[r * n..(r + 1) * n]);
-                    for (i, d) in dst.iter_mut().enumerate() {
-                        *d = src[p[i]];
-                    }
-                }
-            }
-            None => x.copy_from_slice(b),
+        for r in 0..nrhs {
+            self.gather_rhs_into(&b[r * n..(r + 1) * n], &mut x[r * n..(r + 1) * n]);
         }
         // Forward: L has diagonal-first unit columns; the column's
         // rows/values are hoisted out of the RHS loop.
@@ -505,19 +575,14 @@ impl LuFactor {
                 }
             }
         }
-        match &self.cperm {
-            Some(q) => {
-                let mut out = vec![0.0f64; n * nrhs];
-                for r in 0..nrhs {
-                    let (src, dst) = (&x[r * n..(r + 1) * n], &mut out[r * n..(r + 1) * n]);
-                    for (i, &s) in src.iter().enumerate() {
-                        dst[q[i]] = s;
-                    }
-                }
-                out
-            }
-            None => x,
+        if self.cperm.is_none() && self.scaling.is_none() {
+            return x;
         }
+        let mut out = vec![0.0f64; n * nrhs];
+        for r in 0..nrhs {
+            self.scatter_solution_into(&x[r * n..(r + 1) * n], &mut out[r * n..(r + 1) * n]);
+        }
+        out
     }
 
     /// [`Self::solve_multi`] over a slice of independent right-hand
@@ -611,18 +676,21 @@ impl LuFactor {
         let n = self.l.n_cols();
         assert_eq!(b.dim(), n, "rhs dimension mismatch");
         let mut x = vec![0.0f64; n];
-        // Pattern and values of Qᵀ·P·b in factor coordinates.
+        // Pattern and values of Qᵀ·P·(Dr·b) in factor coordinates —
+        // the row scaling (identity without compiled MC64 scaling)
+        // touches values only, never the pattern.
+        let dr = |i: usize| self.scaling.as_ref().map_or(1.0, |s| s.dr[i]);
         let beta: Vec<usize> = match &self.irperm {
             None => {
                 for (i, v) in b.iter() {
-                    x[i] = v;
+                    x[i] = dr(i) * v;
                 }
                 b.indices().to_vec()
             }
             Some(ip) => {
                 let mut idx: Vec<usize> = b.indices().iter().map(|&i| ip[i]).collect();
                 for (&i, &v) in b.indices().iter().zip(b.values()) {
-                    x[ip[i]] = v;
+                    x[ip[i]] = dr(i) * v;
                 }
                 idx.sort_unstable();
                 idx
@@ -679,11 +747,13 @@ impl LuFactor {
                 }
             }
         }
-        // Gather the solution pattern back to original coordinates
-        // (the solution lives on the column side: x = Q z).
+        // Gather the solution pattern back to original coordinates,
+        // unscaling by Dc (the solution lives on the column side:
+        // x = Dc·Q·z).
+        let dc = |i: usize| self.scaling.as_ref().map_or(1.0, |s| s.dc[i]);
         let mut pairs: Vec<(usize, f64)> = match &self.cperm {
-            None => order_u.iter().map(|&j| (j, x[j])).collect(),
-            Some(q) => order_u.iter().map(|&j| (q[j], x[j])).collect(),
+            None => order_u.iter().map(|&j| (j, dc(j) * x[j])).collect(),
+            Some(q) => order_u.iter().map(|&j| (q[j], dc(q[j]) * x[j])).collect(),
         };
         pairs.sort_unstable_by_key(|&(i, _)| i);
         let (indices, vals): (Vec<usize>, Vec<f64>) = pairs.into_iter().unzip();
@@ -907,6 +977,7 @@ impl LuPlan {
             matched_diag,
             perturb_tol: 0.0,
             baked,
+            scaling: None,
             l_col_ptr: sym.l_col_ptr,
             l_row_idx: sym.l_row_idx.iter().map(|&r| r as u32).collect(),
             u_col_ptr: sym.u_col_ptr,
@@ -983,6 +1054,78 @@ impl LuPlan {
         self.perturb_tol
     }
 
+    /// Finish MC64: compile row/column equilibration scalings derived
+    /// from the weighted-matching dual potentials of `a` into the
+    /// plan. The factored system becomes `Qᵀ·P·(Dr·A·Dc)·Q` — every
+    /// matched diagonal is scaled to exactly 1 and every entry to
+    /// magnitude ≤ 1, which is what collapses pivot growth from ~1e8
+    /// to O(1) on zero-diagonal problems. Like the baked permutations,
+    /// the scalings are a pure compile-time decision folded into the
+    /// numeric scatter (`B[i, j] = dr[r]·A[r, c]·dc[c]`): a scaled
+    /// factorization costs zero extra passes over the data, and
+    /// [`LuFactor::solve`]/[`LuFactor::solve_sparse`]/
+    /// [`LuFactor::solve_batch`] unscale transparently, staying in
+    /// original coordinates ([`LuFactor::solve_refined`] composes
+    /// through `solve` automatically).
+    ///
+    /// The scalings are computed from `a`'s *values* here, once;
+    /// later `factor` calls on same-pattern matrices with different
+    /// values reuse them (the usual static-MC64 contract — re-compile
+    /// to re-equilibrate). Pairs naturally with `PrePivot::
+    /// WeightedMatching` (the duals then belong to the baked
+    /// matching), but is valid under any compiled permutation — the
+    /// `≤ 1` entry bound holds regardless, which is what the growth
+    /// monitors and perturbation thresholds rely on.
+    pub fn with_mc64_scaling(mut self, a: &CscMatrix) -> Result<Self, LuPlanError> {
+        self.check_pattern(a)?;
+        let scaled =
+            sympiler_graph::transversal::weighted_matching_scaled(a).map_err(|e| match e {
+                sympiler_sparse::SparseError::StructurallySingular { n, structural_rank } => {
+                    LuPlanError::StructurallySingular { n, structural_rank }
+                }
+                other => LuPlanError::BadInput(format!("mc64 scaling: {other}")),
+            })?;
+        self.scaling = Some(ScalePair {
+            dr: scaled.row_scale.into(),
+            dc: scaled.col_scale.into(),
+        });
+        Ok(self)
+    }
+
+    /// The compiled MC64 scalings `(Dr, Dc)` in original coordinates,
+    /// or `None` when scaling is off.
+    pub fn mc64_scaling(&self) -> Option<(&[f64], &[f64])> {
+        self.scaling.as_ref().map(|s| (&s.dr[..], &s.dc[..]))
+    }
+
+    /// The magnitude of `A[i, j]` as the compiled numeric phase sees
+    /// it — scaled by `dr[i]·dc[j]` when MC64 scaling is compiled,
+    /// plain `|v|` otherwise. Indices are original coordinates.
+    fn scaled_abs(&self, i: usize, j: usize, v: f64) -> f64 {
+        match &self.scaling {
+            None => v.abs(),
+            Some(s) => (s.dr[i] * v * s.dc[j]).abs(),
+        }
+    }
+
+    /// Max entry magnitude of `a` as the numeric phase sees it (the
+    /// scaled matrix when scaling is compiled) — the reference value
+    /// for pivot-perturbation thresholds and growth monitors.
+    fn max_abs_compiled(&self, a: &CscMatrix) -> f64 {
+        match &self.scaling {
+            None => a.values().iter().fold(0.0f64, |m, v| m.max(v.abs())),
+            Some(_) => {
+                let mut m = 0.0f64;
+                for j in 0..a.n_cols() {
+                    for (i, v) in a.col_iter(j) {
+                        m = m.max(self.scaled_abs(i, j, v));
+                    }
+                }
+                m
+            }
+        }
+    }
+
     /// The absolute replacement threshold for one factorization of
     /// `a`: `perturb_tol · max|A values|` (0 when perturbation is off
     /// — the column kernels' `|pivot| < 0` guard then never fires).
@@ -990,8 +1133,7 @@ impl LuPlan {
         if self.perturb_tol == 0.0 {
             return 0.0;
         }
-        let max_abs_a = a.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
-        self.perturb_tol * max_abs_a
+        self.perturb_tol * self.max_abs_compiled(a)
     }
 
     /// The compiled ordering `Q` (`perm[new] = old`), or `None` for
@@ -1120,6 +1262,7 @@ impl LuPlan {
                 .as_ref()
                 .filter(|_| self.ordering != Ordering::Natural)
                 .map(|b| b.cperm.clone()),
+            scaling: self.scaling.clone(),
             health: None,
             perturb: PerturbReport::default(),
         }
@@ -1173,7 +1316,9 @@ impl LuPlan {
     }
 
     fn compute_health(&self, a: &CscMatrix, ux: &[f64]) -> LuHealth {
-        let max_abs_a = a.values().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        // Growth is measured against the matrix the numeric phase
+        // actually factored — the scaled one when scaling is compiled.
+        let max_abs_a = self.max_abs_compiled(a);
         let max_abs_u = ux.iter().fold(0.0f64, |m, v| m.max(v.abs()));
         let mut min_pivot = f64::INFINITY;
         let mut max_pivot = 0.0f64;
@@ -1188,7 +1333,9 @@ impl LuPlan {
                 None => (j, j),
                 Some(bp) => (bp.rperm[j], bp.cperm[j]),
             };
-            let v = a.find(r, c).map_or(0.0, |p| a.values()[p].abs());
+            let v = a
+                .find(r, c)
+                .map_or(0.0, |p| self.scaled_abs(r, c, a.values()[p]));
             min_matched_diag = min_matched_diag.min(v);
         }
         if self.n == 0 {
@@ -1216,15 +1363,34 @@ impl LuPlan {
     /// (`B[i, j] = A[rperm[i], cperm[j]]`). Shared by the per-column
     /// kernel below and the supernodal plan's panel scatter.
     pub(crate) fn scatter_a_column(&self, j: usize, a: &CscMatrix, x: &mut [f64]) {
-        match &self.baked {
-            None => {
+        // With compiled MC64 scaling, entries are multiplied by
+        // dr[row]·dc[col] (original coordinates) as they scatter —
+        // the diagonal scaling matrices never materialize. The
+        // expression shape `dr·v·dc` (left-to-right) is fixed: the
+        // batched kernel evaluates the identical sequence so scaled
+        // batch factors stay bitwise equal to one-at-a-time ones.
+        match (&self.baked, &self.scaling) {
+            (None, None) => {
                 for (i, v) in a.col_iter(j) {
                     x[i] = v;
                 }
             }
-            Some(bp) => {
+            (None, Some(s)) => {
+                let dcj = s.dc[j];
+                for (i, v) in a.col_iter(j) {
+                    x[i] = s.dr[i] * v * dcj;
+                }
+            }
+            (Some(bp), None) => {
                 for (i, v) in a.col_iter(bp.cperm[j]) {
                     x[bp.irperm[i]] = v;
+                }
+            }
+            (Some(bp), Some(s)) => {
+                let oc = bp.cperm[j];
+                let dcj = s.dc[oc];
+                for (i, v) in a.col_iter(oc) {
+                    x[bp.irperm[i]] = s.dr[i] * v * dcj;
                 }
             }
         }
@@ -1533,12 +1699,31 @@ impl LuPlan {
                     None => (j, None),
                     Some(bp) => (bp.cperm[j], Some(&bp.irperm)),
                 };
-                for p in self.a_col_ptr[oc]..self.a_col_ptr[oc + 1] {
-                    let i = self.a_row_idx[p] as usize;
-                    let i = irperm.map_or(i, |ip| ip[i]);
-                    let lane = xp.add(i * bsz);
-                    for (b, m) in mvals.iter().enumerate() {
-                        *lane.add(b) = *m.add(p);
+                match &self.scaling {
+                    None => {
+                        for p in self.a_col_ptr[oc]..self.a_col_ptr[oc + 1] {
+                            let i = self.a_row_idx[p] as usize;
+                            let i = irperm.map_or(i, |ip| ip[i]);
+                            let lane = xp.add(i * bsz);
+                            for (b, m) in mvals.iter().enumerate() {
+                                *lane.add(b) = *m.add(p);
+                            }
+                        }
+                    }
+                    Some(s) => {
+                        // Same `dr·v·dc` expression shape as
+                        // `scatter_a_column` — scaled lanes stay
+                        // bitwise equal to one-at-a-time factors.
+                        let dcj = s.dc[oc];
+                        for p in self.a_col_ptr[oc]..self.a_col_ptr[oc + 1] {
+                            let oi = self.a_row_idx[p] as usize;
+                            let dri = s.dr[oi];
+                            let i = irperm.map_or(oi, |ip| ip[oi]);
+                            let lane = xp.add(i * bsz);
+                            for (b, m) in mvals.iter().enumerate() {
+                                *lane.add(b) = dri * *m.add(p) * dcj;
+                            }
+                        }
                     }
                 }
                 // Apply the baked update schedule in topological order.
@@ -1680,6 +1865,10 @@ impl LuPlan {
             // rperm + irperm + cperm, each n usizes.
             bytes += 3 * self.n * usz;
         }
+        if self.scaling.is_some() {
+            // Dr + Dc, each n f64s.
+            bytes += 2 * self.n * 8;
+        }
         bytes
     }
 
@@ -1719,7 +1908,8 @@ impl LuPlan {
             .map(|j| self.schedule_with_tiers(j).collect())
             .collect();
         let perm = self.baked.as_ref().map(|b| (&b.cperm[..], &b.irperm[..]));
-        crate::emit::emit_lu_c(&l_pattern, &self.u_col_ptr, &schedules, perm)
+        let scaling = self.scaling.as_ref().map(|s| (&s.dr[..], &s.dc[..]));
+        crate::emit::emit_lu_c(&l_pattern, &self.u_col_ptr, &schedules, perm, scaling)
     }
 }
 

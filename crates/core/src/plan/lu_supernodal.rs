@@ -44,7 +44,7 @@ use sympiler_dense::{
     gemm_nt_sub, getrf_nopiv_perturbed, trsm_right_lower_trans_unit, trsm_right_upper,
 };
 use sympiler_graph::levels::{balanced_partition, dag_levels_from_preds};
-use sympiler_graph::lu_supernode::supernodes_lu_from_parts;
+use sympiler_graph::lu_supernode::{supernodes_lu_relaxed_from_parts, LuPanels};
 use sympiler_graph::supernode::SupernodePartition;
 use sympiler_sparse::CscMatrix;
 
@@ -57,8 +57,14 @@ use sympiler_graph::ordering::Ordering as FillOrdering;
 #[derive(Debug, Clone)]
 pub struct SupernodalLuPlan {
     plan: LuPlan,
-    /// Column panels of the predicted factor (ordered coordinates).
-    part: SupernodePartition,
+    /// Column panels of the predicted factor (ordered coordinates):
+    /// the partition plus each panel's baked **union** row list. Under
+    /// strict nesting every member column's pattern equals the union;
+    /// under relaxed amalgamation
+    /// ([`Self::from_plan_relaxed`]) the union is wider and the extra
+    /// trapezoid slots hold explicit zeros, counted in
+    /// `panels.padded_zeros`.
+    panels: LuPanels,
     /// Trapezoid value offsets: wide panel `s` owns the column-major
     /// `m × w` block `sx[sx_ptr[s]..sx_ptr[s+1]]` of the supernodal
     /// workspace, `m` its row count, `w` its width; singleton panels
@@ -146,24 +152,58 @@ impl SupernodalLuPlan {
         ))
     }
 
-    /// Detect panels on an already-compiled plan and bake the panel
-    /// layouts and the leveled panel-DAG schedule. Pure schedule
-    /// construction — no symbolic analysis re-runs.
+    /// Detect **strictly nesting** panels on an already-compiled plan
+    /// and bake the panel layouts and the leveled panel-DAG schedule.
+    /// Pure schedule construction — no symbolic analysis re-runs.
+    /// Equivalent to [`Self::from_plan_relaxed`] with a zero fill
+    /// budget (relaxation off).
     pub fn from_plan(plan: LuPlan, max_panel: usize, n_threads: usize) -> Self {
+        Self::from_plan_relaxed(plan, max_panel, n_threads, 0.0, 0)
+    }
+
+    /// [`Self::from_plan`] with CHOLMOD/SuperLU-style **relaxed
+    /// amalgamation**: adjacent strict panels merge into one wider
+    /// panel when the merged width stays within `relax_cols` (min'd
+    /// with `max_panel` when that cap is nonzero) and the explicit
+    /// zeros the merged trapezoid must carry stay within `relax_fill`
+    /// × the panel's structural nonzeros. Padding lives **only** in
+    /// the dense trapezoid workspace: padded slots provably compute to
+    /// exact ±0.0 (every term feeding a structurally-zero position has
+    /// a structurally-zero factor, and IEEE propagates those zeros
+    /// exactly), the CSC factor layouts and patterns are untouched,
+    /// and write-back walks each column's own pattern. `relax_fill <=
+    /// 0` or `relax_cols < 2` disables merging and reproduces
+    /// [`Self::from_plan`]'s panels bitwise.
+    pub fn from_plan_relaxed(
+        plan: LuPlan,
+        max_panel: usize,
+        n_threads: usize,
+        relax_fill: f64,
+        relax_cols: usize,
+    ) -> Self {
         assert!(n_threads >= 1, "need at least one thread");
         let n = plan.n();
-        let part = supernodes_lu_from_parts(n, &plan.l_col_ptr, &plan.l_row_idx, max_panel);
+        let panels = supernodes_lu_relaxed_from_parts(
+            n,
+            &plan.l_col_ptr,
+            &plan.l_row_idx,
+            max_panel,
+            relax_fill,
+            relax_cols,
+        );
+        let part = &panels.part;
         let n_panels = part.n_supernodes();
 
-        // Trapezoid layout: wide panels own an m × w value block.
+        // Trapezoid layout: wide panels own an m × w value block, `m`
+        // the panel's union row count (≥ any member column's CSC
+        // length; equal under strict nesting).
         let mut sx_ptr = Vec::with_capacity(n_panels + 1);
         sx_ptr.push(0usize);
         let mut max_width = 1usize;
         let mut max_sub_rows = 0usize;
         for s in 0..n_panels {
             let w = part.width(s);
-            let f = part.first_col[s];
-            let m = plan.l_col_ptr[f + 1] - plan.l_col_ptr[f];
+            let m = panels.panel_rows(s).len();
             let mut size = 0;
             if w > 1 {
                 size = m * w;
@@ -195,9 +235,11 @@ impl SupernodalLuPlan {
         }
 
         // Dense flop share: the shared cost model from the graph
-        // crate, read off the plan's compiled layouts.
+        // crate, read off the plan's compiled layouts. Charged against
+        // **structural** column flops, never padded dense extents, so
+        // profiled flop accounting still closes exactly.
         let dense_flop_share = sympiler_graph::lu_supernode::flop_share_in_wide_panels_from_parts(
-            &part,
+            part,
             &plan.l_col_ptr,
             &plan.u_col_ptr,
             &plan.u_row_idx,
@@ -246,7 +288,7 @@ impl SupernodalLuPlan {
 
         Self {
             plan,
-            part,
+            panels,
             sx_ptr,
             upd_ptr,
             upd_panels,
@@ -276,12 +318,45 @@ impl SupernodalLuPlan {
 
     /// The compiled panel partition.
     pub fn partition(&self) -> &SupernodePartition {
-        &self.part
+        &self.panels.part
+    }
+
+    /// The compiled panel layout: partition plus per-panel union row
+    /// lists and the padded-zero census.
+    pub fn panel_layout(&self) -> &LuPanels {
+        &self.panels
+    }
+
+    /// Explicit zeros the relaxed amalgamation padded into trapezoid
+    /// workspace across all panels (0 when relaxation is off or
+    /// nothing merged). Padding never reaches the CSC factors.
+    pub fn padded_zeros(&self) -> usize {
+        self.panels.padded_zeros
+    }
+
+    /// Resident size, in bytes, of the supernodal tables this plan
+    /// keeps alive beyond the serial plan's ([`LuPlan::table_bytes`]):
+    /// panel row lists (padded layouts included), trapezoid offsets,
+    /// the panel-level update schedule, and the leveled worker
+    /// schedule. What a plan cache charges a supernodal entry for.
+    pub fn table_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let usz = size_of::<usize>();
+        self.plan.table_bytes()
+            + self.panels.rows.len() * 4
+            + self.panels.row_ptr.len() * usz
+            + (self.panels.part.first_col.len() + self.panels.part.col_to_super.len()) * usz
+            + self.sx_ptr.len() * usz
+            + self.upd_ptr.len() * usz
+            + self.upd_panels.len() * 4
+            + (self.level_panels.len() + self.level_ptr.len() + self.chunk_bounds.len()) * usz
+            + self.barrier_after.len()
+            + self.panel_flops.len() * 8
     }
 
     /// Number of panels.
     pub fn n_panels(&self) -> usize {
-        self.part.n_supernodes()
+        self.panels.part.n_supernodes()
     }
 
     /// Mean panel width (columns per panel).
@@ -302,7 +377,7 @@ impl SupernodalLuPlan {
     /// execute.
     pub fn n_wide_panels(&self) -> usize {
         (0..self.n_panels())
-            .filter(|&s| self.part.width(s) > 1)
+            .filter(|&s| self.panels.part.width(s) > 1)
             .count()
     }
 
@@ -384,8 +459,8 @@ impl SupernodalLuPlan {
     ) -> usize {
         let plan = &self.plan;
         let n = plan.n();
-        let f = self.part.first_col[s];
-        let w = self.part.width(s);
+        let f = self.panels.part.first_col[s];
+        let w = self.panels.part.width(s);
 
         if w == 1 {
             // Scalar fallback: the shared per-column kernel, reading
@@ -416,9 +491,20 @@ impl SupernodalLuPlan {
 
         let l_ptr = &plan.l_col_ptr;
         let l_rows = &plan.l_row_idx;
-        let m = l_ptr[f + 1] - l_ptr[f];
-        let rows = &l_rows[l_ptr[f]..l_ptr[f + 1]];
+        // The panel's baked union row list: under strict nesting this
+        // is exactly the leading column's CSC pattern; under relaxed
+        // amalgamation it is the union over member columns, and the
+        // first `w` entries are always the diagonal run `f..f+w`.
+        let rows = self.panels.panel_rows(s);
+        let m = rows.len();
         debug_assert_eq!(rows[0] as usize, f, "panel rows start at the diagonal");
+        debug_assert!(
+            rows[..w]
+                .iter()
+                .enumerate()
+                .all(|(c, &r)| r as usize == f + c),
+            "diagonal run leads the union rows"
+        );
 
         // --- Scatter the panel's (ordered) input columns into the
         // dense block accumulator.
@@ -430,8 +516,8 @@ impl SupernodalLuPlan {
         // order: every dependence edge points to a higher column).
         for &t in &self.upd_panels[self.upd_ptr[s]..self.upd_ptr[s + 1]] {
             let t = t as usize;
-            let g = self.part.first_col[t];
-            let v = self.part.width(t);
+            let g = self.panels.part.first_col[t];
+            let v = self.panels.part.width(t);
             if v == 1 {
                 // Scalar source column: guarded axpy per panel column,
                 // values read from the finalized CSC factor.
@@ -453,9 +539,12 @@ impl SupernodalLuPlan {
             }
             // Wide source panel: its trapezoid holds the unit-lower
             // diagonal block (strict lower part; U values sit on the
-            // diagonal) and the sub-diagonal L rows, all finalized.
-            let m_t = l_ptr[g + 1] - l_ptr[g];
-            let rows_t = &l_rows[l_ptr[g]..l_ptr[g + 1]];
+            // diagonal) and the sub-diagonal L rows over the panel's
+            // union row list, all finalized. Amalgamation-padded slots
+            // hold exact ±0.0, so they contribute nothing to the TRSM
+            // or the GEMM.
+            let rows_t = self.panels.panel_rows(t);
+            let m_t = rows_t.len();
             // SAFETY: panel t precedes s in the schedule — finalized,
             // no concurrent writes.
             let sx_t = std::slice::from_raw_parts(sx.add(self.sx_ptr[t]), m_t * v);
@@ -597,10 +686,22 @@ impl SupernodalLuPlan {
                 };
                 *ux.add(p) = val;
             }
+            // L write-back walks the column's own CSC pattern and
+            // two-pointer-merges it against the panel's union rows
+            // (both ascending; the CSC pattern is a subset). Under
+            // strict nesting the merge degenerates to the contiguous
+            // suffix c+1..m; under relaxed amalgamation it skips the
+            // padded slots, which never reach the CSC factor.
             let l_range = l_ptr[j]..l_ptr[j + 1];
             *lx.add(l_range.start) = 1.0;
-            for (i, p) in (l_range.start + 1..l_range.end).enumerate() {
-                *lx.add(p) = trap[c * m + (c + 1 + i)];
+            let mut ri = c + 1;
+            for p in l_range.start + 1..l_range.end {
+                let r = l_rows[p];
+                while rows[ri] != r {
+                    ri += 1;
+                }
+                *lx.add(p) = trap[c * m + ri];
+                ri += 1;
             }
             // The structural pivot is the diagonal of the panel's U.
             if trap[c * m + c] == 0.0 {
@@ -705,7 +806,7 @@ impl SupernodalLuPlan {
             };
             first_bad = first_bad.min(bad);
             if enabled {
-                if self.part.width(s) > 1 {
+                if self.panels.part.width(s) > 1 {
                     dense += self.panel_flops[s];
                 } else {
                     scalar += self.panel_flops[s];
@@ -794,7 +895,7 @@ impl SupernodalLuPlan {
                                 first_bad.fetch_min(bad, AtomicOrdering::Relaxed);
                             }
                             if enabled {
-                                if self.part.width(s) > 1 {
+                                if self.panels.part.width(s) > 1 {
                                     my_dense += self.panel_flops[s];
                                 } else {
                                     my_scalar += self.panel_flops[s];
@@ -867,12 +968,7 @@ impl SupernodalLuPlan {
     /// (the VS-Block artifact for LU): the panel table is embedded and
     /// wide panels call the dense mini-BLAS.
     pub fn emit_c(&self) -> String {
-        crate::emit::emit_lu_supernodal_c(
-            &self.part,
-            &self.plan.l_col_ptr,
-            self.n_wide_panels(),
-            self.dense_flop_share,
-        )
+        crate::emit::emit_lu_supernodal_c(&self.panels, self.n_wide_panels(), self.dense_flop_share)
     }
 }
 

@@ -189,6 +189,9 @@ pub fn structural_hash(a: &CscMatrix, opts: &SympilerOptions) -> u64 {
     fnv_u64(&mut h, opts.ordering as u64);
     fnv_u64(&mut h, opts.block_lu as u64);
     fnv_u64(&mut h, opts.max_panel as u64);
+    fnv_u64(&mut h, opts.relax_fill.to_bits());
+    fnv_u64(&mut h, opts.relax_cols as u64);
+    fnv_u64(&mut h, opts.mc64_scale as u64);
     fnv_u64(&mut h, opts.pre_pivot as u64);
     fnv_u64(&mut h, opts.profile as u64);
     fnv_u64(&mut h, opts.pivot_perturb.to_bits());
@@ -504,7 +507,7 @@ impl PlanCache {
         let plan = Arc::new(CachedPlan {
             key,
             opts: opts.clone(),
-            bytes: lu.plan().table_bytes(),
+            bytes: lu.table_bytes(),
             lu,
         });
         Ok(self.admit(key, a, opts, now, plan))
@@ -1108,7 +1111,7 @@ mod tests {
             Arc::new(CachedPlan {
                 key,
                 opts: opts(),
-                bytes: foreign_lu.plan().table_bytes(),
+                bytes: foreign_lu.table_bytes(),
                 lu: foreign_lu,
             }),
         );

@@ -13,9 +13,20 @@
 //! `U` with a dense TRSM, and push its updates into later panels with
 //! dense GEMMs (paper §3.2, applied to LU).
 //!
-//! Like the Cholesky rule, detection is strict (no amalgamation): the
-//! `max_panel` knob only *caps* panel width so trapezoid buffers stay
-//! cache-sized, it never merges non-nesting columns.
+//! Detection comes in two flavors. The strict rule
+//! ([`supernodes_lu`]) never pads: the `max_panel` knob only *caps*
+//! panel width so trapezoid buffers stay cache-sized. The relaxed rule
+//! ([`supernodes_lu_relaxed_from_parts`]) additionally **amalgamates**
+//! adjacent panels whose patterns nearly nest — CHOLMOD's relaxed
+//! supernodes / SuperLU's `relax` — trading a bounded number of
+//! explicit zeros in the trapezoid for wider panels: a merge is
+//! accepted when the padded slots stay under `relax_fill ×` the
+//! panel's structural nonzeros and the merged width stays ≤
+//! `relax_cols`. The padding is sound because every structurally-zero
+//! position computes to an exact `±0.0` under the Gilbert–Peierls
+//! pattern (all its update terms are themselves exact zeros), so the
+//! dense kernels can run over the padded trapezoid and the strict CSC
+//! factor layouts never change — only the workspace does.
 
 use crate::lu_symbolic::LuSymbolic;
 use crate::supernode::SupernodePartition;
@@ -69,6 +80,218 @@ pub fn supernodes_lu_from_parts(
 ) -> SupernodePartition {
     assert_eq!(l_col_ptr.len(), n + 1, "column pointer length");
     detect_nesting(n, l_col_ptr, l_row_idx, max_panel)
+}
+
+/// A (possibly relaxed) LU panel partition together with the padded
+/// trapezoid layout each panel is executed over: per panel, the
+/// ascending union of its member columns' `L` rows. For a strict panel
+/// the union is exactly the first column's pattern (nesting), so the
+/// layout adds nothing; for an amalgamated panel the union includes
+/// rows some member columns lack — those trapezoid slots hold explicit
+/// zeros ([`Self::padded_zeros`] counts them).
+///
+/// Invariant: the first `width(s)` rows of panel `s` are always
+/// `first_col(s) .. first_col(s) + width(s)` — every member column
+/// contributes its own diagonal row, and `L` rows never precede their
+/// column — so dense GETRF/TRSM kernels address the diagonal block at
+/// fixed offsets regardless of relaxation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuPanels {
+    /// The column partition (strict or amalgamated).
+    pub part: SupernodePartition,
+    /// Per-panel offsets into [`Self::rows`], length `n_supernodes+1`.
+    pub row_ptr: Vec<usize>,
+    /// Concatenated per-panel union row lists, each ascending.
+    pub rows: Vec<u32>,
+    /// Total explicit zeros the padded trapezoids carry at or below
+    /// the diagonal (0 for strict partitions).
+    pub padded_zeros: usize,
+}
+
+impl LuPanels {
+    /// The union row list of panel `s`.
+    pub fn panel_rows(&self, s: usize) -> &[u32] {
+        &self.rows[self.row_ptr[s]..self.row_ptr[s + 1]]
+    }
+
+    /// Mean panel width — the quality metric relaxation exists to
+    /// raise.
+    pub fn mean_width(&self) -> f64 {
+        self.part.avg_width()
+    }
+}
+
+/// Trapezoid slots at or below the diagonal for a panel of width `w`
+/// over `m` union rows: column `c` occupies `m - c` of them.
+fn trapezoid_slots(w: usize, m: usize) -> usize {
+    w * m - w * (w - 1) / 2
+}
+
+/// Relaxed (amalgamating) LU panel detection on raw factor layouts.
+///
+/// First runs the strict nesting rule, then greedily merges adjacent
+/// strict panels left to right: a merge is accepted when the merged
+/// width stays within `relax_cols` (and `max_panel`, when nonzero) and
+/// the explicit zeros of the merged trapezoid stay within the graded
+/// budget — `4 × relax_fill ×` structural nonzeros while the merged
+/// panel is at most 4 columns wide, `relax_fill ×` beyond. The grading
+/// is CHOLMOD's relaxed-amalgamation idea: gluing singleton columns
+/// into small panels is where blocking gains the most and the padded
+/// trapezoids stay trivially small, so tiny merges deserve a far
+/// looser budget than wide ones (CHOLMOD merges ≤ 4-wide results
+/// unconditionally; the `4×` factor keeps the knob meaningful there).
+/// `relax_fill <= 0` or `relax_cols < 2` disables amalgamation
+/// entirely — the result is then exactly the strict partition with its
+/// (padding-free) row lists, so the knob's zero setting is
+/// bitwise-inert downstream.
+pub fn supernodes_lu_relaxed_from_parts(
+    n: usize,
+    l_col_ptr: &[usize],
+    l_row_idx: &[u32],
+    max_panel: usize,
+    relax_fill: f64,
+    relax_cols: usize,
+) -> LuPanels {
+    assert_eq!(l_col_ptr.len(), n + 1, "column pointer length");
+    let strict = detect_nesting(n, l_col_ptr, l_row_idx, max_panel);
+    // Strict panels nest, so each panel's union row list is its first
+    // column's pattern verbatim.
+    let strict_rows = |s: usize| {
+        let f = strict.cols(s).start;
+        &l_row_idx[l_col_ptr[f]..l_col_ptr[f + 1]]
+    };
+    if relax_fill <= 0.0 || relax_cols < 2 {
+        let mut row_ptr = Vec::with_capacity(strict.n_supernodes() + 1);
+        let mut rows = Vec::new();
+        row_ptr.push(0);
+        for s in 0..strict.n_supernodes() {
+            rows.extend_from_slice(strict_rows(s));
+            row_ptr.push(rows.len());
+        }
+        return LuPanels {
+            part: strict,
+            row_ptr,
+            rows,
+            padded_zeros: 0,
+        };
+    }
+    // Amalgamated panels respect both width caps; strict panels may
+    // already exceed `relax_cols` (up to `max_panel`) — they pass
+    // through unmerged.
+    let cap = if max_panel == 0 {
+        relax_cols
+    } else {
+        relax_cols.min(max_panel)
+    };
+    let panel_nnz = |s: usize| -> usize {
+        strict
+            .cols(s)
+            .map(|j| l_col_ptr[j + 1] - l_col_ptr[j])
+            .sum()
+    };
+    let mut first_col = vec![0usize];
+    let mut row_ptr = vec![0usize];
+    let mut rows: Vec<u32> = Vec::new();
+    let mut padded_zeros = 0usize;
+    // The open group: its union row list, width, and structural nnz.
+    let mut union: Vec<u32> = Vec::new();
+    let mut merged: Vec<u32> = Vec::new();
+    let mut width = 0usize;
+    let mut nnz = 0usize;
+    for s in 0..strict.n_supernodes() {
+        let v = strict.width(s);
+        let r = strict_rows(s);
+        let np = panel_nnz(s);
+        if width > 0 {
+            let w2 = width + v;
+            if w2 <= cap {
+                merged.clear();
+                merge_sorted(&union, r, &mut merged);
+                let zeros = trapezoid_slots(w2, merged.len()) - (nnz + np);
+                // Graded budget: tiny merged panels (≤ 4 columns) take
+                // 4× the base allowance — see the doc comment.
+                let budget = if w2 <= 4 {
+                    4.0 * relax_fill
+                } else {
+                    relax_fill
+                };
+                if (zeros as f64) <= budget * (nnz + np) as f64 {
+                    std::mem::swap(&mut union, &mut merged);
+                    width = w2;
+                    nnz += np;
+                    continue;
+                }
+            }
+            // Reject: close the open group.
+            padded_zeros += trapezoid_slots(width, union.len()) - nnz;
+            rows.extend_from_slice(&union);
+            row_ptr.push(rows.len());
+            first_col.push(first_col.last().unwrap() + width);
+        }
+        union.clear();
+        union.extend_from_slice(r);
+        width = v;
+        nnz = np;
+    }
+    if width > 0 {
+        padded_zeros += trapezoid_slots(width, union.len()) - nnz;
+        rows.extend_from_slice(&union);
+        row_ptr.push(rows.len());
+        first_col.push(first_col.last().unwrap() + width);
+    }
+    debug_assert_eq!(*first_col.last().unwrap(), n, "panels must cover");
+    LuPanels {
+        part: SupernodePartition::from_first_cols(first_col, n),
+        row_ptr,
+        rows,
+        padded_zeros,
+    }
+}
+
+/// Merge two ascending row lists into `out` (cleared by the caller),
+/// dropping duplicates — the union-row computation of a panel merge.
+fn merge_sorted(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    out.reserve(a.len() + b.len());
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// [`supernodes_lu_relaxed_from_parts`] on a symbolic analysis —
+/// narrows the row indices once; detection and layout are otherwise
+/// identical.
+pub fn supernodes_lu_relaxed(
+    sym: &LuSymbolic,
+    max_panel: usize,
+    relax_fill: f64,
+    relax_cols: usize,
+) -> LuPanels {
+    let narrowed: Vec<u32> = sym.l_row_idx.iter().map(|&r| r as u32).collect();
+    supernodes_lu_relaxed_from_parts(
+        sym.n,
+        &sym.l_col_ptr,
+        &narrowed,
+        max_panel,
+        relax_fill,
+        relax_cols,
+    )
 }
 
 /// Per-panel factorization flops: the exact per-column counts of the
@@ -296,6 +519,120 @@ mod tests {
             let pf = panel_flops(&sym, &p);
             assert_eq!(pf.len(), p.n_supernodes());
             assert_eq!(pf.iter().sum::<u64>(), sym.factor_flops(), "cap {cap}");
+        }
+    }
+
+    /// Relaxed-layout invariants shared by every relaxed test: valid
+    /// cover, ascending union rows starting with the diagonal run
+    /// `f..f+w`, every member column's rows contained in the union,
+    /// and the padded-zero census consistent with the trapezoid sizes.
+    fn check_relaxed_layout(sym: &crate::lu_symbolic::LuSymbolic, p: &LuPanels) {
+        check_partition_valid(&p.part, sym.n);
+        assert_eq!(p.row_ptr.len(), p.part.n_supernodes() + 1);
+        let mut zeros = 0usize;
+        for s in 0..p.part.n_supernodes() {
+            let f = p.part.cols(s).start;
+            let w = p.part.width(s);
+            let rows = p.panel_rows(s);
+            assert!(rows.windows(2).all(|x| x[0] < x[1]), "rows ascending");
+            for (c, &r) in rows.iter().take(w).enumerate() {
+                assert_eq!(r as usize, f + c, "diagonal run leads the panel");
+            }
+            let mut nnz = 0usize;
+            for j in p.part.cols(s) {
+                for &r in sym.l_col_pattern(j) {
+                    assert!(
+                        rows.binary_search(&(r as u32)).is_ok(),
+                        "column {j} row {r} missing from panel union"
+                    );
+                }
+                nnz += sym.l_col_pattern(j).len();
+            }
+            zeros += trapezoid_slots(w, rows.len()) - nnz;
+        }
+        assert_eq!(zeros, p.padded_zeros, "padded-zero census");
+    }
+
+    #[test]
+    fn relax_disabled_reproduces_the_strict_partition() {
+        for a in [
+            gen::circuit_unsym(70, 4, 2, 8),
+            gen::convection_diffusion_2d(8, 7, 1.5, 3),
+        ] {
+            let sym = lu_symbolic(&a);
+            for cap in [0usize, 4] {
+                let strict = supernodes_lu(&sym, cap);
+                for (fill, cols) in [(0.0, 16), (0.4, 1), (-1.0, 16)] {
+                    let relaxed = supernodes_lu_relaxed(&sym, cap, fill, cols);
+                    assert_eq!(relaxed.part, strict, "fill {fill} cols {cols}");
+                    assert_eq!(relaxed.padded_zeros, 0);
+                    check_relaxed_layout(&sym, &relaxed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_merges_nearly_nesting_columns() {
+        // Column 0 {0, 2} does not nest against {1, 2}, so the strict
+        // rule leaves it a singleton beside the {1, 2} panel. The
+        // merged 3-wide trapezoid needs exactly one explicit zero
+        // (position (1, 0)) against 5 structural nonzeros; the merged
+        // width ≤ 4 takes the graded 4× budget, so acceptance needs
+        // `1 ≤ 4·fill·5` — a 25% budget accepts the merge, a 4%
+        // budget rejects it.
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 4.0);
+        t.push(2, 0, 1.0);
+        t.push(1, 1, 4.0);
+        t.push(2, 1, 1.0);
+        t.push(2, 2, 4.0);
+        t.push(0, 2, 1.0);
+        let a = t.to_csc().unwrap();
+        let sym = lu_symbolic(&a);
+        let strict = supernodes_lu(&sym, 0);
+        assert_eq!(strict.n_supernodes(), 2, "column 0 stays a singleton");
+        let merged = supernodes_lu_relaxed(&sym, 0, 0.25, 8);
+        assert_eq!(merged.part.n_supernodes(), 1, "budget admits the merge");
+        assert_eq!(merged.part.width(0), 3);
+        assert_eq!(merged.padded_zeros, 1);
+        check_relaxed_layout(&sym, &merged);
+        let tight = supernodes_lu_relaxed(&sym, 0, 0.04, 8);
+        assert_eq!(tight.part, strict, "tight budget must reject");
+    }
+
+    #[test]
+    fn relaxation_widens_suite_panels_within_budget() {
+        for a in [
+            gen::circuit_unsym(80, 4, 2, 5),
+            gen::convection_diffusion_2d(9, 8, 1.5, 2),
+        ] {
+            let sym = lu_symbolic(&a);
+            let strict = supernodes_lu(&sym, 32);
+            let relaxed = supernodes_lu_relaxed(&sym, 32, 0.3, 8);
+            check_relaxed_layout(&sym, &relaxed);
+            assert!(
+                relaxed.mean_width() >= strict.avg_width(),
+                "amalgamation can only widen panels"
+            );
+            assert!(
+                relaxed.part.n_supernodes() < strict.n_supernodes(),
+                "suite patterns must admit at least one merge"
+            );
+            // relax_cols caps amalgamation; wider panels can only be
+            // strict panels passing through unmerged.
+            let strict_starts: std::collections::BTreeMap<usize, usize> = (0..strict
+                .n_supernodes())
+                .map(|s| (strict.cols(s).start, strict.width(s)))
+                .collect();
+            for s in 0..relaxed.part.n_supernodes() {
+                let w = relaxed.part.width(s);
+                let f = relaxed.part.cols(s).start;
+                assert!(
+                    w <= 8 || strict_starts.get(&f) == Some(&w),
+                    "panel at {f} width {w} exceeds relax_cols without being strict"
+                );
+            }
         }
     }
 

@@ -179,12 +179,87 @@ pub fn maximum_transversal(a: &CscMatrix) -> Result<Vec<usize>, SparseError> {
 /// # Panics
 /// If `a` is not square.
 pub fn weighted_matching(a: &CscMatrix) -> Result<Vec<usize>, SparseError> {
+    weighted_matching_full(a).map(|full| full.rowp)
+}
+
+/// A weighted matching plus the MC64 row/column scalings derived from
+/// its dual potentials: `Dr[i] = 2^u[i]`, `Dc[j] = 2^(v[j] − lmax_j)`
+/// (original, unpermuted coordinates). The scaled matrix
+/// `Dr·A·Dc` has every entry `≤ 1` in magnitude and every matched
+/// diagonal exactly `±1` — Duff & Koster's job 5, the preconditioner
+/// that makes static pivoting numerically safe rather than merely
+/// structurally possible.
+#[derive(Debug, Clone)]
+pub struct ScaledMatching {
+    /// The matching as a row permutation, `rowp[new] = old` — exactly
+    /// what [`weighted_matching`] returns.
+    pub rowp: Vec<usize>,
+    /// Row scaling `Dr`, indexed by original row.
+    pub row_scale: Vec<f64>,
+    /// Column scaling `Dc`, indexed by original column.
+    pub col_scale: Vec<f64>,
+}
+
+impl ScaledMatching {
+    /// `|Dr[i] · a · Dc[j]|` of a stored entry — the magnitude the
+    /// scaled factorization actually sees.
+    pub fn scaled_abs(&self, i: usize, j: usize, value: f64) -> f64 {
+        (self.row_scale[i] * value * self.col_scale[j]).abs()
+    }
+}
+
+/// [`weighted_matching`] plus the scalings its dual potentials encode
+/// — one search, both artifacts. See [`ScaledMatching`].
+///
+/// # Errors
+/// [`SparseError::StructurallySingular`] as for [`weighted_matching`].
+///
+/// # Panics
+/// If `a` is not square.
+pub fn weighted_matching_scaled(a: &CscMatrix) -> Result<ScaledMatching, SparseError> {
+    let full = weighted_matching_full(a)?;
+    let n = a.n_cols();
+    let mut row_scale = vec![1.0f64; n];
+    let mut col_scale = vec![1.0f64; n];
+    for i in 0..n {
+        // u[i] + v[j] ≤ c(i,j) = lmax_j − log2|a_ij| (tight on matched
+        // edges), so 2^u[i] · |a_ij| · 2^(v[j] − lmax_j) ≤ 1.
+        row_scale[i] = f64::exp2(full.u[i]);
+        col_scale[i] = f64::exp2(full.v[i] - full.lmax[i]);
+        debug_assert!(
+            row_scale[i].is_finite() && row_scale[i] > 0.0,
+            "row dual overflowed"
+        );
+        debug_assert!(
+            col_scale[i].is_finite() && col_scale[i] > 0.0,
+            "column dual overflowed"
+        );
+    }
+    Ok(ScaledMatching {
+        rowp: full.rowp,
+        row_scale,
+        col_scale,
+    })
+}
+
+/// The matching plus its raw dual state: row potentials `u`, column
+/// potentials `v`, and the per-column max log-magnitude `lmax` the
+/// costs were normalized by.
+struct WeightedMatchingFull {
+    rowp: Vec<usize>,
+    u: Vec<f64>,
+    v: Vec<f64>,
+    lmax: Vec<f64>,
+}
+
+fn weighted_matching_full(a: &CscMatrix) -> Result<WeightedMatchingFull, SparseError> {
     assert!(a.is_square(), "weighted matching requires a square matrix");
     let n = a.n_cols();
     // Per-entry costs, per column: c = lmax_j - log2|a_ij| >= 0.
     // Column-major alongside the CSC values; f64::INFINITY marks
     // numerically zero entries (unmatchable).
     let mut cost = vec![f64::INFINITY; a.nnz()];
+    let mut lmax_by_col = vec![0.0f64; n];
     for j in 0..n {
         let lo = a.col_ptr()[j];
         let vals = a.col_values(j);
@@ -201,6 +276,7 @@ pub fn weighted_matching(a: &CscMatrix) -> Result<Vec<usize>, SparseError> {
                 structural_rank: structural_rank_nonzero(a),
             });
         }
+        lmax_by_col[j] = lmax;
         for (p, v) in vals.iter().enumerate() {
             if *v != 0.0 {
                 cost[lo + p] = lmax - v.abs().log2();
@@ -310,7 +386,12 @@ pub fn weighted_matching(a: &CscMatrix) -> Result<Vec<usize>, SparseError> {
             v[tj] = cost[lo + p] - u[i];
         }
     }
-    Ok(col_match)
+    Ok(WeightedMatchingFull {
+        rowp: col_match,
+        u,
+        v,
+        lmax: lmax_by_col,
+    })
 }
 
 /// Structural rank counting only numerically nonzero entries — the
@@ -644,6 +725,44 @@ mod tests {
             .unwrap()
             .expect("swap is strictly better");
         assert_eq!(w, vec![1, 0]);
+    }
+
+    #[test]
+    fn mc64_scaling_bounds_entries_and_units_the_matched_diagonal() {
+        // The duals' promise: Dr·A·Dc has every entry ≤ 1 and every
+        // matched diagonal exactly 1 — on the zero-diagonal circuits
+        // the pre-pivot exists for, and on a benign full-diagonal one.
+        let mats = [
+            gen::circuit_zero_diag(60, 4, 2, 3),
+            gen::circuit_zero_diag(80, 4, 2, 11),
+            gen::saddle_point_2x2(40, 8, 5),
+            gen::circuit_unsym(50, 4, 2, 9),
+        ];
+        for a in &mats {
+            let n = a.n_cols();
+            let sm = weighted_matching_scaled(a).unwrap();
+            assert_eq!(
+                sm.rowp,
+                weighted_matching(a).unwrap(),
+                "scaled variant must return the same matching"
+            );
+            assert_eq!(sm.row_scale.len(), n);
+            assert_eq!(sm.col_scale.len(), n);
+            for j in 0..n {
+                for (i, v) in a.col_iter(j) {
+                    if v != 0.0 {
+                        let s = sm.scaled_abs(i, j, v);
+                        assert!(s <= 1.0 + 1e-9, "entry ({i}, {j}) scaled to {s} > 1");
+                    }
+                }
+                let i = sm.rowp[j];
+                let s = sm.scaled_abs(i, j, a.get(i, j));
+                assert!(
+                    (s - 1.0).abs() < 1e-9,
+                    "matched diagonal of column {j} scaled to {s}, not 1"
+                );
+            }
+        }
     }
 
     #[test]

@@ -239,6 +239,73 @@ impl GpLu {
             col_perm,
         })
     }
+
+    /// [`Self::factor_prepivoted`] on the MC64-equilibrated matrix
+    /// `Dr·A·Dc` ([`sympiler_graph::transversal::weighted_matching_scaled`]):
+    /// the identically-scaled coupled baseline for a compiled plan
+    /// running with `mc64_scale` on. The scaled entries are formed
+    /// with the same `(dr[i] * v) * dc[j]` expression shape the
+    /// plan's baked gather maps use, so both engines factor the
+    /// bitwise-same numbers; [`ScaledPrePivotedGpLuFactors::solve`]
+    /// unscales back to the original coordinates of `A`.
+    pub fn factor_prepivoted_scaled(
+        a: &CscMatrix,
+        pivoting: Pivoting,
+        pre_pivot: sympiler_graph::transversal::PrePivot,
+        ordering: sympiler_graph::ordering::Ordering,
+    ) -> Result<ScaledPrePivotedGpLuFactors, LuError> {
+        let scaled =
+            sympiler_graph::transversal::weighted_matching_scaled(a).map_err(|e| match e {
+                sympiler_sparse::SparseError::StructurallySingular { n, structural_rank } => {
+                    LuError::StructurallySingular { n, structural_rank }
+                }
+                other => LuError::BadInput(format!("mc64 scaling: {other}")),
+            })?;
+        let sa = sympiler_sparse::ops::scale_rows_cols(a, &scaled.row_scale, &scaled.col_scale)
+            .map_err(|e| LuError::BadInput(format!("scaling application: {e}")))?;
+        let inner = Self::factor_prepivoted(&sa, pivoting, pre_pivot, ordering)?;
+        Ok(ScaledPrePivotedGpLuFactors {
+            inner,
+            row_scale: scaled.row_scale,
+            col_scale: scaled.col_scale,
+        })
+    }
+}
+
+/// [`PrePivotedGpLuFactors`] of the MC64-equilibrated system
+/// `(Dr·A·Dc)·(Dc⁻¹x) = Dr·b`: [`Self::solve`] scales the right-hand
+/// side by `Dr` going in and the solution by `Dc` coming out, so the
+/// caller still speaks the original coordinates of `A`.
+#[derive(Debug, Clone)]
+pub struct ScaledPrePivotedGpLuFactors {
+    /// Factors of the scaled, pre-pivoted, ordered matrix.
+    pub inner: PrePivotedGpLuFactors,
+    /// Row equilibration `Dr` (`row_scale[i]` multiplies row `i`).
+    pub row_scale: Vec<f64>,
+    /// Column equilibration `Dc` (`col_scale[j]` multiplies column `j`).
+    pub col_scale: Vec<f64>,
+}
+
+impl ScaledPrePivotedGpLuFactors {
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    /// Solve `A x = b` in original coordinates through the scaled
+    /// system.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let bs: Vec<f64> = b
+            .iter()
+            .zip(&self.row_scale)
+            .map(|(&v, &dr)| dr * v)
+            .collect();
+        let y = self.inner.solve(&bs);
+        y.iter()
+            .zip(&self.col_scale)
+            .map(|(&v, &dc)| dc * v)
+            .collect()
+    }
 }
 
 /// [`GpLuFactors`] under a static pre-pivot composed with a
@@ -413,10 +480,34 @@ impl GpLu {
             // candidates scaled by the pivot (original coordinates).
             li.push(pivot_row);
             lx.push(1.0);
+            let l_start = li.len();
             for &v in topo.iter() {
                 if pinv[v] == UNASSIGNED {
                     li.push(v);
                     lx.push(x[v] / pivot);
+                }
+            }
+            if matches!(pivoting, Pivoting::None) {
+                // Static pivoting assigns every row its own index, so
+                // sorting by original row is already final pivot order.
+                // Keeping columns sorted as they are built makes later
+                // columns' DFS walk the same (sorted) adjacency lists a
+                // compiled plan's symbolic pass uses — update sums then
+                // run in the identical order, and the factors of the
+                // two engines agree **bitwise**, which is what lets the
+                // comparison harness hold one strict tolerance even on
+                // ill-conditioned pivot sequences. (Per-entry division
+                // by the pivot commutes with the reorder; the final
+                // global sort pass becomes a no-op for these columns.)
+                let mut pairs: Vec<(usize, f64)> = li[l_start..]
+                    .iter()
+                    .copied()
+                    .zip(lx[l_start..].iter().copied())
+                    .collect();
+                pairs.sort_unstable_by_key(|&(r, _)| r);
+                for (off, &(r, v)) in pairs.iter().enumerate() {
+                    li[l_start + off] = r;
+                    lx[l_start + off] = v;
                 }
             }
             lp.push(li.len());
@@ -464,6 +555,60 @@ impl GpLu {
             x[v] = 0.0;
         }
     }
+}
+
+/// Factorization backward error normalized the way rounding-error
+/// analysis bounds it: per column `j`,
+/// `max_i |(P A - L U)[i, j]|  /  (|L| |U|)(:, j) column sum`,
+/// maximized over columns. A stable LU satisfies
+/// `|P A - L U| ≤ c(n) · eps · |L| |U|` **regardless of element
+/// growth** (Higham, ch. 9), so this quantity sits at O(n·eps) for
+/// every correctly implemented engine — including ones that pivot on
+/// tiny static entries, where any `‖A‖`-relative residual is
+/// unavoidably inflated by `‖L‖‖U‖/‖A‖`. The growth-independent
+/// verification metric for comparing factorization engines.
+pub fn lu_backward_error(a: &CscMatrix, f: &GpLuFactors) -> f64 {
+    let n = a.n_cols();
+    assert_eq!(f.n(), n, "dimension mismatch");
+    let mut pinv = vec![0usize; n];
+    for (new, &old) in f.row_perm.iter().enumerate() {
+        pinv[old] = new;
+    }
+    // Column sums of |L| — one pass, reused for every |L||U| column.
+    let mut l_colsum = vec![0.0f64; n];
+    for k in 0..n {
+        l_colsum[k] = f.l.col_iter(k).map(|(_, v)| v.abs()).sum();
+    }
+    let mut acc = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut eta = 0.0f64;
+    for j in 0..n {
+        touched.clear();
+        let mut denom = 0.0f64;
+        for (k, ukj) in f.u.col_iter(j) {
+            denom += ukj.abs() * l_colsum[k];
+            for (i, lik) in f.l.col_iter(k) {
+                if acc[i] == 0.0 {
+                    touched.push(i);
+                }
+                acc[i] += lik * ukj;
+            }
+        }
+        for (i, v) in a.col_iter(j) {
+            let r = pinv[i];
+            if acc[r] == 0.0 {
+                touched.push(r);
+            }
+            acc[r] -= v;
+        }
+        let mut err = 0.0f64;
+        for &i in &touched {
+            err = err.max(acc[i].abs());
+            acc[i] = 0.0;
+        }
+        eta = eta.max(err / denom.max(f64::MIN_POSITIVE));
+    }
+    eta
 }
 
 /// Max-norm reconstruction error `max |(P A - L U)[i, j]|` scaled by

@@ -19,10 +19,13 @@
 //!   knob composed with an ordering (`Qᵀ·P·A·Q`), the comparator for
 //!   compiled plans on matrices whose raw diagonal is structurally
 //!   zero.
+//! * [`gplu::ScaledPrePivotedGpLuFactors`] — the same baseline on the
+//!   MC64-equilibrated matrix `Dr·A·Dc`, the comparator for compiled
+//!   plans running with `mc64_scale` on.
 
 pub mod gplu;
 
 pub use gplu::{
-    lu_reconstruction_error, lu_solve, GpLu, GpLuFactors, LuError, OrderedGpLuFactors, Pivoting,
-    PrePivotedGpLuFactors,
+    lu_backward_error, lu_reconstruction_error, lu_solve, GpLu, GpLuFactors, LuError,
+    OrderedGpLuFactors, Pivoting, PrePivotedGpLuFactors, ScaledPrePivotedGpLuFactors,
 };

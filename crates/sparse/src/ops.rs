@@ -275,6 +275,39 @@ pub fn permute_rows(a: &CscMatrix, p: &[usize]) -> Result<CscMatrix> {
     ))
 }
 
+/// Two-sided diagonal scaling: `B[i, j] = dr[i] * A[i, j] * dc[j]`,
+/// evaluated left-to-right (`(dr[i] * v) * dc[j]`) so callers that
+/// scale on the fly with the same expression shape (the compiled
+/// plan's baked gather maps, the emitted C) produce **bitwise**
+/// identical entries — `dr`/`dc` are generally not powers of two, so
+/// association order matters at the ULP level. The pattern is shared
+/// with `a` unchanged.
+pub fn scale_rows_cols(a: &CscMatrix, dr: &[f64], dc: &[f64]) -> Result<CscMatrix> {
+    if dr.len() != a.n_rows() || dc.len() != a.n_cols() {
+        return Err(SparseError::DimensionMismatch(format!(
+            "dr.len() = {} / dc.len() = {} != {} x {}",
+            dr.len(),
+            dc.len(),
+            a.n_rows(),
+            a.n_cols()
+        )));
+    }
+    let mut values = Vec::with_capacity(a.nnz());
+    for j in 0..a.n_cols() {
+        let dcj = dc[j];
+        for (i, v) in a.col_iter(j) {
+            values.push(dr[i] * v * dcj);
+        }
+    }
+    Ok(CscMatrix::from_parts_unchecked(
+        a.n_rows(),
+        a.n_cols(),
+        a.col_ptr().to_vec(),
+        a.row_idx().to_vec(),
+        values,
+    ))
+}
+
 /// General two-sided permutation of a square full-storage matrix:
 /// `B[i, j] = A[rperm[i], cperm[j]]` with independent row and column
 /// maps (`perm[new] = old` on both sides). This is the matrix a

@@ -9,6 +9,7 @@
 //! compile-time error.
 
 use sympiler::prelude::*;
+use sympiler::solvers::lu::{lu_backward_error, GpLuFactors};
 use sympiler::sparse::ops;
 use sympiler::sparse::suite::{unsym_suite, SuiteScale};
 use sympiler::sparse::{CscMatrix, TripletMatrix};
@@ -50,12 +51,31 @@ fn zero_diag_is_a_hard_error_without_a_pre_pivot() {
     }
 }
 
+/// The system the compiled engines actually factor, reconstructed in
+/// factored coordinates: `Qᵀ·P·(Dr·A·Dc)·Q` (scaling and permutations
+/// identity when not compiled).
+fn composed_system(lu: &SympilerLu, a: &CscMatrix) -> CscMatrix {
+    let scaled = match lu.plan().mc64_scaling() {
+        Some((dr, dc)) => ops::scale_rows_cols(a, dr, dc).unwrap(),
+        None => a.clone(),
+    };
+    let identity: Vec<usize> = (0..a.n_cols()).collect();
+    match lu.row_perm() {
+        Some(rp) => ops::permute_general(&scaled, rp, lu.col_perm().unwrap_or(&identity)).unwrap(),
+        None => scaled,
+    }
+}
+
 #[test]
 fn every_combination_factors_through_every_tier() {
-    // The composition matrix: (ordering × pre_pivot × tier). Serial
-    // and parallel must agree bitwise; the supernodal tier to a
-    // growth-aware tolerance (its dense kernels reassociate sums, and
-    // the pattern-only transversal may pivot small).
+    // The composition matrix: (ordering × pre_pivot × tier), with
+    // MC64 equilibration on — the production configuration for
+    // zero-diagonal systems. Serial and parallel must agree bitwise;
+    // the supernodal tier's dense kernels reassociate sums, so it
+    // gates on the growth-independent `|PA − LU| / (|L||U|)` backward
+    // error at the same strict 1e-10 (a fixed element tolerance would
+    // be κ(L)·κ(U)-inflated on the values-blind transversal's pivot
+    // sequences).
     for (name, a) in zero_diag_workloads() {
         let n = a.n_cols();
         let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 6) as f64).collect();
@@ -64,6 +84,7 @@ fn every_combination_factors_through_every_tier() {
                 let opts = SympilerOptions {
                     ordering,
                     pre_pivot,
+                    mc64_scale: true,
                     block_lu: BlockLu::Off,
                     ..Default::default()
                 };
@@ -96,15 +117,11 @@ fn every_combination_factors_through_every_tier() {
                         );
                     }
                 }
-                // Serial vs supernodal: relative, growth-aware for
-                // the pattern-only transversal (it may pivot small, so
-                // element growth amplifies the dense kernels'
-                // reassociation noise).
-                let vtol = if pre_pivot == PrePivot::Transversal {
-                    1e-6
-                } else {
-                    1e-9
-                };
+                // Serial vs supernodal: the weighted matching keeps
+                // the equilibrated factorization well-conditioned, so
+                // the reassociation drift stays inside the strict
+                // element tolerance there; both pre-pivots then gate
+                // on the backward error of the factored system.
                 let sup = SympilerLu::compile(
                     &a,
                     &SympilerOptions {
@@ -115,32 +132,49 @@ fn every_combination_factors_through_every_tier() {
                 .unwrap();
                 assert!(sup.is_supernodal());
                 let fs = sup.factor(&a).unwrap();
-                for (x, y) in fs
-                    .l()
-                    .values()
-                    .iter()
-                    .chain(fs.u().values())
-                    .zip(f.l().values().iter().chain(f.u().values()))
-                {
+                if pre_pivot == PrePivot::WeightedMatching {
+                    for (x, y) in fs
+                        .l()
+                        .values()
+                        .iter()
+                        .chain(fs.u().values())
+                        .zip(f.l().values().iter().chain(f.u().values()))
+                    {
+                        assert!(
+                            (x - y).abs() <= 1e-10 * (1.0 + y.abs()),
+                            "{name} {ordering:?}+{pre_pivot:?} supernodal: {x} vs {y}"
+                        );
+                    }
+                }
+                let composed = composed_system(&serial, &a);
+                let identity: Vec<usize> = (0..n).collect();
+                for (tier, fx) in [("serial", &f), ("supernodal", &fs)] {
+                    let as_gp = GpLuFactors {
+                        l: fx.l().clone(),
+                        u: fx.u().clone(),
+                        row_perm: identity.clone(),
+                    };
+                    let eta = lu_backward_error(&composed, &as_gp);
                     assert!(
-                        (x - y).abs() <= vtol * (1.0 + y.abs()),
-                        "{name} {ordering:?}+{pre_pivot:?} supernodal: {x} vs {y}"
+                        eta < 1e-10,
+                        "{name} {ordering:?}+{pre_pivot:?} {tier}: backward error {eta:.3e}"
                     );
                 }
-                // Every tier's factor solves the ORIGINAL system. The
-                // weighted matching restores a dominant diagonal so it
-                // meets the strict threshold; the pattern-only
-                // transversal is growth-limited (why MC64 exists).
-                let rtol = if pre_pivot == PrePivot::Transversal {
-                    1e-7
-                } else {
-                    1e-10
-                };
+                // Every tier's factor solves the ORIGINAL system to
+                // the same strict residual. Static pivoting's
+                // production contract pairs the factorization with
+                // iterative refinement — a values-blind transversal's
+                // multiplier growth loses digits in a raw triangular
+                // solve, and a few O(nnz) sweeps win them back.
                 for (tier, fx) in [("serial", &f), ("supernodal", &fs)] {
-                    let x = fx.solve(&b);
+                    let x = if pre_pivot == PrePivot::Transversal {
+                        fx.solve_refined(&a, &b, 1e-14, 5).0
+                    } else {
+                        fx.solve(&b)
+                    };
                     let resid = ops::rel_residual(&a, &x, &b);
                     assert!(
-                        resid < rtol,
+                        resid < 1e-10,
                         "{name} {ordering:?}+{pre_pivot:?} {tier}: residual {resid}"
                     );
                 }
@@ -180,6 +214,43 @@ fn weighted_matching_matches_prepivoted_baseline_to_1e10() {
                     "{name} under {ordering:?}: {x} vs {y}"
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn mc64_scaling_collapses_pivot_growth_under_the_weighted_matching() {
+    // The regression the scaling work exists for: on the
+    // zero-diagonal circuits an unscaled factorization's element
+    // growth reaches ~1e8, and with `mc64_scale` composed into the
+    // weighted matching — every scaled entry ≤ 1 with the matched
+    // pivot diagonal at each column's maximum — it must collapse to
+    // O(1) (< 1e2) under every ordering, while the scaled plan keeps
+    // solving the *original* system strictly.
+    for (name, a) in zero_diag_workloads() {
+        let n = a.n_cols();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+        for ordering in Ordering::ALL {
+            let opts = SympilerOptions {
+                ordering,
+                pre_pivot: PrePivot::WeightedMatching,
+                mc64_scale: true,
+                block_lu: BlockLu::Off,
+                ..Default::default()
+            };
+            let lu = SympilerLu::compile(&a, &opts).unwrap();
+            let (dr, dc) = lu.plan().mc64_scaling().expect("scalings compiled");
+            assert_eq!((dr.len(), dc.len()), (n, n));
+            let f = lu.factor(&a).unwrap();
+            let health = lu.plan().health_of(&a, &f);
+            assert!(
+                health.growth < 1e2,
+                "{name} under {ordering:?}: scaled pivot growth {:.3e} must stay O(1)",
+                health.growth
+            );
+            let x = f.solve(&b);
+            let resid = ops::rel_residual(&a, &x, &b);
+            assert!(resid < 1e-10, "{name} under {ordering:?}: residual {resid}");
         }
     }
 }

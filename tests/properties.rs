@@ -330,6 +330,91 @@ proptest! {
     }
 
     #[test]
+    fn relaxed_amalgamation_agrees_with_strict_and_serial(a in unsym_matrix()) {
+        // The amalgamation contract: a relaxed supernodal plan
+        // (explicit padded zeros admitted under the fill budget) must
+        // agree with BOTH the strict-nesting supernodal plan and the
+        // scalar serial tier within 1e-12, with identical factor
+        // patterns, across ordering × pre_pivot × thread count —
+        // padding adds exact zeros to the dense panels, never numbers.
+        for ordering in Ordering::ALL {
+            for pre_pivot in [PrePivot::Off, PrePivot::WeightedMatching] {
+                let base_opts = SympilerOptions {
+                    ordering,
+                    pre_pivot,
+                    block_lu: BlockLu::Off,
+                    ..Default::default()
+                };
+                let serial = SympilerLu::compile(&a, &base_opts).unwrap();
+                let f_serial = serial.factor(&a).unwrap();
+                let strict = SympilerLu::compile(&a, &SympilerOptions {
+                    block_lu: BlockLu::On,
+                    relax_fill: 0.0,
+                    ..base_opts.clone()
+                }).unwrap();
+                let f_strict = strict.factor(&a).unwrap();
+                for threads in [1usize, 3] {
+                    let relaxed = SympilerLu::compile(&a, &SympilerOptions {
+                        block_lu: BlockLu::On,
+                        n_threads: threads,
+                        ..base_opts.clone()
+                    }).unwrap();
+                    prop_assert!(relaxed.is_supernodal());
+                    let fr = relaxed.factor(&a).unwrap();
+                    prop_assert!(fr.l().same_pattern(f_serial.l()));
+                    prop_assert!(fr.u().same_pattern(f_serial.u()));
+                    for ((x, s), t) in fr.l().values().iter().chain(fr.u().values())
+                        .zip(f_serial.l().values().iter().chain(f_serial.u().values()))
+                        .zip(f_strict.l().values().iter().chain(f_strict.u().values()))
+                    {
+                        prop_assert!((x - s).abs() <= 1e-12 * (1.0 + s.abs()),
+                            "{}+{} @{}T vs serial: {} vs {}",
+                            ordering.label(), pre_pivot.label(), threads, x, s);
+                        prop_assert!((x - t).abs() <= 1e-12 * (1.0 + t.abs()),
+                            "{}+{} @{}T vs strict panels: {} vs {}",
+                            ordering.label(), pre_pivot.label(), threads, x, t);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn relax_fill_zero_is_bitwise_identical_to_strict_panels(a in unsym_matrix()) {
+        // `relax_fill = 0` must be perfectly inert: the same panel
+        // partition as the strict-nesting constructor, zero padded
+        // slots, and bitwise-identical factors.
+        use sympiler::core::plan::lu_supernodal::SupernodalLuPlan;
+        for ordering in [Ordering::Natural, Ordering::Colamd] {
+            let opts = SympilerOptions {
+                ordering,
+                block_lu: BlockLu::On,
+                relax_fill: 0.0,
+                ..Default::default()
+            };
+            let lu0 = SympilerLu::compile(&a, &opts).unwrap();
+            let sup0 = lu0.supernodal().expect("On always compiles the engine");
+            prop_assert_eq!(sup0.padded_zeros(), 0,
+                "a zero budget must admit no explicit zeros");
+            let strict = SupernodalLuPlan::from_plan(
+                lu0.plan().clone(), opts.max_panel, 1,
+            );
+            prop_assert_eq!(sup0.n_panels(), strict.n_panels());
+            for s in 0..strict.n_panels() {
+                prop_assert_eq!(sup0.partition().width(s), strict.partition().width(s));
+            }
+            let f0 = lu0.factor(&a).unwrap();
+            let fs = strict.factor(&a).unwrap();
+            for (x, y) in f0.l().values().iter().chain(f0.u().values())
+                .zip(fs.l().values().iter().chain(fs.u().values()))
+            {
+                prop_assert_eq!(x.to_bits(), y.to_bits(),
+                    "{}: relax_fill = 0 moved bits", ordering.label());
+            }
+        }
+    }
+
+    #[test]
     fn sparse_rhs_solve_matches_dense_solve(a in unsym_matrix(), seed in 0u64..50) {
         let n = a.n_cols();
         let lu = SympilerLu::compile(&a, &SympilerOptions::default()).unwrap();

@@ -120,6 +120,110 @@ fn options_are_part_of_the_cache_key() {
     assert!(Arc::ptr_eq(&p1, &p1b), "same (pattern, options) must hit");
 }
 
+/// The amalgamation and equilibration knobs participate in cache
+/// identity: plans compiled under differing `relax_fill`,
+/// `relax_cols`, or `mc64_scale` have different baked tables (panel
+/// layouts, scaling vectors), so the cache must treat each as a
+/// distinct key and hit only on an exact option match.
+#[test]
+fn amalgamation_and_scaling_options_key_the_cache() {
+    let a = gen::circuit_unsym(80, 4, 2, 11);
+    let cache = PlanCache::new(CacheConfig::default());
+    let relaxed = SympilerOptions {
+        ordering: Ordering::Colamd,
+        block_lu: BlockLu::On,
+        ..SympilerOptions::default()
+    };
+    let strict = SympilerOptions {
+        relax_fill: 0.0,
+        ..relaxed.clone()
+    };
+    let narrow = SympilerOptions {
+        relax_cols: 4,
+        ..relaxed.clone()
+    };
+    let scaled = SympilerOptions {
+        mc64_scale: true,
+        ..relaxed.clone()
+    };
+    let p_rel = cache.get_or_compile(&a, &relaxed).expect("relaxed");
+    let p_str = cache.get_or_compile(&a, &strict).expect("strict");
+    let p_nar = cache.get_or_compile(&a, &narrow).expect("narrow");
+    let p_sca = cache.get_or_compile(&a, &scaled).expect("scaled");
+    for (label, other) in [
+        ("relax_fill", &p_str),
+        ("relax_cols", &p_nar),
+        ("mc64_scale", &p_sca),
+    ] {
+        assert!(
+            !Arc::ptr_eq(&p_rel, other),
+            "differing {label} must not share a plan"
+        );
+    }
+    assert!(!Arc::ptr_eq(&p_str, &p_nar) && !Arc::ptr_eq(&p_str, &p_sca));
+    assert_eq!(cache.stats().misses, 4, "four distinct keys, four compiles");
+    assert_eq!(cache.stats().hits, 0);
+    // Exact option match is the only thing that hits.
+    assert!(Arc::ptr_eq(
+        &p_rel,
+        &cache.get_or_compile(&a, &relaxed).expect("relaxed again")
+    ));
+    assert!(Arc::ptr_eq(
+        &p_sca,
+        &cache.get_or_compile(&a, &scaled).expect("scaled again")
+    ));
+    assert_eq!(cache.stats().hits, 2);
+    assert_eq!(cache.stats().misses, 4);
+}
+
+/// The cache's byte accounting sees the execution tier that will
+/// actually run: a supernodal plan's resident size is the tier-aware
+/// `table_bytes()` — the panel directory, union row lists (padded
+/// layouts included), and schedules on top of the scalar plan's
+/// tables — and the amalgamation budget changes it (fewer, wider
+/// panels store different layouts than the strict partition).
+#[test]
+fn cached_bytes_account_for_padded_panel_layouts() {
+    let a = gen::circuit_unsym(80, 4, 2, 11);
+    let relaxed = SympilerOptions {
+        ordering: Ordering::Colamd,
+        block_lu: BlockLu::On,
+        ..SympilerOptions::default()
+    };
+    let strict = SympilerOptions {
+        relax_fill: 0.0,
+        ..relaxed.clone()
+    };
+    let lu_rel = SympilerLu::compile(&a, &relaxed).expect("relaxed compile");
+    let lu_str = SympilerLu::compile(&a, &strict).expect("strict compile");
+    let sup = lu_rel.supernodal().expect("On compiles the engine");
+    assert!(
+        sup.padded_zeros() > 0,
+        "COLAMD circuit panels must amalgamate with explicit zeros"
+    );
+    assert!(
+        lu_rel.table_bytes() > lu_rel.plan().table_bytes(),
+        "the supernodal layout must be charged on top of the scalar tables"
+    );
+    assert_ne!(
+        lu_rel.table_bytes(),
+        lu_str.table_bytes(),
+        "the amalgamation budget must be visible in the byte accounting"
+    );
+    let cache = PlanCache::new(CacheConfig::default());
+    cache.get_or_compile(&a, &relaxed).expect("cache relaxed");
+    assert_eq!(
+        cache.stats().bytes,
+        lu_rel.table_bytes(),
+        "the cache must account the panel layout, not just the scalar plan"
+    );
+    cache.get_or_compile(&a, &strict).expect("cache strict");
+    assert_eq!(
+        cache.stats().bytes,
+        lu_rel.table_bytes() + lu_str.table_bytes()
+    );
+}
+
 /// Batched factorization agrees with the one-at-a-time loop on every
 /// execution tier: bitwise for the scalar serial and column-parallel
 /// tiers (whose batch path runs the same per-lane arithmetic), and to
